@@ -1,0 +1,225 @@
+package repro
+
+import (
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/bundle"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/pram"
+	"repro/internal/resistance"
+	"repro/internal/solver"
+	"repro/internal/spanner"
+	"repro/internal/spectral"
+	"repro/internal/stream"
+)
+
+// Graph is a weighted undirected graph; see the graph package for the
+// full method set (Canonical, Validate, Subgraph, ...).
+type Graph = graph.Graph
+
+// Edge is one weighted undirected edge of a Graph.
+type Edge = graph.Edge
+
+// NewGraph returns an empty graph on n vertices. Append to g.Edges or
+// use FromEdges to populate it.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// FromEdges builds a graph over n vertices from an edge list.
+func FromEdges(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
+
+// Options configures the sparsification entry points.
+type Options struct {
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Theory selects the paper's constants (t = 24·log²n/ε² bundles);
+	// the default is the calibrated practical configuration. With
+	// theory constants any laptop-scale graph is swallowed whole by the
+	// bundle and the algorithm is the identity — correct, but only
+	// interesting asymptotically.
+	Theory bool
+	// BundleT overrides the bundle thickness formula when positive.
+	BundleT int
+	// Tracker, when non-nil, accumulates modeled CRCW PRAM work/depth.
+	Tracker *pram.Tracker
+}
+
+func (o Options) config() core.Config {
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	var cfg core.Config
+	if o.Theory {
+		cfg = core.TheoryConfig(seed)
+	} else {
+		cfg = core.DefaultConfig(seed)
+	}
+	cfg.BundleT = o.BundleT
+	cfg.Tracker = o.Tracker
+	return cfg
+}
+
+// SampleReport aliases the per-round statistics of Algorithm 1.
+type SampleReport = core.SampleStats
+
+// SparsifyReport aliases the aggregate statistics of Algorithm 2.
+type SparsifyReport = core.SparsifyStats
+
+// Sample runs one round of the paper's Algorithm 1 (PARALLELSAMPLE) at
+// accuracy eps ∈ (0, 1]: it keeps a bundle of spanners plus a 1/4
+// uniform sample of the rest (reweighted ×4), roughly halving the
+// non-structural edges while (1±ε)-preserving the Laplacian quadratic
+// form with high probability.
+func Sample(g *Graph, eps float64, opt Options) (*Graph, *SampleReport) {
+	return core.ParallelSample(g, eps, opt.config())
+}
+
+// Sparsify runs the paper's Algorithm 2 (PARALLELSPARSIFY): ⌈log₂ρ⌉
+// rounds of Sample at accuracy eps/⌈log₂ρ⌉, reducing the edge count
+// towards n·polylog(n) + m/ρ while (1±ε)-preserving the quadratic form.
+func Sparsify(g *Graph, eps, rho float64, opt Options) (*Graph, *SparsifyReport) {
+	return core.ParallelSparsify(g, eps, rho, opt.config())
+}
+
+// SampleTreeBundle runs the Remark 2 variant of Algorithm 1: the
+// certification bundle is t low-stretch spanning forests instead of t
+// spanners, shrinking the bundle by ~log n at the cost of a weaker
+// (average-stretch) certificate. See experiment E11 for the measured
+// trade.
+func SampleTreeBundle(g *Graph, eps float64, t int, opt Options) (*Graph, *SampleReport) {
+	return core.ParallelSampleTreeBundle(g, eps, t, opt.config())
+}
+
+// Spanner computes a Baswana–Sen log n-spanner of g in the paper's
+// resistive-stretch metric: every edge of g has stretch ≤ 2⌈log₂n⌉−1
+// over the returned subgraph, which has O(n log n) edges in expectation.
+func Spanner(g *Graph, opt Options) *Graph {
+	adj := graph.NewAdjacency(g)
+	res := spanner.Compute(g, adj, nil, spanner.Options{Seed: opt.Seed, Tracker: opt.Tracker})
+	return g.Subgraph(res.InSpanner)
+}
+
+// BundleSpanner computes a t-bundle spanner of g (Definition 1): t
+// edge-disjoint spanners peeled off one after another. Every edge left
+// outside the bundle has leverage w_e·R_e[g] ≤ (2⌈log₂n⌉−1)/t (Lemma 1).
+func BundleSpanner(g *Graph, t int, opt Options) *Graph {
+	adj := graph.NewAdjacency(g)
+	res := bundle.Compute(g, adj, nil, bundle.Options{T: t, Seed: opt.Seed, Tracker: opt.Tracker})
+	return g.Subgraph(res.InBundle)
+}
+
+// EffectiveResistances returns R_e for every edge of g, computed with
+// the Spielman–Srivastava Johnson–Lindenstrauss sketch (a handful of
+// Laplacian solves in total).
+func EffectiveResistances(g *Graph, opt Options) []float64 {
+	return resistance.AllEdgesApprox(g, resistance.ApproxOptions{Seed: opt.Seed})
+}
+
+// EffectiveResistance returns the exact effective resistance between
+// two vertices of g (one Laplacian solve).
+func EffectiveResistance(g *Graph, u, v int32) float64 {
+	return resistance.NewSolver(g).Pair(u, v)
+}
+
+// ApproxBounds holds measured spectral approximation bounds: for all x,
+// Lo·xᵀL_Gx ≤ xᵀL_Hx ≤ Hi·xᵀL_Gx.
+type ApproxBounds = spectral.Bounds
+
+// Bounds measures how well h spectrally approximates g (both must be
+// connected): it returns the extreme generalized eigenvalues of the
+// pencil (L_h, L_g) estimated by power iteration with inner CG solves.
+func Bounds(g, h *Graph, opt Options) (ApproxBounds, error) {
+	return spectral.ApproxFactor(g, h, spectral.Options{Seed: opt.Seed})
+}
+
+// SolveResult aliases the solver's convergence report.
+type SolveResult = solver.SolveResult
+
+// SolveLaplacian solves L_g·x = b to relative residual tol with the
+// Peng–Spielman chain-preconditioned conjugate gradient (Theorem 6's
+// solver with the paper's sparsifier inside the chain). b is projected
+// orthogonal to the all-ones null space.
+func SolveLaplacian(g *Graph, b []float64, tol float64, opt Options) ([]float64, SolveResult, error) {
+	return solver.SolveLaplacian(g, b, tol, solver.ChainOptions{Seed: opt.Seed})
+}
+
+// SDDMatrix is a symmetric diagonally dominant matrix; see solver.SDD.
+type SDDMatrix = solver.SDD
+
+// SDDEntry is a strictly-upper off-diagonal entry of an SDDMatrix.
+type SDDEntry = solver.SDDEntry
+
+// SolveSDD solves M·x = b for a symmetric diagonally dominant matrix by
+// Gremban reduction to a Laplacian of twice the dimension followed by
+// SolveLaplacian.
+func SolveSDD(m *SDDMatrix, b []float64, tol float64, opt Options) ([]float64, SolveResult, error) {
+	return solver.SolveSDD(m, b, tol, solver.ChainOptions{Seed: opt.Seed})
+}
+
+// StreamSparsifier maintains a bounded-memory spectral summary of an
+// edge stream via merge-and-reduce over Sample (the semi-streaming
+// setting of Kelner–Levin that the paper's related work discusses).
+type StreamSparsifier = stream.Sparsifier
+
+// StreamOptions configures a StreamSparsifier.
+type StreamOptions = stream.Options
+
+// NewStream returns a semi-streaming sparsifier over n vertices;
+// Ingest edges, then Finish for the summary graph.
+func NewStream(n int, opt StreamOptions) *StreamSparsifier {
+	return stream.New(n, opt)
+}
+
+// DistStats aliases the distributed communication ledger.
+type DistStats = dist.Stats
+
+// DistributedSparsify runs Algorithm 2 in the simulated synchronous
+// distributed model and returns the sparsifier plus the communication
+// ledger (rounds, messages, words) that Theorem 5 bounds.
+func DistributedSparsify(g *Graph, eps, rho float64, opt Options) (*Graph, DistStats) {
+	res := dist.Sparsify(g, eps, rho, 0, opt.Seed)
+	return res.G, res.Stats
+}
+
+// SpielmanSrivastava runs the effective-resistance sampling baseline at
+// accuracy eps.
+func SpielmanSrivastava(g *Graph, eps float64, opt Options) *Graph {
+	return baseline.SpielmanSrivastava(g, baseline.SSOptions{Eps: eps, Seed: opt.Seed})
+}
+
+// UniformSample keeps each edge independently with probability p at
+// weight w/p — the strawman baseline.
+func UniformSample(g *Graph, p float64, opt Options) *Graph {
+	return baseline.Uniform(g, p, opt.Seed)
+}
+
+// Convenience generators re-exported for examples and quick use.
+
+// Gnp returns an Erdős–Rényi random graph.
+func Gnp(n int, p float64, seed uint64) *Graph { return gen.Gnp(n, p, seed) }
+
+// Grid2D returns the rows×cols grid graph.
+func Grid2D(rows, cols int) *Graph { return gen.Grid2D(rows, cols) }
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph { return gen.Complete(n) }
+
+// Barbell returns two K_k cliques joined by a path of bridgeLen edges.
+func Barbell(k, bridgeLen int) *Graph { return gen.Barbell(k, bridgeLen) }
+
+// StretchBound returns the spanner stretch guarantee 2⌈log₂n⌉−1 used
+// throughout the library for graphs on n vertices.
+func StretchBound(n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	k := math.Ceil(math.Log2(float64(n)))
+	if k < 2 {
+		k = 2
+	}
+	return 2*k - 1
+}

@@ -1,0 +1,191 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEndToEndSparsify(t *testing.T) {
+	g := Complete(150)
+	h, rep, err := sparsifyChecked(t, g, 0.5, 4, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.M() >= g.M() {
+		t.Fatalf("no reduction: %d -> %d", g.M(), h.M())
+	}
+	if rep.InputEdges != g.M() || rep.OutputEdges != h.M() {
+		t.Fatalf("report inconsistent: %+v", rep)
+	}
+	b, err := Bounds(g, h, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Epsilon() > 0.5 {
+		t.Fatalf("measured eps %v > 0.5 (bounds %+v)", b.Epsilon(), b)
+	}
+}
+
+func sparsifyChecked(t *testing.T, g *Graph, eps, rho float64, opt Options) (*Graph, *SparsifyReport, error) {
+	t.Helper()
+	h, rep := Sparsify(g, eps, rho, opt)
+	if err := h.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return h, rep, nil
+}
+
+func TestSampleRound(t *testing.T) {
+	g := Complete(120)
+	h, rep := Sample(g, 0.5, Options{Seed: 3})
+	if rep.BundleEdges <= 0 {
+		t.Fatal("no bundle built")
+	}
+	if h.M() != rep.OutputEdges {
+		t.Fatal("report/output mismatch")
+	}
+}
+
+func TestSpannerAPI(t *testing.T) {
+	g := Gnp(200, 0.2, 5)
+	h := Spanner(g, Options{Seed: 5})
+	if h.M() == 0 || h.M() > g.M() {
+		t.Fatalf("spanner size %d", h.M())
+	}
+	// A spanner of a connected graph is connected.
+	gb, err := Bounds(g, h, Options{Seed: 11})
+	if err != nil {
+		t.Fatalf("spanner disconnected or bounds failed: %v", err)
+	}
+	if gb.Hi > 1+1e-6 {
+		t.Fatalf("subgraph upper bound %v > 1 (impossible)", gb.Hi)
+	}
+}
+
+func TestBundleSpannerLeverage(t *testing.T) {
+	g := Complete(90)
+	h := BundleSpanner(g, 2, Options{Seed: 7})
+	if h.M() <= Spanner(g, Options{Seed: 7}).M()/2 {
+		t.Fatal("2-bundle should be roughly twice a single spanner")
+	}
+}
+
+func TestEffectiveResistanceAPIs(t *testing.T) {
+	g := Grid2D(6, 6)
+	rs := EffectiveResistances(g, Options{Seed: 9})
+	if len(rs) != g.M() {
+		t.Fatalf("len=%d", len(rs))
+	}
+	exact := EffectiveResistance(g, 0, 1)
+	// Find edge (0,1) in the list.
+	for i, e := range g.Edges {
+		if (e.U == 0 && e.V == 1) || (e.U == 1 && e.V == 0) {
+			if math.Abs(rs[i]-exact)/exact > 0.5 {
+				t.Fatalf("sketch %v vs exact %v", rs[i], exact)
+			}
+			return
+		}
+	}
+	t.Fatal("edge (0,1) not found")
+}
+
+func TestSolveLaplacianAPI(t *testing.T) {
+	g := Grid2D(10, 10)
+	b := make([]float64, g.N)
+	b[0] = 1
+	b[g.N-1] = -1
+	x, res, err := SolveLaplacian(g, b, 1e-8, Options{Seed: 11})
+	if err != nil || !res.Converged {
+		t.Fatalf("solve failed: %v %+v", err, res)
+	}
+	// Potential difference across the source/sink pair equals the
+	// effective resistance (unit current).
+	er := EffectiveResistance(g, 0, int32(g.N-1))
+	if math.Abs((x[0]-x[g.N-1])-er) > 1e-4 {
+		t.Fatalf("potential gap %v vs resistance %v", x[0]-x[g.N-1], er)
+	}
+}
+
+func TestSolveSDDAPI(t *testing.T) {
+	m := &SDDMatrix{
+		N:    3,
+		Diag: []float64{3, 4, 3},
+		Entries: []SDDEntry{
+			{I: 0, J: 1, V: -1},
+			{I: 1, J: 2, V: 1},
+		},
+	}
+	want := []float64{1, 2, -1}
+	b := make([]float64, 3)
+	m.MulVec(b, want)
+	x, res, err := SolveSDD(m, b, 1e-10, Options{Seed: 13})
+	if err != nil || !res.Converged {
+		t.Fatalf("SDD solve failed: %v %+v", err, res)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-7 {
+			t.Fatalf("x=%v want %v", x, want)
+		}
+	}
+}
+
+func TestDistributedSparsifyAPI(t *testing.T) {
+	g := Complete(100)
+	h, stats := DistributedSparsify(g, 0.9, 4, Options{Seed: 15})
+	if h.M() >= g.M() {
+		t.Fatal("no reduction")
+	}
+	if stats.Rounds <= 0 || stats.Messages <= 0 {
+		t.Fatalf("empty ledger: %+v", stats)
+	}
+}
+
+func TestBaselineAPIs(t *testing.T) {
+	g := Complete(80)
+	ss := SpielmanSrivastava(g, 0.5, Options{Seed: 17})
+	if ss.M() == 0 {
+		t.Fatal("SS empty")
+	}
+	u := UniformSample(g, 0.25, Options{Seed: 19})
+	if u.M() == 0 || u.M() >= g.M() {
+		t.Fatalf("uniform kept %d", u.M())
+	}
+}
+
+func TestBarbellGenerator(t *testing.T) {
+	g := Barbell(10, 2)
+	if g.N != 21 {
+		t.Fatalf("N=%d", g.N)
+	}
+}
+
+func TestStretchBoundValues(t *testing.T) {
+	if StretchBound(1) != 1 {
+		t.Fatal("trivial bound")
+	}
+	if StretchBound(1024) != 19 { // 2·10−1
+		t.Fatalf("StretchBound(1024)=%v", StretchBound(1024))
+	}
+}
+
+func TestTheoryOptionIsIdentityAtSmallScale(t *testing.T) {
+	g := Complete(60)
+	h, rep := Sample(g, 0.5, Options{Seed: 21, Theory: true})
+	if h.M() != g.M() {
+		t.Fatalf("theory constants should swallow K60: %d -> %d", g.M(), h.M())
+	}
+	if !rep.Exhausted {
+		t.Fatal("expected exhaustion flag")
+	}
+}
+
+func TestNewGraphAndFromEdges(t *testing.T) {
+	g := NewGraph(4)
+	if g.N != 4 || g.M() != 0 {
+		t.Fatal("NewGraph broken")
+	}
+	h := FromEdges(2, []Edge{{U: 0, V: 1, W: 1}})
+	if h.M() != 1 {
+		t.Fatal("FromEdges broken")
+	}
+}

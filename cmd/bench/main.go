@@ -1,0 +1,48 @@
+// Command bench regenerates the paper-reproduction experiment tables
+// E1–E10 (see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// recorded results).
+//
+// Usage:
+//
+//	bench              # run everything at full scale
+//	bench -quick       # trimmed sweeps (seconds instead of minutes)
+//	bench -run E4,E7   # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run trimmed sweeps")
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+	ids := experiments.Order
+	if *run != "" {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		fn, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bench: unknown experiment %q (known: %s)\n",
+				id, strings.Join(experiments.Order, ", "))
+			os.Exit(2)
+		}
+		start := time.Now()
+		table := fn(scale)
+		table.Render(os.Stdout)
+		fmt.Printf("  [%s in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,83 @@
+// Command gen emits synthetic graphs in the text edge-list format, for
+// feeding the sparsify/spanner/solve tools.
+//
+// Usage:
+//
+//	gen -kind gnp -n 1000 -p 0.05 [-seed 1]          > g.txt
+//	gen -kind grid2d -rows 30 -cols 30               > g.txt
+//	gen -kind complete -n 300                        > g.txt
+//	gen -kind barbell -k 40 -bridge 2                > g.txt
+//	gen -kind affinity -rows 32 -cols 32 -radius 4   > g.txt
+//	gen -kind regular -n 1000 -d 8                   > g.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gen: ")
+	kind := flag.String("kind", "gnp", "gnp|gnm|grid2d|grid3d|torus|complete|path|cycle|star|barbell|pa|regular|affinity")
+	n := flag.Int("n", 1000, "vertex count (gnp/gnm/complete/path/cycle/star/pa/regular)")
+	m := flag.Int("m", 5000, "edge count (gnm)")
+	p := flag.Float64("p", 0.01, "edge probability (gnp)")
+	d := flag.Int("d", 8, "degree (regular) / attachments (pa)")
+	rows := flag.Int("rows", 30, "grid rows")
+	cols := flag.Int("cols", 30, "grid cols")
+	depth := flag.Int("depth", 10, "grid3d depth")
+	k := flag.Int("k", 40, "barbell clique size")
+	bridge := flag.Int("bridge", 1, "barbell bridge length")
+	radius := flag.Int("radius", 4, "affinity neighborhood radius")
+	sigma := flag.Float64("sigma", 0.2, "affinity contrast scale")
+	wlo := flag.Float64("wlo", 0, "random weight lower bound (0 = unit weights)")
+	whi := flag.Float64("whi", 0, "random weight upper bound")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	var g *graph.Graph
+	switch *kind {
+	case "gnp":
+		g = gen.Gnp(*n, *p, *seed)
+	case "gnm":
+		g = gen.Gnm(*n, *m, *seed)
+	case "grid2d":
+		g = gen.Grid2D(*rows, *cols)
+	case "grid3d":
+		g = gen.Grid3D(*rows, *cols, *depth)
+	case "torus":
+		g = gen.Torus2D(*rows, *cols)
+	case "complete":
+		g = gen.Complete(*n)
+	case "path":
+		g = gen.Path(*n)
+	case "cycle":
+		g = gen.Cycle(*n)
+	case "star":
+		g = gen.Star(*n)
+	case "barbell":
+		g = gen.Barbell(*k, *bridge)
+	case "pa":
+		g = gen.PreferentialAttachment(*n, *d, *seed)
+	case "regular":
+		g = gen.RandomRegular(*n, *d, *seed)
+	case "affinity":
+		g = gen.ImageAffinityRadius(*rows, *cols, *radius, *sigma, *seed)
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+	if *wlo > 0 && *whi >= *wlo {
+		g = gen.WithRandomWeights(g, *wlo, *whi, *seed^0xabad1dea)
+	}
+	fmt.Fprintf(os.Stderr, "generated %s: n=%d m=%d\n", *kind, g.N, g.M())
+	if err := graphio.Write(os.Stdout, g); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,24 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Ioannis Koutis, "Simple Parallel and Distributed Algorithms for
+//	Spectral Graph Sparsification", SPAA 2014 (arXiv:1402.3851).
+//
+// The package exposes the paper's sparsification pipeline — iterated
+// weighted-spanner bundles plus uniform sampling — together with every
+// substrate it stands on: Baswana–Sen spanners (shared-memory parallel
+// and simulated synchronous distributed), effective resistances, a
+// spectral approximation verifier, baseline sparsifiers, and a
+// Peng–Spielman style chain solver for SDD/Laplacian linear systems.
+//
+// Quick start:
+//
+//	g := repro.Gnp(500, 0.5, 1)                   // a dense random graph
+//	h, report := repro.Sparsify(g, 0.75, 4, repro.Options{Seed: 7})
+//	// h ≈ g spectrally with roughly half the edges kept; report has
+//	// the per-round bundle/sample statistics.
+//	b, err := repro.Bounds(g, h, repro.Options{}) // measure (1±ε)
+//
+// All randomness is seeded and the library is deterministic for a fixed
+// seed at any GOMAXPROCS. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduced guarantees.
+package repro

@@ -1,0 +1,45 @@
+// Distributed: run the paper's Theorem 2/Corollary 3/Theorem 5 pipeline
+// on the simulated synchronous network and print the communication
+// ledgers the theorems bound.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro"
+	"repro/internal/dist"
+	"repro/internal/gen"
+)
+
+func main() {
+	fmt.Println("distributed spanner (Theorem 2): rounds ~ log^2 n, messages ~ m log n")
+	fmt.Printf("%8s %8s %8s %14s %10s %14s\n", "n", "m", "rounds", "rounds/lg^2 n", "messages", "msgs/(m lg n)")
+	for _, n := range []int{128, 256, 512, 1024} {
+		g := gen.Gnp(n, 16/float64(n), uint64(n))
+		res := dist.BaswanaSen(g, 0, 7)
+		logn := math.Log2(float64(n))
+		fmt.Printf("%8d %8d %8d %14.2f %10d %14.2f\n",
+			n, g.M(), res.Stats.Rounds,
+			float64(res.Stats.Rounds)/(logn*logn),
+			res.Stats.Messages,
+			float64(res.Stats.Messages)/(float64(g.M())*logn))
+	}
+
+	fmt.Println()
+	fmt.Println("distributed sparsification (Theorem 5), rho=4, eps=0.75:")
+	g := repro.Complete(256)
+	h, stats := repro.DistributedSparsify(g, 0.75, 4, repro.Options{Seed: 13})
+	fmt.Printf("  K_%d: m=%d -> m=%d\n", 256, g.M(), h.M())
+	fmt.Printf("  ledger: %d rounds, %d messages, %d words, %d-word messages\n",
+		stats.Rounds, stats.Messages, stats.Words, stats.MaxMessageWords)
+
+	b, err := repro.Bounds(g, h, repro.Options{Seed: 17})
+	if err != nil {
+		fmt.Println("  bounds:", err)
+		return
+	}
+	fmt.Printf("  measured quality: %.3f*G <= H <= %.3f*G (eps=%.3f)\n", b.Lo, b.Hi, b.Epsilon())
+}

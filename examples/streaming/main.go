@@ -1,0 +1,49 @@
+// Streaming: sparsify an edge stream in bounded memory — the
+// semi-streaming setting the paper's related work discusses
+// (Kelner–Levin), realized by merge-and-reduce over PARALLELSAMPLE.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/rng"
+)
+
+func main() {
+	// The "stream": the edges of a dense random graph arriving in
+	// random order.
+	g := repro.Gnp(400, 0.4, 1)
+	r := rng.New(5)
+	order := r.Perm(g.M())
+
+	s := repro.NewStream(g.N, repro.StreamOptions{
+		BufferEdges: 6000, // in-memory budget per merge block
+		ReduceEps:   0.2,  // per-reduce accuracy; compounds per reduce
+		Seed:        7,
+	})
+	peak := 0
+	for _, idx := range order {
+		if err := s.Ingest(g.Edges[idx]); err != nil {
+			log.Fatal(err)
+		}
+		if sz := s.SummarySize(); sz > peak {
+			peak = sz
+		}
+	}
+	h, reduces := s.Finish()
+	fmt.Printf("stream:  %d edges ingested, peak in-memory %d edges (%.1f%% of stream)\n",
+		s.Ingested(), peak, 100*float64(peak)/float64(g.M()))
+	fmt.Printf("summary: %d edges after %d reduces (%.1f%% of stream)\n",
+		h.M(), reduces, 100*float64(h.M())/float64(g.M()))
+
+	b, err := repro.Bounds(g, h, repro.Options{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("quality: %.3f*G <= H <= %.3f*G (eps=%.3f over %d compounded reduces)\n",
+		b.Lo, b.Hi, b.Epsilon(), reduces)
+}

@@ -1,0 +1,209 @@
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graphio"
+	"repro/internal/spectral"
+	"repro/internal/stretch"
+)
+
+// TestPipelineGenerateSerializeSparsifySolve walks the full library
+// pipeline the CLI tools compose: generate → serialize → parse →
+// sparsify → verify → solve, checking the invariants at each stage.
+func TestPipelineGenerateSerializeSparsifySolve(t *testing.T) {
+	g := gen.Gnp(300, 0.2, 5)
+	var buf bytes.Buffer
+	if err := graphio.Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := graphio.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.M() != g.M() || parsed.N != g.N {
+		t.Fatal("serialize/parse changed the graph")
+	}
+	h, rep := Sparsify(parsed, 0.75, 4, Options{Seed: 7})
+	if rep.OutputEdges != h.M() {
+		t.Fatal("report inconsistent")
+	}
+	b, err := Bounds(parsed, h, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Epsilon() > 0.75 {
+		t.Fatalf("pipeline sparsifier eps %v > 0.75", b.Epsilon())
+	}
+	// Solve the same system on graph and sparsifier; potentials of a
+	// unit source/sink pair must agree to within the eps bound's
+	// implication on resistances.
+	rhs := make([]float64, g.N)
+	rhs[0], rhs[g.N-1] = 1, -1
+	xg, resg, err := SolveLaplacian(parsed, rhs, 1e-9, Options{Seed: 11})
+	if err != nil || !resg.Converged {
+		t.Fatalf("graph solve: %v %+v", err, resg)
+	}
+	xh, resh, err := SolveLaplacian(h, rhs, 1e-9, Options{Seed: 13})
+	if err != nil || !resh.Converged {
+		t.Fatalf("sparsifier solve: %v %+v", err, resh)
+	}
+	rG := xg[0] - xg[g.N-1]
+	rH := xh[0] - xh[g.N-1]
+	if ratio := rH / rG; ratio < 1/(1+0.8) || ratio > 1+0.8 {
+		t.Fatalf("resistance ratio %v outside the sparsifier band", ratio)
+	}
+}
+
+// TestSpannerPropertyRandomized is the randomized spanner property
+// test: for random graphs and seeds, the spanner is a subgraph with
+// stretch ≤ 2⌈log₂n⌉−1 in the resistive metric.
+func TestSpannerPropertyRandomized(t *testing.T) {
+	check := func(seed uint64, nRaw, pRaw uint8) bool {
+		n := 20 + int(nRaw)%120
+		p := 0.05 + float64(pRaw%200)/400 // in [0.05, 0.55)
+		g := gen.Gnp(n, p, seed)
+		if g.M() == 0 {
+			return true
+		}
+		h := Spanner(g, Options{Seed: seed ^ 0xdead})
+		// Rebuild the mask by edge identity (Spanner returns a
+		// materialized subgraph of g's edges in order).
+		if h.M() > g.M() {
+			return false
+		}
+		mask := make([]bool, g.M())
+		j := 0
+		for i, e := range g.Edges {
+			if j < h.M() && h.Edges[j] == e {
+				mask[i] = true
+				j++
+			}
+		}
+		if j != h.M() {
+			return false // not an ordered subset — representation broken
+		}
+		return stretch.VerifySpanner(g, mask, StretchBound(n)) == -1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSparsifierQualityRandomized: for random dense graphs, one sample
+// round at practical constants yields a connected graph whose measured
+// ε is finite and moderate.
+func TestSparsifierQualityRandomized(t *testing.T) {
+	check := func(seed uint64) bool {
+		n := 60 + int(seed%80)
+		g := gen.Gnp(n, 0.4, seed)
+		h, _ := Sample(g, 0.5, Options{Seed: seed ^ 0xbeef})
+		b, err := spectral.DenseApproxFactor(g, h)
+		if err != nil {
+			return false
+		}
+		return b.Epsilon() < 0.9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCLIPipeline builds the actual command binaries and pipes
+// gen → sparsify → solve, asserting each stage's outputs parse and the
+// solver converges. Skipped in -short mode (compilation is the cost).
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline test builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, tool := range []string{"gen", "sparsify", "solve", "spanner"} {
+		out := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+tool)
+		cmd.Dir = "."
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, msg)
+		}
+		bins[tool] = out
+	}
+	graphFile := filepath.Join(dir, "g.txt")
+	runTool := func(bin string, stdout string, args ...string) string {
+		cmd := exec.Command(bin, args...)
+		var errBuf bytes.Buffer
+		cmd.Stderr = &errBuf
+		if stdout != "" {
+			f, err := os.Create(stdout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			cmd.Stdout = f
+		}
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%s %v: %v\nstderr: %s", bin, args, err, errBuf.String())
+		}
+		return errBuf.String()
+	}
+	runTool(bins["gen"], graphFile, "-kind", "gnp", "-n", "300", "-p", "0.15", "-seed", "3")
+	sparseFile := filepath.Join(dir, "h.txt")
+	stderr := runTool(bins["sparsify"], sparseFile, "-in", graphFile, "-eps", "0.75", "-rho", "4", "-measure")
+	if !strings.Contains(stderr, "measured:") {
+		t.Fatalf("sparsify -measure printed no measurement: %q", stderr)
+	}
+	h, err := os.Open(sparseFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	hg, err := graphio.Read(h)
+	if err != nil {
+		t.Fatalf("sparsify output unparsable: %v", err)
+	}
+	if hg.M() == 0 {
+		t.Fatal("sparsify produced empty graph")
+	}
+	solFile := filepath.Join(dir, "x.txt")
+	stderr = runTool(bins["solve"], solFile, "-in", sparseFile, "-tol", "1e-8")
+	if !strings.Contains(stderr, "converged=true") {
+		t.Fatalf("solver did not converge: %q", stderr)
+	}
+	spanFile := filepath.Join(dir, "s.txt")
+	stderr = runTool(bins["spanner"], spanFile, "-in", graphFile, "-verify")
+	if !strings.Contains(stderr, "verified: max stretch") {
+		t.Fatalf("spanner -verify printed no verification: %q", stderr)
+	}
+	sol, err := os.ReadFile(solFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Fields(strings.TrimSpace(string(sol)))
+	if len(lines) != hg.N {
+		t.Fatalf("solution has %d values, want n=%d", len(lines), hg.N)
+	}
+	// Potentials must be finite and mean-free (the solver projects off
+	// the all-ones null space).
+	sum := 0.0
+	for _, l := range lines {
+		var v float64
+		if _, err := fmt.Sscanf(l, "%g", &v); err != nil {
+			t.Fatalf("unparsable solution value %q", l)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite potential %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum) > 1e-5*float64(hg.N) {
+		t.Fatalf("potentials not mean-free: sum=%v", sum)
+	}
+}

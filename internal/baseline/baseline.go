@@ -1,0 +1,124 @@
+// Package baseline implements the comparator sparsification schemes the
+// experiments measure the paper's algorithm against:
+//
+//   - Spielman–Srivastava effective-resistance sampling (STOC'08), the
+//     quality gold standard the paper's introduction positions itself
+//     against: q samples with replacement, edge e drawn with probability
+//     proportional to w_e·R_e and added at weight w_e/(q·p_e).
+//
+//   - Uniform independent edge sampling, the strawman that destroys
+//     spectrally critical edges (e.g. a dumbbell bridge) and motivates
+//     resistance-aware sampling in the first place.
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/resistance"
+	"repro/internal/rng"
+)
+
+// SSOptions controls Spielman–Srivastava sampling.
+type SSOptions struct {
+	// Eps is the target accuracy; the sampler draws
+	// q = ⌈CSamples·n·ln n/Eps²⌉ edges.
+	Eps float64
+	// CSamples is the oversampling constant (default 2; the theory
+	// wants Θ(log n) more, which at laptop scale keeps everything —
+	// the same theory-vs-practical constant split as core.Config).
+	CSamples float64
+	// Exact selects exact effective resistances (one solve per edge);
+	// otherwise the JL sketch is used.
+	Exact bool
+	Seed  uint64
+}
+
+// SpielmanSrivastava returns a sparsifier of g by effective-resistance
+// importance sampling. Repeated draws of the same edge are merged.
+func SpielmanSrivastava(g *graph.Graph, opt SSOptions) *graph.Graph {
+	if opt.Eps <= 0 {
+		opt.Eps = 0.5
+	}
+	if opt.CSamples <= 0 {
+		opt.CSamples = 2
+	}
+	n := g.N
+	m := len(g.Edges)
+	if m == 0 {
+		return g.Clone()
+	}
+	var res []float64
+	if opt.Exact {
+		res = resistance.AllEdgesExact(g)
+	} else {
+		res = resistance.AllEdgesApprox(g, resistance.ApproxOptions{Eps: 0.25, Seed: opt.Seed ^ 0x452821e638d01377})
+	}
+	// Sampling probabilities ∝ leverage w_e·R_e; total leverage is n−1
+	// for connected graphs, so the normalizer also sanity-checks res.
+	lev := make([]float64, m)
+	total := 0.0
+	for i, e := range g.Edges {
+		l := e.W * res[i]
+		if l < 0 {
+			l = 0
+		}
+		// Leverage scores lie in [0, 1]; clamp sketch noise.
+		if l > 1 {
+			l = 1
+		}
+		lev[i] = l
+		total += l
+	}
+	if total <= 0 {
+		return g.Clone()
+	}
+	q := int(math.Ceil(opt.CSamples * float64(n) * math.Log(float64(n)+2) / (opt.Eps * opt.Eps)))
+	// Cumulative distribution for binary-search sampling.
+	cdf := make([]float64, m)
+	acc := 0.0
+	for i, l := range lev {
+		acc += l / total
+		cdf[i] = acc
+	}
+	r := rng.New(opt.Seed)
+	counts := make(map[int]int, q)
+	for s := 0; s < q; s++ {
+		u := r.Float64()
+		idx := sort.SearchFloat64s(cdf, u)
+		if idx >= m {
+			idx = m - 1
+		}
+		counts[idx]++
+	}
+	edges := make([]graph.Edge, 0, len(counts))
+	for idx, c := range counts {
+		e := g.Edges[idx]
+		pe := lev[idx] / total
+		w := e.W * float64(c) / (float64(q) * pe)
+		edges = append(edges, graph.Edge{U: e.U, V: e.V, W: w})
+	}
+	out := graph.FromEdges(n, edges)
+	return out.Canonical()
+}
+
+// Uniform keeps every edge independently with probability p at weight
+// w/p — an unbiased estimator of the Laplacian with no importance
+// weighting, so low-connectivity edges vanish with probability 1−p.
+func Uniform(g *graph.Graph, p float64, seed uint64) *graph.Graph {
+	if p >= 1 {
+		return g.Clone()
+	}
+	if p <= 0 {
+		return graph.New(g.N)
+	}
+	scale := 1 / p
+	var edges []graph.Edge
+	for i, e := range g.Edges {
+		if rng.SplitAt(seed, uint64(i)).Float64() < p {
+			edges = append(edges, graph.Edge{U: e.U, V: e.V, W: e.W * scale})
+		}
+	}
+	return graph.FromEdges(g.N, edges)
+}

@@ -1,0 +1,134 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/spectral"
+)
+
+func TestSpielmanSrivastavaQuality(t *testing.T) {
+	g := gen.Complete(100)
+	h := SpielmanSrivastava(g, SSOptions{Eps: 0.4, Exact: true, Seed: 3})
+	if !graph.IsConnected(h) {
+		t.Fatal("SS sparsifier disconnected")
+	}
+	b, err := spectral.DenseApproxFactor(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Epsilon() > 0.4 {
+		t.Fatalf("SS eps %v > 0.4 (bounds %+v)", b.Epsilon(), b)
+	}
+}
+
+func TestSpielmanSrivastavaReduces(t *testing.T) {
+	g := gen.Complete(200) // m ≈ 19900
+	h := SpielmanSrivastava(g, SSOptions{Eps: 0.5, Exact: true, Seed: 5})
+	if h.M() >= g.M()/2 {
+		t.Fatalf("SS kept %d of %d", h.M(), g.M())
+	}
+}
+
+func TestSpielmanSrivastavaSketchMode(t *testing.T) {
+	g := gen.Gnp(120, 0.3, 7)
+	if !graph.IsConnected(g) {
+		t.Skip("disconnected")
+	}
+	h := SpielmanSrivastava(g, SSOptions{Eps: 0.5, Exact: false, Seed: 7})
+	if !graph.IsConnected(h) {
+		t.Fatal("sketch-mode SS disconnected")
+	}
+	b, err := spectral.DenseApproxFactor(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Epsilon() > 0.6 {
+		t.Fatalf("sketch SS eps %v (bounds %+v)", b.Epsilon(), b)
+	}
+}
+
+func TestSpielmanSrivastavaKeepsBridges(t *testing.T) {
+	// The dumbbell bridge has leverage 1: it must essentially always be
+	// sampled.
+	g := gen.Barbell(25, 1)
+	h := SpielmanSrivastava(g, SSOptions{Eps: 0.5, Exact: true, Seed: 11})
+	if !graph.IsConnected(h) {
+		t.Fatal("SS lost the dumbbell bridge")
+	}
+}
+
+func TestSpielmanSrivastavaEmptyGraph(t *testing.T) {
+	g := graph.New(5)
+	h := SpielmanSrivastava(g, SSOptions{Eps: 0.5, Seed: 1})
+	if h.M() != 0 || h.N != 5 {
+		t.Fatal("empty graph mishandled")
+	}
+}
+
+func TestUniformExpectedWeight(t *testing.T) {
+	g := gen.Complete(60)
+	trials := 40
+	sum := 0.0
+	for s := 0; s < trials; s++ {
+		h := Uniform(g, 0.25, uint64(100+s))
+		sum += h.TotalWeight()
+	}
+	mean := sum / float64(trials)
+	want := g.TotalWeight()
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("uniform sampling biased: mean %v want %v", mean, want)
+	}
+}
+
+func TestUniformDestroysDumbbellOften(t *testing.T) {
+	// The bridge survives with probability p per trial; over many
+	// trials, uniform sampling must disconnect the dumbbell roughly
+	// (1-p) of the time — the paper's motivation for resistance-aware
+	// sampling.
+	g := gen.Barbell(20, 1)
+	p := 0.25
+	disconnected := 0
+	trials := 200
+	for s := 0; s < trials; s++ {
+		h := Uniform(g, p, uint64(s))
+		if !graph.IsConnected(h) {
+			disconnected++
+		}
+	}
+	rate := float64(disconnected) / float64(trials)
+	if rate < 0.5 {
+		t.Fatalf("uniform sampling disconnected the dumbbell only %.2f of the time; expected ≈ %.2f", rate, 1-p)
+	}
+}
+
+func TestUniformExtremes(t *testing.T) {
+	g := gen.Complete(20)
+	if h := Uniform(g, 1, 1); h.M() != g.M() {
+		t.Fatal("p=1 must keep everything")
+	}
+	if h := Uniform(g, 0, 1); h.M() != 0 {
+		t.Fatal("p=0 must drop everything")
+	}
+}
+
+func TestUniformReweights(t *testing.T) {
+	g := gen.Complete(50)
+	h := Uniform(g, 0.5, 3)
+	for _, e := range h.Edges {
+		if math.Abs(e.W-2) > 1e-12 {
+			t.Fatalf("kept edge weight %v want 2", e.W)
+		}
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	g := gen.Complete(50)
+	a := Uniform(g, 0.3, 9)
+	b := Uniform(g, 0.3, 9)
+	if a.M() != b.M() {
+		t.Fatal("nondeterministic")
+	}
+}

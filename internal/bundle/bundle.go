@@ -1,0 +1,85 @@
+// Package bundle builds t-bundle spanners (Definition 1 of the paper):
+// H = H_1 + ... + H_t where H_i is a log n-spanner of G − Σ_{j<i} H_j.
+// The components are edge-disjoint by construction, which is what makes
+// the t parallel certification paths of Lemma 1 possible.
+//
+// The construction iterates the Baswana–Sen spanner t times over a
+// shrinking alive mask (Corollary 2: expected size O(t·n·log n), work
+// O(t·m·log n), depth Õ(t·log n)).
+package bundle
+
+import (
+	"repro/internal/graph"
+	"repro/internal/pram"
+	"repro/internal/spanner"
+)
+
+// Options configures bundle construction.
+type Options struct {
+	// T is the number of spanner layers.
+	T int
+	// K overrides the spanner parameter (0 → ⌈log₂ n⌉).
+	K int
+	// Seed derives the per-layer spanner seeds.
+	Seed uint64
+	// Tracker, when non-nil, accumulates modeled CRCW work/depth.
+	Tracker *pram.Tracker
+}
+
+// Result is the output of a bundle construction.
+type Result struct {
+	// InBundle marks edges belonging to any component (subset of alive).
+	InBundle []bool
+	// LayerSizes[i] is the edge count of component H_{i+1}.
+	LayerSizes []int
+	// Exhausted reports that the alive edge set emptied before t layers
+	// were built; the bundle then equals the whole (remaining) graph and
+	// sampling will be a no-op, which is the correct degenerate case of
+	// Algorithm 1 on sparse inputs.
+	Exhausted bool
+}
+
+// Compute builds a t-bundle spanner of the alive subgraph of g.
+// alive may be nil (all edges). The returned mask has length
+// len(g.Edges) and never selects a dead edge.
+func Compute(g *graph.Graph, adj *graph.Adjacency, alive []bool, opt Options) *Result {
+	m := len(g.Edges)
+	inBundle := make([]bool, m)
+	cur := make([]bool, m)
+	remaining := 0
+	for i := range cur {
+		cur[i] = alive == nil || alive[i]
+		if cur[i] {
+			remaining++
+		}
+	}
+	res := &Result{InBundle: inBundle}
+	for layer := 0; layer < opt.T; layer++ {
+		if remaining == 0 {
+			res.Exhausted = true
+			break
+		}
+		sp := spanner.Compute(g, adj, cur, spanner.Options{
+			K:       opt.K,
+			Seed:    opt.Seed ^ (uint64(layer+1) * 0x517cc1b727220a95),
+			Tracker: opt.Tracker,
+		})
+		size := 0
+		for eid, in := range sp.InSpanner {
+			if in && cur[eid] {
+				inBundle[eid] = true
+				cur[eid] = false
+				size++
+			}
+		}
+		remaining -= size
+		res.LayerSizes = append(res.LayerSizes, size)
+		if size == 0 {
+			// No progress is only possible when every alive edge is a
+			// self-loop; treat as exhaustion to guarantee termination.
+			res.Exhausted = true
+			break
+		}
+	}
+	return res
+}

@@ -1,0 +1,80 @@
+package bundle
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/resistance"
+	"repro/internal/spanner"
+)
+
+// TestLemma1LeverageBound verifies the paper's Lemma 1 empirically:
+// every edge outside a t-bundle spanner has w_e·R_e[G] ≤ (2k−1)/t,
+// where 2k−1 is the spanner stretch (the paper states log n/t with its
+// 2·log n stretch convention; 2k−1 = 2⌈log₂n⌉−1 is our exact bound).
+func TestLemma1LeverageBound(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"gnp", gen.Gnp(120, 0.25, 3)},
+		{"complete", gen.Complete(90)},
+		{"barbell", gen.Barbell(30, 2)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if !graph.IsConnected(tc.g) {
+				t.Skip("disconnected")
+			}
+			res := resistance.AllEdgesExact(tc.g)
+			adj := graph.NewAdjacency(tc.g)
+			k := spanner.DefaultK(tc.g.N)
+			stretchBound := float64(2*k - 1)
+			for _, layers := range []int{1, 2, 4} {
+				b := Compute(tc.g, adj, nil, Options{T: layers, Seed: 7})
+				if b.Exhausted {
+					continue // no non-bundle edges to check
+				}
+				bound := stretchBound / float64(layers)
+				for i, e := range tc.g.Edges {
+					if b.InBundle[i] {
+						continue
+					}
+					if lv := e.W * res[i]; lv > bound+1e-9 {
+						t.Fatalf("t=%d: edge %d leverage %v > bound %v", layers, i, lv, bound)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLeverageBoundTightensWithT checks the 1/t scaling: the max
+// non-bundle leverage must (weakly) decrease as t grows.
+func TestLeverageBoundTightensWithT(t *testing.T) {
+	g := gen.Complete(80)
+	res := resistance.AllEdgesExact(g)
+	adj := graph.NewAdjacency(g)
+	prev := 1e18
+	for _, layers := range []int{1, 3, 6} {
+		b := Compute(g, adj, nil, Options{T: layers, Seed: 9})
+		if b.Exhausted {
+			break
+		}
+		max := resistance.MaxLeverage(g, res, invert(b.InBundle))
+		if max > prev*1.2 {
+			t.Fatalf("max leverage grew sharply with t: %v -> %v", prev, max)
+		}
+		prev = max
+	}
+}
+
+func invert(mask []bool) []bool {
+	out := make([]bool, len(mask))
+	for i, b := range mask {
+		out[i] = !b
+	}
+	return out
+}

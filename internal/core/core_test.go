@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/pram"
+	"repro/internal/spectral"
+)
+
+func TestTheoryBundleThickness(t *testing.T) {
+	cfg := TheoryConfig(1)
+	// n=1024 → log2=10; eps=0.5 → t = 24·100/0.25 = 9600.
+	if got := cfg.BundleThickness(1024, 0.5); got != 9600 {
+		t.Fatalf("theory t=%d want 9600", got)
+	}
+}
+
+func TestDefaultBundleThicknessPositive(t *testing.T) {
+	cfg := DefaultConfig(1)
+	for _, n := range []int{2, 10, 1000, 100000} {
+		for _, eps := range []float64{0.1, 0.5, 1.0} {
+			if tt := cfg.BundleThickness(n, eps); tt < 1 {
+				t.Fatalf("t=%d for n=%d eps=%v", tt, n, eps)
+			}
+		}
+	}
+}
+
+func TestBundleTOverride(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.BundleT = 7
+	if got := cfg.BundleThickness(100000, 0.01); got != 7 {
+		t.Fatalf("override ignored: %d", got)
+	}
+}
+
+func TestParallelSampleIdentityUnderTheoryConstants(t *testing.T) {
+	// With t = 24log²n/ε² on a small dense graph, the bundle swallows
+	// everything and Algorithm 1 is the identity — the correct
+	// degenerate behaviour.
+	g := gen.Complete(60)
+	out, stats := ParallelSample(g, 0.5, TheoryConfig(3))
+	if !stats.Exhausted {
+		t.Fatal("theory bundle should exhaust K60")
+	}
+	if out.M() != g.M() {
+		t.Fatalf("identity round changed edge count: %d -> %d", g.M(), out.M())
+	}
+	b, err := spectral.DenseApproxFactor(g, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Epsilon() > 1e-9 {
+		t.Fatalf("identity round not exact: %+v", b)
+	}
+}
+
+func TestParallelSampleReducesDenseGraph(t *testing.T) {
+	g := gen.Complete(200)
+	out, stats := ParallelSample(g, 0.5, DefaultConfig(5))
+	if out.M() >= g.M() {
+		t.Fatalf("no reduction: %d -> %d", g.M(), out.M())
+	}
+	if stats.BundleEdges+stats.SampledEdges != out.M() {
+		t.Fatalf("stats inconsistent: %+v", stats)
+	}
+	if !graph.IsConnected(out) {
+		t.Fatal("sample output disconnected (bundle contains a spanner, impossible)")
+	}
+}
+
+func TestParallelSampleOutputWeights(t *testing.T) {
+	// Give every edge a unique weight; outputs must be either w (bundle)
+	// or 4w (sampled).
+	g := gen.Complete(80)
+	for i := range g.Edges {
+		g.Edges[i].W = 1 + float64(i)*1e-4
+	}
+	inputW := map[[2]int32]float64{}
+	for _, e := range g.Edges {
+		inputW[[2]int32{e.U, e.V}] = e.W
+	}
+	out, _ := ParallelSample(g, 0.5, DefaultConfig(7))
+	for _, e := range out.Edges {
+		w0 := inputW[[2]int32{e.U, e.V}]
+		if math.Abs(e.W-w0) > 1e-12 && math.Abs(e.W-4*w0) > 1e-12 {
+			t.Fatalf("edge (%d,%d) weight %v is neither w=%v nor 4w", e.U, e.V, e.W, w0)
+		}
+	}
+}
+
+func TestParallelSampleUnbiased(t *testing.T) {
+	// E[L_out] = L_in: averaged over seeds, total weight is preserved.
+	g := gen.Complete(40)
+	trials := 60
+	sum := 0.0
+	for s := 0; s < trials; s++ {
+		out, _ := ParallelSample(g, 0.5, DefaultConfig(uint64(1000+s)))
+		sum += out.TotalWeight()
+	}
+	mean := sum / float64(trials)
+	want := g.TotalWeight()
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("mean output weight %v, want ~%v (unbiasedness broken)", mean, want)
+	}
+}
+
+func TestParallelSampleQualityK150(t *testing.T) {
+	g := gen.Complete(150)
+	eps := 0.5
+	out, _ := ParallelSample(g, eps, DefaultConfig(11))
+	b, err := spectral.DenseApproxFactor(g, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Epsilon(); got > eps {
+		t.Fatalf("measured eps %v exceeds target %v (bounds %+v)", got, eps, b)
+	}
+}
+
+func TestParallelSampleRejectsBadEps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ParallelSample(gen.Path(4), 0, DefaultConfig(1))
+}
+
+func TestParallelSparsifyRoundCount(t *testing.T) {
+	g := gen.Complete(100)
+	_, stats := ParallelSparsify(g, 0.5, 8, DefaultConfig(13))
+	if len(stats.Rounds) != 3 { // ceil(log2 8) = 3
+		t.Fatalf("rounds=%d want 3", len(stats.Rounds))
+	}
+	wantEps := 0.5 / 3
+	if math.Abs(stats.EpsPerRound-wantEps) > 1e-12 {
+		t.Fatalf("eps per round %v want %v", stats.EpsPerRound, wantEps)
+	}
+}
+
+func TestParallelSparsifyRhoOneIsIdentity(t *testing.T) {
+	g := gen.Gnp(80, 0.3, 15)
+	out, stats := ParallelSparsify(g, 0.5, 1, DefaultConfig(1))
+	if out.M() != g.M() || len(stats.Rounds) != 0 {
+		t.Fatal("rho<=1 must be the identity")
+	}
+	// And it must be a copy, not an alias.
+	out.Edges[0].W = 999
+	if g.Edges[0].W == 999 {
+		t.Fatal("identity result aliases input")
+	}
+}
+
+func TestParallelSparsifyReduction(t *testing.T) {
+	g := gen.Complete(220)
+	out, _ := ParallelSparsify(g, 0.9, 8, DefaultConfig(17))
+	if float64(out.M()) > 0.6*float64(g.M()) {
+		t.Fatalf("rho=8 kept %d of %d edges", out.M(), g.M())
+	}
+	if !graph.IsConnected(out) {
+		t.Fatal("sparsifier disconnected")
+	}
+}
+
+func TestParallelSparsifyQualityGrid(t *testing.T) {
+	g := gen.Grid2D(12, 12)
+	eps := 0.5
+	out, _ := ParallelSparsify(g, eps, 4, DefaultConfig(19))
+	b, err := spectral.DenseApproxFactor(g, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Epsilon(); got > eps {
+		t.Fatalf("grid sparsifier eps %v > %v", got, eps)
+	}
+}
+
+func TestParallelSparsifyDeterministic(t *testing.T) {
+	g := gen.Complete(120)
+	a, _ := ParallelSparsify(g, 0.5, 4, DefaultConfig(23))
+	b, _ := ParallelSparsify(g, 0.5, 4, DefaultConfig(23))
+	if a.M() != b.M() {
+		t.Fatalf("sizes differ: %d vs %d", a.M(), b.M())
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestTrackerAccumulatesThroughSparsify(t *testing.T) {
+	g := gen.Complete(100)
+	tr := pram.New()
+	cfg := DefaultConfig(29)
+	cfg.Tracker = tr
+	ParallelSparsify(g, 0.5, 4, cfg)
+	if tr.Work() <= int64(g.M()) {
+		t.Fatalf("work %d implausibly small for m=%d", tr.Work(), g.M())
+	}
+	if tr.Depth() <= 0 || tr.Depth() >= tr.Work() {
+		t.Fatalf("depth %d out of range (work %d)", tr.Depth(), tr.Work())
+	}
+}
+
+func TestSizeBoundMonotonicInRho(t *testing.T) {
+	a := SizeBound(1000, 100000, 0.5, 2)
+	b := SizeBound(1000, 100000, 0.5, 64)
+	// The m/ρ term must shrink with ρ; the polylog term grows, but for
+	// m ≫ n·polylog the bound decreases overall. Just check positivity
+	// and the m/ρ component behaviour via direct comparison at fixed n.
+	if a <= 0 || b <= 0 {
+		t.Fatal("bounds must be positive")
+	}
+}
+
+func TestSampleStatsString(t *testing.T) {
+	_, stats := ParallelSample(gen.Complete(50), 0.5, DefaultConfig(31))
+	if s := stats.String(); len(s) == 0 {
+		t.Fatal("empty stats string")
+	}
+}

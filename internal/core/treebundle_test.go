@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/spectral"
+)
+
+func TestTreeBundleConnectivity(t *testing.T) {
+	g := gen.Complete(120)
+	out, stats := ParallelSampleTreeBundle(g, 0.5, 2, DefaultConfig(3))
+	if !graph.IsConnected(out) {
+		t.Fatal("tree bundle output disconnected (layer 1 is a spanning tree, impossible)")
+	}
+	// Layer 1 is a spanning tree (n−1 edges); layer 2 is a spanning
+	// forest of the remainder, which may isolate vertices the first
+	// tree starred (the low-stretch tree of K_n IS a star), so its size
+	// is at most n−1 and at least n−2.
+	if len(stats.BundleLayers) != 2 || stats.BundleLayers[0] != g.N-1 {
+		t.Fatalf("layer sizes %v; first layer must be a spanning tree of %d edges", stats.BundleLayers, g.N-1)
+	}
+	if l2 := stats.BundleLayers[1]; l2 > g.N-1 || l2 < g.N-2 {
+		t.Fatalf("second forest layer %d outside [n-2, n-1]", l2)
+	}
+}
+
+func TestTreeBundleSmallerThanSpannerBundle(t *testing.T) {
+	g := gen.Complete(150)
+	spCfg := DefaultConfig(5)
+	spCfg.BundleT = 4
+	_, spStats := ParallelSample(g, 0.5, spCfg)
+	_, trStats := ParallelSampleTreeBundle(g, 0.5, 4, DefaultConfig(5))
+	if trStats.BundleEdges >= spStats.BundleEdges {
+		t.Fatalf("tree bundle %d not smaller than spanner bundle %d", trStats.BundleEdges, spStats.BundleEdges)
+	}
+}
+
+func TestTreeBundleQuality(t *testing.T) {
+	g := gen.Complete(150)
+	out, _ := ParallelSampleTreeBundle(g, 0.5, 4, DefaultConfig(7))
+	b, err := spectral.DenseApproxFactor(g, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trees certify less than spanners; allow slack beyond the target
+	// but demand a genuine spectral approximation.
+	if b.Epsilon() > 0.8 {
+		t.Fatalf("tree-bundle eps %v too large (bounds %+v)", b.Epsilon(), b)
+	}
+}
+
+func TestTreeBundleExhaustsSparseGraph(t *testing.T) {
+	g := gen.Path(40)
+	out, stats := ParallelSampleTreeBundle(g, 0.5, 5, DefaultConfig(9))
+	if !stats.Exhausted {
+		t.Fatal("a path is one tree layer; 5 layers must exhaust")
+	}
+	if out.M() != g.M() {
+		t.Fatal("exhausted tree bundle must keep every edge")
+	}
+}
+
+func TestTreeBundleWeightsAreOriginalOrQuadrupled(t *testing.T) {
+	g := gen.Complete(60)
+	for i := range g.Edges {
+		g.Edges[i].W = 1 + float64(i)*1e-5
+	}
+	inputW := map[[2]int32]float64{}
+	for _, e := range g.Edges {
+		inputW[[2]int32{e.U, e.V}] = e.W
+	}
+	out, _ := ParallelSampleTreeBundle(g, 0.5, 2, DefaultConfig(11))
+	for _, e := range out.Edges {
+		w0 := inputW[[2]int32{e.U, e.V}]
+		if e.W != w0 && e.W != 4*w0 {
+			t.Fatalf("weight %v neither w nor 4w (w=%v)", e.W, w0)
+		}
+	}
+}
+
+func TestTreeBundleDeterministic(t *testing.T) {
+	g := gen.Complete(100)
+	a, _ := ParallelSampleTreeBundle(g, 0.5, 3, DefaultConfig(13))
+	b, _ := ParallelSampleTreeBundle(g, 0.5, 3, DefaultConfig(13))
+	if a.M() != b.M() {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestTreeBundleRejectsBadEps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ParallelSampleTreeBundle(gen.Path(4), 2, 1, DefaultConfig(1))
+}

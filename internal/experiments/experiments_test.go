@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRegistryComplete checks every catalogued experiment is runnable
+// and renders a non-empty table.
+func TestRegistryComplete(t *testing.T) {
+	if len(Order) != len(Registry) {
+		t.Fatalf("Order (%d) and Registry (%d) out of sync", len(Order), len(Registry))
+	}
+	for _, id := range Order {
+		if _, ok := Registry[id]; !ok {
+			t.Fatalf("experiment %s in Order but not Registry", id)
+		}
+	}
+}
+
+func renderOf(t *testing.T, tab *Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	s := buf.String()
+	if !strings.Contains(s, tab.ID) || len(tab.Rows) == 0 {
+		t.Fatalf("table %s rendered empty or malformed:\n%s", tab.ID, s)
+	}
+	return s
+}
+
+// cell parses a table cell as float, tolerating inf markers.
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.Fields(s)[0]
+	if strings.HasPrefix(s, "inf") {
+		return math.Inf(1)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestE1LeverageRatiosBelowOne(t *testing.T) {
+	tab := E1BundleLeverage(Quick)
+	renderOf(t, tab)
+	for _, row := range tab.Rows {
+		if row[6] == "-" {
+			continue
+		}
+		if r := cell(t, row[6]); r > 1 {
+			t.Fatalf("Lemma 1 violated in row %v: ratio %v", row, r)
+		}
+	}
+}
+
+func TestE2StretchWithinBound(t *testing.T) {
+	tab := E2Spanner(Quick)
+	renderOf(t, tab)
+	for _, row := range tab.Rows {
+		st := cell(t, row[5])
+		bound := cell(t, row[6])
+		if !math.IsNaN(st) && st > bound {
+			t.Fatalf("stretch %v exceeds bound %v", st, bound)
+		}
+		// The greedy reference must not exceed the BS size (it is the
+		// size-optimal sequential algorithm).
+		bs := cell(t, row[2])
+		greedy := cell(t, row[4])
+		if greedy > bs {
+			t.Fatalf("greedy size %v above Baswana–Sen %v", greedy, bs)
+		}
+	}
+}
+
+func TestE3MessageWidthConstant(t *testing.T) {
+	tab := E3DistributedSpanner(Quick)
+	renderOf(t, tab)
+	for _, row := range tab.Rows {
+		if w := cell(t, row[6]); w != 3 {
+			t.Fatalf("message width %v != 3 words", w)
+		}
+	}
+}
+
+func TestE4PracticalRowsMeetEps(t *testing.T) {
+	tab := E4ParallelSample(Quick)
+	renderOf(t, tab)
+	for _, row := range tab.Rows {
+		eps := cell(t, row[2])
+		meas := cell(t, row[8])
+		if row[1] == "practical" && meas > eps {
+			t.Fatalf("practical row missed target: %v", row)
+		}
+		if row[1] == "theory" && meas > 1e-6 {
+			t.Fatalf("theory row should be (near-)identity at this scale: %v", row)
+		}
+	}
+}
+
+func TestE5EpsWithinTarget(t *testing.T) {
+	tab := E5ParallelSparsify(Quick)
+	renderOf(t, tab)
+	for _, row := range tab.Rows {
+		eps := cell(t, row[5])
+		meas := cell(t, row[6])
+		if meas > eps {
+			t.Fatalf("sparsify eps %v > target %v (row %v)", meas, eps, row)
+		}
+	}
+}
+
+func TestE6OursNeverDisconnects(t *testing.T) {
+	tab := E6Baselines(Quick)
+	renderOf(t, tab)
+	sawUniformFailure := false
+	for _, row := range tab.Rows {
+		if strings.Contains(row[1], "ours") && strings.Contains(row[4], "inf") {
+			t.Fatalf("our sparsifier disconnected %s", row[0])
+		}
+		if strings.Contains(row[1], "uniform") && row[0] == "barbell40" {
+			// The disconnect count is embedded as [disc X/50].
+			if !strings.Contains(row[4], "disc 0/") {
+				sawUniformFailure = true
+			}
+		}
+	}
+	if !sawUniformFailure {
+		t.Fatal("uniform sampling never disconnected the barbell — comparison lost its teeth")
+	}
+}
+
+func TestE7ChainBeatsJacobi(t *testing.T) {
+	tab := E7SolverChain(Quick)
+	renderOf(t, tab)
+	for _, row := range tab.Rows {
+		if row[7] == "-" {
+			continue
+		}
+		chain := cell(t, row[6])
+		jacobi := cell(t, row[7])
+		if chain >= jacobi {
+			t.Fatalf("chain iters %v >= jacobi %v on %s", chain, jacobi, row[0])
+		}
+	}
+}
+
+func TestE8RunsAndReportsSpeedup(t *testing.T) {
+	tab := E8Scaling(Quick)
+	renderOf(t, tab)
+	if s := cell(t, tab.Rows[0][2]); s != 1 {
+		t.Fatalf("P=1 speedup %v != 1", s)
+	}
+}
+
+func TestE9SizesGrowWithT(t *testing.T) {
+	tab := E9BundleAblation(Quick)
+	renderOf(t, tab)
+	prevBundle := -1.0
+	for _, row := range tab.Rows {
+		b := cell(t, row[1])
+		if b < prevBundle {
+			t.Fatalf("bundle size decreased with t: %v", tab.Rows)
+		}
+		prevBundle = b
+	}
+}
+
+func TestE10ExponentNearTwoNotFour(t *testing.T) {
+	tab := E10EpsDependence(Quick)
+	renderOf(t, tab)
+	// The fitted exponent lives in the first note.
+	var slope float64
+	found := false
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "fitted exponent") {
+			fields := strings.Fields(n)
+			for _, f := range fields {
+				if v, err := strconv.ParseFloat(strings.TrimSuffix(f, ""), 64); err == nil {
+					slope = v
+					found = true
+					break
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("fitted exponent note missing")
+	}
+	if math.Abs(slope-2) > math.Abs(slope-4) {
+		t.Fatalf("fitted exponent %v closer to KP's 4 than to the paper's 2", slope)
+	}
+}
+
+func TestFitSlope(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7}
+	if s := fitSlope(xs, ys); math.Abs(s-2) > 1e-12 {
+		t.Fatalf("slope %v want 2", s)
+	}
+	if !math.IsNaN(fitSlope([]float64{1}, []float64{1})) {
+		t.Fatal("degenerate fit should be NaN")
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tab := &Table{ID: "T", Title: "x", Claim: "y", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.Notes = append(tab.Notes, "n")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"T — x", "claim: y", "a", "bb", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

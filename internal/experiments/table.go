@@ -1,0 +1,130 @@
+// Package experiments implements the paper-reproduction experiment
+// suite E1–E10 catalogued in DESIGN.md. The paper is theory-only (no
+// empirical tables), so each experiment validates one quantitative
+// claim — a theorem, corollary, lemma or remark — and prints a table
+// whose shape EXPERIMENTS.md records against the paper's bound.
+//
+// Every experiment is deterministic and sized to run on a laptop; the
+// Quick scale further trims the sweeps for use in tests and benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+// Experiment scales.
+const (
+	Quick Scale = iota // trimmed sweeps for tests/benchmarks
+	Full               // the sizes EXPERIMENTS.md records
+)
+
+// Table is one experiment's printable result.
+type Table struct {
+	ID     string
+	Title  string
+	Claim  string // the paper reference being validated
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render pretty-prints the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "\n%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(w, "claim: %s\n", t.Claim)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	printRow(t.Header)
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(rule)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// fnum formats a float compactly.
+func fnum(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1e6 || v < 1e-3:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// inum formats an integer with no decoration.
+func inum[T int | int64](v T) string { return fmt.Sprintf("%d", v) }
+
+// Registry maps experiment ids to their runners.
+var Registry = map[string]func(Scale) *Table{
+	"E1":  E1BundleLeverage,
+	"E2":  E2Spanner,
+	"E3":  E3DistributedSpanner,
+	"E4":  E4ParallelSample,
+	"E5":  E5ParallelSparsify,
+	"E6":  E6Baselines,
+	"E7":  E7SolverChain,
+	"E8":  E8Scaling,
+	"E9":  E9BundleAblation,
+	"E10": E10EpsDependence,
+	"E11": E11TreeBundle,
+}
+
+// Order is the canonical experiment ordering.
+var Order = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+
+// RunAll executes every experiment at the given scale.
+func RunAll(s Scale) []*Table {
+	out := make([]*Table, 0, len(Order))
+	for _, id := range Order {
+		out = append(out, Registry[id](s))
+	}
+	return out
+}

@@ -1,0 +1,426 @@
+// Package gen provides the synthetic graph generators used by the test
+// suite and the experiment harness: classical families (complete, grids,
+// paths), random models (Erdős–Rényi, random regular, preferential
+// attachment, planted partition), and adversarial shapes for
+// sparsification (barbell/dumbbell graphs whose cut edges uniform
+// sampling destroys), plus the image-affinity grids that motivate
+// Remark 1 of the paper.
+//
+// Every generator is deterministic given its seed.
+package gen
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Complete returns the complete graph K_n with unit weights.
+func Complete(n int) *graph.Graph {
+	g := graph.New(n)
+	g.Edges = make([]graph.Edge, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.Edges = append(g.Edges, graph.Edge{U: int32(i), V: int32(j), W: 1})
+		}
+	}
+	return g
+}
+
+// Path returns the path graph P_n with unit weights.
+func Path(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.Edges = append(g.Edges, graph.Edge{U: int32(i), V: int32(i + 1), W: 1})
+	}
+	return g
+}
+
+// Cycle returns the cycle graph C_n with unit weights.
+func Cycle(n int) *graph.Graph {
+	g := Path(n)
+	if n >= 3 {
+		g.Edges = append(g.Edges, graph.Edge{U: int32(n - 1), V: 0, W: 1})
+	}
+	return g
+}
+
+// Star returns the star graph with center 0 and n-1 leaves.
+func Star(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.Edges = append(g.Edges, graph.Edge{U: 0, V: int32(i), W: 1})
+	}
+	return g
+}
+
+// Grid2D returns the rows×cols 4-neighbor grid with unit weights.
+func Grid2D(rows, cols int) *graph.Graph {
+	g := graph.New(rows * cols)
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.Edges = append(g.Edges, graph.Edge{U: id(r, c), V: id(r, c+1), W: 1})
+			}
+			if r+1 < rows {
+				g.Edges = append(g.Edges, graph.Edge{U: id(r, c), V: id(r+1, c), W: 1})
+			}
+		}
+	}
+	return g
+}
+
+// Grid3D returns the x×y×z 6-neighbor grid with unit weights.
+func Grid3D(x, y, z int) *graph.Graph {
+	g := graph.New(x * y * z)
+	id := func(i, j, k int) int32 { return int32((i*y+j)*z + k) }
+	for i := 0; i < x; i++ {
+		for j := 0; j < y; j++ {
+			for k := 0; k < z; k++ {
+				if i+1 < x {
+					g.Edges = append(g.Edges, graph.Edge{U: id(i, j, k), V: id(i+1, j, k), W: 1})
+				}
+				if j+1 < y {
+					g.Edges = append(g.Edges, graph.Edge{U: id(i, j, k), V: id(i, j+1, k), W: 1})
+				}
+				if k+1 < z {
+					g.Edges = append(g.Edges, graph.Edge{U: id(i, j, k), V: id(i, j, k+1), W: 1})
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Torus2D returns the rows×cols grid with wraparound edges.
+func Torus2D(rows, cols int) *graph.Graph {
+	g := graph.New(rows * cols)
+	id := func(r, c int) int32 { return int32(((r+rows)%rows)*cols + (c+cols)%cols) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if cols > 1 && !(cols == 2 && c == 1) {
+				g.Edges = append(g.Edges, graph.Edge{U: id(r, c), V: id(r, c+1), W: 1})
+			}
+			if rows > 1 && !(rows == 2 && r == 1) {
+				g.Edges = append(g.Edges, graph.Edge{U: id(r, c), V: id(r+1, c), W: 1})
+			}
+		}
+	}
+	return g
+}
+
+// Gnp returns an Erdős–Rényi G(n, p) graph with unit weights.
+func Gnp(n int, p float64, seed uint64) *graph.Graph {
+	g := graph.New(n)
+	if p <= 0 {
+		return g
+	}
+	r := rng.New(seed)
+	if p >= 1 {
+		return Complete(n)
+	}
+	// Geometric skipping: iterate only over the edges that exist,
+	// O(m) expected time instead of O(n^2).
+	logq := math.Log(1 - p)
+	total := int64(n) * int64(n-1) / 2
+	pos := int64(-1)
+	for {
+		u := r.Float64()
+		if u >= 1 {
+			u = math.Nextafter(1, 0)
+		}
+		skip := int64(math.Floor(math.Log(1-u) / logq))
+		pos += skip + 1
+		if pos >= total {
+			break
+		}
+		i, j := unrank(pos, n)
+		g.Edges = append(g.Edges, graph.Edge{U: int32(i), V: int32(j), W: 1})
+	}
+	return g
+}
+
+// unrank maps a linear index in [0, n(n-1)/2) to the pair (i, j), i<j,
+// in row-major order of the strict upper triangle.
+func unrank(pos int64, n int) (int, int) {
+	i := 0
+	rowLen := int64(n - 1)
+	for pos >= rowLen {
+		pos -= rowLen
+		rowLen--
+		i++
+	}
+	return i, i + 1 + int(pos)
+}
+
+// Gnm returns a uniform random graph with exactly m distinct edges.
+func Gnm(n, m int, seed uint64) *graph.Graph {
+	g := graph.New(n)
+	maxM := int64(n) * int64(n-1) / 2
+	if int64(m) > maxM {
+		m = int(maxM)
+	}
+	r := rng.New(seed)
+	seen := make(map[int64]struct{}, m)
+	for len(g.Edges) < m {
+		i := r.Intn(n)
+		j := r.Intn(n)
+		if i == j {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		key := int64(i)*int64(n) + int64(j)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		g.Edges = append(g.Edges, graph.Edge{U: int32(i), V: int32(j), W: 1})
+	}
+	return g
+}
+
+// RandomRegular returns a random d-regular multigraph via the
+// configuration model with parallel edges and self-loops removed
+// (so low-degree deviations are possible but rare). n*d must be even.
+func RandomRegular(n, d int, seed uint64) *graph.Graph {
+	if n*d%2 != 0 {
+		d++
+	}
+	r := rng.New(seed)
+	stubs := make([]int32, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, int32(v))
+		}
+	}
+	for i := len(stubs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		stubs[i], stubs[j] = stubs[j], stubs[i]
+	}
+	g := graph.New(n)
+	type key struct{ u, v int32 }
+	seen := make(map[key]struct{})
+	for i := 0; i+1 < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if _, dup := seen[key{u, v}]; dup {
+			continue
+		}
+		seen[key{u, v}] = struct{}{}
+		g.Edges = append(g.Edges, graph.Edge{U: u, V: v, W: 1})
+	}
+	return g
+}
+
+// Barbell returns two complete graphs K_k joined by a path of
+// bridgeLen edges (bridgeLen >= 1). The bridge edges are exactly the
+// kind of spectrally critical low-connectivity edges that uniform
+// sampling loses and effective-resistance-aware schemes must keep.
+func Barbell(k, bridgeLen int) *graph.Graph {
+	if bridgeLen < 1 {
+		bridgeLen = 1
+	}
+	n := 2*k + bridgeLen - 1
+	g := graph.New(n)
+	// Left clique on [0, k), right clique on [k+bridgeLen-1, n).
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.Edges = append(g.Edges, graph.Edge{U: int32(i), V: int32(j), W: 1})
+		}
+	}
+	right := k + bridgeLen - 1
+	for i := right; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.Edges = append(g.Edges, graph.Edge{U: int32(i), V: int32(j), W: 1})
+		}
+	}
+	// Bridge path from vertex k-1 through intermediates to vertex right.
+	prev := int32(k - 1)
+	for b := 0; b < bridgeLen; b++ {
+		var next int32
+		if b == bridgeLen-1 {
+			next = int32(right)
+		} else {
+			next = int32(k + b)
+		}
+		g.Edges = append(g.Edges, graph.Edge{U: prev, V: next, W: 1})
+		prev = next
+	}
+	return g
+}
+
+// PreferentialAttachment returns a Barabási–Albert style graph: each new
+// vertex attaches to d existing vertices chosen proportionally to their
+// current degree.
+func PreferentialAttachment(n, d int, seed uint64) *graph.Graph {
+	if d < 1 {
+		d = 1
+	}
+	r := rng.New(seed)
+	g := graph.New(n)
+	// Repeated-endpoint list: choosing a uniform element is degree-
+	// proportional sampling.
+	targets := make([]int32, 0, 2*n*d)
+	start := d + 1
+	if start > n {
+		start = n
+	}
+	for i := 0; i < start; i++ {
+		for j := i + 1; j < start; j++ {
+			g.Edges = append(g.Edges, graph.Edge{U: int32(i), V: int32(j), W: 1})
+			targets = append(targets, int32(i), int32(j))
+		}
+	}
+	for v := start; v < n; v++ {
+		chosen := make(map[int32]struct{}, d)
+		for len(chosen) < d && len(chosen) < v {
+			t := targets[r.Intn(len(targets))]
+			chosen[t] = struct{}{}
+		}
+		for t := range chosen {
+			g.Edges = append(g.Edges, graph.Edge{U: int32(v), V: t, W: 1})
+			targets = append(targets, int32(v), t)
+		}
+	}
+	return g.Canonical()
+}
+
+// PlantedPartition returns a graph with k equal communities of size
+// n/k: intra-community edges with probability pin, inter-community with
+// probability pout.
+func PlantedPartition(n, k int, pin, pout float64, seed uint64) *graph.Graph {
+	g := graph.New(n)
+	r := rng.New(seed)
+	comm := func(v int) int { return v * k / n }
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p := pout
+			if comm(i) == comm(j) {
+				p = pin
+			}
+			if r.Bernoulli(p) {
+				g.Edges = append(g.Edges, graph.Edge{U: int32(i), V: int32(j), W: 1})
+			}
+		}
+	}
+	return g
+}
+
+// WithRandomWeights returns a copy of g with weights drawn uniformly
+// from [lo, hi].
+func WithRandomWeights(g *graph.Graph, lo, hi float64, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	out := g.Clone()
+	for i := range out.Edges {
+		out.Edges[i].W = lo + (hi-lo)*r.Float64()
+	}
+	return out
+}
+
+// ImageAffinity returns the affinity graph of a synthetic rows×cols
+// grayscale image (Remark 1's motivating workload): a 4-neighbor grid
+// where the weight of edge (p, q) is exp(-|I(p)-I(q)|²/sigma²). The
+// synthetic image contains smooth gradients plus sharp blobs so the
+// affinity weights span several orders of magnitude.
+func ImageAffinity(rows, cols int, sigma float64, seed uint64) *graph.Graph {
+	img := SyntheticImage(rows, cols, seed)
+	g := graph.New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	aff := func(a, b float64) float64 {
+		d := a - b
+		w := math.Exp(-d * d / (sigma * sigma))
+		if w < 1e-9 {
+			w = 1e-9 // keep weights positive so the Laplacian stays connected
+		}
+		return w
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.Edges = append(g.Edges, graph.Edge{U: int32(id(r, c)), V: int32(id(r, c+1)), W: aff(img[id(r, c)], img[id(r, c+1)])})
+			}
+			if r+1 < rows {
+				g.Edges = append(g.Edges, graph.Edge{U: int32(id(r, c)), V: int32(id(r+1, c)), W: aff(img[id(r, c)], img[id(r+1, c)])})
+			}
+		}
+	}
+	return g
+}
+
+// ImageAffinityRadius is the nonlocal variant of ImageAffinity: every
+// pixel pair within Chebyshev distance radius is connected, with weight
+// exp(-|ΔI|²/σ²)/dist. Nonlocal affinity graphs are the dense inputs
+// for which sparsification actually pays (a 4-neighbor grid is already
+// below the n·log n sparsifier floor).
+func ImageAffinityRadius(rows, cols, radius int, sigma float64, seed uint64) *graph.Graph {
+	img := SyntheticImage(rows, cols, seed)
+	g := graph.New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			for dr := 0; dr <= radius; dr++ {
+				for dc := -radius; dc <= radius; dc++ {
+					if dr == 0 && dc <= 0 {
+						continue // enumerate each unordered pair once
+					}
+					r2, c2 := r+dr, c+dc
+					if r2 < 0 || r2 >= rows || c2 < 0 || c2 >= cols {
+						continue
+					}
+					d := img[id(r, c)] - img[id(r2, c2)]
+					dist := math.Sqrt(float64(dr*dr + dc*dc))
+					w := math.Exp(-d*d/(sigma*sigma)) / dist
+					if w < 1e-9 {
+						w = 1e-9
+					}
+					g.Edges = append(g.Edges, graph.Edge{
+						U: int32(id(r, c)), V: int32(id(r2, c2)), W: w,
+					})
+				}
+			}
+		}
+	}
+	return g
+}
+
+// SyntheticImage returns a rows×cols grayscale image in [0,1]: a smooth
+// diagonal gradient plus a few high-contrast circular blobs.
+func SyntheticImage(rows, cols int, seed uint64) []float64 {
+	r := rng.New(seed)
+	img := make([]float64, rows*cols)
+	type blob struct {
+		cr, cc, rad float64
+		val         float64
+	}
+	blobs := make([]blob, 4)
+	for i := range blobs {
+		blobs[i] = blob{
+			cr:  r.Float64() * float64(rows),
+			cc:  r.Float64() * float64(cols),
+			rad: (0.08 + 0.12*r.Float64()) * float64(rows),
+			val: r.Float64(),
+		}
+	}
+	for row := 0; row < rows; row++ {
+		for col := 0; col < cols; col++ {
+			v := 0.5 * (float64(row)/float64(rows) + float64(col)/float64(cols))
+			for _, b := range blobs {
+				dr, dc := float64(row)-b.cr, float64(col)-b.cc
+				if dr*dr+dc*dc < b.rad*b.rad {
+					v = b.val
+				}
+			}
+			img[row*cols+col] = v
+		}
+	}
+	return img
+}

@@ -1,0 +1,258 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestCompleteSize(t *testing.T) {
+	g := Complete(10)
+	if g.M() != 45 {
+		t.Fatalf("K10 has %d edges", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathCycleStar(t *testing.T) {
+	if g := Path(10); g.M() != 9 || !graph.IsConnected(g) {
+		t.Fatal("path wrong")
+	}
+	if g := Cycle(10); g.M() != 10 || !graph.IsConnected(g) {
+		t.Fatal("cycle wrong")
+	}
+	if g := Star(10); g.M() != 9 || !graph.IsConnected(g) {
+		t.Fatal("star wrong")
+	}
+}
+
+func TestGrid2DStructure(t *testing.T) {
+	g := Grid2D(4, 5)
+	if g.N != 20 {
+		t.Fatalf("N=%d", g.N)
+	}
+	want := 4*4 + 3*5 // horizontal + vertical
+	if g.M() != want {
+		t.Fatalf("M=%d want %d", g.M(), want)
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("grid disconnected")
+	}
+}
+
+func TestGrid3DStructure(t *testing.T) {
+	g := Grid3D(3, 4, 5)
+	if g.N != 60 {
+		t.Fatalf("N=%d", g.N)
+	}
+	want := 2*4*5 + 3*3*5 + 3*4*4
+	if g.M() != want {
+		t.Fatalf("M=%d want %d", g.M(), want)
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("3d grid disconnected")
+	}
+}
+
+func TestTorus2DRegular(t *testing.T) {
+	g := Torus2D(4, 6)
+	deg := g.Degrees()
+	for v, d := range deg {
+		if d != 4 {
+			t.Fatalf("torus vertex %d degree %d", v, d)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGnpEdgeCountNearExpectation(t *testing.T) {
+	n, p := 300, 0.1
+	g := Gnp(n, p, 7)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mean := p * float64(n) * float64(n-1) / 2
+	sd := math.Sqrt(mean * (1 - p))
+	if math.Abs(float64(g.M())-mean) > 6*sd {
+		t.Fatalf("Gnp M=%d expected %v±%v", g.M(), mean, 6*sd)
+	}
+	// No duplicates, since the skip sampler enumerates positions.
+	seen := map[[2]int32]bool{}
+	for _, e := range g.Edges {
+		key := [2]int32{e.U, e.V}
+		if seen[key] {
+			t.Fatalf("duplicate edge %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestGnpExtremes(t *testing.T) {
+	if g := Gnp(50, 0, 1); g.M() != 0 {
+		t.Fatal("Gnp p=0 has edges")
+	}
+	if g := Gnp(20, 1, 1); g.M() != 190 {
+		t.Fatalf("Gnp p=1 M=%d", g.M())
+	}
+}
+
+func TestGnpDeterministic(t *testing.T) {
+	a := Gnp(100, 0.2, 42)
+	b := Gnp(100, 0.2, 42)
+	if a.M() != b.M() {
+		t.Fatal("Gnp not deterministic")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("Gnp edge lists differ")
+		}
+	}
+}
+
+func TestGnmExactCount(t *testing.T) {
+	g := Gnm(50, 200, 3)
+	if g.M() != 200 {
+		t.Fatalf("Gnm M=%d", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]int32]bool{}
+	for _, e := range g.Edges {
+		if e.U == e.V {
+			t.Fatal("self loop in Gnm")
+		}
+		key := [2]int32{e.U, e.V}
+		if seen[key] {
+			t.Fatal("duplicate edge in Gnm")
+		}
+		seen[key] = true
+	}
+}
+
+func TestGnmCapsAtCompleteGraph(t *testing.T) {
+	g := Gnm(5, 100, 3)
+	if g.M() != 10 {
+		t.Fatalf("Gnm should cap at 10, got %d", g.M())
+	}
+}
+
+func TestRandomRegularApproxDegree(t *testing.T) {
+	g := RandomRegular(200, 6, 11)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	deg := g.Degrees()
+	low := 0
+	for _, d := range deg {
+		if d > 6 {
+			t.Fatalf("degree %d exceeds 6", d)
+		}
+		if d < 5 {
+			low++
+		}
+	}
+	if low > 20 {
+		t.Fatalf("%d/200 vertices lost 2+ stubs; configuration model broken?", low)
+	}
+}
+
+func TestBarbellStructure(t *testing.T) {
+	g := Barbell(10, 3)
+	if g.N != 22 {
+		t.Fatalf("N=%d", g.N)
+	}
+	want := 45 + 45 + 3
+	if g.M() != want {
+		t.Fatalf("M=%d want %d", g.M(), want)
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("barbell disconnected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarbellMinimalBridge(t *testing.T) {
+	g := Barbell(5, 1)
+	if g.N != 10 {
+		t.Fatalf("N=%d", g.N)
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("disconnected")
+	}
+}
+
+func TestPreferentialAttachmentConnected(t *testing.T) {
+	g := PreferentialAttachment(300, 3, 5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("PA graph disconnected")
+	}
+	if g.M() < 3*290 {
+		t.Fatalf("PA graph too sparse: %d", g.M())
+	}
+}
+
+func TestPlantedPartitionDensities(t *testing.T) {
+	n, k := 200, 4
+	g := PlantedPartition(n, k, 0.5, 0.02, 9)
+	comm := func(v int32) int { return int(v) * k / n }
+	intra, inter := 0, 0
+	for _, e := range g.Edges {
+		if comm(e.U) == comm(e.V) {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra < inter {
+		t.Fatalf("planted partition not assortative: intra=%d inter=%d", intra, inter)
+	}
+}
+
+func TestWithRandomWeightsRange(t *testing.T) {
+	g := WithRandomWeights(Complete(20), 2, 5, 13)
+	for _, e := range g.Edges {
+		if e.W < 2 || e.W > 5 {
+			t.Fatalf("weight %v outside [2,5]", e.W)
+		}
+	}
+}
+
+func TestImageAffinityValidConnected(t *testing.T) {
+	g := ImageAffinity(16, 16, 0.2, 21)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("affinity grid disconnected")
+	}
+	// Weights must span a nontrivial range (edges across blob borders
+	// are much weaker).
+	lo, _ := g.MinWeight()
+	hi, _ := g.MaxWeight()
+	if hi/lo < 100 {
+		t.Fatalf("affinity dynamic range too small: %v", hi/lo)
+	}
+}
+
+func TestSyntheticImageInRange(t *testing.T) {
+	img := SyntheticImage(20, 30, 4)
+	if len(img) != 600 {
+		t.Fatalf("len=%d", len(img))
+	}
+	for i, v := range img {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %d = %v out of range", i, v)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package graph
+
+// Adjacency is a CSR (compressed sparse row) view of a graph: for each
+// vertex, the incident edges in a contiguous block. Each undirected edge
+// appears twice, once per endpoint. EID maps back into the owning
+// graph's edge list, which is what lets bundle construction and the
+// spanner peel edges with boolean masks instead of copying.
+type Adjacency struct {
+	N       int
+	Offsets []int32 // length N+1
+	Nbr     []int32 // length 2m: the neighbor at each slot
+	EID     []int32 // length 2m: index of the underlying edge
+}
+
+// NewAdjacency builds the CSR view of g in O(n + m).
+func NewAdjacency(g *Graph) *Adjacency {
+	n := g.N
+	counts := make([]int32, n+1)
+	for _, e := range g.Edges {
+		counts[e.U+1]++
+		if e.V != e.U {
+			counts[e.V+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		counts[i+1] += counts[i]
+	}
+	offsets := counts
+	total := offsets[n]
+	nbr := make([]int32, total)
+	eid := make([]int32, total)
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	for i, e := range g.Edges {
+		cu := cursor[e.U]
+		nbr[cu] = e.V
+		eid[cu] = int32(i)
+		cursor[e.U]++
+		if e.V != e.U {
+			cv := cursor[e.V]
+			nbr[cv] = e.U
+			eid[cv] = int32(i)
+			cursor[e.V]++
+		}
+	}
+	return &Adjacency{N: n, Offsets: offsets, Nbr: nbr, EID: eid}
+}
+
+// Degree returns the number of incident edge slots of v.
+func (a *Adjacency) Degree(v int32) int {
+	return int(a.Offsets[v+1] - a.Offsets[v])
+}
+
+// Neighbors calls fn(neighbor, edgeIndex) for every incident slot of v.
+func (a *Adjacency) Neighbors(v int32, fn func(u int32, eid int32)) {
+	for i := a.Offsets[v]; i < a.Offsets[v+1]; i++ {
+		fn(a.Nbr[i], a.EID[i])
+	}
+}
+
+// Range returns the slot range [lo, hi) of vertex v for manual iteration
+// over a.Nbr and a.EID.
+func (a *Adjacency) Range(v int32) (lo, hi int32) {
+	return a.Offsets[v], a.Offsets[v+1]
+}

@@ -1,0 +1,49 @@
+package graph
+
+// Components labels the connected components of g (considering only
+// edges where alive is true, or all edges when alive is nil) and returns
+// the label array plus the component count. Labels are in [0, count) and
+// assigned in order of smallest contained vertex, so the output is
+// deterministic.
+func Components(g *Graph, alive []bool) (label []int32, count int) {
+	adj := NewAdjacency(g)
+	label = make([]int32, g.N)
+	for i := range label {
+		label[i] = -1
+	}
+	var queue []int32
+	for start := 0; start < g.N; start++ {
+		if label[start] != -1 {
+			continue
+		}
+		label[start] = int32(count)
+		queue = append(queue[:0], int32(start))
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			lo, hi := adj.Range(v)
+			for s := lo; s < hi; s++ {
+				if alive != nil && !alive[adj.EID[s]] {
+					continue
+				}
+				u := adj.Nbr[s]
+				if label[u] == -1 {
+					label[u] = int32(count)
+					queue = append(queue, u)
+				}
+			}
+		}
+		count++
+	}
+	return label, count
+}
+
+// IsConnected reports whether g is connected (an empty or single-vertex
+// graph counts as connected).
+func IsConnected(g *Graph) bool {
+	if g.N <= 1 {
+		return true
+	}
+	_, c := Components(g, nil)
+	return c == 1
+}

@@ -1,0 +1,272 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func triangle() *Graph {
+	return FromEdges(3, []Edge{{0, 1, 1}, {1, 2, 2}, {0, 2, 3}})
+}
+
+func TestValidateAcceptsGood(t *testing.T) {
+	if err := triangle().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsOutOfRange(t *testing.T) {
+	g := FromEdges(2, []Edge{{0, 5, 1}})
+	if g.Validate() == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestValidateRejectsBadWeight(t *testing.T) {
+	for _, w := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		g := FromEdges(2, []Edge{{0, 1, w}})
+		if g.Validate() == nil {
+			t.Fatalf("expected weight error for %v", w)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := triangle()
+	h := g.Clone()
+	h.Edges[0].W = 99
+	if g.Edges[0].W == 99 {
+		t.Fatal("Clone shares edge storage")
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	if w := triangle().TotalWeight(); w != 6 {
+		t.Fatalf("TotalWeight=%v", w)
+	}
+}
+
+func TestWeightedDegrees(t *testing.T) {
+	deg := triangle().WeightedDegrees()
+	want := []float64{4, 3, 5}
+	for i := range want {
+		if deg[i] != want[i] {
+			t.Fatalf("deg[%d]=%v want %v", i, deg[i], want[i])
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	g := triangle().Scale(2)
+	if g.Edges[1].W != 4 {
+		t.Fatalf("Scale result %v", g.Edges[1].W)
+	}
+}
+
+func TestAddConcatenatesEdges(t *testing.T) {
+	g := Add(triangle(), triangle())
+	if g.M() != 6 {
+		t.Fatalf("Add M=%d", g.M())
+	}
+	if g.TotalWeight() != 12 {
+		t.Fatalf("Add weight=%v", g.TotalWeight())
+	}
+}
+
+func TestCanonicalMergesParallelEdges(t *testing.T) {
+	g := FromEdges(3, []Edge{{0, 1, 1}, {1, 0, 2}, {2, 2, 5}, {1, 2, 1}})
+	c := g.Canonical()
+	if c.M() != 2 {
+		t.Fatalf("Canonical M=%d want 2 (merged parallel, dropped loop)", c.M())
+	}
+	if c.Edges[0].U != 0 || c.Edges[0].V != 1 || c.Edges[0].W != 3 {
+		t.Fatalf("merged edge wrong: %+v", c.Edges[0])
+	}
+}
+
+func TestCanonicalIdempotent(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(20)
+		m := r.Intn(60)
+		edges := make([]Edge, 0, m)
+		for i := 0; i < m; i++ {
+			edges = append(edges, Edge{
+				U: int32(r.Intn(n)), V: int32(r.Intn(n)),
+				W: 0.1 + r.Float64(),
+			})
+		}
+		g := FromEdges(n, edges)
+		c1 := g.Canonical()
+		c2 := c1.Canonical()
+		if c1.M() != c2.M() {
+			return false
+		}
+		for i := range c1.Edges {
+			if c1.Edges[i] != c2.Edges[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalPreservesTotalWeightModuloLoops(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(15)
+		m := 1 + r.Intn(40)
+		edges := make([]Edge, 0, m)
+		loopW := 0.0
+		totalW := 0.0
+		for i := 0; i < m; i++ {
+			e := Edge{U: int32(r.Intn(n)), V: int32(r.Intn(n)), W: 0.1 + r.Float64()}
+			edges = append(edges, e)
+			totalW += e.W
+			if e.U == e.V {
+				loopW += e.W
+			}
+		}
+		c := FromEdges(n, edges).Canonical()
+		return math.Abs(c.TotalWeight()-(totalW-loopW)) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := triangle()
+	sub := g.Subgraph([]bool{true, false, true})
+	if sub.M() != 2 {
+		t.Fatalf("Subgraph M=%d", sub.M())
+	}
+	if sub.Edges[1].W != 3 {
+		t.Fatalf("kept wrong edge: %+v", sub.Edges[1])
+	}
+}
+
+func TestEdgeIndicesAndCountTrue(t *testing.T) {
+	mask := []bool{true, false, true, true}
+	idx := EdgeIndices(mask)
+	if len(idx) != 3 || idx[0] != 0 || idx[1] != 2 || idx[2] != 3 {
+		t.Fatalf("EdgeIndices=%v", idx)
+	}
+	if CountTrue(mask) != 3 {
+		t.Fatal("CountTrue wrong")
+	}
+}
+
+func TestMinMaxWeight(t *testing.T) {
+	g := triangle()
+	if w, ok := g.MinWeight(); !ok || w != 1 {
+		t.Fatalf("MinWeight=%v ok=%v", w, ok)
+	}
+	if w, ok := g.MaxWeight(); !ok || w != 3 {
+		t.Fatalf("MaxWeight=%v ok=%v", w, ok)
+	}
+	empty := New(3)
+	if _, ok := empty.MinWeight(); ok {
+		t.Fatal("MinWeight on empty should report !ok")
+	}
+}
+
+func TestAdjacencyDegreesAndEIDs(t *testing.T) {
+	g := triangle()
+	adj := NewAdjacency(g)
+	if adj.Degree(0) != 2 || adj.Degree(1) != 2 || adj.Degree(2) != 2 {
+		t.Fatal("triangle degrees wrong")
+	}
+	// Every edge id must appear exactly twice across all slots.
+	counts := make([]int, g.M())
+	for _, eid := range adj.EID {
+		counts[eid]++
+	}
+	for i, c := range counts {
+		if c != 2 {
+			t.Fatalf("edge %d appears %d times", i, c)
+		}
+	}
+}
+
+func TestAdjacencySelfLoopSingleSlot(t *testing.T) {
+	g := FromEdges(2, []Edge{{0, 0, 1}, {0, 1, 1}})
+	adj := NewAdjacency(g)
+	if adj.Degree(0) != 2 {
+		t.Fatalf("vertex 0 degree %d want 2 (one loop slot + one edge)", adj.Degree(0))
+	}
+}
+
+func TestAdjacencyNeighborsCallback(t *testing.T) {
+	g := triangle()
+	adj := NewAdjacency(g)
+	seen := map[int32]bool{}
+	adj.Neighbors(1, func(u int32, eid int32) {
+		seen[u] = true
+		e := g.Edges[eid]
+		if e.U != 1 && e.V != 1 {
+			t.Fatalf("edge %d not incident to 1", eid)
+		}
+	})
+	if !seen[0] || !seen[2] {
+		t.Fatalf("neighbors of 1: %v", seen)
+	}
+}
+
+func TestComponentsSplit(t *testing.T) {
+	g := FromEdges(5, []Edge{{0, 1, 1}, {2, 3, 1}})
+	label, count := Components(g, nil)
+	if count != 3 {
+		t.Fatalf("count=%d want 3", count)
+	}
+	if label[0] != label[1] || label[2] != label[3] || label[0] == label[2] || label[4] == label[0] {
+		t.Fatalf("labels=%v", label)
+	}
+}
+
+func TestComponentsRespectsAliveMask(t *testing.T) {
+	g := FromEdges(3, []Edge{{0, 1, 1}, {1, 2, 1}})
+	_, count := Components(g, []bool{true, false})
+	if count != 2 {
+		t.Fatalf("count=%d want 2 with edge 1 dead", count)
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	if !IsConnected(triangle()) {
+		t.Fatal("triangle should be connected")
+	}
+	if IsConnected(FromEdges(3, []Edge{{0, 1, 1}})) {
+		t.Fatal("3 vertices, 1 edge should be disconnected")
+	}
+	if !IsConnected(New(1)) || !IsConnected(New(0)) {
+		t.Fatal("trivial graphs count as connected")
+	}
+}
+
+func TestDegreesUnweighted(t *testing.T) {
+	g := FromEdges(3, []Edge{{0, 1, 5}, {0, 2, 5}, {0, 0, 5}})
+	deg := g.Degrees()
+	if deg[0] != 3 || deg[1] != 1 || deg[2] != 1 {
+		t.Fatalf("Degrees=%v", deg)
+	}
+}
+
+func TestEdgeResistance(t *testing.T) {
+	e := Edge{0, 1, 4}
+	if e.Resistance() != 0.25 {
+		t.Fatalf("Resistance=%v", e.Resistance())
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	if s := triangle().String(); s != "graph{n=3 m=3}" {
+		t.Fatalf("String=%q", s)
+	}
+}

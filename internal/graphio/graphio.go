@@ -1,0 +1,165 @@
+// Package graphio reads and writes the weighted edge-list format used
+// by the command-line tools:
+//
+//	# comment
+//	n <vertexCount>
+//	<u> <v> <weight>
+//	...
+//
+// Vertices are 0-based. The weight column is optional and defaults to 1.
+// A compact binary format (gob-free, fixed little-endian framing) is
+// also provided for large graphs.
+package graphio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Read parses the text edge-list format.
+func Read(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	n := -1
+	var edges []graph.Edge
+	line := 0
+	maxV := int32(-1)
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "n" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graphio: line %d: malformed vertex count", line)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("graphio: line %d: bad vertex count %q", line, fields[1])
+			}
+			n = v
+			continue
+		}
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("graphio: line %d: expected 'u v [w]', got %q", line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: bad endpoint %q", line, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: bad endpoint %q", line, fields[1])
+		}
+		w := 1.0
+		if len(fields) == 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil || !(w > 0) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("graphio: line %d: bad weight %q", line, fields[2])
+			}
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graphio: line %d: negative vertex id", line)
+		}
+		e := graph.Edge{U: int32(u), V: int32(v), W: w}
+		if e.U > maxV {
+			maxV = e.U
+		}
+		if e.V > maxV {
+			maxV = e.V
+		}
+		edges = append(edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		n = int(maxV) + 1
+	}
+	g := graph.FromEdges(n, edges)
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Write emits the text edge-list format.
+func Write(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.N); err != nil {
+		return err
+	}
+	for _, e := range g.Edges {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", e.U, e.V, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+const binaryMagic = uint64(0x5350415253453031) // "SPARSE01"
+
+// WriteBinary emits the compact binary framing.
+func WriteBinary(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	head := make([]byte, 24)
+	binary.LittleEndian.PutUint64(head[0:], binaryMagic)
+	binary.LittleEndian.PutUint64(head[8:], uint64(g.N))
+	binary.LittleEndian.PutUint64(head[16:], uint64(len(g.Edges)))
+	if _, err := bw.Write(head); err != nil {
+		return err
+	}
+	rec := make([]byte, 16)
+	for _, e := range g.Edges {
+		binary.LittleEndian.PutUint32(rec[0:], uint32(e.U))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(e.V))
+		binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(e.W))
+		if _, err := bw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the compact binary framing.
+func ReadBinary(r io.Reader) (*graph.Graph, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 24)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(head[0:]) != binaryMagic {
+		return nil, fmt.Errorf("graphio: bad magic")
+	}
+	n := int(binary.LittleEndian.Uint64(head[8:]))
+	m := int(binary.LittleEndian.Uint64(head[16:]))
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graphio: negative sizes in header")
+	}
+	edges := make([]graph.Edge, m)
+	rec := make([]byte, 16)
+	for i := 0; i < m; i++ {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, err
+		}
+		edges[i] = graph.Edge{
+			U: int32(binary.LittleEndian.Uint32(rec[0:])),
+			V: int32(binary.LittleEndian.Uint32(rec[4:])),
+			W: math.Float64frombits(binary.LittleEndian.Uint64(rec[8:])),
+		}
+	}
+	g := graph.FromEdges(n, edges)
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

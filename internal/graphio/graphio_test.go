@@ -1,0 +1,127 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	g := gen.WithRandomWeights(gen.Gnp(50, 0.2, 3), 0.5, 2, 5)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != g.N || got.M() != g.M() {
+		t.Fatalf("round trip changed shape: %v vs %v", got, g)
+	}
+	for i := range g.Edges {
+		if g.Edges[i] != got.Edges[i] {
+			t.Fatalf("edge %d: %+v vs %+v", i, g.Edges[i], got.Edges[i])
+		}
+	}
+}
+
+func TestReadDefaultsWeightAndInfersN(t *testing.T) {
+	in := "# comment\n0 1\n1 2 2.5\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 {
+		t.Fatalf("inferred n=%d", g.N)
+	}
+	if g.Edges[0].W != 1 || g.Edges[1].W != 2.5 {
+		t.Fatalf("weights %v %v", g.Edges[0].W, g.Edges[1].W)
+	}
+}
+
+func TestReadHonorsExplicitN(t *testing.T) {
+	g, err := Read(strings.NewReader("n 10\n0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 10 {
+		t.Fatalf("n=%d", g.N)
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"0\n",          // too few fields
+		"0 1 2 3\n",    // too many fields
+		"a 1\n",        // bad endpoint
+		"0 1 -2\n",     // bad weight
+		"0 1 zzz\n",    // unparsable weight
+		"-1 0\n",       // negative id
+		"n x\n",        // bad vertex count
+		"n 1\n0 1 1\n", // edge out of declared range
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(40)
+		m := r.Intn(100)
+		edges := make([]graph.Edge, 0, m)
+		for i := 0; i < m; i++ {
+			edges = append(edges, graph.Edge{
+				U: int32(r.Intn(n)), V: int32(r.Intn(n)), W: 0.1 + r.Float64(),
+			})
+		}
+		g := graph.FromEdges(n, edges)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if got.N != g.N || got.M() != g.M() {
+			return false
+		}
+		for i := range g.Edges {
+			if g.Edges[i] != got.Edges[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRejectsBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader(make([]byte, 24))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestBinaryRejectsTruncated(t *testing.T) {
+	g := gen.Path(5)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-8]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

@@ -1,0 +1,187 @@
+// Package linalg provides the iterative Krylov machinery used
+// throughout the repository: (preconditioned) conjugate gradients for
+// SDD/Laplacian systems and power iteration on matrix pencils, which is
+// how approximation factors between a graph and its sparsifier are
+// measured.
+package linalg
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/matrix"
+	"repro/internal/vec"
+)
+
+// Operator is a symmetric linear operator on R^n.
+type Operator interface {
+	Dim() int
+	// Apply computes dst = A·x. dst and x never alias.
+	Apply(dst, x []float64)
+}
+
+// CSROp adapts a matrix.CSR to the Operator interface.
+type CSROp struct{ M *matrix.CSR }
+
+// Dim returns the operator dimension.
+func (o CSROp) Dim() int { return o.M.N }
+
+// Apply computes dst = M·x.
+func (o CSROp) Apply(dst, x []float64) { o.M.MulVec(dst, x) }
+
+// FuncOp wraps a closure as an Operator.
+type FuncOp struct {
+	N  int
+	Fn func(dst, x []float64)
+}
+
+// Dim returns the operator dimension.
+func (o FuncOp) Dim() int { return o.N }
+
+// Apply invokes the wrapped closure.
+func (o FuncOp) Apply(dst, x []float64) { o.Fn(dst, x) }
+
+// Preconditioner applies an approximation of A⁻¹.
+type Preconditioner interface {
+	// Precondition computes dst ≈ A⁻¹ r.
+	Precondition(dst, r []float64)
+}
+
+// IdentityPrec is the trivial preconditioner.
+type IdentityPrec struct{}
+
+// Precondition copies r into dst.
+func (IdentityPrec) Precondition(dst, r []float64) { copy(dst, r) }
+
+// JacobiPrec preconditions with the inverse diagonal. Zero diagonal
+// entries (isolated vertices) pass through unchanged.
+type JacobiPrec struct{ InvDiag []float64 }
+
+// NewJacobi builds a Jacobi preconditioner from a diagonal.
+func NewJacobi(diag []float64) *JacobiPrec {
+	inv := make([]float64, len(diag))
+	for i, d := range diag {
+		if d > 0 {
+			inv[i] = 1 / d
+		} else {
+			inv[i] = 1
+		}
+	}
+	return &JacobiPrec{InvDiag: inv}
+}
+
+// Precondition computes dst = D⁻¹ r.
+func (p *JacobiPrec) Precondition(dst, r []float64) {
+	for i, v := range r {
+		dst[i] = v * p.InvDiag[i]
+	}
+}
+
+// FuncPrec wraps a closure as a Preconditioner.
+type FuncPrec struct {
+	Fn func(dst, r []float64)
+}
+
+// Precondition invokes the wrapped closure.
+func (p FuncPrec) Precondition(dst, r []float64) { p.Fn(dst, r) }
+
+// CGOptions controls the conjugate gradient iteration.
+type CGOptions struct {
+	Tol         float64 // relative residual target ‖r‖/‖b‖; default 1e-10
+	MaxIter     int     // default 10·n + 100
+	ProjectOnes bool    // project b and iterates ⊥ 1 (Laplacian null space)
+	Prec        Preconditioner
+}
+
+// CGResult reports how the iteration ended.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final relative residual
+	Converged  bool
+}
+
+// ErrBreakdown is returned when CG encounters a numerically indefinite
+// direction, which signals the operator is not PSD (or accuracy is
+// exhausted).
+var ErrBreakdown = errors.New("linalg: conjugate gradient breakdown")
+
+// CG solves A x = b by (preconditioned) conjugate gradients, writing the
+// solution into x (whose initial content is the starting guess).
+func CG(a Operator, b []float64, x []float64, opts CGOptions) (CGResult, error) {
+	n := a.Dim()
+	if len(b) != n || len(x) != n {
+		panic("linalg: CG dimension mismatch")
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-10
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 10*n + 100
+	}
+	prec := opts.Prec
+	if prec == nil {
+		prec = IdentityPrec{}
+	}
+	bwork := make([]float64, n)
+	copy(bwork, b)
+	if opts.ProjectOnes {
+		vec.ProjectOutOnes(bwork)
+		vec.ProjectOutOnes(x)
+	}
+	normB := vec.Norm2(bwork)
+	if normB == 0 {
+		vec.Zero(x)
+		return CGResult{Converged: true}, nil
+	}
+	r := make([]float64, n)
+	ax := make([]float64, n)
+	a.Apply(ax, x)
+	vec.Sub(r, bwork, ax)
+	if opts.ProjectOnes {
+		vec.ProjectOutOnes(r)
+	}
+	z := make([]float64, n)
+	prec.Precondition(z, r)
+	if opts.ProjectOnes {
+		vec.ProjectOutOnes(z)
+	}
+	p := make([]float64, n)
+	copy(p, z)
+	rz := vec.Dot(r, z)
+	ap := make([]float64, n)
+	res := CGResult{}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		rel := vec.Norm2(r) / normB
+		res.Residual = rel
+		res.Iterations = iter
+		if rel <= opts.Tol {
+			res.Converged = true
+			return res, nil
+		}
+		a.Apply(ap, p)
+		if opts.ProjectOnes {
+			vec.ProjectOutOnes(ap)
+		}
+		pap := vec.Dot(p, ap)
+		if pap <= 0 || math.IsNaN(pap) {
+			return res, ErrBreakdown
+		}
+		alpha := rz / pap
+		vec.Axpy(alpha, p, x)
+		vec.Axpy(-alpha, ap, r)
+		prec.Precondition(z, r)
+		if opts.ProjectOnes {
+			vec.ProjectOutOnes(z)
+		}
+		rzNew := vec.Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	res.Residual = vec.Norm2(r) / normB
+	res.Converged = res.Residual <= opts.Tol
+	res.Iterations = opts.MaxIter
+	return res, nil
+}

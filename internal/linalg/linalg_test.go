@@ -1,0 +1,171 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/matrix"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+func TestCGSolvesSPD(t *testing.T) {
+	// 2x2 SPD system with known solution.
+	a := FuncOp{N: 2, Fn: func(dst, x []float64) {
+		dst[0] = 4*x[0] + x[1]
+		dst[1] = x[0] + 3*x[1]
+	}}
+	b := []float64{1, 2}
+	x := make([]float64, 2)
+	res, err := CG(a, b, x, CGOptions{Tol: 1e-12})
+	if err != nil || !res.Converged {
+		t.Fatalf("CG failed: %v %+v", err, res)
+	}
+	// Verify A·x = b.
+	ax := make([]float64, 2)
+	a.Apply(ax, x)
+	for i := range b {
+		if math.Abs(ax[i]-b[i]) > 1e-9 {
+			t.Fatalf("residual too large: %v vs %v", ax, b)
+		}
+	}
+}
+
+func TestCGLaplacianWithProjection(t *testing.T) {
+	g := gen.Grid2D(8, 8)
+	l := matrix.Laplacian(g)
+	n := g.N
+	r := rng.New(3)
+	// Manufactured solution ⊥ 1.
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = r.Norm()
+	}
+	vec.ProjectOutOnes(want)
+	b := make([]float64, n)
+	l.MulVec(b, want)
+	x := make([]float64, n)
+	res, err := CG(CSROp{M: l}, b, x, CGOptions{Tol: 1e-12, ProjectOnes: true, Prec: NewJacobi(l.Diag)})
+	if err != nil || !res.Converged {
+		t.Fatalf("CG on Laplacian failed: %v %+v", err, res)
+	}
+	vec.ProjectOutOnes(x)
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-7 {
+			t.Fatalf("x[%d]=%v want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	g := gen.Path(10)
+	l := matrix.Laplacian(g)
+	x := make([]float64, g.N)
+	x[0] = 5 // non-zero initial guess must be wiped
+	res, err := CG(CSROp{M: l}, make([]float64, g.N), x, CGOptions{ProjectOnes: true})
+	if err != nil || !res.Converged {
+		t.Fatalf("zero rhs: %v %+v", err, res)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("zero rhs must give zero solution")
+		}
+	}
+}
+
+func TestCGJacobiHelpsOnWeightedGraph(t *testing.T) {
+	g := gen.WithRandomWeights(gen.Grid2D(12, 12), 0.001, 1000, 7)
+	l := matrix.Laplacian(g)
+	b := make([]float64, g.N)
+	r := rng.New(5)
+	for i := range b {
+		b[i] = r.Norm()
+	}
+	vec.ProjectOutOnes(b)
+	solve := func(prec Preconditioner) int {
+		x := make([]float64, g.N)
+		res, _ := CG(CSROp{M: l}, b, x, CGOptions{Tol: 1e-8, ProjectOnes: true, Prec: prec, MaxIter: 100000})
+		if !res.Converged {
+			t.Fatalf("CG did not converge")
+		}
+		return res.Iterations
+	}
+	plain := solve(nil)
+	jacobi := solve(NewJacobi(l.Diag))
+	if jacobi > plain {
+		t.Fatalf("Jacobi (%d iters) slower than identity (%d) on badly scaled graph", jacobi, plain)
+	}
+}
+
+func TestCGBreakdownOnIndefinite(t *testing.T) {
+	a := FuncOp{N: 2, Fn: func(dst, x []float64) {
+		dst[0] = -x[0]
+		dst[1] = -x[1]
+	}}
+	x := make([]float64, 2)
+	_, err := CG(a, []float64{1, 1}, x, CGOptions{})
+	if err == nil {
+		t.Fatal("expected breakdown on negative definite operator")
+	}
+}
+
+func TestJacobiPrecZeroDiagonalPassThrough(t *testing.T) {
+	p := NewJacobi([]float64{2, 0})
+	dst := make([]float64, 2)
+	p.Precondition(dst, []float64{4, 3})
+	if dst[0] != 2 || dst[1] != 3 {
+		t.Fatalf("Jacobi: %v", dst)
+	}
+}
+
+func TestPencilMaxEigIdenticalGraphs(t *testing.T) {
+	g := gen.Gnp(60, 0.2, 11)
+	l := matrix.Laplacian(g)
+	prec := NewJacobi(l.Diag)
+	solve := func(dst, rhs []float64) {
+		vec.Zero(dst)
+		_, _ = CG(CSROp{M: l}, rhs, dst, CGOptions{Tol: 1e-10, ProjectOnes: true, Prec: prec})
+	}
+	lambda := PencilMaxEig(CSROp{M: l}, CSROp{M: l}, solve, PencilOptions{Seed: 5})
+	if math.Abs(lambda-1) > 1e-6 {
+		t.Fatalf("λmax(L,L)=%v want 1", lambda)
+	}
+}
+
+func TestPencilMaxEigScaledGraph(t *testing.T) {
+	g := gen.Grid2D(6, 6)
+	h := g.Scale(2.5)
+	lg := matrix.Laplacian(g)
+	lh := matrix.Laplacian(h)
+	prec := NewJacobi(lg.Diag)
+	solve := func(dst, rhs []float64) {
+		vec.Zero(dst)
+		_, _ = CG(CSROp{M: lg}, rhs, dst, CGOptions{Tol: 1e-10, ProjectOnes: true, Prec: prec})
+	}
+	lambda := PencilMaxEig(CSROp{M: lg}, CSROp{M: lh}, solve, PencilOptions{Seed: 6, Tol: 1e-8, MaxIter: 500})
+	if math.Abs(lambda-2.5) > 1e-4 {
+		t.Fatalf("λmax=%v want 2.5", lambda)
+	}
+}
+
+func TestFuncPrec(t *testing.T) {
+	p := FuncPrec{Fn: func(dst, r []float64) {
+		for i := range r {
+			dst[i] = 2 * r[i]
+		}
+	}}
+	dst := make([]float64, 1)
+	p.Precondition(dst, []float64{3})
+	if dst[0] != 6 {
+		t.Fatal("FuncPrec broken")
+	}
+}
+
+func TestCSROpDim(t *testing.T) {
+	g := gen.Path(7)
+	op := CSROp{M: matrix.Laplacian(g)}
+	if op.Dim() != 7 {
+		t.Fatalf("Dim=%d", op.Dim())
+	}
+}

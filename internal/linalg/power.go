@@ -1,0 +1,75 @@
+package linalg
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+// PencilOptions controls the pencil power iteration.
+type PencilOptions struct {
+	MaxIter int     // default 200
+	Tol     float64 // relative change in the Rayleigh quotient; default 1e-4
+	Seed    uint64
+	// SolveTol is the inner linear-solve tolerance; default 1e-8.
+	SolveTol float64
+}
+
+// PencilMaxEig estimates the largest generalized eigenvalue λ of the
+// pencil (B, A): max over x ⊥ 1 of (xᵀBx)/(xᵀAx), where A and B are
+// Laplacians of connected graphs on the same vertex set, via power
+// iteration on A⁺B. solveA must apply an approximate A⁺ (projected off
+// the ones vector).
+//
+// The returned value is a lower bound estimate converging to λ_max; the
+// iteration stops when the Rayleigh quotient stabilizes.
+func PencilMaxEig(a, b Operator, solveA func(dst, rhs []float64), opts PencilOptions) float64 {
+	n := a.Dim()
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 200
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-4
+	}
+	r := rng.New(opts.Seed ^ 0xabcdef12345)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.Norm()
+	}
+	vec.ProjectOutOnes(x)
+	bx := make([]float64, n)
+	ax := make([]float64, n)
+	next := make([]float64, n)
+	prevLambda := 0.0
+	lambda := 0.0
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		b.Apply(bx, x)
+		a.Apply(ax, x)
+		xbx := vec.Dot(x, bx)
+		xax := vec.Dot(x, ax)
+		if xax <= 0 {
+			// x fell into the null space; re-randomize.
+			for i := range x {
+				x[i] = r.Norm()
+			}
+			vec.ProjectOutOnes(x)
+			continue
+		}
+		lambda = xbx / xax
+		if iter > 3 && math.Abs(lambda-prevLambda) <= opts.Tol*math.Abs(lambda) {
+			break
+		}
+		prevLambda = lambda
+		// x ← A⁺ B x, renormalized.
+		solveA(next, bx)
+		vec.ProjectOutOnes(next)
+		nrm := vec.Norm2(next)
+		if nrm == 0 {
+			break
+		}
+		vec.Scale(1/nrm, next)
+		copy(x, next)
+	}
+	return lambda
+}

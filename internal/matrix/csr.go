@@ -1,0 +1,161 @@
+// Package matrix provides the sparse and dense symmetric matrix
+// machinery under the solvers: CSR Laplacians with parallel matvec,
+// small dense matrices, a dense symmetric Jacobi eigensolver (used to
+// verify the iterative spectral estimates exactly at small n), and a
+// dense Cholesky factorization for base-case solves.
+package matrix
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/parutil"
+)
+
+// CSR is a general sparse matrix in compressed sparse row form. The
+// matrices in this repository are symmetric; both triangles are stored
+// so that matvec is a single row sweep.
+type CSR struct {
+	N      int
+	RowPtr []int32
+	ColIdx []int32
+	Values []float64
+	Diag   []float64 // cached diagonal, for Jacobi preconditioning
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Values) }
+
+// Laplacian builds the CSR Laplacian L = D − A of g. Parallel edges are
+// merged implicitly by accumulation; self-loops are ignored (their
+// Laplacian contribution is zero).
+func Laplacian(g *graph.Graph) *CSR {
+	n := g.N
+	// Count strictly off-diagonal entries per row; each simple edge
+	// contributes one entry to each endpoint's row, plus one diagonal
+	// entry per row.
+	deg := make([]int32, n)
+	for _, e := range g.Edges {
+		if e.U == e.V {
+			continue
+		}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	rowPtr := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] = rowPtr[i] + deg[i] + 1 // +1 for the diagonal slot
+	}
+	nnz := rowPtr[n]
+	colIdx := make([]int32, nnz)
+	values := make([]float64, nnz)
+	cursor := make([]int32, n)
+	// Reserve slot 0 of each row for the diagonal.
+	for i := 0; i < n; i++ {
+		colIdx[rowPtr[i]] = int32(i)
+		cursor[i] = rowPtr[i] + 1
+	}
+	diag := make([]float64, n)
+	for _, e := range g.Edges {
+		if e.U == e.V {
+			continue
+		}
+		diag[e.U] += e.W
+		diag[e.V] += e.W
+		cu := cursor[e.U]
+		colIdx[cu] = e.V
+		values[cu] = -e.W
+		cursor[e.U]++
+		cv := cursor[e.V]
+		colIdx[cv] = e.U
+		values[cv] = -e.W
+		cursor[e.V]++
+	}
+	for i := 0; i < n; i++ {
+		values[rowPtr[i]] = diag[i]
+	}
+	m := &CSR{N: n, RowPtr: rowPtr, ColIdx: colIdx, Values: values, Diag: diag}
+	return m.compactDuplicates()
+}
+
+// compactDuplicates merges duplicate column entries within each row
+// (produced by parallel edges) in place. Rows are short, so a simple
+// per-row quadratic merge is fine and avoids sorting.
+func (m *CSR) compactDuplicates() *CSR {
+	newRowPtr := make([]int32, m.N+1)
+	newCol := make([]int32, 0, len(m.ColIdx))
+	newVal := make([]float64, 0, len(m.Values))
+	for i := 0; i < m.N; i++ {
+		start := len(newCol)
+		for s := m.RowPtr[i]; s < m.RowPtr[i+1]; s++ {
+			c := m.ColIdx[s]
+			v := m.Values[s]
+			found := false
+			for k := start; k < len(newCol); k++ {
+				if newCol[k] == c {
+					newVal[k] += v
+					found = true
+					break
+				}
+			}
+			if !found {
+				newCol = append(newCol, c)
+				newVal = append(newVal, v)
+			}
+		}
+		newRowPtr[i+1] = int32(len(newCol))
+	}
+	m.RowPtr = newRowPtr
+	m.ColIdx = newCol
+	m.Values = newVal
+	return m
+}
+
+// MulVec computes dst = M·x, in parallel over rows.
+func (m *CSR) MulVec(dst, x []float64) {
+	if len(dst) != m.N || len(x) != m.N {
+		panic(fmt.Sprintf("matrix: MulVec dimension mismatch n=%d len(dst)=%d len(x)=%d", m.N, len(dst), len(x)))
+	}
+	parutil.ForBlocks(m.N, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				s += m.Values[k] * x[m.ColIdx[k]]
+			}
+			dst[i] = s
+		}
+	})
+}
+
+// QuadForm returns xᵀ M x.
+func (m *CSR) QuadForm(x []float64) float64 {
+	tmp := make([]float64, m.N)
+	m.MulVec(tmp, x)
+	s := 0.0
+	for i, v := range tmp {
+		s += v * x[i]
+	}
+	return s
+}
+
+// LaplacianQuadForm computes xᵀ L_G x directly from the edge list:
+// Σ_e w_e (x_u − x_v)², which is cheaper and more numerically stable
+// than assembling L when only the quadratic form is needed.
+func LaplacianQuadForm(g *graph.Graph, x []float64) float64 {
+	return parutil.SumFloat(len(g.Edges), func(i int) float64 {
+		e := g.Edges[i]
+		d := x[e.U] - x[e.V]
+		return e.W * d * d
+	})
+}
+
+// Dense returns the dense form of m (for small-n verification only).
+func (m *CSR) Dense() *Dense {
+	d := NewDense(m.N, m.N)
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			d.Set(i, int(m.ColIdx[k]), d.At(i, int(m.ColIdx[k]))+m.Values[k])
+		}
+	}
+	return d
+}

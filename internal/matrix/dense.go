@@ -1,0 +1,188 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix, used only for small-n verification
+// (exact eigenvalues, exact pseudo-inverses) and base-case solves.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewDense returns a zeroed rows×cols matrix.
+func NewDense(rows, cols int) *Dense {
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (d *Dense) At(i, j int) float64 { return d.Data[i*d.Cols+j] }
+
+// Set assigns element (i, j).
+func (d *Dense) Set(i, j int, v float64) { d.Data[i*d.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (d *Dense) Clone() *Dense {
+	out := NewDense(d.Rows, d.Cols)
+	copy(out.Data, d.Data)
+	return out
+}
+
+// MulVec computes dst = D·x.
+func (d *Dense) MulVec(dst, x []float64) {
+	if len(dst) != d.Rows || len(x) != d.Cols {
+		panic("matrix: dense MulVec dimension mismatch")
+	}
+	for i := 0; i < d.Rows; i++ {
+		s := 0.0
+		row := d.Data[i*d.Cols : (i+1)*d.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// SymEig computes the full eigendecomposition of a symmetric matrix via
+// the cyclic Jacobi rotation method. It returns the eigenvalues in
+// ascending order and the matrix of eigenvectors (column j corresponds
+// to eigenvalue j). Intended for n up to a few hundred.
+func SymEig(a *Dense) (eig []float64, vecs *Dense, err error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, nil, fmt.Errorf("matrix: SymEig requires square input, got %dx%d", a.Rows, a.Cols)
+	}
+	m := a.Clone()
+	v := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		// Relative convergence threshold against the Frobenius norm.
+		frob := 0.0
+		for _, x := range m.Data {
+			frob += x * x
+		}
+		if off <= 1e-24*(frob+1e-300) {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if apq == 0 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply the rotation J(p,q,θ) on both sides.
+				for k := 0; k < n; k++ {
+					akp, akq := m.At(k, p), m.At(k, q)
+					m.Set(k, p, c*akp-s*akq)
+					m.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := m.At(p, k), m.At(q, k)
+					m.Set(p, k, c*apk-s*aqk)
+					m.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	eig = make([]float64, n)
+	for i := 0; i < n; i++ {
+		eig[i] = m.At(i, i)
+	}
+	// Sort ascending, permuting eigenvector columns alongside.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && eig[idx[j]] < eig[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	sortedEig := make([]float64, n)
+	sortedVecs := NewDense(n, n)
+	for j, src := range idx {
+		sortedEig[j] = eig[src]
+		for i := 0; i < n; i++ {
+			sortedVecs.Set(i, j, v.At(i, src))
+		}
+	}
+	return sortedEig, sortedVecs, nil
+}
+
+// Cholesky computes the lower-triangular Cholesky factor of a symmetric
+// positive definite matrix, returning an error if a non-positive pivot
+// is encountered.
+func Cholesky(a *Dense) (*Dense, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("matrix: Cholesky requires square input")
+	}
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		sum := a.At(j, j)
+		for k := 0; k < j; k++ {
+			sum -= l.At(j, k) * l.At(j, k)
+		}
+		if sum <= 0 {
+			return nil, fmt.Errorf("matrix: Cholesky pivot %d non-positive (%g)", j, sum)
+		}
+		ljj := math.Sqrt(sum)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, sum/ljj)
+		}
+	}
+	return l, nil
+}
+
+// CholeskySolve solves L Lᵀ x = b given the Cholesky factor L.
+func CholeskySolve(l *Dense, b []float64) []float64 {
+	n := l.Rows
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}

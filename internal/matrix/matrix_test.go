@@ -1,0 +1,285 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestLaplacianTriangle(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 0, V: 2, W: 3}})
+	l := Laplacian(g)
+	d := l.Dense()
+	want := [][]float64{{4, -1, -3}, {-1, 3, -2}, {-3, -2, 5}}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if math.Abs(d.At(i, j)-want[i][j]) > 1e-12 {
+				t.Fatalf("L[%d][%d]=%v want %v", i, j, d.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestLaplacianRowSumsZero(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(30)
+		m := r.Intn(80)
+		edges := make([]graph.Edge, 0, m)
+		for i := 0; i < m; i++ {
+			edges = append(edges, graph.Edge{
+				U: int32(r.Intn(n)), V: int32(r.Intn(n)), W: 0.1 + r.Float64(),
+			})
+		}
+		g := graph.FromEdges(n, edges)
+		l := Laplacian(g)
+		ones := make([]float64, n)
+		for i := range ones {
+			ones[i] = 1
+		}
+		out := make([]float64, n)
+		l.MulVec(out, ones)
+		for _, v := range out {
+			if math.Abs(v) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaplacianMergesParallelEdges(t *testing.T) {
+	g := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 0, V: 1, W: 2}})
+	l := Laplacian(g)
+	// Row 0 must have exactly 2 entries: diag 3 and off-diag -3.
+	if l.RowPtr[1]-l.RowPtr[0] != 2 {
+		t.Fatalf("row 0 has %d entries", l.RowPtr[1]-l.RowPtr[0])
+	}
+	if l.Diag[0] != 3 {
+		t.Fatalf("diag %v", l.Diag[0])
+	}
+}
+
+func TestLaplacianIgnoresSelfLoops(t *testing.T) {
+	g := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 1, W: 9}})
+	l := Laplacian(g)
+	if l.Diag[1] != 1 {
+		t.Fatalf("self loop leaked into diagonal: %v", l.Diag[1])
+	}
+}
+
+func TestQuadFormMatchesEdgeFormula(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(20)
+		g := gen.Gnp(n, 0.4, seed)
+		if g.M() == 0 {
+			return true
+		}
+		l := Laplacian(g)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Norm()
+		}
+		a := l.QuadForm(x)
+		b := LaplacianQuadForm(g, x)
+		return math.Abs(a-b) <= 1e-9*(math.Abs(a)+1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulVecKnown(t *testing.T) {
+	g := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1, W: 2}})
+	l := Laplacian(g)
+	out := make([]float64, 2)
+	l.MulVec(out, []float64{1, 0})
+	if out[0] != 2 || out[1] != -2 {
+		t.Fatalf("MulVec=%v", out)
+	}
+}
+
+func TestNNZ(t *testing.T) {
+	g := gen.Complete(5)
+	l := Laplacian(g)
+	if l.NNZ() != 25 { // full 5x5: 5 diag + 20 off
+		t.Fatalf("NNZ=%d", l.NNZ())
+	}
+}
+
+func TestSymEigDiagonal(t *testing.T) {
+	a := NewDense(3, 3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 1)
+	a.Set(2, 2, 2)
+	eig, _, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(eig[i]-want[i]) > 1e-10 {
+			t.Fatalf("eig=%v", eig)
+		}
+	}
+}
+
+func TestSymEigKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := NewDense(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 2)
+	eig, vecs, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eig[0]-1) > 1e-10 || math.Abs(eig[1]-3) > 1e-10 {
+		t.Fatalf("eig=%v", eig)
+	}
+	// Check A·v = λ·v for each eigenpair.
+	for j := 0; j < 2; j++ {
+		v := []float64{vecs.At(0, j), vecs.At(1, j)}
+		av := make([]float64, 2)
+		a.MulVec(av, v)
+		for i := 0; i < 2; i++ {
+			if math.Abs(av[i]-eig[j]*v[i]) > 1e-9 {
+				t.Fatalf("eigenpair %d violated", j)
+			}
+		}
+	}
+}
+
+func TestSymEigPathLaplacian(t *testing.T) {
+	// Path on 4 vertices: eigenvalues 2-2cos(kπ/4), k=0..3.
+	g := gen.Path(4)
+	l := Laplacian(g).Dense()
+	eig, _, err := SymEig(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 4; k++ {
+		want := 2 - 2*math.Cos(float64(k)*math.Pi/4)
+		if math.Abs(eig[k]-want) > 1e-9 {
+			t.Fatalf("eig[%d]=%v want %v", k, eig[k], want)
+		}
+	}
+}
+
+func TestSymEigReconstruction(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(8)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := r.Norm()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		eig, q, err := SymEig(a)
+		if err != nil {
+			return false
+		}
+		// Check ‖A − QΛQᵀ‖∞ small.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += q.At(i, k) * eig[k] * q.At(j, k)
+				}
+				if math.Abs(s-a.At(i, j)) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymEigRejectsNonSquare(t *testing.T) {
+	if _, _, err := SymEig(NewDense(2, 3)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCholeskySolveRoundTrip(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(12)
+		// SPD via AᵀA + I.
+		b := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b.Set(i, j, r.Norm())
+			}
+		}
+		spd := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += b.At(k, i) * b.At(k, j)
+				}
+				if i == j {
+					s += 1
+				}
+				spd.Set(i, j, s)
+			}
+		}
+		l, err := Cholesky(spd)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Norm()
+		}
+		rhs := make([]float64, n)
+		spd.MulVec(rhs, x)
+		got := CholeskySolve(l, rhs)
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 5)
+	a.Set(1, 0, 5)
+	a.Set(1, 1, 1)
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected pivot failure")
+	}
+}
+
+func TestDenseClone(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	b := a.Clone()
+	b.Set(0, 0, 9)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}

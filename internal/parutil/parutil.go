@@ -1,0 +1,172 @@
+// Package parutil provides the parallel building blocks used across the
+// repository: blocked parallel-for loops, parallel reductions, and grain
+// size control.
+//
+// Parallelism in this codebase is always structured: a caller forks a
+// bounded set of workers over an index range and joins them before
+// returning, so no function leaks goroutines. All functions degrade to a
+// plain sequential loop when the range is small or GOMAXPROCS is 1, which
+// keeps the deterministic tests cheap.
+package parutil
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MinGrain is the default smallest block of work assigned to a single
+// goroutine. Spawning below this size costs more in scheduling than the
+// loop body saves.
+const MinGrain = 1024
+
+// Workers returns the number of workers to use for a loop of n items:
+// at most GOMAXPROCS, at most ceil(n/MinGrain), and at least 1.
+func Workers(n int) int {
+	p := runtime.GOMAXPROCS(0)
+	if p < 1 {
+		p = 1
+	}
+	maxByGrain := (n + MinGrain - 1) / MinGrain
+	if maxByGrain < 1 {
+		maxByGrain = 1
+	}
+	if p > maxByGrain {
+		p = maxByGrain
+	}
+	return p
+}
+
+// For runs body(i) for every i in [0, n), splitting the range into
+// contiguous blocks across workers. body must be safe to call
+// concurrently for distinct i.
+func For(n int, body func(i int)) {
+	ForBlocks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForShard runs body(shard, lo, hi) once per worker with the worker's
+// contiguous sub-range [lo, hi). The shard index is in [0, workers) and
+// lets callers maintain per-worker state (e.g. RNG streams) that is
+// independent of scheduling order.
+func ForShard(n int, body func(shard, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := Workers(n)
+	if p == 1 {
+		body(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for s := 0; s < p; s++ {
+		lo := s * n / p
+		hi := (s + 1) * n / p
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			body(s, lo, hi)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForBlocks runs body(lo, hi) over a balanced partition of [0, n).
+func ForBlocks(n int, body func(lo, hi int)) {
+	ForShard(n, func(_, lo, hi int) { body(lo, hi) })
+}
+
+// SumFloat computes the sum of f(i) for i in [0, n) in parallel with a
+// deterministic combination order (shards are combined in index order).
+func SumFloat(n int, f func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	p := Workers(n)
+	partial := make([]float64, p)
+	ForShard(n, func(shard, lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += f(i)
+		}
+		partial[shard] = s
+	})
+	total := 0.0
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}
+
+// SumInt computes the sum of f(i) for i in [0, n) in parallel.
+func SumInt(n int, f func(i int) int) int {
+	if n <= 0 {
+		return 0
+	}
+	p := Workers(n)
+	partial := make([]int, p)
+	ForShard(n, func(shard, lo, hi int) {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += f(i)
+		}
+		partial[shard] = s
+	})
+	total := 0
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}
+
+// MaxFloat computes the maximum of f(i) for i in [0, n) in parallel.
+// It returns negative infinity semantics via ok=false when n == 0.
+func MaxFloat(n int, f func(i int) float64) (max float64, ok bool) {
+	if n <= 0 {
+		return 0, false
+	}
+	p := Workers(n)
+	partial := make([]float64, p)
+	ForShard(n, func(shard, lo, hi int) {
+		m := f(lo)
+		for i := lo + 1; i < hi; i++ {
+			if v := f(i); v > m {
+				m = v
+			}
+		}
+		partial[shard] = m
+	})
+	m := partial[0]
+	for _, v := range partial[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m, true
+}
+
+// CollectShards runs gen(shard, lo, hi) per worker, each returning a
+// slice of T, and concatenates the results in shard order. This is the
+// deterministic "parallel filter/emit" primitive: output order depends
+// only on the partition, not on goroutine interleaving.
+func CollectShards[T any](n int, gen func(shard, lo, hi int) []T) []T {
+	if n <= 0 {
+		return nil
+	}
+	p := Workers(n)
+	parts := make([][]T, p)
+	ForShard(n, func(shard, lo, hi int) {
+		parts[shard] = gen(shard, lo, hi)
+	})
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	out := make([]T, 0, total)
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	return out
+}

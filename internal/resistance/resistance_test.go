@@ -1,0 +1,128 @@
+package resistance
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestPathResistance(t *testing.T) {
+	// Series resistors: R(0,4) on a unit path = 4.
+	g := gen.Path(5)
+	s := NewSolver(g)
+	if r := s.Pair(0, 4); math.Abs(r-4) > 1e-8 {
+		t.Fatalf("R=%v want 4", r)
+	}
+}
+
+func TestParallelEdgesResistance(t *testing.T) {
+	// Two parallel unit resistors → R = 1/2.
+	g := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 0, V: 1, W: 1}})
+	s := NewSolver(g)
+	if r := s.Pair(0, 1); math.Abs(r-0.5) > 1e-8 {
+		t.Fatalf("R=%v want 0.5", r)
+	}
+}
+
+func TestCycleResistance(t *testing.T) {
+	// Cycle C_n: R between adjacent vertices = (n-1)/n.
+	n := 10
+	g := gen.Cycle(n)
+	s := NewSolver(g)
+	want := float64(n-1) / float64(n)
+	if r := s.Pair(0, 1); math.Abs(r-want) > 1e-8 {
+		t.Fatalf("R=%v want %v", r, want)
+	}
+}
+
+func TestCompleteGraphResistance(t *testing.T) {
+	// K_n: R between any pair = 2/n.
+	n := 20
+	g := gen.Complete(n)
+	s := NewSolver(g)
+	want := 2.0 / float64(n)
+	if r := s.Pair(3, 11); math.Abs(r-want) > 1e-8 {
+		t.Fatalf("R=%v want %v", r, want)
+	}
+}
+
+func TestWeightedResistance(t *testing.T) {
+	// Single edge of weight w → R = 1/w.
+	g := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1, W: 4}})
+	s := NewSolver(g)
+	if r := s.Pair(0, 1); math.Abs(r-0.25) > 1e-10 {
+		t.Fatalf("R=%v want 0.25", r)
+	}
+}
+
+func TestAllEdgesExactSumsToNMinus1(t *testing.T) {
+	// Foster's theorem: Σ_e w_e·R_e = n − 1 for connected graphs.
+	g := gen.Gnp(60, 0.2, 3)
+	if !graph.IsConnected(g) {
+		t.Skip("test graph disconnected for this seed")
+	}
+	res := AllEdgesExact(g)
+	sum := 0.0
+	for i, e := range g.Edges {
+		sum += e.W * res[i]
+	}
+	if math.Abs(sum-float64(g.N-1)) > 1e-5 {
+		t.Fatalf("Foster sum %v want %d", sum, g.N-1)
+	}
+}
+
+func TestApproxMatchesExact(t *testing.T) {
+	g := gen.Gnp(80, 0.15, 5)
+	if !graph.IsConnected(g) {
+		t.Skip("disconnected")
+	}
+	exact := AllEdgesExact(g)
+	approx := AllEdgesApprox(g, ApproxOptions{Eps: 0.2, Seed: 7})
+	for i := range exact {
+		rel := math.Abs(approx[i]-exact[i]) / exact[i]
+		if rel > 0.6 {
+			t.Fatalf("edge %d: approx %v exact %v (rel %v)", i, approx[i], exact[i], rel)
+		}
+	}
+}
+
+func TestApproxFosterSum(t *testing.T) {
+	g := gen.Grid2D(8, 8)
+	approx := AllEdgesApprox(g, ApproxOptions{Eps: 0.15, Seed: 9})
+	sum := 0.0
+	for i, e := range g.Edges {
+		sum += e.W * approx[i]
+	}
+	want := float64(g.N - 1)
+	if math.Abs(sum-want)/want > 0.15 {
+		t.Fatalf("approx Foster sum %v want ~%v", sum, want)
+	}
+}
+
+func TestMaxLeverage(t *testing.T) {
+	g := gen.Path(4) // every edge is a bridge: leverage exactly 1
+	res := AllEdgesExact(g)
+	if lv := MaxLeverage(g, res, nil); math.Abs(lv-1) > 1e-8 {
+		t.Fatalf("bridge leverage %v want 1", lv)
+	}
+	sel := []bool{false, true, false}
+	if lv := MaxLeverage(g, res, sel); math.Abs(lv-1) > 1e-8 {
+		t.Fatalf("selected leverage %v", lv)
+	}
+}
+
+func TestSolverReusableAcrossQueries(t *testing.T) {
+	g := gen.Grid2D(6, 6)
+	s := NewSolver(g)
+	r1 := s.Pair(0, 35)
+	r2 := s.Pair(0, 35)
+	if math.Abs(r1-r2) > 1e-12 {
+		t.Fatal("solver state leaks between queries")
+	}
+	// Rayleigh: resistance between closer vertices is smaller.
+	if s.Pair(0, 1) >= r1 {
+		t.Fatal("adjacent resistance should be below far-corner resistance")
+	}
+}

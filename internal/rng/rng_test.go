@@ -1,0 +1,219 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSplitIndependentOfParentState(t *testing.T) {
+	a := New(7)
+	a.Uint64() // advance parent
+	s1 := a.Split(3)
+	s2 := New(7).Split(3)
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() != s2.Uint64() {
+			t.Fatalf("Split depends on parent state at step %d", i)
+		}
+	}
+}
+
+func TestSplitStreamsDiffer(t *testing.T) {
+	r := New(7)
+	s1 := r.Split(1)
+	s2 := r.Split(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams 1 and 2 collide in %d/64 draws", same)
+	}
+}
+
+func TestSplitAtMatchesSplit(t *testing.T) {
+	if got, want := SplitAt(9, 4).Uint64(), New(9).Split(4).Uint64(); got != want {
+		t.Fatalf("SplitAt=%d Split=%d", got, want)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(123)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(5)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(99)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("Intn(7) value %d count %d outside 10000±2000", v, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(13)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.25) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.25) > 0.01 {
+		t.Fatalf("Bernoulli(0.25) rate %v", rate)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(17)
+	const n = 100000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance %v", variance)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(19)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := r.Exp()
+		if x < 0 {
+			t.Fatalf("negative exponential %v", x)
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean %v", mean)
+	}
+}
+
+func TestRademacher(t *testing.T) {
+	r := New(23)
+	pos := 0
+	for i := 0; i < 10000; i++ {
+		v := r.Rademacher()
+		if v != 1 && v != -1 {
+			t.Fatalf("Rademacher produced %v", v)
+		}
+		if v == 1 {
+			pos++
+		}
+	}
+	if pos < 4700 || pos > 5300 {
+		t.Fatalf("Rademacher bias: %d/10000 positive", pos)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		p := New(seed).Perm(int(n))
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == int(n)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialRange(t *testing.T) {
+	check := func(seed uint64, n uint8, pRaw uint16) bool {
+		p := float64(pRaw) / math.MaxUint16
+		k := New(seed).Binomial(int(n), p)
+		return k >= 0 && k <= int(n)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialMeanLargeN(t *testing.T) {
+	r := New(29)
+	const n, p, trials = 1000, 0.3, 2000
+	sum := 0
+	for i := 0; i < trials; i++ {
+		sum += r.Binomial(n, p)
+	}
+	mean := float64(sum) / trials
+	if math.Abs(mean-n*p) > 3 {
+		t.Fatalf("binomial mean %v, want ~%v", mean, n*p)
+	}
+}

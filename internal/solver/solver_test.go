@@ -1,0 +1,256 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+func TestTwoStepIsLaplacian(t *testing.T) {
+	// Row sums of D − A·D⁻¹·A are zero, so the two-step graph's degrees
+	// must equal the original weighted degrees.
+	g := gen.Gnp(60, 0.2, 3)
+	ts := TwoStep(g, TwoStepOptions{})
+	origDeg := g.WeightedDegrees()
+	newDeg := ts.WeightedDegrees()
+	for v := range origDeg {
+		// Degree shrinks by the self-loop mass Σ_k w_vk²/d_k.
+		if newDeg[v] > origDeg[v]+1e-9 {
+			t.Fatalf("vertex %d two-step degree %v exceeds original %v", v, newDeg[v], origDeg[v])
+		}
+	}
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoStepExactMatchesAlgebra(t *testing.T) {
+	// Compare the exact clique expansion against the dense formula
+	// D − A·D⁻¹·A on a small graph.
+	g := gen.Gnp(25, 0.35, 5)
+	ts := TwoStep(g, TwoStepOptions{ExactDegree: 1000})
+	n := g.N
+	// Dense A and D.
+	a := matrix.NewDense(n, n)
+	d := make([]float64, n)
+	for _, e := range g.Edges {
+		a.Set(int(e.U), int(e.V), a.At(int(e.U), int(e.V))+e.W)
+		a.Set(int(e.V), int(e.U), a.At(int(e.V), int(e.U))+e.W)
+		d[e.U] += e.W
+		d[e.V] += e.W
+	}
+	want := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				if d[k] > 0 {
+					s += a.At(i, k) * a.At(k, j) / d[k]
+				}
+			}
+			if i == j {
+				want.Set(i, j, d[i]-s)
+			} else {
+				want.Set(i, j, -s)
+			}
+		}
+	}
+	got := matrix.Laplacian(ts).Dense()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if math.Abs(got.At(i, j)-want.At(i, j)) > 1e-9 {
+				t.Fatalf("L2[%d][%d]=%v want %v", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTwoStepSampledUnbiased(t *testing.T) {
+	// The sampled clique expansion must preserve total weight in
+	// expectation: average over seeds and compare against exact.
+	g := gen.Gnp(40, 0.5, 7) // degrees ~20 > ExactDegree=4 forces sampling
+	exact := TwoStep(g, TwoStepOptions{ExactDegree: 1000}).TotalWeight()
+	trials := 30
+	sum := 0.0
+	for s := 0; s < trials; s++ {
+		ts := TwoStep(g, TwoStepOptions{ExactDegree: 4, SampleFactor: 8, Seed: uint64(s)})
+		sum += ts.TotalWeight()
+	}
+	mean := sum / float64(trials)
+	if math.Abs(mean-exact)/exact > 0.05 {
+		t.Fatalf("sampled two-step biased: mean %v exact %v", mean, exact)
+	}
+}
+
+func TestTwoStepBipartiteDisconnects(t *testing.T) {
+	// A path is bipartite: its two-step graph splits into the two sides.
+	g := gen.Path(6)
+	ts := TwoStep(g, TwoStepOptions{})
+	_, count := graph.Components(ts, nil)
+	if count != 2 {
+		t.Fatalf("two-step of a path has %d components, want 2 (odd/even)", count)
+	}
+}
+
+func TestEstimateSigmaDropsAfterTwoStep(t *testing.T) {
+	g := gen.Grid2D(10, 10)
+	l1 := matrix.Laplacian(g)
+	lvl1 := newLevel(g)
+	ts := TwoStep(g, TwoStepOptions{})
+	lvl2 := newLevel(ts)
+	_ = l1
+	// σ₂ should square (approximately) under the two-step map.
+	if lvl2.Sigma > lvl1.Sigma+0.05 {
+		t.Fatalf("sigma did not contract: %v -> %v", lvl1.Sigma, lvl2.Sigma)
+	}
+}
+
+func TestBuildChainTerminates(t *testing.T) {
+	g := gen.Grid2D(12, 12)
+	chain, err := BuildChain(g, ChainOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain.Depth() < 2 {
+		t.Fatalf("grid chain depth %d suspiciously small", chain.Depth())
+	}
+	if chain.Depth() > 40 {
+		t.Fatalf("chain did not terminate before cap: %d", chain.Depth())
+	}
+	last := chain.Levels[chain.Depth()-1]
+	if last.Sigma > 0.5+1e-9 && chain.Depth() < 40 {
+		t.Fatalf("chain stopped early with sigma %v", last.Sigma)
+	}
+}
+
+func TestChainApplyIsSPD(t *testing.T) {
+	// xᵀ·C·x > 0 for the chain operator C on a few random probes, and
+	// symmetric: <x, C·y> == <C·x, y>.
+	g := gen.Grid2D(8, 8)
+	chain, err := BuildChain(g, ChainOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N
+	r := rng.New(11)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	cx := make([]float64, n)
+	cy := make([]float64, n)
+	for trial := 0; trial < 5; trial++ {
+		for i := range x {
+			x[i] = r.Norm()
+			y[i] = r.Norm()
+		}
+		chain.Apply(cx, x)
+		chain.Apply(cy, y)
+		if quad := vec.Dot(x, cx); quad <= 0 {
+			t.Fatalf("chain not PD: xᵀCx = %v", quad)
+		}
+		sym := vec.Dot(x, cy) - vec.Dot(cx, y)
+		scale := math.Abs(vec.Dot(x, cy)) + 1
+		if math.Abs(sym)/scale > 1e-9 {
+			t.Fatalf("chain not symmetric: diff %v", sym)
+		}
+	}
+}
+
+func TestSolveLaplacianGrid(t *testing.T) {
+	g := gen.Grid2D(15, 15)
+	n := g.N
+	r := rng.New(13)
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = r.Norm()
+	}
+	vec.ProjectOutOnes(want)
+	l := matrix.Laplacian(g)
+	b := make([]float64, n)
+	l.MulVec(b, want)
+	x, res, err := SolveLaplacian(g, b, 1e-10, ChainOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("solve did not converge: %+v", res)
+	}
+	vec.ProjectOutOnes(x)
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-6 {
+			t.Fatalf("x[%d]=%v want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestChainBeatsJacobiIterationsOnLongPath(t *testing.T) {
+	// An ill-conditioned graph: chain-PCG should need far fewer
+	// iterations than Jacobi-PCG.
+	g := gen.Grid2D(40, 5)
+	l := matrix.Laplacian(g)
+	b := make([]float64, g.N)
+	r := rng.New(17)
+	for i := range b {
+		b[i] = r.Norm()
+	}
+	vec.ProjectOutOnes(b)
+	_, chainRes, err := SolveLaplacian(g, b, 1e-8, ChainOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, g.N)
+	jacobiRes, err := jacobiPCG(l, b, x, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chainRes.Iterations >= jacobiRes {
+		t.Fatalf("chain PCG (%d iters) not better than Jacobi PCG (%d)", chainRes.Iterations, jacobiRes)
+	}
+}
+
+func TestSolveLaplacianWeighted(t *testing.T) {
+	g := gen.WithRandomWeights(gen.Grid2D(10, 10), 0.01, 100, 19)
+	l := matrix.Laplacian(g)
+	r := rng.New(23)
+	want := make([]float64, g.N)
+	for i := range want {
+		want[i] = r.Norm()
+	}
+	vec.ProjectOutOnes(want)
+	b := make([]float64, g.N)
+	l.MulVec(b, want)
+	x, res, err := SolveLaplacian(g, b, 1e-9, ChainOptions{Seed: 21})
+	if err != nil || !res.Converged {
+		t.Fatalf("weighted solve failed: %v %+v", err, res)
+	}
+	vec.ProjectOutOnes(x)
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-5 {
+			t.Fatalf("x[%d]=%v want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestBuildChainEmptyGraphRejected(t *testing.T) {
+	if _, err := BuildChain(graph.New(5), ChainOptions{}); err == nil {
+		t.Fatal("expected ErrEmptyGraph")
+	}
+}
+
+func TestChainStringAndStats(t *testing.T) {
+	g := gen.Grid2D(8, 8)
+	chain, err := BuildChain(g, ChainOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain.String() == "" || chain.TotalNNZ <= 0 {
+		t.Fatal("chain summary broken")
+	}
+	if len(chain.BuildStats) != chain.Depth() {
+		t.Fatalf("stats %d != depth %d", len(chain.BuildStats), chain.Depth())
+	}
+}

@@ -1,0 +1,127 @@
+package spanner
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Greedy computes the classical greedy (2k−1)-spanner [Althöfer et al.]
+// in the resistive metric: edges are scanned in increasing length, and
+// an edge joins the spanner only if the spanner built so far does not
+// already connect its endpoints within (2k−1)× its length. The greedy
+// spanner is the size quality reference — it attains the optimal
+// O(n^(1+1/k)) existential bound — but it is inherently sequential
+// (each decision depends on all previous ones), which is precisely why
+// the paper builds on Baswana–Sen instead. Experiment E2 compares the
+// two sizes.
+func Greedy(g *graph.Graph, k int) []bool {
+	n := g.N
+	m := len(g.Edges)
+	inSpanner := make([]bool, m)
+	if k <= 0 {
+		k = DefaultK(n)
+	}
+	if k == 1 {
+		for i, e := range g.Edges {
+			inSpanner[i] = e.U != e.V
+		}
+		return inSpanner
+	}
+	factor := float64(2*k - 1)
+	order := make([]int32, 0, m)
+	for i, e := range g.Edges {
+		if e.U != e.V {
+			order = append(order, int32(i))
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		la := g.Edges[order[a]].Resistance()
+		lb := g.Edges[order[b]].Resistance()
+		if la != lb {
+			return la < lb
+		}
+		return order[a] < order[b]
+	})
+	// Incremental adjacency of accepted edges: head/next linked lists.
+	head := make([]int32, n)
+	for i := range head {
+		head[i] = -1
+	}
+	type half struct {
+		to   int32
+		len  float64
+		next int32
+	}
+	var halves []half
+	addEdge := func(u, v int32, l float64) {
+		halves = append(halves, half{to: v, len: l, next: head[u]})
+		head[u] = int32(len(halves) - 1)
+		halves = append(halves, half{to: u, len: l, next: head[v]})
+		head[v] = int32(len(halves) - 1)
+	}
+	// Bounded Dijkstra workspace with epoch-stamped distances so the
+	// arrays are reused across the m queries without clearing.
+	dist := make([]float64, n)
+	stamp := make([]int32, n)
+	epoch := int32(0)
+	q := &greedyPQ{}
+	withinBound := func(src, dst int32, bound float64) bool {
+		epoch++
+		*q = (*q)[:0]
+		dist[src] = 0
+		stamp[src] = epoch
+		heap.Push(q, greedyItem{v: src, d: 0})
+		for q.Len() > 0 {
+			it := heap.Pop(q).(greedyItem)
+			if stamp[it.v] == epoch && it.d > dist[it.v] {
+				continue
+			}
+			if it.v == dst {
+				return true
+			}
+			for h := head[it.v]; h >= 0; h = halves[h].next {
+				he := halves[h]
+				nd := it.d + he.len
+				if nd > bound {
+					continue
+				}
+				if stamp[he.to] != epoch || nd < dist[he.to] {
+					stamp[he.to] = epoch
+					dist[he.to] = nd
+					heap.Push(q, greedyItem{v: he.to, d: nd})
+				}
+			}
+		}
+		return false
+	}
+	for _, eid := range order {
+		e := g.Edges[eid]
+		l := e.Resistance()
+		if !withinBound(e.U, e.V, factor*l) {
+			inSpanner[eid] = true
+			addEdge(e.U, e.V, l)
+		}
+	}
+	return inSpanner
+}
+
+type greedyItem struct {
+	v int32
+	d float64
+}
+
+type greedyPQ []greedyItem
+
+func (q greedyPQ) Len() int            { return len(q) }
+func (q greedyPQ) Less(i, j int) bool  { return q[i].d < q[j].d }
+func (q greedyPQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *greedyPQ) Push(x interface{}) { *q = append(*q, x.(greedyItem)) }
+func (q *greedyPQ) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,100 @@
+package spanner
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/stretch"
+)
+
+func TestGreedyStretchProperty(t *testing.T) {
+	g := gen.Gnp(200, 0.2, 3)
+	k := DefaultK(g.N)
+	mask := Greedy(g, k)
+	if bad := stretch.VerifySpanner(g, mask, float64(2*k-1)); bad != -1 {
+		st := stretch.EdgeStretches(g, mask)
+		t.Fatalf("greedy edge %d stretch %v > %v", bad, st[bad], 2*k-1)
+	}
+}
+
+func TestGreedyWeightedStretch(t *testing.T) {
+	g := gen.WithRandomWeights(gen.Gnp(150, 0.2, 5), 0.01, 100, 7)
+	k := DefaultK(g.N)
+	mask := Greedy(g, k)
+	if bad := stretch.VerifySpanner(g, mask, float64(2*k-1)); bad != -1 {
+		t.Fatalf("greedy weighted: edge %d violates", bad)
+	}
+}
+
+func TestGreedyNoSmallCycles(t *testing.T) {
+	// The greedy (2k-1)-spanner has girth > 2k in the unweighted case:
+	// accepting an edge that closes a short cycle would contradict the
+	// acceptance test. Spot-check triangles for k >= 2.
+	g := gen.Gnp(100, 0.3, 9)
+	mask := Greedy(g, 2)
+	h := g.Subgraph(mask)
+	adj := graph.NewAdjacency(h)
+	nbrs := make(map[int32]map[int32]bool)
+	for v := int32(0); int(v) < h.N; v++ {
+		nbrs[v] = map[int32]bool{}
+		adj.Neighbors(v, func(u int32, _ int32) { nbrs[v][u] = true })
+	}
+	for _, e := range h.Edges {
+		for u := range nbrs[e.U] {
+			if u != e.V && nbrs[e.V][u] {
+				t.Fatalf("triangle %d-%d-%d in greedy 3-spanner of a unit graph", e.U, e.V, u)
+			}
+		}
+	}
+}
+
+func TestGreedySmallerThanBaswanaSen(t *testing.T) {
+	// Greedy is the size reference: on dense unit graphs it should not
+	// be (much) larger than Baswana–Sen at the same k.
+	g := gen.Gnp(300, 0.25, 11)
+	k := DefaultK(g.N)
+	greedySize := graph.CountTrue(Greedy(g, k))
+	adj := graph.NewAdjacency(g)
+	bsSize := graph.CountTrue(Compute(g, adj, nil, Options{Seed: 13}).InSpanner)
+	if greedySize > bsSize {
+		t.Fatalf("greedy (%d) larger than Baswana–Sen (%d); greedy is the size-optimal reference", greedySize, bsSize)
+	}
+}
+
+func TestGreedyKeepsTreeEntirely(t *testing.T) {
+	g := gen.Path(30)
+	mask := Greedy(g, DefaultK(g.N))
+	for i, in := range mask {
+		if !in {
+			t.Fatalf("greedy dropped bridge %d", i)
+		}
+	}
+}
+
+func TestGreedyK1Identity(t *testing.T) {
+	g := gen.Gnp(40, 0.3, 15)
+	mask := Greedy(g, 1)
+	if graph.CountTrue(mask) != g.M() {
+		t.Fatal("k=1 greedy must keep everything")
+	}
+}
+
+func TestGreedySkipsSelfLoops(t *testing.T) {
+	g := graph.FromEdges(2, []graph.Edge{{U: 0, V: 0, W: 1}, {U: 0, V: 1, W: 1}})
+	mask := Greedy(g, 2)
+	if mask[0] || !mask[1] {
+		t.Fatalf("mask %v", mask)
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	g := gen.Gnp(150, 0.2, 17)
+	a := Greedy(g, 0)
+	b := Greedy(g, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+// Package spanner implements the Baswana–Sen randomized (2k−1)-spanner
+// algorithm [Baswana & Sen, Random Struct. Algorithms 2007] in the
+// snapshot-parallel form that the paper's Theorem 1 (CRCW PRAM) and
+// Theorem 2 (synchronous distributed) both rely on: in each of k−1
+// clustering iterations every vertex makes its decision simultaneously
+// against the cluster assignment at the start of the iteration.
+//
+// Lengths are resistive (ℓ_e = 1/w_e), so with k = ⌈log₂ n⌉ the output
+// satisfies the paper's spanner definition st_H(e) ≤ 2 log n for every
+// edge e, with expected size O(k·n^(1+1/k)) = O(n log n).
+//
+// The algorithm works on a subset of the edges of a host graph selected
+// by an "alive" mask, which is what lets bundle construction peel
+// spanners off G − ΣH_j without copying the graph.
+package spanner
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/parutil"
+	"repro/internal/pram"
+	"repro/internal/rng"
+)
+
+// Options configures a spanner computation.
+type Options struct {
+	// K is the number of levels; the result is a (2K−1)-spanner in the
+	// resistive metric. K ≤ 0 selects ⌈log₂ n⌉ (the paper's log n-spanner).
+	K int
+	// Seed drives all sampling decisions; equal seeds give identical
+	// outputs at any GOMAXPROCS.
+	Seed uint64
+	// Tracker, when non-nil, accumulates modeled CRCW work/depth.
+	Tracker *pram.Tracker
+}
+
+// Result is the output of a spanner computation.
+type Result struct {
+	// InSpanner marks the selected edges (indices into the host graph's
+	// edge list). It is always a subset of the alive mask.
+	InSpanner []bool
+	// Center is the final cluster assignment after phase 1 (−1 for
+	// vertices that became unclustered); exported for the distributed
+	// simulation and for tests of the clustering invariants.
+	Center []int32
+	// Iterations is the number of clustering iterations performed (k−1).
+	Iterations int
+}
+
+// DefaultK returns the paper's choice ⌈log₂ n⌉, at least 2.
+func DefaultK(n int) int {
+	if n < 4 {
+		return 2
+	}
+	k := int(math.Ceil(math.Log2(float64(n))))
+	if k < 2 {
+		k = 2
+	}
+	return k
+}
+
+// Compute runs Baswana–Sen over the alive edges of g. adj must be the
+// adjacency of g. alive may be nil, meaning all edges. The returned
+// mask has length len(g.Edges).
+func Compute(g *graph.Graph, adj *graph.Adjacency, alive []bool, opt Options) *Result {
+	n := g.N
+	m := len(g.Edges)
+	k := opt.K
+	if k <= 0 {
+		k = DefaultK(n)
+	}
+	inSpanner := make([]bool, m)
+	center := make([]int32, n)
+	for i := range center {
+		center[i] = int32(i)
+	}
+	if k == 1 {
+		// A 1-spanner is the graph itself.
+		for i := range inSpanner {
+			if alive == nil || alive[i] {
+				inSpanner[i] = true
+			}
+		}
+		return &Result{InSpanner: inSpanner, Center: center}
+	}
+	// dead[i]: edge i no longer in E'. Initialized from the alive mask.
+	dead := make([]bool, m)
+	for i := range dead {
+		if alive != nil && !alive[i] {
+			dead[i] = true
+		}
+		if g.Edges[i].U == g.Edges[i].V {
+			dead[i] = true // self-loops carry no spectral information
+		}
+	}
+	p := math.Pow(float64(n), -1.0/float64(k))
+	st := &state{
+		g: g, adj: adj, dead: dead, inSpanner: inSpanner,
+		center: center, seed: opt.Seed, sampleProb: p,
+	}
+	aliveCount := int64(0)
+	for _, d := range dead {
+		if !d {
+			aliveCount++
+		}
+	}
+	for iter := 1; iter <= k-1; iter++ {
+		st.clusterIteration(iter)
+		// Modeled cost: a full scan of the surviving edges with O(1)
+		// CRCW depth per iteration (concurrent min via combining).
+		opt.Tracker.ParFor(2*aliveCount, 1)
+	}
+	st.vertexClusterJoin()
+	opt.Tracker.ParFor(2*aliveCount, 1)
+	return &Result{InSpanner: inSpanner, Center: st.center, Iterations: k - 1}
+}
+
+// state carries the per-computation arrays so that the iteration
+// methods stay readable.
+type state struct {
+	g          *graph.Graph
+	adj        *graph.Adjacency
+	dead       []bool  // mutated only between iterations
+	inSpanner  []bool  // mutated only between iterations
+	center     []int32 // cluster assignment at the start of the iteration
+	seed       uint64
+	sampleProb float64
+}
+
+// bestEdge tracks the lightest (in resistive length) alive edge from a
+// vertex to one adjacent cluster; ties break by edge id so the result
+// is independent of scan order.
+type bestEdge struct {
+	eid int32
+	len float64
+}
+
+func better(a bestEdge, eid int32, l float64) bestEdge {
+	if a.eid < 0 || l < a.len || (l == a.len && eid < a.eid) {
+		return bestEdge{eid: eid, len: l}
+	}
+	return a
+}
+
+// updateBest folds edge (eid, l) into the per-cluster minimum map,
+// treating a missing entry as "no edge yet" (the zero bestEdge would
+// otherwise masquerade as edge 0 with length 0).
+func updateBest(m map[int32]bestEdge, c int32, eid int32, l float64) {
+	if be, ok := m[c]; ok {
+		m[c] = better(be, eid, l)
+	} else {
+		m[c] = bestEdge{eid: eid, len: l}
+	}
+}
+
+// clusterIteration performs one Baswana–Sen phase-1 iteration.
+func (s *state) clusterIteration(iter int) {
+	n := s.g.N
+	// Step 1: sample cluster centers with probability n^{-1/k}. The
+	// decision is a pure function of (seed, iteration, center id).
+	sampled := make([]bool, n)
+	parutil.For(n, func(v int) {
+		r := rng.SplitAt(s.seed^(uint64(iter)*0x9e3779b97f4a7c15), uint64(v))
+		sampled[v] = r.Float64() < s.sampleProb
+	})
+
+	newCenter := make([]int32, n)
+	type vertexOut struct {
+		spannerAdd []int32
+		kill       []int32
+	}
+	outs := parutil.CollectShards(n, func(_ int, lo, hi int) []vertexOut {
+		var shardOuts []vertexOut
+		groups := make(map[int32]bestEdge)
+		for vi := lo; vi < hi; vi++ {
+			v := int32(vi)
+			c := s.center[v]
+			if c < 0 {
+				newCenter[v] = -1
+				continue
+			}
+			if sampled[c] {
+				// Vertices of sampled clusters keep everything.
+				newCenter[v] = c
+				continue
+			}
+			// Group v's alive inter-cluster edges by neighbor cluster.
+			for key := range groups {
+				delete(groups, key)
+			}
+			loS, hiS := s.adj.Range(v)
+			for slot := loS; slot < hiS; slot++ {
+				eid := s.adj.EID[slot]
+				if s.dead[eid] {
+					continue
+				}
+				u := s.adj.Nbr[slot]
+				cu := s.center[u]
+				if cu < 0 || cu == c {
+					// Edges to unclustered vertices cannot exist by the
+					// E' invariant; intra-cluster edges were removed at
+					// the end of the previous iteration. Skip defensively.
+					continue
+				}
+				updateBest(groups, cu, eid, s.g.Edges[eid].Resistance())
+			}
+			var out vertexOut
+			// Find the lightest edge into a *sampled* adjacent cluster.
+			best := bestEdge{eid: -1}
+			for cu, be := range groups {
+				if sampled[cu] {
+					if best.eid < 0 || be.len < best.len || (be.len == best.len && be.eid < best.eid) {
+						best = be
+					}
+				}
+			}
+			if best.eid < 0 {
+				// Case (a): no sampled neighbor cluster. Add the lightest
+				// edge to every adjacent cluster; v drops out of the
+				// clustering and discards all its alive edges.
+				newCenter[v] = -1
+				for _, be := range groups {
+					out.spannerAdd = append(out.spannerAdd, be.eid)
+				}
+				for slot := loS; slot < hiS; slot++ {
+					eid := s.adj.EID[slot]
+					if !s.dead[eid] {
+						out.kill = append(out.kill, eid)
+					}
+				}
+			} else {
+				// Case (b): join the sampled cluster reached by the
+				// lightest such edge; certify lighter adjacent clusters.
+				joined := s.g.Edges[best.eid]
+				jc := s.center[joined.U]
+				if joined.U == v {
+					jc = s.center[joined.V]
+				}
+				newCenter[v] = jc
+				out.spannerAdd = append(out.spannerAdd, best.eid)
+				removeCluster := make(map[int32]bool, 4)
+				removeCluster[jc] = true
+				for cu, be := range groups {
+					if cu == jc {
+						continue
+					}
+					if be.len < best.len || (be.len == best.len && be.eid < best.eid) {
+						out.spannerAdd = append(out.spannerAdd, be.eid)
+						removeCluster[cu] = true
+					}
+				}
+				for slot := loS; slot < hiS; slot++ {
+					eid := s.adj.EID[slot]
+					if s.dead[eid] {
+						continue
+					}
+					u := s.adj.Nbr[slot]
+					if cu := s.center[u]; cu >= 0 && removeCluster[cu] {
+						out.kill = append(out.kill, eid)
+					}
+				}
+			}
+			if len(out.spannerAdd) > 0 || len(out.kill) > 0 {
+				shardOuts = append(shardOuts, out)
+			}
+		}
+		return shardOuts
+	})
+	// Apply the simultaneous decisions (idempotent set operations, so
+	// application order is irrelevant).
+	for _, out := range outs {
+		for _, eid := range out.spannerAdd {
+			s.inSpanner[eid] = true
+		}
+		for _, eid := range out.kill {
+			s.dead[eid] = true
+		}
+	}
+	s.center = newCenter
+	// Step 4: discard intra-cluster edges under the new assignment.
+	parutil.For(len(s.g.Edges), func(i int) {
+		if s.dead[i] {
+			return
+		}
+		e := s.g.Edges[i]
+		cu, cv := s.center[e.U], s.center[e.V]
+		if cu >= 0 && cu == cv {
+			s.dead[i] = true
+		}
+	})
+}
+
+// vertexClusterJoin is Baswana–Sen phase 2: every vertex adds the
+// lightest alive edge to each adjacent surviving cluster, after which
+// E' is empty.
+func (s *state) vertexClusterJoin() {
+	n := s.g.N
+	adds := parutil.CollectShards(n, func(_ int, lo, hi int) []int32 {
+		var shardAdds []int32
+		groups := make(map[int32]bestEdge)
+		for vi := lo; vi < hi; vi++ {
+			v := int32(vi)
+			for key := range groups {
+				delete(groups, key)
+			}
+			loS, hiS := s.adj.Range(v)
+			for slot := loS; slot < hiS; slot++ {
+				eid := s.adj.EID[slot]
+				if s.dead[eid] {
+					continue
+				}
+				u := s.adj.Nbr[slot]
+				cu := s.center[u]
+				if cu < 0 {
+					continue
+				}
+				updateBest(groups, cu, eid, s.g.Edges[eid].Resistance())
+			}
+			for _, be := range groups {
+				shardAdds = append(shardAdds, be.eid)
+			}
+		}
+		return shardAdds
+	})
+	for _, eid := range adds {
+		s.inSpanner[eid] = true
+	}
+	for i := range s.dead {
+		s.dead[i] = true
+	}
+}

@@ -1,0 +1,189 @@
+// Package spectral measures how well one graph spectrally approximates
+// another — the quantity every theorem of the paper is about. For
+// graphs G and H on the same vertex set it estimates the extreme
+// generalized eigenvalues
+//
+//	α = min_{x ⊥ 1} (xᵀL_H x)/(xᵀL_G x),   β = max_{x ⊥ 1} (xᵀL_H x)/(xᵀL_G x),
+//
+// so that α·G ⪯ H ⪯ β·G. A (1±ε)-sparsifier has [α, β] ⊆ [1−ε, 1+ε].
+//
+// Two estimators are provided: an iterative one (pencil power iteration
+// with inner PCG solves; works at any size) and a dense exact one
+// (Jacobi eigendecomposition; n up to a few hundred) used to validate
+// the iterative estimates in tests.
+package spectral
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+	"repro/internal/matrix"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+// Bounds holds a spectral approximation measurement: Lo ≤ λ ≤ Hi for
+// all generalized eigenvalues λ of (L_H, L_G).
+type Bounds struct {
+	Lo, Hi float64
+}
+
+// Epsilon returns the smallest ε such that [Lo, Hi] ⊆ [1−ε, 1+ε].
+func (b Bounds) Epsilon() float64 {
+	lo := 1 - b.Lo
+	hi := b.Hi - 1
+	return math.Max(lo, hi)
+}
+
+// ErrDisconnected is returned when one of the graphs is disconnected,
+// in which case the pencil has unbounded (or zero) eigenvalues on the
+// mismatched null spaces and no finite ε exists.
+var ErrDisconnected = errors.New("spectral: graph disconnected; approximation factor unbounded")
+
+// Options controls the iterative estimator.
+type Options struct {
+	Seed     uint64
+	MaxIter  int     // power iterations per extreme (default 300)
+	Tol      float64 // Rayleigh quotient stabilization (default 1e-4)
+	SolveTol float64 // inner PCG tolerance (default 1e-9)
+}
+
+// ApproxFactor estimates the pencil bounds (α, β) for H against G using
+// power iteration. Both graphs must be connected.
+func ApproxFactor(g, h *graph.Graph, opt Options) (Bounds, error) {
+	if g.N != h.N {
+		return Bounds{}, errors.New("spectral: vertex count mismatch")
+	}
+	if !graph.IsConnected(g) || !graph.IsConnected(h) {
+		return Bounds{}, ErrDisconnected
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 300
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-4
+	}
+	if opt.SolveTol <= 0 {
+		opt.SolveTol = 1e-9
+	}
+	lg := matrix.Laplacian(g)
+	lh := matrix.Laplacian(h)
+	gOp := linalg.CSROp{M: lg}
+	hOp := linalg.CSROp{M: lh}
+	solveWith := func(l *matrix.CSR) func(dst, rhs []float64) {
+		prec := linalg.NewJacobi(l.Diag)
+		return func(dst, rhs []float64) {
+			vec.Zero(dst)
+			_, _ = linalg.CG(linalg.CSROp{M: l}, rhs, dst, linalg.CGOptions{
+				Tol: opt.SolveTol, ProjectOnes: true, Prec: prec,
+			})
+		}
+	}
+	popt := linalg.PencilOptions{MaxIter: opt.MaxIter, Tol: opt.Tol, Seed: opt.Seed}
+	// β = λmax(L_G⁺ L_H); 1/α = λmax(L_H⁺ L_G).
+	beta := linalg.PencilMaxEig(gOp, hOp, solveWith(lg), popt)
+	popt.Seed = opt.Seed ^ 0x94d049bb133111eb
+	invAlpha := linalg.PencilMaxEig(hOp, gOp, solveWith(lh), popt)
+	if invAlpha <= 0 {
+		return Bounds{}, ErrDisconnected
+	}
+	return Bounds{Lo: 1 / invAlpha, Hi: beta}, nil
+}
+
+// DenseApproxFactor computes the exact pencil bounds by dense
+// eigendecomposition: project L_H onto the whitened nonzero eigenspace
+// of L_G and read off the extreme eigenvalues. Intended for n ≤ ~300.
+func DenseApproxFactor(g, h *graph.Graph) (Bounds, error) {
+	if g.N != h.N {
+		return Bounds{}, errors.New("spectral: vertex count mismatch")
+	}
+	n := g.N
+	lg := matrix.Laplacian(g).Dense()
+	lh := matrix.Laplacian(h).Dense()
+	eig, q, err := matrix.SymEig(lg)
+	if err != nil {
+		return Bounds{}, err
+	}
+	maxEig := eig[n-1]
+	if maxEig <= 0 {
+		return Bounds{}, ErrDisconnected
+	}
+	tol := 1e-10 * maxEig
+	// Columns of P: q_j / sqrt(λ_j) over the nonzero spectrum of L_G.
+	var cols []int
+	for j := 0; j < n; j++ {
+		if eig[j] > tol {
+			cols = append(cols, j)
+		}
+	}
+	r := len(cols)
+	if r != n-1 {
+		// More than one zero eigenvalue means G is disconnected.
+		return Bounds{}, ErrDisconnected
+	}
+	p := matrix.NewDense(n, r)
+	for jj, j := range cols {
+		s := 1 / math.Sqrt(eig[j])
+		for i := 0; i < n; i++ {
+			p.Set(i, jj, q.At(i, j)*s)
+		}
+	}
+	// C = Pᵀ L_H P (r×r), symmetric.
+	tmp := matrix.NewDense(n, r)
+	for i := 0; i < n; i++ {
+		for jj := 0; jj < r; jj++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += lh.At(i, k) * p.At(k, jj)
+			}
+			tmp.Set(i, jj, s)
+		}
+	}
+	c := matrix.NewDense(r, r)
+	for ii := 0; ii < r; ii++ {
+		for jj := 0; jj < r; jj++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += p.At(k, ii) * tmp.At(k, jj)
+			}
+			c.Set(ii, jj, s)
+		}
+	}
+	ceig, _, err := matrix.SymEig(c)
+	if err != nil {
+		return Bounds{}, err
+	}
+	return Bounds{Lo: ceig[0], Hi: ceig[r-1]}, nil
+}
+
+// QuadFormProbes returns the min and max of the Rayleigh ratio
+// (xᵀL_Hx)/(xᵀL_Gx) over k random Gaussian probes x ⊥ 1. This is a
+// cheap inner estimate (the true [α, β] always contains it); tests use
+// it as a fast smoke check and the experiment harness as a lower bound
+// witness.
+func QuadFormProbes(g, h *graph.Graph, k int, seed uint64) Bounds {
+	r := rng.New(seed)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	x := make([]float64, g.N)
+	for probe := 0; probe < k; probe++ {
+		for i := range x {
+			x[i] = r.Norm()
+		}
+		vec.ProjectOutOnes(x)
+		qg := matrix.LaplacianQuadForm(g, x)
+		qh := matrix.LaplacianQuadForm(h, x)
+		if qg <= 0 {
+			continue
+		}
+		ratio := qh / qg
+		if ratio < lo {
+			lo = ratio
+		}
+		if ratio > hi {
+			hi = ratio
+		}
+	}
+	return Bounds{Lo: lo, Hi: hi}
+}

@@ -1,0 +1,142 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestIdenticalGraphsGiveUnitBounds(t *testing.T) {
+	g := gen.Gnp(80, 0.2, 3)
+	b, err := ApproxFactor(g, g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Lo-1) > 1e-3 || math.Abs(b.Hi-1) > 1e-3 {
+		t.Fatalf("bounds %+v want (1,1)", b)
+	}
+}
+
+func TestScaledGraphBounds(t *testing.T) {
+	g := gen.Grid2D(7, 7)
+	h := g.Scale(3)
+	b, err := ApproxFactor(g, h, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Lo-3) > 0.02 || math.Abs(b.Hi-3) > 0.02 {
+		t.Fatalf("bounds %+v want (3,3)", b)
+	}
+}
+
+func TestDenseMatchesIterative(t *testing.T) {
+	g := gen.Gnp(40, 0.3, 5)
+	if !graph.IsConnected(g) {
+		t.Skip("disconnected")
+	}
+	// h: perturb weights.
+	h := g.Clone()
+	for i := range h.Edges {
+		h.Edges[i].W *= 1 + 0.3*math.Sin(float64(i))
+	}
+	exact, err := DenseApproxFactor(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iter, err := ApproxFactor(g, h, Options{Seed: 3, MaxIter: 2000, Tol: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Power iteration gives inner estimates; they must sit inside the
+	// exact interval and close to its ends.
+	if iter.Hi > exact.Hi*1.001 || iter.Lo < exact.Lo*0.999 {
+		t.Fatalf("iterative %+v escapes exact %+v", iter, exact)
+	}
+	if iter.Hi < exact.Hi*0.95 || iter.Lo > exact.Lo*1.05 {
+		t.Fatalf("iterative %+v too loose vs exact %+v", iter, exact)
+	}
+}
+
+func TestDenseExactOnScaledGraph(t *testing.T) {
+	g := gen.Cycle(20)
+	h := g.Scale(0.5)
+	b, err := DenseApproxFactor(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Lo-0.5) > 1e-8 || math.Abs(b.Hi-0.5) > 1e-8 {
+		t.Fatalf("bounds %+v want (0.5,0.5)", b)
+	}
+}
+
+func TestDisconnectedHRejected(t *testing.T) {
+	g := gen.Cycle(10)
+	h := g.Subgraph(append([]bool{false}, trues(g.M()-1)...)) // still connected (path)
+	if _, err := ApproxFactor(g, h, Options{Seed: 1}); err != nil {
+		t.Fatalf("path is connected, got %v", err)
+	}
+	// Now cut the path in the middle: disconnected.
+	mask := trues(g.M())
+	mask[0] = false
+	mask[5] = false
+	h2 := g.Subgraph(mask)
+	if _, err := ApproxFactor(g, h2, Options{Seed: 1}); err == nil {
+		t.Fatal("disconnected h must be rejected")
+	}
+}
+
+func TestDenseDisconnectedRejected(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 1}})
+	if _, err := DenseApproxFactor(g, g); err == nil {
+		t.Fatal("disconnected g must be rejected")
+	}
+}
+
+func TestVertexCountMismatch(t *testing.T) {
+	if _, err := ApproxFactor(gen.Path(4), gen.Path(5), Options{}); err == nil {
+		t.Fatal("mismatch not rejected")
+	}
+	if _, err := DenseApproxFactor(gen.Path(4), gen.Path(5)); err == nil {
+		t.Fatal("mismatch not rejected (dense)")
+	}
+}
+
+func TestEpsilon(t *testing.T) {
+	b := Bounds{Lo: 0.8, Hi: 1.15}
+	if e := b.Epsilon(); math.Abs(e-0.2) > 1e-12 {
+		t.Fatalf("Epsilon=%v want 0.2", e)
+	}
+	b = Bounds{Lo: 0.95, Hi: 1.3}
+	if e := b.Epsilon(); math.Abs(e-0.3) > 1e-12 {
+		t.Fatalf("Epsilon=%v want 0.3", e)
+	}
+}
+
+func TestQuadFormProbesInsideTrueInterval(t *testing.T) {
+	g := gen.Gnp(50, 0.3, 7)
+	if !graph.IsConnected(g) {
+		t.Skip("disconnected")
+	}
+	h := g.Clone()
+	for i := range h.Edges {
+		h.Edges[i].W *= 1 + 0.4*math.Cos(float64(3*i))
+	}
+	exact, err := DenseApproxFactor(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := QuadFormProbes(g, h, 30, 9)
+	if probes.Lo < exact.Lo-1e-9 || probes.Hi > exact.Hi+1e-9 {
+		t.Fatalf("probes %+v outside exact %+v", probes, exact)
+	}
+}
+
+func trues(n int) []bool {
+	b := make([]bool, n)
+	for i := range b {
+		b[i] = true
+	}
+	return b
+}

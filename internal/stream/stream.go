@@ -1,0 +1,114 @@
+// Package stream implements a semi-streaming spectral sparsifier by
+// merge-and-reduce over the paper's PARALLELSAMPLE, the construction
+// pattern of Kelner–Levin (STACS 2011) that the paper's related-work
+// section situates itself against. Edges arrive one at a time in
+// arbitrary order; the summary held in memory never exceeds
+// O(buffer + compressed summary) edges; on Finish the summary is a
+// spectral approximation of the whole stream whose accuracy compounds
+// multiplicatively over the O(stream/buffer) reduce steps — callers
+// pick the per-reduce ε accordingly, exactly like the ε/⌈log ρ⌉ split
+// inside Algorithm 2.
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Options configures a streaming sparsifier.
+type Options struct {
+	// BufferEdges is the ingest buffer size; a reduce fires when the
+	// buffer fills. Default 4·n.
+	BufferEdges int
+	// ReduceEps is the per-reduce sample accuracy. Default 0.2.
+	ReduceEps float64
+	// Config is the sampler configuration (zero value →
+	// core.DefaultConfig(seed) with a thin pinned bundle).
+	Config *core.Config
+	Seed   uint64
+}
+
+// Sparsifier ingests a stream of weighted edges over a fixed vertex
+// set and maintains a bounded-size spectral summary.
+type Sparsifier struct {
+	n        int
+	opt      Options
+	summary  []graph.Edge
+	buffer   []graph.Edge
+	reduces  int
+	ingested int64
+}
+
+// New returns a streaming sparsifier over n vertices.
+func New(n int, opt Options) *Sparsifier {
+	if opt.BufferEdges <= 0 {
+		opt.BufferEdges = 4 * n
+		if opt.BufferEdges < 1024 {
+			opt.BufferEdges = 1024
+		}
+	}
+	if opt.ReduceEps <= 0 {
+		opt.ReduceEps = 0.2
+	}
+	return &Sparsifier{n: n, opt: opt}
+}
+
+// Ingest adds one edge of the stream.
+func (s *Sparsifier) Ingest(e graph.Edge) error {
+	if e.U < 0 || int(e.U) >= s.n || e.V < 0 || int(e.V) >= s.n {
+		return fmt.Errorf("stream: edge (%d,%d) outside vertex set [0,%d)", e.U, e.V, s.n)
+	}
+	if !(e.W > 0) {
+		return fmt.Errorf("stream: non-positive weight %v", e.W)
+	}
+	s.buffer = append(s.buffer, e)
+	s.ingested++
+	if len(s.buffer) >= s.opt.BufferEdges {
+		s.reduce()
+	}
+	return nil
+}
+
+// reduce merges the buffer into the summary and compresses with one
+// PARALLELSAMPLE round.
+func (s *Sparsifier) reduce() {
+	merged := make([]graph.Edge, 0, len(s.summary)+len(s.buffer))
+	merged = append(merged, s.summary...)
+	merged = append(merged, s.buffer...)
+	s.buffer = s.buffer[:0]
+	g := graph.FromEdges(s.n, merged)
+	var cfg core.Config
+	if s.opt.Config != nil {
+		cfg = *s.opt.Config
+	} else {
+		cfg = core.DefaultConfig(s.opt.Seed)
+		cfg.BundleT = 2
+	}
+	cfg.Seed ^= uint64(s.reduces+1) * 0x9e3779b97f4a7c15
+	out, _ := core.ParallelSample(g, s.opt.ReduceEps, cfg)
+	s.summary = out.Edges
+	s.reduces++
+}
+
+// Finish flushes the buffer and returns the final summary graph along
+// with the number of reduce steps performed (each contributing a
+// (1±ReduceEps) factor to the end-to-end guarantee).
+func (s *Sparsifier) Finish() (*graph.Graph, int) {
+	if len(s.buffer) > 0 {
+		s.reduce()
+	}
+	edges := make([]graph.Edge, len(s.summary))
+	copy(edges, s.summary)
+	return graph.FromEdges(s.n, edges), s.reduces
+}
+
+// SummarySize returns the current in-memory edge count (buffer plus
+// summary) — the quantity the semi-streaming model bounds.
+func (s *Sparsifier) SummarySize() int {
+	return len(s.summary) + len(s.buffer)
+}
+
+// Ingested returns the number of stream edges consumed so far.
+func (s *Sparsifier) Ingested() int64 { return s.ingested }

@@ -1,0 +1,138 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/spectral"
+)
+
+func streamAll(t *testing.T, s *Sparsifier, edges []graph.Edge) {
+	t.Helper()
+	for _, e := range edges {
+		if err := s.Ingest(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStreamEndToEndQuality(t *testing.T) {
+	g := gen.Complete(160)
+	// Shuffle the stream order to exercise order-independence of the
+	// guarantee (not of the exact output).
+	r := rng.New(7)
+	perm := r.Perm(g.M())
+	s := New(g.N, Options{BufferEdges: 3000, ReduceEps: 0.2, Seed: 3})
+	for _, idx := range perm {
+		if err := s.Ingest(g.Edges[idx]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, reduces := s.Finish()
+	if reduces < 2 {
+		t.Fatalf("expected multiple reduces over %d edges with buffer 3000, got %d", g.M(), reduces)
+	}
+	if out.M() >= g.M() {
+		t.Fatalf("no compression: %d -> %d", g.M(), out.M())
+	}
+	b, err := spectral.DenseApproxFactor(g, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accuracy compounds per reduce: allow (1+eps)^reduces - 1 slack.
+	budget := 1.0
+	for i := 0; i < reduces; i++ {
+		budget *= 1.25
+	}
+	budget -= 1
+	if got := b.Epsilon(); got > budget {
+		t.Fatalf("streaming eps %v exceeds compounded budget %v (%d reduces)", got, budget, reduces)
+	}
+}
+
+func TestStreamMemoryBound(t *testing.T) {
+	g := gen.Complete(200)
+	buf := 2000
+	s := New(g.N, Options{BufferEdges: buf, ReduceEps: 0.25, Seed: 5})
+	peak := 0
+	for _, e := range g.Edges {
+		if err := s.Ingest(e); err != nil {
+			t.Fatal(err)
+		}
+		if sz := s.SummarySize(); sz > peak {
+			peak = sz
+		}
+	}
+	// In-memory size never exceeds buffer + previous summary; the
+	// summary after a reduce is itself bounded by roughly the bundle
+	// floor plus a quarter of the merged size.
+	if peak > 3*buf+g.N*22 {
+		t.Fatalf("peak in-memory size %d blew the semi-streaming budget", peak)
+	}
+	if s.Ingested() != int64(g.M()) {
+		t.Fatalf("ingested %d want %d", s.Ingested(), g.M())
+	}
+}
+
+func TestStreamPreservesConnectivity(t *testing.T) {
+	g := gen.Barbell(40, 1)
+	s := New(g.N, Options{BufferEdges: 400, ReduceEps: 0.25, Seed: 9})
+	streamAll(t, s, g.Edges)
+	out, _ := s.Finish()
+	if !graph.IsConnected(out) {
+		t.Fatal("stream summary lost the bridge (bundle must retain it at every reduce)")
+	}
+}
+
+func TestStreamRejectsBadEdges(t *testing.T) {
+	s := New(5, Options{})
+	if err := s.Ingest(graph.Edge{U: 0, V: 9, W: 1}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if err := s.Ingest(graph.Edge{U: 0, V: 1, W: -2}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestStreamNoReduceForSmallStreams(t *testing.T) {
+	g := gen.Path(50)
+	s := New(g.N, Options{BufferEdges: 10000, Seed: 11})
+	streamAll(t, s, g.Edges)
+	out, reduces := s.Finish()
+	if reduces != 1 {
+		t.Fatalf("small stream should reduce exactly once at Finish, got %d", reduces)
+	}
+	// A path is all-bundle: the summary is exact.
+	if out.M() != g.M() {
+		t.Fatalf("path stream summary %d != %d", out.M(), g.M())
+	}
+}
+
+func TestStreamEmptyFinish(t *testing.T) {
+	s := New(10, Options{})
+	out, reduces := s.Finish()
+	if out.M() != 0 || reduces != 0 {
+		t.Fatal("empty stream mishandled")
+	}
+}
+
+func TestStreamDeterministicForFixedOrder(t *testing.T) {
+	g := gen.Complete(100)
+	run := func() *graph.Graph {
+		s := New(g.N, Options{BufferEdges: 1500, Seed: 13})
+		streamAll(t, s, g.Edges)
+		out, _ := s.Finish()
+		return out
+	}
+	a, b := run(), run()
+	if a.M() != b.M() {
+		t.Fatal("nondeterministic summary size")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}

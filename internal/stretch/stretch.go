@@ -1,0 +1,167 @@
+// Package stretch computes shortest paths and edge stretches in the
+// resistive metric the paper uses: the length of edge e is 1/w_e, and
+// the stretch of e over a subgraph H is
+//
+//	st_H(e) = w_e · dist_H(u, v),
+//
+// where dist is measured in resistive lengths. A log n-spanner is a
+// subgraph with st_H(e) ≤ 2 log n for every edge e of G; this package
+// provides the checker the tests and experiments use to verify spanner
+// outputs.
+package stretch
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/parutil"
+)
+
+// item is a priority queue entry for Dijkstra.
+type item struct {
+	v    int32
+	dist float64
+}
+
+type pq []item
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(item)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra computes single-source resistive distances from src in g,
+// optionally restricted to edges where alive is true. Unreachable
+// vertices get +Inf.
+func Dijkstra(g *graph.Graph, adj *graph.Adjacency, src int32, alive []bool) []float64 {
+	dist := make([]float64, g.N)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	q := &pq{{v: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(item)
+		if it.dist > dist[it.v] {
+			continue
+		}
+		lo, hi := adj.Range(it.v)
+		for s := lo; s < hi; s++ {
+			eid := adj.EID[s]
+			if alive != nil && !alive[eid] {
+				continue
+			}
+			u := adj.Nbr[s]
+			nd := it.dist + g.Edges[eid].Resistance()
+			if nd < dist[u] {
+				dist[u] = nd
+				heap.Push(q, item{v: u, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// BoundedDijkstra is Dijkstra with an early exit: exploration stops at
+// resistive distance > bound. Distances beyond the bound are +Inf.
+// Spanner verification uses this because st ≤ 2 log n only requires
+// distances up to (2 log n)/w_e.
+func BoundedDijkstra(g *graph.Graph, adj *graph.Adjacency, src int32, alive []bool, bound float64) map[int32]float64 {
+	dist := map[int32]float64{src: 0}
+	q := &pq{{v: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(item)
+		if d, ok := dist[it.v]; ok && it.dist > d {
+			continue
+		}
+		lo, hi := adj.Range(it.v)
+		for s := lo; s < hi; s++ {
+			eid := adj.EID[s]
+			if alive != nil && !alive[eid] {
+				continue
+			}
+			u := adj.Nbr[s]
+			nd := it.dist + g.Edges[eid].Resistance()
+			if nd > bound {
+				continue
+			}
+			if d, ok := dist[u]; !ok || nd < d {
+				dist[u] = nd
+				heap.Push(q, item{v: u, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// EdgeStretches returns st_H(e) for every edge e of g, where H is the
+// subgraph of g selected by inH. The computation runs one Dijkstra per
+// distinct source endpoint, parallelized over sources. Edges absent
+// from H with disconnected endpoints in H get +Inf.
+func EdgeStretches(g *graph.Graph, inH []bool) []float64 {
+	h := g.Subgraph(inH)
+	// Re-map H's edges onto g's vertex set; H shares vertex ids with g.
+	hAdj := graph.NewAdjacency(h)
+	// Group queries by source vertex.
+	bySrc := make(map[int32][]int)
+	for i, e := range g.Edges {
+		bySrc[e.U] = append(bySrc[e.U], i)
+	}
+	sources := make([]int32, 0, len(bySrc))
+	for s := range bySrc {
+		sources = append(sources, s)
+	}
+	// Deterministic order.
+	for i := 1; i < len(sources); i++ {
+		for j := i; j > 0 && sources[j] < sources[j-1]; j-- {
+			sources[j], sources[j-1] = sources[j-1], sources[j]
+		}
+	}
+	out := make([]float64, len(g.Edges))
+	parutil.For(len(sources), func(si int) {
+		src := sources[si]
+		dist := Dijkstra(h, hAdj, src, nil)
+		for _, eid := range bySrc[src] {
+			e := g.Edges[eid]
+			out[eid] = e.W * dist[e.V]
+		}
+	})
+	return out
+}
+
+// MaxStretch returns the maximum stretch of any g-edge over the
+// subgraph selected by inH, and whether all stretches are finite.
+func MaxStretch(g *graph.Graph, inH []bool) (max float64, finite bool) {
+	st := EdgeStretches(g, inH)
+	finite = true
+	for _, s := range st {
+		if math.IsInf(s, 1) {
+			finite = false
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max, finite
+}
+
+// VerifySpanner checks the paper's spanner property: every edge of g
+// has st_H(e) ≤ bound. It returns the first violating edge index, or -1
+// if none.
+func VerifySpanner(g *graph.Graph, inH []bool, bound float64) int {
+	st := EdgeStretches(g, inH)
+	for i, s := range st {
+		if s > bound*(1+1e-9) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,140 @@
+package stretch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestDijkstraPath(t *testing.T) {
+	g := gen.Path(5) // unit weights → resistive length 1 per edge
+	adj := graph.NewAdjacency(g)
+	dist := Dijkstra(g, adj, 0, nil)
+	for v := 0; v < 5; v++ {
+		if math.Abs(dist[v]-float64(v)) > 1e-12 {
+			t.Fatalf("dist[%d]=%v", v, dist[v])
+		}
+	}
+}
+
+func TestDijkstraWeighted(t *testing.T) {
+	// Weight 4 → resistive length 1/4.
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1, W: 4}, {U: 1, V: 2, W: 2}})
+	adj := graph.NewAdjacency(g)
+	dist := Dijkstra(g, adj, 0, nil)
+	if math.Abs(dist[2]-0.75) > 1e-12 {
+		t.Fatalf("dist[2]=%v want 0.75", dist[2])
+	}
+}
+
+func TestDijkstraRespectsAliveMask(t *testing.T) {
+	g := gen.Cycle(6)
+	adj := graph.NewAdjacency(g)
+	alive := make([]bool, g.M())
+	for i := range alive {
+		alive[i] = true
+	}
+	alive[0] = false // cut edge (0,1)
+	dist := Dijkstra(g, adj, 0, alive)
+	if math.Abs(dist[1]-5) > 1e-12 {
+		t.Fatalf("dist[1]=%v want 5 (around the cycle)", dist[1])
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1, W: 1}})
+	adj := graph.NewAdjacency(g)
+	dist := Dijkstra(g, adj, 0, nil)
+	if !math.IsInf(dist[2], 1) {
+		t.Fatalf("dist[2]=%v want +Inf", dist[2])
+	}
+}
+
+func TestBoundedDijkstraCutoff(t *testing.T) {
+	g := gen.Path(10)
+	adj := graph.NewAdjacency(g)
+	dist := BoundedDijkstra(g, adj, 0, nil, 3.5)
+	if _, ok := dist[3]; !ok {
+		t.Fatal("vertex 3 should be within bound")
+	}
+	if _, ok := dist[7]; ok {
+		t.Fatal("vertex 7 should be beyond bound")
+	}
+}
+
+func TestEdgeStretchesIdentity(t *testing.T) {
+	g := gen.Cycle(8)
+	all := make([]bool, g.M())
+	for i := range all {
+		all[i] = true
+	}
+	st := EdgeStretches(g, all)
+	for i, s := range st {
+		if math.Abs(s-1) > 1e-12 {
+			t.Fatalf("stretch of kept edge %d = %v", i, s)
+		}
+	}
+}
+
+func TestEdgeStretchesRemovedCycleEdge(t *testing.T) {
+	n := 9
+	g := gen.Cycle(n)
+	inH := make([]bool, g.M())
+	for i := range inH {
+		inH[i] = true
+	}
+	inH[g.M()-1] = false // drop the closing edge
+	st := EdgeStretches(g, inH)
+	if math.Abs(st[g.M()-1]-float64(n-1)) > 1e-12 {
+		t.Fatalf("stretch=%v want %d", st[g.M()-1], n-1)
+	}
+}
+
+func TestEdgeStretchesWeighted(t *testing.T) {
+	// Edge (0,2) of weight 2 (length 1/2); alternative path via 1 has
+	// length 1/1 + 1/1 = 2 → stretch = w·dist = 2·2 = 4.
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 0, V: 2, W: 2}})
+	inH := []bool{true, true, false}
+	st := EdgeStretches(g, inH)
+	if math.Abs(st[2]-4) > 1e-12 {
+		t.Fatalf("stretch=%v want 4", st[2])
+	}
+}
+
+func TestMaxStretchFiniteFlag(t *testing.T) {
+	g := gen.Path(4)
+	inH := []bool{true, false, true}
+	_, finite := MaxStretch(g, inH)
+	if finite {
+		t.Fatal("dropping a bridge must make stretch infinite")
+	}
+}
+
+func TestVerifySpannerAcceptsWholeGraph(t *testing.T) {
+	g := gen.Gnp(40, 0.3, 3)
+	all := make([]bool, g.M())
+	for i := range all {
+		all[i] = true
+	}
+	if bad := VerifySpanner(g, all, 1); bad != -1 {
+		t.Fatalf("whole graph rejected at edge %d", bad)
+	}
+}
+
+func TestVerifySpannerFlagsViolation(t *testing.T) {
+	n := 12
+	g := gen.Cycle(n)
+	inH := make([]bool, g.M())
+	for i := range inH {
+		inH[i] = true
+	}
+	inH[g.M()-1] = false
+	if bad := VerifySpanner(g, inH, float64(n-2)); bad == -1 {
+		t.Fatal("violation not detected")
+	}
+	if bad := VerifySpanner(g, inH, float64(n-1)); bad != -1 {
+		t.Fatalf("bound %d should pass, flagged edge %d", n-1, bad)
+	}
+}

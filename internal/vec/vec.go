@@ -1,0 +1,119 @@
+// Package vec provides the dense vector kernels used by the iterative
+// solvers: BLAS-1 style operations with optional goroutine parallelism
+// for long vectors.
+package vec
+
+import (
+	"math"
+
+	"repro/internal/parutil"
+)
+
+// Dot returns the inner product <x, y>.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("vec: Dot length mismatch")
+	}
+	if len(x) < parutil.MinGrain {
+		s := 0.0
+		for i, v := range x {
+			s += v * y[i]
+		}
+		return s
+	}
+	return parutil.SumFloat(len(x), func(i int) float64 { return x[i] * y[i] })
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(Dot(x, x))
+}
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("vec: Axpy length mismatch")
+	}
+	if len(x) < parutil.MinGrain {
+		for i, v := range x {
+			y[i] += a * v
+		}
+		return
+	}
+	parutil.ForBlocks(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] += a * x[i]
+		}
+	})
+}
+
+// Scale multiplies x by a in place.
+func Scale(a float64, x []float64) {
+	parutil.ForBlocks(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] *= a
+		}
+	})
+}
+
+// Copy copies src into dst (lengths must match).
+func Copy(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("vec: Copy length mismatch")
+	}
+	copy(dst, src)
+}
+
+// AddScaled sets dst[i] = x[i] + a*y[i].
+func AddScaled(dst, x []float64, a float64, y []float64) {
+	if len(dst) != len(x) || len(x) != len(y) {
+		panic("vec: AddScaled length mismatch")
+	}
+	parutil.ForBlocks(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = x[i] + a*y[i]
+		}
+	})
+}
+
+// Sub sets dst = x - y.
+func Sub(dst, x, y []float64) {
+	AddScaled(dst, x, -1, y)
+}
+
+// Zero clears x.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Sum returns the sum of entries.
+func Sum(x []float64) float64 {
+	return parutil.SumFloat(len(x), func(i int) float64 { return x[i] })
+}
+
+// ProjectOutOnes removes the mean from x, i.e. projects x onto the
+// subspace orthogonal to the all-ones vector — the range space of a
+// connected graph Laplacian. Solvers call this to keep iterates well
+// defined despite the Laplacian's null space.
+func ProjectOutOnes(x []float64) {
+	if len(x) == 0 {
+		return
+	}
+	mean := Sum(x) / float64(len(x))
+	parutil.ForBlocks(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] -= mean
+		}
+	})
+}
+
+// MaxAbs returns the infinity norm of x.
+func MaxAbs(x []float64) float64 {
+	m, ok := parutil.MaxFloat(len(x), func(i int) float64 { return math.Abs(x[i]) })
+	if !ok {
+		return 0
+	}
+	return m
+}

@@ -1,0 +1,135 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func randVec(seed uint64, n int) []float64 {
+	r := rng.New(seed)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.Norm()
+	}
+	return x
+}
+
+func TestDotSmallAndLarge(t *testing.T) {
+	for _, n := range []int{0, 3, 5000} {
+		x := randVec(1, n)
+		y := randVec(2, n)
+		want := 0.0
+		for i := range x {
+			want += x[i] * y[i]
+		}
+		if got := Dot(x, y); math.Abs(got-want) > 1e-9*math.Abs(want)+1e-12 {
+			t.Fatalf("n=%d Dot=%v want %v", n, got, want)
+		}
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot(make([]float64, 3), make([]float64, 4))
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Norm2=%v", got)
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	for _, n := range []int{4, 5000} {
+		x := randVec(3, n)
+		y := randVec(4, n)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = y[i] + 2.5*x[i]
+		}
+		Axpy(2.5, x, y)
+		for i := range y {
+			if math.Abs(y[i]-want[i]) > 1e-12 {
+				t.Fatalf("n=%d Axpy[%d]=%v want %v", n, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+func TestScaleAndZero(t *testing.T) {
+	x := []float64{1, 2, 3}
+	Scale(2, x)
+	if x[2] != 6 {
+		t.Fatalf("Scale: %v", x)
+	}
+	Zero(x)
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+}
+
+func TestAddScaledAndSub(t *testing.T) {
+	x := []float64{1, 2}
+	y := []float64{10, 20}
+	dst := make([]float64, 2)
+	AddScaled(dst, x, 3, y)
+	if dst[0] != 31 || dst[1] != 62 {
+		t.Fatalf("AddScaled: %v", dst)
+	}
+	Sub(dst, y, x)
+	if dst[0] != 9 || dst[1] != 18 {
+		t.Fatalf("Sub: %v", dst)
+	}
+}
+
+func TestProjectOutOnesRemovesMean(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		x := randVec(seed, n)
+		ProjectOutOnes(x)
+		return math.Abs(Sum(x)) < 1e-9*float64(n)+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectOutOnesIdempotent(t *testing.T) {
+	x := randVec(9, 50)
+	ProjectOutOnes(x)
+	y := make([]float64, 50)
+	copy(y, x)
+	ProjectOutOnes(x)
+	for i := range x {
+		if math.Abs(x[i]-y[i]) > 1e-12 {
+			t.Fatal("projection not idempotent")
+		}
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if got := MaxAbs([]float64{1, -7, 3}); got != 7 {
+		t.Fatalf("MaxAbs=%v", got)
+	}
+	if got := MaxAbs(nil); got != 0 {
+		t.Fatalf("MaxAbs(nil)=%v", got)
+	}
+}
+
+func TestCopy(t *testing.T) {
+	src := []float64{1, 2, 3}
+	dst := make([]float64, 3)
+	Copy(dst, src)
+	if dst[1] != 2 {
+		t.Fatal("Copy failed")
+	}
+}
