@@ -179,9 +179,12 @@ type DistStats = dist.Stats
 
 // DistributedSparsify runs Algorithm 2 in the simulated synchronous
 // distributed model and returns the sparsifier plus the communication
-// ledger (rounds, messages, words) that Theorem 5 bounds.
+// ledger (rounds, messages, words) that Theorem 5 bounds. Options are
+// honored as in Sparsify (BundleT overrides the bundle depth, Theory
+// selects the paper's constants), and for equal Options the output is
+// edge-identical to Sparsify.
 func DistributedSparsify(g *Graph, eps, rho float64, opt Options) (*Graph, DistStats) {
-	res := dist.Sparsify(g, eps, rho, 0, opt.Seed)
+	res := dist.SparsifyConfig(g, eps, rho, opt.config())
 	return res.G, res.Stats
 }
 

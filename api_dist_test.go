@@ -1,0 +1,45 @@
+package repro
+
+import "testing"
+
+// TestDistributedSparsifyHonorsOptions: the distributed entry point
+// resolves BundleT and Theory the same way the shared-memory path does,
+// so equal Options give edge-identical outputs from both.
+func TestDistributedSparsifyHonorsOptions(t *testing.T) {
+	g := Gnp(200, 0.3, 33)
+	for _, opt := range []Options{
+		{Seed: 5},
+		{Seed: 5, BundleT: 2},
+		{Seed: 5, Theory: true},
+	} {
+		hd, _ := DistributedSparsify(g, 0.75, 4, opt)
+		hs, _ := Sparsify(g, 0.75, 4, opt)
+		if hd.M() != hs.M() {
+			t.Fatalf("opt %+v: distributed m=%d vs shared m=%d", opt, hd.M(), hs.M())
+		}
+		for i := range hs.Edges {
+			if hd.Edges[i] != hs.Edges[i] {
+				t.Fatalf("opt %+v: edge %d differs: %+v vs %+v", opt, i, hd.Edges[i], hs.Edges[i])
+			}
+		}
+	}
+	// Domain parity with the shared-memory path: eps > 1 is legal when
+	// the per-round accuracy lands in (0,1], and rho ≤ 1 is the
+	// identity for any eps.
+	hd, _ := DistributedSparsify(g, 1.5, 4, Options{Seed: 5})
+	hs, _ := Sparsify(g, 1.5, 4, Options{Seed: 5})
+	if hd.M() != hs.M() {
+		t.Fatalf("eps=1.5: distributed m=%d vs shared m=%d", hd.M(), hs.M())
+	}
+	id, stats := DistributedSparsify(g, 0, 1, Options{Seed: 5})
+	if id.M() != g.M() || stats.Rounds != 0 {
+		t.Fatalf("rho<=1 should be a free identity: m=%d stats=%+v", id.M(), stats)
+	}
+	// BundleT must actually change the outcome (it did not before it
+	// was plumbed through).
+	deep, _ := DistributedSparsify(g, 0.75, 4, Options{Seed: 5, BundleT: 4})
+	shallow, _ := DistributedSparsify(g, 0.75, 4, Options{Seed: 5, BundleT: 1})
+	if deep.M() <= shallow.M() {
+		t.Fatalf("deeper bundle should keep more edges: t=4 gives %d, t=1 gives %d", deep.M(), shallow.M())
+	}
+}

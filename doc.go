@@ -18,6 +18,14 @@
 //	// the per-round bundle/sample statistics.
 //	b, err := repro.Bounds(g, h, repro.Options{}) // measure (1±ε)
 //
+// The paper's distributed results live in internal/dist and surface
+// here as DistributedSparsify: Algorithm 2 / Theorem 5 executed on a
+// simulated CONGEST-style synchronous network (per-vertex mailboxes,
+// Baswana–Sen clustering as rounds), returning a DistStats
+// communication ledger — rounds, messages, words, per-phase — that the
+// tests pin against the O(log² n)-round, near-linear-communication
+// bounds of Theorems 2 and 5.
+//
 // All randomness is seeded and the library is deterministic for a fixed
 // seed at any GOMAXPROCS. See DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the reproduced guarantees.

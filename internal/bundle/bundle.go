@@ -39,6 +39,11 @@ type Result struct {
 	Exhausted bool
 }
 
+// LayerSeedMix derives each layer's spanner seed from the bundle seed.
+// Exported for the distributed simulation (internal/dist), which must
+// peel layers with identical seeds to stay edge-identical with Compute.
+const LayerSeedMix = 0x517cc1b727220a95
+
 // Compute builds a t-bundle spanner of the alive subgraph of g.
 // alive may be nil (all edges). The returned mask has length
 // len(g.Edges) and never selects a dead edge.
@@ -61,7 +66,7 @@ func Compute(g *graph.Graph, adj *graph.Adjacency, alive []bool, opt Options) *R
 		}
 		sp := spanner.Compute(g, adj, cur, spanner.Options{
 			K:       opt.K,
-			Seed:    opt.Seed ^ (uint64(layer+1) * 0x517cc1b727220a95),
+			Seed:    opt.Seed ^ (uint64(layer+1) * LayerSeedMix),
 			Tracker: opt.Tracker,
 		})
 		size := 0

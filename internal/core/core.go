@@ -33,6 +33,19 @@ import (
 	"repro/internal/rng"
 )
 
+// Seed-stream split constants. Exported because the distributed
+// simulation (internal/dist) must derive identical sub-streams to stay
+// edge-identical with this implementation; change one side and the
+// equivalence tests in internal/dist will fail.
+const (
+	// BundleSeedMix separates the bundle's randomness from the round seed.
+	BundleSeedMix = 0xb5297a4d3f8c6e21
+	// SampleSeedMix separates the uniform-sampling coin flips.
+	SampleSeedMix = 0x6a09e667f3bcc909
+	// RoundSeedMix derives the per-iteration seeds of Algorithm 2.
+	RoundSeedMix = 0xd1342543de82ef95
+)
+
 // Config controls the sparsification algorithms.
 type Config struct {
 	// BundleConst and BundleLogPow set the bundle thickness
@@ -91,7 +104,9 @@ func (c Config) BundleThickness(n int, eps float64) int {
 	return t
 }
 
-func (c Config) keepProb() float64 {
+// SampleKeepProb returns the effective sampling probability for
+// non-bundle edges (the paper's 1/4 unless overridden to a valid value).
+func (c Config) SampleKeepProb() float64 {
 	if c.KeepProb <= 0 || c.KeepProb >= 1 {
 		return 0.25
 	}
@@ -128,7 +143,7 @@ func ParallelSample(g *graph.Graph, eps float64, cfg Config) (*graph.Graph, *Sam
 	bres := bundle.Compute(g, adj, nil, bundle.Options{
 		T:       t,
 		K:       cfg.SpannerK,
-		Seed:    cfg.Seed ^ 0xb5297a4d3f8c6e21,
+		Seed:    cfg.Seed ^ BundleSeedMix,
 		Tracker: cfg.Tracker,
 	})
 	stats := &SampleStats{
@@ -138,12 +153,12 @@ func ParallelSample(g *graph.Graph, eps float64, cfg Config) (*graph.Graph, *Sam
 		BundleLayers: bres.LayerSizes,
 		Exhausted:    bres.Exhausted,
 	}
-	p := cfg.keepProb()
+	p := cfg.SampleKeepProb()
 	scale := 1 / p
 	// Keep bundle edges verbatim; flip an independent coin for the rest.
 	// The per-edge decision is a pure function of (seed, edge index), so
 	// the output is deterministic under any parallel schedule.
-	seed := cfg.Seed ^ 0x6a09e667f3bcc909
+	seed := cfg.Seed ^ SampleSeedMix
 	edges := parutil.CollectShards(m, func(_ int, lo, hi int) []graph.Edge {
 		var out []graph.Edge
 		for i := lo; i < hi; i++ {
@@ -190,7 +205,7 @@ func ParallelSparsify(g *graph.Graph, eps, rho float64, cfg Config) (*graph.Grap
 	cur := g
 	for i := 0; i < rounds; i++ {
 		roundCfg := cfg
-		roundCfg.Seed = cfg.Seed ^ (uint64(i+1) * 0xd1342543de82ef95)
+		roundCfg.Seed = cfg.Seed ^ (uint64(i+1) * RoundSeedMix)
 		next, rs := ParallelSample(cur, epsRound, roundCfg)
 		stats.Rounds = append(stats.Rounds, rs)
 		cur = next

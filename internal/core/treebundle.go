@@ -69,7 +69,7 @@ func ParallelSampleTreeBundle(g *graph.Graph, eps float64, t int, cfg Config) (*
 	}
 	// Keep the bundle; flip the 1/4 coin on everything else, exactly as
 	// in Algorithm 1.
-	p := cfg.keepProb()
+	p := cfg.SampleKeepProb()
 	scale := 1 / p
 	seed := cfg.Seed ^ 0x452821e638d01377
 	edges := parutil.CollectShards(m, func(_ int, lo, hi int) []graph.Edge {

@@ -1,0 +1,31 @@
+// Package dist simulates the paper's synchronous distributed model and
+// implements its two distributed results on top of an explicit
+// CONGEST-style round engine:
+//
+//   - BaswanaSen (Theorem 2 / Corollary 3): the randomized Baswana–Sen
+//     (2k−1)-spanner [Baswana & Sen, Random Struct. Algorithms 2007]
+//     expressed as synchronous rounds over per-vertex mailboxes. Cluster
+//     centers sample themselves, broadcast the outcome down their
+//     cluster trees (radius grows by one per iteration, hence O(log² n)
+//     rounds total), neighbors exchange cluster ids, and every vertex
+//     decides locally from its mailbox — never by peeking at remote
+//     state. Messages carry O(1) words of O(log n) bits each.
+//
+//   - Sparsify (Algorithm 2 / Theorem 5): spectral sparsification by
+//     ⌈log₂ρ⌉ iterations of the Algorithm 1 sampling round, each round
+//     composing t independent Baswana–Sen spanner layers into a
+//     t-bundle (Definition 1) and then keeping every off-bundle edge
+//     with probability 1/4 at weight 4w. The whole pipeline runs
+//     through one Engine, so the returned Stats ledger is the total
+//     communication bill of the distributed algorithm: O(t·log²n·log ρ)
+//     rounds and O(m·log n) words per spanner layer, i.e. near-linear
+//     total communication.
+//
+// The decision logic mirrors the shared-memory implementation in
+// internal/spanner and internal/core exactly (same split-stream seeds,
+// same tie-breaking), so for equal seeds the distributed algorithms
+// produce bit-identical outputs to spanner.Compute and
+// core.ParallelSparsify. The simulation therefore adds exactly one
+// thing: the communication ledger (Stats) that Theorems 2 and 5 bound,
+// counted message by message as the rounds execute.
+package dist

@@ -1,0 +1,143 @@
+package dist
+
+// The round engine: a simulated synchronous message-passing network
+// (the CONGEST-style model of the paper's Section on distributed
+// implementation). Vertices are the processors; each round every vertex
+// may send word-bounded messages to neighbors, and every message sent
+// in round r is readable from the recipient's mailbox during round r+1.
+//
+// The simulation is receiver-staged: the goroutine that owns vertex v
+// is the only one allowed to call Deliver(v, ...), which is how the
+// parallel per-vertex loops of the algorithms stay race-free while the
+// ledger still counts every directed message exactly once. Message
+// payloads always carry snapshot state from the start of the round, so
+// the staging direction is unobservable to the algorithm.
+
+// MsgKind identifies the payload schema of a message.
+type MsgKind uint8
+
+const (
+	// MsgSampled travels parent→child down a cluster tree and carries
+	// the cluster's sampled bit for the current iteration.
+	MsgSampled MsgKind = iota
+	// MsgCenter is the per-iteration neighbor exchange: the sender's
+	// cluster id, its cluster-tree depth, and the cluster-sampled bit.
+	MsgCenter
+	// MsgAdd tells the recipient that the sender placed their shared
+	// edge in the spanner.
+	MsgAdd
+	// MsgDrop tells the recipient that the sender discarded their
+	// shared edge from the working edge set E'.
+	MsgDrop
+	// MsgNewCenter is the post-decision center exchange used to discard
+	// intra-cluster edges and to run the final vertex–cluster joins.
+	MsgNewCenter
+	// MsgKeep announces a uniform-sampling verdict for an off-bundle
+	// edge during Algorithm 1's sampling step.
+	MsgKeep
+)
+
+// Words returns the payload size of the kind in O(log n)-bit words.
+func (k MsgKind) Words() int {
+	if k == MsgCenter {
+		return 3
+	}
+	return 1
+}
+
+// Message is one payload crossing one edge in one round. Port is the
+// edge over which it traveled — addressing, not payload, so it does not
+// count toward Words (a real network identifies the arrival link for
+// free). A, B, and C are the payload words.
+type Message struct {
+	From    int32
+	Port    int32
+	Kind    MsgKind
+	A, B, C int32
+}
+
+// Engine simulates the synchronous network for a fixed vertex set and
+// accumulates the communication ledger.
+type Engine struct {
+	n       int
+	staged  [][]Message // messages sent this round, staged by recipient
+	mailbox [][]Message // messages delivered by the previous EndRound
+	stats   Stats
+	cur     int // index of the current phase in stats.Phases
+}
+
+// NewEngine returns an engine for n vertices with an empty ledger.
+func NewEngine(n int) *Engine {
+	e := &Engine{
+		n:       n,
+		staged:  make([][]Message, n),
+		mailbox: make([][]Message, n),
+		cur:     -1,
+	}
+	return e
+}
+
+// BeginPhase directs subsequent rounds' accounting at the named phase,
+// creating it on first use; repeated names merge (iterated stages show
+// up as one row).
+func (e *Engine) BeginPhase(name string) {
+	for i := range e.stats.Phases {
+		if e.stats.Phases[i].Name == name {
+			e.cur = i
+			return
+		}
+	}
+	e.stats.Phases = append(e.stats.Phases, PhaseStats{Name: name})
+	e.cur = len(e.stats.Phases) - 1
+}
+
+// Deliver stages a message for vertex `to` in the current round. It
+// must be called only from the goroutine that owns `to` (per-vertex
+// sharding), or from a single goroutine.
+func (e *Engine) Deliver(to int32, m Message) {
+	e.staged[to] = append(e.staged[to], m)
+}
+
+// EndRound closes the current synchronous round: staged messages are
+// billed to the ledger and become the mailboxes readable until the next
+// EndRound. Mailbox slices are recycled — callers must not retain them
+// across two EndRound calls.
+func (e *Engine) EndRound() {
+	if e.cur < 0 {
+		e.BeginPhase("main")
+	}
+	var msgs, words int64
+	maxW := e.stats.MaxMessageWords
+	for v := range e.staged {
+		for _, m := range e.staged[v] {
+			w := m.Kind.Words()
+			msgs++
+			words += int64(w)
+			if w > maxW {
+				maxW = w
+			}
+		}
+	}
+	e.staged, e.mailbox = e.mailbox, e.staged
+	for v := range e.staged {
+		e.staged[v] = e.staged[v][:0]
+	}
+	e.stats.Rounds++
+	e.stats.Messages += msgs
+	e.stats.Words += words
+	e.stats.MaxMessageWords = maxW
+	p := &e.stats.Phases[e.cur]
+	p.Rounds++
+	p.Messages += msgs
+	p.Words += words
+}
+
+// Mailbox returns the messages delivered to v by the last EndRound.
+func (e *Engine) Mailbox(v int32) []Message { return e.mailbox[v] }
+
+// Stats returns a copy of the accumulated ledger.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.Phases = append([]PhaseStats(nil), e.stats.Phases...)
+	return s
+}

@@ -1,0 +1,373 @@
+package dist
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/parutil"
+	"repro/internal/rng"
+	"repro/internal/spanner"
+)
+
+// SpannerResult is the output of the distributed Baswana–Sen run.
+type SpannerResult struct {
+	// InSpanner marks the selected edges of the input graph. For equal
+	// (k, seed) it is identical to spanner.Compute's mask: the
+	// distributed simulation changes how knowledge travels, not what is
+	// decided.
+	InSpanner []bool
+	// Center is the final cluster assignment after phase 1 (−1 for
+	// vertices that dropped out of the clustering).
+	Center []int32
+	// K is the level count actually used (k ≤ 0 selects ⌈log₂ n⌉), so
+	// the stretch guarantee is 2K−1 in the resistive metric.
+	K int
+	// Stats is the communication ledger Theorem 2 bounds: O(log² n)
+	// rounds, O(m log n) messages of O(1) words each.
+	Stats Stats
+}
+
+// BaswanaSen runs the Baswana–Sen (2k−1)-spanner on the simulated
+// synchronous network. k ≤ 0 selects the paper's ⌈log₂ n⌉ levels; seed
+// drives all sampling (equal seeds give identical outputs at any
+// GOMAXPROCS).
+func BaswanaSen(g *graph.Graph, k int, seed uint64) *SpannerResult {
+	adj := graph.NewAdjacency(g)
+	e := NewEngine(g.N)
+	in, center, kk := runBaswanaSen(e, g, adj, nil, k, seed)
+	return &SpannerResult{InSpanner: in, Center: center, K: kk, Stats: e.Stats()}
+}
+
+// notice is a spanner-add or edge-drop decision queued for delivery to
+// the other endpoint at the end of the decision round.
+type notice struct {
+	v   int32 // the deciding vertex (sender)
+	eid int32
+}
+
+// runBaswanaSen executes the clustering over the alive edges of g,
+// billing every round to e. alive may be nil (all edges). The returned
+// mask has length len(g.Edges).
+func runBaswanaSen(e *Engine, g *graph.Graph, adj *graph.Adjacency, alive []bool, k int, seed uint64) ([]bool, []int32, int) {
+	n := g.N
+	m := len(g.Edges)
+	if k <= 0 {
+		k = spanner.DefaultK(n)
+	}
+	inSpanner := make([]bool, m)
+	center := make([]int32, n)
+	parent := make([]int32, n) // tree edge toward the center (−1 at the center)
+	depth := make([]int32, n)  // hop distance to the center within the cluster
+	for i := range center {
+		center[i] = int32(i)
+		parent[i] = -1
+	}
+	if k == 1 {
+		for i := range inSpanner {
+			if alive == nil || alive[i] {
+				inSpanner[i] = true
+			}
+		}
+		return inSpanner, center, k
+	}
+	dead := make([]bool, m)
+	for i := range dead {
+		if alive != nil && !alive[i] {
+			dead[i] = true
+		}
+		if g.Edges[i].U == g.Edges[i].V {
+			dead[i] = true // self-loops carry no spectral information
+		}
+	}
+	p := math.Pow(float64(n), -1.0/float64(k))
+
+	for iter := 1; iter <= k-1; iter++ {
+		// --- Step 1: centers sample themselves; the verdict is waved
+		// down the cluster trees. A cluster formed by iteration i has
+		// radius ≤ i−1, so the wave costs ≤ i−1 rounds — summed over
+		// the iterations this is the Θ(log² n) round bill of Theorem 2.
+		e.BeginPhase("spanner/broadcast")
+		sampled := make([]bool, n)
+		parutil.For(n, func(v int) {
+			r := rng.SplitAt(seed^(uint64(iter)*0x9e3779b97f4a7c15), uint64(v))
+			sampled[v] = r.Float64() < p
+		})
+		maxDepth := int32(0)
+		for v := 0; v < n; v++ {
+			if center[v] >= 0 && depth[v] > maxDepth {
+				maxDepth = depth[v]
+			}
+		}
+		for r := int32(1); r <= maxDepth; r++ {
+			parutil.For(n, func(vi int) {
+				v := int32(vi)
+				if center[v] < 0 || depth[v] != r {
+					return
+				}
+				bit := int32(0)
+				if sampled[center[v]] {
+					bit = 1
+				}
+				e.Deliver(v, Message{From: parent[v], Kind: MsgSampled, A: bit})
+			})
+			e.EndRound()
+		}
+		// After the wave every clustered vertex knows its own cluster's
+		// bit; reading sampled[center[v]] below is exactly the mailbox
+		// content just simulated.
+
+		// --- Step 2: neighbor exchange — every clustered vertex
+		// announces (cluster id, depth, sampled bit) over each alive
+		// incident edge. One round, 3-word messages.
+		e.BeginPhase("spanner/exchange")
+		parutil.For(n, func(vi int) {
+			v := int32(vi)
+			lo, hi := adj.Range(v)
+			for slot := lo; slot < hi; slot++ {
+				eid := adj.EID[slot]
+				if dead[eid] {
+					continue
+				}
+				u := adj.Nbr[slot]
+				cu := center[u]
+				if cu < 0 {
+					continue // unclustered neighbors have nothing to announce
+				}
+				bit := int32(0)
+				if sampled[cu] {
+					bit = 1
+				}
+				e.Deliver(v, Message{From: u, Port: eid, Kind: MsgCenter, A: cu, B: depth[u], C: bit})
+			}
+		})
+		e.EndRound()
+
+		// --- Step 3: every vertex of an unsampled cluster decides from
+		// its mailbox alone, then notifies the other endpoint of each
+		// edge it added or discarded. The decision rule is verbatim
+		// Baswana–Sen cases (a)/(b), matching internal/spanner.
+		e.BeginPhase("spanner/decide")
+		newCenter := make([]int32, n)
+		newParent := make([]int32, n)
+		newDepth := make([]int32, n)
+		type vertexOut struct {
+			adds  []notice
+			kills []notice
+		}
+		outs := parutil.CollectShards(n, func(_ int, lo, hi int) []vertexOut {
+			var shardOuts []vertexOut
+			groups := make(map[int32]spanner.BestEdge)
+			for vi := lo; vi < hi; vi++ {
+				v := int32(vi)
+				c := center[v]
+				newParent[v], newDepth[v] = parent[v], depth[v]
+				if c < 0 {
+					newCenter[v] = -1
+					newParent[v], newDepth[v] = -1, 0
+					continue
+				}
+				if sampled[c] {
+					// Vertices of sampled clusters keep everything.
+					newCenter[v] = c
+					continue
+				}
+				for key := range groups {
+					delete(groups, key)
+				}
+				inbox := e.Mailbox(v)
+				for _, msg := range inbox {
+					if msg.Kind != MsgCenter || msg.A == c {
+						continue
+					}
+					spanner.UpdateBest(groups, msg.A, msg.Port, g.Edges[msg.Port].Resistance())
+				}
+				var out vertexOut
+				// The lightest edge into a *sampled* adjacent cluster.
+				best := spanner.BestEdge{Eid: -1}
+				var bestCluster int32
+				for _, msg := range inbox {
+					if msg.Kind != MsgCenter || msg.A == c {
+						continue
+					}
+					if msg.C == 0 {
+						continue // neighbor cluster not sampled
+					}
+					be := groups[msg.A]
+					if best.Eid < 0 || be.Len < best.Len || (be.Len == best.Len && be.Eid < best.Eid) {
+						best = be
+						bestCluster = msg.A
+					}
+				}
+				if best.Eid < 0 {
+					// Case (a): no sampled neighbor cluster. Certify the
+					// lightest edge to every adjacent cluster; v drops out
+					// and discards all its alive edges.
+					newCenter[v] = -1
+					newParent[v], newDepth[v] = -1, 0
+					for _, be := range groups {
+						out.adds = append(out.adds, notice{v, be.Eid})
+					}
+					lo2, hi2 := adj.Range(v)
+					for slot := lo2; slot < hi2; slot++ {
+						eid := adj.EID[slot]
+						if !dead[eid] {
+							out.kills = append(out.kills, notice{v, eid})
+						}
+					}
+				} else {
+					// Case (b): join the sampled cluster reached by the
+					// lightest such edge; certify lighter adjacent
+					// clusters; discard edges into all clusters handled.
+					newCenter[v] = bestCluster
+					out.adds = append(out.adds, notice{v, best.Eid})
+					removeCluster := make(map[int32]bool, 4)
+					removeCluster[bestCluster] = true
+					for cu, be := range groups {
+						if cu == bestCluster {
+							continue
+						}
+						if be.Len < best.Len || (be.Len == best.Len && be.Eid < best.Eid) {
+							out.adds = append(out.adds, notice{v, be.Eid})
+							removeCluster[cu] = true
+						}
+					}
+					for _, msg := range inbox {
+						if msg.Kind != MsgCenter {
+							continue
+						}
+						if removeCluster[msg.A] {
+							out.kills = append(out.kills, notice{v, msg.Port})
+						}
+					}
+					// The tree edge toward the new center is the edge
+					// just joined over; depth grows by one hop.
+					for _, msg := range inbox {
+						if msg.Kind == MsgCenter && msg.Port == best.Eid {
+							newParent[v] = msg.From
+							newDepth[v] = msg.B + 1
+							break
+						}
+					}
+				}
+				if len(out.adds) > 0 || len(out.kills) > 0 {
+					shardOuts = append(shardOuts, out)
+				}
+			}
+			return shardOuts
+		})
+		// Apply the simultaneous decisions, then deliver the add/drop
+		// notifications (one round; delivery order is shard order, which
+		// is deterministic).
+		for _, out := range outs {
+			for _, a := range out.adds {
+				inSpanner[a.eid] = true
+			}
+			for _, kn := range out.kills {
+				dead[kn.eid] = true
+			}
+		}
+		for _, out := range outs {
+			for _, a := range out.adds {
+				if o := other(g, a.eid, a.v); o != a.v {
+					e.Deliver(o, Message{From: a.v, Port: a.eid, Kind: MsgAdd, A: a.eid})
+				}
+			}
+			for _, kn := range out.kills {
+				if o := other(g, kn.eid, kn.v); o != kn.v {
+					e.Deliver(o, Message{From: kn.v, Port: kn.eid, Kind: MsgDrop, A: kn.eid})
+				}
+			}
+		}
+		e.EndRound()
+		center, parent, depth = newCenter, newParent, newDepth
+
+		// --- Step 4: exchange the new centers over surviving edges and
+		// discard intra-cluster edges (both endpoints reach the same
+		// verdict from symmetric knowledge). One round, 1-word messages.
+		e.BeginPhase("spanner/update")
+		parutil.For(n, func(vi int) {
+			v := int32(vi)
+			lo, hi := adj.Range(v)
+			for slot := lo; slot < hi; slot++ {
+				eid := adj.EID[slot]
+				if dead[eid] {
+					continue
+				}
+				u := adj.Nbr[slot]
+				if cu := center[u]; cu >= 0 {
+					e.Deliver(v, Message{From: u, Port: eid, Kind: MsgNewCenter, A: cu})
+				}
+			}
+		})
+		e.EndRound()
+		parutil.For(m, func(i int) {
+			if dead[i] {
+				return
+			}
+			ge := g.Edges[i]
+			cu, cv := center[ge.U], center[ge.V]
+			if cu >= 0 && cu == cv {
+				dead[i] = true
+			}
+		})
+	}
+
+	// --- Phase 2: vertex–cluster joins. One exchange round announcing
+	// final centers, one local selection of the lightest edge per
+	// adjacent surviving cluster, one notification round.
+	e.BeginPhase("spanner/join")
+	parutil.For(n, func(vi int) {
+		v := int32(vi)
+		lo, hi := adj.Range(v)
+		for slot := lo; slot < hi; slot++ {
+			eid := adj.EID[slot]
+			if dead[eid] {
+				continue
+			}
+			u := adj.Nbr[slot]
+			if cu := center[u]; cu >= 0 {
+				e.Deliver(v, Message{From: u, Port: eid, Kind: MsgNewCenter, A: cu})
+			}
+		}
+	})
+	e.EndRound()
+	adds := parutil.CollectShards(n, func(_ int, lo, hi int) []notice {
+		var shardAdds []notice
+		groups := make(map[int32]spanner.BestEdge)
+		for vi := lo; vi < hi; vi++ {
+			v := int32(vi)
+			for key := range groups {
+				delete(groups, key)
+			}
+			for _, msg := range e.Mailbox(v) {
+				if msg.Kind != MsgNewCenter {
+					continue
+				}
+				spanner.UpdateBest(groups, msg.A, msg.Port, g.Edges[msg.Port].Resistance())
+			}
+			for _, be := range groups {
+				shardAdds = append(shardAdds, notice{v, be.Eid})
+			}
+		}
+		return shardAdds
+	})
+	for _, a := range adds {
+		inSpanner[a.eid] = true
+	}
+	for _, a := range adds {
+		if o := other(g, a.eid, a.v); o != a.v {
+			e.Deliver(o, Message{From: a.v, Port: a.eid, Kind: MsgAdd, A: a.eid})
+		}
+	}
+	e.EndRound()
+	return inSpanner, center, k
+}
+
+// other returns the endpoint of edge eid that is not v.
+func other(g *graph.Graph, eid, v int32) int32 {
+	ge := g.Edges[eid]
+	if ge.U == v {
+		return ge.V
+	}
+	return ge.U
+}

@@ -1,0 +1,151 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bundle"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/parutil"
+	"repro/internal/rng"
+)
+
+// Result is the output of the distributed sparsifier: the sparsified
+// graph plus the total communication ledger of the run.
+type Result struct {
+	G     *graph.Graph
+	Stats Stats
+}
+
+// Sparsify runs the paper's Algorithm 2 on the simulated synchronous
+// network: ⌈log₂ρ⌉ iterations, each building a t-bundle of distributed
+// Baswana–Sen spanners and keeping every off-bundle edge independently
+// with probability 1/4 at weight 4w (Algorithm 1), with every message
+// of every round billed to the returned ledger (Theorem 5).
+//
+// depth overrides the bundle depth t (the number of spanner layers per
+// iteration); depth ≤ 0 selects the calibrated practical default
+// ⌈0.1·log₂n/ε_round²⌉ of core.DefaultConfig. For other configurations
+// (the paper's theory constants, a custom keep probability) use
+// SparsifyConfig.
+func Sparsify(g *graph.Graph, eps, rho float64, depth int, seed uint64) Result {
+	if seed == 0 {
+		seed = 1 // match Options.config's default so the API paths agree
+	}
+	cfg := core.DefaultConfig(seed)
+	cfg.BundleT = depth
+	return SparsifyConfig(g, eps, rho, cfg)
+}
+
+// SparsifyConfig runs the distributed Algorithm 2 under an explicit
+// shared-memory configuration. Validation, iteration count, seed
+// splitting, bundle thickness, and keep probability all follow
+// core.ParallelSparsify exactly, so for an equal cfg the returned graph
+// is edge-identical to the shared-memory output — the spectral (1±ε)
+// guarantee transfers verbatim and only the communication accounting is
+// new. (cfg.Tracker models CRCW PRAM cost and is ignored here; the
+// ledger replaces it.)
+func SparsifyConfig(g *graph.Graph, eps, rho float64, cfg core.Config) Result {
+	e := NewEngine(g.N)
+	if rho <= 1 {
+		return Result{G: g.Clone(), Stats: e.Stats()}
+	}
+	iters := int(math.Ceil(math.Log2(rho)))
+	epsRound := eps / float64(iters)
+	cur := g
+	for i := 0; i < iters; i++ {
+		roundCfg := cfg
+		roundCfg.Seed = cfg.Seed ^ (uint64(i+1) * core.RoundSeedMix)
+		cur = sampleRound(e, cur, epsRound, roundCfg)
+	}
+	return Result{G: cur, Stats: e.Stats()}
+}
+
+// sampleRound is one distributed Algorithm 1 round on the network held
+// by e: a t-bundle of distributed spanners over a shrinking alive mask,
+// then the uniform sampling round for off-bundle edges.
+func sampleRound(e *Engine, g *graph.Graph, eps float64, cfg core.Config) *graph.Graph {
+	if eps <= 0 || eps > 1 {
+		panic(fmt.Sprintf("dist: sample round requires eps in (0,1], got %v", eps))
+	}
+	n := g.N
+	m := len(g.Edges)
+	t := cfg.BundleThickness(n, eps)
+	adj := graph.NewAdjacency(g)
+
+	// Bundle construction: t sequential Baswana–Sen layers, each a
+	// spanner of the edges the previous layers left behind. Layer seeds
+	// match internal/bundle so the masks agree with bundle.Compute.
+	bundleSeed := cfg.Seed ^ core.BundleSeedMix
+	inBundle := make([]bool, m)
+	curAlive := make([]bool, m)
+	remaining := m
+	for i := range curAlive {
+		curAlive[i] = true
+	}
+	for layer := 0; layer < t; layer++ {
+		if remaining == 0 {
+			break // bundle swallowed the graph: identity round
+		}
+		layerSeed := bundleSeed ^ (uint64(layer+1) * bundle.LayerSeedMix)
+		in, _, _ := runBaswanaSen(e, g, adj, curAlive, cfg.SpannerK, layerSeed)
+		size := 0
+		for eid, sel := range in {
+			if sel && curAlive[eid] {
+				inBundle[eid] = true
+				curAlive[eid] = false
+				size++
+			}
+		}
+		remaining -= size
+		if size == 0 {
+			break // only self-loops left alive
+		}
+	}
+
+	// Sampling round: the lower endpoint of each off-bundle edge flips
+	// the coin (a pure function of seed and edge id, so both endpoints
+	// could recompute it — the message makes the verdict explicit) and
+	// announces the verdict to the other endpoint. One round, 1-word
+	// messages, one per off-bundle non-loop edge.
+	e.BeginPhase("sample")
+	p := cfg.SampleKeepProb()
+	scale := 1 / p
+	sampleSeed := cfg.Seed ^ core.SampleSeedMix
+	keep := func(i int) bool { return rng.SplitAt(sampleSeed, uint64(i)).Float64() < p }
+	parutil.For(n, func(vi int) {
+		v := int32(vi)
+		lo, hi := adj.Range(v)
+		for slot := lo; slot < hi; slot++ {
+			eid := adj.EID[slot]
+			if inBundle[eid] {
+				continue
+			}
+			u := adj.Nbr[slot]
+			if u >= v {
+				continue // the lower endpoint decides; v receives
+			}
+			bit := int32(0)
+			if keep(int(eid)) {
+				bit = 1
+			}
+			e.Deliver(v, Message{From: u, Port: eid, Kind: MsgKeep, A: bit})
+		}
+	})
+	e.EndRound()
+
+	edges := parutil.CollectShards(m, func(_ int, lo, hi int) []graph.Edge {
+		var out []graph.Edge
+		for i := lo; i < hi; i++ {
+			ge := g.Edges[i]
+			if inBundle[i] {
+				out = append(out, ge)
+			} else if keep(i) {
+				out = append(out, graph.Edge{U: ge.U, V: ge.V, W: ge.W * scale})
+			}
+		}
+		return out
+	})
+	return graph.FromEdges(n, edges)
+}

@@ -1,0 +1,46 @@
+package dist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats is the communication ledger of a simulated distributed
+// computation: the quantities Theorems 2 and 5 bound. One "word" is one
+// O(log n)-bit value (a vertex id, an edge id, or a packed small
+// integer); a message is one word-bounded payload crossing one edge in
+// one synchronous round.
+type Stats struct {
+	// Rounds is the number of synchronous communication rounds.
+	Rounds int
+	// Messages is the total number of messages delivered.
+	Messages int64
+	// Words is the total number of words carried by those messages.
+	Words int64
+	// MaxMessageWords is the largest single-message payload observed,
+	// in words. The paper's algorithms never exceed a small constant.
+	MaxMessageWords int
+	// Phases is the per-phase breakdown; phases with equal names are
+	// merged, so iterated algorithms report one row per logical stage
+	// (e.g. spanner/exchange, sample) rather than per repetition.
+	Phases []PhaseStats
+}
+
+// PhaseStats is the ledger of one named stage of the computation.
+type PhaseStats struct {
+	Name     string
+	Rounds   int
+	Messages int64
+	Words    int64
+}
+
+// String renders the ledger compactly for logs and examples.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dist{rounds=%d msgs=%d words=%d maxw=%d", s.Rounds, s.Messages, s.Words, s.MaxMessageWords)
+	for _, p := range s.Phases {
+		fmt.Fprintf(&b, " %s:%d/%d", p.Name, p.Rounds, p.Messages)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

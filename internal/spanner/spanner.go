@@ -48,6 +48,12 @@ type Result struct {
 	Iterations int
 }
 
+// IterSeedMix derives each clustering iteration's sampling stream from
+// the spanner seed. Exported for the distributed simulation
+// (internal/dist), which must flip identical center-sampling coins to
+// stay bit-identical with Compute.
+const IterSeedMix = 0x9e3779b97f4a7c15
+
 // DefaultK returns the paper's choice ⌈log₂ n⌉, at least 2.
 func DefaultK(n int) int {
 	if n < 4 {
@@ -128,29 +134,33 @@ type state struct {
 	sampleProb float64
 }
 
-// bestEdge tracks the lightest (in resistive length) alive edge from a
+// BestEdge tracks the lightest (in resistive length) alive edge from a
 // vertex to one adjacent cluster; ties break by edge id so the result
-// is independent of scan order.
-type bestEdge struct {
-	eid int32
-	len float64
+// is independent of scan order. It is exported because the distributed
+// simulation (internal/dist) must apply the identical total order to
+// stay bit-compatible with this implementation.
+type BestEdge struct {
+	Eid int32
+	Len float64
 }
 
-func better(a bestEdge, eid int32, l float64) bestEdge {
-	if a.eid < 0 || l < a.len || (l == a.len && eid < a.eid) {
-		return bestEdge{eid: eid, len: l}
+// Better folds candidate edge (eid, l) into a, keeping the lighter
+// (resistive length, then edge id) of the two.
+func Better(a BestEdge, eid int32, l float64) BestEdge {
+	if a.Eid < 0 || l < a.Len || (l == a.Len && eid < a.Eid) {
+		return BestEdge{Eid: eid, Len: l}
 	}
 	return a
 }
 
-// updateBest folds edge (eid, l) into the per-cluster minimum map,
-// treating a missing entry as "no edge yet" (the zero bestEdge would
+// UpdateBest folds edge (eid, l) into the per-cluster minimum map,
+// treating a missing entry as "no edge yet" (the zero BestEdge would
 // otherwise masquerade as edge 0 with length 0).
-func updateBest(m map[int32]bestEdge, c int32, eid int32, l float64) {
+func UpdateBest(m map[int32]BestEdge, c int32, eid int32, l float64) {
 	if be, ok := m[c]; ok {
-		m[c] = better(be, eid, l)
+		m[c] = Better(be, eid, l)
 	} else {
-		m[c] = bestEdge{eid: eid, len: l}
+		m[c] = BestEdge{Eid: eid, Len: l}
 	}
 }
 
@@ -161,7 +171,7 @@ func (s *state) clusterIteration(iter int) {
 	// decision is a pure function of (seed, iteration, center id).
 	sampled := make([]bool, n)
 	parutil.For(n, func(v int) {
-		r := rng.SplitAt(s.seed^(uint64(iter)*0x9e3779b97f4a7c15), uint64(v))
+		r := rng.SplitAt(s.seed^(uint64(iter)*IterSeedMix), uint64(v))
 		sampled[v] = r.Float64() < s.sampleProb
 	})
 
@@ -172,7 +182,7 @@ func (s *state) clusterIteration(iter int) {
 	}
 	outs := parutil.CollectShards(n, func(_ int, lo, hi int) []vertexOut {
 		var shardOuts []vertexOut
-		groups := make(map[int32]bestEdge)
+		groups := make(map[int32]BestEdge)
 		for vi := lo; vi < hi; vi++ {
 			v := int32(vi)
 			c := s.center[v]
@@ -203,25 +213,25 @@ func (s *state) clusterIteration(iter int) {
 					// the end of the previous iteration. Skip defensively.
 					continue
 				}
-				updateBest(groups, cu, eid, s.g.Edges[eid].Resistance())
+				UpdateBest(groups, cu, eid, s.g.Edges[eid].Resistance())
 			}
 			var out vertexOut
 			// Find the lightest edge into a *sampled* adjacent cluster.
-			best := bestEdge{eid: -1}
+			best := BestEdge{Eid: -1}
 			for cu, be := range groups {
 				if sampled[cu] {
-					if best.eid < 0 || be.len < best.len || (be.len == best.len && be.eid < best.eid) {
+					if best.Eid < 0 || be.Len < best.Len || (be.Len == best.Len && be.Eid < best.Eid) {
 						best = be
 					}
 				}
 			}
-			if best.eid < 0 {
+			if best.Eid < 0 {
 				// Case (a): no sampled neighbor cluster. Add the lightest
 				// edge to every adjacent cluster; v drops out of the
 				// clustering and discards all its alive edges.
 				newCenter[v] = -1
 				for _, be := range groups {
-					out.spannerAdd = append(out.spannerAdd, be.eid)
+					out.spannerAdd = append(out.spannerAdd, be.Eid)
 				}
 				for slot := loS; slot < hiS; slot++ {
 					eid := s.adj.EID[slot]
@@ -232,21 +242,21 @@ func (s *state) clusterIteration(iter int) {
 			} else {
 				// Case (b): join the sampled cluster reached by the
 				// lightest such edge; certify lighter adjacent clusters.
-				joined := s.g.Edges[best.eid]
+				joined := s.g.Edges[best.Eid]
 				jc := s.center[joined.U]
 				if joined.U == v {
 					jc = s.center[joined.V]
 				}
 				newCenter[v] = jc
-				out.spannerAdd = append(out.spannerAdd, best.eid)
+				out.spannerAdd = append(out.spannerAdd, best.Eid)
 				removeCluster := make(map[int32]bool, 4)
 				removeCluster[jc] = true
 				for cu, be := range groups {
 					if cu == jc {
 						continue
 					}
-					if be.len < best.len || (be.len == best.len && be.eid < best.eid) {
-						out.spannerAdd = append(out.spannerAdd, be.eid)
+					if be.Len < best.Len || (be.Len == best.Len && be.Eid < best.Eid) {
+						out.spannerAdd = append(out.spannerAdd, be.Eid)
 						removeCluster[cu] = true
 					}
 				}
@@ -298,7 +308,7 @@ func (s *state) vertexClusterJoin() {
 	n := s.g.N
 	adds := parutil.CollectShards(n, func(_ int, lo, hi int) []int32 {
 		var shardAdds []int32
-		groups := make(map[int32]bestEdge)
+		groups := make(map[int32]BestEdge)
 		for vi := lo; vi < hi; vi++ {
 			v := int32(vi)
 			for key := range groups {
@@ -315,10 +325,10 @@ func (s *state) vertexClusterJoin() {
 				if cu < 0 {
 					continue
 				}
-				updateBest(groups, cu, eid, s.g.Edges[eid].Resistance())
+				UpdateBest(groups, cu, eid, s.g.Edges[eid].Resistance())
 			}
 			for _, be := range groups {
-				shardAdds = append(shardAdds, be.eid)
+				shardAdds = append(shardAdds, be.Eid)
 			}
 		}
 		return shardAdds
