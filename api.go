@@ -43,6 +43,15 @@ type Options struct {
 	Theory bool
 	// BundleT overrides the bundle thickness formula when positive.
 	BundleT int
+	// Shards selects the distributed engine's transport: 0 (the
+	// default) runs on the in-memory staging transport; P ≥ 1 runs on
+	// the sharded transport, which partitions the vertices across P
+	// worker goroutines and exchanges cross-shard messages through
+	// per-shard-pair buffers at each round barrier. The output is
+	// bit-identical either way for equal seeds; only wall-clock and the
+	// DistStats CrossShard counters change. Ignored by the
+	// shared-memory entry points.
+	Shards int
 	// Tracker, when non-nil, accumulates modeled CRCW PRAM work/depth.
 	Tracker *pram.Tracker
 }
@@ -182,9 +191,17 @@ type DistStats = dist.Stats
 // ledger (rounds, messages, words) that Theorem 5 bounds. Options are
 // honored as in Sparsify (BundleT overrides the bundle depth, Theory
 // selects the paper's constants), and for equal Options the output is
-// edge-identical to Sparsify.
+// edge-identical to Sparsify. Options.Shards > 0 selects the sharded
+// transport: the same computation partitioned across that many worker
+// goroutines, with the ledger additionally reporting the cross-shard
+// traffic a multi-machine deployment would put on the wire.
 func DistributedSparsify(g *Graph, eps, rho float64, opt Options) (*Graph, DistStats) {
-	res := dist.SparsifyConfig(g, eps, rho, opt.config())
+	var res dist.Result
+	if opt.Shards > 0 {
+		res = dist.SparsifyConfigSharded(g, eps, rho, opt.config(), opt.Shards)
+	} else {
+		res = dist.SparsifyConfig(g, eps, rho, opt.config())
+	}
 	return res.G, res.Stats
 }
 

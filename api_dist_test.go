@@ -43,3 +43,35 @@ func TestDistributedSparsifyHonorsOptions(t *testing.T) {
 		t.Fatalf("deeper bundle should keep more edges: t=4 gives %d, t=1 gives %d", deep.M(), shallow.M())
 	}
 }
+
+// TestDistributedSparsifyShardsOption: Shards switches the transport
+// without changing the output — the in-memory default and every shard
+// count produce edge-identical graphs, and the sharded ledger records
+// its shard count and cross-shard traffic.
+func TestDistributedSparsifyShardsOption(t *testing.T) {
+	g := Gnp(250, 0.2, 44)
+	ref, refStats := DistributedSparsify(g, 0.75, 4, Options{Seed: 9})
+	if refStats.Shards != 1 || refStats.CrossShardMessages != 0 {
+		t.Fatalf("default transport should be single-shard: %+v", refStats)
+	}
+	for _, p := range []int{1, 3, 8} {
+		h, st := DistributedSparsify(g, 0.75, 4, Options{Seed: 9, Shards: p})
+		if h.M() != ref.M() {
+			t.Fatalf("Shards=%d: m=%d vs default %d", p, h.M(), ref.M())
+		}
+		for i := range ref.Edges {
+			if h.Edges[i] != ref.Edges[i] {
+				t.Fatalf("Shards=%d: edge %d differs", p, i)
+			}
+		}
+		if st.Shards != p {
+			t.Fatalf("Shards=%d: ledger reports %d shards", p, st.Shards)
+		}
+		if st.Rounds != refStats.Rounds || st.Words != refStats.Words {
+			t.Fatalf("Shards=%d: ledger totals diverge: %+v vs %+v", p, st, refStats)
+		}
+		if p > 1 && st.CrossShardWords == 0 {
+			t.Fatalf("Shards=%d: no cross-shard traffic recorded", p)
+		}
+	}
+}

@@ -17,8 +17,8 @@ import (
 )
 
 // ---------------------------------------------------------------------------
-// Experiment benchmarks: one per entry of the DESIGN.md experiment
-// index (E1–E10). Each runs the experiment at Quick scale and reports
+// Experiment benchmarks: one per entry of the experiments.Registry
+// index (E1–E12). Each runs the experiment at Quick scale and reports
 // wall time; `go run ./cmd/bench` prints the full tables.
 // ---------------------------------------------------------------------------
 
@@ -46,6 +46,7 @@ func BenchmarkE8Scaling(b *testing.B)            { benchExperiment(b, "E8") }
 func BenchmarkE9BundleAblation(b *testing.B)     { benchExperiment(b, "E9") }
 func BenchmarkE10EpsDependence(b *testing.B)     { benchExperiment(b, "E10") }
 func BenchmarkE11TreeBundle(b *testing.B)        { benchExperiment(b, "E11") }
+func BenchmarkE12ShardedSparsify(b *testing.B)   { benchExperiment(b, "E12") }
 
 // ---------------------------------------------------------------------------
 // Micro-benchmarks of the primitives, across sizes, for profiling the
@@ -112,6 +113,35 @@ func BenchmarkDistributedSpanner(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		dist.BaswanaSen(g, 0, uint64(i))
+	}
+}
+
+// BenchmarkDistributedSpannerSharded pins the cost of the sharded
+// transport against the in-memory baseline above: same graph, same
+// decisions, messages routed through per-shard-pair buffers.
+func BenchmarkDistributedSpannerSharded(b *testing.B) {
+	g := benchGraph(2000)
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dist.BaswanaSenSharded(g, 0, uint64(i), p)
+			}
+		})
+	}
+}
+
+// BenchmarkDistributedSparsifySharded covers the full sharded pipeline
+// the bench CI job tracks (see .github/workflows/ci.yml).
+func BenchmarkDistributedSparsifySharded(b *testing.B) {
+	g := gen.Gnp(800, 0.25, 3)
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dist.SparsifySharded(g, 0.75, 4, 0, uint64(i+1), p)
+			}
+		})
 	}
 }
 

@@ -1,36 +1,78 @@
 // Command bench regenerates the paper-reproduction experiment tables
-// E1–E10 (see DESIGN.md for the experiment index and EXPERIMENTS.md for
-// recorded results).
+// E1–E12 (see the registry in internal/experiments for the index,
+// ROADMAP.md for what each sweep pins, and CHANGES.md for when each
+// experiment landed).
 //
 // Usage:
 //
-//	bench              # run everything at full scale
-//	bench -quick       # trimmed sweeps (seconds instead of minutes)
-//	bench -run E4,E7   # a subset
+//	bench               # run everything at full scale
+//	bench -quick        # trimmed sweeps (seconds instead of minutes)
+//	bench -run E4,E12   # a subset
+//	bench -quick -run E3,E12 -json BENCH_pr.json
+//	                    # machine-readable results (the CI bench
+//	                    # artifact); -bench-log FILE embeds a go test
+//	                    # -bench output alongside the tables
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
 )
 
+// jsonReport is the schema of the -json output: enough provenance to
+// compare artifacts across commits, plus the rendered tables verbatim.
+type jsonReport struct {
+	GoVersion   string           `json:"go_version"`
+	NumCPU      int              `json:"num_cpu"`
+	Scale       string           `json:"scale"`
+	BenchLog    string           `json:"bench_log,omitempty"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	Table  *experiments.Table `json:"table"`
+	Millis float64            `json:"millis"`
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "run trimmed sweeps")
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	jsonPath := flag.String("json", "", "also write results as JSON to this path")
+	benchLog := flag.String("bench-log", "", "embed this go test -bench output file in the JSON report")
 	flag.Parse()
 
 	scale := experiments.Full
+	scaleName := "full"
 	if *quick {
 		scale = experiments.Quick
+		scaleName = "quick"
 	}
 	ids := experiments.Order
 	if *run != "" {
 		ids = strings.Split(*run, ",")
+	}
+	// Read the bench log up front: a bad path should fail in
+	// milliseconds, not after a full-scale experiment sweep.
+	var benchLogText string
+	if *benchLog != "" {
+		raw, err := os.ReadFile(*benchLog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: reading -bench-log: %v\n", err)
+			os.Exit(1)
+		}
+		benchLogText = string(raw)
+	}
+	report := jsonReport{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Scale:     scaleName,
 	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
@@ -42,7 +84,26 @@ func main() {
 		}
 		start := time.Now()
 		table := fn(scale)
+		elapsed := time.Since(start)
 		table.Render(os.Stdout)
-		fmt.Printf("  [%s in %v]\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  [%s in %v]\n", id, elapsed.Round(time.Millisecond))
+		report.Experiments = append(report.Experiments, jsonExperiment{
+			Table:  table,
+			Millis: float64(elapsed.Microseconds()) / 1000,
+		})
 	}
+	if *jsonPath == "" {
+		return
+	}
+	report.BenchLog = benchLogText
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: encoding JSON: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: writing %s: %v\n", *jsonPath, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d experiments)\n", *jsonPath, len(report.Experiments))
 }

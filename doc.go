@@ -26,7 +26,21 @@
 // tests pin against the O(log² n)-round, near-linear-communication
 // bounds of Theorems 2 and 5.
 //
+// # Transports and sharding
+//
+// The distributed engine is built on a pluggable Transport: by default
+// messages move through in-memory staging, while Options.Shards > 0
+// selects a sharded transport that partitions the vertices across P
+// worker goroutines and exchanges cross-shard messages through
+// per-shard-pair buffers at each round barrier. The output is
+// bit-identical either way for equal seeds — sharding changes how
+// messages travel, never what is decided — and the ledger additionally
+// reports DistStats.CrossShardMessages/CrossShardWords, the traffic a
+// real multi-machine partition would put on the wire. See internal/dist
+// for the transport contract and experiment E12 (`go run ./cmd/bench
+// -run E12`) for the shard-count scaling sweep.
+//
 // All randomness is seeded and the library is deterministic for a fixed
-// seed at any GOMAXPROCS. See DESIGN.md for the system inventory and
-// EXPERIMENTS.md for the reproduced guarantees.
+// seed at any GOMAXPROCS. ROADMAP.md records the system's direction and
+// open items; CHANGES.md records what each PR landed.
 package repro

@@ -42,4 +42,17 @@ func main() {
 		return
 	}
 	fmt.Printf("  measured quality: %.3f*G <= H <= %.3f*G (eps=%.3f)\n", b.Lo, b.Hi, b.Epsilon())
+
+	fmt.Println()
+	fmt.Println("sharded transport (Options.Shards): same decisions, wire-billed exchange")
+	fmt.Printf("%4s %10s %10s %12s %12s %10s\n", "P", "m_out", "rounds", "crossMsgs", "crossWords", "crossFrac")
+	for _, p := range []int{1, 2, 4} {
+		hp, st := repro.DistributedSparsify(g, 0.75, 4, repro.Options{Seed: 13, Shards: p})
+		fmt.Printf("%4d %10d %10d %12d %12d %10.3f\n",
+			p, hp.M(), st.Rounds, st.CrossShardMessages, st.CrossShardWords,
+			float64(st.CrossShardWords)/float64(st.Words))
+	}
+	fmt.Println("  m_out and rounds identical at every P: the transport moves the")
+	fmt.Println("  messages, the algorithm still makes the same decisions; crossWords")
+	fmt.Println("  is the traffic a real multi-machine partition would put on the wire")
 }

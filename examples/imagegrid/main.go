@@ -45,7 +45,7 @@ func main() {
 	// Sparsify the affinity graph and re-solve: potentials barely move.
 	// BundleT pins a thin 3-layer certification bundle — the practical
 	// knob for mid-density inputs where the ε-driven thickness would
-	// swallow the whole graph (see DESIGN.md on constants).
+	// swallow the whole graph (see ROADMAP.md on constants).
 	h, rep := repro.Sparsify(g, 0.5, 4, repro.Options{Seed: 9, BundleT: 3})
 	fmt.Printf("sparsifier: m=%d (%.1f%% of input, %d rounds)\n",
 		h.M(), 100*float64(h.M())/float64(g.M()), len(rep.Rounds))

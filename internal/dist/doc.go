@@ -28,4 +28,35 @@
 // core.ParallelSparsify. The simulation therefore adds exactly one
 // thing: the communication ledger (Stats) that Theorems 2 and 5 bound,
 // counted message by message as the rounds execute.
+//
+// # Transports and sharding
+//
+// The engine is split from the medium that carries its messages by the
+// Transport interface (transport.go): the engine runs the synchronous
+// schedule (compute phase → EndRound barrier → next round) and keeps
+// the ledger, while the transport stages, routes, and tallies the
+// traffic. Two transports ship:
+//
+//   - MemTransport (the default, NewEngine): one staging slice per
+//     recipient, flipped wholesale into mailboxes at the barrier — the
+//     original single-process simulation, extracted unchanged.
+//
+//   - ShardedTransport (NewShardedEngine, BaswanaSenSharded,
+//     SparsifySharded): the vertex set is partitioned across P shards,
+//     each served by one worker goroutine during compute phases;
+//     messages are routed through per-shard-pair buffers and drained at
+//     the round barrier, with traffic whose endpoints live on different
+//     shards billed separately as Stats.CrossShardMessages/Words — the
+//     wire volume a multi-machine deployment would pay.
+//
+// Transports are interchangeable by construction: outputs are
+// bit-identical for equal seeds at any shard count and any GOMAXPROCS
+// (the algorithms fold their mailboxes with order-independent
+// reductions, so buffer drain order is unobservable), and the ledger's
+// Rounds, Messages, Words, and per-phase rows are transport-independent
+// — the regression tests in transport_test.go pin both properties. A
+// future network transport (shard = machine, pair buffer = socket)
+// slots in behind the same interface without touching the algorithms;
+// experiment E12 measures what it would cost by sweeping shard counts
+// and reporting wall-clock speedup and cross-shard word volume.
 package dist

@@ -6,8 +6,14 @@ package dist
 // may send word-bounded messages to neighbors, and every message sent
 // in round r is readable from the recipient's mailbox during round r+1.
 //
-// The simulation is receiver-staged: the goroutine that owns vertex v
-// is the only one allowed to call Deliver(v, ...), which is how the
+// The engine runs the synchronous schedule and keeps the ledger; how
+// messages physically travel between rounds is the Transport's job
+// (see transport.go): in-memory staging by default, a vertex-sharded
+// exchange across worker goroutines via NewShardedEngine, or — the
+// seam's purpose — a real network in a future multi-machine transport.
+//
+// The simulation is receiver-staged: the worker that owns vertex v is
+// the only one allowed to call Deliver(v, ...), which is how the
 // parallel per-vertex loops of the algorithms stay race-free while the
 // ledger still counts every directed message exactly once. Message
 // payloads always carry snapshot state from the start of the round, so
@@ -57,25 +63,34 @@ type Message struct {
 }
 
 // Engine simulates the synchronous network for a fixed vertex set and
-// accumulates the communication ledger.
+// accumulates the communication ledger. Messages travel through the
+// engine's Transport; the ledger is transport-independent up to the
+// CrossShard split (see Stats).
 type Engine struct {
-	n       int
-	staged  [][]Message // messages sent this round, staged by recipient
-	mailbox [][]Message // messages delivered by the previous EndRound
-	stats   Stats
-	cur     int // index of the current phase in stats.Phases
+	n     int
+	tr    Transport
+	round int // index of the current round, incremented by EndRound
+	stats Stats
+	cur   int // index of the current phase in stats.Phases
 }
 
-// NewEngine returns an engine for n vertices with an empty ledger.
-func NewEngine(n int) *Engine {
-	e := &Engine{
-		n:       n,
-		staged:  make([][]Message, n),
-		mailbox: make([][]Message, n),
-		cur:     -1,
-	}
+// NewEngine returns an engine for n vertices on the default in-memory
+// transport, with an empty ledger.
+func NewEngine(n int) *Engine { return NewEngineOn(n, NewMemTransport(n)) }
+
+// NewShardedEngine returns an engine for n vertices on a sharded
+// transport with p worker shards.
+func NewShardedEngine(n, p int) *Engine { return NewEngineOn(n, NewShardedTransport(n, p)) }
+
+// NewEngineOn returns an engine running over an explicit transport.
+func NewEngineOn(n int, tr Transport) *Engine {
+	e := &Engine{n: n, tr: tr, cur: -1}
+	e.stats.Shards = tr.Shards()
 	return e
 }
+
+// Transport returns the engine's transport.
+func (e *Engine) Transport() Transport { return e.tr }
 
 // BeginPhase directs subsequent rounds' accounting at the named phase,
 // creating it on first use; repeated names merge (iterated stages show
@@ -92,10 +107,44 @@ func (e *Engine) BeginPhase(name string) {
 }
 
 // Deliver stages a message for vertex `to` in the current round. It
-// must be called only from the goroutine that owns `to` (per-vertex
-// sharding), or from a single goroutine.
+// must be called only from the worker that owns `to` (see ForVertices),
+// or from a single goroutine outside a compute phase.
 func (e *Engine) Deliver(to int32, m Message) {
-	e.staged[to] = append(e.staged[to], m)
+	e.tr.Send(e.round, to, m)
+}
+
+// ForVertices runs body(v) for every vertex, partitioned across the
+// transport's workers so each vertex is visited by its owner — the
+// compute half of a round. The call is a barrier.
+func (e *Engine) ForVertices(body func(v int32)) {
+	e.tr.ForWorkers(func(_, lo, hi int) {
+		for vi := lo; vi < hi; vi++ {
+			body(int32(vi))
+		}
+	})
+}
+
+// CollectVertices runs gen once per transport worker over the worker's
+// vertex range and concatenates the results in worker order — the
+// deterministic parallel filter/emit primitive of the compute phase
+// (the engine-partitioned analogue of parutil.CollectShards).
+func CollectVertices[T any](e *Engine, gen func(worker, lo, hi int) []T) []T {
+	if e.n <= 0 {
+		return nil
+	}
+	parts := make([][]T, e.tr.Workers())
+	e.tr.ForWorkers(func(worker, lo, hi int) {
+		parts[worker] = gen(worker, lo, hi)
+	})
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	out := make([]T, 0, total)
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	return out
 }
 
 // EndRound closes the current synchronous round: staged messages are
@@ -106,34 +155,26 @@ func (e *Engine) EndRound() {
 	if e.cur < 0 {
 		e.BeginPhase("main")
 	}
-	var msgs, words int64
-	maxW := e.stats.MaxMessageWords
-	for v := range e.staged {
-		for _, m := range e.staged[v] {
-			w := m.Kind.Words()
-			msgs++
-			words += int64(w)
-			if w > maxW {
-				maxW = w
-			}
-		}
-	}
-	e.staged, e.mailbox = e.mailbox, e.staged
-	for v := range e.staged {
-		e.staged[v] = e.staged[v][:0]
-	}
+	tally := e.tr.EndRound(e.round)
+	e.round++
 	e.stats.Rounds++
-	e.stats.Messages += msgs
-	e.stats.Words += words
-	e.stats.MaxMessageWords = maxW
+	e.stats.Messages += tally.Messages
+	e.stats.Words += tally.Words
+	e.stats.CrossShardMessages += tally.CrossShardMessages
+	e.stats.CrossShardWords += tally.CrossShardWords
+	if tally.MaxMessageWords > e.stats.MaxMessageWords {
+		e.stats.MaxMessageWords = tally.MaxMessageWords
+	}
 	p := &e.stats.Phases[e.cur]
 	p.Rounds++
-	p.Messages += msgs
-	p.Words += words
+	p.Messages += tally.Messages
+	p.Words += tally.Words
+	p.CrossShardMessages += tally.CrossShardMessages
+	p.CrossShardWords += tally.CrossShardWords
 }
 
 // Mailbox returns the messages delivered to v by the last EndRound.
-func (e *Engine) Mailbox(v int32) []Message { return e.mailbox[v] }
+func (e *Engine) Mailbox(v int32) []Message { return e.tr.Recv(e.round, v) }
 
 // Stats returns a copy of the accumulated ledger.
 func (e *Engine) Stats() Stats {

@@ -32,8 +32,19 @@ type SpannerResult struct {
 // drives all sampling (equal seeds give identical outputs at any
 // GOMAXPROCS).
 func BaswanaSen(g *graph.Graph, k int, seed uint64) *SpannerResult {
+	return baswanaSenOn(NewEngine(g.N), g, k, seed)
+}
+
+// BaswanaSenSharded runs the same computation on a sharded transport
+// with p worker shards. The output is bit-identical to BaswanaSen's for
+// equal (k, seed); the ledger additionally reports the cross-shard
+// traffic split.
+func BaswanaSenSharded(g *graph.Graph, k int, seed uint64, p int) *SpannerResult {
+	return baswanaSenOn(NewShardedEngine(g.N, p), g, k, seed)
+}
+
+func baswanaSenOn(e *Engine, g *graph.Graph, k int, seed uint64) *SpannerResult {
 	adj := graph.NewAdjacency(g)
-	e := NewEngine(g.N)
 	in, center, kk := runBaswanaSen(e, g, adj, nil, k, seed)
 	return &SpannerResult{InSpanner: in, Center: center, K: kk, Stats: e.Stats()}
 }
@@ -88,7 +99,7 @@ func runBaswanaSen(e *Engine, g *graph.Graph, adj *graph.Adjacency, alive []bool
 		// the iterations this is the Θ(log² n) round bill of Theorem 2.
 		e.BeginPhase("spanner/broadcast")
 		sampled := make([]bool, n)
-		parutil.For(n, func(v int) {
+		e.ForVertices(func(v int32) {
 			r := rng.SplitAt(seed^(uint64(iter)*0x9e3779b97f4a7c15), uint64(v))
 			sampled[v] = r.Float64() < p
 		})
@@ -99,8 +110,7 @@ func runBaswanaSen(e *Engine, g *graph.Graph, adj *graph.Adjacency, alive []bool
 			}
 		}
 		for r := int32(1); r <= maxDepth; r++ {
-			parutil.For(n, func(vi int) {
-				v := int32(vi)
+			e.ForVertices(func(v int32) {
 				if center[v] < 0 || depth[v] != r {
 					return
 				}
@@ -120,8 +130,7 @@ func runBaswanaSen(e *Engine, g *graph.Graph, adj *graph.Adjacency, alive []bool
 		// announces (cluster id, depth, sampled bit) over each alive
 		// incident edge. One round, 3-word messages.
 		e.BeginPhase("spanner/exchange")
-		parutil.For(n, func(vi int) {
-			v := int32(vi)
+		e.ForVertices(func(v int32) {
 			lo, hi := adj.Range(v)
 			for slot := lo; slot < hi; slot++ {
 				eid := adj.EID[slot]
@@ -154,7 +163,7 @@ func runBaswanaSen(e *Engine, g *graph.Graph, adj *graph.Adjacency, alive []bool
 			adds  []notice
 			kills []notice
 		}
-		outs := parutil.CollectShards(n, func(_ int, lo, hi int) []vertexOut {
+		outs := CollectVertices(e, func(_ int, lo, hi int) []vertexOut {
 			var shardOuts []vertexOut
 			groups := make(map[int32]spanner.BestEdge)
 			for vi := lo; vi < hi; vi++ {
@@ -285,8 +294,7 @@ func runBaswanaSen(e *Engine, g *graph.Graph, adj *graph.Adjacency, alive []bool
 		// discard intra-cluster edges (both endpoints reach the same
 		// verdict from symmetric knowledge). One round, 1-word messages.
 		e.BeginPhase("spanner/update")
-		parutil.For(n, func(vi int) {
-			v := int32(vi)
+		e.ForVertices(func(v int32) {
 			lo, hi := adj.Range(v)
 			for slot := lo; slot < hi; slot++ {
 				eid := adj.EID[slot]
@@ -316,8 +324,7 @@ func runBaswanaSen(e *Engine, g *graph.Graph, adj *graph.Adjacency, alive []bool
 	// final centers, one local selection of the lightest edge per
 	// adjacent surviving cluster, one notification round.
 	e.BeginPhase("spanner/join")
-	parutil.For(n, func(vi int) {
-		v := int32(vi)
+	e.ForVertices(func(v int32) {
 		lo, hi := adj.Range(v)
 		for slot := lo; slot < hi; slot++ {
 			eid := adj.EID[slot]
@@ -331,7 +338,7 @@ func runBaswanaSen(e *Engine, g *graph.Graph, adj *graph.Adjacency, alive []bool
 		}
 	})
 	e.EndRound()
-	adds := parutil.CollectShards(n, func(_ int, lo, hi int) []notice {
+	adds := CollectVertices(e, func(_ int, lo, hi int) []notice {
 		var shardAdds []notice
 		groups := make(map[int32]spanner.BestEdge)
 		for vi := lo; vi < hi; vi++ {

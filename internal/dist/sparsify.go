@@ -30,12 +30,26 @@ type Result struct {
 // (the paper's theory constants, a custom keep probability) use
 // SparsifyConfig.
 func Sparsify(g *graph.Graph, eps, rho float64, depth int, seed uint64) Result {
+	return SparsifyConfig(g, eps, rho, sparsifyCfg(depth, seed))
+}
+
+// SparsifySharded runs the same computation on a sharded transport with
+// p worker shards: the compute phase of every round executes in
+// parallel, one goroutine per shard, and messages between shards cross
+// per-shard-pair buffers at each round barrier. The output is
+// edge-identical to Sparsify's for equal (depth, seed); the ledger
+// additionally reports the cross-shard traffic split.
+func SparsifySharded(g *graph.Graph, eps, rho float64, depth int, seed uint64, p int) Result {
+	return SparsifyConfigSharded(g, eps, rho, sparsifyCfg(depth, seed), p)
+}
+
+func sparsifyCfg(depth int, seed uint64) core.Config {
 	if seed == 0 {
 		seed = 1 // match Options.config's default so the API paths agree
 	}
 	cfg := core.DefaultConfig(seed)
 	cfg.BundleT = depth
-	return SparsifyConfig(g, eps, rho, cfg)
+	return cfg
 }
 
 // SparsifyConfig runs the distributed Algorithm 2 under an explicit
@@ -47,7 +61,16 @@ func Sparsify(g *graph.Graph, eps, rho float64, depth int, seed uint64) Result {
 // new. (cfg.Tracker models CRCW PRAM cost and is ignored here; the
 // ledger replaces it.)
 func SparsifyConfig(g *graph.Graph, eps, rho float64, cfg core.Config) Result {
-	e := NewEngine(g.N)
+	return sparsifyOn(NewEngine(g.N), g, eps, rho, cfg)
+}
+
+// SparsifyConfigSharded is SparsifyConfig on a sharded transport with p
+// worker shards (see SparsifySharded).
+func SparsifyConfigSharded(g *graph.Graph, eps, rho float64, cfg core.Config, p int) Result {
+	return sparsifyOn(NewShardedEngine(g.N, p), g, eps, rho, cfg)
+}
+
+func sparsifyOn(e *Engine, g *graph.Graph, eps, rho float64, cfg core.Config) Result {
 	if rho <= 1 {
 		return Result{G: g.Clone(), Stats: e.Stats()}
 	}
@@ -114,8 +137,7 @@ func sampleRound(e *Engine, g *graph.Graph, eps float64, cfg core.Config) *graph
 	scale := 1 / p
 	sampleSeed := cfg.Seed ^ core.SampleSeedMix
 	keep := func(i int) bool { return rng.SplitAt(sampleSeed, uint64(i)).Float64() < p }
-	parutil.For(n, func(vi int) {
-		v := int32(vi)
+	e.ForVertices(func(v int32) {
 		lo, hi := adj.Range(v)
 		for slot := lo; slot < hi; slot++ {
 			eid := adj.EID[slot]

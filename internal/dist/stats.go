@@ -10,6 +10,13 @@ import (
 // O(log n)-bit value (a vertex id, an edge id, or a packed small
 // integer); a message is one word-bounded payload crossing one edge in
 // one synchronous round.
+//
+// Rounds, Messages, Words, and the per-phase breakdown are
+// transport-independent: the sharded transport reports exactly the
+// same values as the in-memory one for equal seeds (the regression
+// tests pin this). The CrossShard counters and Shards are the only
+// transport-dependent rows — they split the same traffic by whether it
+// stayed within one shard or crossed between two.
 type Stats struct {
 	// Rounds is the number of synchronous communication rounds.
 	Rounds int
@@ -20,6 +27,15 @@ type Stats struct {
 	// MaxMessageWords is the largest single-message payload observed,
 	// in words. The paper's algorithms never exceed a small constant.
 	MaxMessageWords int
+	// CrossShardMessages is the subset of Messages whose sender and
+	// recipient are owned by different shards of the transport — the
+	// traffic a multi-machine deployment would put on the wire. Zero
+	// for the in-memory transport and for a single shard.
+	CrossShardMessages int64
+	// CrossShardWords is the word volume of CrossShardMessages.
+	CrossShardWords int64
+	// Shards is the transport's shard count (1 for in-memory).
+	Shards int
 	// Phases is the per-phase breakdown; phases with equal names are
 	// merged, so iterated algorithms report one row per logical stage
 	// (e.g. spanner/exchange, sample) rather than per repetition.
@@ -28,16 +44,21 @@ type Stats struct {
 
 // PhaseStats is the ledger of one named stage of the computation.
 type PhaseStats struct {
-	Name     string
-	Rounds   int
-	Messages int64
-	Words    int64
+	Name               string
+	Rounds             int
+	Messages           int64
+	Words              int64
+	CrossShardMessages int64
+	CrossShardWords    int64
 }
 
 // String renders the ledger compactly for logs and examples.
 func (s Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "dist{rounds=%d msgs=%d words=%d maxw=%d", s.Rounds, s.Messages, s.Words, s.MaxMessageWords)
+	if s.Shards > 1 {
+		fmt.Fprintf(&b, " shards=%d xmsgs=%d xwords=%d", s.Shards, s.CrossShardMessages, s.CrossShardWords)
+	}
 	for _, p := range s.Phases {
 		fmt.Fprintf(&b, " %s:%d/%d", p.Name, p.Rounds, p.Messages)
 	}

@@ -1,0 +1,140 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPhaseMergeSemantics: BeginPhase with a repeated name re-targets
+// the existing row instead of appending a new one, so iterated stages
+// report one merged row, and the merged rows still partition the
+// totals.
+func TestPhaseMergeSemantics(t *testing.T) {
+	e := NewEngine(4)
+	e.BeginPhase("a")
+	e.Deliver(1, Message{From: 0, Kind: MsgKeep})
+	e.EndRound()
+	e.BeginPhase("b")
+	e.Deliver(2, Message{From: 0, Kind: MsgCenter})
+	e.EndRound()
+	e.BeginPhase("a") // merge back into the first row
+	e.Deliver(3, Message{From: 0, Kind: MsgKeep})
+	e.Deliver(0, Message{From: 3, Kind: MsgKeep})
+	e.EndRound()
+	st := e.Stats()
+	if len(st.Phases) != 2 {
+		t.Fatalf("want 2 merged phases, got %+v", st.Phases)
+	}
+	a, b := st.Phases[0], st.Phases[1]
+	if a.Name != "a" || b.Name != "b" {
+		t.Fatalf("phase order not first-use order: %+v", st.Phases)
+	}
+	if a.Rounds != 2 || a.Messages != 3 || a.Words != 3 {
+		t.Fatalf("merged phase a wrong: %+v", a)
+	}
+	if b.Rounds != 1 || b.Messages != 1 || b.Words != 3 {
+		t.Fatalf("phase b wrong: %+v", b)
+	}
+	if st.Rounds != a.Rounds+b.Rounds || st.Messages != a.Messages+b.Messages ||
+		st.Words != a.Words+b.Words {
+		t.Fatalf("phases don't partition totals: %+v", st)
+	}
+	if st.MaxMessageWords != 3 {
+		t.Fatalf("max message width %d want 3 (MsgCenter)", st.MaxMessageWords)
+	}
+}
+
+// TestUnnamedRoundsFallIntoMain: an EndRound before any BeginPhase
+// opens the implicit "main" phase rather than losing the bill.
+func TestUnnamedRoundsFallIntoMain(t *testing.T) {
+	e := NewEngine(2)
+	e.Deliver(0, Message{From: 1, Kind: MsgKeep})
+	e.EndRound()
+	st := e.Stats()
+	if len(st.Phases) != 1 || st.Phases[0].Name != "main" || st.Phases[0].Messages != 1 {
+		t.Fatalf("implicit main phase missing: %+v", st.Phases)
+	}
+}
+
+// TestCrossShardAccounting drives a sharded engine by hand and checks
+// the CrossShard split message by message: traffic between vertices of
+// one shard bills only the plain counters, traffic between shards bills
+// both, and the phase rows carry the same split.
+func TestCrossShardAccounting(t *testing.T) {
+	// 4 vertices, 2 shards: shard 0 owns {0,1}, shard 1 owns {2,3}.
+	e := NewShardedEngine(4, 2)
+	tr := e.Transport()
+	if tr.ShardOf(1) != 0 || tr.ShardOf(2) != 1 {
+		t.Fatalf("unexpected partition: ShardOf(1)=%d ShardOf(2)=%d", tr.ShardOf(1), tr.ShardOf(2))
+	}
+	e.BeginPhase("x")
+	e.Deliver(1, Message{From: 0, Kind: MsgKeep})   // local within shard 0: 1 word
+	e.Deliver(3, Message{From: 2, Kind: MsgCenter}) // local within shard 1: 3 words
+	e.Deliver(2, Message{From: 1, Kind: MsgCenter}) // cross 0→1: 3 words
+	e.Deliver(0, Message{From: 3, Kind: MsgKeep})   // cross 1→0: 1 word
+	e.EndRound()
+	st := e.Stats()
+	if st.Shards != 2 {
+		t.Fatalf("Shards=%d want 2", st.Shards)
+	}
+	if st.Messages != 4 || st.Words != 8 {
+		t.Fatalf("totals wrong: %+v", st)
+	}
+	if st.CrossShardMessages != 2 || st.CrossShardWords != 4 {
+		t.Fatalf("cross-shard split wrong: %+v", st)
+	}
+	ph := st.Phases[0]
+	if ph.CrossShardMessages != 2 || ph.CrossShardWords != 4 {
+		t.Fatalf("phase cross-shard split wrong: %+v", ph)
+	}
+	// Delivery happened: each vertex got exactly one message, and the
+	// cross-shard ones arrived intact.
+	for v := int32(0); v < 4; v++ {
+		if got := len(e.Mailbox(v)); got != 1 {
+			t.Fatalf("mailbox[%d] has %d messages", v, got)
+		}
+	}
+	if m := e.Mailbox(2)[0]; m.From != 1 || m.Kind != MsgCenter {
+		t.Fatalf("cross-shard message mangled: %+v", m)
+	}
+	// A message with no sender (From < 0) is billed as local to the
+	// recipient's shard.
+	e.Deliver(0, Message{From: -1, Kind: MsgSampled})
+	e.EndRound()
+	st2 := e.Stats()
+	if st2.CrossShardMessages != st.CrossShardMessages {
+		t.Fatalf("senderless message billed cross-shard: %+v", st2)
+	}
+}
+
+// TestStatsStringCrossShard: the compact rendering mentions the shard
+// split exactly when there is one.
+func TestStatsStringCrossShard(t *testing.T) {
+	mem := Stats{Rounds: 1, Messages: 2, Words: 2, Shards: 1}
+	if s := mem.String(); strings.Contains(s, "shards=") {
+		t.Fatalf("single-shard ledger should not render a shard split: %s", s)
+	}
+	sh := Stats{Rounds: 1, Messages: 2, Words: 2, Shards: 4, CrossShardMessages: 1, CrossShardWords: 1}
+	if s := sh.String(); !strings.Contains(s, "shards=4") || !strings.Contains(s, "xwords=1") {
+		t.Fatalf("sharded ledger missing split: %s", s)
+	}
+}
+
+// TestMailboxRecycling: mailbox slices are reused across rounds on both
+// transports — the contract that callers must not retain them.
+func TestMailboxRecycling(t *testing.T) {
+	for name, e := range map[string]*Engine{
+		"mem":     NewEngine(2),
+		"sharded": NewShardedEngine(2, 2),
+	} {
+		e.Deliver(0, Message{From: 1, Kind: MsgKeep, A: 7})
+		e.EndRound()
+		if len(e.Mailbox(0)) != 1 || e.Mailbox(0)[0].A != 7 {
+			t.Fatalf("%s: first delivery lost: %+v", name, e.Mailbox(0))
+		}
+		e.EndRound() // nothing staged: mailbox must come back empty
+		if len(e.Mailbox(0)) != 0 {
+			t.Fatalf("%s: stale mailbox survived a round: %+v", name, e.Mailbox(0))
+		}
+	}
+}

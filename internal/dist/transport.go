@@ -1,0 +1,135 @@
+package dist
+
+import "repro/internal/parutil"
+
+// Transport is the seam between the round engine and the medium that
+// carries messages between rounds. The engine runs the synchronous
+// schedule (compute phase → EndRound barrier → next round); the
+// transport decides how staged messages physically travel: a single
+// in-memory staging area (MemTransport), a vertex-partitioned exchange
+// across worker goroutines (ShardedTransport), or — the seam this
+// interface exists for — a real network between machines.
+//
+// A transport owns two coupled concerns:
+//
+//   - Messaging: Send stages a message during a round, Recv reads the
+//     mailbox delivered by the previous EndRound, and EndRound is the
+//     round barrier that flips staged traffic into readable mailboxes
+//     and returns the round's traffic tally for the engine's ledger.
+//
+//   - Execution: ForWorkers partitions a round's compute phase over the
+//     transport's workers so that every vertex is visited by the worker
+//     that owns it. Keeping execution next to ownership is what makes
+//     Send race-free without locks: all messages for a vertex are
+//     staged by that vertex's owner (the engine's receiver-staged
+//     discipline — payloads carry snapshot state from the start of the
+//     round, so the staging direction is unobservable to algorithms).
+//
+// Concurrency contract: Send(to, ...) and Recv(v) may be called only
+// from the worker that owns the vertex during a ForWorkers compute
+// phase, or from any single goroutine outside one. EndRound must be
+// called with no compute phase in flight.
+type Transport interface {
+	// Shards returns the ownership partition size: 1 for the in-memory
+	// transport, P for the sharded one. Stats.Shards records it.
+	Shards() int
+	// ShardOf returns the shard that owns vertex v.
+	ShardOf(v int32) int
+	// Workers returns the execution partition size of ForWorkers. For
+	// the sharded transport this equals Shards; the in-memory transport
+	// uses parutil's grain-adaptive worker count instead.
+	Workers() int
+	// ForWorkers runs body(worker, lo, hi) concurrently, once per
+	// worker, over a fixed partition of the vertex range. The call is a
+	// barrier: it returns only after every worker finishes. The
+	// partition is stable across calls, and each vertex is visited by
+	// its owning worker.
+	ForWorkers(body func(worker, lo, hi int))
+	// Send stages m for vertex `to` during round r; it becomes readable
+	// via Recv after the EndRound(r) barrier.
+	Send(round int, to int32, m Message)
+	// Recv returns the messages delivered to v by the last EndRound,
+	// i.e. the traffic sent during round-1. The returned slice is
+	// recycled — callers must not retain it across two EndRound calls.
+	Recv(round int, v int32) []Message
+	// EndRound closes round r: staged messages are tallied and become
+	// the mailboxes readable until the next EndRound.
+	EndRound(round int) RoundTally
+}
+
+// RoundTally is what one round's traffic contributes to the ledger.
+type RoundTally struct {
+	Messages int64
+	Words    int64
+	// MaxMessageWords is the widest single payload of the round.
+	MaxMessageWords int
+	// CrossShardMessages/Words count the subset of the traffic whose
+	// sender and recipient are owned by different shards — the volume a
+	// multi-machine deployment would put on the wire. Always zero for
+	// single-shard transports.
+	CrossShardMessages int64
+	CrossShardWords    int64
+}
+
+// MemTransport is the original single-staging-area simulation: one
+// slice of staged messages per recipient, flipped wholesale into
+// mailboxes at the round barrier. It is the default transport and the
+// behavior-preserving extraction of the pre-Transport engine.
+type MemTransport struct {
+	n       int
+	staged  [][]Message // messages sent this round, staged by recipient
+	mailbox [][]Message // messages delivered by the previous EndRound
+}
+
+// NewMemTransport returns the in-memory transport for n vertices.
+func NewMemTransport(n int) *MemTransport {
+	return &MemTransport{
+		n:       n,
+		staged:  make([][]Message, n),
+		mailbox: make([][]Message, n),
+	}
+}
+
+// Shards reports the single ownership domain of the in-memory medium.
+func (t *MemTransport) Shards() int { return 1 }
+
+// ShardOf places every vertex in shard 0.
+func (t *MemTransport) ShardOf(int32) int { return 0 }
+
+// Workers returns parutil's grain-adaptive worker count for n vertices.
+func (t *MemTransport) Workers() int { return parutil.Workers(t.n) }
+
+// ForWorkers delegates to parutil.ForShard: the same blocked partition
+// the pre-Transport engine's callers used, so execution order (and any
+// shard-ordered collection built on it) is unchanged.
+func (t *MemTransport) ForWorkers(body func(worker, lo, hi int)) {
+	parutil.ForShard(t.n, body)
+}
+
+// Send stages m for vertex `to` in the current round.
+func (t *MemTransport) Send(_ int, to int32, m Message) {
+	t.staged[to] = append(t.staged[to], m)
+}
+
+// Recv returns the messages delivered to v by the last EndRound.
+func (t *MemTransport) Recv(_ int, v int32) []Message { return t.mailbox[v] }
+
+// EndRound tallies the staged traffic and swaps it into the mailboxes.
+func (t *MemTransport) EndRound(int) RoundTally {
+	var tally RoundTally
+	for v := range t.staged {
+		for _, m := range t.staged[v] {
+			w := m.Kind.Words()
+			tally.Messages++
+			tally.Words += int64(w)
+			if w > tally.MaxMessageWords {
+				tally.MaxMessageWords = w
+			}
+		}
+	}
+	t.staged, t.mailbox = t.mailbox, t.staged
+	for v := range t.staged {
+		t.staged[v] = t.staged[v][:0]
+	}
+	return tally
+}

@@ -1,0 +1,169 @@
+package dist_test
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestShardedSpannerEquivalence is the tentpole invariant: the sharded
+// transport changes how messages travel (per-shard-pair buffers,
+// parallel per-shard compute), not what is decided, so for equal seeds
+// the spanner mask and clustering are bit-identical to the in-memory
+// transport's at every shard count.
+func TestShardedSpannerEquivalence(t *testing.T) {
+	cases := []*graph.Graph{
+		gen.Gnp(400, 0.05, 3),
+		gen.Barbell(30, 4),
+		gen.Grid2D(20, 25),
+		gen.WithRandomWeights(gen.Gnp(150, 0.2, 5), 0.1, 10, 9),
+	}
+	for gi, g := range cases {
+		for _, seed := range []uint64{1, 42} {
+			ref := dist.BaswanaSen(g, 0, seed)
+			for _, p := range []int{1, 2, 4, 8} {
+				sh := dist.BaswanaSenSharded(g, 0, seed, p)
+				if sh.K != ref.K {
+					t.Fatalf("case %d seed %d P=%d: K %d != %d", gi, seed, p, sh.K, ref.K)
+				}
+				for i := range ref.InSpanner {
+					if sh.InSpanner[i] != ref.InSpanner[i] {
+						t.Fatalf("case %d seed %d P=%d: edge %d sharded=%v mem=%v",
+							gi, seed, p, i, sh.InSpanner[i], ref.InSpanner[i])
+					}
+				}
+				for v := range ref.Center {
+					if sh.Center[v] != ref.Center[v] {
+						t.Fatalf("case %d seed %d P=%d: center[%d] sharded=%d mem=%d",
+							gi, seed, p, v, sh.Center[v], ref.Center[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedSparsifyEquivalence: the full Algorithm 2 pipeline is
+// edge-identical across transports and shard counts, so every spectral
+// guarantee proven for the in-memory path transfers to the sharded one.
+func TestShardedSparsifyEquivalence(t *testing.T) {
+	cases := []*graph.Graph{
+		gen.Gnp(300, 0.15, 7),
+		gen.Complete(120),
+	}
+	for gi, g := range cases {
+		ref := dist.Sparsify(g, 0.75, 4, 0, 11)
+		for _, p := range []int{1, 2, 4, 8} {
+			sh := dist.SparsifySharded(g, 0.75, 4, 0, 11, p)
+			if sh.G.N != ref.G.N || sh.G.M() != ref.G.M() {
+				t.Fatalf("case %d P=%d: sharded %v vs mem %v", gi, p, sh.G, ref.G)
+			}
+			for i := range ref.G.Edges {
+				if sh.G.Edges[i] != ref.G.Edges[i] {
+					t.Fatalf("case %d P=%d: edge %d differs: %+v vs %+v",
+						gi, p, i, sh.G.Edges[i], ref.G.Edges[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedLedgerMatchesMem: the ledger is transport-independent up
+// to the CrossShard split — Rounds, Messages, Words, MaxMessageWords
+// and every per-phase row agree between transports at any P.
+func TestShardedLedgerMatchesMem(t *testing.T) {
+	g := gen.Gnp(350, 0.08, 13)
+	ref := dist.Sparsify(g, 0.75, 4, 0, 5).Stats
+	for _, p := range []int{1, 2, 4, 8} {
+		st := dist.SparsifySharded(g, 0.75, 4, 0, 5, p).Stats
+		if st.Shards != p {
+			t.Fatalf("P=%d: Stats.Shards=%d", p, st.Shards)
+		}
+		if st.Rounds != ref.Rounds || st.Messages != ref.Messages ||
+			st.Words != ref.Words || st.MaxMessageWords != ref.MaxMessageWords {
+			t.Fatalf("P=%d: totals diverge: sharded %+v vs mem %+v", p, st, ref)
+		}
+		if len(st.Phases) != len(ref.Phases) {
+			t.Fatalf("P=%d: phase count %d vs %d", p, len(st.Phases), len(ref.Phases))
+		}
+		for i, ph := range st.Phases {
+			rp := ref.Phases[i]
+			if ph.Name != rp.Name || ph.Rounds != rp.Rounds ||
+				ph.Messages != rp.Messages || ph.Words != rp.Words {
+				t.Fatalf("P=%d: phase %q diverges: %+v vs %+v", p, ph.Name, ph, rp)
+			}
+		}
+		if p == 1 && (st.CrossShardMessages != 0 || st.CrossShardWords != 0) {
+			t.Fatalf("P=1 cannot have cross-shard traffic: %+v", st)
+		}
+		if p > 1 && st.CrossShardMessages == 0 {
+			t.Fatalf("P=%d on a connected graph saw no cross-shard traffic", p)
+		}
+		if st.CrossShardMessages > st.Messages || st.CrossShardWords > st.Words {
+			t.Fatalf("P=%d: cross-shard exceeds totals: %+v", p, st)
+		}
+	}
+	if ref.Shards != 1 || ref.CrossShardMessages != 0 {
+		t.Fatalf("in-memory ledger should report one shard, no cross traffic: %+v", ref)
+	}
+}
+
+// TestShardedTransportPartition: the ownership partition is a balanced
+// contiguous cover, ShardOf inverts it, and shard counts clamp sanely.
+func TestShardedTransportPartition(t *testing.T) {
+	for _, tc := range []struct{ n, p, want int }{
+		{100, 4, 4}, {100, 0, 1}, {100, -3, 1}, {3, 8, 3}, {0, 4, 1},
+	} {
+		tr := dist.NewShardedTransport(tc.n, tc.p)
+		if tr.Shards() != tc.want {
+			t.Fatalf("n=%d p=%d: shards %d want %d", tc.n, tc.p, tr.Shards(), tc.want)
+		}
+		seen := 0
+		for s := 0; s < tr.Shards(); s++ {
+			// Every vertex must be owned by exactly the shard whose
+			// range contains it.
+			for v := int32(0); v < int32(tc.n); v++ {
+				if tr.ShardOf(v) == s {
+					seen++
+				}
+			}
+		}
+		if seen != tc.n {
+			t.Fatalf("n=%d p=%d: partition covers %d vertices", tc.n, tc.p, seen)
+		}
+	}
+	// Contiguity and balance for one concrete partition.
+	tr := dist.NewShardedTransport(10, 3)
+	prev := 0
+	for v := int32(0); v < 10; v++ {
+		s := tr.ShardOf(v)
+		if s < prev || s > prev+1 {
+			t.Fatalf("partition not contiguous at v=%d: shard %d after %d", v, s, prev)
+		}
+		prev = s
+	}
+	if prev != 2 {
+		t.Fatalf("last vertex owned by shard %d, want 2", prev)
+	}
+}
+
+// TestShardedEdgeCases mirrors the degenerate-input ledger checks on
+// the sharded transport: edgeless graphs, k=1, and rho<=1 all terminate
+// with sane (message-free) ledgers at P>1.
+func TestShardedEdgeCases(t *testing.T) {
+	empty := dist.BaswanaSenSharded(graph.New(10), 0, 1, 4)
+	if graph.CountTrue(empty.InSpanner) != 0 || empty.Stats.Messages != 0 {
+		t.Fatalf("edgeless ledger: %+v", empty.Stats)
+	}
+	k1 := dist.BaswanaSenSharded(gen.Complete(10), 1, 1, 4)
+	if graph.CountTrue(k1.InSpanner) != gen.Complete(10).M() || k1.Stats.Messages != 0 {
+		t.Fatalf("k=1 spanner must be the graph itself: %+v", k1.Stats)
+	}
+	g := gen.Gnp(50, 0.2, 19)
+	id := dist.SparsifySharded(g, 0.5, 1, 0, 11, 4)
+	if id.G.M() != g.M() || id.Stats.Rounds != 0 || id.Stats.Messages != 0 {
+		t.Fatalf("rho<=1 should be a free identity: %+v", id.Stats)
+	}
+}

@@ -197,6 +197,42 @@ func TestE10ExponentNearTwoNotFour(t *testing.T) {
 	}
 }
 
+func TestE12ShardedSweepStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2^14-vertex sharded sweep skipped in -short")
+	}
+	tab := E12ShardedSparsify(Quick)
+	renderOf(t, tab)
+	if s := cell(t, tab.Rows[0][2]); s != 1 {
+		t.Fatalf("first-row speedup %v != 1", s)
+	}
+	baseM := cell(t, tab.Rows[0][3])
+	baseRounds := cell(t, tab.Rows[0][4])
+	for i, row := range tab.Rows {
+		// Outputs and round counts are transport-independent: any drift
+		// across P is a determinism bug, not noise.
+		if m := cell(t, row[3]); m != baseM {
+			t.Fatalf("row %d: m_out %v != %v", i, m, baseM)
+		}
+		if r := cell(t, row[4]); r != baseRounds {
+			t.Fatalf("row %d: rounds %v != %v", i, r, baseRounds)
+		}
+		p := cell(t, row[0])
+		cross := cell(t, row[6])
+		if p == 1 && cross != 0 {
+			t.Fatalf("P=1 reports cross-shard words: %v", row)
+		}
+		if p > 1 && cross == 0 {
+			t.Fatalf("P=%v reports no cross-shard words: %v", p, row)
+		}
+	}
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "DETERMINISM VIOLATION") {
+			t.Fatal(n)
+		}
+	}
+}
+
 func TestFitSlope(t *testing.T) {
 	xs := []float64{0, 1, 2, 3}
 	ys := []float64{1, 3, 5, 7}

@@ -1,8 +1,9 @@
 // Package experiments implements the paper-reproduction experiment
-// suite E1–E10 catalogued in DESIGN.md. The paper is theory-only (no
-// empirical tables), so each experiment validates one quantitative
-// claim — a theorem, corollary, lemma or remark — and prints a table
-// whose shape EXPERIMENTS.md records against the paper's bound.
+// suite E1–E12 (the registry below is the canonical index; ROADMAP.md
+// tracks what each sweep pins). The paper is theory-only (no empirical
+// tables), so each experiment validates one quantitative claim — a
+// theorem, corollary, lemma or remark — and prints a table recorded
+// against the paper's bound.
 //
 // Every experiment is deterministic and sized to run on a laptop; the
 // Quick scale further trims the sweeps for use in tests and benchmarks.
@@ -20,7 +21,7 @@ type Scale int
 // Experiment scales.
 const (
 	Quick Scale = iota // trimmed sweeps for tests/benchmarks
-	Full               // the sizes EXPERIMENTS.md records
+	Full               // the full sizes cmd/bench records
 )
 
 // Table is one experiment's printable result.
@@ -115,10 +116,11 @@ var Registry = map[string]func(Scale) *Table{
 	"E9":  E9BundleAblation,
 	"E10": E10EpsDependence,
 	"E11": E11TreeBundle,
+	"E12": E12ShardedSparsify,
 }
 
 // Order is the canonical experiment ordering.
-var Order = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+var Order = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
 
 // RunAll executes every experiment at the given scale.
 func RunAll(s Scale) []*Table {
