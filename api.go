@@ -205,6 +205,22 @@ func DistributedSparsify(g *Graph, eps, rho float64, opt Options) (*Graph, DistS
 	return res.G, res.Stats
 }
 
+// DistributedSpanner computes the Baswana–Sen log n-spanner in the
+// simulated synchronous distributed model and returns the spanner
+// subgraph plus the communication ledger Theorem 2 bounds (O(log² n)
+// rounds, O(m log n) messages of O(1) words). The edge selection is
+// bit-identical to Spanner's for equal Options. Options.Shards > 0
+// selects the sharded transport as in DistributedSparsify.
+func DistributedSpanner(g *Graph, opt Options) (*Graph, DistStats) {
+	var res *dist.SpannerResult
+	if opt.Shards > 0 {
+		res = dist.BaswanaSenSharded(g, 0, opt.Seed, opt.Shards)
+	} else {
+		res = dist.BaswanaSen(g, 0, opt.Seed)
+	}
+	return g.Subgraph(res.InSpanner), res.Stats
+}
+
 // SpielmanSrivastava runs the effective-resistance sampling baseline at
 // accuracy eps.
 func SpielmanSrivastava(g *Graph, eps float64, opt Options) *Graph {

@@ -1,5 +1,5 @@
 // Command bench regenerates the paper-reproduction experiment tables
-// E1–E12 (see the registry in internal/experiments for the index,
+// E1–E13 (see the registry in internal/experiments for the index,
 // ROADMAP.md for what each sweep pins, and CHANGES.md for when each
 // experiment landed).
 //

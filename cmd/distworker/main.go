@@ -1,0 +1,203 @@
+// Command distworker runs the distributed sparsifier as real
+// multi-process workers over TCP: one coordinator (shard 0) plus
+// shards−1 workers, each process materializing only its shard's
+// adjacency plus boundary edges and exchanging round traffic through
+// the bulk-synchronous network transport.
+//
+// Coordinator (owns shard 0, assembles and writes the output):
+//
+//	distworker -listen 127.0.0.1:9000 -shards 4 -in graph.txt \
+//	    -eps 0.5 -rho 8 -seed 1 [-out sparse.txt]
+//
+// Worker (joins the coordinator; sparsification parameters are adopted
+// from the coordinator's job spec, so only the partition is local):
+//
+//	distworker -join 127.0.0.1:9000 -shards 4 -shard 2 -in graph.txt
+//
+// Pre-splitting: with -split DIR the coordinator writes one partition
+// file per shard before listening, and any process started with
+// -parts DIR loads its partition file instead of parsing the whole
+// graph — the partition-aware loading path:
+//
+//	distworker -shards 4 -in graph.txt -split parts/ -split-only
+//	distworker -join HOST:PORT -shards 4 -shard 2 -parts parts/
+//
+// For equal seeds the written sparsifier is edge-identical to
+// `sparsify` (and to the in-process transports) at any shard count,
+// and the reported ledger is identical on every process.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("distworker: ")
+	in := flag.String("in", "", "input edge-list file (whole graph)")
+	parts := flag.String("parts", "", "partition directory (load only this shard's file)")
+	out := flag.String("out", "", "coordinator output edge-list file (default stdout)")
+	listen := flag.String("listen", "", "coordinator mode: listen address (host:port)")
+	join := flag.String("join", "", "worker mode: coordinator address to join")
+	shards := flag.Int("shards", 0, "total shard count P (required)")
+	shard := flag.Int("shard", 0, "this worker's shard id in [1,P) (worker mode)")
+	eps := flag.Float64("eps", 0.5, "target spectral accuracy in (0,1] (coordinator)")
+	rho := flag.Float64("rho", 8, "edge reduction factor (coordinator)")
+	depth := flag.Int("depth", 0, "bundle depth override, 0 = calibrated default (coordinator)")
+	seed := flag.Uint64("seed", 1, "random seed (coordinator)")
+	split := flag.String("split", "", "write all shards' partition files into this directory")
+	splitOnly := flag.Bool("split-only", false, "with -split: write partitions and exit")
+	addrFile := flag.String("addr-file", "", "coordinator: write the bound listen address to this file")
+	timeout := flag.Duration("timeout", dist.DefaultNetTimeout, "per-frame network deadline")
+	flag.Parse()
+
+	if *shards < 1 {
+		log.Fatal("-shards is required (≥ 1)")
+	}
+	switch {
+	case *split != "" && *splitOnly:
+		g := readGraph(*in)
+		splitPartitions(g, *shards, *split)
+	case *listen != "":
+		runCoordinator(*in, *parts, *out, *listen, *addrFile, *split, *shards, *eps, *rho, *depth, *seed, *timeout)
+	case *join != "":
+		runWorker(*in, *parts, *join, *shard, *shards, *timeout)
+	default:
+		log.Fatal("one of -listen (coordinator), -join (worker), or -split/-split-only is required")
+	}
+}
+
+func readGraph(in string) *graph.Graph {
+	if in == "" {
+		log.Fatal("-in is required to read the whole graph")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graphio.Read(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g
+}
+
+// loadPartition materializes this process's slice of the graph: from
+// its partition file when a partition directory is given (the
+// partition-aware path — nothing else is read), else by carving the
+// whole input graph in memory.
+func loadPartition(in, parts string, shard, shards int) *graph.Partition {
+	if parts != "" {
+		path := filepath.Join(parts, graphio.PartitionFileName(shard, shards))
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		p, err := graphio.ReadPartition(f)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		if p.Shard != shard || p.Shards != shards {
+			log.Fatalf("%s holds shard %d/%d, want %d/%d", path, p.Shard, p.Shards, shard, shards)
+		}
+		return p
+	}
+	return graph.PartitionOf(readGraph(in), shard, shards)
+}
+
+func splitPartitions(g *graph.Graph, shards int, dir string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for s := 0; s < shards; s++ {
+		p := graph.PartitionOf(g, s, shards)
+		path := filepath.Join(dir, graphio.PartitionFileName(s, shards))
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := graphio.WritePartition(f, p); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d incident edges)\n", path, len(p.IDs))
+	}
+}
+
+func runCoordinator(in, parts, out, listen, addrFile, split string, shards int, eps, rho float64, depth int, seed uint64, timeout time.Duration) {
+	var part *graph.Partition
+	if split != "" {
+		// Splitting needs the whole graph anyway; carve shard 0 from it.
+		g := readGraph(in)
+		splitPartitions(g, shards, split)
+		part = graph.PartitionOf(g, 0, shards)
+	} else {
+		part = loadPartition(in, parts, 0, shards)
+	}
+	tr, err := dist.ListenNet(listen, part.N, shards, timeout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+	fmt.Fprintf(os.Stderr, "coordinator: shard 0/%d listening on %s (n=%d m=%d, %d incident edges)\n",
+		shards, tr.Addr(), part.N, part.M, len(part.IDs))
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(tr.Addr()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	start := time.Now()
+	res, wireBytes, err := dist.RunNetCoordinator(tr, part, eps, rho, depth, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v: n=%d m=%d -> m=%d\n",
+		time.Since(start).Round(time.Millisecond), part.N, part.M, res.G.M())
+	fmt.Fprintf(os.Stderr, "ledger: %s\n", res.Stats)
+	fmt.Fprintf(os.Stderr, "wire: %d bytes across %d processes (model cross-shard: %d words)\n",
+		wireBytes, shards, res.Stats.CrossShardWords)
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := graphio.Write(w, res.G); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runWorker(in, parts, join string, shard, shards int, timeout time.Duration) {
+	if shard < 1 || shard >= shards {
+		log.Fatalf("-shard must be in [1,%d)", shards)
+	}
+	part := loadPartition(in, parts, shard, shards)
+	tr, err := dist.JoinNet(join, part.N, shard, shards, timeout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+	fmt.Fprintf(os.Stderr, "worker: shard %d/%d joined %s (%d incident edges, vertices [%d,%d))\n",
+		shard, shards, join, len(part.IDs), part.Lo, part.Hi)
+	stats, err := dist.RunNetWorker(tr, part)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "worker %d done; ledger: %s\n", shard, stats)
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/graphio"
+)
+
+// The multi-process smoke test re-executes this test binary as the
+// distworker CLI (TestMain dispatches to main when the child marker is
+// set), so real OS processes — one coordinator, three workers — talk
+// over real loopback sockets with no build step.
+
+const childEnv = "DISTWORKER_CHILD"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(childEnv) == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func child(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), childEnv+"=1")
+	cmd.Stderr = os.Stderr
+	return cmd
+}
+
+// TestMultiProcessSparsify: a coordinator and three worker processes,
+// each loading only its partition file, produce output edge-identical
+// to the single-process in-memory run.
+func TestMultiProcessSparsify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	const (
+		shards = 4
+		seed   = 11
+		eps    = "0.75"
+		rho    = "4"
+	)
+	dir := t.TempDir()
+	g := gen.Gnp(600, 0.03, 9)
+	graphPath := filepath.Join(dir, "graph.txt")
+	f, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Pre-split so that the worker processes exercise ReadPartition —
+	// they never see the whole graph.
+	partsDir := filepath.Join(dir, "parts")
+	splitCmd := child(t, "-in", graphPath, "-shards", "4", "-split", partsDir, "-split-only")
+	if err := splitCmd.Run(); err != nil {
+		t.Fatalf("split: %v", err)
+	}
+
+	outPath := filepath.Join(dir, "sparse.txt")
+	addrPath := filepath.Join(dir, "addr")
+	coord := child(t, "-listen", "127.0.0.1:0", "-shards", "4", "-parts", partsDir,
+		"-eps", eps, "-rho", rho, "-seed", "11", "-out", outPath, "-addr-file", addrPath,
+		"-timeout", "30s")
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+
+	addr := waitForFile(t, addrPath, 15*time.Second)
+	workers := make([]*exec.Cmd, 0, shards-1)
+	for s := 1; s < shards; s++ {
+		w := child(t, "-join", addr, "-shards", "4", "-shard", strconv.Itoa(s), "-parts", partsDir,
+			"-timeout", "30s")
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+	}
+	for i, w := range workers {
+		if err := w.Wait(); err != nil {
+			t.Fatalf("worker %d: %v", i+1, err)
+		}
+	}
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+
+	of, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer of.Close()
+	got, err := graphio.Read(of)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := dist.Sparsify(g, 0.75, 4, 0, seed)
+	if got.N != ref.G.N || got.M() != ref.G.M() {
+		t.Fatalf("multi-process %v vs in-memory %v", got, ref.G)
+	}
+	for i := range ref.G.Edges {
+		if got.Edges[i] != ref.G.Edges[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, got.Edges[i], ref.G.Edges[i])
+		}
+	}
+}
+
+func waitForFile(t *testing.T, path string, timeout time.Duration) string {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		b, err := os.ReadFile(path)
+		if err == nil && len(b) > 0 {
+			return strings.TrimSpace(string(b))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("%s did not appear within %v", path, timeout)
+	return ""
+}

@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	spanner -in graph.txt [-t 3] [-verify] [-seed 1]
+//	spanner -in graph.txt [-t 3] [-verify] [-seed 1] [-shards P]
+//
+// With -shards P > 0 the plain spanner (t ≤ 1) runs on the distributed
+// engine's sharded transport and the communication ledger of Theorem 2
+// is reported; the selected edges are identical to the shared-memory
+// path for equal seeds.
 package main
 
 import (
@@ -28,6 +33,7 @@ func main() {
 	t := flag.Int("t", 1, "bundle thickness (1 = plain spanner)")
 	verify := flag.Bool("verify", false, "verify the stretch bound (O(n·m) Dijkstras)")
 	seed := flag.Uint64("seed", 1, "random seed")
+	shards := flag.Int("shards", 0, "run the distributed engine on P shards (plain spanner only; 0 = shared-memory)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -44,9 +50,16 @@ func main() {
 		log.Fatal(err)
 	}
 	var h *repro.Graph
-	if *t <= 1 {
+	switch {
+	case *shards > 0 && *t <= 1:
+		var stats repro.DistStats
+		h, stats = repro.DistributedSpanner(g, repro.Options{Seed: *seed, Shards: *shards})
+		fmt.Fprintf(os.Stderr, "ledger: %s\n", stats)
+	case *shards > 0:
+		log.Fatal("-shards supports the plain spanner only (use -t 1)")
+	case *t <= 1:
 		h = repro.Spanner(g, repro.Options{Seed: *seed})
-	} else {
+	default:
 		h = repro.BundleSpanner(g, *t, repro.Options{Seed: *seed})
 	}
 	fmt.Fprintf(os.Stderr, "n=%d m=%d -> spanner edges=%d (bound st <= %g)\n",

@@ -4,10 +4,14 @@
 //
 // Usage:
 //
-//	sparsify -in graph.txt -out sparse.txt -eps 0.5 -rho 8 [-measure] [-seed 1]
+//	sparsify -in graph.txt -out sparse.txt -eps 0.5 -rho 8 [-measure] [-seed 1] [-shards P]
 //
 // With -in omitted the graph is read from stdin; with -out omitted the
-// sparsifier is written to stdout.
+// sparsifier is written to stdout. With -shards P > 0 the computation
+// runs on the distributed engine's sharded transport (P worker shards)
+// and reports the communication ledger; the output is edge-identical
+// to the shared-memory path for equal seeds. For real multi-process
+// workers over sockets, see cmd/distworker.
 package main
 
 import (
@@ -31,6 +35,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	theory := flag.Bool("theory", false, "use the paper's theoretical constants")
 	measure := flag.Bool("measure", false, "measure the achieved eps (costs extra solves)")
+	shards := flag.Int("shards", 0, "run on the distributed engine's sharded transport with P shards (0 = shared-memory)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -46,10 +51,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	h, rep := repro.Sparsify(g, *eps, *rho, repro.Options{Seed: *seed, Theory: *theory})
-	fmt.Fprintf(os.Stderr, "n=%d m=%d -> m=%d (%.1fx) in %d rounds\n",
-		g.N, rep.InputEdges, rep.OutputEdges,
-		float64(rep.InputEdges)/float64(max(rep.OutputEdges, 1)), len(rep.Rounds))
+	var h *repro.Graph
+	if *shards > 0 {
+		var stats repro.DistStats
+		h, stats = repro.DistributedSparsify(g, *eps, *rho,
+			repro.Options{Seed: *seed, Theory: *theory, Shards: *shards})
+		fmt.Fprintf(os.Stderr, "n=%d m=%d -> m=%d (%.1fx) on %d shards\n",
+			g.N, g.M(), h.M(), float64(g.M())/float64(max(h.M(), 1)), stats.Shards)
+		fmt.Fprintf(os.Stderr, "ledger: %s\n", stats)
+	} else {
+		var rep *repro.SparsifyReport
+		h, rep = repro.Sparsify(g, *eps, *rho, repro.Options{Seed: *seed, Theory: *theory})
+		fmt.Fprintf(os.Stderr, "n=%d m=%d -> m=%d (%.1fx) in %d rounds\n",
+			g.N, rep.InputEdges, rep.OutputEdges,
+			float64(rep.InputEdges)/float64(max(rep.OutputEdges, 1)), len(rep.Rounds))
+	}
 	if *measure {
 		b, err := repro.Bounds(g, h, repro.Options{Seed: *seed})
 		if err != nil {

@@ -32,13 +32,20 @@
 // messages move through in-memory staging, while Options.Shards > 0
 // selects a sharded transport that partitions the vertices across P
 // worker goroutines and exchanges cross-shard messages through
-// per-shard-pair buffers at each round barrier. The output is
-// bit-identical either way for equal seeds — sharding changes how
-// messages travel, never what is decided — and the ledger additionally
-// reports DistStats.CrossShardMessages/CrossShardWords, the traffic a
-// real multi-machine partition would put on the wire. See internal/dist
-// for the transport contract and experiment E12 (`go run ./cmd/bench
-// -run E12`) for the shard-count scaling sweep.
+// per-shard-pair buffers at each round barrier. A third transport runs
+// the same rounds as real multi-process workers over TCP: each process
+// materializes only its shard's adjacency plus boundary edges
+// (graphio.ReadPartition/WritePartition), traffic crosses the wire as
+// batched fixed-size binary frames, and a per-round tally handshake
+// keeps the ledger identical on every process — see cmd/distworker for
+// the CLI (coordinator + worker modes) and examples/distributed for a
+// verified loopback run. The output is edge-identical on all three
+// transports for equal seeds — the medium changes how messages travel,
+// never what is decided — and the ledger additionally reports
+// DistStats.CrossShardMessages/CrossShardWords, the traffic a real
+// multi-machine partition puts on the wire. See internal/dist for the
+// transport contract and experiments E12/E13 (`go run ./cmd/bench
+// -run E12,E13`) for the scaling and transport-comparison sweeps.
 //
 // All randomness is seeded and the library is deterministic for a fixed
 // seed at any GOMAXPROCS. ROADMAP.md records the system's direction and

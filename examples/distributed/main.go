@@ -1,20 +1,63 @@
 // Distributed: run the paper's Theorem 2/Corollary 3/Theorem 5 pipeline
-// on the simulated synchronous network and print the communication
+// on the simulated synchronous network, then again as REAL multi-process
+// workers over loopback TCP sockets, and print the communication
 // ledgers the theorems bound.
 //
 //	go run ./examples/distributed
+//
+// The final section re-executes this binary as worker processes (one
+// per shard, each materializing only its partition of the graph),
+// runs the network transport's bulk-synchronous protocol against them,
+// and verifies that the output is edge-identical to the in-memory
+// transport's. Environment knobs, used by the CI smoke job:
+//
+//	REPRO_DIST_N=2048      vertex count of the multi-process section
+//	REPRO_DIST_SHARDS=4    process count (coordinator + workers)
+//	REPRO_DIST_ONLY=1      skip the single-process sections
 package main
 
 import (
 	"fmt"
+	"log"
 	"math"
+	"os"
+	"os/exec"
+	"strconv"
 
 	"repro"
 	"repro/internal/dist"
 	"repro/internal/gen"
+	"repro/internal/graph"
 )
 
+// Multi-process job parameters, shared by parent and re-executed
+// workers; the graph is regenerated deterministically on each side so
+// no file needs to travel.
+const (
+	mpEps   = 0.5
+	mpRho   = 4.0
+	mpDepth = 1
+	mpSeed  = 13
+)
+
+func mpGraph(n int) *graph.Graph {
+	return gen.WithRandomWeights(gen.Gnp(n, 12/float64(n), uint64(n)+1), 0.25, 4, 17)
+}
+
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("distributed: ")
+	if os.Getenv("REPRO_DIST_ROLE") == "worker" {
+		workerMain()
+		return
+	}
+	if os.Getenv("REPRO_DIST_ONLY") == "" {
+		singleProcessSections()
+	}
+	multiProcessSection()
+}
+
+func singleProcessSections() {
 	fmt.Println("distributed spanner (Theorem 2): rounds ~ log^2 n, messages ~ m log n")
 	fmt.Printf("%8s %8s %8s %14s %10s %14s\n", "n", "m", "rounds", "rounds/lg^2 n", "messages", "msgs/(m lg n)")
 	for _, n := range []int{128, 256, 512, 1024} {
@@ -39,9 +82,9 @@ func main() {
 	b, err := repro.Bounds(g, h, repro.Options{Seed: 17})
 	if err != nil {
 		fmt.Println("  bounds:", err)
-		return
+	} else {
+		fmt.Printf("  measured quality: %.3f*G <= H <= %.3f*G (eps=%.3f)\n", b.Lo, b.Hi, b.Epsilon())
 	}
-	fmt.Printf("  measured quality: %.3f*G <= H <= %.3f*G (eps=%.3f)\n", b.Lo, b.Hi, b.Epsilon())
 
 	fmt.Println()
 	fmt.Println("sharded transport (Options.Shards): same decisions, wire-billed exchange")
@@ -53,6 +96,103 @@ func main() {
 			float64(st.CrossShardWords)/float64(st.Words))
 	}
 	fmt.Println("  m_out and rounds identical at every P: the transport moves the")
-	fmt.Println("  messages, the algorithm still makes the same decisions; crossWords")
-	fmt.Println("  is the traffic a real multi-machine partition would put on the wire")
+	fmt.Println("  messages, the algorithm still makes the same decisions")
+	fmt.Println()
+}
+
+// multiProcessSection spawns shards-1 copies of this binary as worker
+// processes, runs the coordinator against them over loopback TCP, and
+// verifies the output against the in-memory transport.
+func multiProcessSection() {
+	n := envInt("REPRO_DIST_N", 512)
+	shards := envInt("REPRO_DIST_SHARDS", 4)
+	g := mpGraph(n)
+	fmt.Printf("network transport: coordinator + %d worker processes over loopback TCP\n", shards-1)
+	fmt.Printf("  graph: n=%d m=%d, eps=%g rho=%g depth=%d seed=%d\n", n, g.M(), mpEps, mpRho, mpDepth, mpSeed)
+
+	coord, err := dist.ListenNet("127.0.0.1:0", g.N, shards, dist.DefaultNetTimeout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coord.Close()
+
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	procs := make([]*exec.Cmd, 0, shards-1)
+	for s := 1; s < shards; s++ {
+		cmd := exec.Command(self)
+		cmd.Env = append(os.Environ(),
+			"REPRO_DIST_ROLE=worker",
+			"REPRO_DIST_ADDR="+coord.Addr(),
+			"REPRO_DIST_SHARD="+strconv.Itoa(s),
+			"REPRO_DIST_SHARDS="+strconv.Itoa(shards),
+			"REPRO_DIST_N="+strconv.Itoa(n),
+		)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			log.Fatal(err)
+		}
+		procs = append(procs, cmd)
+	}
+
+	res, wireBytes, err := dist.RunNetCoordinator(coord, graph.PartitionOf(g, 0, shards), mpEps, mpRho, mpDepth, mpSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, cmd := range procs {
+		if err := cmd.Wait(); err != nil {
+			log.Fatalf("worker %d: %v", i+1, err)
+		}
+	}
+
+	ref := dist.Sparsify(g, mpEps, mpRho, mpDepth, mpSeed)
+	if res.G.M() != ref.G.M() {
+		log.Fatalf("OUTPUT MISMATCH: multi-process m=%d, in-memory m=%d", res.G.M(), ref.G.M())
+	}
+	for i := range ref.G.Edges {
+		if res.G.Edges[i] != ref.G.Edges[i] {
+			log.Fatalf("OUTPUT MISMATCH at edge %d: %+v vs %+v", i, res.G.Edges[i], ref.G.Edges[i])
+		}
+	}
+	if res.Stats.Rounds != ref.Stats.Rounds || res.Stats.Words != ref.Stats.Words {
+		log.Fatalf("LEDGER MISMATCH: %+v vs %+v", res.Stats, ref.Stats)
+	}
+	fmt.Printf("  m=%d -> m=%d across %d processes\n", g.M(), res.G.M(), shards)
+	fmt.Printf("  ledger: %s\n", res.Stats)
+	fmt.Printf("  wire: %d bytes on loopback (model cross-shard: %d words)\n", wireBytes, res.Stats.CrossShardWords)
+	fmt.Println("  VERIFIED: edge-identical to the in-memory transport, identical ledger")
+}
+
+func workerMain() {
+	addr := os.Getenv("REPRO_DIST_ADDR")
+	shard := envInt("REPRO_DIST_SHARD", -1)
+	shards := envInt("REPRO_DIST_SHARDS", -1)
+	n := envInt("REPRO_DIST_N", -1)
+	if addr == "" || shard < 1 || shards < 2 || n < 1 {
+		log.Fatal("worker mode needs REPRO_DIST_ADDR/SHARD/SHARDS/N")
+	}
+	// Regenerate the same graph deterministically and keep only this
+	// shard's partition — the worker never holds the rest.
+	part := graph.PartitionOf(mpGraph(n), shard, shards)
+	tr, err := dist.JoinNet(addr, n, shard, shards, dist.DefaultNetTimeout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := dist.RunNetWorker(tr, part); err != nil {
+		log.Fatalf("worker %d: %v", shard, err)
+	}
+}
+
+func envInt(key string, def int) int {
+	if s := os.Getenv(key); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			log.Fatalf("%s=%q: %v", key, s, err)
+		}
+		return v
+	}
+	return def
 }

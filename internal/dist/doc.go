@@ -35,28 +35,56 @@
 // Transport interface (transport.go): the engine runs the synchronous
 // schedule (compute phase → EndRound barrier → next round) and keeps
 // the ledger, while the transport stages, routes, and tallies the
-// traffic. Two transports ship:
+// traffic through the shared exchange core (exchange.go) — per
+// (staging shard, recipient shard) buckets drained in staging-shard
+// order at every barrier. Three transports ship:
 //
-//   - MemTransport (the default, NewEngine): one staging slice per
-//     recipient, flipped wholesale into mailboxes at the barrier — the
-//     original single-process simulation, extracted unchanged.
+//   - MemTransport (the default, NewEngine): the exchange core on
+//     parutil's in-process worker partition with a single ownership
+//     shard — the original single-process simulation.
 //
 //   - ShardedTransport (NewShardedEngine, BaswanaSenSharded,
 //     SparsifySharded): the vertex set is partitioned across P shards,
 //     each served by one worker goroutine during compute phases;
-//     messages are routed through per-shard-pair buffers and drained at
-//     the round barrier, with traffic whose endpoints live on different
-//     shards billed separately as Stats.CrossShardMessages/Words — the
-//     wire volume a multi-machine deployment would pay.
+//     messages cross the pair buckets at the round barrier, with
+//     traffic whose endpoints live on different shards billed
+//     separately as Stats.CrossShardMessages/Words — the wire volume a
+//     multi-machine deployment would pay.
+//
+//   - NetTransport (ListenNet/JoinNet, SparsifyPartition,
+//     RunNetCoordinator/RunNetWorker): each shard is a separate OS
+//     process holding only its partition of the graph
+//     (graph.Partition: its shard's adjacency plus boundary edges),
+//     and the pair buckets become batched fixed-size binary frames
+//     (wire.go) flushed over TCP at every barrier. Shard 0 is the
+//     coordinator: it relays frames between workers by header without
+//     decoding payloads (a star; full mesh is future work) and runs
+//     the round-tally handshake — every process ships the tally of
+//     what it staged, the coordinator reduces, and every engine bills
+//     the global tally, so the ledger is identical on every process.
+//     Loop-control values a single process would read off shared
+//     memory (the broadcast-wave depth, bundle-loop progress, the
+//     merged bundle mask for renumbering) travel as small unbilled
+//     collectives (AllMaxInt32/AllOrBits) piggybacked on the barrier.
+//
+// The staging discipline that makes one algorithm run on all three:
+// payloads carrying real remote state (MsgCenter, MsgNewCenter,
+// MsgAdd, MsgDrop) are staged by the sender's owner and genuinely
+// cross the wire for boundary edges, while payloads that are pure
+// functions of the seed (MsgSampled, MsgKeep) are staged — and
+// re-derived — by the recipient's owner, yet billed identically.
+// Decision notices (MsgAdd/MsgDrop) are folded back from the mailboxes
+// after each barrier, which is a no-op re-application in one process
+// and the boundary-edge knowledge transfer across processes.
 //
 // Transports are interchangeable by construction: outputs are
 // bit-identical for equal seeds at any shard count and any GOMAXPROCS
 // (the algorithms fold their mailboxes with order-independent
-// reductions, so buffer drain order is unobservable), and the ledger's
+// reductions, so bucket drain order is unobservable), and the ledger's
 // Rounds, Messages, Words, and per-phase rows are transport-independent
-// — the regression tests in transport_test.go pin both properties. A
-// future network transport (shard = machine, pair buffer = socket)
-// slots in behind the same interface without touching the algorithms;
-// experiment E12 measures what it would cost by sweeping shard counts
-// and reporting wall-clock speedup and cross-shard word volume.
+// — transport_test.go and net_test.go pin both properties, including a
+// real coordinator + 4 workers loopback run, and cmd/distworker's test
+// pins the OS-process version. Experiments E12 and E13 measure the
+// cost of distribution (shard-count scaling; in-memory vs sharded vs
+// network wall-clock and wire volume).
 package dist

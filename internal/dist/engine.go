@@ -12,12 +12,15 @@ package dist
 // exchange across worker goroutines via NewShardedEngine, or — the
 // seam's purpose — a real network in a future multi-machine transport.
 //
-// The simulation is receiver-staged: the worker that owns vertex v is
-// the only one allowed to call Deliver(v, ...), which is how the
-// parallel per-vertex loops of the algorithms stay race-free while the
-// ledger still counts every directed message exactly once. Message
-// payloads always carry snapshot state from the start of the round, so
-// the staging direction is unobservable to the algorithm.
+// Staging follows the exchange core's kind-based discipline (see
+// exchange.go): payloads carrying real remote state are staged by the
+// worker owning the sender, payloads that are pure functions of the
+// seed by the worker owning the recipient. That is how the parallel
+// per-vertex loops of the algorithms stay race-free — and how a
+// multi-process transport knows which traffic must cross the wire —
+// while the ledger still counts every directed message exactly once.
+// Message payloads always carry snapshot state from the start of the
+// round, so the staging side is unobservable to the algorithm.
 
 // MsgKind identifies the payload schema of a message.
 type MsgKind uint8
@@ -107,8 +110,11 @@ func (e *Engine) BeginPhase(name string) {
 }
 
 // Deliver stages a message for vertex `to` in the current round. It
-// must be called only from the worker that owns `to` (see ForVertices),
-// or from a single goroutine outside a compute phase.
+// must be called only from the worker the staging discipline assigns —
+// the owner of m.From for sender-staged kinds (MsgCenter,
+// MsgNewCenter, MsgAdd, MsgDrop), the owner of `to` for the pure
+// seed-derived kinds (MsgSampled, MsgKeep) — or from a single
+// goroutine outside a compute phase.
 func (e *Engine) Deliver(to int32, m Message) {
 	e.tr.Send(e.round, to, m)
 }
@@ -175,6 +181,46 @@ func (e *Engine) EndRound() {
 
 // Mailbox returns the messages delivered to v by the last EndRound.
 func (e *Engine) Mailbox(v int32) []Message { return e.tr.Recv(e.round, v) }
+
+// allMaxInt32 reduces x to its maximum across all shards of the
+// transport. Single-process transports compute loop-control values
+// over shared memory, so the reduction is the identity there; the
+// network transport runs a control-plane convergecast (not billed to
+// the ledger — see collectiveTransport).
+func (e *Engine) allMaxInt32(x int32) int32 {
+	if c, ok := e.tr.(collectiveTransport); ok {
+		return c.AllMaxInt32(x)
+	}
+	return x
+}
+
+// allOrWord reduces one word of flags by bitwise OR across all shards.
+func (e *Engine) allOrWord(w uint64) uint64 {
+	if c, ok := e.tr.(collectiveTransport); ok {
+		return c.AllOrBits([]uint64{w})[0]
+	}
+	return w
+}
+
+// allOrMask ORs a boolean mask across all shards, in place. A
+// no-op on single-process transports, where the mask is already
+// globally complete.
+func (e *Engine) allOrMask(mask []bool) {
+	c, ok := e.tr.(collectiveTransport)
+	if !ok {
+		return
+	}
+	words := make([]uint64, (len(mask)+63)/64)
+	for i, b := range mask {
+		if b {
+			words[i/64] |= 1 << (i % 64)
+		}
+	}
+	words = c.AllOrBits(words)
+	for i := range mask {
+		mask[i] = words[i/64]&(1<<(i%64)) != 0
+	}
+}
 
 // Stats returns a copy of the accumulated ledger.
 func (e *Engine) Stats() Stats {

@@ -1,0 +1,696 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// NetTransport is the bulk-synchronous TCP transport: each shard of
+// the vertex partition is a separate OS process holding only its slice
+// of the graph (see SparsifyPartition), and the exchange core's
+// per-shard-pair buckets become batched binary frames flushed at every
+// round barrier.
+//
+// Topology: shard 0 is the coordinator; it listens, the workers join,
+// and all traffic is relayed through it in a star (a frame is routed
+// by its header without decoding the payload). The barrier doubles as
+// the round-tally handshake: every process ships the tally of the
+// traffic it staged, the coordinator reduces and re-broadcasts the
+// global tally, and every engine bills that — so Stats.Rounds, Words,
+// and the CrossShard split are identical on every process and to the
+// single-process transports, which the loopback regression tests pin.
+//
+// The barrier protocol per EndRound, from a worker's perspective:
+// write one frameRound batch per remote shard (empty batches
+// included) and one frameTally, flush, then read the P−2 batches
+// routed from the other shards (origin order) plus the global
+// frameTally. The coordinator reads every worker fully (join), routes,
+// then writes every worker fully (broadcast) — strict alternation, so
+// the protocol cannot deadlock. Collectives (AllMaxInt32, AllOrBits,
+// the blob gather/broadcast) follow the same alternation.
+//
+// Failure model: any I/O error, timeout, or protocol violation is
+// fatal to the run — the transport panics with *NetError, which
+// drivers recover into an exit (there is no partial-round recovery in
+// a bulk-synchronous schedule). Timeouts default to 60s per frame.
+type NetTransport struct {
+	part    partition
+	self    int
+	x       *exchanger
+	timeout time.Duration
+
+	ln    net.Listener // coordinator only
+	peers []*peerConn  // coordinator only, indexed by shard (nil at 0)
+	hub   *peerConn    // worker only
+	ready bool
+
+	wireBytes int64
+}
+
+// NetError is the fatal-failure panic value of a NetTransport.
+type NetError struct{ Err error }
+
+func (e *NetError) Error() string { return "dist: network transport: " + e.Err.Error() }
+func (e *NetError) Unwrap() error { return e.Err }
+
+// DefaultNetTimeout is the per-frame I/O deadline when none is given.
+const DefaultNetTimeout = 60 * time.Second
+
+type peerConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+	t  *NetTransport
+}
+
+func newPeerConn(t *NetTransport, c net.Conn) *peerConn {
+	return &peerConn{c: c, br: bufio.NewReaderSize(c, 1<<16), bw: bufio.NewWriterSize(c, 1<<16), t: t}
+}
+
+func (p *peerConn) writeFrame(h frameHeader, payload []byte) error {
+	var hb [headerSize]byte
+	putHeader(hb[:], h)
+	_ = p.c.SetWriteDeadline(time.Now().Add(p.t.timeout))
+	if _, err := p.bw.Write(hb[:]); err != nil {
+		return err
+	}
+	if _, err := p.bw.Write(payload); err != nil {
+		return err
+	}
+	p.t.wireBytes += int64(headerSize + len(payload))
+	return nil
+}
+
+func (p *peerConn) flush() error {
+	_ = p.c.SetWriteDeadline(time.Now().Add(p.t.timeout))
+	return p.bw.Flush()
+}
+
+// maxFramePayload bounds a single frame's payload. Legitimate batches
+// are far smaller; the bound exists so that a corrupt Count header (or
+// a non-protocol client) lands on the *NetError path instead of
+// aborting the process with a huge allocation.
+const maxFramePayload = 1 << 30
+
+// payloadLen returns the byte length of a frame's payload.
+func payloadLen(h frameHeader) (int, error) {
+	var n int
+	switch h.Type {
+	case frameHello, frameWelcome:
+		n = helloSize
+	case frameRound:
+		n = int(h.Count) * envelopeSize
+	case frameTally:
+		n = tallySize
+	case frameMax:
+		n = 4
+	case frameOr:
+		n = int(h.Count) * 8
+	case frameBlob:
+		n = int(h.Count)
+	default:
+		return 0, fmt.Errorf("unknown frame type %d", h.Type)
+	}
+	if n < 0 || n > maxFramePayload {
+		return 0, fmt.Errorf("implausible frame payload: type %d count %d", h.Type, h.Count)
+	}
+	return n, nil
+}
+
+// readFrame reads the next frame, requiring the given type (the SPMD
+// schedule means both sides always agree on what comes next; a
+// mismatch is a protocol violation, not a reorder).
+func (p *peerConn) readFrame(wantType uint8) (frameHeader, []byte, error) {
+	_ = p.c.SetReadDeadline(time.Now().Add(p.t.timeout))
+	var hb [headerSize]byte
+	if _, err := io.ReadFull(p.br, hb[:]); err != nil {
+		return frameHeader{}, nil, err
+	}
+	h, err := parseHeader(hb[:])
+	if err != nil {
+		return frameHeader{}, nil, err
+	}
+	if h.Type != wantType {
+		return frameHeader{}, nil, fmt.Errorf("expected frame type %d, got %d", wantType, h.Type)
+	}
+	n, err := payloadLen(h)
+	if err != nil {
+		return frameHeader{}, nil, err
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(p.br, payload); err != nil {
+		return frameHeader{}, nil, err
+	}
+	return h, payload, nil
+}
+
+// ListenNet binds the coordinator (shard 0) transport for a shards-way
+// run over n vertices. It returns after binding; Addr reports the
+// bound address to hand to workers, and WaitReady blocks until all
+// shards-1 workers have joined.
+func ListenNet(addr string, n, shards int, timeout time.Duration) (*NetTransport, error) {
+	t, err := newNetTransport(n, 0, shards, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if t.part.p > 1 {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		t.ln = ln
+	}
+	return t, nil
+}
+
+// JoinNet dials the coordinator at addr and joins as the given shard.
+// It blocks until the coordinator accepts the handshake.
+func JoinNet(addr string, n, shard, shards int, timeout time.Duration) (*NetTransport, error) {
+	t, err := newNetTransport(n, shard, shards, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if shard == 0 {
+		return nil, fmt.Errorf("dist: shard 0 is the coordinator; use ListenNet")
+	}
+	c, err := net.DialTimeout("tcp", addr, t.timeout)
+	if err != nil {
+		return nil, err
+	}
+	t.hub = newPeerConn(t, c)
+	var hb [helloSize]byte
+	putHello(hb[:], hello{Version: wireVersion, N: uint64(n), Shard: uint32(shard), Shards: uint32(shards)})
+	if err := t.hub.writeFrame(frameHeader{Type: frameHello, From: uint16(shard)}, hb[:]); err != nil {
+		c.Close()
+		return nil, err
+	}
+	if err := t.hub.flush(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	_, payload, err := t.hub.readFrame(frameWelcome)
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("dist: join handshake: %w", err)
+	}
+	if got := parseHello(payload); got.Version != wireVersion || got.N != uint64(n) || got.Shards != uint32(shards) {
+		c.Close()
+		return nil, fmt.Errorf("dist: coordinator config mismatch: %+v", got)
+	}
+	t.ready = true
+	return t, nil
+}
+
+func newNetTransport(n, shard, shards int, timeout time.Duration) (*NetTransport, error) {
+	if shards != graph.ClampShards(n, shards) {
+		return nil, fmt.Errorf("dist: %d shards invalid for %d vertices", shards, n)
+	}
+	if shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("dist: shard %d out of range [0,%d)", shard, shards)
+	}
+	if timeout <= 0 {
+		timeout = DefaultNetTimeout
+	}
+	t := &NetTransport{
+		part:    newPartition(n, shards),
+		self:    shard,
+		x:       newExchanger(n, shards, shards),
+		timeout: timeout,
+	}
+	t.ready = t.part.p == 1
+	return t, nil
+}
+
+// Addr returns the coordinator's bound listen address.
+func (t *NetTransport) Addr() string {
+	if t.ln == nil {
+		return ""
+	}
+	return t.ln.Addr().String()
+}
+
+// WaitReady accepts and validates the join handshake of every worker.
+// Coordinator only; a no-op once ready.
+func (t *NetTransport) WaitReady() error {
+	if t.ready {
+		return nil
+	}
+	if t.ln == nil {
+		return fmt.Errorf("dist: WaitReady on a worker transport")
+	}
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := t.ln.(deadliner); ok {
+		_ = d.SetDeadline(time.Now().Add(t.timeout))
+	}
+	t.peers = make([]*peerConn, t.part.p)
+	joined := 0
+	for joined < t.part.p-1 {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("dist: accepting worker: %w", err)
+		}
+		pc := newPeerConn(t, c)
+		_, payload, err := pc.readFrame(frameHello)
+		if err != nil {
+			c.Close()
+			return fmt.Errorf("dist: worker handshake: %w", err)
+		}
+		h := parseHello(payload)
+		if h.Version != wireVersion || h.N != uint64(t.part.n) || h.Shards != uint32(t.part.p) {
+			c.Close()
+			return fmt.Errorf("dist: worker config mismatch: %+v", h)
+		}
+		s := int(h.Shard)
+		if s < 1 || s >= t.part.p || t.peers[s] != nil {
+			c.Close()
+			return fmt.Errorf("dist: bad or duplicate worker shard %d", s)
+		}
+		var wb [helloSize]byte
+		putHello(wb[:], hello{Version: wireVersion, N: uint64(t.part.n), Shard: h.Shard, Shards: uint32(t.part.p)})
+		if err := pc.writeFrame(frameHeader{Type: frameWelcome}, wb[:]); err != nil {
+			c.Close()
+			return err
+		}
+		if err := pc.flush(); err != nil {
+			c.Close()
+			return err
+		}
+		t.peers[s] = pc
+		joined++
+	}
+	t.ready = true
+	return nil
+}
+
+// Close tears the connections down.
+func (t *NetTransport) Close() error {
+	var first error
+	if t.hub != nil {
+		_ = t.hub.flush()
+		first = t.hub.c.Close()
+	}
+	for _, p := range t.peers {
+		if p != nil {
+			_ = p.flush()
+			if err := p.c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if t.ln != nil {
+		if err := t.ln.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WireBytes returns the bytes this process has written to the network
+// (frame headers included) — the transport's own honesty counter, next
+// to the model-level Stats.CrossShardWords.
+func (t *NetTransport) WireBytes() int64 { return t.wireBytes }
+
+// Shard returns this process's shard id.
+func (t *NetTransport) Shard() int { return t.self }
+
+// fatal aborts the run on an unrecoverable transport failure.
+func (t *NetTransport) fatal(err error) {
+	panic(&NetError{Err: err})
+}
+
+func (t *NetTransport) mustReady() {
+	if !t.ready {
+		t.fatal(fmt.Errorf("transport used before WaitReady"))
+	}
+}
+
+// Shards returns the global shard count P.
+func (t *NetTransport) Shards() int { return t.part.p }
+
+// ShardOf returns the shard owning vertex v.
+func (t *NetTransport) ShardOf(v int32) int { return t.part.shardOf(v) }
+
+// Workers returns P: the execution partition spans every process, of
+// which exactly one worker (this shard) runs locally.
+func (t *NetTransport) Workers() int { return t.part.p }
+
+// ForWorkers runs body for this process's own shard only — the other
+// workers are other processes executing the same phase of the same
+// schedule.
+func (t *NetTransport) ForWorkers(body func(worker, lo, hi int)) {
+	if t.part.n <= 0 {
+		return
+	}
+	body(t.self, t.part.bounds[t.self], t.part.bounds[t.self+1])
+}
+
+// Send stages m for vertex `to`. All staging must land in this
+// shard's row of the exchange core — sender-staged kinds because From
+// is owned here, receiver-staged kinds because `to` is. A message the
+// discipline routes to another shard's row could never be flushed by
+// this process, so it is a fatal contract violation rather than a
+// silent drop.
+func (t *NetTransport) Send(_ int, to int32, m Message) {
+	if d := t.x.stagingShard(to, m); d != t.self {
+		t.fatal(fmt.Errorf("message for vertex %d from %d staged on shard %d, not this shard %d (staging discipline violation)",
+			to, m.From, d, t.self))
+	}
+	t.x.send(to, m)
+}
+
+// Recv returns the messages delivered to v by the last EndRound.
+func (t *NetTransport) Recv(_ int, v int32) []Message { return t.x.recv(v) }
+
+// localTally bills every message this process staged in the closing
+// round (sender-side billing; summed across processes by the handshake
+// it equals the receiver-side billing of the in-process transports).
+func (t *NetTransport) localTally() RoundTally {
+	var tally RoundTally
+	for r := 0; r < t.part.p; r++ {
+		for _, env := range t.x.staged[t.self][r] {
+			t.x.bill(&tally, env)
+		}
+	}
+	return tally
+}
+
+func encodeEnvelopes(envs []envelope) []byte {
+	buf := make([]byte, len(envs)*envelopeSize)
+	for i, env := range envs {
+		putEnvelope(buf[i*envelopeSize:], env)
+	}
+	return buf
+}
+
+func decodeEnvelopes(payload []byte) []envelope {
+	envs := make([]envelope, len(payload)/envelopeSize)
+	for i := range envs {
+		envs[i] = parseEnvelope(payload[i*envelopeSize:])
+	}
+	return envs
+}
+
+// EndRound is the bulk-synchronous barrier: flush staged batches,
+// exchange them through the coordinator, reduce the round tally, and
+// drain the inbound batches into the mailboxes in staging-shard order
+// (identical to ShardedTransport's drain order, so mailbox order — and
+// with it every decision — is transport-independent).
+func (t *NetTransport) EndRound(round int) RoundTally {
+	t.mustReady()
+	local := t.localTally()
+	if t.part.p == 1 {
+		var discard RoundTally
+		t.x.clearMailboxes(0)
+		t.x.deliverInto(&discard, t.x.takeRow(0, 0))
+		return local
+	}
+	var global RoundTally
+	var err error
+	if t.self == 0 {
+		global, err = t.endRoundCoordinator(round, local)
+	} else {
+		global, err = t.endRoundWorker(round, local)
+	}
+	if err != nil {
+		t.fatal(fmt.Errorf("round %d: %w", round, err))
+	}
+	return global
+}
+
+func (t *NetTransport) endRoundWorker(round int, local RoundTally) (RoundTally, error) {
+	self := t.self
+	for r := 0; r < t.part.p; r++ {
+		if r == self {
+			continue
+		}
+		batch := t.x.takeRow(self, r)
+		h := frameHeader{Type: frameRound, From: uint16(self), To: uint16(r), Round: uint32(round), Count: uint32(len(batch))}
+		if err := t.hub.writeFrame(h, encodeEnvelopes(batch)); err != nil {
+			return RoundTally{}, err
+		}
+	}
+	var tb [tallySize]byte
+	putTally(tb[:], local)
+	if err := t.hub.writeFrame(frameHeader{Type: frameTally, From: uint16(self), Round: uint32(round)}, tb[:]); err != nil {
+		return RoundTally{}, err
+	}
+	if err := t.hub.flush(); err != nil {
+		return RoundTally{}, err
+	}
+
+	t.x.clearMailboxes(self)
+	var discard RoundTally
+	for d := 0; d < t.part.p; d++ {
+		if d == self {
+			t.x.deliverInto(&discard, t.x.takeRow(self, self))
+			continue
+		}
+		h, payload, err := t.hub.readFrame(frameRound)
+		if err != nil {
+			return RoundTally{}, err
+		}
+		if int(h.From) != d || int(h.To) != self || int(h.Round) != round {
+			return RoundTally{}, fmt.Errorf("misrouted batch %+v (want from %d to %d round %d)", h, d, self, round)
+		}
+		t.x.deliverInto(&discard, decodeEnvelopes(payload))
+	}
+	_, payload, err := t.hub.readFrame(frameTally)
+	if err != nil {
+		return RoundTally{}, err
+	}
+	return parseTally(payload), nil
+}
+
+func (t *NetTransport) endRoundCoordinator(round int, local RoundTally) (RoundTally, error) {
+	p := t.part.p
+	global := local
+	// batches[origin][dest] holds the raw (already encoded) payloads of
+	// the workers' outgoing frames; routing forwards them verbatim.
+	batches := make([][][]byte, p)
+	for w := 1; w < p; w++ {
+		batches[w] = make([][]byte, p)
+		seen := 0
+		for seen < p-1 {
+			h, payload, err := t.peers[w].readFrame(frameRound)
+			if err != nil {
+				return RoundTally{}, fmt.Errorf("reading shard %d: %w", w, err)
+			}
+			if int(h.From) != w || int(h.To) == w || int(h.To) >= p || int(h.Round) != round || batches[w][h.To] != nil {
+				return RoundTally{}, fmt.Errorf("bad batch header %+v from shard %d round %d", h, w, round)
+			}
+			batches[w][h.To] = payload
+			seen++
+		}
+		_, tb, err := t.peers[w].readFrame(frameTally)
+		if err != nil {
+			return RoundTally{}, fmt.Errorf("reading shard %d tally: %w", w, err)
+		}
+		global = mergeTallies([]RoundTally{global, parseTally(tb)})
+	}
+	var gtb [tallySize]byte
+	putTally(gtb[:], global)
+	for r := 1; r < p; r++ {
+		for d := 0; d < p; d++ {
+			if d == r {
+				continue
+			}
+			var payload []byte
+			if d == 0 {
+				payload = encodeEnvelopes(t.x.takeRow(0, r))
+			} else {
+				payload = batches[d][r]
+			}
+			h := frameHeader{Type: frameRound, From: uint16(d), To: uint16(r), Round: uint32(round), Count: uint32(len(payload) / envelopeSize)}
+			if err := t.peers[r].writeFrame(h, payload); err != nil {
+				return RoundTally{}, err
+			}
+		}
+		if err := t.peers[r].writeFrame(frameHeader{Type: frameTally, Round: uint32(round)}, gtb[:]); err != nil {
+			return RoundTally{}, err
+		}
+		if err := t.peers[r].flush(); err != nil {
+			return RoundTally{}, err
+		}
+	}
+	t.x.clearMailboxes(0)
+	var discard RoundTally
+	for d := 0; d < p; d++ {
+		if d == 0 {
+			t.x.deliverInto(&discard, t.x.takeRow(0, 0))
+			continue
+		}
+		t.x.deliverInto(&discard, decodeEnvelopes(batches[d][0]))
+	}
+	return global, nil
+}
+
+// AllMaxInt32 reduces x to its maximum across all shards (the
+// control-plane convergecast of collectiveTransport).
+func (t *NetTransport) AllMaxInt32(x int32) int32 {
+	t.mustReady()
+	if t.part.p == 1 {
+		return x
+	}
+	var vb [4]byte
+	if t.self != 0 {
+		putU32(vb[:], uint32(x))
+		if err := t.hub.writeFrame(frameHeader{Type: frameMax, From: uint16(t.self)}, vb[:]); err != nil {
+			t.fatal(err)
+		}
+		if err := t.hub.flush(); err != nil {
+			t.fatal(err)
+		}
+		_, payload, err := t.hub.readFrame(frameMax)
+		if err != nil {
+			t.fatal(err)
+		}
+		return int32(getU32(payload))
+	}
+	for w := 1; w < t.part.p; w++ {
+		_, payload, err := t.peers[w].readFrame(frameMax)
+		if err != nil {
+			t.fatal(err)
+		}
+		if v := int32(getU32(payload)); v > x {
+			x = v
+		}
+	}
+	putU32(vb[:], uint32(x))
+	for w := 1; w < t.part.p; w++ {
+		if err := t.peers[w].writeFrame(frameHeader{Type: frameMax}, vb[:]); err != nil {
+			t.fatal(err)
+		}
+		if err := t.peers[w].flush(); err != nil {
+			t.fatal(err)
+		}
+	}
+	return x
+}
+
+// AllOrBits ORs the bit vector across all shards, in place.
+func (t *NetTransport) AllOrBits(bits []uint64) []uint64 {
+	t.mustReady()
+	if t.part.p == 1 {
+		return bits
+	}
+	buf := make([]byte, len(bits)*8)
+	packWords(buf, bits)
+	h := frameHeader{Type: frameOr, From: uint16(t.self), Count: uint32(len(bits))}
+	if t.self != 0 {
+		if err := t.hub.writeFrame(h, buf); err != nil {
+			t.fatal(err)
+		}
+		if err := t.hub.flush(); err != nil {
+			t.fatal(err)
+		}
+		_, payload, err := t.hub.readFrame(frameOr)
+		if err != nil {
+			t.fatal(err)
+		}
+		if len(payload) != len(buf) {
+			t.fatal(fmt.Errorf("AllOrBits length mismatch: %d vs %d", len(payload), len(buf)))
+		}
+		orWordsInto(bits, payload, true)
+		return bits
+	}
+	for w := 1; w < t.part.p; w++ {
+		_, payload, err := t.peers[w].readFrame(frameOr)
+		if err != nil {
+			t.fatal(err)
+		}
+		if len(payload) != len(buf) {
+			t.fatal(fmt.Errorf("AllOrBits length mismatch from shard %d: %d vs %d", w, len(payload), len(buf)))
+		}
+		orWordsInto(bits, payload, false)
+	}
+	packWords(buf, bits)
+	for w := 1; w < t.part.p; w++ {
+		if err := t.peers[w].writeFrame(frameHeader{Type: frameOr, Count: uint32(len(bits))}, buf); err != nil {
+			t.fatal(err)
+		}
+		if err := t.peers[w].flush(); err != nil {
+			t.fatal(err)
+		}
+	}
+	return bits
+}
+
+// BroadcastBlob ships an opaque application payload from the
+// coordinator to every worker (workers pass nil and receive it).
+func (t *NetTransport) BroadcastBlob(b []byte) ([]byte, error) {
+	if err := t.WaitReady(); err != nil {
+		return nil, err
+	}
+	if t.part.p == 1 {
+		return b, nil
+	}
+	if t.self != 0 {
+		_, payload, err := t.hub.readFrame(frameBlob)
+		return payload, err
+	}
+	for w := 1; w < t.part.p; w++ {
+		if err := t.peers[w].writeFrame(frameHeader{Type: frameBlob, Count: uint32(len(b))}, b); err != nil {
+			return nil, err
+		}
+		if err := t.peers[w].flush(); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// GatherBlobs ships every process's payload to the coordinator, which
+// receives them indexed by shard (its own included); workers get nil.
+func (t *NetTransport) GatherBlobs(b []byte) ([][]byte, error) {
+	if err := t.WaitReady(); err != nil {
+		return nil, err
+	}
+	if t.part.p == 1 {
+		return [][]byte{b}, nil
+	}
+	if t.self != 0 {
+		if err := t.hub.writeFrame(frameHeader{Type: frameBlob, From: uint16(t.self), Count: uint32(len(b))}, b); err != nil {
+			return nil, err
+		}
+		return nil, t.hub.flush()
+	}
+	out := make([][]byte, t.part.p)
+	out[0] = b
+	for w := 1; w < t.part.p; w++ {
+		_, payload, err := t.peers[w].readFrame(frameBlob)
+		if err != nil {
+			return nil, fmt.Errorf("gathering from shard %d: %w", w, err)
+		}
+		out[w] = payload
+	}
+	return out, nil
+}
+
+func putU32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+
+func getU32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }
+
+func packWords(buf []byte, words []uint64) {
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[i*8:], w)
+	}
+}
+
+// orWordsInto folds the packed payload into words; replace overwrites
+// instead of ORing (used when the payload is already the global OR).
+func orWordsInto(words []uint64, payload []byte, replace bool) {
+	for i := range words {
+		w := binary.LittleEndian.Uint64(payload[i*8:])
+		if replace {
+			words[i] = w
+		} else {
+			words[i] |= w
+		}
+	}
+}

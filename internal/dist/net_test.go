@@ -1,0 +1,183 @@
+package dist_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+const netTestTimeout = 30 * time.Second
+
+// TestNetSparsifyEquivalence is the tentpole invariant of the network
+// transport: a coordinator plus 4 worker shards, each a separate
+// NetTransport over real loopback TCP sockets and each materializing
+// only its partition of the graph, produce an output edge-identical to
+// the in-memory transport's and a ledger whose Rounds and per-phase
+// Words are identical too (the round-tally handshake).
+func TestNetSparsifyEquivalence(t *testing.T) {
+	cases := []*graph.Graph{
+		gen.Gnp(300, 0.15, 7),
+		gen.Barbell(30, 4),
+		gen.WithRandomWeights(gen.Gnp(150, 0.2, 5), 0.1, 10, 9),
+	}
+	for gi, g := range cases {
+		ref := dist.Sparsify(g, 0.75, 4, 0, 11)
+		// P=5: a coordinator plus 4 workers.
+		for _, p := range []int{2, 5} {
+			res, wireBytes, err := dist.LoopbackSparsify(g, 0.75, 4, 0, 11, p, netTestTimeout)
+			if err != nil {
+				t.Fatalf("case %d P=%d: %v", gi, p, err)
+			}
+			if res.G.N != ref.G.N || res.G.M() != ref.G.M() {
+				t.Fatalf("case %d P=%d: net %v vs mem %v", gi, p, res.G, ref.G)
+			}
+			for i := range ref.G.Edges {
+				if res.G.Edges[i] != ref.G.Edges[i] {
+					t.Fatalf("case %d P=%d: edge %d differs: %+v vs %+v",
+						gi, p, i, res.G.Edges[i], ref.G.Edges[i])
+				}
+			}
+			st, rs := res.Stats, ref.Stats
+			if st.Rounds != rs.Rounds || st.Messages != rs.Messages ||
+				st.Words != rs.Words || st.MaxMessageWords != rs.MaxMessageWords {
+				t.Fatalf("case %d P=%d: ledger totals diverge: net %+v vs mem %+v", gi, p, st, rs)
+			}
+			if len(st.Phases) != len(rs.Phases) {
+				t.Fatalf("case %d P=%d: phase count %d vs %d", gi, p, len(st.Phases), len(rs.Phases))
+			}
+			for i, ph := range st.Phases {
+				rp := rs.Phases[i]
+				if ph.Name != rp.Name || ph.Rounds != rp.Rounds ||
+					ph.Messages != rp.Messages || ph.Words != rp.Words {
+					t.Fatalf("case %d P=%d: phase %q diverges: %+v vs %+v", gi, p, ph.Name, ph, rp)
+				}
+			}
+			if st.Shards != p {
+				t.Fatalf("case %d P=%d: Stats.Shards=%d", gi, p, st.Shards)
+			}
+			if p > 1 && st.CrossShardMessages == 0 {
+				t.Fatalf("case %d P=%d: no cross-shard traffic on a connected graph", gi, p)
+			}
+			if wireBytes == 0 && p > 1 {
+				t.Fatalf("case %d P=%d: no bytes on the wire", gi, p)
+			}
+		}
+	}
+}
+
+// TestNetMatchesSharded: for equal (graph, seed, P) the network
+// transport's CrossShard split equals the sharded transport's — the
+// wire bill is a property of the partition, not of the medium.
+func TestNetMatchesSharded(t *testing.T) {
+	g := gen.Gnp(350, 0.08, 13)
+	for _, p := range []int{2, 4} {
+		sh := dist.SparsifySharded(g, 0.75, 4, 0, 5, p).Stats
+		res, _, err := dist.LoopbackSparsify(g, 0.75, 4, 0, 5, p, netTestTimeout)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		nt := res.Stats
+		if nt.CrossShardMessages != sh.CrossShardMessages || nt.CrossShardWords != sh.CrossShardWords {
+			t.Fatalf("P=%d: cross-shard split diverges: net %+v vs sharded %+v", p, nt, sh)
+		}
+	}
+}
+
+// TestNetWorkerStatsMatchCoordinator: the round-tally handshake makes
+// every process's ledger global — a worker reports the same totals as
+// the coordinator.
+func TestNetWorkerStatsMatchCoordinator(t *testing.T) {
+	g := gen.Gnp(200, 0.1, 3)
+	const p = 3
+	coord, err := dist.ListenNet("127.0.0.1:0", g.N, p, netTestTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	statsCh := make(chan dist.Stats, p-1)
+	errCh := make(chan error, p-1)
+	for s := 1; s < p; s++ {
+		go func(s int) {
+			tr, err := dist.JoinNet(coord.Addr(), g.N, s, p, netTestTimeout)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer tr.Close()
+			st, err := dist.RunNetWorker(tr, graph.PartitionOf(g, s, p))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			statsCh <- st
+		}(s)
+	}
+	res, _, err := dist.RunNetCoordinator(coord, graph.PartitionOf(g, 0, p), 0.75, 4, 0, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p-1; i++ {
+		select {
+		case err := <-errCh:
+			t.Fatal(err)
+		case st := <-statsCh:
+			if st.Rounds != res.Stats.Rounds || st.Messages != res.Stats.Messages ||
+				st.Words != res.Stats.Words || st.CrossShardWords != res.Stats.CrossShardWords {
+				t.Fatalf("worker ledger diverges from coordinator: %+v vs %+v", st, res.Stats)
+			}
+		case <-time.After(netTestTimeout):
+			t.Fatal("worker did not finish")
+		}
+	}
+}
+
+// TestNetHandshakeValidation: joins with a mismatched configuration
+// are rejected before any round runs.
+func TestNetHandshakeValidation(t *testing.T) {
+	if _, err := dist.ListenNet("127.0.0.1:0", 10, 100, netTestTimeout); err == nil {
+		t.Fatal("accepted more shards than vertices")
+	}
+	if _, err := dist.JoinNet("127.0.0.1:1", 10, 0, 2, time.Second); err == nil {
+		t.Fatal("shard 0 joined as a worker")
+	}
+	coord, err := dist.ListenNet("127.0.0.1:0", 10, 2, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	done := make(chan error, 1)
+	go func() {
+		// Wrong n: the coordinator must refuse, and WaitReady fail.
+		_, err := dist.JoinNet(coord.Addr(), 11, 1, 2, 2*time.Second)
+		done <- err
+	}()
+	if err := coord.WaitReady(); err == nil {
+		t.Fatal("coordinator accepted a mismatched worker")
+	}
+	if err := <-done; err == nil {
+		t.Fatal("mismatched worker joined successfully")
+	}
+}
+
+// TestPartitionSparsifySingleShard: SparsifyPartition on a 1-shard
+// network transport (no sockets at all) matches the in-memory run —
+// the partition view itself is output-neutral.
+func TestPartitionSparsifySingleShard(t *testing.T) {
+	g := gen.Gnp(150, 0.12, 17)
+	ref := dist.Sparsify(g, 0.75, 4, 0, 3)
+	res, _, err := dist.LoopbackSparsify(g, 0.75, 4, 0, 3, 1, netTestTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.G.M() != ref.G.M() {
+		t.Fatalf("m=%d vs %d", res.G.M(), ref.G.M())
+	}
+	for i := range ref.G.Edges {
+		if res.G.Edges[i] != ref.G.Edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/graphio"
+)
+
+// The multi-process drivers: what cmd/distworker, the loopback
+// example, and the in-test harness run on top of NetTransport. The
+// coordinator broadcasts the job spec, every process runs
+// SparsifyPartition over its own partition in lockstep, and the
+// coordinator gathers each shard's owned edges to assemble the full
+// output graph (a boundary edge is contributed by the shard owning its
+// U endpoint, so it is merged exactly once).
+
+// jobSpec is the run configuration the coordinator broadcasts so the
+// workers adopt — and cross-check — the same job.
+type jobSpec struct {
+	N, M  int
+	Eps   float64
+	Rho   float64
+	Depth int
+	Seed  uint64
+}
+
+const jobSpecSize = 48
+
+func encodeJobSpec(s jobSpec) []byte {
+	b := make([]byte, jobSpecSize)
+	binary.LittleEndian.PutUint64(b[0:], uint64(s.N))
+	binary.LittleEndian.PutUint64(b[8:], uint64(s.M))
+	binary.LittleEndian.PutUint64(b[16:], math.Float64bits(s.Eps))
+	binary.LittleEndian.PutUint64(b[24:], math.Float64bits(s.Rho))
+	binary.LittleEndian.PutUint64(b[32:], uint64(int64(s.Depth)))
+	binary.LittleEndian.PutUint64(b[40:], s.Seed)
+	return b
+}
+
+func decodeJobSpec(b []byte) (jobSpec, error) {
+	if len(b) != jobSpecSize {
+		return jobSpec{}, fmt.Errorf("dist: job spec is %d bytes, want %d", len(b), jobSpecSize)
+	}
+	return jobSpec{
+		N:     int(binary.LittleEndian.Uint64(b[0:])),
+		M:     int(binary.LittleEndian.Uint64(b[8:])),
+		Eps:   math.Float64frombits(binary.LittleEndian.Uint64(b[16:])),
+		Rho:   math.Float64frombits(binary.LittleEndian.Uint64(b[24:])),
+		Depth: int(int64(binary.LittleEndian.Uint64(b[32:]))),
+		Seed:  binary.LittleEndian.Uint64(b[40:]),
+	}, nil
+}
+
+// recoverNetError converts a *NetError panic (the transport's fatal
+// failure mode) into a returned error; other panics propagate.
+func recoverNetError(err *error) {
+	if r := recover(); r != nil {
+		if ne, ok := r.(*NetError); ok {
+			*err = ne
+			return
+		}
+		panic(r)
+	}
+}
+
+// RunNetCoordinator drives a whole distributed sparsification as shard
+// 0 of tr's network: it waits for the workers, broadcasts the job
+// spec, runs SparsifyPartition over its own partition, gathers every
+// shard's owned edges, and assembles the full output graph. It also
+// returns the total bytes all processes put on the wire.
+func RunNetCoordinator(tr *NetTransport, part *graph.Partition, eps, rho float64, depth int, seed uint64) (res Result, wireBytes int64, err error) {
+	defer recoverNetError(&err)
+	if part.Shard != 0 || part.Shards != tr.Shards() {
+		return Result{}, 0, fmt.Errorf("dist: coordinator needs shard 0 of %d, got %d of %d", tr.Shards(), part.Shard, part.Shards)
+	}
+	if err := tr.WaitReady(); err != nil {
+		return Result{}, 0, err
+	}
+	spec := jobSpec{N: part.N, M: part.M, Eps: eps, Rho: rho, Depth: depth, Seed: seed}
+	if _, err := tr.BroadcastBlob(encodeJobSpec(spec)); err != nil {
+		return Result{}, 0, err
+	}
+	pres := SparsifyPartition(part, eps, rho, depth, seed, tr)
+	g, err := gatherResult(tr, &pres)
+	if err != nil {
+		return Result{}, 0, err
+	}
+	wireBytes, err = gatherWireBytes(tr)
+	if err != nil {
+		return Result{}, 0, err
+	}
+	return Result{G: g, Stats: pres.Stats}, wireBytes, nil
+}
+
+// RunNetWorker drives one worker shard: it adopts the coordinator's
+// job spec (validating it against the local partition), runs
+// SparsifyPartition, and contributes its owned edges to the gather.
+// The returned Stats ledger is identical to the coordinator's.
+func RunNetWorker(tr *NetTransport, part *graph.Partition) (stats Stats, err error) {
+	defer recoverNetError(&err)
+	if part.Shard != tr.Shard() || part.Shards != tr.Shards() {
+		return Stats{}, fmt.Errorf("dist: partition %d/%d does not match transport %d/%d",
+			part.Shard, part.Shards, tr.Shard(), tr.Shards())
+	}
+	blob, err := tr.BroadcastBlob(nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	spec, err := decodeJobSpec(blob)
+	if err != nil {
+		return Stats{}, err
+	}
+	if spec.N != part.N || spec.M != part.M {
+		return Stats{}, fmt.Errorf("dist: job spec (n=%d m=%d) does not match partition (n=%d m=%d)",
+			spec.N, spec.M, part.N, part.M)
+	}
+	pres := SparsifyPartition(part, spec.Eps, spec.Rho, spec.Depth, spec.Seed, tr)
+	if _, err := gatherResult(tr, &pres); err != nil {
+		return Stats{}, err
+	}
+	if _, err := gatherWireBytes(tr); err != nil {
+		return Stats{}, err
+	}
+	return pres.Stats, nil
+}
+
+// gatherResult merges the shards' owned final edges at the
+// coordinator; workers contribute and get nil back.
+func gatherResult(tr *NetTransport, pres *PartResult) (*graph.Graph, error) {
+	ids, edges := pres.OwnedEdges(tr.Shard(), tr.Shards())
+	blobs, err := tr.GatherBlobs(graphio.EncodeEdgeRecords(ids, edges))
+	if err != nil {
+		return nil, err
+	}
+	if tr.Shard() != 0 {
+		return nil, nil
+	}
+	out := make([]graph.Edge, pres.M)
+	seen := make([]bool, pres.M)
+	for s, blob := range blobs {
+		bids, bedges, err := graphio.DecodeEdgeRecords(blob)
+		if err != nil {
+			return nil, fmt.Errorf("dist: shard %d result: %w", s, err)
+		}
+		for k, id := range bids {
+			if id < 0 || int(id) >= pres.M || seen[id] {
+				return nil, fmt.Errorf("dist: shard %d contributed bad or duplicate edge id %d", s, id)
+			}
+			out[id] = bedges[k]
+			seen[id] = true
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("dist: no shard contributed final edge %d", id)
+		}
+	}
+	return graph.FromEdges(pres.N, out), nil
+}
+
+// gatherWireBytes sums every process's WireBytes at the coordinator.
+func gatherWireBytes(tr *NetTransport) (int64, error) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(tr.WireBytes()))
+	blobs, err := tr.GatherBlobs(b[:])
+	if err != nil {
+		return 0, err
+	}
+	if tr.Shard() != 0 {
+		return 0, nil
+	}
+	var total int64
+	for s, blob := range blobs {
+		if len(blob) != 8 {
+			return 0, fmt.Errorf("dist: shard %d wire counter is %d bytes", s, len(blob))
+		}
+		total += int64(binary.LittleEndian.Uint64(blob))
+	}
+	return total, nil
+}
+
+// LoopbackSparsify runs the full multi-process protocol with the
+// worker shards as goroutines of this process, each with its own
+// NetTransport over real loopback TCP sockets and each materializing
+// only its partition. Everything of the network path is exercised —
+// framing, routing, the tally handshake, the collectives, the result
+// gather — except process isolation itself, which the distworker smoke
+// test and examples/distributed cover with real OS processes. Returns
+// the assembled result and the total bytes put on the wire.
+func LoopbackSparsify(g *graph.Graph, eps, rho float64, depth int, seed uint64, shards int, timeout time.Duration) (Result, int64, error) {
+	p := graph.ClampShards(g.N, shards)
+	coord, err := ListenNet("127.0.0.1:0", g.N, p, timeout)
+	if err != nil {
+		return Result{}, 0, err
+	}
+	defer coord.Close()
+	errCh := make(chan error, p)
+	var wg sync.WaitGroup
+	for s := 1; s < p; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			tr, err := JoinNet(coord.Addr(), g.N, s, p, timeout)
+			if err != nil {
+				errCh <- fmt.Errorf("shard %d: %w", s, err)
+				return
+			}
+			defer tr.Close()
+			if _, err := RunNetWorker(tr, graph.PartitionOf(g, s, p)); err != nil {
+				errCh <- fmt.Errorf("shard %d: %w", s, err)
+			}
+		}(s)
+	}
+	res, wireBytes, err := RunNetCoordinator(coord, graph.PartitionOf(g, 0, p), eps, rho, depth, seed)
+	if err != nil {
+		// Unblock workers still waiting on the hub before joining them.
+		coord.Close()
+	}
+	wg.Wait()
+	close(errCh)
+	for werr := range errCh {
+		if err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
+		return Result{}, 0, err
+	}
+	return res, wireBytes, nil
+}

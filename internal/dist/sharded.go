@@ -1,175 +1,64 @@
 package dist
 
-import "sync"
-
 // ShardedTransport partitions the vertex set across P shards, each
 // served by one worker goroutine during compute phases, and exchanges
-// messages through per-shard-pair buffers at the round barrier. It is
-// the architecture a real multi-machine transport slots into: shard =
-// machine, per-shard-pair buffer = network channel, EndRound = the
-// synchronous flush-and-barrier, CrossShard tally = wire volume. Here
-// the "machines" are goroutines and the "wire" is a memcpy, but every
-// message is routed, buffered, and billed exactly as a distributed
-// deployment would route, buffer, and bill it.
+// messages through the per-shard-pair buckets of the exchange core at
+// the round barrier. It is the in-process twin of NetTransport: shard =
+// machine, pair bucket = network stream, EndRound = the synchronous
+// flush-and-barrier, CrossShard tally = wire volume. Here the
+// "machines" are goroutines and the "wire" is a memcpy, but every
+// message is routed, buffered, and billed exactly as the network
+// transport routes, buffers, and bills it.
 //
 // Determinism: the shard partition is a pure function of (n, P), all
-// buffers are drained in shard order at the barrier, and the algorithms
-// above fold their mailboxes with order-independent reductions — so the
-// outputs are bit-identical to MemTransport's for equal seeds, at any P
-// and any GOMAXPROCS. The ledger's Rounds and per-phase Words are
-// identical too; only the CrossShard split (zero in-memory) is new.
+// buckets are drained in staging-shard order at the barrier, and the
+// algorithms above fold their mailboxes with order-independent
+// reductions — so the outputs are bit-identical to MemTransport's for
+// equal seeds, at any P and any GOMAXPROCS. The ledger's Rounds and
+// per-phase Words are identical too; only the CrossShard split (zero
+// in-memory) is new.
 type ShardedTransport struct {
-	n, p   int
-	bounds []int // p+1 partition boundaries: shard s owns [bounds[s], bounds[s+1])
-	// staged[r][s] holds the messages staged this round for recipients
-	// owned by shard r whose senders are owned by shard s. Only shard
-	// r's worker appends to row r (receiver-staged discipline), so the
-	// rows need no locks; the [r][s] split keeps cross-shard traffic
-	// separately routable and billable.
-	staged  [][][]envelope
-	mailbox [][]Message // per-vertex mailboxes rebuilt at each barrier
-}
-
-// envelope is one staged message plus its routing address.
-type envelope struct {
-	to int32
-	m  Message
+	x *exchanger
 }
 
 // NewShardedTransport returns a transport over n vertices partitioned
 // across p shards (clamped to [1, max(n,1)]).
 func NewShardedTransport(n, p int) *ShardedTransport {
-	if p < 1 {
-		p = 1
-	}
-	if p > n {
-		p = n
-	}
-	if p < 1 {
-		p = 1 // n == 0: one trivial shard owning the empty range
-	}
-	t := &ShardedTransport{
-		n:       n,
-		p:       p,
-		bounds:  make([]int, p+1),
-		staged:  make([][][]envelope, p),
-		mailbox: make([][]Message, n),
-	}
-	for s := 0; s <= p; s++ {
-		t.bounds[s] = s * n / p
-	}
-	for r := range t.staged {
-		t.staged[r] = make([][]envelope, p)
-	}
-	return t
+	return &ShardedTransport{x: newExchanger(n, p, p)}
 }
 
 // Shards returns the shard count P.
-func (t *ShardedTransport) Shards() int { return t.p }
+func (t *ShardedTransport) Shards() int { return t.x.owner.p }
 
 // ShardOf returns the shard owning vertex v under the balanced
-// contiguous partition (the inverse of bounds).
-func (t *ShardedTransport) ShardOf(v int32) int {
-	if t.n == 0 {
-		return 0
-	}
-	// The partition is bounds[s] = s*n/p, so s = floor((v*p + p - 1)/n)
-	// is off by rounding; a direct computation keeps it exact.
-	s := int(int64(v) * int64(t.p) / int64(t.n))
-	for s+1 <= t.p && int(v) >= t.bounds[s+1] {
-		s++
-	}
-	for s > 0 && int(v) < t.bounds[s] {
-		s--
-	}
-	return s
-}
+// contiguous partition.
+func (t *ShardedTransport) ShardOf(v int32) int { return t.x.owner.shardOf(v) }
 
 // Workers equals Shards: one worker goroutine per shard.
-func (t *ShardedTransport) Workers() int { return t.p }
+func (t *ShardedTransport) Workers() int { return t.x.exec.p }
 
 // ForWorkers runs body once per shard over the shard's vertex range,
 // concurrently, and joins them — the fork half of the round barrier.
 func (t *ShardedTransport) ForWorkers(body func(worker, lo, hi int)) {
-	if t.n <= 0 {
-		return
-	}
-	if t.p == 1 {
-		body(0, 0, t.n)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(t.p)
-	for s := 0; s < t.p; s++ {
-		go func(s int) {
-			defer wg.Done()
-			body(s, t.bounds[s], t.bounds[s+1])
-		}(s)
-	}
-	wg.Wait()
+	t.x.forWorkers(body)
 }
 
-// Send stages m for vertex `to`, routed into the (recipient shard,
-// sender shard) pair buffer. Must be called by to's owning worker (or a
-// single goroutine between compute phases); row staged[r] is touched by
-// no one else, so the append is race-free.
+// Send stages m under the exchange core's staging discipline: into the
+// row of the worker owning m.From for sender-staged kinds, into the
+// recipient owner's row otherwise. Rows are touched by no other
+// worker, so the append is race-free.
 func (t *ShardedTransport) Send(_ int, to int32, m Message) {
-	r := t.ShardOf(to)
-	s := r
-	if m.From >= 0 {
-		s = t.ShardOf(m.From)
-	}
-	t.staged[r][s] = append(t.staged[r][s], envelope{to: to, m: m})
+	t.x.send(to, m)
 }
 
 // Recv returns the messages delivered to v by the last EndRound.
-func (t *ShardedTransport) Recv(_ int, v int32) []Message { return t.mailbox[v] }
+func (t *ShardedTransport) Recv(_ int, v int32) []Message { return t.x.recv(v) }
 
 // EndRound is the round barrier: each shard, in parallel, clears the
-// mailboxes it owns and drains its incoming pair buffers (local first,
-// then remote shards in index order) into them, tallying local and
-// cross-shard traffic separately. Tallies merge in shard order, so the
-// ledger is deterministic.
+// mailboxes it owns and drains its incoming pair buckets (staging
+// shards in index order) into them, tallying local and cross-shard
+// traffic separately. Tallies merge in shard order, so the ledger is
+// deterministic.
 func (t *ShardedTransport) EndRound(int) RoundTally {
-	tallies := make([]RoundTally, t.p)
-	var wg sync.WaitGroup
-	wg.Add(t.p)
-	for r := 0; r < t.p; r++ {
-		go func(r int) {
-			defer wg.Done()
-			tally := &tallies[r]
-			for v := t.bounds[r]; v < t.bounds[r+1]; v++ {
-				t.mailbox[v] = t.mailbox[v][:0]
-			}
-			for s := 0; s < t.p; s++ {
-				buf := t.staged[r][s]
-				for _, env := range buf {
-					w := env.m.Kind.Words()
-					tally.Messages++
-					tally.Words += int64(w)
-					if w > tally.MaxMessageWords {
-						tally.MaxMessageWords = w
-					}
-					if s != r {
-						tally.CrossShardMessages++
-						tally.CrossShardWords += int64(w)
-					}
-					t.mailbox[env.to] = append(t.mailbox[env.to], env.m)
-				}
-				t.staged[r][s] = buf[:0]
-			}
-		}(r)
-	}
-	wg.Wait()
-	var total RoundTally
-	for _, tally := range tallies {
-		total.Messages += tally.Messages
-		total.Words += tally.Words
-		total.CrossShardMessages += tally.CrossShardMessages
-		total.CrossShardWords += tally.CrossShardWords
-		if tally.MaxMessageWords > total.MaxMessageWords {
-			total.MaxMessageWords = tally.MaxMessageWords
-		}
-	}
-	return total
+	return t.x.drainAll()
 }

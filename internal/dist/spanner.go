@@ -4,7 +4,6 @@ import (
 	"math"
 
 	"repro/internal/graph"
-	"repro/internal/parutil"
 	"repro/internal/rng"
 	"repro/internal/spanner"
 )
@@ -44,8 +43,7 @@ func BaswanaSenSharded(g *graph.Graph, k int, seed uint64, p int) *SpannerResult
 }
 
 func baswanaSenOn(e *Engine, g *graph.Graph, k int, seed uint64) *SpannerResult {
-	adj := graph.NewAdjacency(g)
-	in, center, kk := runBaswanaSen(e, g, adj, nil, k, seed)
+	in, center, kk := runBaswanaSen(e, newFullView(g), nil, k, seed)
 	return &SpannerResult{InSpanner: in, Center: center, K: kk, Stats: e.Stats()}
 }
 
@@ -56,10 +54,22 @@ type notice struct {
 	eid int32
 }
 
-// runBaswanaSen executes the clustering over the alive edges of g,
+// runBaswanaSen executes the clustering over the alive edges of w,
 // billing every round to e. alive may be nil (all edges). The returned
-// mask has length len(g.Edges).
-func runBaswanaSen(e *Engine, g *graph.Graph, adj *graph.Adjacency, alive []bool, k int, seed uint64) ([]bool, []int32, int) {
+// mask has the global edge-list length; on a partition view it is
+// complete for the locally materialized edges (every decision about an
+// incident edge is either made locally or arrives as a MsgAdd/MsgDrop
+// notice), and false elsewhere.
+//
+// Partition discipline: every per-vertex array (center, parent, depth)
+// is read only for vertices the local workers own, remote cluster
+// state travels in MsgCenter/MsgNewCenter payloads, and the only
+// shared-memory shortcut left is for values that are pure functions of
+// the seed (a cluster's sampled bit), which any process re-derives
+// locally. That is what lets the network transport run this function
+// unchanged with each process holding only its shard.
+func runBaswanaSen(e *Engine, w *view, alive []bool, k int, seed uint64) ([]bool, []int32, int) {
+	g, adj := w.g, w.adj
 	n := g.N
 	m := len(g.Edges)
 	if k <= 0 {
@@ -74,11 +84,11 @@ func runBaswanaSen(e *Engine, g *graph.Graph, adj *graph.Adjacency, alive []bool
 		parent[i] = -1
 	}
 	if k == 1 {
-		for i := range inSpanner {
-			if alive == nil || alive[i] {
-				inSpanner[i] = true
+		w.forEachIncident(func(eid int32) {
+			if alive == nil || alive[eid] {
+				inSpanner[eid] = true
 			}
-		}
+		})
 		return inSpanner, center, k
 	}
 	dead := make([]bool, m)
@@ -87,7 +97,9 @@ func runBaswanaSen(e *Engine, g *graph.Graph, adj *graph.Adjacency, alive []bool
 			dead[i] = true
 		}
 		if g.Edges[i].U == g.Edges[i].V {
-			dead[i] = true // self-loops carry no spectral information
+			// Self-loops carry no spectral information. On a partition
+			// view this also retires the zero-valued non-incident slots.
+			dead[i] = true
 		}
 	}
 	p := math.Pow(float64(n), -1.0/float64(k))
@@ -97,25 +109,38 @@ func runBaswanaSen(e *Engine, g *graph.Graph, adj *graph.Adjacency, alive []bool
 		// down the cluster trees. A cluster formed by iteration i has
 		// radius ≤ i−1, so the wave costs ≤ i−1 rounds — summed over
 		// the iterations this is the Θ(log² n) round bill of Theorem 2.
+		// The sampled bit is a pure function of (seed, iter, cluster),
+		// so any process derives any cluster's bit locally; the wave is
+		// billed all the same because a real deployment (where only the
+		// center flips the coin) must pay it.
 		e.BeginPhase("spanner/broadcast")
-		sampled := make([]bool, n)
-		e.ForVertices(func(v int32) {
-			r := rng.SplitAt(seed^(uint64(iter)*0x9e3779b97f4a7c15), uint64(v))
-			sampled[v] = r.Float64() < p
+		iterSeed := seed ^ (uint64(iter) * 0x9e3779b97f4a7c15)
+		sampledBit := func(c int32) bool {
+			return rng.SplitAt(iterSeed, uint64(c)).Float64() < p
+		}
+		depthMaxes := CollectVertices(e, func(_ int, lo, hi int) []int32 {
+			mx := int32(0)
+			for v := lo; v < hi; v++ {
+				if center[v] >= 0 && depth[v] > mx {
+					mx = depth[v]
+				}
+			}
+			return []int32{mx}
 		})
 		maxDepth := int32(0)
-		for v := 0; v < n; v++ {
-			if center[v] >= 0 && depth[v] > maxDepth {
-				maxDepth = depth[v]
+		for _, mx := range depthMaxes {
+			if mx > maxDepth {
+				maxDepth = mx
 			}
 		}
+		maxDepth = e.allMaxInt32(maxDepth)
 		for r := int32(1); r <= maxDepth; r++ {
 			e.ForVertices(func(v int32) {
 				if center[v] < 0 || depth[v] != r {
 					return
 				}
 				bit := int32(0)
-				if sampled[center[v]] {
+				if sampledBit(center[v]) {
 					bit = 1
 				}
 				e.Deliver(v, Message{From: parent[v], Kind: MsgSampled, A: bit})
@@ -123,30 +148,33 @@ func runBaswanaSen(e *Engine, g *graph.Graph, adj *graph.Adjacency, alive []bool
 			e.EndRound()
 		}
 		// After the wave every clustered vertex knows its own cluster's
-		// bit; reading sampled[center[v]] below is exactly the mailbox
-		// content just simulated.
+		// bit; calling sampledBit(center[v]) below reads exactly the
+		// mailbox content just simulated.
 
 		// --- Step 2: neighbor exchange — every clustered vertex
 		// announces (cluster id, depth, sampled bit) over each alive
-		// incident edge. One round, 3-word messages.
+		// incident edge. One round, 3-word messages. Sender-iterated:
+		// the announcement carries the sender's own state, so its owner
+		// stages it — on the network transport this is traffic that
+		// genuinely crosses the wire for boundary edges.
 		e.BeginPhase("spanner/exchange")
-		e.ForVertices(func(v int32) {
-			lo, hi := adj.Range(v)
+		e.ForVertices(func(u int32) {
+			cu := center[u]
+			if cu < 0 {
+				return // unclustered vertices have nothing to announce
+			}
+			bit := int32(0)
+			if sampledBit(cu) {
+				bit = 1
+			}
+			du := depth[u]
+			lo, hi := adj.Range(u)
 			for slot := lo; slot < hi; slot++ {
 				eid := adj.EID[slot]
 				if dead[eid] {
 					continue
 				}
-				u := adj.Nbr[slot]
-				cu := center[u]
-				if cu < 0 {
-					continue // unclustered neighbors have nothing to announce
-				}
-				bit := int32(0)
-				if sampled[cu] {
-					bit = 1
-				}
-				e.Deliver(v, Message{From: u, Port: eid, Kind: MsgCenter, A: cu, B: depth[u], C: bit})
+				e.Deliver(adj.Nbr[slot], Message{From: u, Port: eid, Kind: MsgCenter, A: cu, B: du, C: bit})
 			}
 		})
 		e.EndRound()
@@ -175,7 +203,7 @@ func runBaswanaSen(e *Engine, g *graph.Graph, adj *graph.Adjacency, alive []bool
 					newParent[v], newDepth[v] = -1, 0
 					continue
 				}
-				if sampled[c] {
+				if sampledBit(c) {
 					// Vertices of sampled clusters keep everything.
 					newCenter[v] = c
 					continue
@@ -264,9 +292,10 @@ func runBaswanaSen(e *Engine, g *graph.Graph, adj *graph.Adjacency, alive []bool
 			}
 			return shardOuts
 		})
-		// Apply the simultaneous decisions, then deliver the add/drop
+		// Apply the local decisions, then deliver the add/drop
 		// notifications (one round; delivery order is shard order, which
-		// is deterministic).
+		// is deterministic). On a partition view `outs` holds only this
+		// process's decisions — the rest arrive as notices below.
 		for _, out := range outs {
 			for _, a := range out.adds {
 				inSpanner[a.eid] = true
@@ -289,52 +318,68 @@ func runBaswanaSen(e *Engine, g *graph.Graph, adj *graph.Adjacency, alive []bool
 		}
 		e.EndRound()
 		center, parent, depth = newCenter, newParent, newDepth
+		applyNotices(e, inSpanner, dead)
 
 		// --- Step 4: exchange the new centers over surviving edges and
 		// discard intra-cluster edges (both endpoints reach the same
 		// verdict from symmetric knowledge). One round, 1-word messages.
 		e.BeginPhase("spanner/update")
-		e.ForVertices(func(v int32) {
-			lo, hi := adj.Range(v)
+		e.ForVertices(func(u int32) {
+			cu := center[u]
+			if cu < 0 {
+				return
+			}
+			lo, hi := adj.Range(u)
 			for slot := lo; slot < hi; slot++ {
 				eid := adj.EID[slot]
 				if dead[eid] {
 					continue
 				}
-				u := adj.Nbr[slot]
-				if cu := center[u]; cu >= 0 {
-					e.Deliver(v, Message{From: u, Port: eid, Kind: MsgNewCenter, A: cu})
-				}
+				e.Deliver(adj.Nbr[slot], Message{From: u, Port: eid, Kind: MsgNewCenter, A: cu})
 			}
 		})
 		e.EndRound()
-		parutil.For(m, func(i int) {
-			if dead[i] {
-				return
+		// An edge is intra-cluster exactly when the announced center
+		// equals the receiver's own; both endpoints reach the verdict
+		// independently, so a boundary edge dies on both sides without
+		// further traffic.
+		kills := CollectVertices(e, func(_ int, lo, hi int) []int32 {
+			var shardKills []int32
+			for vi := lo; vi < hi; vi++ {
+				v := int32(vi)
+				c := center[v]
+				if c < 0 {
+					continue
+				}
+				for _, msg := range e.Mailbox(v) {
+					if msg.Kind == MsgNewCenter && msg.A == c {
+						shardKills = append(shardKills, msg.Port)
+					}
+				}
 			}
-			ge := g.Edges[i]
-			cu, cv := center[ge.U], center[ge.V]
-			if cu >= 0 && cu == cv {
-				dead[i] = true
-			}
+			return shardKills
 		})
+		for _, eid := range kills {
+			dead[eid] = true
+		}
 	}
 
 	// --- Phase 2: vertex–cluster joins. One exchange round announcing
 	// final centers, one local selection of the lightest edge per
 	// adjacent surviving cluster, one notification round.
 	e.BeginPhase("spanner/join")
-	e.ForVertices(func(v int32) {
-		lo, hi := adj.Range(v)
+	e.ForVertices(func(u int32) {
+		cu := center[u]
+		if cu < 0 {
+			return
+		}
+		lo, hi := adj.Range(u)
 		for slot := lo; slot < hi; slot++ {
 			eid := adj.EID[slot]
 			if dead[eid] {
 				continue
 			}
-			u := adj.Nbr[slot]
-			if cu := center[u]; cu >= 0 {
-				e.Deliver(v, Message{From: u, Port: eid, Kind: MsgNewCenter, A: cu})
-			}
+			e.Deliver(adj.Nbr[slot], Message{From: u, Port: eid, Kind: MsgNewCenter, A: cu})
 		}
 	})
 	e.EndRound()
@@ -367,7 +412,43 @@ func runBaswanaSen(e *Engine, g *graph.Graph, adj *graph.Adjacency, alive []bool
 		}
 	}
 	e.EndRound()
+	applyNotices(e, inSpanner, dead)
 	return inSpanner, center, k
+}
+
+// applyNotices folds the MsgAdd/MsgDrop notices delivered by the last
+// barrier into the local edge masks. On a single-process view this
+// re-applies what the decision loop already wrote (idempotent); on a
+// partition view it is how the other endpoint of a boundary edge
+// learns a remote decision. Notices are collected per worker and
+// applied sequentially so that two endpoints of one edge never write
+// the same mask slot concurrently.
+func applyNotices(e *Engine, inSpanner, dead []bool) {
+	type appliedNote struct {
+		eid int32
+		add bool
+	}
+	notes := CollectVertices(e, func(_ int, lo, hi int) []appliedNote {
+		var shardNotes []appliedNote
+		for vi := lo; vi < hi; vi++ {
+			for _, msg := range e.Mailbox(int32(vi)) {
+				switch msg.Kind {
+				case MsgAdd:
+					shardNotes = append(shardNotes, appliedNote{msg.A, true})
+				case MsgDrop:
+					shardNotes = append(shardNotes, appliedNote{msg.A, false})
+				}
+			}
+		}
+		return shardNotes
+	})
+	for _, nt := range notes {
+		if nt.add {
+			inSpanner[nt.eid] = true
+		} else {
+			dead[nt.eid] = true
+		}
+	}
 }
 
 // other returns the endpoint of edge eid that is not v.

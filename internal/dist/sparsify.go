@@ -61,71 +61,143 @@ func sparsifyCfg(depth int, seed uint64) core.Config {
 // new. (cfg.Tracker models CRCW PRAM cost and is ignored here; the
 // ledger replaces it.)
 func SparsifyConfig(g *graph.Graph, eps, rho float64, cfg core.Config) Result {
-	return sparsifyOn(NewEngine(g.N), g, eps, rho, cfg)
+	return sparsifyFull(NewEngine(g.N), g, eps, rho, cfg)
 }
 
 // SparsifyConfigSharded is SparsifyConfig on a sharded transport with p
 // worker shards (see SparsifySharded).
 func SparsifyConfigSharded(g *graph.Graph, eps, rho float64, cfg core.Config, p int) Result {
-	return sparsifyOn(NewShardedEngine(g.N, p), g, eps, rho, cfg)
+	return sparsifyFull(NewShardedEngine(g.N, p), g, eps, rho, cfg)
 }
 
-func sparsifyOn(e *Engine, g *graph.Graph, eps, rho float64, cfg core.Config) Result {
+func sparsifyFull(e *Engine, g *graph.Graph, eps, rho float64, cfg core.Config) Result {
 	if rho <= 1 {
 		return Result{G: g.Clone(), Stats: e.Stats()}
 	}
+	w := sparsifyOn(e, newFullView(g), eps, rho, cfg)
+	return Result{G: w.g, Stats: e.Stats()}
+}
+
+// PartResult is one process's slice of the distributed sparsifier's
+// output: the final global sizes, the incident edges this shard
+// materializes (IDs are final global edge ids, increasing), and the
+// communication ledger — which the network transport's round-tally
+// handshake makes identical on every process and to the in-memory
+// run's.
+type PartResult struct {
+	N, M  int
+	IDs   []int32
+	Edges []graph.Edge // compact, parallel to IDs
+	Stats Stats
+}
+
+// OwnedEdges returns the subset of the shard's final edges this
+// process is the primary owner of (the owner of U under the shards-way
+// partition), so that one process contributes each boundary edge when
+// the shards' results are merged into a full graph.
+func (r *PartResult) OwnedEdges(shard, shards int) ([]int32, []graph.Edge) {
+	var ids []int32
+	var edges []graph.Edge
+	for k, id := range r.IDs {
+		if graph.ShardOfVertex(r.N, shards, r.Edges[k].U) == shard {
+			ids = append(ids, id)
+			edges = append(edges, r.Edges[k])
+		}
+	}
+	return ids, edges
+}
+
+// SparsifyPartition runs the distributed Algorithm 2 collaboratively
+// across the shards of tr's network, with this process materializing
+// only the partition part (its shard's adjacency plus boundary edges).
+// Every process of the run must call it with the same parameters and
+// its own shard's partition; the processes execute the same synchronous
+// schedule and the transport exchanges the boundary traffic. The union
+// of the per-shard OwnedEdges is edge-identical to Sparsify's output
+// for equal (depth, seed) — pinned by the loopback regression tests.
+func SparsifyPartition(part *graph.Partition, eps, rho float64, depth int, seed uint64, tr Transport) PartResult {
+	return SparsifyPartitionConfig(part, eps, rho, sparsifyCfg(depth, seed), tr)
+}
+
+// SparsifyPartitionConfig is SparsifyPartition under an explicit
+// configuration (see SparsifyConfig).
+func SparsifyPartitionConfig(part *graph.Partition, eps, rho float64, cfg core.Config, tr Transport) PartResult {
+	e := NewEngineOn(part.N, tr)
+	w := newPartView(part.N, part.M, part.IDs, part.Edges)
+	if rho > 1 {
+		w = sparsifyOn(e, w, eps, rho, cfg)
+	}
+	res := PartResult{N: part.N, M: len(w.g.Edges), Stats: e.Stats()}
+	w.forEachIncident(func(eid int32) {
+		res.IDs = append(res.IDs, eid)
+		res.Edges = append(res.Edges, w.g.Edges[eid])
+	})
+	return res
+}
+
+func sparsifyOn(e *Engine, w *view, eps, rho float64, cfg core.Config) *view {
 	iters := int(math.Ceil(math.Log2(rho)))
 	epsRound := eps / float64(iters)
-	cur := g
 	for i := 0; i < iters; i++ {
 		roundCfg := cfg
 		roundCfg.Seed = cfg.Seed ^ (uint64(i+1) * core.RoundSeedMix)
-		cur = sampleRound(e, cur, epsRound, roundCfg)
+		w = sampleRound(e, w, epsRound, roundCfg)
 	}
-	return Result{G: cur, Stats: e.Stats()}
+	return w
 }
 
 // sampleRound is one distributed Algorithm 1 round on the network held
 // by e: a t-bundle of distributed spanners over a shrinking alive mask,
 // then the uniform sampling round for off-bundle edges.
-func sampleRound(e *Engine, g *graph.Graph, eps float64, cfg core.Config) *graph.Graph {
+func sampleRound(e *Engine, w *view, eps float64, cfg core.Config) *view {
 	if eps <= 0 || eps > 1 {
 		panic(fmt.Sprintf("dist: sample round requires eps in (0,1], got %v", eps))
 	}
+	g := w.g
 	n := g.N
 	m := len(g.Edges)
 	t := cfg.BundleThickness(n, eps)
-	adj := graph.NewAdjacency(g)
 
 	// Bundle construction: t sequential Baswana–Sen layers, each a
 	// spanner of the edges the previous layers left behind. Layer seeds
 	// match internal/bundle so the masks agree with bundle.Compute.
+	// Loop control (any progress? any edge still alive?) reduces local
+	// booleans across the shards, so every process runs the same number
+	// of layers — on a single process the reduction is the identity and
+	// the flow matches the pre-partition implementation exactly.
 	bundleSeed := cfg.Seed ^ core.BundleSeedMix
 	inBundle := make([]bool, m)
 	curAlive := make([]bool, m)
-	remaining := m
+	remaining := w.incidentCount()
 	for i := range curAlive {
 		curAlive[i] = true
 	}
+	anyAlive := e.allOrWord(boolFlag(remaining > 0)) != 0
 	for layer := 0; layer < t; layer++ {
-		if remaining == 0 {
+		if !anyAlive {
 			break // bundle swallowed the graph: identity round
 		}
 		layerSeed := bundleSeed ^ (uint64(layer+1) * bundle.LayerSeedMix)
-		in, _, _ := runBaswanaSen(e, g, adj, curAlive, cfg.SpannerK, layerSeed)
+		in, _, _ := runBaswanaSen(e, w, curAlive, cfg.SpannerK, layerSeed)
 		size := 0
-		for eid, sel := range in {
-			if sel && curAlive[eid] {
+		w.forEachIncident(func(eid int32) {
+			if in[eid] && curAlive[eid] {
 				inBundle[eid] = true
 				curAlive[eid] = false
 				size++
 			}
-		}
+		})
 		remaining -= size
-		if size == 0 {
-			break // only self-loops left alive
+		flags := e.allOrWord(boolFlag(size > 0) | boolFlag(remaining > 0)<<1)
+		if flags&1 == 0 {
+			break // only self-loops left alive anywhere
 		}
+		anyAlive = flags&2 != 0
 	}
+	// Merge the shards' bundle membership so every process can count
+	// the surviving edges below and agree on the new global edge ids.
+	// A no-op on single-process transports.
+	e.allOrMask(inBundle)
 
 	// Sampling round: the lower endpoint of each off-bundle edge flips
 	// the coin (a pure function of seed and edge id, so both endpoints
@@ -137,6 +209,7 @@ func sampleRound(e *Engine, g *graph.Graph, eps float64, cfg core.Config) *graph
 	scale := 1 / p
 	sampleSeed := cfg.Seed ^ core.SampleSeedMix
 	keep := func(i int) bool { return rng.SplitAt(sampleSeed, uint64(i)).Float64() < p }
+	adj := w.adj
 	e.ForVertices(func(v int32) {
 		lo, hi := adj.Range(v)
 		for slot := lo; slot < hi; slot++ {
@@ -157,17 +230,57 @@ func sampleRound(e *Engine, g *graph.Graph, eps float64, cfg core.Config) *graph
 	})
 	e.EndRound()
 
-	edges := parutil.CollectShards(m, func(_ int, lo, hi int) []graph.Edge {
-		var out []graph.Edge
-		for i := lo; i < hi; i++ {
-			ge := g.Edges[i]
-			if inBundle[i] {
-				out = append(out, ge)
-			} else if keep(i) {
-				out = append(out, graph.Edge{U: ge.U, V: ge.V, W: ge.W * scale})
+	if w.full() {
+		edges := parutil.CollectShards(m, func(_ int, lo, hi int) []graph.Edge {
+			var out []graph.Edge
+			for i := lo; i < hi; i++ {
+				ge := g.Edges[i]
+				if inBundle[i] {
+					out = append(out, ge)
+				} else if keep(i) {
+					out = append(out, graph.Edge{U: ge.U, V: ge.V, W: ge.W * scale})
+				}
 			}
+			return out
+		})
+		return newFullView(graph.FromEdges(n, edges))
+	}
+
+	// Partition renumbering: survival (bundle membership or a kept
+	// coin) is now decidable for EVERY global edge id — inBundle was
+	// just merged and the coin is a pure function — so each process
+	// walks the global id space once and assigns the same new ids
+	// without any further communication, materializing edge data only
+	// for the ids it already held.
+	var newIDs []int32
+	var newEdges []graph.Edge
+	newM := 0
+	k := 0
+	for i := 0; i < m; i++ {
+		incident := k < len(w.ids) && w.ids[k] == int32(i)
+		if incident {
+			k++
 		}
-		return out
-	})
-	return graph.FromEdges(n, edges)
+		if !inBundle[i] && !keep(i) {
+			continue
+		}
+		if incident {
+			ge := g.Edges[i]
+			if !inBundle[i] {
+				ge.W *= scale
+			}
+			newIDs = append(newIDs, int32(newM))
+			newEdges = append(newEdges, ge)
+		}
+		newM++
+	}
+	return newPartView(n, newM, newIDs, newEdges)
+}
+
+// boolFlag returns 1 for true, 0 for false.
+func boolFlag(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -7,8 +7,8 @@ import "repro/internal/parutil"
 // schedule (compute phase → EndRound barrier → next round); the
 // transport decides how staged messages physically travel: a single
 // in-memory staging area (MemTransport), a vertex-partitioned exchange
-// across worker goroutines (ShardedTransport), or — the seam this
-// interface exists for — a real network between machines.
+// across worker goroutines (ShardedTransport), or a real network
+// between processes (NetTransport).
 //
 // A transport owns two coupled concerns:
 //
@@ -20,30 +20,39 @@ import "repro/internal/parutil"
 //   - Execution: ForWorkers partitions a round's compute phase over the
 //     transport's workers so that every vertex is visited by the worker
 //     that owns it. Keeping execution next to ownership is what makes
-//     Send race-free without locks: all messages for a vertex are
-//     staged by that vertex's owner (the engine's receiver-staged
-//     discipline — payloads carry snapshot state from the start of the
-//     round, so the staging direction is unobservable to algorithms).
+//     Send race-free without locks, via the staging discipline of the
+//     exchange core (exchange.go): sender-staged kinds are staged by
+//     the worker owning Message.From, receiver-staged kinds — whose
+//     payloads are pure functions of the seed — by the worker owning
+//     the recipient. Payloads always carry snapshot state from the
+//     start of the round, so the staging side is unobservable to
+//     algorithms.
 //
-// Concurrency contract: Send(to, ...) and Recv(v) may be called only
-// from the worker that owns the vertex during a ForWorkers compute
-// phase, or from any single goroutine outside one. EndRound must be
-// called with no compute phase in flight.
+// Concurrency contract: Send may be called only from the worker the
+// staging discipline assigns (the owner of Message.From for
+// sender-staged kinds, the owner of `to` otherwise) during a
+// ForWorkers compute phase, or from any single goroutine outside one.
+// Recv(v) may be called only by v's owner during a compute phase, or
+// from any single goroutine outside one. EndRound must be called with
+// no compute phase in flight.
 type Transport interface {
 	// Shards returns the ownership partition size: 1 for the in-memory
-	// transport, P for the sharded one. Stats.Shards records it.
+	// transport, P for the sharded and network ones. Stats.Shards
+	// records it.
 	Shards() int
 	// ShardOf returns the shard that owns vertex v.
 	ShardOf(v int32) int
 	// Workers returns the execution partition size of ForWorkers. For
-	// the sharded transport this equals Shards; the in-memory transport
-	// uses parutil's grain-adaptive worker count instead.
+	// the sharded and network transports this equals Shards; the
+	// in-memory transport uses parutil's grain-adaptive worker count.
 	Workers() int
-	// ForWorkers runs body(worker, lo, hi) concurrently, once per
-	// worker, over a fixed partition of the vertex range. The call is a
-	// barrier: it returns only after every worker finishes. The
-	// partition is stable across calls, and each vertex is visited by
-	// its owning worker.
+	// ForWorkers runs body(worker, lo, hi) concurrently over a fixed
+	// partition of the vertex range, once per worker present in this
+	// process. The call is a barrier: it returns only after every local
+	// worker finishes. The partition is stable across calls, and each
+	// vertex is visited by its owning worker. On the network transport
+	// only the process's own shard runs locally — the other workers are
+	// other processes executing the same phase.
 	ForWorkers(body func(worker, lo, hi int))
 	// Send stages m for vertex `to` during round r; it becomes readable
 	// via Recv after the EndRound(r) barrier.
@@ -53,7 +62,10 @@ type Transport interface {
 	// recycled — callers must not retain it across two EndRound calls.
 	Recv(round int, v int32) []Message
 	// EndRound closes round r: staged messages are tallied and become
-	// the mailboxes readable until the next EndRound.
+	// the mailboxes readable until the next EndRound. On the network
+	// transport the returned tally is the globally reduced one (the
+	// round-tally handshake), so the ledger is identical on every
+	// process and to the in-memory transport's.
 	EndRound(round int) RoundTally
 }
 
@@ -71,23 +83,37 @@ type RoundTally struct {
 	CrossShardWords    int64
 }
 
-// MemTransport is the original single-staging-area simulation: one
-// slice of staged messages per recipient, flipped wholesale into
-// mailboxes at the round barrier. It is the default transport and the
-// behavior-preserving extraction of the pre-Transport engine.
+// collectiveTransport is the optional control-plane interface a
+// transport implements when its workers live in separate address
+// spaces: small synchronous all-reduce operations the algorithms use
+// for loop-control decisions that a single-process transport reads off
+// shared memory (a global max depth, "did any shard make progress?",
+// the merged bundle membership mask). These are barriers, not billed
+// traffic: they model the O(1)-word convergecast a real deployment
+// would piggyback on its round barrier, and the single-process
+// transports implement them as the identity.
+type collectiveTransport interface {
+	// AllMaxInt32 returns the maximum of x across all shards.
+	AllMaxInt32(x int32) int32
+	// AllOrBits returns the bitwise OR of bits across all shards. The
+	// slice is reduced in place and returned; all callers must pass
+	// equal lengths.
+	AllOrBits(bits []uint64) []uint64
+}
+
+// MemTransport is the original single-staging-area simulation, now
+// running on the shared exchange core with parutil's grain-adaptive
+// worker partition for staging rows and a single ownership shard for
+// billing. It is the default transport and behaves exactly like the
+// pre-Transport engine: one logical staging area, flipped wholesale
+// into mailboxes at the round barrier, no cross-shard traffic.
 type MemTransport struct {
-	n       int
-	staged  [][]Message // messages sent this round, staged by recipient
-	mailbox [][]Message // messages delivered by the previous EndRound
+	x *exchanger
 }
 
 // NewMemTransport returns the in-memory transport for n vertices.
 func NewMemTransport(n int) *MemTransport {
-	return &MemTransport{
-		n:       n,
-		staged:  make([][]Message, n),
-		mailbox: make([][]Message, n),
-	}
+	return &MemTransport{x: newExchanger(n, parutil.Workers(n), 1)}
 }
 
 // Shards reports the single ownership domain of the in-memory medium.
@@ -97,39 +123,27 @@ func (t *MemTransport) Shards() int { return 1 }
 func (t *MemTransport) ShardOf(int32) int { return 0 }
 
 // Workers returns parutil's grain-adaptive worker count for n vertices.
-func (t *MemTransport) Workers() int { return parutil.Workers(t.n) }
+func (t *MemTransport) Workers() int { return t.x.exec.p }
 
-// ForWorkers delegates to parutil.ForShard: the same blocked partition
-// the pre-Transport engine's callers used, so execution order (and any
-// shard-ordered collection built on it) is unchanged.
+// ForWorkers runs body over the exchange core's worker partition —
+// the same `s*n/p` blocked partition parutil.ForShard would build, but
+// frozen at construction so the staging rows of Send and the compute
+// partition can never disagree (parutil re-reads GOMAXPROCS per call).
+// Execution order matches the pre-Transport engine's callers, so any
+// shard-ordered collection built on it is unchanged.
 func (t *MemTransport) ForWorkers(body func(worker, lo, hi int)) {
-	parutil.ForShard(t.n, body)
+	t.x.forWorkers(body)
 }
 
 // Send stages m for vertex `to` in the current round.
 func (t *MemTransport) Send(_ int, to int32, m Message) {
-	t.staged[to] = append(t.staged[to], m)
+	t.x.send(to, m)
 }
 
 // Recv returns the messages delivered to v by the last EndRound.
-func (t *MemTransport) Recv(_ int, v int32) []Message { return t.mailbox[v] }
+func (t *MemTransport) Recv(_ int, v int32) []Message { return t.x.recv(v) }
 
-// EndRound tallies the staged traffic and swaps it into the mailboxes.
+// EndRound tallies the staged traffic and drains it into the mailboxes.
 func (t *MemTransport) EndRound(int) RoundTally {
-	var tally RoundTally
-	for v := range t.staged {
-		for _, m := range t.staged[v] {
-			w := m.Kind.Words()
-			tally.Messages++
-			tally.Words += int64(w)
-			if w > tally.MaxMessageWords {
-				tally.MaxMessageWords = w
-			}
-		}
-	}
-	t.staged, t.mailbox = t.mailbox, t.staged
-	for v := range t.staged {
-		t.staged[v] = t.staged[v][:0]
-	}
-	return tally
+	return t.x.drainAll()
 }

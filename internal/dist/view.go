@@ -1,0 +1,70 @@
+package dist
+
+import "repro/internal/graph"
+
+// view is one process's materialization of the working graph during a
+// distributed run. A full view (single-process transports) holds every
+// edge; a partition view (network transport) holds only the edges
+// incident to the process's shard — its own adjacency plus boundary
+// edges — stored in a global-id-indexed sparse table so that edge ids,
+// masks, and the pure seed-derived sampling functions stay globally
+// consistent without any id translation.
+//
+// Memory honesty: global indexing is what keeps every decision
+// bit-identical to the single-process run, but it costs every worker
+// Θ(M) global-length allocations per round regardless of P — the
+// sparse edge table (24 bytes per global edge id, only incident
+// entries populated) plus the per-edge masks (dead, inSpanner,
+// inBundle, one byte each). Only the CSR adjacency (the 2·slots
+// structure the compute loops actually walk) shrinks to the shard's
+// O((n + m_incident)/P) share today. Compacting the table and masks to
+// local ids, leaving only an O(m_incident) id map, is the named next
+// step in ROADMAP.md.
+type view struct {
+	g   *graph.Graph
+	adj *graph.Adjacency
+	// ids lists the incident global edge ids in increasing order; nil
+	// means the view is full (every edge materialized).
+	ids []int32
+}
+
+// newFullView wraps a whole graph (single-process transports).
+func newFullView(g *graph.Graph) *view {
+	return &view{g: g, adj: graph.NewAdjacency(g)}
+}
+
+// newPartView builds a partition view over n vertices and m global
+// edges from the incident slice (ids increasing, edges parallel).
+func newPartView(n, m int, ids []int32, edges []graph.Edge) *view {
+	sparse := make([]graph.Edge, m)
+	for k, id := range ids {
+		sparse[id] = edges[k]
+	}
+	g := graph.FromEdges(n, sparse)
+	return &view{g: g, adj: graph.NewAdjacencySubset(n, sparse, ids), ids: ids}
+}
+
+// full reports whether every edge is materialized.
+func (w *view) full() bool { return w.ids == nil }
+
+// incidentCount returns the number of locally materialized edges.
+func (w *view) incidentCount() int {
+	if w.full() {
+		return len(w.g.Edges)
+	}
+	return len(w.ids)
+}
+
+// forEachIncident calls fn for every locally materialized edge id, in
+// increasing order.
+func (w *view) forEachIncident(fn func(eid int32)) {
+	if w.full() {
+		for i := range w.g.Edges {
+			fn(int32(i))
+		}
+		return
+	}
+	for _, id := range w.ids {
+		fn(id)
+	}
+}

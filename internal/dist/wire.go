@@ -1,0 +1,145 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The wire codec of the network transport: fixed-size little-endian
+// frames, one frame per (origin shard, destination shard, round) batch
+// plus small control frames for the round-tally handshake and the
+// loop-control reductions. Every frame is a 20-byte header followed by
+// `count` fixed-size records (or `count` raw bytes for blob frames), so
+// a relay can forward a frame without decoding its payload and a
+// fuzzer can exercise the codec record by record.
+
+const (
+	wireMagic   = uint32(0x44573031) // "DW01": distworker wire v1
+	wireVersion = uint32(1)
+
+	headerSize   = 20
+	envelopeSize = 28
+	tallySize    = 40
+	helloSize    = 20
+)
+
+// Frame types.
+const (
+	frameHello   uint8 = iota + 1 // worker → coordinator: join request
+	frameWelcome                  // coordinator → worker: join accepted
+	frameRound                    // one origin→destination message batch
+	frameTally                    // local (worker→coord) or global (coord→worker) round tally
+	frameMax                      // AllMaxInt32 contribution / result
+	frameOr                       // AllOrBits contribution / result
+	frameBlob                     // opaque application payload (gather/broadcast)
+)
+
+// frameHeader describes one frame on the wire.
+type frameHeader struct {
+	Type  uint8
+	From  uint16 // origin shard
+	To    uint16 // destination shard (frameRound; otherwise 0)
+	Round uint32
+	Count uint32 // record count (frameRound, frameOr) or byte length (frameBlob)
+}
+
+// putHeader encodes h into b (len ≥ headerSize).
+func putHeader(b []byte, h frameHeader) {
+	binary.LittleEndian.PutUint32(b[0:], wireMagic)
+	b[4] = h.Type
+	b[5] = 0
+	binary.LittleEndian.PutUint16(b[6:], h.From)
+	binary.LittleEndian.PutUint16(b[8:], h.To)
+	binary.LittleEndian.PutUint16(b[10:], 0)
+	binary.LittleEndian.PutUint32(b[12:], h.Round)
+	binary.LittleEndian.PutUint32(b[16:], h.Count)
+}
+
+// parseHeader decodes and validates a frame header.
+func parseHeader(b []byte) (frameHeader, error) {
+	if len(b) < headerSize {
+		return frameHeader{}, fmt.Errorf("dist: short frame header (%d bytes)", len(b))
+	}
+	if binary.LittleEndian.Uint32(b[0:]) != wireMagic {
+		return frameHeader{}, fmt.Errorf("dist: bad frame magic %#x", binary.LittleEndian.Uint32(b[0:]))
+	}
+	return frameHeader{
+		Type:  b[4],
+		From:  binary.LittleEndian.Uint16(b[6:]),
+		To:    binary.LittleEndian.Uint16(b[8:]),
+		Round: binary.LittleEndian.Uint32(b[12:]),
+		Count: binary.LittleEndian.Uint32(b[16:]),
+	}, nil
+}
+
+// putEnvelope encodes one addressed message into b (len ≥ envelopeSize).
+func putEnvelope(b []byte, env envelope) {
+	binary.LittleEndian.PutUint32(b[0:], uint32(env.to))
+	binary.LittleEndian.PutUint32(b[4:], uint32(env.m.From))
+	binary.LittleEndian.PutUint32(b[8:], uint32(env.m.Port))
+	binary.LittleEndian.PutUint32(b[12:], uint32(env.m.A))
+	binary.LittleEndian.PutUint32(b[16:], uint32(env.m.B))
+	binary.LittleEndian.PutUint32(b[20:], uint32(env.m.C))
+	b[24] = byte(env.m.Kind)
+	b[25], b[26], b[27] = 0, 0, 0
+}
+
+// parseEnvelope decodes one addressed message from b (len ≥ envelopeSize).
+func parseEnvelope(b []byte) envelope {
+	return envelope{
+		to: int32(binary.LittleEndian.Uint32(b[0:])),
+		m: Message{
+			From: int32(binary.LittleEndian.Uint32(b[4:])),
+			Port: int32(binary.LittleEndian.Uint32(b[8:])),
+			A:    int32(binary.LittleEndian.Uint32(b[12:])),
+			B:    int32(binary.LittleEndian.Uint32(b[16:])),
+			C:    int32(binary.LittleEndian.Uint32(b[20:])),
+			Kind: MsgKind(b[24]),
+		},
+	}
+}
+
+// putTally / parseTally encode a RoundTally (tallySize bytes).
+func putTally(b []byte, t RoundTally) {
+	binary.LittleEndian.PutUint64(b[0:], uint64(t.Messages))
+	binary.LittleEndian.PutUint64(b[8:], uint64(t.Words))
+	binary.LittleEndian.PutUint64(b[16:], uint64(t.CrossShardMessages))
+	binary.LittleEndian.PutUint64(b[24:], uint64(t.CrossShardWords))
+	binary.LittleEndian.PutUint32(b[32:], uint32(t.MaxMessageWords))
+	binary.LittleEndian.PutUint32(b[36:], 0)
+}
+
+func parseTally(b []byte) RoundTally {
+	return RoundTally{
+		Messages:           int64(binary.LittleEndian.Uint64(b[0:])),
+		Words:              int64(binary.LittleEndian.Uint64(b[8:])),
+		CrossShardMessages: int64(binary.LittleEndian.Uint64(b[16:])),
+		CrossShardWords:    int64(binary.LittleEndian.Uint64(b[24:])),
+		MaxMessageWords:    int(int32(binary.LittleEndian.Uint32(b[32:]))),
+	}
+}
+
+// hello is the join handshake payload: both sides must agree on the
+// protocol, the vertex count, and the partition before any round runs.
+type hello struct {
+	Version uint32
+	N       uint64
+	Shard   uint32
+	Shards  uint32
+}
+
+func putHello(b []byte, h hello) {
+	binary.LittleEndian.PutUint32(b[0:], h.Version)
+	binary.LittleEndian.PutUint64(b[4:], h.N)
+	binary.LittleEndian.PutUint32(b[12:], h.Shard)
+	binary.LittleEndian.PutUint32(b[16:], h.Shards)
+}
+
+func parseHello(b []byte) hello {
+	return hello{
+		Version: binary.LittleEndian.Uint32(b[0:]),
+		N:       binary.LittleEndian.Uint64(b[4:]),
+		Shard:   binary.LittleEndian.Uint32(b[12:]),
+		Shards:  binary.LittleEndian.Uint32(b[16:]),
+	}
+}

@@ -233,6 +233,46 @@ func TestE12ShardedSweepStructure(t *testing.T) {
 	}
 }
 
+func TestE13TransportComparisonStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2^12-vertex transport comparison skipped in -short")
+	}
+	tab := E13NetTransport(Quick)
+	renderOf(t, tab)
+	if len(tab.Rows) < 5 {
+		t.Fatalf("expected mem + sharded + net rows, got %d", len(tab.Rows))
+	}
+	baseM := cell(t, tab.Rows[0][3])
+	baseRounds := cell(t, tab.Rows[0][4])
+	sawNet := false
+	for i, row := range tab.Rows {
+		// The transports move messages, not decisions: output size and
+		// round count must be identical on every row.
+		if m := cell(t, row[3]); m != baseM {
+			t.Fatalf("row %d: m_out %v != %v", i, m, baseM)
+		}
+		if r := cell(t, row[4]); r != baseRounds {
+			t.Fatalf("row %d: rounds %v != %v", i, r, baseRounds)
+		}
+		if row[0] == "net" {
+			sawNet = true
+			if p := cell(t, row[1]); p > 1 {
+				if wb := cell(t, row[6]); wb <= 0 {
+					t.Fatalf("net P=%v wrote no bytes: %v", p, row)
+				}
+			}
+		}
+	}
+	if !sawNet {
+		t.Fatal("no net transport rows")
+	}
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "VIOLATION") || strings.Contains(n, "FAILURE") {
+			t.Fatal(n)
+		}
+	}
+}
+
 func TestFitSlope(t *testing.T) {
 	xs := []float64{0, 1, 2, 3}
 	ys := []float64{1, 3, 5, 7}

@@ -1,5 +1,5 @@
 // Package experiments implements the paper-reproduction experiment
-// suite E1–E12 (the registry below is the canonical index; ROADMAP.md
+// suite E1–E13 (the registry below is the canonical index; ROADMAP.md
 // tracks what each sweep pins). The paper is theory-only (no empirical
 // tables), so each experiment validates one quantitative claim — a
 // theorem, corollary, lemma or remark — and prints a table recorded
@@ -117,10 +117,11 @@ var Registry = map[string]func(Scale) *Table{
 	"E10": E10EpsDependence,
 	"E11": E11TreeBundle,
 	"E12": E12ShardedSparsify,
+	"E13": E13NetTransport,
 }
 
 // Order is the canonical experiment ordering.
-var Order = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+var Order = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
 
 // RunAll executes every experiment at the given scale.
 func RunAll(s Scale) []*Table {

@@ -14,14 +14,42 @@ type Adjacency struct {
 
 // NewAdjacency builds the CSR view of g in O(n + m).
 func NewAdjacency(g *Graph) *Adjacency {
-	n := g.N
+	return buildAdjacency(g.N, func(yield func(id int32, e Edge)) {
+		for i, e := range g.Edges {
+			yield(int32(i), e)
+		}
+	})
+}
+
+// NewAdjacencySubset builds the CSR view of the listed edges only.
+// edges is indexed by global edge id and must be populated at every id
+// in ids (increasing); other entries are ignored, which is what lets a
+// distributed worker build adjacency from a sparse edge table holding
+// only the edges incident to its shard. EID slots carry the global
+// ids, and slot order within a vertex follows ids order, so the view
+// of a full edge list with ids = [0..m) is identical to NewAdjacency's
+// — guaranteed structurally: both run the same builder over the same
+// (id, edge) sequence.
+func NewAdjacencySubset(n int, edges []Edge, ids []int32) *Adjacency {
+	return buildAdjacency(n, func(yield func(id int32, e Edge)) {
+		for _, id := range ids {
+			yield(id, edges[id])
+		}
+	})
+}
+
+// buildAdjacency runs the two-pass CSR construction (count, prefix-sum,
+// cursor fill; one slot per endpoint, self-loops once) over whatever
+// (id, edge) sequence forEach produces. forEach must yield the same
+// sequence on both passes.
+func buildAdjacency(n int, forEach func(yield func(id int32, e Edge))) *Adjacency {
 	counts := make([]int32, n+1)
-	for _, e := range g.Edges {
+	forEach(func(_ int32, e Edge) {
 		counts[e.U+1]++
 		if e.V != e.U {
 			counts[e.V+1]++
 		}
-	}
+	})
 	for i := 0; i < n; i++ {
 		counts[i+1] += counts[i]
 	}
@@ -31,18 +59,18 @@ func NewAdjacency(g *Graph) *Adjacency {
 	eid := make([]int32, total)
 	cursor := make([]int32, n)
 	copy(cursor, offsets[:n])
-	for i, e := range g.Edges {
+	forEach(func(id int32, e Edge) {
 		cu := cursor[e.U]
 		nbr[cu] = e.V
-		eid[cu] = int32(i)
+		eid[cu] = id
 		cursor[e.U]++
 		if e.V != e.U {
 			cv := cursor[e.V]
 			nbr[cv] = e.U
-			eid[cv] = int32(i)
+			eid[cv] = id
 			cursor[e.V]++
 		}
-	}
+	})
 	return &Adjacency{N: n, Offsets: offsets, Nbr: nbr, EID: eid}
 }
 

@@ -1,0 +1,130 @@
+package graph
+
+import "fmt"
+
+// Vertex partitioning for the distributed engine: the balanced
+// contiguous partition bounds[s] = s*n/p shared by every transport and
+// by the partition-aware graph loader. Keeping the formula here — in
+// the leaf package — is what guarantees that a worker process carving
+// its shard from a file agrees bit-for-bit with the transports about
+// who owns which vertex.
+
+// ClampShards normalizes a requested shard count for n vertices to the
+// range [1, max(n, 1)].
+func ClampShards(n, p int) int {
+	if p < 1 {
+		p = 1
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1 // n == 0: one trivial shard owning the empty range
+	}
+	return p
+}
+
+// ShardBounds returns the p+1 partition boundaries of the balanced
+// contiguous partition of [0, n): shard s owns [bounds[s], bounds[s+1]).
+func ShardBounds(n, p int) []int {
+	bounds := make([]int, p+1)
+	for s := 0; s <= p; s++ {
+		bounds[s] = s * n / p
+	}
+	return bounds
+}
+
+// ShardOfVertex returns the shard owning vertex v under ShardBounds'
+// partition (its exact inverse).
+func ShardOfVertex(n, p int, v int32) int {
+	if n == 0 {
+		return 0
+	}
+	// bounds[s] = s*n/p, so s ~ v*p/n up to rounding; correct locally.
+	s := int(int64(v) * int64(p) / int64(n))
+	for s+1 <= p && int64(v) >= int64(s+1)*int64(n)/int64(p) {
+		s++
+	}
+	for s > 0 && int64(v) < int64(s)*int64(n)/int64(p) {
+		s--
+	}
+	return s
+}
+
+// Partition is the slice of a graph one worker of a p-way distributed
+// run materializes: the edges incident to the shard's vertex range —
+// its own adjacency plus the boundary edges into other shards — keyed
+// by their global edge ids so that messages, masks, and sampling
+// decisions stay globally consistent.
+type Partition struct {
+	// N and M are the GLOBAL vertex and edge counts.
+	N, M int
+	// Shard and Shards identify this slice of the p-way partition.
+	Shard, Shards int
+	// Lo and Hi delimit the owned vertex range [Lo, Hi).
+	Lo, Hi int
+	// IDs are the global edge ids of the incident edges, increasing.
+	IDs []int32
+	// Edges are the incident edges, parallel to IDs.
+	Edges []Edge
+}
+
+// PartitionOf carves shard s of a p-way partition out of g. Every edge
+// with at least one endpoint in the shard's vertex range is included
+// (boundary edges therefore appear in exactly the partitions of their
+// two endpoints' shards).
+func PartitionOf(g *Graph, shard, shards int) *Partition {
+	p := ClampShards(g.N, shards)
+	if shard < 0 || shard >= p {
+		panic(fmt.Sprintf("graph: partition shard %d out of range [0,%d)", shard, p))
+	}
+	lo := shard * g.N / p
+	hi := (shard + 1) * g.N / p
+	part := &Partition{
+		N: g.N, M: len(g.Edges),
+		Shard: shard, Shards: p,
+		Lo: lo, Hi: hi,
+	}
+	for i, e := range g.Edges {
+		if (int(e.U) >= lo && int(e.U) < hi) || (int(e.V) >= lo && int(e.V) < hi) {
+			part.IDs = append(part.IDs, int32(i))
+			part.Edges = append(part.Edges, e)
+		}
+	}
+	return part
+}
+
+// Validate checks the structural invariants a loaded partition must
+// satisfy before a worker trusts it: consistent sizes, ids in range and
+// strictly increasing, bounds matching ShardBounds, and every edge
+// actually incident to the owned range.
+func (p *Partition) Validate() error {
+	if p.N < 0 || p.M < 0 {
+		return fmt.Errorf("graph: partition has negative sizes n=%d m=%d", p.N, p.M)
+	}
+	shards := ClampShards(p.N, p.Shards)
+	if shards != p.Shards || p.Shard < 0 || p.Shard >= p.Shards {
+		return fmt.Errorf("graph: partition shard %d/%d invalid for n=%d", p.Shard, p.Shards, p.N)
+	}
+	if p.Lo != p.Shard*p.N/p.Shards || p.Hi != (p.Shard+1)*p.N/p.Shards {
+		return fmt.Errorf("graph: partition bounds [%d,%d) disagree with ShardBounds", p.Lo, p.Hi)
+	}
+	if len(p.IDs) != len(p.Edges) {
+		return fmt.Errorf("graph: partition has %d ids but %d edges", len(p.IDs), len(p.Edges))
+	}
+	prev := int32(-1)
+	for i, id := range p.IDs {
+		if id <= prev || int(id) >= p.M {
+			return fmt.Errorf("graph: partition edge id %d at %d not increasing in [0,%d)", id, i, p.M)
+		}
+		prev = id
+		e := p.Edges[i]
+		if e.U < 0 || int(e.U) >= p.N || e.V < 0 || int(e.V) >= p.N {
+			return fmt.Errorf("graph: partition edge %d (%d,%d) out of range", id, e.U, e.V)
+		}
+		if !(int(e.U) >= p.Lo && int(e.U) < p.Hi) && !(int(e.V) >= p.Lo && int(e.V) < p.Hi) {
+			return fmt.Errorf("graph: partition edge %d (%d,%d) not incident to [%d,%d)", id, e.U, e.V, p.Lo, p.Hi)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package graphio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Partition files: the on-disk form of graph.Partition, so that each
+// worker process of a distributed run materializes only its shard's
+// adjacency plus boundary edges instead of parsing the whole graph.
+// The format mirrors the compact binary graph framing: a fixed
+// little-endian header followed by fixed-size (global id, U, V, W)
+// records in increasing id order.
+//
+//	magic   u64  "SPRP01"
+//	n       u64  global vertex count
+//	m       u64  global edge count
+//	shard   u32
+//	shards  u32
+//	count   u64  incident records that follow
+//	count × { id u32, u u32, v u32, w f64 }
+
+const partitionMagic = uint64(0x5350525250303101) // "SPRP01" + version
+
+// EdgeRecordSize is the wire size of one (global id, U, V, W) record —
+// the codec shared by partition files and the distributed result
+// gather (internal/dist), so the two formats cannot drift apart.
+const EdgeRecordSize = 20
+
+// PutEdgeRecord encodes (id, e) into b (len ≥ EdgeRecordSize).
+func PutEdgeRecord(b []byte, id int32, e graph.Edge) {
+	binary.LittleEndian.PutUint32(b[0:], uint32(id))
+	binary.LittleEndian.PutUint32(b[4:], uint32(e.U))
+	binary.LittleEndian.PutUint32(b[8:], uint32(e.V))
+	binary.LittleEndian.PutUint64(b[12:], math.Float64bits(e.W))
+}
+
+// ParseEdgeRecord decodes one (id, edge) record from b.
+func ParseEdgeRecord(b []byte) (int32, graph.Edge) {
+	return int32(binary.LittleEndian.Uint32(b[0:])), graph.Edge{
+		U: int32(binary.LittleEndian.Uint32(b[4:])),
+		V: int32(binary.LittleEndian.Uint32(b[8:])),
+		W: math.Float64frombits(binary.LittleEndian.Uint64(b[12:])),
+	}
+}
+
+// EncodeEdgeRecords encodes a parallel (ids, edges) slice pair.
+func EncodeEdgeRecords(ids []int32, edges []graph.Edge) []byte {
+	buf := make([]byte, len(ids)*EdgeRecordSize)
+	for k := range ids {
+		PutEdgeRecord(buf[k*EdgeRecordSize:], ids[k], edges[k])
+	}
+	return buf
+}
+
+// DecodeEdgeRecords inverts EncodeEdgeRecords.
+func DecodeEdgeRecords(buf []byte) ([]int32, []graph.Edge, error) {
+	if len(buf)%EdgeRecordSize != 0 {
+		return nil, nil, fmt.Errorf("graphio: edge record payload %d not a multiple of %d", len(buf), EdgeRecordSize)
+	}
+	count := len(buf) / EdgeRecordSize
+	ids := make([]int32, count)
+	edges := make([]graph.Edge, count)
+	for k := 0; k < count; k++ {
+		ids[k], edges[k] = ParseEdgeRecord(buf[k*EdgeRecordSize:])
+	}
+	return ids, edges, nil
+}
+
+// WritePartition emits one shard's partition in the binary framing.
+func WritePartition(w io.Writer, p *graph.Partition) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	head := make([]byte, 40)
+	binary.LittleEndian.PutUint64(head[0:], partitionMagic)
+	binary.LittleEndian.PutUint64(head[8:], uint64(p.N))
+	binary.LittleEndian.PutUint64(head[16:], uint64(p.M))
+	binary.LittleEndian.PutUint32(head[24:], uint32(p.Shard))
+	binary.LittleEndian.PutUint32(head[28:], uint32(p.Shards))
+	binary.LittleEndian.PutUint64(head[32:], uint64(len(p.IDs)))
+	if _, err := bw.Write(head); err != nil {
+		return err
+	}
+	rec := make([]byte, EdgeRecordSize)
+	for k, id := range p.IDs {
+		PutEdgeRecord(rec, id, p.Edges[k])
+		if _, err := bw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPartition parses a partition file and validates its invariants
+// (bounds matching the canonical partition formula, increasing ids,
+// every edge incident to the owned range).
+func ReadPartition(r io.Reader) (*graph.Partition, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 40)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(head[0:]) != partitionMagic {
+		return nil, fmt.Errorf("graphio: bad partition magic")
+	}
+	n := int(binary.LittleEndian.Uint64(head[8:]))
+	m := int(binary.LittleEndian.Uint64(head[16:]))
+	shard := int(binary.LittleEndian.Uint32(head[24:]))
+	shards := int(binary.LittleEndian.Uint32(head[28:]))
+	count := int(binary.LittleEndian.Uint64(head[32:]))
+	if n < 0 || m < 0 || count < 0 || count > m || shards < 1 {
+		return nil, fmt.Errorf("graphio: implausible partition header n=%d m=%d count=%d shards=%d", n, m, count, shards)
+	}
+	p := &graph.Partition{
+		N: n, M: m, Shard: shard, Shards: shards,
+		Lo: shard * n / shards, Hi: (shard + 1) * n / shards,
+		IDs:   make([]int32, count),
+		Edges: make([]graph.Edge, count),
+	}
+	rec := make([]byte, EdgeRecordSize)
+	for k := 0; k < count; k++ {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, err
+		}
+		p.IDs[k], p.Edges[k] = ParseEdgeRecord(rec)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// PartitionFileName is the canonical name of shard s of a p-way split
+// inside a partition directory.
+func PartitionFileName(shard, shards int) string {
+	return fmt.Sprintf("part-%d-of-%d.bin", shard, shards)
+}

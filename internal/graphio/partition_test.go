@@ -1,0 +1,137 @@
+package graphio
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestPartitionRoundTrip: Write then Read is the identity for every
+// shard of several partitions.
+func TestPartitionRoundTrip(t *testing.T) {
+	g := gen.WithRandomWeights(gen.Gnp(120, 0.1, 5), 0.25, 4, 7)
+	for _, shards := range []int{1, 2, 3, 8} {
+		for s := 0; s < shards; s++ {
+			p := graph.PartitionOf(g, s, shards)
+			var buf bytes.Buffer
+			if err := WritePartition(&buf, p); err != nil {
+				t.Fatalf("shards=%d s=%d: write: %v", shards, s, err)
+			}
+			got, err := ReadPartition(&buf)
+			if err != nil {
+				t.Fatalf("shards=%d s=%d: read: %v", shards, s, err)
+			}
+			if got.N != p.N || got.M != p.M || got.Shard != p.Shard ||
+				got.Shards != p.Shards || got.Lo != p.Lo || got.Hi != p.Hi {
+				t.Fatalf("header mangled: %+v vs %+v", got, p)
+			}
+			if len(got.IDs) != len(p.IDs) {
+				t.Fatalf("count %d vs %d", len(got.IDs), len(p.IDs))
+			}
+			for k := range p.IDs {
+				if got.IDs[k] != p.IDs[k] || got.Edges[k] != p.Edges[k] {
+					t.Fatalf("record %d mangled: %d %+v", k, got.IDs[k], got.Edges[k])
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionBoundaryOwnership: the shards' partitions cover every
+// edge, an edge appears in a partition exactly when it is incident to
+// the shard's vertex range, and boundary edges appear in exactly the
+// two partitions of their endpoints (once when both endpoints share a
+// shard).
+func TestPartitionBoundaryOwnership(t *testing.T) {
+	g := gen.Gnp(100, 0.08, 11)
+	const shards = 4
+	appearances := make([]int, g.M())
+	for s := 0; s < shards; s++ {
+		p := graph.PartitionOf(g, s, shards)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("shard %d invalid: %v", s, err)
+		}
+		for _, id := range p.IDs {
+			appearances[id]++
+		}
+	}
+	for i, e := range g.Edges {
+		su := graph.ShardOfVertex(g.N, shards, e.U)
+		sv := graph.ShardOfVertex(g.N, shards, e.V)
+		want := 2
+		if su == sv {
+			want = 1
+		}
+		if appearances[i] != want {
+			t.Fatalf("edge %d (%d,%d): appears in %d partitions, want %d", i, e.U, e.V, appearances[i], want)
+		}
+	}
+}
+
+// TestEdgeRecordCodec: the (id, edge) records shared by partition
+// files and the distributed result gather round-trip exactly.
+func TestEdgeRecordCodec(t *testing.T) {
+	ids := []int32{0, 5, 1 << 29}
+	edges := []graph.Edge{{U: 1, V: 2, W: 0.25}, {U: 7, V: 7, W: 1}, {U: 0, V: 1 << 28, W: 3.75e-9}}
+	buf := EncodeEdgeRecords(ids, edges)
+	if len(buf) != len(ids)*EdgeRecordSize {
+		t.Fatalf("encoded length %d", len(buf))
+	}
+	gotIDs, gotEdges, err := DecodeEdgeRecords(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range ids {
+		if gotIDs[k] != ids[k] || gotEdges[k] != edges[k] {
+			t.Fatalf("record %d mangled: %d %+v", k, gotIDs[k], gotEdges[k])
+		}
+	}
+	if _, _, err := DecodeEdgeRecords(buf[:EdgeRecordSize+3]); err == nil {
+		t.Fatal("ragged payload accepted")
+	}
+}
+
+// TestPartitionRejectsCorruption: a tampered payload fails validation
+// rather than silently loading.
+func TestPartitionRejectsCorruption(t *testing.T) {
+	g := gen.Gnp(50, 0.2, 3)
+	p := graph.PartitionOf(g, 1, 2)
+	var buf bytes.Buffer
+	if err := WritePartition(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip the shard field to a shard the edges are not incident to.
+	corrupt := append([]byte(nil), raw...)
+	corrupt[24] = 0
+	if _, err := ReadPartition(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("mis-sharded partition accepted")
+	}
+	// Truncate mid-record.
+	if _, err := ReadPartition(bytes.NewReader(raw[:len(raw)-7])); err == nil {
+		t.Fatal("truncated partition accepted")
+	}
+	// Bad magic.
+	corrupt2 := append([]byte(nil), raw...)
+	corrupt2[0] ^= 0xff
+	if _, err := ReadPartition(bytes.NewReader(corrupt2)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// TestShardOfVertexInvertsBounds: the closed-form inverse agrees with
+// the bounds arrays for awkward (n, p) combinations.
+func TestShardOfVertexInvertsBounds(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{1, 1}, {7, 3}, {10, 3}, {100, 7}, {1024, 8}, {5, 5}} {
+		bounds := graph.ShardBounds(tc.n, tc.p)
+		for v := 0; v < tc.n; v++ {
+			s := graph.ShardOfVertex(tc.n, tc.p, int32(v))
+			if v < bounds[s] || v >= bounds[s+1] {
+				t.Fatalf("n=%d p=%d: vertex %d assigned to shard %d [%d,%d)",
+					tc.n, tc.p, v, s, bounds[s], bounds[s+1])
+			}
+		}
+	}
+}
