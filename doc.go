@@ -39,13 +39,19 @@
 // batched fixed-size binary frames, and a per-round tally handshake
 // keeps the ledger identical on every process — see cmd/distworker for
 // the CLI (coordinator + worker modes) and examples/distributed for a
-// verified loopback run. The output is edge-identical on all three
-// transports for equal seeds — the medium changes how messages travel,
-// never what is decided — and the ledger additionally reports
+// verified loopback run. A multi-process worker is memory-honest: its
+// partition view stores edges, masks, and scratch densely over local
+// ids with only a sorted global-id map at the wire boundary, so each
+// process allocates O((n + m)/P + boundary) words — enforced by a
+// memory regression suite, never the global edge count. The output is
+// edge-identical on all three transports for equal seeds — the medium
+// changes how messages travel, never what is decided — and the ledger
+// additionally reports
 // DistStats.CrossShardMessages/CrossShardWords, the traffic a real
 // multi-machine partition puts on the wire. See internal/dist for the
 // transport contract and experiments E12/E13 (`go run ./cmd/bench
-// -run E12,E13`) for the scaling and transport-comparison sweeps.
+// -run E12,E13`) for the scaling, transport-comparison, and
+// per-worker-footprint sweeps.
 //
 // All randomness is seeded and the library is deterministic for a fixed
 // seed at any GOMAXPROCS. ROADMAP.md records the system's direction and

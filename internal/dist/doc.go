@@ -52,8 +52,8 @@
 //     multi-machine deployment would pay.
 //
 //   - NetTransport (ListenNet/JoinNet, SparsifyPartition,
-//     RunNetCoordinator/RunNetWorker): each shard is a separate OS
-//     process holding only its partition of the graph
+//     BaswanaSenPartition, RunNetCoordinator/RunNetWorker): each shard
+//     is a separate OS process holding only its partition of the graph
 //     (graph.Partition: its shard's adjacency plus boundary edges),
 //     and the pair buckets become batched fixed-size binary frames
 //     (wire.go) flushed over TCP at every barrier. Shard 0 is the
@@ -64,8 +64,24 @@
 //     the global tally, so the ledger is identical on every process.
 //     Loop-control values a single process would read off shared
 //     memory (the broadcast-wave depth, bundle-loop progress, the
-//     merged bundle mask for renumbering) travel as small unbilled
-//     collectives (AllMaxInt32/AllOrBits) piggybacked on the barrier.
+//     sorted owned bundle-id union for renumbering) travel as small
+//     unbilled collectives (AllMaxInt32/AllOrBits/AllGatherInt32s)
+//     piggybacked on the barrier.
+//
+// Per-worker memory is O(n + m_incident) words on a partition run —
+// enforced, not aspirational. A partition view (view.go) stores its
+// edges, masks, and per-round scratch DENSELY over local ids
+// [0, m_incident), keeping only a sorted global-id map for the wire
+// boundary: message ports, add/drop notices, and the pure seed-derived
+// sampling coins are keyed by global id, so frames and tie-breaks stay
+// globally consistent and outputs bit-identical while no per-edge
+// array anywhere scales with the global m. Even the end-of-round
+// renumbering merges only the O(bundle-size) sorted list of in-bundle
+// edge ids (each contributed by its owning shard) instead of a Θ(m)
+// mask. The memory regression suite (memory_test.go) pins the bound
+// statically (table lengths), dynamically (peak footprint of a real
+// loopback run, gathered per process), and at the allocator; E13
+// reports it as the wkrPeakWords column.
 //
 // The staging discipline that makes one algorithm run on all three:
 // payloads carrying real remote state (MsgCenter, MsgNewCenter,
@@ -82,9 +98,12 @@
 // (the algorithms fold their mailboxes with order-independent
 // reductions, so bucket drain order is unobservable), and the ledger's
 // Rounds, Messages, Words, and per-phase rows are transport-independent
-// — transport_test.go and net_test.go pin both properties, including a
-// real coordinator + 4 workers loopback run, and cmd/distworker's test
-// pins the OS-process version. Experiments E12 and E13 measure the
-// cost of distribution (shard-count scaling; in-memory vs sharded vs
-// network wall-clock and wire volume).
+// — the cross-transport matrix in equivalence_test.go pins both
+// properties over {Mem, Sharded, Net-loopback} × shard counts ×
+// {spanner, sparsify}, transport_test.go and net_test.go pin the
+// transport-specific ledger splits and protocol behavior, and
+// cmd/distworker's test pins the OS-process version. Experiments E12
+// and E13 measure the cost of distribution (shard-count scaling;
+// in-memory vs sharded vs network wall-clock, wire volume, and
+// per-worker footprint).
 package dist

@@ -202,24 +202,18 @@ func (e *Engine) allOrWord(w uint64) uint64 {
 	return w
 }
 
-// allOrMask ORs a boolean mask across all shards, in place. A
-// no-op on single-process transports, where the mask is already
-// globally complete.
-func (e *Engine) allOrMask(mask []bool) {
-	c, ok := e.tr.(collectiveTransport)
-	if !ok {
-		return
+// allGatherInt32s merges the shards' sorted, disjoint id lists into
+// the globally sorted union, visible to every shard. Single-process
+// transports hold the complete list already, so the gather is the
+// identity there; the network transport runs a control-plane
+// convergecast + broadcast (not billed — see collectiveTransport).
+// Unlike the retired Θ(m)-bit mask merge this costs O(list) words,
+// which for the bundle-id gather is the sparsifier's own output scale.
+func (e *Engine) allGatherInt32s(xs []int32) []int32 {
+	if c, ok := e.tr.(collectiveTransport); ok {
+		return c.AllGatherInt32s(xs)
 	}
-	words := make([]uint64, (len(mask)+63)/64)
-	for i, b := range mask {
-		if b {
-			words[i/64] |= 1 << (i % 64)
-		}
-	}
-	words = c.AllOrBits(words)
-	for i := range mask {
-		mask[i] = words[i/64]&(1<<(i%64)) != 0
-	}
+	return xs
 }
 
 // Stats returns a copy of the accumulated ledger.

@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+const memTestTimeout = 30 * time.Second
+
+// The memory regression suite: the compacted local-id partition views
+// must keep a worker's edge-table and mask footprint at
+// O((n + m_incident)) words — proportional to the edges the shard
+// actually touches, never to the global edge count. These tests pin
+// the bound three ways: statically (table lengths of a freshly built
+// view), dynamically (peak footprint across the rounds of a real
+// multi-process loopback run, per worker), and at the allocator
+// (building a partition view must not allocate anywhere near the
+// Θ(m)-word sparse table it replaced).
+
+// TestPartViewFootprintScalesWithShards: the edge-indexed tables of a
+// partition view are sized by the shard's incident edge count, so the
+// per-worker maximum must shrink as P grows and sit far below the full
+// view's Θ(m) table.
+func TestPartViewFootprintScalesWithShards(t *testing.T) {
+	g := gen.Grid2D(40, 50) // boundary edges are O(cols) per shard cut
+	fullWords := newFullView(g).tableWords()
+	maxWords := map[int]int{}
+	for _, p := range []int{2, 8} {
+		for s := 0; s < p; s++ {
+			part := graph.PartitionOf(g, s, p)
+			v := newPartView(part.N, part.M, part.Lo, part.Hi, part.IDs, part.Edges)
+			if v.localCount() != len(part.IDs) {
+				t.Fatalf("P=%d shard %d: view holds %d edges, partition has %d incident",
+					p, s, v.localCount(), len(part.IDs))
+			}
+			if w := v.tableWords(); w > maxWords[p] {
+				maxWords[p] = w
+			}
+		}
+	}
+	if maxWords[8] >= maxWords[2] {
+		t.Fatalf("8-way shard tables (%d words) do not shrink below 2-way (%d words)",
+			maxWords[8], maxWords[2])
+	}
+	// On this grid an 8-way shard touches ~m/8 + boundary edges; a
+	// third of the full table is an order of magnitude of slack.
+	if maxWords[8] > fullWords/3 {
+		t.Fatalf("8-way shard tables (%d words) are not O(m_incident) against the full %d",
+			maxWords[8], fullWords)
+	}
+	if maxWords[2] > 2*fullWords/3 {
+		t.Fatalf("2-way shard tables (%d words) are not O(m_incident) against the full %d",
+			maxWords[2], fullWords)
+	}
+}
+
+// TestSparsifyPartitionPeakFootprint runs the real multi-process
+// loopback protocol and pins the per-worker peak across every round's
+// working view: it must scale down with P and stay below the
+// single-process peak — the enforced form of the old "memory honesty"
+// caveat, which conceded Θ(m) words per worker per round.
+func TestSparsifyPartitionPeakFootprint(t *testing.T) {
+	g := gen.Grid2D(40, 50)
+	mem := Sparsify(g, 0.75, 4, 0, 11)
+	if mem.PeakViewWords < 3*g.M() {
+		t.Fatalf("single-process peak %d words does not even hold the edge table of m=%d", mem.PeakViewWords, g.M())
+	}
+	peaks := map[int]int{}
+	for _, p := range []int{2, 8} {
+		res, _, err := LoopbackSparsify(g, 0.75, 4, 0, 11, p, memTestTimeout)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if res.PeakViewWords <= 0 {
+			t.Fatalf("P=%d: no peak footprint gathered", p)
+		}
+		peaks[p] = res.PeakViewWords
+	}
+	if peaks[8] >= peaks[2] {
+		t.Fatalf("per-worker peak did not shrink with P: P=8 %d words vs P=2 %d", peaks[8], peaks[2])
+	}
+	if peaks[2] >= mem.PeakViewWords {
+		t.Fatalf("per-worker peak at P=2 (%d words) not below the single-process Θ(m) peak (%d)",
+			peaks[2], mem.PeakViewWords)
+	}
+	if peaks[8] > mem.PeakViewWords/3 {
+		t.Fatalf("per-worker peak at P=8 (%d words) is not O(m_incident) against the full %d",
+			peaks[8], mem.PeakViewWords)
+	}
+}
+
+// TestPartViewAllocationIsLocal takes the bound to the allocator:
+// building one shard's view of an 8-way split must allocate well under
+// half of the 24·m-byte sparse global-id table the pre-compaction
+// implementation allocated for every view, every round.
+func TestPartViewAllocationIsLocal(t *testing.T) {
+	g := gen.Grid2D(80, 160)
+	part := graph.PartitionOf(g, 3, 8)
+	sparseBytes := uint64(part.M) * 24
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	v := newPartView(part.N, part.M, part.Lo, part.Hi, part.IDs, part.Edges)
+	runtime.ReadMemStats(&after)
+	alloc := after.TotalAlloc - before.TotalAlloc
+	runtime.KeepAlive(v)
+	if alloc >= sparseBytes/2 {
+		t.Fatalf("newPartView allocated %d bytes; the Θ(m) sparse table it replaced was %d", alloc, sparseBytes)
+	}
+}
+
+// TestPartViewRejectsOverflowIDSpace: the boundary guard is reachable
+// on partition views without allocating 2^31 edges — the global id
+// space is a plain int the view must refuse to index past int32.
+func TestPartViewRejectsOverflowIDSpace(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("newPartView accepted a global id space past the int32 boundary")
+		}
+	}()
+	newPartView(2, graph.MaxEdges+1, 0, 2, []int32{0}, []graph.Edge{{U: 0, V: 1, W: 1}})
+}

@@ -112,6 +112,8 @@ func payloadLen(h frameHeader) (int, error) {
 		n = 4
 	case frameOr:
 		n = int(h.Count) * 8
+	case frameGather:
+		n = int(h.Count) * 4
 	case frameBlob:
 		n = int(h.Count)
 	default:
@@ -619,6 +621,106 @@ func (t *NetTransport) AllOrBits(bits []uint64) []uint64 {
 		}
 	}
 	return bits
+}
+
+// AllGatherInt32s merges the shards' sorted, disjoint id lists into
+// the globally sorted union: workers converge their contributions on
+// the coordinator, which k-way-merges them (the contributions are
+// sorted and disjoint, so the merge is a linear zip) and broadcasts
+// the union back. O(total list length) words on the wire — the
+// control-plane cost of the bundle-id renumbering, which replaced the
+// Θ(m)-bit mask merge of the sparse-table era.
+func (t *NetTransport) AllGatherInt32s(xs []int32) []int32 {
+	t.mustReady()
+	if t.part.p == 1 {
+		return xs
+	}
+	if t.self != 0 {
+		if err := t.hub.writeFrame(frameHeader{Type: frameGather, From: uint16(t.self), Count: uint32(len(xs))}, packInt32s(xs)); err != nil {
+			t.fatal(err)
+		}
+		if err := t.hub.flush(); err != nil {
+			t.fatal(err)
+		}
+		_, payload, err := t.hub.readFrame(frameGather)
+		if err != nil {
+			t.fatal(err)
+		}
+		return parseInt32s(payload)
+	}
+	lists := make([][]int32, t.part.p)
+	lists[0] = xs
+	for w := 1; w < t.part.p; w++ {
+		_, payload, err := t.peers[w].readFrame(frameGather)
+		if err != nil {
+			t.fatal(err)
+		}
+		lists[w] = parseInt32s(payload)
+	}
+	merged := mergeSortedInt32s(lists)
+	buf := packInt32s(merged)
+	for w := 1; w < t.part.p; w++ {
+		if err := t.peers[w].writeFrame(frameHeader{Type: frameGather, Count: uint32(len(merged))}, buf); err != nil {
+			t.fatal(err)
+		}
+		if err := t.peers[w].flush(); err != nil {
+			t.fatal(err)
+		}
+	}
+	return merged
+}
+
+// mergeSortedInt32s merges sorted disjoint lists into one sorted list
+// by rounds of pairwise two-way zips — O(total · log P).
+func mergeSortedInt32s(lists [][]int32) []int32 {
+	if len(lists) == 0 {
+		return nil
+	}
+	for len(lists) > 1 {
+		merged := lists[:0]
+		for i := 0; i < len(lists); i += 2 {
+			if i+1 == len(lists) {
+				merged = append(merged, lists[i])
+			} else {
+				merged = append(merged, mergeTwoInt32s(lists[i], lists[i+1]))
+			}
+		}
+		lists = merged
+	}
+	return lists[0]
+}
+
+// mergeTwoInt32s zips two sorted lists.
+func mergeTwoInt32s(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+func packInt32s(xs []int32) []byte {
+	buf := make([]byte, len(xs)*4)
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(buf[i*4:], uint32(x))
+	}
+	return buf
+}
+
+func parseInt32s(payload []byte) []int32 {
+	xs := make([]int32, len(payload)/4)
+	for i := range xs {
+		xs[i] = int32(binary.LittleEndian.Uint32(payload[i*4:]))
+	}
+	return xs
 }
 
 // BroadcastBlob ships an opaque application payload from the

@@ -11,60 +11,33 @@ import (
 
 const netTestTimeout = 30 * time.Second
 
-// TestNetSparsifyEquivalence is the tentpole invariant of the network
-// transport: a coordinator plus 4 worker shards, each a separate
-// NetTransport over real loopback TCP sockets and each materializing
-// only its partition of the graph, produce an output edge-identical to
-// the in-memory transport's and a ledger whose Rounds and per-phase
-// Words are identical too (the round-tally handshake).
-func TestNetSparsifyEquivalence(t *testing.T) {
-	cases := []*graph.Graph{
-		gen.Gnp(300, 0.15, 7),
-		gen.Barbell(30, 4),
-		gen.WithRandomWeights(gen.Gnp(150, 0.2, 5), 0.1, 10, 9),
+// The net transport's output-equivalence pins (edge-identical results
+// and identical ledgers vs the in-memory run, for both the spanner and
+// the sparsifier) live in the cross-transport matrix of
+// equivalence_test.go. This file keeps the protocol-specific checks.
+
+// TestNetTransportHonestyCounters: the wire and Stats counters that
+// only the network transport reports are sane on a multi-worker run —
+// real bytes hit the sockets, the CrossShard split is populated, and
+// Stats.Shards records the partition.
+func TestNetTransportHonestyCounters(t *testing.T) {
+	g := gen.Gnp(300, 0.15, 7)
+	const p = 5 // a coordinator plus 4 workers
+	res, wireBytes, err := dist.LoopbackSparsify(g, 0.75, 4, 0, 11, p, netTestTimeout)
+	if err != nil {
+		t.Fatal(err)
 	}
-	for gi, g := range cases {
-		ref := dist.Sparsify(g, 0.75, 4, 0, 11)
-		// P=5: a coordinator plus 4 workers.
-		for _, p := range []int{2, 5} {
-			res, wireBytes, err := dist.LoopbackSparsify(g, 0.75, 4, 0, 11, p, netTestTimeout)
-			if err != nil {
-				t.Fatalf("case %d P=%d: %v", gi, p, err)
-			}
-			if res.G.N != ref.G.N || res.G.M() != ref.G.M() {
-				t.Fatalf("case %d P=%d: net %v vs mem %v", gi, p, res.G, ref.G)
-			}
-			for i := range ref.G.Edges {
-				if res.G.Edges[i] != ref.G.Edges[i] {
-					t.Fatalf("case %d P=%d: edge %d differs: %+v vs %+v",
-						gi, p, i, res.G.Edges[i], ref.G.Edges[i])
-				}
-			}
-			st, rs := res.Stats, ref.Stats
-			if st.Rounds != rs.Rounds || st.Messages != rs.Messages ||
-				st.Words != rs.Words || st.MaxMessageWords != rs.MaxMessageWords {
-				t.Fatalf("case %d P=%d: ledger totals diverge: net %+v vs mem %+v", gi, p, st, rs)
-			}
-			if len(st.Phases) != len(rs.Phases) {
-				t.Fatalf("case %d P=%d: phase count %d vs %d", gi, p, len(st.Phases), len(rs.Phases))
-			}
-			for i, ph := range st.Phases {
-				rp := rs.Phases[i]
-				if ph.Name != rp.Name || ph.Rounds != rp.Rounds ||
-					ph.Messages != rp.Messages || ph.Words != rp.Words {
-					t.Fatalf("case %d P=%d: phase %q diverges: %+v vs %+v", gi, p, ph.Name, ph, rp)
-				}
-			}
-			if st.Shards != p {
-				t.Fatalf("case %d P=%d: Stats.Shards=%d", gi, p, st.Shards)
-			}
-			if p > 1 && st.CrossShardMessages == 0 {
-				t.Fatalf("case %d P=%d: no cross-shard traffic on a connected graph", gi, p)
-			}
-			if wireBytes == 0 && p > 1 {
-				t.Fatalf("case %d P=%d: no bytes on the wire", gi, p)
-			}
-		}
+	if res.Stats.Shards != p {
+		t.Fatalf("Stats.Shards=%d, want %d", res.Stats.Shards, p)
+	}
+	if res.Stats.CrossShardMessages == 0 {
+		t.Fatal("no cross-shard traffic on a connected graph")
+	}
+	if wireBytes == 0 {
+		t.Fatal("no bytes on the wire")
+	}
+	if res.PeakViewWords <= 0 {
+		t.Fatal("no per-worker peak footprint gathered")
 	}
 }
 

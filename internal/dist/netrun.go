@@ -90,11 +90,11 @@ func RunNetCoordinator(tr *NetTransport, part *graph.Partition, eps, rho float64
 	if err != nil {
 		return Result{}, 0, err
 	}
-	wireBytes, err = gatherWireBytes(tr)
+	wireBytes, peakWords, err := gatherRunCounters(tr, pres.PeakViewWords)
 	if err != nil {
 		return Result{}, 0, err
 	}
-	return Result{G: g, Stats: pres.Stats}, wireBytes, nil
+	return Result{G: g, Stats: pres.Stats, PeakViewWords: peakWords}, wireBytes, nil
 }
 
 // RunNetWorker drives one worker shard: it adopts the coordinator's
@@ -123,7 +123,7 @@ func RunNetWorker(tr *NetTransport, part *graph.Partition) (stats Stats, err err
 	if _, err := gatherResult(tr, &pres); err != nil {
 		return Stats{}, err
 	}
-	if _, err := gatherWireBytes(tr); err != nil {
+	if _, _, err := gatherRunCounters(tr, pres.PeakViewWords); err != nil {
 		return Stats{}, err
 	}
 	return pres.Stats, nil
@@ -163,25 +163,172 @@ func gatherResult(tr *NetTransport, pres *PartResult) (*graph.Graph, error) {
 	return graph.FromEdges(pres.N, out), nil
 }
 
-// gatherWireBytes sums every process's WireBytes at the coordinator.
-func gatherWireBytes(tr *NetTransport) (int64, error) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], uint64(tr.WireBytes()))
+// gatherRunCounters collects every process's honesty counters at the
+// coordinator: the sum of bytes put on the wire and the MAXIMUM
+// per-process peak view footprint — the measured per-worker
+// O(m_incident) bound E13 reports. Workers contribute and get zeros.
+func gatherRunCounters(tr *NetTransport, peakViewWords int) (wireBytes int64, maxPeakWords int, err error) {
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[0:], uint64(tr.WireBytes()))
+	binary.LittleEndian.PutUint64(b[8:], uint64(peakViewWords))
 	blobs, err := tr.GatherBlobs(b[:])
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if tr.Shard() != 0 {
-		return 0, nil
+		return 0, 0, nil
 	}
-	var total int64
 	for s, blob := range blobs {
-		if len(blob) != 8 {
-			return 0, fmt.Errorf("dist: shard %d wire counter is %d bytes", s, len(blob))
+		if len(blob) != 16 {
+			return 0, 0, fmt.Errorf("dist: shard %d run counters are %d bytes", s, len(blob))
 		}
-		total += int64(binary.LittleEndian.Uint64(blob))
+		wireBytes += int64(binary.LittleEndian.Uint64(blob[0:]))
+		if pw := int(binary.LittleEndian.Uint64(blob[8:])); pw > maxPeakWords {
+			maxPeakWords = pw
+		}
 	}
-	return total, nil
+	return wireBytes, maxPeakWords, nil
+}
+
+// gatherSpanner assembles the shards' partition spanner results at
+// the coordinator: each process contributes the in-spanner edges it
+// OWNS (the shard of the U endpoint, so every boundary edge is
+// contributed exactly once) plus the final centers of its owned vertex
+// range; the coordinator rebuilds the full global mask and center
+// array. Workers contribute and get nil back.
+func gatherSpanner(tr *NetTransport, part *graph.Partition, pres *SpannerPartResult) (*SpannerResult, error) {
+	var ownIDs []int32
+	for k, id := range part.IDs {
+		if pres.InSpanner[k] && graph.ShardOfVertex(part.N, part.Shards, part.Edges[k].U) == part.Shard {
+			ownIDs = append(ownIDs, id)
+		}
+	}
+	owned := part.Hi - part.Lo
+	blob := make([]byte, 4+4*len(ownIDs)+4*owned)
+	binary.LittleEndian.PutUint32(blob[0:], uint32(len(ownIDs)))
+	for k, id := range ownIDs {
+		binary.LittleEndian.PutUint32(blob[4+4*k:], uint32(id))
+	}
+	for k, c := range pres.Center {
+		binary.LittleEndian.PutUint32(blob[4+4*len(ownIDs)+4*k:], uint32(c))
+	}
+	blobs, err := tr.GatherBlobs(blob)
+	if err != nil {
+		return nil, err
+	}
+	if tr.Shard() != 0 {
+		return nil, nil
+	}
+	in := make([]bool, part.M)
+	center := make([]int32, part.N)
+	bounds := graph.ShardBounds(part.N, part.Shards)
+	for s, b := range blobs {
+		want := bounds[s+1] - bounds[s]
+		if len(b) < 4 {
+			return nil, fmt.Errorf("dist: shard %d spanner blob is %d bytes", s, len(b))
+		}
+		cnt := int(binary.LittleEndian.Uint32(b[0:]))
+		if cnt < 0 || len(b) != 4+4*cnt+4*want {
+			return nil, fmt.Errorf("dist: shard %d spanner blob: %d ids, %d bytes, %d owned vertices", s, cnt, len(b), want)
+		}
+		for k := 0; k < cnt; k++ {
+			id := int32(binary.LittleEndian.Uint32(b[4+4*k:]))
+			if id < 0 || int(id) >= part.M || in[id] {
+				return nil, fmt.Errorf("dist: shard %d contributed bad or duplicate spanner edge %d", s, id)
+			}
+			in[id] = true
+		}
+		for k := 0; k < want; k++ {
+			center[bounds[s]+k] = int32(binary.LittleEndian.Uint32(b[4+4*cnt+4*k:]))
+		}
+	}
+	return &SpannerResult{InSpanner: in, Center: center, K: pres.K, Stats: pres.Stats}, nil
+}
+
+// runLoopback is the scaffold shared by every Loopback* driver: it
+// binds a coordinator on loopback TCP, runs the worker body as
+// shards 1..p−1 goroutines (each on its own joined NetTransport) and
+// the coordinator body as shard 0, converts *NetError panics to
+// errors, unblocks workers still waiting on the hub if the coordinator
+// fails, and collects the first error. Bodies return results through
+// their closures.
+func runLoopback(n, p int, timeout time.Duration,
+	coordinator func(coord *NetTransport) error,
+	worker func(tr *NetTransport, shard int) error) error {
+	coord, err := ListenNet("127.0.0.1:0", n, p, timeout)
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	errCh := make(chan error, p)
+	var wg sync.WaitGroup
+	for s := 1; s < p; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			err := func() (err error) {
+				defer recoverNetError(&err)
+				tr, err := JoinNet(coord.Addr(), n, s, p, timeout)
+				if err != nil {
+					return err
+				}
+				defer tr.Close()
+				return worker(tr, s)
+			}()
+			if err != nil {
+				errCh <- fmt.Errorf("shard %d: %w", s, err)
+			}
+		}(s)
+	}
+	err = func() (err error) {
+		defer recoverNetError(&err)
+		return coordinator(coord)
+	}()
+	if err != nil {
+		// Unblock workers still waiting on the hub before joining them.
+		coord.Close()
+	}
+	wg.Wait()
+	close(errCh)
+	for werr := range errCh {
+		if err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+// LoopbackBaswanaSen runs the distributed Baswana–Sen spanner as a
+// coordinator plus shards−1 worker goroutines, each with its own
+// NetTransport over real loopback TCP sockets and each materializing
+// only its partition, then assembles the global spanner mask and
+// clustering at the coordinator. The result is bit-identical to
+// BaswanaSen's for equal (k, seed) — the network-transport leg of the
+// cross-transport equivalence matrix.
+func LoopbackBaswanaSen(g *graph.Graph, k int, seed uint64, shards int, timeout time.Duration) (*SpannerResult, error) {
+	p := graph.ClampShards(g.N, shards)
+	var res *SpannerResult
+	err := runLoopback(g.N, p, timeout,
+		func(coord *NetTransport) error {
+			if err := coord.WaitReady(); err != nil {
+				return err
+			}
+			part := graph.PartitionOf(g, 0, p)
+			pres := BaswanaSenPartition(part, k, seed, coord)
+			var err error
+			res, err = gatherSpanner(coord, part, &pres)
+			return err
+		},
+		func(tr *NetTransport, s int) error {
+			part := graph.PartitionOf(g, s, p)
+			pres := BaswanaSenPartition(part, k, seed, tr)
+			_, err := gatherSpanner(tr, part, &pres)
+			return err
+		})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // LoopbackSparsify runs the full multi-process protocol with the
@@ -194,40 +341,18 @@ func gatherWireBytes(tr *NetTransport) (int64, error) {
 // the assembled result and the total bytes put on the wire.
 func LoopbackSparsify(g *graph.Graph, eps, rho float64, depth int, seed uint64, shards int, timeout time.Duration) (Result, int64, error) {
 	p := graph.ClampShards(g.N, shards)
-	coord, err := ListenNet("127.0.0.1:0", g.N, p, timeout)
-	if err != nil {
-		return Result{}, 0, err
-	}
-	defer coord.Close()
-	errCh := make(chan error, p)
-	var wg sync.WaitGroup
-	for s := 1; s < p; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			tr, err := JoinNet(coord.Addr(), g.N, s, p, timeout)
-			if err != nil {
-				errCh <- fmt.Errorf("shard %d: %w", s, err)
-				return
-			}
-			defer tr.Close()
-			if _, err := RunNetWorker(tr, graph.PartitionOf(g, s, p)); err != nil {
-				errCh <- fmt.Errorf("shard %d: %w", s, err)
-			}
-		}(s)
-	}
-	res, wireBytes, err := RunNetCoordinator(coord, graph.PartitionOf(g, 0, p), eps, rho, depth, seed)
-	if err != nil {
-		// Unblock workers still waiting on the hub before joining them.
-		coord.Close()
-	}
-	wg.Wait()
-	close(errCh)
-	for werr := range errCh {
-		if err == nil {
-			err = werr
-		}
-	}
+	var res Result
+	var wireBytes int64
+	err := runLoopback(g.N, p, timeout,
+		func(coord *NetTransport) error {
+			var err error
+			res, wireBytes, err = RunNetCoordinator(coord, graph.PartitionOf(g, 0, p), eps, rho, depth, seed)
+			return err
+		},
+		func(tr *NetTransport, s int) error {
+			_, err := RunNetWorker(tr, graph.PartitionOf(g, s, p))
+			return err
+		})
 	if err != nil {
 		return Result{}, 0, err
 	}

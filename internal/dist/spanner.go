@@ -47,31 +47,83 @@ func baswanaSenOn(e *Engine, g *graph.Graph, k int, seed uint64) *SpannerResult 
 	return &SpannerResult{InSpanner: in, Center: center, K: kk, Stats: e.Stats()}
 }
 
+// SpannerPartResult is one process's slice of a distributed
+// Baswana–Sen run over a partition: the spanner membership of the
+// shard's incident edges and the final centers of its owned vertices.
+// The spanner does not renumber edges, so InSpanner is parallel to the
+// partition's IDs.
+type SpannerPartResult struct {
+	// N and M are the global vertex and edge counts.
+	N, M int
+	// InSpanner marks the incident edges selected, parallel to the
+	// partition's IDs slice. Boundary decisions made remotely arrive as
+	// MsgAdd notices, so the mask is complete for every incident edge.
+	InSpanner []bool
+	// Center holds the final cluster assignment of the OWNED vertex
+	// range [Lo, Hi) only — a partition run never maintains remote
+	// vertices' state.
+	Center []int32
+	// K is the level count actually used.
+	K int
+	// Stats is the communication ledger; the network transport's
+	// round-tally handshake makes it identical on every process.
+	Stats Stats
+	// PeakViewWords is the view's edge-table footprint in words —
+	// O(m_incident), never Θ(m).
+	PeakViewWords int
+}
+
+// BaswanaSenPartition runs the distributed Baswana–Sen spanner
+// collaboratively across the shards of tr's network, with this process
+// materializing only the partition part (its shard's adjacency plus
+// boundary edges). Every process must call it with the same (k, seed)
+// and its own shard's partition. The union of the shards' owned
+// in-spanner edges is bit-identical to BaswanaSen's mask for equal
+// inputs (see LoopbackBaswanaSen, which assembles and pins it).
+func BaswanaSenPartition(part *graph.Partition, k int, seed uint64, tr Transport) SpannerPartResult {
+	e := NewEngineOn(part.N, tr)
+	w := newPartView(part.N, part.M, part.Lo, part.Hi, part.IDs, part.Edges)
+	in, center, kk := runBaswanaSen(e, w, nil, k, seed)
+	owned := append([]int32(nil), center[part.Lo:part.Hi]...)
+	return SpannerPartResult{
+		N: part.N, M: part.M,
+		InSpanner: in, Center: owned, K: kk,
+		Stats:         e.Stats(),
+		PeakViewWords: w.tableWords(),
+	}
+}
+
 // notice is a spanner-add or edge-drop decision queued for delivery to
-// the other endpoint at the end of the decision round.
+// the other endpoint at the end of the decision round. eid is the
+// GLOBAL edge id — notices cross the wire.
 type notice struct {
 	v   int32 // the deciding vertex (sender)
 	eid int32
 }
 
 // runBaswanaSen executes the clustering over the alive edges of w,
-// billing every round to e. alive may be nil (all edges). The returned
-// mask has the global edge-list length; on a partition view it is
-// complete for the locally materialized edges (every decision about an
-// incident edge is either made locally or arrives as a MsgAdd/MsgDrop
-// notice), and false elsewhere.
+// billing every round to e. alive may be nil (all edges); masks are
+// indexed by LOCAL edge id and sized w.localCount(). The returned mask
+// is local too: parallel to the view's edges, complete for every
+// locally materialized edge (every decision about an incident edge is
+// either made locally or arrives as a MsgAdd/MsgDrop notice). On a
+// full view local ids equal global ids and the mask spans the graph.
 //
 // Partition discipline: every per-vertex array (center, parent, depth)
 // is read only for vertices the local workers own, remote cluster
 // state travels in MsgCenter/MsgNewCenter payloads, and the only
 // shared-memory shortcut left is for values that are pure functions of
 // the seed (a cluster's sampled bit), which any process re-derives
-// locally. That is what lets the network transport run this function
-// unchanged with each process holding only its shard.
+// locally. Message ports and notice payloads carry GLOBAL edge ids —
+// the two processes sharing a boundary edge materialize it at
+// different local ids — and are translated back through the view's id
+// map on receipt. That is what lets the network transport run this
+// function unchanged with each process holding only its shard, at
+// O(n + m_incident) words per process.
 func runBaswanaSen(e *Engine, w *view, alive []bool, k int, seed uint64) ([]bool, []int32, int) {
-	g, adj := w.g, w.adj
-	n := g.N
-	m := len(g.Edges)
+	adj := w.adj
+	n := w.n
+	m := w.localCount()
 	if k <= 0 {
 		k = spanner.DefaultK(n)
 	}
@@ -84,22 +136,21 @@ func runBaswanaSen(e *Engine, w *view, alive []bool, k int, seed uint64) ([]bool
 		parent[i] = -1
 	}
 	if k == 1 {
-		w.forEachIncident(func(eid int32) {
-			if alive == nil || alive[eid] {
-				inSpanner[eid] = true
+		for lid := range inSpanner {
+			if alive == nil || alive[lid] {
+				inSpanner[lid] = true
 			}
-		})
+		}
 		return inSpanner, center, k
 	}
 	dead := make([]bool, m)
-	for i := range dead {
-		if alive != nil && !alive[i] {
-			dead[i] = true
+	for lid := range dead {
+		if alive != nil && !alive[lid] {
+			dead[lid] = true
 		}
-		if g.Edges[i].U == g.Edges[i].V {
-			// Self-loops carry no spectral information. On a partition
-			// view this also retires the zero-valued non-incident slots.
-			dead[i] = true
+		if w.edges[lid].U == w.edges[lid].V {
+			// Self-loops carry no spectral information.
+			dead[lid] = true
 		}
 	}
 	p := math.Pow(float64(n), -1.0/float64(k))
@@ -156,7 +207,8 @@ func runBaswanaSen(e *Engine, w *view, alive []bool, k int, seed uint64) ([]bool
 		// incident edge. One round, 3-word messages. Sender-iterated:
 		// the announcement carries the sender's own state, so its owner
 		// stages it — on the network transport this is traffic that
-		// genuinely crosses the wire for boundary edges.
+		// genuinely crosses the wire for boundary edges. The Port is the
+		// GLOBAL edge id, so both endpoints name the edge identically.
 		e.BeginPhase("spanner/exchange")
 		e.ForVertices(func(u int32) {
 			cu := center[u]
@@ -174,7 +226,7 @@ func runBaswanaSen(e *Engine, w *view, alive []bool, k int, seed uint64) ([]bool
 				if dead[eid] {
 					continue
 				}
-				e.Deliver(adj.Nbr[slot], Message{From: u, Port: eid, Kind: MsgCenter, A: cu, B: du, C: bit})
+				e.Deliver(adj.Nbr[slot], Message{From: u, Port: w.globalOf(eid), Kind: MsgCenter, A: cu, B: du, C: bit})
 			}
 		})
 		e.EndRound()
@@ -182,7 +234,9 @@ func runBaswanaSen(e *Engine, w *view, alive []bool, k int, seed uint64) ([]bool
 		// --- Step 3: every vertex of an unsampled cluster decides from
 		// its mailbox alone, then notifies the other endpoint of each
 		// edge it added or discarded. The decision rule is verbatim
-		// Baswana–Sen cases (a)/(b), matching internal/spanner.
+		// Baswana–Sen cases (a)/(b), matching internal/spanner; all
+		// comparisons and tie-breaks use global edge ids, so two shards
+		// rank a boundary edge identically.
 		e.BeginPhase("spanner/decide")
 		newCenter := make([]int32, n)
 		newParent := make([]int32, n)
@@ -216,7 +270,7 @@ func runBaswanaSen(e *Engine, w *view, alive []bool, k int, seed uint64) ([]bool
 					if msg.Kind != MsgCenter || msg.A == c {
 						continue
 					}
-					spanner.UpdateBest(groups, msg.A, msg.Port, g.Edges[msg.Port].Resistance())
+					spanner.UpdateBest(groups, msg.A, msg.Port, w.edges[w.localOf(msg.Port)].Resistance())
 				}
 				var out vertexOut
 				// The lightest edge into a *sampled* adjacent cluster.
@@ -248,7 +302,7 @@ func runBaswanaSen(e *Engine, w *view, alive []bool, k int, seed uint64) ([]bool
 					for slot := lo2; slot < hi2; slot++ {
 						eid := adj.EID[slot]
 						if !dead[eid] {
-							out.kills = append(out.kills, notice{v, eid})
+							out.kills = append(out.kills, notice{v, w.globalOf(eid)})
 						}
 					}
 				} else {
@@ -298,27 +352,27 @@ func runBaswanaSen(e *Engine, w *view, alive []bool, k int, seed uint64) ([]bool
 		// process's decisions — the rest arrive as notices below.
 		for _, out := range outs {
 			for _, a := range out.adds {
-				inSpanner[a.eid] = true
+				inSpanner[w.localOf(a.eid)] = true
 			}
 			for _, kn := range out.kills {
-				dead[kn.eid] = true
+				dead[w.localOf(kn.eid)] = true
 			}
 		}
 		for _, out := range outs {
 			for _, a := range out.adds {
-				if o := other(g, a.eid, a.v); o != a.v {
+				if o := w.otherEnd(w.localOf(a.eid), a.v); o != a.v {
 					e.Deliver(o, Message{From: a.v, Port: a.eid, Kind: MsgAdd, A: a.eid})
 				}
 			}
 			for _, kn := range out.kills {
-				if o := other(g, kn.eid, kn.v); o != kn.v {
+				if o := w.otherEnd(w.localOf(kn.eid), kn.v); o != kn.v {
 					e.Deliver(o, Message{From: kn.v, Port: kn.eid, Kind: MsgDrop, A: kn.eid})
 				}
 			}
 		}
 		e.EndRound()
 		center, parent, depth = newCenter, newParent, newDepth
-		applyNotices(e, inSpanner, dead)
+		applyNotices(e, w, inSpanner, dead)
 
 		// --- Step 4: exchange the new centers over surviving edges and
 		// discard intra-cluster edges (both endpoints reach the same
@@ -335,7 +389,7 @@ func runBaswanaSen(e *Engine, w *view, alive []bool, k int, seed uint64) ([]bool
 				if dead[eid] {
 					continue
 				}
-				e.Deliver(adj.Nbr[slot], Message{From: u, Port: eid, Kind: MsgNewCenter, A: cu})
+				e.Deliver(adj.Nbr[slot], Message{From: u, Port: w.globalOf(eid), Kind: MsgNewCenter, A: cu})
 			}
 		})
 		e.EndRound()
@@ -359,8 +413,8 @@ func runBaswanaSen(e *Engine, w *view, alive []bool, k int, seed uint64) ([]bool
 			}
 			return shardKills
 		})
-		for _, eid := range kills {
-			dead[eid] = true
+		for _, gid := range kills {
+			dead[w.localOf(gid)] = true
 		}
 	}
 
@@ -379,7 +433,7 @@ func runBaswanaSen(e *Engine, w *view, alive []bool, k int, seed uint64) ([]bool
 			if dead[eid] {
 				continue
 			}
-			e.Deliver(adj.Nbr[slot], Message{From: u, Port: eid, Kind: MsgNewCenter, A: cu})
+			e.Deliver(adj.Nbr[slot], Message{From: u, Port: w.globalOf(eid), Kind: MsgNewCenter, A: cu})
 		}
 	})
 	e.EndRound()
@@ -395,7 +449,7 @@ func runBaswanaSen(e *Engine, w *view, alive []bool, k int, seed uint64) ([]bool
 				if msg.Kind != MsgNewCenter {
 					continue
 				}
-				spanner.UpdateBest(groups, msg.A, msg.Port, g.Edges[msg.Port].Resistance())
+				spanner.UpdateBest(groups, msg.A, msg.Port, w.edges[w.localOf(msg.Port)].Resistance())
 			}
 			for _, be := range groups {
 				shardAdds = append(shardAdds, notice{v, be.Eid})
@@ -404,26 +458,27 @@ func runBaswanaSen(e *Engine, w *view, alive []bool, k int, seed uint64) ([]bool
 		return shardAdds
 	})
 	for _, a := range adds {
-		inSpanner[a.eid] = true
+		inSpanner[w.localOf(a.eid)] = true
 	}
 	for _, a := range adds {
-		if o := other(g, a.eid, a.v); o != a.v {
+		if o := w.otherEnd(w.localOf(a.eid), a.v); o != a.v {
 			e.Deliver(o, Message{From: a.v, Port: a.eid, Kind: MsgAdd, A: a.eid})
 		}
 	}
 	e.EndRound()
-	applyNotices(e, inSpanner, dead)
+	applyNotices(e, w, inSpanner, dead)
 	return inSpanner, center, k
 }
 
 // applyNotices folds the MsgAdd/MsgDrop notices delivered by the last
-// barrier into the local edge masks. On a single-process view this
-// re-applies what the decision loop already wrote (idempotent); on a
-// partition view it is how the other endpoint of a boundary edge
-// learns a remote decision. Notices are collected per worker and
-// applied sequentially so that two endpoints of one edge never write
-// the same mask slot concurrently.
-func applyNotices(e *Engine, inSpanner, dead []bool) {
+// barrier into the local edge masks, translating the notices' global
+// edge ids through the view. On a single-process view this re-applies
+// what the decision loop already wrote (idempotent); on a partition
+// view it is how the other endpoint of a boundary edge learns a remote
+// decision. Notices are collected per worker and applied sequentially
+// so that two endpoints of one edge never write the same mask slot
+// concurrently.
+func applyNotices(e *Engine, w *view, inSpanner, dead []bool) {
 	type appliedNote struct {
 		eid int32
 		add bool
@@ -444,18 +499,9 @@ func applyNotices(e *Engine, inSpanner, dead []bool) {
 	})
 	for _, nt := range notes {
 		if nt.add {
-			inSpanner[nt.eid] = true
+			inSpanner[w.localOf(nt.eid)] = true
 		} else {
-			dead[nt.eid] = true
+			dead[w.localOf(nt.eid)] = true
 		}
 	}
-}
-
-// other returns the endpoint of edge eid that is not v.
-func other(g *graph.Graph, eid, v int32) int32 {
-	ge := g.Edges[eid]
-	if ge.U == v {
-		return ge.V
-	}
-	return ge.U
 }

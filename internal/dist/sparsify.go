@@ -16,6 +16,14 @@ import (
 type Result struct {
 	G     *graph.Graph
 	Stats Stats
+	// PeakViewWords is the largest edge-table footprint (in words, see
+	// view.tableWords) any round's working view reached. On the
+	// single-process transports this is Θ(m) — one process holds
+	// everything (for the rho ≤ 1 identity, the bare edge list it
+	// clones); on a network run RunNetCoordinator sets it to the
+	// maximum across all processes, i.e. the per-worker O(m_incident)
+	// bound the memory regression tests pin and E13 reports.
+	PeakViewWords int
 }
 
 // Sparsify runs the paper's Algorithm 2 on the simulated synchronous
@@ -72,10 +80,12 @@ func SparsifyConfigSharded(g *graph.Graph, eps, rho float64, cfg core.Config, p 
 
 func sparsifyFull(e *Engine, g *graph.Graph, eps, rho float64, cfg core.Config) Result {
 	if rho <= 1 {
-		return Result{G: g.Clone(), Stats: e.Stats()}
+		// The identity run materializes no working view; the process
+		// still holds the edge list itself (3 words per edge).
+		return Result{G: g.Clone(), Stats: e.Stats(), PeakViewWords: 3 * len(g.Edges)}
 	}
-	w := sparsifyOn(e, newFullView(g), eps, rho, cfg)
-	return Result{G: w.g, Stats: e.Stats()}
+	w, peak := sparsifyOn(e, newFullView(g), eps, rho, cfg)
+	return Result{G: w.graph(), Stats: e.Stats(), PeakViewWords: peak}
 }
 
 // PartResult is one process's slice of the distributed sparsifier's
@@ -89,6 +99,10 @@ type PartResult struct {
 	IDs   []int32
 	Edges []graph.Edge // compact, parallel to IDs
 	Stats Stats
+	// PeakViewWords is the largest edge-table footprint (words) any
+	// round's partition view reached on THIS process — the measured
+	// O(m_incident) bound.
+	PeakViewWords int
 }
 
 // OwnedEdges returns the subset of the shard's final edges this
@@ -123,39 +137,50 @@ func SparsifyPartition(part *graph.Partition, eps, rho float64, depth int, seed 
 // configuration (see SparsifyConfig).
 func SparsifyPartitionConfig(part *graph.Partition, eps, rho float64, cfg core.Config, tr Transport) PartResult {
 	e := NewEngineOn(part.N, tr)
-	w := newPartView(part.N, part.M, part.IDs, part.Edges)
+	w := newPartView(part.N, part.M, part.Lo, part.Hi, part.IDs, part.Edges)
+	peak := w.tableWords()
 	if rho > 1 {
-		w = sparsifyOn(e, w, eps, rho, cfg)
+		w, peak = sparsifyOn(e, w, eps, rho, cfg)
 	}
-	res := PartResult{N: part.N, M: len(w.g.Edges), Stats: e.Stats()}
-	w.forEachIncident(func(eid int32) {
-		res.IDs = append(res.IDs, eid)
-		res.Edges = append(res.Edges, w.g.Edges[eid])
-	})
+	res := PartResult{N: part.N, M: w.m, Stats: e.Stats(), PeakViewWords: peak}
+	res.IDs = make([]int32, w.localCount())
+	res.Edges = make([]graph.Edge, w.localCount())
+	for lid := range res.Edges {
+		res.IDs[lid] = w.globalOf(int32(lid))
+		res.Edges[lid] = w.edges[lid]
+	}
 	return res
 }
 
-func sparsifyOn(e *Engine, w *view, eps, rho float64, cfg core.Config) *view {
+// sparsifyOn runs the iteration schedule and reports the peak
+// edge-table footprint across the rounds' working views.
+func sparsifyOn(e *Engine, w *view, eps, rho float64, cfg core.Config) (*view, int) {
 	iters := int(math.Ceil(math.Log2(rho)))
 	epsRound := eps / float64(iters)
+	peak := w.tableWords()
 	for i := 0; i < iters; i++ {
 		roundCfg := cfg
 		roundCfg.Seed = cfg.Seed ^ (uint64(i+1) * core.RoundSeedMix)
 		w = sampleRound(e, w, epsRound, roundCfg)
+		if tw := w.tableWords(); tw > peak {
+			peak = tw
+		}
 	}
-	return w
+	return w, peak
 }
 
 // sampleRound is one distributed Algorithm 1 round on the network held
 // by e: a t-bundle of distributed spanners over a shrinking alive mask,
-// then the uniform sampling round for off-bundle edges.
+// then the uniform sampling round for off-bundle edges. All working
+// masks are indexed by local edge id (O(m_incident) words on a
+// partition view); the pure seed-derived sampling coin is keyed by
+// GLOBAL edge id, so every shard flips the same coins.
 func sampleRound(e *Engine, w *view, eps float64, cfg core.Config) *view {
 	if eps <= 0 || eps > 1 {
 		panic(fmt.Sprintf("dist: sample round requires eps in (0,1], got %v", eps))
 	}
-	g := w.g
-	n := g.N
-	m := len(g.Edges)
+	n := w.n
+	mLocal := w.localCount()
 	t := cfg.BundleThickness(n, eps)
 
 	// Bundle construction: t sequential Baswana–Sen layers, each a
@@ -166,9 +191,9 @@ func sampleRound(e *Engine, w *view, eps float64, cfg core.Config) *view {
 	// of layers — on a single process the reduction is the identity and
 	// the flow matches the pre-partition implementation exactly.
 	bundleSeed := cfg.Seed ^ core.BundleSeedMix
-	inBundle := make([]bool, m)
-	curAlive := make([]bool, m)
-	remaining := w.incidentCount()
+	inBundle := make([]bool, mLocal)
+	curAlive := make([]bool, mLocal)
+	remaining := mLocal
 	for i := range curAlive {
 		curAlive[i] = true
 	}
@@ -180,13 +205,13 @@ func sampleRound(e *Engine, w *view, eps float64, cfg core.Config) *view {
 		layerSeed := bundleSeed ^ (uint64(layer+1) * bundle.LayerSeedMix)
 		in, _, _ := runBaswanaSen(e, w, curAlive, cfg.SpannerK, layerSeed)
 		size := 0
-		w.forEachIncident(func(eid int32) {
-			if in[eid] && curAlive[eid] {
-				inBundle[eid] = true
-				curAlive[eid] = false
+		for lid := 0; lid < mLocal; lid++ {
+			if in[lid] && curAlive[lid] {
+				inBundle[lid] = true
+				curAlive[lid] = false
 				size++
 			}
-		})
+		}
 		remaining -= size
 		flags := e.allOrWord(boolFlag(size > 0) | boolFlag(remaining > 0)<<1)
 		if flags&1 == 0 {
@@ -194,21 +219,17 @@ func sampleRound(e *Engine, w *view, eps float64, cfg core.Config) *view {
 		}
 		anyAlive = flags&2 != 0
 	}
-	// Merge the shards' bundle membership so every process can count
-	// the surviving edges below and agree on the new global edge ids.
-	// A no-op on single-process transports.
-	e.allOrMask(inBundle)
 
 	// Sampling round: the lower endpoint of each off-bundle edge flips
-	// the coin (a pure function of seed and edge id, so both endpoints
-	// could recompute it — the message makes the verdict explicit) and
-	// announces the verdict to the other endpoint. One round, 1-word
-	// messages, one per off-bundle non-loop edge.
+	// the coin (a pure function of seed and GLOBAL edge id, so both
+	// endpoints could recompute it — the message makes the verdict
+	// explicit) and announces the verdict to the other endpoint. One
+	// round, 1-word messages, one per off-bundle non-loop edge.
 	e.BeginPhase("sample")
 	p := cfg.SampleKeepProb()
 	scale := 1 / p
 	sampleSeed := cfg.Seed ^ core.SampleSeedMix
-	keep := func(i int) bool { return rng.SplitAt(sampleSeed, uint64(i)).Float64() < p }
+	keep := func(gid int) bool { return rng.SplitAt(sampleSeed, uint64(gid)).Float64() < p }
 	adj := w.adj
 	e.ForVertices(func(v int32) {
 		lo, hi := adj.Range(v)
@@ -221,20 +242,21 @@ func sampleRound(e *Engine, w *view, eps float64, cfg core.Config) *view {
 			if u >= v {
 				continue // the lower endpoint decides; v receives
 			}
+			gid := w.globalOf(eid)
 			bit := int32(0)
-			if keep(int(eid)) {
+			if keep(int(gid)) {
 				bit = 1
 			}
-			e.Deliver(v, Message{From: u, Port: eid, Kind: MsgKeep, A: bit})
+			e.Deliver(v, Message{From: u, Port: gid, Kind: MsgKeep, A: bit})
 		}
 	})
 	e.EndRound()
 
 	if w.full() {
-		edges := parutil.CollectShards(m, func(_ int, lo, hi int) []graph.Edge {
+		edges := parutil.CollectShards(mLocal, func(_ int, lo, hi int) []graph.Edge {
 			var out []graph.Edge
 			for i := lo; i < hi; i++ {
-				ge := g.Edges[i]
+				ge := w.edges[i]
 				if inBundle[i] {
 					out = append(out, ge)
 				} else if keep(i) {
@@ -247,26 +269,45 @@ func sampleRound(e *Engine, w *view, eps float64, cfg core.Config) *view {
 	}
 
 	// Partition renumbering: survival (bundle membership or a kept
-	// coin) is now decidable for EVERY global edge id — inBundle was
-	// just merged and the coin is a pure function — so each process
-	// walks the global id space once and assigns the same new ids
-	// without any further communication, materializing edge data only
-	// for the ids it already held.
+	// coin) must be decidable for EVERY global edge id so each process
+	// assigns the same new ids. The coin is a pure function of the
+	// global id, and bundle membership is gathered as the sorted list
+	// of in-bundle global ids, each contributed by its owning shard
+	// (the shard of its U endpoint — which materializes it and whose
+	// mask agrees with the other endpoint's via the MsgAdd notices).
+	// The gathered list is O(bundle size) words — the sparsifier's own
+	// output scale — so no Θ(m) mask is ever merged or held; the walk
+	// over the id space below costs global TIME once per round but only
+	// O(1) words beyond the gather.
+	var ownedBundle []int32
+	for lid := 0; lid < mLocal; lid++ {
+		if inBundle[lid] && w.ownsEdge(int32(lid)) {
+			ownedBundle = append(ownedBundle, w.globalOf(int32(lid)))
+		}
+	}
+	bundleIDs := e.allGatherInt32s(ownedBundle)
+
 	var newIDs []int32
 	var newEdges []graph.Edge
 	newM := 0
-	k := 0
-	for i := 0; i < m; i++ {
-		incident := k < len(w.ids) && w.ids[k] == int32(i)
+	li, bi := 0, 0
+	for i := 0; i < w.m; i++ {
+		gid := int32(i)
+		lid := li
+		incident := li < len(w.ids) && w.ids[li] == gid
 		if incident {
-			k++
+			li++
 		}
-		if !inBundle[i] && !keep(i) {
+		inB := bi < len(bundleIDs) && bundleIDs[bi] == gid
+		if inB {
+			bi++
+		}
+		if !inB && !keep(i) {
 			continue
 		}
 		if incident {
-			ge := g.Edges[i]
-			if !inBundle[i] {
+			ge := w.edges[lid]
+			if !inB {
 				ge.W *= scale
 			}
 			newIDs = append(newIDs, int32(newM))
@@ -274,7 +315,7 @@ func sampleRound(e *Engine, w *view, eps float64, cfg core.Config) *view {
 		}
 		newM++
 	}
-	return newPartView(n, newM, newIDs, newEdges)
+	return newPartView(n, newM, w.lo, w.hi, newIDs, newEdges)
 }
 
 // boolFlag returns 1 for true, 0 for false.

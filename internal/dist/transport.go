@@ -86,12 +86,12 @@ type RoundTally struct {
 // collectiveTransport is the optional control-plane interface a
 // transport implements when its workers live in separate address
 // spaces: small synchronous all-reduce operations the algorithms use
-// for loop-control decisions that a single-process transport reads off
-// shared memory (a global max depth, "did any shard make progress?",
-// the merged bundle membership mask). These are barriers, not billed
-// traffic: they model the O(1)-word convergecast a real deployment
-// would piggyback on its round barrier, and the single-process
-// transports implement them as the identity.
+// for decisions that a single-process transport reads off shared
+// memory (a global max depth, "did any shard make progress?", the
+// sorted union of owned bundle-edge ids for renumbering). These are
+// barriers, not billed traffic: they model the O(1)-word convergecast
+// a real deployment would piggyback on its round barrier, and the
+// single-process transports implement them as the identity.
 type collectiveTransport interface {
 	// AllMaxInt32 returns the maximum of x across all shards.
 	AllMaxInt32(x int32) int32
@@ -99,6 +99,11 @@ type collectiveTransport interface {
 	// slice is reduced in place and returned; all callers must pass
 	// equal lengths.
 	AllOrBits(bits []uint64) []uint64
+	// AllGatherInt32s returns the sorted union of the shards' id
+	// lists. Each shard must pass a sorted list, and the lists must be
+	// pairwise disjoint (each id contributed by exactly one owner), so
+	// the union's length is the sum of the contributions.
+	AllGatherInt32s(xs []int32) []int32
 }
 
 // MemTransport is the original single-staging-area simulation, now

@@ -8,67 +8,11 @@ import (
 	"repro/internal/graph"
 )
 
-// TestShardedSpannerEquivalence is the tentpole invariant: the sharded
-// transport changes how messages travel (per-shard-pair buffers,
-// parallel per-shard compute), not what is decided, so for equal seeds
-// the spanner mask and clustering are bit-identical to the in-memory
-// transport's at every shard count.
-func TestShardedSpannerEquivalence(t *testing.T) {
-	cases := []*graph.Graph{
-		gen.Gnp(400, 0.05, 3),
-		gen.Barbell(30, 4),
-		gen.Grid2D(20, 25),
-		gen.WithRandomWeights(gen.Gnp(150, 0.2, 5), 0.1, 10, 9),
-	}
-	for gi, g := range cases {
-		for _, seed := range []uint64{1, 42} {
-			ref := dist.BaswanaSen(g, 0, seed)
-			for _, p := range []int{1, 2, 4, 8} {
-				sh := dist.BaswanaSenSharded(g, 0, seed, p)
-				if sh.K != ref.K {
-					t.Fatalf("case %d seed %d P=%d: K %d != %d", gi, seed, p, sh.K, ref.K)
-				}
-				for i := range ref.InSpanner {
-					if sh.InSpanner[i] != ref.InSpanner[i] {
-						t.Fatalf("case %d seed %d P=%d: edge %d sharded=%v mem=%v",
-							gi, seed, p, i, sh.InSpanner[i], ref.InSpanner[i])
-					}
-				}
-				for v := range ref.Center {
-					if sh.Center[v] != ref.Center[v] {
-						t.Fatalf("case %d seed %d P=%d: center[%d] sharded=%d mem=%d",
-							gi, seed, p, v, sh.Center[v], ref.Center[v])
-					}
-				}
-			}
-		}
-	}
-}
-
-// TestShardedSparsifyEquivalence: the full Algorithm 2 pipeline is
-// edge-identical across transports and shard counts, so every spectral
-// guarantee proven for the in-memory path transfers to the sharded one.
-func TestShardedSparsifyEquivalence(t *testing.T) {
-	cases := []*graph.Graph{
-		gen.Gnp(300, 0.15, 7),
-		gen.Complete(120),
-	}
-	for gi, g := range cases {
-		ref := dist.Sparsify(g, 0.75, 4, 0, 11)
-		for _, p := range []int{1, 2, 4, 8} {
-			sh := dist.SparsifySharded(g, 0.75, 4, 0, 11, p)
-			if sh.G.N != ref.G.N || sh.G.M() != ref.G.M() {
-				t.Fatalf("case %d P=%d: sharded %v vs mem %v", gi, p, sh.G, ref.G)
-			}
-			for i := range ref.G.Edges {
-				if sh.G.Edges[i] != ref.G.Edges[i] {
-					t.Fatalf("case %d P=%d: edge %d differs: %+v vs %+v",
-						gi, p, i, sh.G.Edges[i], ref.G.Edges[i])
-				}
-			}
-		}
-	}
-}
+// The output-equivalence pins (spanner mask, clustering, sparsified
+// edge list, Stats — bit-identical across every transport and shard
+// count) live in the cross-transport matrix of equivalence_test.go.
+// This file keeps the transport-SPECIFIC properties: the cross-shard
+// ledger split, the partition geometry, and degenerate inputs.
 
 // TestShardedLedgerMatchesMem: the ledger is transport-independent up
 // to the CrossShard split — Rounds, Messages, Words, MaxMessageWords

@@ -1,70 +1,156 @@
 package dist
 
-import "repro/internal/graph"
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
 
 // view is one process's materialization of the working graph during a
 // distributed run. A full view (single-process transports) holds every
 // edge; a partition view (network transport) holds only the edges
 // incident to the process's shard — its own adjacency plus boundary
-// edges — stored in a global-id-indexed sparse table so that edge ids,
-// masks, and the pure seed-derived sampling functions stay globally
-// consistent without any id translation.
+// edges.
 //
-// Memory honesty: global indexing is what keeps every decision
-// bit-identical to the single-process run, but it costs every worker
-// Θ(M) global-length allocations per round regardless of P — the
-// sparse edge table (24 bytes per global edge id, only incident
-// entries populated) plus the per-edge masks (dead, inSpanner,
-// inBundle, one byte each). Only the CSR adjacency (the 2·slots
-// structure the compute loops actually walk) shrinks to the shard's
-// O((n + m_incident)/P) share today. Compacting the table and masks to
-// local ids, leaving only an O(m_incident) id map, is the named next
-// step in ROADMAP.md.
+// Layout: edges are stored DENSELY over local ids [0, localCount()),
+// with a sorted ids map translating local→global (globalOf) and
+// global→local (localOf, binary search). The CSR adjacency's EID slots
+// carry local ids, so every per-edge array the compute loops allocate
+// (masks, scratch, the edge table itself) is O(m_incident) words; the
+// global id space survives only at the wire boundary — message Port
+// and MsgAdd/MsgDrop payloads carry global ids, and the pure
+// seed-derived sampling functions are keyed by global id — which is
+// what keeps frames, seeds, and tie-breaks consistent across shards
+// and bit-identical to the single-process run. On a full view local
+// and global ids coincide and every translation is the identity.
+//
+// Memory accounting (the bound the regression tests in memory_test.go
+// pin, and E13 reports per worker): a view's edge-indexed tables cost
+// tableWords() = O(m_incident) words, per-vertex arrays cost O(n), and
+// no per-round allocation anywhere in spanner.go/sparsify.go exceeds
+// O(n + m_incident) — a worker holding shard s of a P-way split pays
+// for its incident edges (own share plus boundary), never for the
+// global edge count. The one global-sized quantity left is time, not
+// memory: the renumbering walk at the end of a sampling round scans
+// the global id space with O(1) state plus the gathered bundle-id list
+// (O(bundle size) words, transient).
 type view struct {
-	g   *graph.Graph
+	// n and m are the GLOBAL vertex count and edge-id-space size; local
+	// edge ids index edges, global ids live in [0, m).
+	n, m int
+	// lo and hi delimit the owned vertex range [lo, hi) (the whole
+	// range on a full view) — ownership decides which shard contributes
+	// a boundary edge to cross-shard collectives.
+	lo, hi int
+	// edges is the dense local edge table, indexed by local id.
+	edges []graph.Edge
+	// adj is the CSR adjacency; EID slots carry LOCAL ids.
 	adj *graph.Adjacency
-	// ids lists the incident global edge ids in increasing order; nil
-	// means the view is full (every edge materialized).
+	// ids lists the incident global edge ids in increasing order,
+	// parallel to edges; nil means the view is full (local == global).
 	ids []int32
 }
 
 // newFullView wraps a whole graph (single-process transports).
 func newFullView(g *graph.Graph) *view {
-	return &view{g: g, adj: graph.NewAdjacency(g)}
-}
-
-// newPartView builds a partition view over n vertices and m global
-// edges from the incident slice (ids increasing, edges parallel).
-func newPartView(n, m int, ids []int32, edges []graph.Edge) *view {
-	sparse := make([]graph.Edge, m)
-	for k, id := range ids {
-		sparse[id] = edges[k]
+	return &view{
+		n: g.N, m: len(g.Edges),
+		lo: 0, hi: g.N,
+		edges: g.Edges,
+		adj:   graph.NewAdjacency(g),
 	}
-	g := graph.FromEdges(n, sparse)
-	return &view{g: g, adj: graph.NewAdjacencySubset(n, sparse, ids), ids: ids}
 }
 
-// full reports whether every edge is materialized.
+// newPartView builds a partition view over n vertices, m global edge
+// ids, and the owned vertex range [lo, hi), from the incident slice
+// (ids increasing and in [0, m), edges parallel). The slices are used
+// directly, so the view's footprint is the caller's slices plus an
+// O(n + m_incident) adjacency — never Θ(m).
+func newPartView(n, m, lo, hi int, ids []int32, edges []graph.Edge) *view {
+	if m > graph.MaxEdges {
+		panic(fmt.Sprintf("dist: %d global edge ids exceed the int32 id space (max %d)", m, graph.MaxEdges))
+	}
+	if len(ids) != len(edges) {
+		panic(fmt.Sprintf("dist: partition view has %d ids but %d edges", len(ids), len(edges)))
+	}
+	return &view{
+		n: n, m: m,
+		lo: lo, hi: hi,
+		edges: edges,
+		adj:   graph.NewAdjacencyDense(n, edges),
+		ids:   ids,
+	}
+}
+
+// full reports whether every edge is materialized (local ids == global
+// ids).
 func (w *view) full() bool { return w.ids == nil }
 
-// incidentCount returns the number of locally materialized edges.
-func (w *view) incidentCount() int {
-	if w.full() {
-		return len(w.g.Edges)
+// localCount returns the number of locally materialized edges — the
+// length of every per-edge array built over this view.
+func (w *view) localCount() int { return len(w.edges) }
+
+// globalOf translates a local edge id to its global id.
+func (w *view) globalOf(lid int32) int32 {
+	if w.ids == nil {
+		return lid
 	}
-	return len(w.ids)
+	return w.ids[lid]
 }
 
-// forEachIncident calls fn for every locally materialized edge id, in
-// increasing order.
-func (w *view) forEachIncident(fn func(eid int32)) {
-	if w.full() {
-		for i := range w.g.Edges {
-			fn(int32(i))
+// localOf translates a global edge id to the local id materializing
+// it. The id must be incident to this view: every caller translates an
+// id that arrived over an incident edge (a message Port or an
+// add/drop notice), so absence is a partition-protocol violation, not
+// a recoverable condition.
+func (w *view) localOf(gid int32) int32 {
+	if w.ids == nil {
+		return gid
+	}
+	lo, hi := 0, len(w.ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if w.ids[mid] < gid {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
-		return
 	}
-	for _, id := range w.ids {
-		fn(id)
+	if lo >= len(w.ids) || w.ids[lo] != gid {
+		panic(fmt.Sprintf("dist: global edge id %d is not incident to this partition view", gid))
 	}
+	return int32(lo)
+}
+
+// otherEnd returns the endpoint of local edge lid that is not v.
+func (w *view) otherEnd(lid, v int32) int32 {
+	e := w.edges[lid]
+	if e.U == v {
+		return e.V
+	}
+	return e.U
+}
+
+// ownsVertex reports whether v lies in the owned range [lo, hi).
+func (w *view) ownsVertex(v int32) bool { return int(v) >= w.lo && int(v) < w.hi }
+
+// ownsEdge reports whether this view is the primary owner of local
+// edge lid (the owner of its U endpoint) — the shard that contributes
+// the edge to cross-shard collectives and result gathers, so each
+// boundary edge is contributed exactly once.
+func (w *view) ownsEdge(lid int32) bool { return w.ownsVertex(w.edges[lid].U) }
+
+// graph materializes the view as a Graph. Only meaningful on a full
+// view, where the dense table is the global edge list.
+func (w *view) graph() *graph.Graph { return &graph.Graph{N: w.n, Edges: w.edges} }
+
+// tableWords returns the number of words held by the view's
+// edge-indexed tables: the dense edge table (3 words per edge), the
+// global-id map, and the CSR slot arrays (2 words per slot). This is
+// the O(m_incident) quantity the memory regression tests pin and the
+// per-worker footprint column of E13 reports; per-vertex O(n) arrays
+// (CSR offsets, cluster state) are excluded, as the paper's model
+// grants every machine its O(n) share.
+func (w *view) tableWords() int {
+	return 3*len(w.edges) + len(w.ids) + 2*len(w.adj.Nbr)
 }

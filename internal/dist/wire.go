@@ -32,6 +32,7 @@ const (
 	frameMax                      // AllMaxInt32 contribution / result
 	frameOr                       // AllOrBits contribution / result
 	frameBlob                     // opaque application payload (gather/broadcast)
+	frameGather                   // AllGatherInt32s contribution / merged result
 )
 
 // frameHeader describes one frame on the wire.

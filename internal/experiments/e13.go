@@ -17,13 +17,17 @@ import (
 // wire columns split the cost of distribution: crossWords is the
 // model-level bill (identical for sharded and net at equal P) and
 // wireBytes is what the network transport actually wrote to sockets,
-// framing included.
+// framing included. wkrPeakWords is the per-worker memory story: the
+// largest edge-table footprint (words) any single process's working
+// view reached — Θ(m) on the single-process transports, O(m_incident)
+// ≈ m/P + boundary on the partitioned network run, shrinking as P
+// grows.
 func E13NetTransport(s Scale) *Table {
 	t := &Table{
 		ID:     "E13",
 		Title:  "transport comparison: in-memory vs sharded vs network (loopback)",
-		Claim:  "Thm 5 substrate: the same rounds run over goroutines or sockets with identical outputs; only the wire bill changes",
-		Header: []string{"transport", "P", "millis", "m_out", "rounds", "crossWords", "wireBytes"},
+		Claim:  "Thm 5 substrate: the same rounds run over goroutines or sockets with identical outputs; only the wire bill and per-worker footprint change",
+		Header: []string{"transport", "P", "millis", "m_out", "rounds", "crossWords", "wireBytes", "wkrPeakWords"},
 	}
 	n, deg := 1<<12, 8.0
 	depth, rho := 1, 2.0
@@ -35,7 +39,7 @@ func E13NetTransport(s Scale) *Table {
 	}
 	g := gen.Gnp(n, deg/float64(n), 163)
 	baseM := -1
-	row := func(name string, p int, ms float64, mOut, rounds int, crossWords, wireBytes int64) {
+	row := func(name string, p int, ms float64, mOut, rounds int, crossWords, wireBytes int64, peakWords int) {
 		if baseM < 0 {
 			baseM = mOut
 		} else if mOut != baseM {
@@ -47,17 +51,17 @@ func E13NetTransport(s Scale) *Table {
 			wb = fmt.Sprintf("%d", wireBytes)
 		}
 		t.AddRow(name, inum(p), fnum(ms), inum(mOut), inum(rounds),
-			fmt.Sprintf("%d", crossWords), wb)
+			fmt.Sprintf("%d", crossWords), wb, inum(peakWords))
 	}
 
 	start := time.Now()
 	mem := dist.Sparsify(g, 0.5, rho, depth, 29)
-	row("mem", 1, millisSince(start), mem.G.M(), mem.Stats.Rounds, mem.Stats.CrossShardWords, -1)
+	row("mem", 1, millisSince(start), mem.G.M(), mem.Stats.Rounds, mem.Stats.CrossShardWords, -1, mem.PeakViewWords)
 
 	for _, p := range ps[1:] {
 		start = time.Now()
 		sh := dist.SparsifySharded(g, 0.5, rho, depth, 29, p)
-		row("sharded", p, millisSince(start), sh.G.M(), sh.Stats.Rounds, sh.Stats.CrossShardWords, -1)
+		row("sharded", p, millisSince(start), sh.G.M(), sh.Stats.Rounds, sh.Stats.CrossShardWords, -1, sh.PeakViewWords)
 	}
 	for _, p := range ps {
 		start = time.Now()
@@ -66,12 +70,13 @@ func E13NetTransport(s Scale) *Table {
 			t.Notes = append(t.Notes, fmt.Sprintf("NET FAILURE at P=%d: %v", p, err))
 			continue
 		}
-		row("net", p, millisSince(start), res.G.M(), res.Stats.Rounds, res.Stats.CrossShardWords, wireBytes)
+		row("net", p, millisSince(start), res.G.M(), res.Stats.Rounds, res.Stats.CrossShardWords, wireBytes, res.PeakViewWords)
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("n=%d m=%d: identical m_out and rounds on every transport at every P", n, g.M()),
 		"net P=1 is a single process with no sockets: the partition-view overhead alone",
-		"net relays through the coordinator (star), so wireBytes ~ 2x a full-mesh deployment's payload bytes")
+		"net relays through the coordinator (star), so wireBytes ~ 2x a full-mesh deployment's payload bytes",
+		"wkrPeakWords = max per-process edge-table footprint across rounds: Θ(m) single-process, O(m/P + boundary) on net")
 	return t
 }
 

@@ -14,26 +14,23 @@ type Adjacency struct {
 
 // NewAdjacency builds the CSR view of g in O(n + m).
 func NewAdjacency(g *Graph) *Adjacency {
-	return buildAdjacency(g.N, func(yield func(id int32, e Edge)) {
-		for i, e := range g.Edges {
-			yield(int32(i), e)
-		}
-	})
+	return NewAdjacencyDense(g.N, g.Edges)
 }
 
-// NewAdjacencySubset builds the CSR view of the listed edges only.
-// edges is indexed by global edge id and must be populated at every id
-// in ids (increasing); other entries are ignored, which is what lets a
-// distributed worker build adjacency from a sparse edge table holding
-// only the edges incident to its shard. EID slots carry the global
-// ids, and slot order within a vertex follows ids order, so the view
-// of a full edge list with ids = [0..m) is identical to NewAdjacency's
-// — guaranteed structurally: both run the same builder over the same
-// (id, edge) sequence.
-func NewAdjacencySubset(n int, edges []Edge, ids []int32) *Adjacency {
+// NewAdjacencyDense builds the CSR view of a dense edge list over n
+// vertices: EID slots carry the edge's index in the given slice. For a
+// whole graph that index is the global edge id (NewAdjacency is this
+// function on g.Edges); for a distributed worker's compacted partition
+// table it is the LOCAL edge id in [0, len(edges)), which is what
+// keeps every per-edge array the compute loops touch at O(m_incident)
+// words instead of Θ(m). Slot order within a vertex follows slice
+// order, so two views built from the same (ordered) edge sequence are
+// structurally identical.
+func NewAdjacencyDense(n int, edges []Edge) *Adjacency {
+	checkEdgeIDs(len(edges))
 	return buildAdjacency(n, func(yield func(id int32, e Edge)) {
-		for _, id := range ids {
-			yield(id, edges[id])
+		for i, e := range edges {
+			yield(int32(i), e)
 		}
 	})
 }

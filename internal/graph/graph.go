@@ -42,9 +42,26 @@ func New(n int) *Graph {
 	return &Graph{N: n}
 }
 
+// MaxEdges is the largest edge count any graph, adjacency view, or
+// partition may hold: edge ids travel as int32 throughout the system
+// (CSR EID slots, distributed message ports, wire frames, partition
+// files), so every id in [0, m) must fit in an int32. The guard lives
+// here — not in each consumer — so the overflow is caught where the id
+// space is created rather than where some int32(i) silently wraps.
+const MaxEdges = math.MaxInt32
+
+// checkEdgeIDs panics if an edge-id space of size m cannot be indexed
+// by int32.
+func checkEdgeIDs(m int) {
+	if m > MaxEdges {
+		panic(fmt.Sprintf("graph: %d edges exceed the int32 edge-id space (max %d)", m, MaxEdges))
+	}
+}
+
 // FromEdges builds a graph over n vertices with the given edges. The
 // edge slice is used directly (not copied).
 func FromEdges(n int, edges []Edge) *Graph {
+	checkEdgeIDs(len(edges))
 	return &Graph{N: n, Edges: edges}
 }
 

@@ -1,0 +1,46 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEdgeIDOverflowGuard pins the int32 edge-id boundary: id spaces
+// up to MaxEdges are accepted, one past it is rejected loudly — the
+// compute loops and the wire format index edges as int32, so a silent
+// wrap would corrupt every mask and message past 2^31.
+func TestEdgeIDOverflowGuard(t *testing.T) {
+	// The checker itself, at the exact boundary (FromEdges and
+	// NewAdjacencyDense call it before touching the slice; a real
+	// MaxEdges+1 slice would need >50 GB, so the boundary is tested on
+	// the guard they share).
+	checkEdgeIDs(MaxEdges) // must not panic
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("checkEdgeIDs accepted an id space one past the int32 boundary")
+		} else if !strings.Contains(r.(string), "int32") {
+			t.Fatalf("unhelpful overflow panic: %v", r)
+		}
+	}()
+	checkEdgeIDs(MaxEdges + 1)
+}
+
+// TestPartitionValidateRejectsOverflowSizes: a partition header
+// claiming a global id space beyond int32 must fail validation — this
+// is the reachable boundary (Partition sizes arrive from files and
+// job specs as plain ints with no backing slice).
+func TestPartitionValidateRejectsOverflowSizes(t *testing.T) {
+	for _, p := range []*Partition{
+		{N: 4, M: MaxEdges + 1, Shards: 1, Hi: 4},
+		{N: MaxEdges + 1, M: 4, Shards: 1, Hi: MaxEdges + 1},
+	} {
+		if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "int32") {
+			t.Fatalf("Validate(%d vertices, %d edges) = %v, want int32 id-space error", p.N, p.M, err)
+		}
+	}
+	// The boundary itself is legal.
+	ok := &Partition{N: 2, M: MaxEdges, Shards: 1, Lo: 0, Hi: 2}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("Validate rejected m = MaxEdges: %v", err)
+	}
+}

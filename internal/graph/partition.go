@@ -102,6 +102,11 @@ func (p *Partition) Validate() error {
 	if p.N < 0 || p.M < 0 {
 		return fmt.Errorf("graph: partition has negative sizes n=%d m=%d", p.N, p.M)
 	}
+	if p.N > MaxEdges || p.M > MaxEdges {
+		// Vertex and edge ids both travel as int32 (messages, wire
+		// frames, partition records).
+		return fmt.Errorf("graph: partition sizes n=%d m=%d exceed the int32 id space", p.N, p.M)
+	}
 	shards := ClampShards(p.N, p.Shards)
 	if shards != p.Shards || p.Shard < 0 || p.Shard >= p.Shards {
 		return fmt.Errorf("graph: partition shard %d/%d invalid for n=%d", p.Shard, p.Shards, p.N)

@@ -1,0 +1,73 @@
+package graphio_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+)
+
+// FuzzReadPartition: arbitrary bytes — including headers that lie
+// about counts, truncated records, non-increasing ids, and
+// out-of-range vertices — must yield an error or a partition that
+// passes Validate and survives a write/read round trip. Never a panic,
+// and never memory proportional to a claimed-but-absent record count
+// (the CI fuzz smoke runs this for 20s on every push).
+func FuzzReadPartition(f *testing.F) {
+	g := gen.Gnp(24, 0.3, 5)
+	var valid []byte
+	for s := 0; s < 3; s++ {
+		var buf bytes.Buffer
+		if err := graphio.WritePartition(&buf, graph.PartitionOf(g, s, 3)); err != nil {
+			f.Fatal(err)
+		}
+		if valid == nil {
+			valid = buf.Bytes()
+		}
+		f.Add(buf.Bytes())
+	}
+	// Truncated mid-record and mid-header.
+	f.Add(valid[:len(valid)-7])
+	f.Add(valid[:13])
+	// Header lies: count claims far more records than present.
+	lie := bytes.Clone(valid)
+	binary.LittleEndian.PutUint64(lie[32:], 1<<30)
+	f.Add(lie)
+	// Header lies: astronomical global sizes.
+	big := bytes.Clone(valid)
+	binary.LittleEndian.PutUint64(big[8:], 1<<40)
+	binary.LittleEndian.PutUint64(big[16:], 1<<50)
+	f.Add(big)
+	// Non-increasing ids: duplicate the first record over the second.
+	dup := bytes.Clone(valid)
+	copy(dup[40+graphio.EdgeRecordSize:], dup[40:40+graphio.EdgeRecordSize])
+	f.Add(dup)
+	// Out-of-range vertex id in the first record.
+	oob := bytes.Clone(valid)
+	binary.LittleEndian.PutUint32(oob[44:], 1<<25)
+	f.Add(oob)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := graphio.ReadPartition(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ReadPartition accepted an invalid partition: %v", err)
+		}
+		var out bytes.Buffer
+		if err := graphio.WritePartition(&out, p); err != nil {
+			t.Fatalf("accepted partition does not re-encode: %v", err)
+		}
+		q, err := graphio.ReadPartition(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if q.N != p.N || q.M != p.M || q.Shard != p.Shard || q.Shards != p.Shards || len(q.IDs) != len(p.IDs) {
+			t.Fatalf("round trip changed the partition: %+v vs %+v", q, p)
+		}
+	})
+}

@@ -101,6 +101,15 @@ func WritePartition(w io.Writer, p *graph.Partition) error {
 // ReadPartition parses a partition file and validates its invariants
 // (bounds matching the canonical partition formula, increasing ids,
 // every edge incident to the owned range).
+//
+// Hardening contract (fuzzed by FuzzReadPartition): a corrupted or
+// adversarial input — a header lying about counts, truncated records,
+// non-increasing ids, out-of-range vertices — yields an error, never a
+// panic, and never an allocation proportional to the CLAIMED count
+// rather than the bytes actually present: sizes are bounded to the
+// int32 id space up front and record storage grows incrementally as
+// records are read, so a truncated file fails at the read, not at a
+// huge make.
 func ReadPartition(r io.Reader) (*graph.Partition, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, 40)
@@ -110,26 +119,36 @@ func ReadPartition(r io.Reader) (*graph.Partition, error) {
 	if binary.LittleEndian.Uint64(head[0:]) != partitionMagic {
 		return nil, fmt.Errorf("graphio: bad partition magic")
 	}
-	n := int(binary.LittleEndian.Uint64(head[8:]))
-	m := int(binary.LittleEndian.Uint64(head[16:]))
+	nU := binary.LittleEndian.Uint64(head[8:])
+	mU := binary.LittleEndian.Uint64(head[16:])
 	shard := int(binary.LittleEndian.Uint32(head[24:]))
 	shards := int(binary.LittleEndian.Uint32(head[28:]))
-	count := int(binary.LittleEndian.Uint64(head[32:]))
-	if n < 0 || m < 0 || count < 0 || count > m || shards < 1 {
-		return nil, fmt.Errorf("graphio: implausible partition header n=%d m=%d count=%d shards=%d", n, m, count, shards)
+	countU := binary.LittleEndian.Uint64(head[32:])
+	// Vertex and edge ids travel as int32 in the records, so a header
+	// claiming more is corrupt regardless of platform int width.
+	if nU > graph.MaxEdges || mU > graph.MaxEdges || countU > mU || shards < 1 {
+		return nil, fmt.Errorf("graphio: implausible partition header n=%d m=%d count=%d shards=%d", nU, mU, countU, shards)
+	}
+	n, m, count := int(nU), int(mU), int(countU)
+	const chunk = 1 << 14 // grow with the data actually read
+	cap0 := count
+	if cap0 > chunk {
+		cap0 = chunk
 	}
 	p := &graph.Partition{
 		N: n, M: m, Shard: shard, Shards: shards,
 		Lo: shard * n / shards, Hi: (shard + 1) * n / shards,
-		IDs:   make([]int32, count),
-		Edges: make([]graph.Edge, count),
+		IDs:   make([]int32, 0, cap0),
+		Edges: make([]graph.Edge, 0, cap0),
 	}
 	rec := make([]byte, EdgeRecordSize)
 	for k := 0; k < count; k++ {
 		if _, err := io.ReadFull(br, rec); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("graphio: partition record %d/%d: %w", k, count, err)
 		}
-		p.IDs[k], p.Edges[k] = ParseEdgeRecord(rec)
+		id, e := ParseEdgeRecord(rec)
+		p.IDs = append(p.IDs, id)
+		p.Edges = append(p.Edges, e)
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err
