@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/baseline"
@@ -31,6 +32,60 @@ func NewGraph(n int) *Graph { return graph.New(n) }
 // FromEdges builds a graph over n vertices from an edge list.
 func FromEdges(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
 
+// TransportSpec describes how the distributed entry points execute —
+// see the dist package for the full story. Specs are plain values:
+// Mem() is the single-process in-memory simulation (the default; the
+// zero spec executes the same way, but only an explicit Mem() shields
+// against the deprecated Shards knob), Sharded(p) partitions the
+// rounds across p
+// worker goroutines, Loopback(p) runs the whole multi-process protocol
+// over real loopback TCP sockets inside this process, and dist.Net /
+// dist.Worker drive real multi-process deployments (see cmd/distworker
+// and dist.Run, which those specs require so that network failures can
+// surface as errors).
+//
+// Equivalence guarantee: for equal Options every spec produces
+// bit-identical output and an identical DistStats ledger at any shard
+// count and any GOMAXPROCS — the transport moves messages, never
+// decisions. Only the honesty counters of distribution (the CrossShard
+// split, wire bytes, per-worker peak memory) differ.
+type TransportSpec = dist.TransportSpec
+
+// Mem returns the in-memory transport spec (the default).
+func Mem() TransportSpec { return dist.Mem() }
+
+// Sharded returns the sharded in-process transport spec with p worker
+// goroutines.
+func Sharded(p int) TransportSpec { return dist.Sharded(p) }
+
+// Loopback returns the loopback-TCP multi-process transport spec with
+// p shards (a coordinator plus p−1 worker goroutines on real sockets).
+func Loopback(p int) TransportSpec { return dist.Loopback(p) }
+
+// ParseTransport maps a spec name plus a shard count to a
+// TransportSpec — the one grammar behind every CLI -transport flag:
+// "mem" (shards ignored), "sharded", or "loopback" (both need
+// shards ≥ 1). An empty name defaults to "sharded", matching the
+// historical meaning of a bare -shards flag.
+func ParseTransport(name string, shards int) (TransportSpec, error) {
+	switch name {
+	case "", "sharded":
+		if shards < 1 {
+			return TransportSpec{}, fmt.Errorf("repro: transport %q needs shards >= 1", name)
+		}
+		return Sharded(shards), nil
+	case "mem":
+		return Mem(), nil
+	case "loopback":
+		if shards < 1 {
+			return TransportSpec{}, fmt.Errorf("repro: transport loopback needs shards >= 1")
+		}
+		return Loopback(shards), nil
+	default:
+		return TransportSpec{}, fmt.Errorf("repro: unknown transport %q (mem, sharded, loopback)", name)
+	}
+}
+
 // Options configures the sparsification entry points.
 type Options struct {
 	// Seed drives all randomness (default 1).
@@ -43,17 +98,31 @@ type Options struct {
 	Theory bool
 	// BundleT overrides the bundle thickness formula when positive.
 	BundleT int
-	// Shards selects the distributed engine's transport: 0 (the
-	// default) runs on the in-memory staging transport; P ≥ 1 runs on
-	// the sharded transport, which partitions the vertices across P
-	// worker goroutines and exchanges cross-shard messages through
-	// per-shard-pair buffers at each round barrier. The output is
-	// bit-identical either way for equal seeds; only wall-clock and the
-	// DistStats CrossShard counters change. Ignored by the
-	// shared-memory entry points.
+	// Transport selects how DistributedSparsify and DistributedSpanner
+	// execute: Mem() (the zero value, the default), Sharded(p), or
+	// Loopback(p) — see TransportSpec for the catalogue and the
+	// equivalence guarantee. Ignored by the shared-memory entry points.
+	Transport TransportSpec
+	// Shards is the pre-TransportSpec way to select the sharded
+	// transport; P ≥ 1 behaves exactly like Transport: Sharded(P).
+	//
+	// Deprecated: set Transport to Sharded(P) instead. Consulted only
+	// when Transport is the zero spec.
 	Shards int
 	// Tracker, when non-nil, accumulates modeled CRCW PRAM work/depth.
 	Tracker *pram.Tracker
+}
+
+// transport resolves the Transport/Shards pair to the spec the
+// distributed entry points run on.
+func (o Options) transport() TransportSpec {
+	if !o.Transport.IsZero() {
+		return o.Transport
+	}
+	if o.Shards > 0 {
+		return dist.Sharded(o.Shards)
+	}
+	return dist.Mem()
 }
 
 func (o Options) config() core.Config {
@@ -186,39 +255,37 @@ func NewStream(n int, opt StreamOptions) *StreamSparsifier {
 // DistStats aliases the distributed communication ledger.
 type DistStats = dist.Stats
 
-// DistributedSparsify runs Algorithm 2 in the simulated synchronous
-// distributed model and returns the sparsifier plus the communication
-// ledger (rounds, messages, words) that Theorem 5 bounds. Options are
-// honored as in Sparsify (BundleT overrides the bundle depth, Theory
-// selects the paper's constants), and for equal Options the output is
-// edge-identical to Sparsify. Options.Shards > 0 selects the sharded
-// transport: the same computation partitioned across that many worker
-// goroutines, with the ledger additionally reporting the cross-shard
-// traffic a multi-machine deployment would put on the wire.
+// DistributedSparsify runs Algorithm 2 in the distributed model — one
+// dist.Engine.Run of the sparsify job on Options.Transport — and
+// returns the sparsifier plus the communication ledger (rounds,
+// messages, words) that Theorem 5 bounds. Options are honored as in
+// Sparsify (BundleT overrides the bundle depth, Theory selects the
+// paper's constants), and for equal Options the output is
+// edge-identical to Sparsify on every transport spec. A transport
+// failure (possible only on the multi-process specs) panics; use
+// dist.Run directly to handle such errors.
 func DistributedSparsify(g *Graph, eps, rho float64, opt Options) (*Graph, DistStats) {
-	var res dist.Result
-	if opt.Shards > 0 {
-		res = dist.SparsifyConfigSharded(g, eps, rho, opt.config(), opt.Shards)
-	} else {
-		res = dist.SparsifyConfig(g, eps, rho, opt.config())
+	res, err := dist.Run(dist.NewEngine(opt.transport(), g), dist.SparsifyJob(eps, rho, opt.config()))
+	if err != nil {
+		panic("repro: DistributedSparsify: " + err.Error())
 	}
-	return res.G, res.Stats
+	return res.Output, res.Stats
 }
 
 // DistributedSpanner computes the Baswana–Sen log n-spanner in the
-// simulated synchronous distributed model and returns the spanner
-// subgraph plus the communication ledger Theorem 2 bounds (O(log² n)
-// rounds, O(m log n) messages of O(1) words). The edge selection is
-// bit-identical to Spanner's for equal Options. Options.Shards > 0
-// selects the sharded transport as in DistributedSparsify.
+// distributed model — one dist.Engine.Run of the spanner job on
+// Options.Transport — and returns the spanner subgraph plus the
+// communication ledger Theorem 2 bounds (O(log² n) rounds, O(m log n)
+// messages of O(1) words). The edge selection is bit-identical to
+// Spanner's for equal Options on every transport spec. A transport
+// failure (possible only on the multi-process specs) panics; use
+// dist.Run directly to handle such errors.
 func DistributedSpanner(g *Graph, opt Options) (*Graph, DistStats) {
-	var res *dist.SpannerResult
-	if opt.Shards > 0 {
-		res = dist.BaswanaSenSharded(g, 0, opt.Seed, opt.Shards)
-	} else {
-		res = dist.BaswanaSen(g, 0, opt.Seed)
+	res, err := dist.Run(dist.NewEngine(opt.transport(), g), dist.SpannerJob(0, opt.Seed))
+	if err != nil {
+		panic("repro: DistributedSpanner: " + err.Error())
 	}
-	return g.Subgraph(res.InSpanner), res.Stats
+	return res.Output.G, res.Stats
 }
 
 // SpielmanSrivastava runs the effective-resistance sampling baseline at

@@ -75,3 +75,65 @@ func TestDistributedSparsifyShardsOption(t *testing.T) {
 		}
 	}
 }
+
+// TestDistributedTransportOption: the Transport field selects the spec
+// directly, the deprecated Shards alias maps to Sharded(P), and every
+// spec — the loopback multi-process one included — produces the same
+// edges as the in-memory default.
+func TestDistributedTransportOption(t *testing.T) {
+	g := Gnp(220, 0.15, 21)
+	ref, refStats := DistributedSparsify(g, 0.75, 4, Options{Seed: 9})
+	for name, opt := range map[string]Options{
+		"sharded-spec":     {Seed: 9, Transport: Sharded(3)},
+		"deprecated-alias": {Seed: 9, Shards: 3},
+		"loopback-spec":    {Seed: 9, Transport: Loopback(2)},
+	} {
+		h, st := DistributedSparsify(g, 0.75, 4, opt)
+		if h.M() != ref.M() {
+			t.Fatalf("%s: m=%d vs default %d", name, h.M(), ref.M())
+		}
+		for i := range ref.Edges {
+			if h.Edges[i] != ref.Edges[i] {
+				t.Fatalf("%s: edge %d differs", name, i)
+			}
+		}
+		if st.Rounds != refStats.Rounds || st.Words != refStats.Words {
+			t.Fatalf("%s: ledger totals diverge: %+v vs %+v", name, st, refStats)
+		}
+	}
+	// The alias and the spec must be indistinguishable in the ledger.
+	_, aliasStats := DistributedSparsify(g, 0.75, 4, Options{Seed: 9, Shards: 3})
+	_, specStats := DistributedSparsify(g, 0.75, 4, Options{Seed: 9, Transport: Sharded(3)})
+	if aliasStats.Shards != specStats.Shards || aliasStats.CrossShardWords != specStats.CrossShardWords {
+		t.Fatalf("Shards alias diverges from Sharded spec: %+v vs %+v", aliasStats, specStats)
+	}
+	// The spanner entry point honors the spec too.
+	sref, _ := DistributedSpanner(g, Options{Seed: 9})
+	ssh, sst := DistributedSpanner(g, Options{Seed: 9, Transport: Sharded(4)})
+	if ssh.M() != sref.M() {
+		t.Fatalf("spanner sharded m=%d vs mem %d", ssh.M(), sref.M())
+	}
+	for i := range sref.Edges {
+		if ssh.Edges[i] != sref.Edges[i] {
+			t.Fatalf("spanner edge %d differs", i)
+		}
+	}
+	if sst.Shards != 4 {
+		t.Fatalf("spanner ledger reports %d shards, want 4", sst.Shards)
+	}
+}
+
+// TestExplicitMemBeatsDeprecatedShards: an explicit Transport: Mem()
+// is not the zero spec, so the deprecated Shards knob cannot override
+// it — only a truly unset Transport falls back to Shards.
+func TestExplicitMemBeatsDeprecatedShards(t *testing.T) {
+	g := Gnp(120, 0.2, 3)
+	_, memStats := DistributedSparsify(g, 0.75, 4, Options{Seed: 5, Transport: Mem(), Shards: 4})
+	if memStats.Shards != 1 || memStats.CrossShardMessages != 0 {
+		t.Fatalf("explicit Mem() overridden by deprecated Shards: %+v", memStats)
+	}
+	_, unsetStats := DistributedSparsify(g, 0.75, 4, Options{Seed: 5, Shards: 4})
+	if unsetStats.Shards != 4 {
+		t.Fatalf("unset Transport did not fall back to Shards: %+v", unsetStats)
+	}
+}

@@ -112,7 +112,9 @@ func BenchmarkDistributedSpanner(b *testing.B) {
 	g := benchGraph(2000)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		dist.BaswanaSen(g, 0, uint64(i))
+		if _, err := dist.Run(dist.NewEngine(dist.Mem(), g), dist.SpannerJob(0, uint64(i))); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -125,21 +127,26 @@ func BenchmarkDistributedSpannerSharded(b *testing.B) {
 		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				dist.BaswanaSenSharded(g, 0, uint64(i), p)
+				if _, err := dist.Run(dist.NewEngine(dist.Sharded(p), g), dist.SpannerJob(0, uint64(i))); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
 }
 
-// BenchmarkDistributedSparsifySharded covers the full sharded pipeline
+// BenchmarkDistributedSparsifyOnShards covers the full sharded pipeline
 // the bench CI job tracks (see .github/workflows/ci.yml).
-func BenchmarkDistributedSparsifySharded(b *testing.B) {
+func BenchmarkDistributedSparsifyOnShards(b *testing.B) {
 	g := gen.Gnp(800, 0.25, 3)
 	for _, p := range []int{1, 4} {
 		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				dist.SparsifySharded(g, 0.75, 4, 0, uint64(i+1), p)
+				job := dist.SparsifyJob(0.75, 4, core.DefaultConfig(uint64(i+1)))
+				if _, err := dist.Run(dist.NewEngine(dist.Sharded(p), g), job); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

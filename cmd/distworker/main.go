@@ -1,16 +1,19 @@
-// Command distworker runs the distributed sparsifier as real
-// multi-process workers over TCP: one coordinator (shard 0) plus
-// shards−1 workers, each process materializing only its shard's
-// adjacency plus boundary edges and exchanging round traffic through
-// the bulk-synchronous network transport.
+// Command distworker runs a distributed job as real multi-process
+// workers over TCP: one coordinator (shard 0) plus shards−1 workers,
+// each process materializing only its shard's adjacency plus boundary
+// edges and exchanging round traffic through the bulk-synchronous
+// network transport. The job is resolved by name through the dist
+// package's registry (-job, default sparsify); the coordinator
+// broadcasts the job's parameters, so workers adopt the exact same run
+// and only the partition is local.
 //
 // Coordinator (owns shard 0, assembles and writes the output):
 //
 //	distworker -listen 127.0.0.1:9000 -shards 4 -in graph.txt \
-//	    -eps 0.5 -rho 8 -seed 1 [-out sparse.txt]
+//	    -job sparsify -eps 0.5 -rho 8 -seed 1 [-out sparse.txt]
 //
-// Worker (joins the coordinator; sparsification parameters are adopted
-// from the coordinator's job spec, so only the partition is local):
+// Worker (joins the coordinator; job parameters are adopted from the
+// coordinator's broadcast and cross-checked against -job):
 //
 //	distworker -join 127.0.0.1:9000 -shards 4 -shard 2 -in graph.txt
 //
@@ -22,9 +25,9 @@
 //	distworker -shards 4 -in graph.txt -split parts/ -split-only
 //	distworker -join HOST:PORT -shards 4 -shard 2 -parts parts/
 //
-// For equal seeds the written sparsifier is edge-identical to
-// `sparsify` (and to the in-process transports) at any shard count,
-// and the reported ledger is identical on every process.
+// For equal seeds the written output is edge-identical to the
+// in-process transport specs at any shard count, and the reported
+// ledger is identical on every process.
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/dist"
@@ -50,30 +54,70 @@ func main() {
 	join := flag.String("join", "", "worker mode: coordinator address to join")
 	shards := flag.Int("shards", 0, "total shard count P (required)")
 	shard := flag.Int("shard", 0, "this worker's shard id in [1,P) (worker mode)")
-	eps := flag.Float64("eps", 0.5, "target spectral accuracy in (0,1] (coordinator)")
-	rho := flag.Float64("rho", 8, "edge reduction factor (coordinator)")
-	depth := flag.Int("depth", 0, "bundle depth override, 0 = calibrated default (coordinator)")
+	jobName := flag.String("job", "sparsify", "job to run, one of: "+strings.Join(dist.JobNames(), ", "))
+	eps := flag.Float64("eps", 0.5, "target spectral accuracy in (0,1] (job=sparsify, coordinator)")
+	rho := flag.Float64("rho", 8, "edge reduction factor (job=sparsify, coordinator)")
+	depth := flag.Int("depth", 0, "bundle depth override, 0 = calibrated default (job=sparsify, coordinator)")
+	k := flag.Int("k", 0, "spanner level count, 0 = ceil(log2 n) (job=spanner, coordinator)")
 	seed := flag.Uint64("seed", 1, "random seed (coordinator)")
 	split := flag.String("split", "", "write all shards' partition files into this directory")
 	splitOnly := flag.Bool("split-only", false, "with -split: write partitions and exit")
-	addrFile := flag.String("addr-file", "", "coordinator: write the bound listen address to this file")
+	addrFile := flag.String("addr-file", "", "coordinator: write the bound listen address to this file (atomically)")
 	timeout := flag.Duration("timeout", dist.DefaultNetTimeout, "per-frame network deadline")
 	flag.Parse()
 
 	if *shards < 1 {
 		log.Fatal("-shards is required (≥ 1)")
 	}
+	runner, ok := jobRunners[*jobName]
+	if !ok {
+		log.Fatalf("unknown -job %q; registered jobs: %s", *jobName, strings.Join(dist.JobNames(), ", "))
+	}
+	params := jobParams{eps: *eps, rho: *rho, depth: *depth, k: *k, seed: *seed}
 	switch {
 	case *split != "" && *splitOnly:
 		g := readGraph(*in)
 		splitPartitions(g, *shards, *split)
 	case *listen != "":
-		runCoordinator(*in, *parts, *out, *listen, *addrFile, *split, *shards, *eps, *rho, *depth, *seed, *timeout)
+		runCoordinator(runner, params, *in, *parts, *out, *listen, *addrFile, *split, *shards, *timeout)
 	case *join != "":
-		runWorker(*in, *parts, *join, *shard, *shards, *timeout)
+		runWorker(runner, params, *in, *parts, *join, *shard, *shards, *timeout)
 	default:
 		log.Fatal("one of -listen (coordinator), -join (worker), or -split/-split-only is required")
 	}
+}
+
+// jobParams carries the job-specific CLI parameters; workers pass them
+// too but the values a worker actually runs are adopted from the
+// coordinator's broadcast.
+type jobParams struct {
+	eps, rho float64
+	depth    int
+	k        int
+	seed     uint64
+}
+
+// jobRunner runs one registered job on an engine and returns the
+// writable output graph (nil on workers, which contribute to the
+// coordinator's gather instead) plus the run's ledger and wire bytes.
+type jobRunner func(eng *dist.Engine, p jobParams) (*graph.Graph, dist.Stats, int64, error)
+
+// jobRunners is the CLI face of the dist package's job registry: one
+// entry per registered job name, each running its typed Job through
+// the single dist.Run entry point.
+var jobRunners = map[string]jobRunner{
+	"sparsify": func(eng *dist.Engine, p jobParams) (*graph.Graph, dist.Stats, int64, error) {
+		res, err := dist.Run(eng, dist.SparsifyJob(p.eps, p.rho, dist.SparsifyDefaults(p.depth, p.seed)))
+		return res.Output, res.Stats, res.WireBytes, err
+	},
+	"spanner": func(eng *dist.Engine, p jobParams) (*graph.Graph, dist.Stats, int64, error) {
+		res, err := dist.Run(eng, dist.SpannerJob(p.k, p.seed))
+		var g *graph.Graph
+		if res.Output != nil {
+			g = res.Output.G
+		}
+		return g, res.Stats, res.WireBytes, err
+	},
 }
 
 func readGraph(in string) *graph.Graph {
@@ -95,12 +139,16 @@ func readGraph(in string) *graph.Graph {
 // loadPartition materializes this process's slice of the graph: from
 // its partition file when a partition directory is given (the
 // partition-aware path — nothing else is read), else by carving the
-// whole input graph in memory.
+// whole input graph in memory. Any disagreement between -shards and
+// the partition source is a clear error, never a panic.
 func loadPartition(in, parts string, shard, shards int) *graph.Partition {
 	if parts != "" {
 		path := filepath.Join(parts, graphio.PartitionFileName(shard, shards))
 		f, err := os.Open(path)
 		if err != nil {
+			if os.IsNotExist(err) {
+				log.Fatalf("%v (was %s split with a different -shards than %d?)", err, parts, shards)
+			}
 			log.Fatal(err)
 		}
 		defer f.Close()
@@ -109,14 +157,54 @@ func loadPartition(in, parts string, shard, shards int) *graph.Partition {
 			log.Fatalf("%s: %v", path, err)
 		}
 		if p.Shard != shard || p.Shards != shards {
-			log.Fatalf("%s holds shard %d/%d, want %d/%d", path, p.Shard, p.Shards, shard, shards)
+			log.Fatalf("%s holds shard %d of %d, but this process was started as shard %d of %d",
+				path, p.Shard, p.Shards, shard, shards)
 		}
 		return p
 	}
-	return graph.PartitionOf(readGraph(in), shard, shards)
+	g := readGraph(in)
+	if clamped := graph.ClampShards(g.N, shards); clamped != shards {
+		log.Fatalf("-shards %d invalid for the %d-vertex input graph (at most %d)", shards, g.N, clamped)
+	}
+	return graph.PartitionOf(g, shard, shards)
+}
+
+// writeFileAtomic writes data to path via a temp file in the same
+// directory plus rename, so a racing reader (a coordinator-waiting
+// script polling -addr-file) never observes a half-written file.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	// CreateTemp makes 0600 files; keep the address world-readable as a
+	// plain WriteFile would.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 func splitPartitions(g *graph.Graph, shards int, dir string) {
+	if clamped := graph.ClampShards(g.N, shards); clamped != shards {
+		log.Fatalf("-shards %d invalid for the %d-vertex input graph (at most %d)", shards, g.N, clamped)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		log.Fatal(err)
 	}
@@ -137,7 +225,8 @@ func splitPartitions(g *graph.Graph, shards int, dir string) {
 	}
 }
 
-func runCoordinator(in, parts, out, listen, addrFile, split string, shards int, eps, rho float64, depth int, seed uint64, timeout time.Duration) {
+func runCoordinator(runner jobRunner, params jobParams,
+	in, parts, out, listen, addrFile, split string, shards int, timeout time.Duration) {
 	var part *graph.Partition
 	if split != "" {
 		// Splitting needs the whole graph anyway; carve shard 0 from it.
@@ -147,28 +236,28 @@ func runCoordinator(in, parts, out, listen, addrFile, split string, shards int, 
 	} else {
 		part = loadPartition(in, parts, 0, shards)
 	}
-	tr, err := dist.ListenNet(listen, part.N, shards, timeout)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer tr.Close()
-	fmt.Fprintf(os.Stderr, "coordinator: shard 0/%d listening on %s (n=%d m=%d, %d incident edges)\n",
-		shards, tr.Addr(), part.N, part.M, len(part.IDs))
-	if addrFile != "" {
-		if err := os.WriteFile(addrFile, []byte(tr.Addr()), 0o644); err != nil {
-			log.Fatal(err)
-		}
-	}
+	spec := dist.Net(dist.NetConfig{
+		Listen: listen, Shards: shards, Timeout: timeout,
+		OnListen: func(addr string) {
+			fmt.Fprintf(os.Stderr, "coordinator: shard 0/%d listening on %s (n=%d m=%d, %d incident edges)\n",
+				shards, addr, part.N, part.M, len(part.IDs))
+			if addrFile != "" {
+				if err := writeFileAtomic(addrFile, []byte(addr)); err != nil {
+					log.Fatal(err)
+				}
+			}
+		},
+	})
 	start := time.Now()
-	res, wireBytes, err := dist.RunNetCoordinator(tr, part, eps, rho, depth, seed)
+	g, stats, wireBytes, err := runner(dist.NewPartitionEngine(spec, part), params)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "done in %v: n=%d m=%d -> m=%d\n",
-		time.Since(start).Round(time.Millisecond), part.N, part.M, res.G.M())
-	fmt.Fprintf(os.Stderr, "ledger: %s\n", res.Stats)
+		time.Since(start).Round(time.Millisecond), part.N, part.M, g.M())
+	fmt.Fprintf(os.Stderr, "ledger: %s\n", stats)
 	fmt.Fprintf(os.Stderr, "wire: %d bytes across %d processes (model cross-shard: %d words)\n",
-		wireBytes, shards, res.Stats.CrossShardWords)
+		wireBytes, shards, stats.CrossShardWords)
 	w := os.Stdout
 	if out != "" {
 		f, err := os.Create(out)
@@ -178,24 +267,21 @@ func runCoordinator(in, parts, out, listen, addrFile, split string, shards int, 
 		defer f.Close()
 		w = f
 	}
-	if err := graphio.Write(w, res.G); err != nil {
+	if err := graphio.Write(w, g); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func runWorker(in, parts, join string, shard, shards int, timeout time.Duration) {
+func runWorker(runner jobRunner, params jobParams,
+	in, parts, join string, shard, shards int, timeout time.Duration) {
 	if shard < 1 || shard >= shards {
 		log.Fatalf("-shard must be in [1,%d)", shards)
 	}
 	part := loadPartition(in, parts, shard, shards)
-	tr, err := dist.JoinNet(join, part.N, shard, shards, timeout)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer tr.Close()
-	fmt.Fprintf(os.Stderr, "worker: shard %d/%d joined %s (%d incident edges, vertices [%d,%d))\n",
+	spec := dist.Worker(dist.WorkerConfig{Join: join, Shard: shard, Shards: shards, Timeout: timeout})
+	fmt.Fprintf(os.Stderr, "worker: shard %d/%d joining %s (%d incident edges, vertices [%d,%d))\n",
 		shard, shards, join, len(part.IDs), part.Lo, part.Hi)
-	stats, err := dist.RunNetWorker(tr, part)
+	_, stats, _, err := runner(dist.NewPartitionEngine(spec, part), params)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/gen"
 	"repro/internal/graphio"
@@ -34,6 +36,15 @@ func child(t *testing.T, args ...string) *exec.Cmd {
 	cmd := exec.Command(os.Args[0], args...)
 	cmd.Env = append(os.Environ(), childEnv+"=1")
 	cmd.Stderr = os.Stderr
+	return cmd
+}
+
+// childCapture is child without the inherited stderr, for tests that
+// assert on the CLI's error output.
+func childCapture(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), childEnv+"=1")
 	return cmd
 }
 
@@ -108,13 +119,17 @@ func TestMultiProcessSparsify(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref := dist.Sparsify(g, 0.75, 4, 0, seed)
-	if got.N != ref.G.N || got.M() != ref.G.M() {
-		t.Fatalf("multi-process %v vs in-memory %v", got, ref.G)
+	cfg := core.DefaultConfig(seed)
+	ref, err := dist.Run(dist.NewEngine(dist.Mem(), g), dist.SparsifyJob(0.75, 4, cfg))
+	if err != nil {
+		t.Fatal(err)
 	}
-	for i := range ref.G.Edges {
-		if got.Edges[i] != ref.G.Edges[i] {
-			t.Fatalf("edge %d differs: %+v vs %+v", i, got.Edges[i], ref.G.Edges[i])
+	if got.N != ref.Output.N || got.M() != ref.Output.M() {
+		t.Fatalf("multi-process %v vs in-memory %v", got, ref.Output)
+	}
+	for i := range ref.Output.Edges {
+		if got.Edges[i] != ref.Output.Edges[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, got.Edges[i], ref.Output.Edges[i])
 		}
 	}
 }
@@ -131,4 +146,170 @@ func waitForFile(t *testing.T, path string, timeout time.Duration) string {
 	}
 	t.Fatalf("%s did not appear within %v", path, timeout)
 	return ""
+}
+
+// TestUnknownJobName: an unregistered -job fails fast and tells the
+// operator what IS registered.
+func TestUnknownJobName(t *testing.T) {
+	cmd := childCapture(t, "-job", "clustering", "-shards", "2", "-listen", "127.0.0.1:0", "-in", "nowhere.txt")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatal("unknown -job accepted")
+	}
+	s := string(out)
+	if !strings.Contains(s, `"clustering"`) || !strings.Contains(s, "spanner") || !strings.Contains(s, "sparsify") {
+		t.Fatalf("error does not list the registered jobs: %s", s)
+	}
+}
+
+// TestShardCountMismatchIsClear: pointing a coordinator at a partition
+// directory split for a different shard count must produce a clear
+// error (not a panic, not a hang).
+func TestShardCountMismatchIsClear(t *testing.T) {
+	dir := t.TempDir()
+	g := gen.Gnp(120, 0.1, 5)
+	graphPath := filepath.Join(dir, "graph.txt")
+	f, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	partsDir := filepath.Join(dir, "parts")
+	if err := child(t, "-in", graphPath, "-shards", "4", "-split", partsDir, "-split-only").Run(); err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	cmd := childCapture(t, "-listen", "127.0.0.1:0", "-shards", "3", "-parts", partsDir, "-timeout", "5s")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatal("mismatched -shards accepted")
+	}
+	s := string(out)
+	if !strings.Contains(s, "-shards") || strings.Contains(s, "panic") {
+		t.Fatalf("mismatch not reported clearly: %s", s)
+	}
+	// A worker asked for a shard id outside the split must fail clearly
+	// too (this used to panic inside the partition carve).
+	cmd = childCapture(t, "-join", "127.0.0.1:1", "-shards", "200", "-shard", "150", "-in", graphPath, "-timeout", "2s")
+	out, err = cmd.CombinedOutput()
+	if err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	if s := string(out); strings.Contains(s, "panic") {
+		t.Fatalf("out-of-range shard panicked instead of erroring: %s", s)
+	}
+}
+
+// TestAddrFileAtomicity: the -addr-file appears via rename, so no
+// reader can ever observe a partially written address. The test pins
+// the mechanism: no temp-file residue is left next to the final file,
+// and the file content is a complete dialable address.
+func TestAddrFileAtomicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	g := gen.Gnp(120, 0.1, 5)
+	graphPath := filepath.Join(dir, "graph.txt")
+	f, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	addrPath := filepath.Join(dir, "addr")
+	coord := child(t, "-listen", "127.0.0.1:0", "-shards", "2", "-in", graphPath,
+		"-eps", "0.75", "-rho", "4", "-seed", "7", "-out", filepath.Join(dir, "out.txt"),
+		"-addr-file", addrPath, "-timeout", "30s")
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+	addr := waitForFile(t, addrPath, 15*time.Second)
+	if _, _, err := net.SplitHostPort(addr); err != nil {
+		t.Fatalf("addr file holds %q, not a host:port: %v", addr, err)
+	}
+	if fi, err := os.Stat(addrPath); err != nil {
+		t.Fatal(err)
+	} else if fi.Mode().Perm() != 0o644 {
+		t.Fatalf("addr file mode %v, want 0644 (world-readable like a plain WriteFile)", fi.Mode().Perm())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left beside the addr file", e.Name())
+		}
+	}
+	w := child(t, "-join", addr, "-shards", "2", "-shard", "1", "-in", graphPath, "-timeout", "30s")
+	if err := w.Run(); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+}
+
+// TestMultiProcessSpannerJob: the -job flag really switches the
+// algorithm — a coordinator and a worker process run the spanner job
+// end to end and the written subgraph matches the in-memory spanner.
+func TestMultiProcessSpannerJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	g := gen.Gnp(300, 0.05, 9)
+	graphPath := filepath.Join(dir, "graph.txt")
+	f, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	outPath := filepath.Join(dir, "spanner.txt")
+	addrPath := filepath.Join(dir, "addr")
+	coord := child(t, "-listen", "127.0.0.1:0", "-shards", "2", "-in", graphPath,
+		"-job", "spanner", "-seed", "21", "-out", outPath, "-addr-file", addrPath, "-timeout", "30s")
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+	addr := waitForFile(t, addrPath, 15*time.Second)
+	w := child(t, "-join", addr, "-shards", "2", "-shard", "1", "-in", graphPath,
+		"-job", "spanner", "-timeout", "30s")
+	if err := w.Run(); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	of, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer of.Close()
+	got, err := graphio.Read(of)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := dist.Run(dist.NewEngine(dist.Mem(), g), dist.SpannerJob(0, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.M() != ref.Output.G.M() {
+		t.Fatalf("spanner size %d vs in-memory %d", got.M(), ref.Output.G.M())
+	}
+	for i := range ref.Output.G.Edges {
+		if got.Edges[i] != ref.Output.G.Edges[i] {
+			t.Fatalf("spanner edge %d differs", i)
+		}
+	}
 }

@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	spanner -in graph.txt [-t 3] [-verify] [-seed 1] [-shards P]
+//	spanner -in graph.txt [-t 3] [-verify] [-seed 1] \
+//	    [-transport sharded -shards P]
 //
-// With -shards P > 0 the plain spanner (t ≤ 1) runs on the distributed
-// engine's sharded transport and the communication ledger of Theorem 2
-// is reported; the selected edges are identical to the shared-memory
-// path for equal seeds.
+// With -shards P > 0 (or an explicit -transport spec) the plain
+// spanner (t ≤ 1) runs on the distributed engine — "mem", "sharded"
+// with P worker goroutines, or "loopback" with P partitions over real
+// TCP sockets — and the communication ledger of Theorem 2 is reported;
+// the selected edges are identical to the shared-memory path on every
+// spec for equal seeds.
 package main
 
 import (
@@ -33,7 +36,8 @@ func main() {
 	t := flag.Int("t", 1, "bundle thickness (1 = plain spanner)")
 	verify := flag.Bool("verify", false, "verify the stretch bound (O(n·m) Dijkstras)")
 	seed := flag.Uint64("seed", 1, "random seed")
-	shards := flag.Int("shards", 0, "run the distributed engine on P shards (plain spanner only; 0 = shared-memory)")
+	shards := flag.Int("shards", 0, "shard count P for -transport sharded/loopback (plain spanner only; 0 = shared-memory)")
+	transport := flag.String("transport", "", `distributed transport spec: "mem", "sharded", or "loopback" (default sharded when -shards > 0)`)
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -50,13 +54,18 @@ func main() {
 		log.Fatal(err)
 	}
 	var h *repro.Graph
+	distributed := *shards > 0 || *transport != ""
 	switch {
-	case *shards > 0 && *t <= 1:
+	case distributed && *t <= 1:
+		spec, err := repro.ParseTransport(*transport, *shards)
+		if err != nil {
+			log.Fatal(err)
+		}
 		var stats repro.DistStats
-		h, stats = repro.DistributedSpanner(g, repro.Options{Seed: *seed, Shards: *shards})
+		h, stats = repro.DistributedSpanner(g, repro.Options{Seed: *seed, Transport: spec})
 		fmt.Fprintf(os.Stderr, "ledger: %s\n", stats)
-	case *shards > 0:
-		log.Fatal("-shards supports the plain spanner only (use -t 1)")
+	case distributed:
+		log.Fatal("-shards/-transport support the plain spanner only (use -t 1)")
 	case *t <= 1:
 		h = repro.Spanner(g, repro.Options{Seed: *seed})
 	default:

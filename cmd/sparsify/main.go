@@ -4,14 +4,18 @@
 //
 // Usage:
 //
-//	sparsify -in graph.txt -out sparse.txt -eps 0.5 -rho 8 [-measure] [-seed 1] [-shards P]
+//	sparsify -in graph.txt -out sparse.txt -eps 0.5 -rho 8 \
+//	    [-measure] [-seed 1] [-transport sharded -shards P]
 //
 // With -in omitted the graph is read from stdin; with -out omitted the
-// sparsifier is written to stdout. With -shards P > 0 the computation
-// runs on the distributed engine's sharded transport (P worker shards)
-// and reports the communication ledger; the output is edge-identical
-// to the shared-memory path for equal seeds. For real multi-process
-// workers over sockets, see cmd/distworker.
+// sparsifier is written to stdout. -transport selects the distributed
+// engine's transport spec: "mem" runs the in-memory simulation,
+// "sharded" partitions the rounds across -shards worker goroutines,
+// and "loopback" runs the whole multi-process protocol over real
+// loopback TCP sockets with -shards processes' worth of partitions.
+// The output is edge-identical to the shared-memory path on every
+// spec for equal seeds, and the communication ledger is reported. For
+// real multi-process workers over sockets, see cmd/distworker.
 package main
 
 import (
@@ -35,7 +39,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	theory := flag.Bool("theory", false, "use the paper's theoretical constants")
 	measure := flag.Bool("measure", false, "measure the achieved eps (costs extra solves)")
-	shards := flag.Int("shards", 0, "run on the distributed engine's sharded transport with P shards (0 = shared-memory)")
+	shards := flag.Int("shards", 0, "shard count P for -transport sharded/loopback (0 = shared-memory fast path)")
+	transport := flag.String("transport", "", `distributed transport spec: "mem", "sharded", or "loopback" (default sharded when -shards > 0)`)
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -52,12 +57,16 @@ func main() {
 		log.Fatal(err)
 	}
 	var h *repro.Graph
-	if *shards > 0 {
+	if *shards > 0 || *transport != "" {
+		spec, err := repro.ParseTransport(*transport, *shards)
+		if err != nil {
+			log.Fatal(err)
+		}
 		var stats repro.DistStats
 		h, stats = repro.DistributedSparsify(g, *eps, *rho,
-			repro.Options{Seed: *seed, Theory: *theory, Shards: *shards})
-		fmt.Fprintf(os.Stderr, "n=%d m=%d -> m=%d (%.1fx) on %d shards\n",
-			g.N, g.M(), h.M(), float64(g.M())/float64(max(h.M(), 1)), stats.Shards)
+			repro.Options{Seed: *seed, Theory: *theory, Transport: spec})
+		fmt.Fprintf(os.Stderr, "n=%d m=%d -> m=%d (%.1fx) on %s\n",
+			g.N, g.M(), h.M(), float64(g.M())/float64(max(h.M(), 1)), spec)
 		fmt.Fprintf(os.Stderr, "ledger: %s\n", stats)
 	} else {
 		var rep *repro.SparsifyReport

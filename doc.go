@@ -26,32 +26,35 @@
 // tests pin against the O(log² n)-round, near-linear-communication
 // bounds of Theorems 2 and 5.
 //
-// # Transports and sharding
+// # Engine, jobs, and transport specs
 //
-// The distributed engine is built on a pluggable Transport: by default
-// messages move through in-memory staging, while Options.Shards > 0
-// selects a sharded transport that partitions the vertices across P
-// worker goroutines and exchanges cross-shard messages through
-// per-shard-pair buffers at each round barrier. A third transport runs
-// the same rounds as real multi-process workers over TCP: each process
-// materializes only its shard's adjacency plus boundary edges
-// (graphio.ReadPartition/WritePartition), traffic crosses the wire as
-// batched fixed-size binary frames, and a per-round tally handshake
-// keeps the ledger identical on every process — see cmd/distworker for
-// the CLI (coordinator + worker modes) and examples/distributed for a
-// verified loopback run. A multi-process worker is memory-honest: its
-// partition view stores edges, masks, and scratch densely over local
-// ids with only a sorted global-id map at the wire boundary, so each
-// process allocates O((n + m)/P + boundary) words — enforced by a
-// memory regression suite, never the global edge count. The output is
-// edge-identical on all three transports for equal seeds — the medium
-// changes how messages travel, never what is decided — and the ledger
-// additionally reports
+// The distributed subsystem is organized around two orthogonal value
+// types: a Job (the algorithm — internal/dist's SpannerJob and
+// SparsifyJob are the built-ins) and a TransportSpec (how its rounds
+// execute). Options.Transport selects the spec for the entry points
+// here: Mem() is the single-process in-memory simulation and the
+// default, Sharded(p) partitions the rounds across p worker goroutines
+// exchanging cross-shard messages through per-shard-pair buffers at
+// each round barrier, and Loopback(p) runs the whole multi-process
+// protocol — partition views, batched binary frames on real loopback
+// TCP sockets, a per-round tally handshake that keeps the ledger
+// identical on every process — inside one process. Real multi-process
+// deployments use dist.Run directly with the Net/Worker specs; see
+// cmd/distworker for the CLI (coordinator + worker modes, -job
+// resolved against the dist job registry) and examples/distributed for
+// a verified run with real OS processes. A multi-process worker is
+// memory-honest: its partition view (graphio.ReadPartition) stores
+// edges, masks, and scratch densely over local ids with only a sorted
+// global-id map at the wire boundary, so each process allocates
+// O((n + m)/P + boundary) words — enforced by a memory regression
+// suite, never the global edge count. The output is edge-identical on
+// every spec for equal seeds — the medium changes how messages travel,
+// never what is decided — and the ledger additionally reports
 // DistStats.CrossShardMessages/CrossShardWords, the traffic a real
 // multi-machine partition puts on the wire. See internal/dist for the
-// transport contract and experiments E12/E13 (`go run ./cmd/bench
-// -run E12,E13`) for the scaling, transport-comparison, and
-// per-worker-footprint sweeps.
+// Engine/Job/TransportSpec contract and experiments E12/E13 (`go run
+// ./cmd/bench -run E12,E13`) for the scaling, transport-comparison,
+// and per-worker-footprint sweeps.
 //
 // All randomness is seeded and the library is deterministic for a fixed
 // seed at any GOMAXPROCS. ROADMAP.md records the system's direction and

@@ -25,6 +25,7 @@ import (
 	"strconv"
 
 	"repro"
+	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -42,6 +43,15 @@ const (
 
 func mpGraph(n int) *graph.Graph {
 	return gen.WithRandomWeights(gen.Gnp(n, 12/float64(n), uint64(n)+1), 0.25, 4, 17)
+}
+
+// mpJob is the one job value every process of the multi-process
+// section runs — the coordinator broadcasts its parameters, so the
+// workers would adopt them even if they disagreed locally.
+func mpJob() dist.Job[*graph.Graph] {
+	cfg := core.DefaultConfig(mpSeed)
+	cfg.BundleT = mpDepth
+	return dist.SparsifyJob(mpEps, mpRho, cfg)
 }
 
 func main() {
@@ -62,7 +72,10 @@ func singleProcessSections() {
 	fmt.Printf("%8s %8s %8s %14s %10s %14s\n", "n", "m", "rounds", "rounds/lg^2 n", "messages", "msgs/(m lg n)")
 	for _, n := range []int{128, 256, 512, 1024} {
 		g := gen.Gnp(n, 16/float64(n), uint64(n))
-		res := dist.BaswanaSen(g, 0, 7)
+		res, err := dist.Run(dist.NewEngine(dist.Mem(), g), dist.SpannerJob(0, 7))
+		if err != nil {
+			log.Fatal(err)
+		}
 		logn := math.Log2(float64(n))
 		fmt.Printf("%8d %8d %8d %14.2f %10d %14.2f\n",
 			n, g.M(), res.Stats.Rounds,
@@ -87,10 +100,10 @@ func singleProcessSections() {
 	}
 
 	fmt.Println()
-	fmt.Println("sharded transport (Options.Shards): same decisions, wire-billed exchange")
+	fmt.Println("sharded transport (Options.Transport = Sharded(P)): same decisions, wire-billed exchange")
 	fmt.Printf("%4s %10s %10s %12s %12s %10s\n", "P", "m_out", "rounds", "crossMsgs", "crossWords", "crossFrac")
 	for _, p := range []int{1, 2, 4} {
-		hp, st := repro.DistributedSparsify(g, 0.75, 4, repro.Options{Seed: 13, Shards: p})
+		hp, st := repro.DistributedSparsify(g, 0.75, 4, repro.Options{Seed: 13, Transport: repro.Sharded(p)})
 		fmt.Printf("%4d %10d %10d %12d %12d %10.3f\n",
 			p, hp.M(), st.Rounds, st.CrossShardMessages, st.CrossShardWords,
 			float64(st.CrossShardWords)/float64(st.Words))
@@ -110,34 +123,34 @@ func multiProcessSection() {
 	fmt.Printf("network transport: coordinator + %d worker processes over loopback TCP\n", shards-1)
 	fmt.Printf("  graph: n=%d m=%d, eps=%g rho=%g depth=%d seed=%d\n", n, g.M(), mpEps, mpRho, mpDepth, mpSeed)
 
-	coord, err := dist.ListenNet("127.0.0.1:0", g.N, shards, dist.DefaultNetTimeout)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer coord.Close()
-
-	self, err := os.Executable()
-	if err != nil {
-		log.Fatal(err)
-	}
-	procs := make([]*exec.Cmd, 0, shards-1)
-	for s := 1; s < shards; s++ {
-		cmd := exec.Command(self)
-		cmd.Env = append(os.Environ(),
-			"REPRO_DIST_ROLE=worker",
-			"REPRO_DIST_ADDR="+coord.Addr(),
-			"REPRO_DIST_SHARD="+strconv.Itoa(s),
-			"REPRO_DIST_SHARDS="+strconv.Itoa(shards),
-			"REPRO_DIST_N="+strconv.Itoa(n),
-		)
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
-			log.Fatal(err)
-		}
-		procs = append(procs, cmd)
-	}
-
-	res, wireBytes, err := dist.RunNetCoordinator(coord, graph.PartitionOf(g, 0, shards), mpEps, mpRho, mpDepth, mpSeed)
+	// The Net spec's OnListen hook is where the worker processes are
+	// spawned: the address exists, no worker has been awaited yet.
+	var procs []*exec.Cmd
+	spec := dist.Net(dist.NetConfig{
+		Listen: "127.0.0.1:0", Shards: shards, Timeout: dist.DefaultNetTimeout,
+		OnListen: func(addr string) {
+			self, err := os.Executable()
+			if err != nil {
+				log.Fatal(err)
+			}
+			for s := 1; s < shards; s++ {
+				cmd := exec.Command(self)
+				cmd.Env = append(os.Environ(),
+					"REPRO_DIST_ROLE=worker",
+					"REPRO_DIST_ADDR="+addr,
+					"REPRO_DIST_SHARD="+strconv.Itoa(s),
+					"REPRO_DIST_SHARDS="+strconv.Itoa(shards),
+					"REPRO_DIST_N="+strconv.Itoa(n),
+				)
+				cmd.Stderr = os.Stderr
+				if err := cmd.Start(); err != nil {
+					log.Fatal(err)
+				}
+				procs = append(procs, cmd)
+			}
+		},
+	})
+	res, err := dist.Run(dist.NewEngine(spec, g), mpJob())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -147,21 +160,24 @@ func multiProcessSection() {
 		}
 	}
 
-	ref := dist.Sparsify(g, mpEps, mpRho, mpDepth, mpSeed)
-	if res.G.M() != ref.G.M() {
-		log.Fatalf("OUTPUT MISMATCH: multi-process m=%d, in-memory m=%d", res.G.M(), ref.G.M())
+	ref, err := dist.Run(dist.NewEngine(dist.Mem(), g), mpJob())
+	if err != nil {
+		log.Fatal(err)
 	}
-	for i := range ref.G.Edges {
-		if res.G.Edges[i] != ref.G.Edges[i] {
-			log.Fatalf("OUTPUT MISMATCH at edge %d: %+v vs %+v", i, res.G.Edges[i], ref.G.Edges[i])
+	if res.Output.M() != ref.Output.M() {
+		log.Fatalf("OUTPUT MISMATCH: multi-process m=%d, in-memory m=%d", res.Output.M(), ref.Output.M())
+	}
+	for i := range ref.Output.Edges {
+		if res.Output.Edges[i] != ref.Output.Edges[i] {
+			log.Fatalf("OUTPUT MISMATCH at edge %d: %+v vs %+v", i, res.Output.Edges[i], ref.Output.Edges[i])
 		}
 	}
 	if res.Stats.Rounds != ref.Stats.Rounds || res.Stats.Words != ref.Stats.Words {
 		log.Fatalf("LEDGER MISMATCH: %+v vs %+v", res.Stats, ref.Stats)
 	}
-	fmt.Printf("  m=%d -> m=%d across %d processes\n", g.M(), res.G.M(), shards)
+	fmt.Printf("  m=%d -> m=%d across %d processes\n", g.M(), res.Output.M(), shards)
 	fmt.Printf("  ledger: %s\n", res.Stats)
-	fmt.Printf("  wire: %d bytes on loopback (model cross-shard: %d words)\n", wireBytes, res.Stats.CrossShardWords)
+	fmt.Printf("  wire: %d bytes on loopback (model cross-shard: %d words)\n", res.WireBytes, res.Stats.CrossShardWords)
 	fmt.Println("  VERIFIED: edge-identical to the in-memory transport, identical ledger")
 }
 
@@ -176,12 +192,8 @@ func workerMain() {
 	// Regenerate the same graph deterministically and keep only this
 	// shard's partition — the worker never holds the rest.
 	part := graph.PartitionOf(mpGraph(n), shard, shards)
-	tr, err := dist.JoinNet(addr, n, shard, shards, dist.DefaultNetTimeout)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer tr.Close()
-	if _, err := dist.RunNetWorker(tr, part); err != nil {
+	spec := dist.Worker(dist.WorkerConfig{Join: addr, Shard: shard, Shards: shards, Timeout: dist.DefaultNetTimeout})
+	if _, err := dist.Run(dist.NewPartitionEngine(spec, part), mpJob()); err != nil {
 		log.Fatalf("worker %d: %v", shard, err)
 	}
 }

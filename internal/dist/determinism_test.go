@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/spectral"
 )
 
@@ -14,14 +15,14 @@ import (
 // ledger is identical too.
 func TestSparsifyDeterministicSeed(t *testing.T) {
 	g := gen.Gnp(400, 0.1, 8)
-	a := dist.Sparsify(g, 0.75, 4, 0, 1234)
-	b := dist.Sparsify(g, 0.75, 4, 0, 1234)
-	if a.G.M() != b.G.M() {
-		t.Fatalf("edge counts differ: %d vs %d", a.G.M(), b.G.M())
+	a := runSparsify(t, dist.Mem(), g, 0.75, 4, 0, 1234)
+	b := runSparsify(t, dist.Mem(), g, 0.75, 4, 0, 1234)
+	if a.Output.M() != b.Output.M() {
+		t.Fatalf("edge counts differ: %d vs %d", a.Output.M(), b.Output.M())
 	}
-	for i := range a.G.Edges {
-		if a.G.Edges[i] != b.G.Edges[i] {
-			t.Fatalf("edge %d differs: %+v vs %+v", i, a.G.Edges[i], b.G.Edges[i])
+	for i := range a.Output.Edges {
+		if a.Output.Edges[i] != b.Output.Edges[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, a.Output.Edges[i], b.Output.Edges[i])
 		}
 	}
 	if a.Stats.Rounds != b.Stats.Rounds || a.Stats.Messages != b.Stats.Messages ||
@@ -36,13 +37,13 @@ func TestSparsifyDeterministicSeed(t *testing.T) {
 // both meeting a loose eps ceiling under the exact dense verifier.
 func TestSparsifyDifferentSeedsSameQuality(t *testing.T) {
 	g := gen.Gnp(150, 0.4, 6)
-	a := dist.Sparsify(g, 0.75, 4, 0, 100)
-	b := dist.Sparsify(g, 0.75, 4, 0, 200)
-	same := a.G.M() == b.G.M()
+	a := runSparsify(t, dist.Mem(), g, 0.75, 4, 0, 100)
+	b := runSparsify(t, dist.Mem(), g, 0.75, 4, 0, 200)
+	same := a.Output.M() == b.Output.M()
 	if same {
 		same = true
-		for i := range a.G.Edges {
-			if a.G.Edges[i] != b.G.Edges[i] {
+		for i := range a.Output.Edges {
+			if a.Output.Edges[i] != b.Output.Edges[i] {
 				same = false
 				break
 			}
@@ -51,11 +52,11 @@ func TestSparsifyDifferentSeedsSameQuality(t *testing.T) {
 	if same {
 		t.Fatal("different seeds produced identical output — seed not plumbed through")
 	}
-	if a.G.M() > 2*b.G.M() || b.G.M() > 2*a.G.M() {
-		t.Fatalf("sizes wildly differ across seeds: %d vs %d", a.G.M(), b.G.M())
+	if a.Output.M() > 2*b.Output.M() || b.Output.M() > 2*a.Output.M() {
+		t.Fatalf("sizes wildly differ across seeds: %d vs %d", a.Output.M(), b.Output.M())
 	}
-	for _, r := range []dist.Result{a, b} {
-		bd, err := spectral.DenseApproxFactor(g, r.G)
+	for _, r := range []dist.Result[*graph.Graph]{a, b} {
+		bd, err := spectral.DenseApproxFactor(g, r.Output)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,20 +69,20 @@ func TestSparsifyDifferentSeedsSameQuality(t *testing.T) {
 // TestBaswanaSenDeterministicSeed does the same for the spanner alone.
 func TestBaswanaSenDeterministicSeed(t *testing.T) {
 	g := gen.Gnp(300, 0.08, 2)
-	a := dist.BaswanaSen(g, 0, 55)
-	b := dist.BaswanaSen(g, 0, 55)
-	for i := range a.InSpanner {
-		if a.InSpanner[i] != b.InSpanner[i] {
+	a := runSpanner(t, dist.Mem(), g, 0, 55)
+	b := runSpanner(t, dist.Mem(), g, 0, 55)
+	for i := range a.Output.InSpanner {
+		if a.Output.InSpanner[i] != b.Output.InSpanner[i] {
 			t.Fatalf("mask differs at %d", i)
 		}
 	}
 	if !statsEqual(a.Stats, b.Stats) {
 		t.Fatalf("ledgers differ: %+v vs %+v", a.Stats, b.Stats)
 	}
-	c := dist.BaswanaSen(g, 0, 56)
+	c := runSpanner(t, dist.Mem(), g, 0, 56)
 	diff := false
-	for i := range a.InSpanner {
-		if a.InSpanner[i] != c.InSpanner[i] {
+	for i := range a.Output.InSpanner {
+		if a.Output.InSpanner[i] != c.Output.InSpanner[i] {
 			diff = true
 			break
 		}

@@ -30,7 +30,7 @@ func TestSpannerMatchesSharedMemory(t *testing.T) {
 	}
 	for gi, g := range cases {
 		for _, seed := range []uint64{1, 7, 42} {
-			d := dist.BaswanaSen(g, 0, seed)
+			d := runSpanner(t, dist.Mem(), g, 0, seed).Output
 			adj := graph.NewAdjacency(g)
 			s := spanner.Compute(g, adj, nil, spanner.Options{Seed: seed})
 			if len(d.InSpanner) != len(s.InSpanner) {
@@ -62,7 +62,7 @@ func TestSpannerStretchBound(t *testing.T) {
 		gen.Torus2D(12, 14),
 	}
 	for gi, g := range cases {
-		res := dist.BaswanaSen(g, 0, 13)
+		res := runSpanner(t, dist.Mem(), g, 0, 13).Output
 		bound := float64(2*res.K - 1)
 		if bad := stretch.VerifySpanner(g, res.InSpanner, bound); bad != -1 {
 			t.Fatalf("case %d: edge %d violates stretch bound %v", gi, bad, bound)
@@ -87,7 +87,7 @@ func TestSpannerLedgerTheorem2(t *testing.T) {
 	for _, k := range []int{7, 8, 9, 10, 11} {
 		n := 1 << k
 		g := gen.Gnp(n, 16/float64(n), uint64(3*n))
-		res := dist.BaswanaSen(g, 0, 5)
+		res := runSpanner(t, dist.Mem(), g, 0, 5)
 		st := res.Stats
 		if st.Rounds <= 0 || st.Messages <= 0 || st.Words <= 0 {
 			t.Fatalf("k=%d: empty ledger %+v", k, st)
@@ -137,15 +137,15 @@ func TestSparsifyMatchesCore(t *testing.T) {
 	}
 	for gi, g := range cases {
 		for _, seed := range []uint64{1, 99} {
-			d := dist.Sparsify(g, 0.75, 4, 0, seed)
+			d := runSparsify(t, dist.Mem(), g, 0.75, 4, 0, seed)
 			c, _ := core.ParallelSparsify(g, 0.75, 4, core.DefaultConfig(seed))
-			if d.G.N != c.N || d.G.M() != c.M() {
-				t.Fatalf("case %d seed %d: dist %v vs core %v", gi, seed, d.G, c)
+			if d.Output.N != c.N || d.Output.M() != c.M() {
+				t.Fatalf("case %d seed %d: dist %v vs core %v", gi, seed, d.Output, c)
 			}
 			for i := range c.Edges {
-				if d.G.Edges[i] != c.Edges[i] {
+				if d.Output.Edges[i] != c.Edges[i] {
 					t.Fatalf("case %d seed %d: edge %d differs: %+v vs %+v",
-						gi, seed, i, d.G.Edges[i], c.Edges[i])
+						gi, seed, i, d.Output.Edges[i], c.Edges[i])
 				}
 			}
 		}
@@ -166,11 +166,11 @@ func TestBundleMaskMatchesBundlePackage(t *testing.T) {
 	tLayers := cfg.BundleThickness(g.N, eps)
 	adj := graph.NewAdjacency(g)
 	b := bundle.Compute(g, adj, nil, bundle.Options{T: tLayers, Seed: roundSeed ^ 0xb5297a4d3f8c6e21})
-	d := dist.Sparsify(g, eps, 2, 0, seed)
+	d := runSparsify(t, dist.Mem(), g, eps, 2, 0, seed)
 	// Every bundle edge is kept verbatim in the output with its
 	// original weight; off-bundle survivors are reweighted ×4.
 	kept := make(map[[2]int32]float64)
-	for _, e := range d.G.Edges {
+	for _, e := range d.Output.Edges {
 		kept[[2]int32{e.U, e.V}] = e.W
 	}
 	for i, e := range g.Edges {
@@ -205,17 +205,17 @@ func TestSparsifyTheorem5Acceptance(t *testing.T) {
 		t.Fatal("test graph disconnected; pick another seed")
 	}
 	eps, rho := 0.75, 4.0
-	res := dist.Sparsify(g, eps, rho, depth, 9)
+	res := runSparsify(t, dist.Mem(), g, eps, rho, depth, 9)
 	st := res.Stats
 	if st.Rounds <= 0 || st.Messages <= 0 || st.Words <= 0 {
 		t.Fatalf("empty ledger: %+v", st)
 	}
 	logn := math.Log2(float64(n))
-	if maxEdges := rho * float64(n) * logn; float64(res.G.M()) > maxEdges {
-		t.Fatalf("sparsifier has %d edges, above ρ·n·log n = %v", res.G.M(), maxEdges)
+	if maxEdges := rho * float64(n) * logn; float64(res.Output.M()) > maxEdges {
+		t.Fatalf("sparsifier has %d edges, above ρ·n·log n = %v", res.Output.M(), maxEdges)
 	}
-	if res.G.M() >= g.M() {
-		t.Fatalf("no reduction: %d -> %d", g.M(), res.G.M())
+	if res.Output.M() >= g.M() {
+		t.Fatalf("no reduction: %d -> %d", g.M(), res.Output.M())
 	}
 	// Round budget: ⌈log₂ρ⌉ iterations × t layers × (k²/2+3k+2) rounds
 	// per layer, plus one sampling round each. Charge double for slack;
@@ -236,7 +236,7 @@ func TestSparsifyTheorem5Acceptance(t *testing.T) {
 		t.Fatalf("message width %d above O(log n) bits", st.MaxMessageWords)
 	}
 	// Spectral quality at the requested eps, via the iterative verifier.
-	b, err := spectral.ApproxFactor(g, res.G, spectral.Options{Seed: 21})
+	b, err := spectral.ApproxFactor(g, res.Output, spectral.Options{Seed: 21})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,8 +252,8 @@ func TestSparsifyTheorem5Acceptance(t *testing.T) {
 func TestSparsifyQualityVsBaseline(t *testing.T) {
 	g := gen.Gnp(180, 0.5, 41)
 	eps := 0.75
-	d := dist.Sparsify(g, eps, 4, 0, 3)
-	bd, err := spectral.DenseApproxFactor(g, d.G)
+	d := runSparsify(t, dist.Mem(), g, eps, 4, 0, 3)
+	bd, err := spectral.DenseApproxFactor(g, d.Output)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,14 +269,14 @@ func TestSparsifyQualityVsBaseline(t *testing.T) {
 		t.Fatalf("baseline eps %v > %v (verifier broken?)", bs.Epsilon(), eps)
 	}
 	t.Logf("dist: m=%d eps=%.3f; SS baseline: m=%d eps=%.3f",
-		d.G.M(), bd.Epsilon(), ss.M(), bs.Epsilon())
+		d.Output.M(), bd.Epsilon(), ss.M(), bs.Epsilon())
 }
 
 // TestStatsLedgerConsistency: phase rows partition the totals, and the
 // degenerate inputs keep a sane ledger.
 func TestStatsLedgerConsistency(t *testing.T) {
 	g := gen.Gnp(150, 0.2, 19)
-	res := dist.Sparsify(g, 0.9, 4, 0, 11)
+	res := runSparsify(t, dist.Mem(), g, 0.9, 4, 0, 11)
 	st := res.Stats
 	var rounds int
 	var msgs, words int64
@@ -292,18 +292,18 @@ func TestStatsLedgerConsistency(t *testing.T) {
 		t.Fatalf("words %d < messages %d", st.Words, st.Messages)
 	}
 	// rho <= 1 is the identity with an empty ledger.
-	id := dist.Sparsify(g, 0.5, 1, 0, 11)
-	if id.G.M() != g.M() || id.Stats.Rounds != 0 || id.Stats.Messages != 0 {
+	id := runSparsify(t, dist.Mem(), g, 0.5, 1, 0, 11)
+	if id.Output.M() != g.M() || id.Stats.Rounds != 0 || id.Stats.Messages != 0 {
 		t.Fatalf("rho<=1 should be a free identity: %+v", id.Stats)
 	}
 	// Edgeless graphs still terminate with a valid (message-free) run.
-	empty := dist.BaswanaSen(graph.New(10), 0, 1)
-	if graph.CountTrue(empty.InSpanner) != 0 || empty.Stats.Messages != 0 {
+	empty := runSpanner(t, dist.Mem(), graph.New(10), 0, 1)
+	if graph.CountTrue(empty.Output.InSpanner) != 0 || empty.Stats.Messages != 0 {
 		t.Fatalf("edgeless ledger: %+v", empty.Stats)
 	}
 	// k=1 keeps every edge without communication.
-	k1 := dist.BaswanaSen(gen.Complete(10), 1, 1)
-	if graph.CountTrue(k1.InSpanner) != gen.Complete(10).M() || k1.Stats.Messages != 0 {
+	k1 := runSpanner(t, dist.Mem(), gen.Complete(10), 1, 1)
+	if graph.CountTrue(k1.Output.InSpanner) != gen.Complete(10).M() || k1.Stats.Messages != 0 {
 		t.Fatalf("k=1 spanner must be the graph itself: %+v", k1.Stats)
 	}
 }

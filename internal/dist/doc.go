@@ -1,109 +1,126 @@
 // Package dist simulates the paper's synchronous distributed model and
-// implements its two distributed results on top of an explicit
-// CONGEST-style round engine:
+// implements its two distributed results — the Baswana–Sen spanner
+// (Theorem 2 / Corollary 3) and spectral sparsification (Algorithm 2 /
+// Theorem 5) — behind one Engine/Job/TransportSpec surface that makes
+// the paper's central promise an API shape: ONE algorithm value runs
+// unchanged on every execution substrate.
 //
-//   - BaswanaSen (Theorem 2 / Corollary 3): the randomized Baswana–Sen
-//     (2k−1)-spanner [Baswana & Sen, Random Struct. Algorithms 2007]
-//     expressed as synchronous rounds over per-vertex mailboxes. Cluster
-//     centers sample themselves, broadcast the outcome down their
-//     cluster trees (radius grows by one per iteration, hence O(log² n)
-//     rounds total), neighbors exchange cluster ids, and every vertex
-//     decides locally from its mailbox — never by peeking at remote
-//     state. Messages carry O(1) words of O(log n) bits each.
+// # The two axes
 //
-//   - Sparsify (Algorithm 2 / Theorem 5): spectral sparsification by
-//     ⌈log₂ρ⌉ iterations of the Algorithm 1 sampling round, each round
-//     composing t independent Baswana–Sen spanner layers into a
-//     t-bundle (Definition 1) and then keeping every off-bundle edge
-//     with probability 1/4 at weight 4w. The whole pipeline runs
-//     through one Engine, so the returned Stats ledger is the total
-//     communication bill of the distributed algorithm: O(t·log²n·log ρ)
-//     rounds and O(m·log n) words per spanner layer, i.e. near-linear
-//     total communication.
+// A Job is an algorithm as a value: a registry name, a wire schema for
+// its parameters, the per-round body executed over each process's
+// partition view, and the reducer that assembles the shards' partial
+// results. Two jobs are built in, one public entry point per
+// algorithm:
+//
+//   - SpannerJob(k, seed) — the randomized Baswana–Sen (2k−1)-spanner
+//     [Baswana & Sen 2007] expressed as synchronous rounds over
+//     per-vertex mailboxes: cluster centers sample themselves,
+//     broadcast the outcome down their cluster trees (radius grows by
+//     one per iteration, hence O(log² n) rounds total), neighbors
+//     exchange cluster ids, and every vertex decides locally from its
+//     mailbox — never by peeking at remote state. Messages carry O(1)
+//     words of O(log n) bits each.
+//
+//   - SparsifyJob(eps, rho, cfg) — ⌈log₂ρ⌉ iterations of the Algorithm
+//     1 sampling round, each composing t Baswana–Sen layers into a
+//     t-bundle (Definition 1) and keeping every off-bundle edge with
+//     probability 1/4 at weight 4w. The returned Stats ledger is the
+//     total communication bill Theorem 5 bounds.
+//
+// A TransportSpec is a value describing how the job's rounds execute:
+// Mem() (single-process, the default), Sharded(p) (p worker
+// goroutines), Loopback(p) (coordinator + p−1 worker goroutines over
+// real loopback TCP sockets), and the real multi-process pair
+// Net(NetConfig)/Worker(WorkerConfig). Specs carry no connections;
+// Run materializes, drives, and tears down the transport they
+// describe.
+//
+// Engine binds a spec to an input — NewEngine for a full graph,
+// NewPartitionEngine for one shard loaded from a partition file
+// (graphio.ReadPartition) — and Run(engine, job) composes the two axes
+// and returns a typed Result: the job's assembled Output plus the
+// run-wide honesty counters (Stats, PeakViewWords, WireBytes).
+//
+// In-process:
+//
+//	g := gen.Gnp(1000, 0.02, 7)
+//	res, err := dist.Run(dist.NewEngine(dist.Sharded(4), g),
+//	    dist.SparsifyJob(0.75, 4, core.DefaultConfig(7)))
+//	// res.Output is the sparsifier, res.Stats the Theorem 5 ledger.
+//
+// Loopback — the full multi-process protocol (partition views, binary
+// frames on real sockets, the round-tally handshake, the result
+// gather) inside one process:
+//
+//	res, err := dist.Run(dist.NewEngine(dist.Loopback(4), g),
+//	    dist.SpannerJob(0, 7))
+//	// res.Output.G is the spanner; res.WireBytes the socket traffic.
+//
+// Real multi-process — one coordinator process and P−1 workers, each
+// holding only its shard (see cmd/distworker for the CLI form):
+//
+//	// coordinator process (shard 0):
+//	spec := dist.Net(dist.NetConfig{Listen: ":9000", Shards: 4,
+//	    OnListen: func(addr string) { /* publish addr */ }})
+//	res, err := dist.Run(dist.NewPartitionEngine(spec, part0), job)
+//
+//	// each worker process s in 1..3:
+//	wspec := dist.Worker(dist.WorkerConfig{Join: addr, Shard: s, Shards: 4})
+//	_, err := dist.Run(dist.NewPartitionEngine(wspec, partS), job)
+//
+// The coordinator broadcasts the job's name and parameter block (the
+// wire schema pinned by TestJobWireSchemas), so workers adopt — and
+// cross-check — the exact same run; a worker started for a different
+// job, build, or graph fails loudly before any round executes.
+//
+// # Equivalence
 //
 // The decision logic mirrors the shared-memory implementation in
 // internal/spanner and internal/core exactly (same split-stream seeds,
-// same tie-breaking), so for equal seeds the distributed algorithms
-// produce bit-identical outputs to spanner.Compute and
-// core.ParallelSparsify. The simulation therefore adds exactly one
-// thing: the communication ledger (Stats) that Theorems 2 and 5 bound,
-// counted message by message as the rounds execute.
+// same tie-breaking), so for equal seeds the distributed outputs are
+// bit-identical to spanner.Compute and core.ParallelSparsify — and
+// identical across every TransportSpec at any shard count and any
+// GOMAXPROCS, with an identical Stats ledger (Rounds, Messages, Words,
+// per-phase rows). Only the honesty counters of distribution vary: the
+// CrossShard split, WireBytes, and PeakViewWords. The cross-transport
+// matrix in equivalence_test.go pins all of it through the single
+// Run entry point.
 //
-// # Transports and sharding
+// # Under the hood
 //
-// The engine is split from the medium that carries its messages by the
-// Transport interface (transport.go): the engine runs the synchronous
-// schedule (compute phase → EndRound barrier → next round) and keeps
-// the ledger, while the transport stages, routes, and tallies the
-// traffic through the shared exchange core (exchange.go) — per
-// (staging shard, recipient shard) buckets drained in staging-shard
-// order at every barrier. Three transports ship:
+// The round engine (rounds.go) runs the synchronous schedule — compute
+// phase → EndRound barrier → next round — and keeps the ledger; the
+// Transport interface (transport.go) decides how staged messages
+// travel, with all three implementations sharing the exchange core
+// (exchange.go): per (staging shard, recipient shard) buckets drained
+// in staging-shard order at every barrier. The staging discipline that
+// makes one algorithm run everywhere: payloads carrying real remote
+// state (MsgCenter, MsgNewCenter, MsgAdd, MsgDrop) are staged by the
+// sender's owner and genuinely cross the wire for boundary edges,
+// while payloads that are pure functions of the seed (MsgSampled,
+// MsgKeep) are staged — and re-derived — by the recipient's owner, yet
+// billed identically. Decision notices fold back from mailboxes after
+// each barrier: a no-op re-application in one process, the
+// boundary-edge knowledge transfer across processes.
 //
-//   - MemTransport (the default, NewEngine): the exchange core on
-//     parutil's in-process worker partition with a single ownership
-//     shard — the original single-process simulation.
-//
-//   - ShardedTransport (NewShardedEngine, BaswanaSenSharded,
-//     SparsifySharded): the vertex set is partitioned across P shards,
-//     each served by one worker goroutine during compute phases;
-//     messages cross the pair buckets at the round barrier, with
-//     traffic whose endpoints live on different shards billed
-//     separately as Stats.CrossShardMessages/Words — the wire volume a
-//     multi-machine deployment would pay.
-//
-//   - NetTransport (ListenNet/JoinNet, SparsifyPartition,
-//     BaswanaSenPartition, RunNetCoordinator/RunNetWorker): each shard
-//     is a separate OS process holding only its partition of the graph
-//     (graph.Partition: its shard's adjacency plus boundary edges),
-//     and the pair buckets become batched fixed-size binary frames
-//     (wire.go) flushed over TCP at every barrier. Shard 0 is the
-//     coordinator: it relays frames between workers by header without
-//     decoding payloads (a star; full mesh is future work) and runs
-//     the round-tally handshake — every process ships the tally of
-//     what it staged, the coordinator reduces, and every engine bills
-//     the global tally, so the ledger is identical on every process.
-//     Loop-control values a single process would read off shared
-//     memory (the broadcast-wave depth, bundle-loop progress, the
-//     sorted owned bundle-id union for renumbering) travel as small
-//     unbilled collectives (AllMaxInt32/AllOrBits/AllGatherInt32s)
-//     piggybacked on the barrier.
+// On the network path (net.go, wire.go) each shard is an OS process
+// and the buckets become batched fixed-size binary frames flushed over
+// TCP at every barrier, relayed through the shard-0 coordinator in a
+// star (full mesh is the ROADMAP's next transport). The barrier
+// doubles as the round-tally handshake — every process ships the tally
+// of what it staged, the coordinator reduces, every engine bills the
+// global tally — so the ledger is identical on every process.
+// Loop-control values a single process reads off shared memory travel
+// as small unbilled collectives (AllMaxInt32/AllOrBits/AllGatherInt32s)
+// piggybacked on the barrier.
 //
 // Per-worker memory is O(n + m_incident) words on a partition run —
-// enforced, not aspirational. A partition view (view.go) stores its
-// edges, masks, and per-round scratch DENSELY over local ids
-// [0, m_incident), keeping only a sorted global-id map for the wire
-// boundary: message ports, add/drop notices, and the pure seed-derived
-// sampling coins are keyed by global id, so frames and tie-breaks stay
-// globally consistent and outputs bit-identical while no per-edge
-// array anywhere scales with the global m. Even the end-of-round
-// renumbering merges only the O(bundle-size) sorted list of in-bundle
-// edge ids (each contributed by its owning shard) instead of a Θ(m)
-// mask. The memory regression suite (memory_test.go) pins the bound
-// statically (table lengths), dynamically (peak footprint of a real
-// loopback run, gathered per process), and at the allocator; E13
-// reports it as the wkrPeakWords column.
-//
-// The staging discipline that makes one algorithm run on all three:
-// payloads carrying real remote state (MsgCenter, MsgNewCenter,
-// MsgAdd, MsgDrop) are staged by the sender's owner and genuinely
-// cross the wire for boundary edges, while payloads that are pure
-// functions of the seed (MsgSampled, MsgKeep) are staged — and
-// re-derived — by the recipient's owner, yet billed identically.
-// Decision notices (MsgAdd/MsgDrop) are folded back from the mailboxes
-// after each barrier, which is a no-op re-application in one process
-// and the boundary-edge knowledge transfer across processes.
-//
-// Transports are interchangeable by construction: outputs are
-// bit-identical for equal seeds at any shard count and any GOMAXPROCS
-// (the algorithms fold their mailboxes with order-independent
-// reductions, so bucket drain order is unobservable), and the ledger's
-// Rounds, Messages, Words, and per-phase rows are transport-independent
-// — the cross-transport matrix in equivalence_test.go pins both
-// properties over {Mem, Sharded, Net-loopback} × shard counts ×
-// {spanner, sparsify}, transport_test.go and net_test.go pin the
-// transport-specific ledger splits and protocol behavior, and
-// cmd/distworker's test pins the OS-process version. Experiments E12
-// and E13 measure the cost of distribution (shard-count scaling;
-// in-memory vs sharded vs network wall-clock, wire volume, and
-// per-worker footprint).
+// enforced, not aspirational. A partition view (view.go) stores edges,
+// masks, and per-round scratch densely over local ids [0, m_incident)
+// with only a sorted global-id map at the wire boundary, and even the
+// end-of-round renumbering gathers only the O(bundle-size) sorted list
+// of in-bundle edge ids. The memory regression suite (memory_test.go)
+// pins the bound statically, dynamically (Result.PeakViewWords of real
+// loopback runs), and at the allocator; E13 reports it per worker.
 package dist

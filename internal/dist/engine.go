@@ -1,224 +1,198 @@
 package dist
 
-// The round engine: a simulated synchronous message-passing network
-// (the CONGEST-style model of the paper's Section on distributed
-// implementation). Vertices are the processors; each round every vertex
-// may send word-bounded messages to neighbors, and every message sent
-// in round r is readable from the recipient's mailbox during round r+1.
-//
-// The engine runs the synchronous schedule and keeps the ledger; how
-// messages physically travel between rounds is the Transport's job
-// (see transport.go): in-memory staging by default, a vertex-sharded
-// exchange across worker goroutines via NewShardedEngine, or — the
-// seam's purpose — a real network in a future multi-machine transport.
-//
-// Staging follows the exchange core's kind-based discipline (see
-// exchange.go): payloads carrying real remote state are staged by the
-// worker owning the sender, payloads that are pure functions of the
-// seed by the worker owning the recipient. That is how the parallel
-// per-vertex loops of the algorithms stay race-free — and how a
-// multi-process transport knows which traffic must cross the wire —
-// while the ledger still counts every directed message exactly once.
-// Message payloads always carry snapshot state from the start of the
-// round, so the staging side is unobservable to the algorithm.
+import (
+	"fmt"
 
-// MsgKind identifies the payload schema of a message.
-type MsgKind uint8
-
-const (
-	// MsgSampled travels parent→child down a cluster tree and carries
-	// the cluster's sampled bit for the current iteration.
-	MsgSampled MsgKind = iota
-	// MsgCenter is the per-iteration neighbor exchange: the sender's
-	// cluster id, its cluster-tree depth, and the cluster-sampled bit.
-	MsgCenter
-	// MsgAdd tells the recipient that the sender placed their shared
-	// edge in the spanner.
-	MsgAdd
-	// MsgDrop tells the recipient that the sender discarded their
-	// shared edge from the working edge set E'.
-	MsgDrop
-	// MsgNewCenter is the post-decision center exchange used to discard
-	// intra-cluster edges and to run the final vertex–cluster joins.
-	MsgNewCenter
-	// MsgKeep announces a uniform-sampling verdict for an off-bundle
-	// edge during Algorithm 1's sampling step.
-	MsgKeep
+	"repro/internal/graph"
 )
 
-// Words returns the payload size of the kind in O(log n)-bit words.
-func (k MsgKind) Words() int {
-	if k == MsgCenter {
-		return 3
-	}
-	return 1
-}
-
-// Message is one payload crossing one edge in one round. Port is the
-// edge over which it traveled — addressing, not payload, so it does not
-// count toward Words (a real network identifies the arrival link for
-// free). A, B, and C are the payload words.
-type Message struct {
-	From    int32
-	Port    int32
-	Kind    MsgKind
-	A, B, C int32
-}
-
-// Engine simulates the synchronous network for a fixed vertex set and
-// accumulates the communication ledger. Messages travel through the
-// engine's Transport; the ledger is transport-independent up to the
-// CrossShard split (see Stats).
+// Engine is the single entry point of the distributed subsystem: it
+// binds a TransportSpec (how rounds execute) to an input (the graph or
+// one shard's partition of it) and owns everything between — partition
+// loading, the exchange core, the round-tally handshake, and the
+// gathering of Stats, PeakViewWords, and WireBytes. Run(engine, job)
+// executes any Job on it; the same job value runs unchanged on every
+// spec, which is the paper's one-algorithm-many-models promise made
+// into an API shape.
 type Engine struct {
-	n     int
-	tr    Transport
-	round int // index of the current round, incremented by EndRound
-	stats Stats
-	cur   int // index of the current phase in stats.Phases
+	spec TransportSpec
+	g    *graph.Graph
+	part *graph.Partition
 }
 
-// NewEngine returns an engine for n vertices on the default in-memory
-// transport, with an empty ledger.
-func NewEngine(n int) *Engine { return NewEngineOn(n, NewMemTransport(n)) }
-
-// NewShardedEngine returns an engine for n vertices on a sharded
-// transport with p worker shards.
-func NewShardedEngine(n, p int) *Engine { return NewEngineOn(n, NewShardedTransport(n, p)) }
-
-// NewEngineOn returns an engine running over an explicit transport.
-func NewEngineOn(n int, tr Transport) *Engine {
-	e := &Engine{n: n, tr: tr, cur: -1}
-	e.stats.Shards = tr.Shards()
-	return e
+// NewEngine returns an engine over a full graph. Every spec accepts
+// it: the in-process specs run the graph directly, Loopback carves one
+// partition per worker goroutine, and the multi-process specs (Net,
+// Worker) carve this process's own shard — use NewPartitionEngine
+// instead when the shard was loaded from a partition file and the full
+// graph was never materialized.
+func NewEngine(spec TransportSpec, g *graph.Graph) *Engine {
+	return &Engine{spec: spec, g: g}
 }
 
-// Transport returns the engine's transport.
-func (e *Engine) Transport() Transport { return e.tr }
+// NewPartitionEngine returns an engine over one pre-loaded partition —
+// the memory-honest input of the multi-process specs (Net and Worker),
+// where a process materializes only its shard's adjacency plus
+// boundary edges (graphio.ReadPartition).
+func NewPartitionEngine(spec TransportSpec, part *graph.Partition) *Engine {
+	return &Engine{spec: spec, part: part}
+}
 
-// BeginPhase directs subsequent rounds' accounting at the named phase,
-// creating it on first use; repeated names merge (iterated stages show
-// up as one row).
-func (e *Engine) BeginPhase(name string) {
-	for i := range e.stats.Phases {
-		if e.stats.Phases[i].Name == name {
-			e.cur = i
-			return
+// Result is Run's envelope around a job's output: the assembled result
+// plus the run-wide honesty counters every spec reports.
+type Result[R any] struct {
+	// Output is the job's assembled result. On a Worker engine it is
+	// the zero value — assembly happens at the coordinator.
+	Output R
+	// Stats is the communication ledger of the run (Theorems 2 and 5).
+	// It is identical on every spec and, for multi-process runs, on
+	// every process (the round-tally handshake).
+	Stats Stats
+	// PeakViewWords is the largest edge-table footprint (in words, see
+	// view.tableWords) any round's working view reached. On the
+	// single-process specs this is Θ(m) — one process holds everything;
+	// on a multi-process run the coordinator reports the MAXIMUM across
+	// all processes, i.e. the per-worker O(m_incident) bound the memory
+	// regression tests pin and E13 reports, while a Worker engine
+	// reports its own local peak.
+	PeakViewWords int
+	// WireBytes is the total bytes put on real sockets, frame headers
+	// included: zero for the in-process specs, the sum across all
+	// processes at a Loopback or Net coordinator, and this process's
+	// own bytes on a Worker engine.
+	WireBytes int64
+}
+
+// Run executes a job on an engine and returns the typed result. (This
+// is Engine.Run in spirit; it is a package function only because Go
+// methods cannot introduce type parameters.)
+//
+// The spec decides the execution shape: Mem and Sharded run the whole
+// graph in this process; Loopback runs the full multi-process protocol
+// over loopback TCP with worker goroutines; Net drives a real
+// coordinator — listen, broadcast the job's name and parameters, run
+// shard 0, assemble — and Worker drives one real worker shard, which
+// adopts the coordinator's broadcast parameters (the local job value
+// supplies the algorithm and is cross-checked against the broadcast
+// name) and returns the zero Output.
+//
+// For equal (job, seed) the output and Stats are bit-identical on
+// every spec. Network failures (I/O errors, timeouts, protocol or job
+// mismatches) surface as errors; the in-process specs cannot fail.
+func Run[R any](e *Engine, job Job[R]) (Result[R], error) {
+	if job.impl == nil {
+		return Result[R]{}, fmt.Errorf("dist: Run needs a job (SpannerJob, SparsifyJob, ...)")
+	}
+	switch e.spec.kind {
+	case specDefault, specMem, specSharded:
+		return runInProcess(e, job)
+	case specLoopback:
+		return runLoopbackJob(e, job)
+	case specNet:
+		return runNetCoordinatorJob(e, job)
+	case specWorker:
+		return runNetWorkerJob(e, job)
+	default:
+		return Result[R]{}, fmt.Errorf("dist: unknown transport spec %v", e.spec)
+	}
+}
+
+// runInProcess executes the job's full-graph path on a single-process
+// transport (Mem or Sharded).
+func runInProcess[R any](e *Engine, job Job[R]) (Result[R], error) {
+	if e.g == nil {
+		return Result[R]{}, fmt.Errorf("dist: the %s spec needs a full graph (use NewEngine)", e.spec)
+	}
+	var tr Transport
+	if e.spec.kind == specSharded {
+		tr = NewShardedTransport(e.g.N, e.spec.shards)
+	} else {
+		tr = NewMemTransport(e.g.N)
+	}
+	re := newRoundEngineOn(e.g.N, tr)
+	out, peak := job.impl.runFull(re, e.g)
+	return Result[R]{Output: out, Stats: re.Stats(), PeakViewWords: peak}, nil
+}
+
+// partitionFor resolves the engine's input to the partition this
+// process runs: the pre-loaded one when present (validated against the
+// spec), else the shard carved out of the full graph.
+func (e *Engine) partitionFor(shard, shards int) (*graph.Partition, error) {
+	if e.part != nil {
+		if e.part.Shard != shard || e.part.Shards != shards {
+			return nil, fmt.Errorf("dist: engine holds partition shard %d of %d, but the %s spec needs shard %d of %d",
+				e.part.Shard, e.part.Shards, e.spec, shard, shards)
 		}
+		return e.part, nil
 	}
-	e.stats.Phases = append(e.stats.Phases, PhaseStats{Name: name})
-	e.cur = len(e.stats.Phases) - 1
+	if e.g == nil {
+		return nil, fmt.Errorf("dist: the %s spec needs a graph or a partition", e.spec)
+	}
+	if clamped := graph.ClampShards(e.g.N, shards); clamped != shards {
+		return nil, fmt.Errorf("dist: %d shards invalid for %d vertices", shards, e.g.N)
+	}
+	if shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("dist: shard %d out of range [0,%d)", shard, shards)
+	}
+	return graph.PartitionOf(e.g, shard, shards), nil
 }
 
-// Deliver stages a message for vertex `to` in the current round. It
-// must be called only from the worker the staging discipline assigns —
-// the owner of m.From for sender-staged kinds (MsgCenter,
-// MsgNewCenter, MsgAdd, MsgDrop), the owner of `to` for the pure
-// seed-derived kinds (MsgSampled, MsgKeep) — or from a single
-// goroutine outside a compute phase.
-func (e *Engine) Deliver(to int32, m Message) {
-	e.tr.Send(e.round, to, m)
+// runNetCoordinatorJob drives the coordinator (shard 0) of a real
+// multi-process run: listen, announce the bound address, await the
+// workers, broadcast the job header, run this shard, assemble.
+func runNetCoordinatorJob[R any](e *Engine, job Job[R]) (Result[R], error) {
+	part, err := e.partitionFor(0, e.spec.shards)
+	if err != nil {
+		return Result[R]{}, err
+	}
+	tr, err := ListenNet(e.spec.listen, part.N, e.spec.shards, e.spec.timeoutOrDefault())
+	if err != nil {
+		return Result[R]{}, err
+	}
+	defer tr.Close()
+	if e.spec.onListen != nil {
+		e.spec.onListen(tr.Addr())
+	}
+	return runNetJob(tr, part, job)
 }
 
-// ForVertices runs body(v) for every vertex, partitioned across the
-// transport's workers so each vertex is visited by its owner — the
-// compute half of a round. The call is a barrier.
-func (e *Engine) ForVertices(body func(v int32)) {
-	e.tr.ForWorkers(func(_, lo, hi int) {
-		for vi := lo; vi < hi; vi++ {
-			body(int32(vi))
-		}
-	})
+// runNetWorkerJob drives one worker shard of a real multi-process run.
+func runNetWorkerJob[R any](e *Engine, job Job[R]) (Result[R], error) {
+	part, err := e.partitionFor(e.spec.shard, e.spec.shards)
+	if err != nil {
+		return Result[R]{}, err
+	}
+	tr, err := JoinNet(e.spec.join, part.N, e.spec.shard, e.spec.shards, e.spec.timeoutOrDefault())
+	if err != nil {
+		return Result[R]{}, err
+	}
+	defer tr.Close()
+	return runNetJob(tr, part, job)
 }
 
-// CollectVertices runs gen once per transport worker over the worker's
-// vertex range and concatenates the results in worker order — the
-// deterministic parallel filter/emit primitive of the compute phase
-// (the engine-partitioned analogue of parutil.CollectShards).
-func CollectVertices[T any](e *Engine, gen func(worker, lo, hi int) []T) []T {
-	if e.n <= 0 {
-		return nil
+// runLoopbackJob runs the whole multi-process protocol inside this
+// process: a coordinator plus shards−1 worker goroutines, each on its
+// own NetTransport over real loopback TCP sockets and each
+// materializing only its partition.
+func runLoopbackJob[R any](e *Engine, job Job[R]) (Result[R], error) {
+	if e.g == nil {
+		return Result[R]{}, fmt.Errorf("dist: the %s spec needs a full graph (use NewEngine)", e.spec)
 	}
-	parts := make([][]T, e.tr.Workers())
-	e.tr.ForWorkers(func(worker, lo, hi int) {
-		parts[worker] = gen(worker, lo, hi)
-	})
-	total := 0
-	for _, part := range parts {
-		total += len(part)
+	g := e.g
+	p := graph.ClampShards(g.N, e.spec.shards)
+	var res Result[R]
+	err := runLoopback(g.N, p, e.spec.timeoutOrDefault(),
+		func(coord *NetTransport) error {
+			var err error
+			res, err = runNetJob(coord, graph.PartitionOf(g, 0, p), job)
+			return err
+		},
+		func(tr *NetTransport, s int) error {
+			_, err := runNetJob(tr, graph.PartitionOf(g, s, p), job)
+			return err
+		})
+	if err != nil {
+		return Result[R]{}, err
 	}
-	out := make([]T, 0, total)
-	for _, part := range parts {
-		out = append(out, part...)
-	}
-	return out
-}
-
-// EndRound closes the current synchronous round: staged messages are
-// billed to the ledger and become the mailboxes readable until the next
-// EndRound. Mailbox slices are recycled — callers must not retain them
-// across two EndRound calls.
-func (e *Engine) EndRound() {
-	if e.cur < 0 {
-		e.BeginPhase("main")
-	}
-	tally := e.tr.EndRound(e.round)
-	e.round++
-	e.stats.Rounds++
-	e.stats.Messages += tally.Messages
-	e.stats.Words += tally.Words
-	e.stats.CrossShardMessages += tally.CrossShardMessages
-	e.stats.CrossShardWords += tally.CrossShardWords
-	if tally.MaxMessageWords > e.stats.MaxMessageWords {
-		e.stats.MaxMessageWords = tally.MaxMessageWords
-	}
-	p := &e.stats.Phases[e.cur]
-	p.Rounds++
-	p.Messages += tally.Messages
-	p.Words += tally.Words
-	p.CrossShardMessages += tally.CrossShardMessages
-	p.CrossShardWords += tally.CrossShardWords
-}
-
-// Mailbox returns the messages delivered to v by the last EndRound.
-func (e *Engine) Mailbox(v int32) []Message { return e.tr.Recv(e.round, v) }
-
-// allMaxInt32 reduces x to its maximum across all shards of the
-// transport. Single-process transports compute loop-control values
-// over shared memory, so the reduction is the identity there; the
-// network transport runs a control-plane convergecast (not billed to
-// the ledger — see collectiveTransport).
-func (e *Engine) allMaxInt32(x int32) int32 {
-	if c, ok := e.tr.(collectiveTransport); ok {
-		return c.AllMaxInt32(x)
-	}
-	return x
-}
-
-// allOrWord reduces one word of flags by bitwise OR across all shards.
-func (e *Engine) allOrWord(w uint64) uint64 {
-	if c, ok := e.tr.(collectiveTransport); ok {
-		return c.AllOrBits([]uint64{w})[0]
-	}
-	return w
-}
-
-// allGatherInt32s merges the shards' sorted, disjoint id lists into
-// the globally sorted union, visible to every shard. Single-process
-// transports hold the complete list already, so the gather is the
-// identity there; the network transport runs a control-plane
-// convergecast + broadcast (not billed — see collectiveTransport).
-// Unlike the retired Θ(m)-bit mask merge this costs O(list) words,
-// which for the bundle-id gather is the sparsifier's own output scale.
-func (e *Engine) allGatherInt32s(xs []int32) []int32 {
-	if c, ok := e.tr.(collectiveTransport); ok {
-		return c.AllGatherInt32s(xs)
-	}
-	return xs
-}
-
-// Stats returns a copy of the accumulated ledger.
-func (e *Engine) Stats() Stats {
-	s := e.stats
-	s.Phases = append([]PhaseStats(nil), e.stats.Phases...)
-	return s
+	return res, nil
 }

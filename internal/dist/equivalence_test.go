@@ -10,14 +10,16 @@ import (
 	"repro/internal/graph"
 )
 
-// The cross-transport equivalence matrix: ONE table sweeping
-// {Mem, Sharded, Net-loopback} × shards {1, 2, 3, 7} × {spanner,
-// sparsify} over representative graphs, asserting edge-identical
-// outputs and an identical Stats ledger everywhere. This is the single
+// The cross-transport equivalence matrix: ONE table sweeping every
+// TransportSpec — {Mem, Sharded, Loopback (net)} × shards {1, 2, 3, 7}
+// — over both built-in jobs and representative graphs, asserting
+// edge-identical outputs and an identical Stats ledger everywhere
+// through the single Engine.Run entry point. This is the single
 // readable pin of the package's central invariant — transports move
-// messages, not decisions — replacing the per-case equivalence tests
-// that previously sat scattered across transport_test.go and
-// net_test.go (the ledger- and protocol-specific tests remain there).
+// messages, not decisions — and it is what proves the Engine/Job
+// refactor behavior-preserving: the expected values are the same
+// in-memory references the pre-Engine per-transport entry points were
+// pinned against.
 func TestCrossTransportEquivalenceMatrix(t *testing.T) {
 	const (
 		matrixTimeout = 30 * time.Second
@@ -51,31 +53,39 @@ func TestCrossTransportEquivalenceMatrix(t *testing.T) {
 			}
 		}
 	}
-	sameSpanner := func(t *testing.T, got, want *dist.SpannerResult) {
+	sameSpanner := func(t *testing.T, got, want dist.Result[*dist.SpannerOutput]) {
 		t.Helper()
-		if got.K != want.K {
-			t.Fatalf("K %d != %d", got.K, want.K)
+		if got.Output.K != want.Output.K {
+			t.Fatalf("K %d != %d", got.Output.K, want.Output.K)
 		}
-		for i := range want.InSpanner {
-			if got.InSpanner[i] != want.InSpanner[i] {
-				t.Fatalf("edge %d: in-spanner %v vs %v", i, got.InSpanner[i], want.InSpanner[i])
+		for i := range want.Output.InSpanner {
+			if got.Output.InSpanner[i] != want.Output.InSpanner[i] {
+				t.Fatalf("edge %d: in-spanner %v vs %v", i, got.Output.InSpanner[i], want.Output.InSpanner[i])
 			}
 		}
-		for v := range want.Center {
-			if got.Center[v] != want.Center[v] {
-				t.Fatalf("center[%d] %d vs %d", v, got.Center[v], want.Center[v])
+		for v := range want.Output.Center {
+			if got.Output.Center[v] != want.Output.Center[v] {
+				t.Fatalf("center[%d] %d vs %d", v, got.Output.Center[v], want.Output.Center[v])
+			}
+		}
+		if got.Output.G.M() != want.Output.G.M() {
+			t.Fatalf("spanner subgraph size %d vs %d", got.Output.G.M(), want.Output.G.M())
+		}
+		for i := range want.Output.G.Edges {
+			if got.Output.G.Edges[i] != want.Output.G.Edges[i] {
+				t.Fatalf("spanner edge %d differs: %+v vs %+v", i, got.Output.G.Edges[i], want.Output.G.Edges[i])
 			}
 		}
 		sameStats(t, got.Stats, want.Stats)
 	}
-	sameGraph := func(t *testing.T, got, want dist.Result) {
+	sameGraph := func(t *testing.T, got, want dist.Result[*graph.Graph]) {
 		t.Helper()
-		if got.G.N != want.G.N || got.G.M() != want.G.M() {
-			t.Fatalf("output shape %v vs %v", got.G, want.G)
+		if got.Output.N != want.Output.N || got.Output.M() != want.Output.M() {
+			t.Fatalf("output shape %v vs %v", got.Output, want.Output)
 		}
-		for i := range want.G.Edges {
-			if got.G.Edges[i] != want.G.Edges[i] {
-				t.Fatalf("edge %d differs: %+v vs %+v", i, got.G.Edges[i], want.G.Edges[i])
+		for i := range want.Output.Edges {
+			if got.Output.Edges[i] != want.Output.Edges[i] {
+				t.Fatalf("edge %d differs: %+v vs %+v", i, got.Output.Edges[i], want.Output.Edges[i])
 			}
 		}
 		sameStats(t, got.Stats, want.Stats)
@@ -85,30 +95,25 @@ func TestCrossTransportEquivalenceMatrix(t *testing.T) {
 		gc := gc
 		for _, seed := range seeds {
 			seed := seed
-			refSpanner := dist.BaswanaSen(gc.g, 0, seed)
-			refSparsify := dist.Sparsify(gc.g, eps, rho, 0, seed)
+			refSpanner := runSpanner(t, dist.Mem(), gc.g, 0, seed)
+			refSparsify := runSparsify(t, dist.Mem(), gc.g, eps, rho, 0, seed)
 			for _, p := range shardCounts {
-				p := p
-				t.Run(fmt.Sprintf("%s/seed=%d/sharded/P=%d/spanner", gc.name, seed, p), func(t *testing.T) {
-					sameSpanner(t, dist.BaswanaSenSharded(gc.g, 0, seed, p), refSpanner)
-				})
-				t.Run(fmt.Sprintf("%s/seed=%d/sharded/P=%d/sparsify", gc.name, seed, p), func(t *testing.T) {
-					sameGraph(t, dist.SparsifySharded(gc.g, eps, rho, 0, seed, p), refSparsify)
-				})
-				t.Run(fmt.Sprintf("%s/seed=%d/net/P=%d/spanner", gc.name, seed, p), func(t *testing.T) {
-					res, err := dist.LoopbackBaswanaSen(gc.g, 0, seed, p, matrixTimeout)
-					if err != nil {
-						t.Fatal(err)
-					}
-					sameSpanner(t, res, refSpanner)
-				})
-				t.Run(fmt.Sprintf("%s/seed=%d/net/P=%d/sparsify", gc.name, seed, p), func(t *testing.T) {
-					res, _, err := dist.LoopbackSparsify(gc.g, eps, rho, 0, seed, p, matrixTimeout)
-					if err != nil {
-						t.Fatal(err)
-					}
-					sameGraph(t, res, refSparsify)
-				})
+				specs := []struct {
+					name string
+					spec dist.TransportSpec
+				}{
+					{"sharded", dist.Sharded(p)},
+					{"net", dist.Loopback(p).WithTimeout(matrixTimeout)},
+				}
+				for _, sc := range specs {
+					sc := sc
+					t.Run(fmt.Sprintf("%s/seed=%d/%s/P=%d/spanner", gc.name, seed, sc.name, p), func(t *testing.T) {
+						sameSpanner(t, runSpanner(t, sc.spec, gc.g, 0, seed), refSpanner)
+					})
+					t.Run(fmt.Sprintf("%s/seed=%d/%s/P=%d/sparsify", gc.name, seed, sc.name, p), func(t *testing.T) {
+						sameGraph(t, runSparsify(t, sc.spec, gc.g, eps, rho, 0, seed), refSparsify)
+					})
+				}
 			}
 		}
 	}

@@ -1,0 +1,37 @@
+package dist_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+// sparsifyCfg is the shared depth/seed convenience, aliased for short
+// call sites.
+func sparsifyCfg(depth int, seed uint64) core.Config {
+	return dist.SparsifyDefaults(depth, seed)
+}
+
+// runSparsify runs the sparsify job on a spec, failing the test on any
+// transport error.
+func runSparsify(tb testing.TB, spec dist.TransportSpec, g *graph.Graph, eps, rho float64, depth int, seed uint64) dist.Result[*graph.Graph] {
+	tb.Helper()
+	res, err := dist.Run(dist.NewEngine(spec, g), dist.SparsifyJob(eps, rho, sparsifyCfg(depth, seed)))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
+
+// runSpanner runs the spanner job on a spec, failing the test on any
+// transport error.
+func runSpanner(tb testing.TB, spec dist.TransportSpec, g *graph.Graph, k int, seed uint64) dist.Result[*dist.SpannerOutput] {
+	tb.Helper()
+	res, err := dist.Run(dist.NewEngine(spec, g), dist.SpannerJob(k, seed))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}

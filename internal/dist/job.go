@@ -1,0 +1,177 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Job is a distributed algorithm packaged as a value — the second axis
+// of the package, orthogonal to the TransportSpec. A job bundles a
+// registry name, a wire schema for its parameters (what a coordinator
+// broadcasts so worker processes adopt the exact same run), the
+// per-round body executed over each process's partition view, and the
+// reducer that assembles the shards' partial results. R is the
+// assembled output type Engine.Run returns inside its Result.
+//
+// Two jobs are built in: SpannerJob (Theorem 2's Baswana–Sen spanner)
+// and SparsifyJob (Algorithm 2 / Theorem 5's sparsifier). They are
+// registered in jobTable, which cmd/distworker resolves by name
+// (JobNames lists the keys) and which validates every broadcast job
+// header before a worker trusts it.
+type Job[R any] struct {
+	impl jobImpl[R]
+}
+
+// Name returns the job's registry key — its identity in jobTable, in
+// cmd/distworker's -job flag, and on the wire.
+func (j Job[R]) Name() string {
+	if j.impl == nil {
+		return ""
+	}
+	return j.impl.name()
+}
+
+// jobImpl is what a built-in algorithm implements to become a Job: the
+// wire identity, the per-process round body, and the reducer. All
+// methods must be safe to call on every process of a run — assemble is
+// called by coordinator and workers alike (workers contribute their
+// blobs to the gather and receive the zero R).
+type jobImpl[R any] interface {
+	// name is the registry key and wire identity.
+	name() string
+	// params returns the job-specific wire parameter block; its length
+	// must equal the registered paramsLen (TestJobWireSchemas pins the
+	// encoding as golden bytes).
+	params() []byte
+	// withParams returns a copy of the job with the parameters decoded
+	// from a received block — how a Worker engine adopts the
+	// coordinator's exact run.
+	withParams(b []byte) (jobImpl[R], error)
+	// runFull executes the algorithm over the whole graph on a
+	// single-process transport and returns the assembled output plus
+	// the peak view footprint in words.
+	runFull(re *roundEngine, g *graph.Graph) (R, int)
+	// runPart executes this process's shard of the algorithm over its
+	// partition view, billing rounds to re.
+	runPart(re *roundEngine, part *graph.Partition) partOut
+	// assemble merges the shards' partials: every process contributes
+	// its blob, the coordinator (shard 0) receives the assembled R,
+	// workers receive the zero value.
+	assemble(tr *NetTransport, part *graph.Partition, po partOut) (R, error)
+}
+
+// partOut is one process's partial result of a partition run.
+type partOut struct {
+	// peak is the largest edge-table footprint (words) any round's view
+	// reached on this process — the measured O(m_incident) bound.
+	peak int
+	// data is the job-specific partial (consumed by the job's assemble).
+	data any
+}
+
+// Job names of the built-ins.
+const (
+	jobNameSpanner  = "spanner"
+	jobNameSparsify = "sparsify"
+)
+
+// jobTable registers the built-in jobs: the key is the wire name a
+// coordinator broadcasts (and the -job value cmd/distworker resolves),
+// paramsLen pins the byte length of the job's wire parameter block so
+// a mixed-version run fails loudly instead of misreading parameters.
+var jobTable = map[string]struct{ paramsLen int }{
+	jobNameSpanner:  {paramsLen: spannerParamsLen},
+	jobNameSparsify: {paramsLen: sparsifyParamsLen},
+}
+
+// JobNames returns the registered job names, sorted — what
+// cmd/distworker reports when asked for an unknown -job.
+func JobNames() []string {
+	names := make([]string, 0, len(jobTable))
+	for name := range jobTable {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// The job wire header: what a coordinator broadcasts before the first
+// round so every worker process adopts — and cross-checks — the same
+// job. Fixed little-endian layout (TestJobWireSchemas pins it):
+//
+//	[0:4)   jobWireVersion
+//	[4:12)  global vertex count N
+//	[12:20) global edge count M
+//	[20:32) job name, NUL-padded to 12 bytes
+//	[32:36) parameter block length
+//	[36:..) job-specific parameter block (see each job's params method)
+const (
+	jobWireVersion = uint32(2) // v1 was the fixed sparsify-only jobSpec
+	jobNameLen     = 12
+	jobHeaderLen   = 36
+)
+
+// encodeJobHeader frames a job's wire identity and parameters.
+func encodeJobHeader(name string, n, m int, params []byte) []byte {
+	if len(name) > jobNameLen {
+		panic(fmt.Sprintf("dist: job name %q exceeds %d bytes", name, jobNameLen))
+	}
+	b := make([]byte, jobHeaderLen+len(params))
+	binary.LittleEndian.PutUint32(b[0:], jobWireVersion)
+	binary.LittleEndian.PutUint64(b[4:], uint64(n))
+	binary.LittleEndian.PutUint64(b[12:], uint64(m))
+	copy(b[20:20+jobNameLen], name)
+	binary.LittleEndian.PutUint32(b[32:], uint32(len(params)))
+	copy(b[jobHeaderLen:], params)
+	return b
+}
+
+// decodeJobHeader validates a broadcast job header against the
+// registry and returns the job name, global sizes, and parameter
+// block.
+func decodeJobHeader(b []byte) (name string, n, m int, params []byte, err error) {
+	if len(b) < jobHeaderLen {
+		return "", 0, 0, nil, fmt.Errorf("dist: job header is %d bytes, want >= %d", len(b), jobHeaderLen)
+	}
+	if v := binary.LittleEndian.Uint32(b[0:]); v != jobWireVersion {
+		return "", 0, 0, nil, fmt.Errorf("dist: job wire version %d, want %d (mixed-version run?)", v, jobWireVersion)
+	}
+	n = int(binary.LittleEndian.Uint64(b[4:]))
+	m = int(binary.LittleEndian.Uint64(b[12:]))
+	raw := b[20 : 20+jobNameLen]
+	end := 0
+	for end < jobNameLen && raw[end] != 0 {
+		end++
+	}
+	name = string(raw[:end])
+	entry, ok := jobTable[name]
+	if !ok {
+		return "", 0, 0, nil, fmt.Errorf("dist: coordinator broadcast unregistered job %q (registered: %v)", name, JobNames())
+	}
+	plen := int(binary.LittleEndian.Uint32(b[32:]))
+	if plen != entry.paramsLen || len(b) != jobHeaderLen+plen {
+		return "", 0, 0, nil, fmt.Errorf("dist: job %q parameter block is %d bytes in a %d-byte header, want %d (mixed-version run?)",
+			name, plen, len(b), entry.paramsLen)
+	}
+	return name, n, m, b[jobHeaderLen:], nil
+}
+
+// adoptJobHeader is the worker side of the job broadcast: validate the
+// header against the local job value and partition, then adopt the
+// coordinator's parameters.
+func adoptJobHeader[R any](impl jobImpl[R], blob []byte, part *graph.Partition) (jobImpl[R], error) {
+	name, n, m, params, err := decodeJobHeader(blob)
+	if err != nil {
+		return nil, err
+	}
+	if name != impl.name() {
+		return nil, fmt.Errorf("dist: coordinator is running job %q, this worker was started for %q", name, impl.name())
+	}
+	if n != part.N || m != part.M {
+		return nil, fmt.Errorf("dist: job header (n=%d m=%d) does not match partition (n=%d m=%d)", n, m, part.N, part.M)
+	}
+	return impl.withParams(params)
+}

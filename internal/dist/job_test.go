@@ -1,0 +1,138 @@
+package dist
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestJobNames: the registry lists exactly the built-in jobs, sorted —
+// what cmd/distworker resolves -job against and reports on an unknown
+// name.
+func TestJobNames(t *testing.T) {
+	got := JobNames()
+	want := []string{"spanner", "sparsify"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("JobNames() = %v, want %v", got, want)
+	}
+	for _, name := range got {
+		if len(name) > jobNameLen {
+			t.Fatalf("job name %q exceeds the %d-byte wire field", name, jobNameLen)
+		}
+	}
+}
+
+// TestJobWireSchemas pins each built-in job's broadcast header —
+// version, sizes, name field, and the full parameter block — against
+// golden bytes, and round-trips it through the decoder. A schema
+// change (field added, reordered, or re-sized) flips the goldens, so
+// it cannot silently break mixed-version runs: bump jobWireVersion
+// and update the goldens deliberately.
+func TestJobWireSchemas(t *testing.T) {
+	cases := []struct {
+		name   string
+		impl   interface{ name() string }
+		header []byte
+		golden string
+	}{
+		{
+			name:   "spanner",
+			header: encodeJobHeader(jobNameSpanner, 5, 4, spannerImpl{k: 3, seed: 0x0102030405060708}.params()),
+			golden: "02000000" + // jobWireVersion
+				"0500000000000000" + "0400000000000000" + // n, m
+				"7370616e6e65720000000000" + // "spanner" NUL-padded
+				"10000000" + // 16 param bytes
+				"0300000000000000" + "0807060504030201", // k, seed
+		},
+		{
+			name: "sparsify",
+			header: encodeJobHeader(jobNameSparsify, 10, 20, sparsifyImpl{
+				eps: 0.5, rho: 4,
+				cfg: core.Config{BundleConst: 0.1, BundleLogPow: 1, BundleT: 2, KeepProb: 0.25, Seed: 9},
+			}.params()),
+			golden: "02000000" + // jobWireVersion
+				"0a00000000000000" + "1400000000000000" + // n, m
+				"737061727369667900000000" + // "sparsify" NUL-padded
+				"40000000" + // 64 param bytes
+				"000000000000e03f" + "0000000000001040" + // eps, rho
+				"9a9999999999b93f" + "000000000000d03f" + // BundleConst, KeepProb
+				"0100000000000000" + "0200000000000000" + // BundleLogPow, BundleT
+				"0000000000000000" + "0900000000000000", // SpannerK, Seed
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := hex.EncodeToString(tc.header); got != tc.golden {
+				t.Fatalf("wire schema changed:\n got  %s\n want %s\nbump jobWireVersion if this is deliberate", got, tc.golden)
+			}
+		})
+	}
+}
+
+// TestJobHeaderRoundTrip: both jobs' parameters survive the
+// encode/adopt cycle a worker runs on every broadcast.
+func TestJobHeaderRoundTrip(t *testing.T) {
+	g := gen.Gnp(30, 0.3, 3)
+	part := graph.PartitionOf(g, 0, 1)
+
+	sj := spannerImpl{k: 2, seed: 77}
+	got, err := adoptJobHeader[*SpannerOutput](spannerImpl{}, encodeJobHeader(sj.name(), part.N, part.M, sj.params()), part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(spannerImpl) != sj {
+		t.Fatalf("spanner params mangled: %+v vs %+v", got, sj)
+	}
+
+	pj := sparsifyImpl{eps: 0.75, rho: 8, cfg: core.TheoryConfig(42)}
+	gotp, err := adoptJobHeader[*graph.Graph](sparsifyImpl{}, encodeJobHeader(pj.name(), part.N, part.M, pj.params()), part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotp.(sparsifyImpl) != pj {
+		t.Fatalf("sparsify params mangled: %+v vs %+v", gotp, pj)
+	}
+}
+
+// TestJobHeaderValidation: a worker rejects headers that could only
+// come from a different build or a different run — unknown job names
+// (with the registered list in the error), version skew, truncations,
+// parameter blocks of the wrong size, and size mismatches against the
+// local partition.
+func TestJobHeaderValidation(t *testing.T) {
+	g := gen.Gnp(30, 0.3, 3)
+	part := graph.PartitionOf(g, 0, 1)
+	good := encodeJobHeader(jobNameSpanner, part.N, part.M, spannerImpl{k: 1, seed: 1}.params())
+
+	bogus := append([]byte(nil), good...)
+	copy(bogus[20:32], []byte("clustering\x00\x00"))
+	if _, _, _, _, err := decodeJobHeader(bogus); err == nil ||
+		!strings.Contains(err.Error(), "sparsify") || !strings.Contains(err.Error(), "spanner") {
+		t.Fatalf("unregistered job name not rejected with the registered list: %v", err)
+	}
+
+	skew := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(skew[0:], jobWireVersion+1)
+	if _, _, _, _, err := decodeJobHeader(skew); err == nil {
+		t.Fatal("version skew accepted")
+	}
+
+	if _, _, _, _, err := decodeJobHeader(good[:10]); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+
+	short := append([]byte(nil), good[:len(good)-4]...)
+	if _, _, _, _, err := decodeJobHeader(short); err == nil {
+		t.Fatal("truncated parameter block accepted")
+	}
+
+	if _, err := adoptJobHeader[*SpannerOutput](spannerImpl{}, encodeJobHeader(jobNameSpanner, part.N+1, part.M, spannerImpl{}.params()), part); err == nil {
+		t.Fatal("size mismatch against the partition accepted")
+	}
+}

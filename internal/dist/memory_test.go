@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
 )
@@ -58,20 +59,24 @@ func TestPartViewFootprintScalesWithShards(t *testing.T) {
 	}
 }
 
-// TestSparsifyPartitionPeakFootprint runs the real multi-process
+// TestPartitionRunPeakFootprint runs the real multi-process
 // loopback protocol and pins the per-worker peak across every round's
 // working view: it must scale down with P and stay below the
 // single-process peak — the enforced form of the old "memory honesty"
 // caveat, which conceded Θ(m) words per worker per round.
-func TestSparsifyPartitionPeakFootprint(t *testing.T) {
+func TestPartitionRunPeakFootprint(t *testing.T) {
 	g := gen.Grid2D(40, 50)
-	mem := Sparsify(g, 0.75, 4, 0, 11)
+	job := SparsifyJob(0.75, 4, core.DefaultConfig(11))
+	mem, err := Run(NewEngine(Mem(), g), job)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if mem.PeakViewWords < 3*g.M() {
 		t.Fatalf("single-process peak %d words does not even hold the edge table of m=%d", mem.PeakViewWords, g.M())
 	}
 	peaks := map[int]int{}
 	for _, p := range []int{2, 8} {
-		res, _, err := LoopbackSparsify(g, 0.75, 4, 0, 11, p, memTestTimeout)
+		res, err := Run(NewEngine(Loopback(p).WithTimeout(memTestTimeout), g), job)
 		if err != nil {
 			t.Fatalf("P=%d: %v", p, err)
 		}

@@ -13,7 +13,7 @@ import (
 
 // NetTransport is the bulk-synchronous TCP transport: each shard of
 // the vertex partition is a separate OS process holding only its slice
-// of the graph (see SparsifyPartition), and the exchange core's
+// of the graph (see the Worker spec and graph.Partition), and the exchange core's
 // per-shard-pair buckets become batched binary frames flushed at every
 // round barrier.
 //

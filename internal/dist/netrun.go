@@ -3,58 +3,22 @@ package dist
 import (
 	"encoding/binary"
 	"fmt"
-	"math"
 	"sync"
 	"time"
 
 	"repro/internal/graph"
-	"repro/internal/graphio"
 )
 
-// The multi-process drivers: what cmd/distworker, the loopback
-// example, and the in-test harness run on top of NetTransport. The
-// coordinator broadcasts the job spec, every process runs
-// SparsifyPartition over its own partition in lockstep, and the
-// coordinator gathers each shard's owned edges to assemble the full
-// output graph (a boundary edge is contributed by the shard owning its
-// U endpoint, so it is merged exactly once).
-
-// jobSpec is the run configuration the coordinator broadcasts so the
-// workers adopt — and cross-check — the same job.
-type jobSpec struct {
-	N, M  int
-	Eps   float64
-	Rho   float64
-	Depth int
-	Seed  uint64
-}
-
-const jobSpecSize = 48
-
-func encodeJobSpec(s jobSpec) []byte {
-	b := make([]byte, jobSpecSize)
-	binary.LittleEndian.PutUint64(b[0:], uint64(s.N))
-	binary.LittleEndian.PutUint64(b[8:], uint64(s.M))
-	binary.LittleEndian.PutUint64(b[16:], math.Float64bits(s.Eps))
-	binary.LittleEndian.PutUint64(b[24:], math.Float64bits(s.Rho))
-	binary.LittleEndian.PutUint64(b[32:], uint64(int64(s.Depth)))
-	binary.LittleEndian.PutUint64(b[40:], s.Seed)
-	return b
-}
-
-func decodeJobSpec(b []byte) (jobSpec, error) {
-	if len(b) != jobSpecSize {
-		return jobSpec{}, fmt.Errorf("dist: job spec is %d bytes, want %d", len(b), jobSpecSize)
-	}
-	return jobSpec{
-		N:     int(binary.LittleEndian.Uint64(b[0:])),
-		M:     int(binary.LittleEndian.Uint64(b[8:])),
-		Eps:   math.Float64frombits(binary.LittleEndian.Uint64(b[16:])),
-		Rho:   math.Float64frombits(binary.LittleEndian.Uint64(b[24:])),
-		Depth: int(int64(binary.LittleEndian.Uint64(b[32:]))),
-		Seed:  binary.LittleEndian.Uint64(b[40:]),
-	}, nil
-}
+// The multi-process run scaffold shared by the Net, Worker, and
+// Loopback specs: one SPMD schedule every process executes in lockstep
+// over its own NetTransport. The coordinator broadcasts the job header
+// (name + parameters, see job.go) so the workers adopt — and
+// cross-check — the same job; every process runs the job's partition
+// body over its own shard; the job's assemble gathers each shard's
+// owned contribution at the coordinator (a boundary edge is
+// contributed by the shard owning its U endpoint, so it is merged
+// exactly once); and the run counters (wire bytes, peak view words)
+// converge last.
 
 // recoverNetError converts a *NetError panic (the transport's fatal
 // failure mode) into a returned error; other panics propagate.
@@ -68,99 +32,47 @@ func recoverNetError(err *error) {
 	}
 }
 
-// RunNetCoordinator drives a whole distributed sparsification as shard
-// 0 of tr's network: it waits for the workers, broadcasts the job
-// spec, runs SparsifyPartition over its own partition, gathers every
-// shard's owned edges, and assembles the full output graph. It also
-// returns the total bytes all processes put on the wire.
-func RunNetCoordinator(tr *NetTransport, part *graph.Partition, eps, rho float64, depth int, seed uint64) (res Result, wireBytes int64, err error) {
-	defer recoverNetError(&err)
-	if part.Shard != 0 || part.Shards != tr.Shards() {
-		return Result{}, 0, fmt.Errorf("dist: coordinator needs shard 0 of %d, got %d of %d", tr.Shards(), part.Shard, part.Shards)
-	}
-	if err := tr.WaitReady(); err != nil {
-		return Result{}, 0, err
-	}
-	spec := jobSpec{N: part.N, M: part.M, Eps: eps, Rho: rho, Depth: depth, Seed: seed}
-	if _, err := tr.BroadcastBlob(encodeJobSpec(spec)); err != nil {
-		return Result{}, 0, err
-	}
-	pres := SparsifyPartition(part, eps, rho, depth, seed, tr)
-	g, err := gatherResult(tr, &pres)
-	if err != nil {
-		return Result{}, 0, err
-	}
-	wireBytes, peakWords, err := gatherRunCounters(tr, pres.PeakViewWords)
-	if err != nil {
-		return Result{}, 0, err
-	}
-	return Result{G: g, Stats: pres.Stats, PeakViewWords: peakWords}, wireBytes, nil
-}
-
-// RunNetWorker drives one worker shard: it adopts the coordinator's
-// job spec (validating it against the local partition), runs
-// SparsifyPartition, and contributes its owned edges to the gather.
-// The returned Stats ledger is identical to the coordinator's.
-func RunNetWorker(tr *NetTransport, part *graph.Partition) (stats Stats, err error) {
+// runNetJob executes one process's role of a multi-process run —
+// coordinator and worker run the same function; tr.Shard() decides who
+// broadcasts, who adopts, and who receives the assembled output.
+func runNetJob[R any](tr *NetTransport, part *graph.Partition, job Job[R]) (res Result[R], err error) {
 	defer recoverNetError(&err)
 	if part.Shard != tr.Shard() || part.Shards != tr.Shards() {
-		return Stats{}, fmt.Errorf("dist: partition %d/%d does not match transport %d/%d",
+		return Result[R]{}, fmt.Errorf("dist: partition %d/%d does not match transport %d/%d",
 			part.Shard, part.Shards, tr.Shard(), tr.Shards())
 	}
-	blob, err := tr.BroadcastBlob(nil)
+	impl := job.impl
+	if tr.Shard() == 0 {
+		if err := tr.WaitReady(); err != nil {
+			return Result[R]{}, err
+		}
+		if _, err := tr.BroadcastBlob(encodeJobHeader(impl.name(), part.N, part.M, impl.params())); err != nil {
+			return Result[R]{}, err
+		}
+	} else {
+		blob, err := tr.BroadcastBlob(nil)
+		if err != nil {
+			return Result[R]{}, err
+		}
+		impl, err = adoptJobHeader(impl, blob, part)
+		if err != nil {
+			return Result[R]{}, err
+		}
+	}
+	re := newRoundEngineOn(part.N, tr)
+	po := impl.runPart(re, part)
+	out, err := impl.assemble(tr, part, po)
 	if err != nil {
-		return Stats{}, err
+		return Result[R]{}, err
 	}
-	spec, err := decodeJobSpec(blob)
+	wireBytes, maxPeak, err := gatherRunCounters(tr, po.peak)
 	if err != nil {
-		return Stats{}, err
-	}
-	if spec.N != part.N || spec.M != part.M {
-		return Stats{}, fmt.Errorf("dist: job spec (n=%d m=%d) does not match partition (n=%d m=%d)",
-			spec.N, spec.M, part.N, part.M)
-	}
-	pres := SparsifyPartition(part, spec.Eps, spec.Rho, spec.Depth, spec.Seed, tr)
-	if _, err := gatherResult(tr, &pres); err != nil {
-		return Stats{}, err
-	}
-	if _, _, err := gatherRunCounters(tr, pres.PeakViewWords); err != nil {
-		return Stats{}, err
-	}
-	return pres.Stats, nil
-}
-
-// gatherResult merges the shards' owned final edges at the
-// coordinator; workers contribute and get nil back.
-func gatherResult(tr *NetTransport, pres *PartResult) (*graph.Graph, error) {
-	ids, edges := pres.OwnedEdges(tr.Shard(), tr.Shards())
-	blobs, err := tr.GatherBlobs(graphio.EncodeEdgeRecords(ids, edges))
-	if err != nil {
-		return nil, err
+		return Result[R]{}, err
 	}
 	if tr.Shard() != 0 {
-		return nil, nil
+		return Result[R]{Stats: re.Stats(), PeakViewWords: po.peak, WireBytes: tr.WireBytes()}, nil
 	}
-	out := make([]graph.Edge, pres.M)
-	seen := make([]bool, pres.M)
-	for s, blob := range blobs {
-		bids, bedges, err := graphio.DecodeEdgeRecords(blob)
-		if err != nil {
-			return nil, fmt.Errorf("dist: shard %d result: %w", s, err)
-		}
-		for k, id := range bids {
-			if id < 0 || int(id) >= pres.M || seen[id] {
-				return nil, fmt.Errorf("dist: shard %d contributed bad or duplicate edge id %d", s, id)
-			}
-			out[id] = bedges[k]
-			seen[id] = true
-		}
-	}
-	for id, ok := range seen {
-		if !ok {
-			return nil, fmt.Errorf("dist: no shard contributed final edge %d", id)
-		}
-	}
-	return graph.FromEdges(pres.N, out), nil
+	return Result[R]{Output: out, Stats: re.Stats(), PeakViewWords: maxPeak, WireBytes: wireBytes}, nil
 }
 
 // gatherRunCounters collects every process's honesty counters at the
@@ -190,68 +102,13 @@ func gatherRunCounters(tr *NetTransport, peakViewWords int) (wireBytes int64, ma
 	return wireBytes, maxPeakWords, nil
 }
 
-// gatherSpanner assembles the shards' partition spanner results at
-// the coordinator: each process contributes the in-spanner edges it
-// OWNS (the shard of the U endpoint, so every boundary edge is
-// contributed exactly once) plus the final centers of its owned vertex
-// range; the coordinator rebuilds the full global mask and center
-// array. Workers contribute and get nil back.
-func gatherSpanner(tr *NetTransport, part *graph.Partition, pres *SpannerPartResult) (*SpannerResult, error) {
-	var ownIDs []int32
-	for k, id := range part.IDs {
-		if pres.InSpanner[k] && graph.ShardOfVertex(part.N, part.Shards, part.Edges[k].U) == part.Shard {
-			ownIDs = append(ownIDs, id)
-		}
-	}
-	owned := part.Hi - part.Lo
-	blob := make([]byte, 4+4*len(ownIDs)+4*owned)
-	binary.LittleEndian.PutUint32(blob[0:], uint32(len(ownIDs)))
-	for k, id := range ownIDs {
-		binary.LittleEndian.PutUint32(blob[4+4*k:], uint32(id))
-	}
-	for k, c := range pres.Center {
-		binary.LittleEndian.PutUint32(blob[4+4*len(ownIDs)+4*k:], uint32(c))
-	}
-	blobs, err := tr.GatherBlobs(blob)
-	if err != nil {
-		return nil, err
-	}
-	if tr.Shard() != 0 {
-		return nil, nil
-	}
-	in := make([]bool, part.M)
-	center := make([]int32, part.N)
-	bounds := graph.ShardBounds(part.N, part.Shards)
-	for s, b := range blobs {
-		want := bounds[s+1] - bounds[s]
-		if len(b) < 4 {
-			return nil, fmt.Errorf("dist: shard %d spanner blob is %d bytes", s, len(b))
-		}
-		cnt := int(binary.LittleEndian.Uint32(b[0:]))
-		if cnt < 0 || len(b) != 4+4*cnt+4*want {
-			return nil, fmt.Errorf("dist: shard %d spanner blob: %d ids, %d bytes, %d owned vertices", s, cnt, len(b), want)
-		}
-		for k := 0; k < cnt; k++ {
-			id := int32(binary.LittleEndian.Uint32(b[4+4*k:]))
-			if id < 0 || int(id) >= part.M || in[id] {
-				return nil, fmt.Errorf("dist: shard %d contributed bad or duplicate spanner edge %d", s, id)
-			}
-			in[id] = true
-		}
-		for k := 0; k < want; k++ {
-			center[bounds[s]+k] = int32(binary.LittleEndian.Uint32(b[4+4*cnt+4*k:]))
-		}
-	}
-	return &SpannerResult{InSpanner: in, Center: center, K: pres.K, Stats: pres.Stats}, nil
-}
-
-// runLoopback is the scaffold shared by every Loopback* driver: it
-// binds a coordinator on loopback TCP, runs the worker body as
-// shards 1..p−1 goroutines (each on its own joined NetTransport) and
-// the coordinator body as shard 0, converts *NetError panics to
-// errors, unblocks workers still waiting on the hub if the coordinator
-// fails, and collects the first error. Bodies return results through
-// their closures.
+// runLoopback is the scaffold of the Loopback spec: it binds a
+// coordinator on loopback TCP, runs the worker body as shards 1..p−1
+// goroutines (each on its own joined NetTransport) and the coordinator
+// body as shard 0, converts *NetError panics to errors, unblocks
+// workers still waiting on the hub if the coordinator fails, and
+// collects the first error. Bodies return results through their
+// closures.
 func runLoopback(n, p int, timeout time.Duration,
 	coordinator func(coord *NetTransport) error,
 	worker func(tr *NetTransport, shard int) error) error {
@@ -296,65 +153,4 @@ func runLoopback(n, p int, timeout time.Duration,
 		}
 	}
 	return err
-}
-
-// LoopbackBaswanaSen runs the distributed Baswana–Sen spanner as a
-// coordinator plus shards−1 worker goroutines, each with its own
-// NetTransport over real loopback TCP sockets and each materializing
-// only its partition, then assembles the global spanner mask and
-// clustering at the coordinator. The result is bit-identical to
-// BaswanaSen's for equal (k, seed) — the network-transport leg of the
-// cross-transport equivalence matrix.
-func LoopbackBaswanaSen(g *graph.Graph, k int, seed uint64, shards int, timeout time.Duration) (*SpannerResult, error) {
-	p := graph.ClampShards(g.N, shards)
-	var res *SpannerResult
-	err := runLoopback(g.N, p, timeout,
-		func(coord *NetTransport) error {
-			if err := coord.WaitReady(); err != nil {
-				return err
-			}
-			part := graph.PartitionOf(g, 0, p)
-			pres := BaswanaSenPartition(part, k, seed, coord)
-			var err error
-			res, err = gatherSpanner(coord, part, &pres)
-			return err
-		},
-		func(tr *NetTransport, s int) error {
-			part := graph.PartitionOf(g, s, p)
-			pres := BaswanaSenPartition(part, k, seed, tr)
-			_, err := gatherSpanner(tr, part, &pres)
-			return err
-		})
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
-}
-
-// LoopbackSparsify runs the full multi-process protocol with the
-// worker shards as goroutines of this process, each with its own
-// NetTransport over real loopback TCP sockets and each materializing
-// only its partition. Everything of the network path is exercised —
-// framing, routing, the tally handshake, the collectives, the result
-// gather — except process isolation itself, which the distworker smoke
-// test and examples/distributed cover with real OS processes. Returns
-// the assembled result and the total bytes put on the wire.
-func LoopbackSparsify(g *graph.Graph, eps, rho float64, depth int, seed uint64, shards int, timeout time.Duration) (Result, int64, error) {
-	p := graph.ClampShards(g.N, shards)
-	var res Result
-	var wireBytes int64
-	err := runLoopback(g.N, p, timeout,
-		func(coord *NetTransport) error {
-			var err error
-			res, wireBytes, err = RunNetCoordinator(coord, graph.PartitionOf(g, 0, p), eps, rho, depth, seed)
-			return err
-		},
-		func(tr *NetTransport, s int) error {
-			_, err := RunNetWorker(tr, graph.PartitionOf(g, s, p))
-			return err
-		})
-	if err != nil {
-		return Result{}, 0, err
-	}
-	return res, wireBytes, nil
 }

@@ -1,96 +1,176 @@
 package dist
 
 import (
+	"encoding/binary"
+	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/graphio"
 	"repro/internal/rng"
 	"repro/internal/spanner"
 )
 
-// SpannerResult is the output of the distributed Baswana–Sen run.
-type SpannerResult struct {
-	// InSpanner marks the selected edges of the input graph. For equal
-	// (k, seed) it is identical to spanner.Compute's mask: the
-	// distributed simulation changes how knowledge travels, not what is
-	// decided.
+// SpannerOutput is the assembled output of the spanner job.
+type SpannerOutput struct {
+	// InSpanner marks the selected edges of the input graph (indexed by
+	// global edge id). For equal (k, seed) it is identical to
+	// spanner.Compute's mask on every TransportSpec: the distributed
+	// execution changes how knowledge travels, not what is decided.
 	InSpanner []bool
+	// G is the spanner subgraph itself — the InSpanner edges in global
+	// id order with their original weights.
+	G *graph.Graph
 	// Center is the final cluster assignment after phase 1 (−1 for
 	// vertices that dropped out of the clustering).
 	Center []int32
 	// K is the level count actually used (k ≤ 0 selects ⌈log₂ n⌉), so
 	// the stretch guarantee is 2K−1 in the resistive metric.
 	K int
-	// Stats is the communication ledger Theorem 2 bounds: O(log² n)
-	// rounds, O(m log n) messages of O(1) words each.
-	Stats Stats
 }
 
-// BaswanaSen runs the Baswana–Sen (2k−1)-spanner on the simulated
-// synchronous network. k ≤ 0 selects the paper's ⌈log₂ n⌉ levels; seed
-// drives all sampling (equal seeds give identical outputs at any
-// GOMAXPROCS).
-func BaswanaSen(g *graph.Graph, k int, seed uint64) *SpannerResult {
-	return baswanaSenOn(NewEngine(g.N), g, k, seed)
+// SpannerJob returns the Baswana–Sen (2k−1)-spanner as a Job — the
+// paper's Theorem 2 algorithm, runnable unchanged on every
+// TransportSpec via Run. k ≤ 0 selects the paper's ⌈log₂ n⌉ levels;
+// seed drives all sampling (equal seeds give identical outputs at any
+// spec, shard count, and GOMAXPROCS). The communication ledger of the
+// run (O(log² n) rounds, O(m log n) messages of O(1) words) is
+// returned in Result.Stats.
+func SpannerJob(k int, seed uint64) Job[*SpannerOutput] {
+	return Job[*SpannerOutput]{impl: spannerImpl{k: k, seed: seed}}
 }
 
-// BaswanaSenSharded runs the same computation on a sharded transport
-// with p worker shards. The output is bit-identical to BaswanaSen's for
-// equal (k, seed); the ledger additionally reports the cross-shard
-// traffic split.
-func BaswanaSenSharded(g *graph.Graph, k int, seed uint64, p int) *SpannerResult {
-	return baswanaSenOn(NewShardedEngine(g.N, p), g, k, seed)
+// spannerImpl is the spanner job body. Wire parameter block
+// (spannerParamsLen bytes, little-endian): [0:8) the level count k as
+// int64, [8:16) the seed.
+type spannerImpl struct {
+	k    int
+	seed uint64
 }
 
-func baswanaSenOn(e *Engine, g *graph.Graph, k int, seed uint64) *SpannerResult {
-	in, center, kk := runBaswanaSen(e, newFullView(g), nil, k, seed)
-	return &SpannerResult{InSpanner: in, Center: center, K: kk, Stats: e.Stats()}
+const spannerParamsLen = 16
+
+func (j spannerImpl) name() string { return jobNameSpanner }
+
+func (j spannerImpl) params() []byte {
+	b := make([]byte, spannerParamsLen)
+	binary.LittleEndian.PutUint64(b[0:], uint64(int64(j.k)))
+	binary.LittleEndian.PutUint64(b[8:], j.seed)
+	return b
 }
 
-// SpannerPartResult is one process's slice of a distributed
-// Baswana–Sen run over a partition: the spanner membership of the
-// shard's incident edges and the final centers of its owned vertices.
-// The spanner does not renumber edges, so InSpanner is parallel to the
-// partition's IDs.
-type SpannerPartResult struct {
-	// N and M are the global vertex and edge counts.
-	N, M int
-	// InSpanner marks the incident edges selected, parallel to the
-	// partition's IDs slice. Boundary decisions made remotely arrive as
-	// MsgAdd notices, so the mask is complete for every incident edge.
-	InSpanner []bool
-	// Center holds the final cluster assignment of the OWNED vertex
-	// range [Lo, Hi) only — a partition run never maintains remote
-	// vertices' state.
-	Center []int32
-	// K is the level count actually used.
-	K int
-	// Stats is the communication ledger; the network transport's
-	// round-tally handshake makes it identical on every process.
-	Stats Stats
-	// PeakViewWords is the view's edge-table footprint in words —
-	// O(m_incident), never Θ(m).
-	PeakViewWords int
-}
-
-// BaswanaSenPartition runs the distributed Baswana–Sen spanner
-// collaboratively across the shards of tr's network, with this process
-// materializing only the partition part (its shard's adjacency plus
-// boundary edges). Every process must call it with the same (k, seed)
-// and its own shard's partition. The union of the shards' owned
-// in-spanner edges is bit-identical to BaswanaSen's mask for equal
-// inputs (see LoopbackBaswanaSen, which assembles and pins it).
-func BaswanaSenPartition(part *graph.Partition, k int, seed uint64, tr Transport) SpannerPartResult {
-	e := NewEngineOn(part.N, tr)
-	w := newPartView(part.N, part.M, part.Lo, part.Hi, part.IDs, part.Edges)
-	in, center, kk := runBaswanaSen(e, w, nil, k, seed)
-	owned := append([]int32(nil), center[part.Lo:part.Hi]...)
-	return SpannerPartResult{
-		N: part.N, M: part.M,
-		InSpanner: in, Center: owned, K: kk,
-		Stats:         e.Stats(),
-		PeakViewWords: w.tableWords(),
+func (j spannerImpl) withParams(b []byte) (jobImpl[*SpannerOutput], error) {
+	if len(b) != spannerParamsLen {
+		return nil, fmt.Errorf("dist: spanner params are %d bytes, want %d", len(b), spannerParamsLen)
 	}
+	return spannerImpl{
+		k:    int(int64(binary.LittleEndian.Uint64(b[0:]))),
+		seed: binary.LittleEndian.Uint64(b[8:]),
+	}, nil
+}
+
+func (j spannerImpl) runFull(re *roundEngine, g *graph.Graph) (*SpannerOutput, int) {
+	w := newFullView(g)
+	in, center, kk := runBaswanaSen(re, w, nil, j.k, j.seed)
+	return &SpannerOutput{InSpanner: in, G: g.Subgraph(in), Center: center, K: kk}, w.tableWords()
+}
+
+// spannerPart is one process's partial spanner result: the membership
+// mask of its incident edges (local ids, complete for every incident
+// edge — boundary decisions made remotely arrive as MsgAdd notices)
+// and the final centers of its owned vertex range.
+type spannerPart struct {
+	in     []bool
+	center []int32
+	k      int
+}
+
+func (j spannerImpl) runPart(re *roundEngine, part *graph.Partition) partOut {
+	w := newPartView(part.N, part.M, part.Lo, part.Hi, part.IDs, part.Edges)
+	in, center, kk := runBaswanaSen(re, w, nil, j.k, j.seed)
+	owned := append([]int32(nil), center[part.Lo:part.Hi]...)
+	return partOut{peak: w.tableWords(), data: &spannerPart{in: in, center: owned, k: kk}}
+}
+
+// assemble gathers the shards' partition results at the coordinator:
+// each process contributes the in-spanner edges it OWNS (the shard of
+// the U endpoint, so every boundary edge is contributed exactly once)
+// plus the final centers of its owned vertex range; the coordinator
+// rebuilds the full global mask, the spanner subgraph, and the center
+// array. Workers contribute and get nil back. Blob layout per shard:
+// [0:4) owned in-spanner edge count, then that many
+// graphio.EdgeRecordSize records (global id + edge), then 4 bytes per
+// owned vertex of final centers.
+func (j spannerImpl) assemble(tr *NetTransport, part *graph.Partition, po partOut) (*SpannerOutput, error) {
+	sp := po.data.(*spannerPart)
+	var ownIDs []int32
+	var ownEdges []graph.Edge
+	for lid, id := range part.IDs {
+		if sp.in[lid] && graph.ShardOfVertex(part.N, part.Shards, part.Edges[lid].U) == part.Shard {
+			ownIDs = append(ownIDs, id)
+			ownEdges = append(ownEdges, part.Edges[lid])
+		}
+	}
+	recs := graphio.EncodeEdgeRecords(ownIDs, ownEdges)
+	owned := part.Hi - part.Lo
+	blob := make([]byte, 4+len(recs)+4*owned)
+	binary.LittleEndian.PutUint32(blob[0:], uint32(len(ownIDs)))
+	copy(blob[4:], recs)
+	for k, c := range sp.center {
+		binary.LittleEndian.PutUint32(blob[4+len(recs)+4*k:], uint32(c))
+	}
+	blobs, err := tr.GatherBlobs(blob)
+	if err != nil {
+		return nil, err
+	}
+	if tr.Shard() != 0 {
+		return nil, nil
+	}
+	// The assembled mask is Θ(m) bits by contract, but the edge store
+	// is kept at O(spanner size): the contributions are (id, edge)
+	// pairs, each shard's list sorted by global id, so a sort of the
+	// concatenation rebuilds global order without a Θ(m)-entry table.
+	in := make([]bool, part.M)
+	center := make([]int32, part.N)
+	var allIDs []int32
+	var allEdges []graph.Edge
+	bounds := graph.ShardBounds(part.N, part.Shards)
+	for s, b := range blobs {
+		want := bounds[s+1] - bounds[s]
+		if len(b) < 4 {
+			return nil, fmt.Errorf("dist: shard %d spanner blob is %d bytes", s, len(b))
+		}
+		cnt := int(binary.LittleEndian.Uint32(b[0:]))
+		if cnt < 0 || len(b) != 4+cnt*graphio.EdgeRecordSize+4*want {
+			return nil, fmt.Errorf("dist: shard %d spanner blob: %d records, %d bytes, %d owned vertices", s, cnt, len(b), want)
+		}
+		bids, bedges, err := graphio.DecodeEdgeRecords(b[4 : 4+cnt*graphio.EdgeRecordSize])
+		if err != nil {
+			return nil, fmt.Errorf("dist: shard %d spanner result: %w", s, err)
+		}
+		for _, id := range bids {
+			if id < 0 || int(id) >= part.M || in[id] {
+				return nil, fmt.Errorf("dist: shard %d contributed bad or duplicate spanner edge %d", s, id)
+			}
+			in[id] = true
+		}
+		allIDs = append(allIDs, bids...)
+		allEdges = append(allEdges, bedges...)
+		for k := 0; k < want; k++ {
+			center[bounds[s]+k] = int32(binary.LittleEndian.Uint32(b[4+cnt*graphio.EdgeRecordSize+4*k:]))
+		}
+	}
+	order := make([]int, len(allIDs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return allIDs[order[a]] < allIDs[order[b]] })
+	sub := &graph.Graph{N: part.N, Edges: make([]graph.Edge, 0, len(order))}
+	for _, i := range order {
+		sub.Edges = append(sub.Edges, allEdges[i])
+	}
+	return &SpannerOutput{InSpanner: in, G: sub, Center: center, K: sp.k}, nil
 }
 
 // notice is a spanner-add or edge-drop decision queued for delivery to
@@ -120,7 +200,7 @@ type notice struct {
 // map on receipt. That is what lets the network transport run this
 // function unchanged with each process holding only its shard, at
 // O(n + m_incident) words per process.
-func runBaswanaSen(e *Engine, w *view, alive []bool, k int, seed uint64) ([]bool, []int32, int) {
+func runBaswanaSen(e *roundEngine, w *view, alive []bool, k int, seed uint64) ([]bool, []int32, int) {
 	adj := w.adj
 	n := w.n
 	m := w.localCount()
@@ -169,7 +249,7 @@ func runBaswanaSen(e *Engine, w *view, alive []bool, k int, seed uint64) ([]bool
 		sampledBit := func(c int32) bool {
 			return rng.SplitAt(iterSeed, uint64(c)).Float64() < p
 		}
-		depthMaxes := CollectVertices(e, func(_ int, lo, hi int) []int32 {
+		depthMaxes := collectVertices(e, func(_ int, lo, hi int) []int32 {
 			mx := int32(0)
 			for v := lo; v < hi; v++ {
 				if center[v] >= 0 && depth[v] > mx {
@@ -245,7 +325,7 @@ func runBaswanaSen(e *Engine, w *view, alive []bool, k int, seed uint64) ([]bool
 			adds  []notice
 			kills []notice
 		}
-		outs := CollectVertices(e, func(_ int, lo, hi int) []vertexOut {
+		outs := collectVertices(e, func(_ int, lo, hi int) []vertexOut {
 			var shardOuts []vertexOut
 			groups := make(map[int32]spanner.BestEdge)
 			for vi := lo; vi < hi; vi++ {
@@ -397,7 +477,7 @@ func runBaswanaSen(e *Engine, w *view, alive []bool, k int, seed uint64) ([]bool
 		// equals the receiver's own; both endpoints reach the verdict
 		// independently, so a boundary edge dies on both sides without
 		// further traffic.
-		kills := CollectVertices(e, func(_ int, lo, hi int) []int32 {
+		kills := collectVertices(e, func(_ int, lo, hi int) []int32 {
 			var shardKills []int32
 			for vi := lo; vi < hi; vi++ {
 				v := int32(vi)
@@ -437,7 +517,7 @@ func runBaswanaSen(e *Engine, w *view, alive []bool, k int, seed uint64) ([]bool
 		}
 	})
 	e.EndRound()
-	adds := CollectVertices(e, func(_ int, lo, hi int) []notice {
+	adds := collectVertices(e, func(_ int, lo, hi int) []notice {
 		var shardAdds []notice
 		groups := make(map[int32]spanner.BestEdge)
 		for vi := lo; vi < hi; vi++ {
@@ -478,12 +558,12 @@ func runBaswanaSen(e *Engine, w *view, alive []bool, k int, seed uint64) ([]bool
 // decision. Notices are collected per worker and applied sequentially
 // so that two endpoints of one edge never write the same mask slot
 // concurrently.
-func applyNotices(e *Engine, w *view, inSpanner, dead []bool) {
+func applyNotices(e *roundEngine, w *view, inSpanner, dead []bool) {
 	type appliedNote struct {
 		eid int32
 		add bool
 	}
-	notes := CollectVertices(e, func(_ int, lo, hi int) []appliedNote {
+	notes := collectVertices(e, func(_ int, lo, hi int) []appliedNote {
 		var shardNotes []appliedNote
 		for vi := lo; vi < hi; vi++ {
 			for _, msg := range e.Mailbox(int32(vi)) {

@@ -1,160 +1,177 @@
 package dist
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 
 	"repro/internal/bundle"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/graphio"
 	"repro/internal/parutil"
 	"repro/internal/rng"
 )
 
-// Result is the output of the distributed sparsifier: the sparsified
-// graph plus the total communication ledger of the run.
-type Result struct {
-	G     *graph.Graph
-	Stats Stats
-	// PeakViewWords is the largest edge-table footprint (in words, see
-	// view.tableWords) any round's working view reached. On the
-	// single-process transports this is Θ(m) — one process holds
-	// everything (for the rho ≤ 1 identity, the bare edge list it
-	// clones); on a network run RunNetCoordinator sets it to the
-	// maximum across all processes, i.e. the per-worker O(m_incident)
-	// bound the memory regression tests pin and E13 reports.
-	PeakViewWords int
-}
-
-// Sparsify runs the paper's Algorithm 2 on the simulated synchronous
-// network: ⌈log₂ρ⌉ iterations, each building a t-bundle of distributed
+// SparsifyJob returns the paper's Algorithm 2 (PARALLELSPARSIFY) as a
+// Job — ⌈log₂ρ⌉ iterations, each building a t-bundle of distributed
 // Baswana–Sen spanners and keeping every off-bundle edge independently
-// with probability 1/4 at weight 4w (Algorithm 1), with every message
-// of every round billed to the returned ledger (Theorem 5).
+// with probability 1/4 at weight 4w (Algorithm 1), runnable unchanged
+// on every TransportSpec via Run. Every message of every round is
+// billed to Result.Stats (Theorem 5).
 //
-// depth overrides the bundle depth t (the number of spanner layers per
-// iteration); depth ≤ 0 selects the calibrated practical default
-// ⌈0.1·log₂n/ε_round²⌉ of core.DefaultConfig. For other configurations
-// (the paper's theory constants, a custom keep probability) use
-// SparsifyConfig.
-func Sparsify(g *graph.Graph, eps, rho float64, depth int, seed uint64) Result {
-	return SparsifyConfig(g, eps, rho, sparsifyCfg(depth, seed))
+// cfg follows core.ParallelSparsify exactly — validation, iteration
+// count, seed splitting, bundle thickness, and keep probability — so
+// for an equal cfg the output graph is edge-identical to the
+// shared-memory run: the spectral (1±ε) guarantee transfers verbatim
+// and only the communication accounting is new. cfg.Tracker models
+// CRCW PRAM cost and is ignored here (the ledger replaces it); it does
+// not cross the wire.
+func SparsifyJob(eps, rho float64, cfg core.Config) Job[*graph.Graph] {
+	return Job[*graph.Graph]{impl: sparsifyImpl{eps: eps, rho: rho, cfg: cfg}}
 }
 
-// SparsifySharded runs the same computation on a sharded transport with
-// p worker shards: the compute phase of every round executes in
-// parallel, one goroutine per shard, and messages between shards cross
-// per-shard-pair buffers at each round barrier. The output is
-// edge-identical to Sparsify's for equal (depth, seed); the ledger
-// additionally reports the cross-shard traffic split.
-func SparsifySharded(g *graph.Graph, eps, rho float64, depth int, seed uint64, p int) Result {
-	return SparsifyConfigSharded(g, eps, rho, sparsifyCfg(depth, seed), p)
-}
-
-func sparsifyCfg(depth int, seed uint64) core.Config {
+// SparsifyDefaults builds the configuration a bare depth/seed pair
+// implies — the calibrated defaults with the bundle depth overridden
+// and seed 0 normalized to 1, exactly like repro.Options — so CLIs,
+// experiments, and tests derive SparsifyJob's cfg from one place.
+func SparsifyDefaults(depth int, seed uint64) core.Config {
 	if seed == 0 {
-		seed = 1 // match Options.config's default so the API paths agree
+		seed = 1
 	}
 	cfg := core.DefaultConfig(seed)
 	cfg.BundleT = depth
 	return cfg
 }
 
-// SparsifyConfig runs the distributed Algorithm 2 under an explicit
-// shared-memory configuration. Validation, iteration count, seed
-// splitting, bundle thickness, and keep probability all follow
-// core.ParallelSparsify exactly, so for an equal cfg the returned graph
-// is edge-identical to the shared-memory output — the spectral (1±ε)
-// guarantee transfers verbatim and only the communication accounting is
-// new. (cfg.Tracker models CRCW PRAM cost and is ignored here; the
-// ledger replaces it.)
-func SparsifyConfig(g *graph.Graph, eps, rho float64, cfg core.Config) Result {
-	return sparsifyFull(NewEngine(g.N), g, eps, rho, cfg)
+// sparsifyImpl is the sparsifier job body. Wire parameter block
+// (sparsifyParamsLen bytes, little-endian): eps, rho, cfg.BundleConst,
+// cfg.KeepProb as float64 bits, then cfg.BundleLogPow, cfg.BundleT,
+// cfg.SpannerK as int64, then cfg.Seed — the full configuration
+// crosses the wire, so a Theory-constants run is adopted faithfully by
+// every worker process.
+type sparsifyImpl struct {
+	eps, rho float64
+	cfg      core.Config
 }
 
-// SparsifyConfigSharded is SparsifyConfig on a sharded transport with p
-// worker shards (see SparsifySharded).
-func SparsifyConfigSharded(g *graph.Graph, eps, rho float64, cfg core.Config, p int) Result {
-	return sparsifyFull(NewShardedEngine(g.N, p), g, eps, rho, cfg)
+const sparsifyParamsLen = 64
+
+func (j sparsifyImpl) name() string { return jobNameSparsify }
+
+func (j sparsifyImpl) params() []byte {
+	b := make([]byte, sparsifyParamsLen)
+	binary.LittleEndian.PutUint64(b[0:], math.Float64bits(j.eps))
+	binary.LittleEndian.PutUint64(b[8:], math.Float64bits(j.rho))
+	binary.LittleEndian.PutUint64(b[16:], math.Float64bits(j.cfg.BundleConst))
+	binary.LittleEndian.PutUint64(b[24:], math.Float64bits(j.cfg.KeepProb))
+	binary.LittleEndian.PutUint64(b[32:], uint64(int64(j.cfg.BundleLogPow)))
+	binary.LittleEndian.PutUint64(b[40:], uint64(int64(j.cfg.BundleT)))
+	binary.LittleEndian.PutUint64(b[48:], uint64(int64(j.cfg.SpannerK)))
+	binary.LittleEndian.PutUint64(b[56:], j.cfg.Seed)
+	return b
 }
 
-func sparsifyFull(e *Engine, g *graph.Graph, eps, rho float64, cfg core.Config) Result {
-	if rho <= 1 {
+func (j sparsifyImpl) withParams(b []byte) (jobImpl[*graph.Graph], error) {
+	if len(b) != sparsifyParamsLen {
+		return nil, fmt.Errorf("dist: sparsify params are %d bytes, want %d", len(b), sparsifyParamsLen)
+	}
+	return sparsifyImpl{
+		eps: math.Float64frombits(binary.LittleEndian.Uint64(b[0:])),
+		rho: math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+		cfg: core.Config{
+			BundleConst:  math.Float64frombits(binary.LittleEndian.Uint64(b[16:])),
+			KeepProb:     math.Float64frombits(binary.LittleEndian.Uint64(b[24:])),
+			BundleLogPow: int(int64(binary.LittleEndian.Uint64(b[32:]))),
+			BundleT:      int(int64(binary.LittleEndian.Uint64(b[40:]))),
+			SpannerK:     int(int64(binary.LittleEndian.Uint64(b[48:]))),
+			Seed:         binary.LittleEndian.Uint64(b[56:]),
+		},
+	}, nil
+}
+
+func (j sparsifyImpl) runFull(re *roundEngine, g *graph.Graph) (*graph.Graph, int) {
+	if j.rho <= 1 {
 		// The identity run materializes no working view; the process
 		// still holds the edge list itself (3 words per edge).
-		return Result{G: g.Clone(), Stats: e.Stats(), PeakViewWords: 3 * len(g.Edges)}
+		return g.Clone(), 3 * len(g.Edges)
 	}
-	w, peak := sparsifyOn(e, newFullView(g), eps, rho, cfg)
-	return Result{G: w.graph(), Stats: e.Stats(), PeakViewWords: peak}
+	w, peak := sparsifyOn(re, newFullView(g), j.eps, j.rho, j.cfg)
+	return w.graph(), peak
 }
 
-// PartResult is one process's slice of the distributed sparsifier's
-// output: the final global sizes, the incident edges this shard
-// materializes (IDs are final global edge ids, increasing), and the
-// communication ledger — which the network transport's round-tally
-// handshake makes identical on every process and to the in-memory
-// run's.
-type PartResult struct {
-	N, M  int
-	IDs   []int32
-	Edges []graph.Edge // compact, parallel to IDs
-	Stats Stats
-	// PeakViewWords is the largest edge-table footprint (words) any
-	// round's partition view reached on THIS process — the measured
-	// O(m_incident) bound.
-	PeakViewWords int
+// sparsifyPart is one process's partial sparsifier result: the final
+// global edge-id-space size and the incident final edges this shard
+// materializes (IDs are final global edge ids, increasing).
+type sparsifyPart struct {
+	m     int
+	ids   []int32
+	edges []graph.Edge
 }
 
-// OwnedEdges returns the subset of the shard's final edges this
-// process is the primary owner of (the owner of U under the shards-way
-// partition), so that one process contributes each boundary edge when
-// the shards' results are merged into a full graph.
-func (r *PartResult) OwnedEdges(shard, shards int) ([]int32, []graph.Edge) {
-	var ids []int32
-	var edges []graph.Edge
-	for k, id := range r.IDs {
-		if graph.ShardOfVertex(r.N, shards, r.Edges[k].U) == shard {
-			ids = append(ids, id)
-			edges = append(edges, r.Edges[k])
-		}
-	}
-	return ids, edges
-}
-
-// SparsifyPartition runs the distributed Algorithm 2 collaboratively
-// across the shards of tr's network, with this process materializing
-// only the partition part (its shard's adjacency plus boundary edges).
-// Every process of the run must call it with the same parameters and
-// its own shard's partition; the processes execute the same synchronous
-// schedule and the transport exchanges the boundary traffic. The union
-// of the per-shard OwnedEdges is edge-identical to Sparsify's output
-// for equal (depth, seed) — pinned by the loopback regression tests.
-func SparsifyPartition(part *graph.Partition, eps, rho float64, depth int, seed uint64, tr Transport) PartResult {
-	return SparsifyPartitionConfig(part, eps, rho, sparsifyCfg(depth, seed), tr)
-}
-
-// SparsifyPartitionConfig is SparsifyPartition under an explicit
-// configuration (see SparsifyConfig).
-func SparsifyPartitionConfig(part *graph.Partition, eps, rho float64, cfg core.Config, tr Transport) PartResult {
-	e := NewEngineOn(part.N, tr)
+func (j sparsifyImpl) runPart(re *roundEngine, part *graph.Partition) partOut {
 	w := newPartView(part.N, part.M, part.Lo, part.Hi, part.IDs, part.Edges)
 	peak := w.tableWords()
-	if rho > 1 {
-		w, peak = sparsifyOn(e, w, eps, rho, cfg)
+	if j.rho > 1 {
+		w, peak = sparsifyOn(re, w, j.eps, j.rho, j.cfg)
 	}
-	res := PartResult{N: part.N, M: w.m, Stats: e.Stats(), PeakViewWords: peak}
-	res.IDs = make([]int32, w.localCount())
-	res.Edges = make([]graph.Edge, w.localCount())
-	for lid := range res.Edges {
-		res.IDs[lid] = w.globalOf(int32(lid))
-		res.Edges[lid] = w.edges[lid]
+	sp := &sparsifyPart{m: w.m}
+	sp.ids = make([]int32, w.localCount())
+	sp.edges = make([]graph.Edge, w.localCount())
+	for lid := range sp.edges {
+		sp.ids[lid] = w.globalOf(int32(lid))
+		sp.edges[lid] = w.edges[lid]
 	}
-	return res
+	return partOut{peak: peak, data: sp}
+}
+
+// assemble merges the shards' owned final edges at the coordinator
+// into the full output graph (each edge contributed by the shard
+// owning its U endpoint, so a boundary edge is merged exactly once);
+// workers contribute and get nil back.
+func (j sparsifyImpl) assemble(tr *NetTransport, part *graph.Partition, po partOut) (*graph.Graph, error) {
+	sp := po.data.(*sparsifyPart)
+	var ids []int32
+	var edges []graph.Edge
+	for k, id := range sp.ids {
+		if graph.ShardOfVertex(part.N, part.Shards, sp.edges[k].U) == part.Shard {
+			ids = append(ids, id)
+			edges = append(edges, sp.edges[k])
+		}
+	}
+	blobs, err := tr.GatherBlobs(graphio.EncodeEdgeRecords(ids, edges))
+	if err != nil {
+		return nil, err
+	}
+	if tr.Shard() != 0 {
+		return nil, nil
+	}
+	out := make([]graph.Edge, sp.m)
+	seen := make([]bool, sp.m)
+	for s, blob := range blobs {
+		bids, bedges, err := graphio.DecodeEdgeRecords(blob)
+		if err != nil {
+			return nil, fmt.Errorf("dist: shard %d result: %w", s, err)
+		}
+		for k, id := range bids {
+			if id < 0 || int(id) >= sp.m || seen[id] {
+				return nil, fmt.Errorf("dist: shard %d contributed bad or duplicate edge id %d", s, id)
+			}
+			out[id] = bedges[k]
+			seen[id] = true
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("dist: no shard contributed final edge %d", id)
+		}
+	}
+	return graph.FromEdges(part.N, out), nil
 }
 
 // sparsifyOn runs the iteration schedule and reports the peak
 // edge-table footprint across the rounds' working views.
-func sparsifyOn(e *Engine, w *view, eps, rho float64, cfg core.Config) (*view, int) {
+func sparsifyOn(e *roundEngine, w *view, eps, rho float64, cfg core.Config) (*view, int) {
 	iters := int(math.Ceil(math.Log2(rho)))
 	epsRound := eps / float64(iters)
 	peak := w.tableWords()
@@ -175,7 +192,7 @@ func sparsifyOn(e *Engine, w *view, eps, rho float64, cfg core.Config) (*view, i
 // masks are indexed by local edge id (O(m_incident) words on a
 // partition view); the pure seed-derived sampling coin is keyed by
 // GLOBAL edge id, so every shard flips the same coins.
-func sampleRound(e *Engine, w *view, eps float64, cfg core.Config) *view {
+func sampleRound(e *roundEngine, w *view, eps float64, cfg core.Config) *view {
 	if eps <= 0 || eps > 1 {
 		panic(fmt.Sprintf("dist: sample round requires eps in (0,1], got %v", eps))
 	}

@@ -1,0 +1,172 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+)
+
+// TransportSpec is a value describing how a job's rounds execute — the
+// first of the two orthogonal axes of the package (the second is the
+// Job, the algorithm itself). A spec carries no connections and does no
+// I/O; Engine.Run materializes the transport it describes, runs the
+// job, and tears it down. Five specs exist:
+//
+//   - Mem(): the single-process in-memory simulation (the default —
+//     the zero TransportSpec executes the same way).
+//   - Sharded(p): p worker goroutines exchanging messages through
+//     per-shard-pair buffers at each round barrier.
+//   - Loopback(p): a coordinator plus p−1 worker goroutines, each on
+//     its own NetTransport over real loopback TCP sockets, each
+//     materializing only its partition — the full network path without
+//     process isolation.
+//   - Net(cfg): the coordinator (shard 0) of a real multi-process run;
+//     other processes join with Worker specs.
+//   - Worker(cfg): one worker shard of a real multi-process run.
+//
+// Equivalence guarantee: for equal (job, seed) every spec produces
+// bit-identical output and an identical Stats ledger at any shard
+// count and any GOMAXPROCS — transports move messages, not decisions.
+// Only the CrossShard split, WireBytes, and PeakViewWords (the honesty
+// counters of distribution) vary. The cross-transport matrix in
+// equivalence_test.go pins this.
+type TransportSpec struct {
+	kind     specKind
+	shards   int
+	timeout  time.Duration
+	listen   string
+	onListen func(addr string)
+	join     string
+	shard    int
+}
+
+type specKind uint8
+
+const (
+	// specDefault is the zero value: it executes as Mem, but callers
+	// that layer a deprecated knob on top (repro.Options.Shards) can
+	// tell "unset" apart from an explicit Mem() via IsZero.
+	specDefault specKind = iota
+	specMem
+	specSharded
+	specLoopback
+	specNet
+	specWorker
+)
+
+// Mem returns the in-memory spec: one process, one staging area, the
+// original synchronous simulation. The zero TransportSpec executes
+// identically, but reports IsZero — an explicit Mem() does not, so it
+// can never be overridden by a legacy default.
+func Mem() TransportSpec { return TransportSpec{kind: specMem} }
+
+// Sharded returns the sharded in-process spec: the vertex set is
+// partitioned across p worker goroutines and cross-shard messages are
+// exchanged through per-shard-pair buffers at each round barrier
+// (clamped to [1, n] at run time).
+func Sharded(p int) TransportSpec { return TransportSpec{kind: specSharded, shards: p} }
+
+// Loopback returns the loopback-TCP spec: Engine.Run binds a
+// coordinator on 127.0.0.1, spawns p−1 worker goroutines each joined
+// over a real socket and each holding only its partition, and runs the
+// whole multi-process protocol (framing, routing, tally handshake,
+// collectives, result gather) inside one process.
+func Loopback(p int) TransportSpec { return TransportSpec{kind: specLoopback, shards: p} }
+
+// NetConfig configures the coordinator side of a real multi-process
+// run (the Net spec).
+type NetConfig struct {
+	// Listen is the address to bind (host:port; port 0 picks one).
+	Listen string
+	// Shards is the total process count P, this coordinator included.
+	Shards int
+	// Timeout is the per-frame I/O deadline (DefaultNetTimeout if 0).
+	Timeout time.Duration
+	// OnListen, when non-nil, is called with the bound address after
+	// the listener is up and before any worker is awaited — the hook
+	// for writing an address file or spawning worker processes.
+	OnListen func(addr string)
+}
+
+// Net returns the coordinator spec of a real multi-process run:
+// Engine.Run listens, waits for the P−1 Worker processes, broadcasts
+// the job's name and parameters, runs shard 0, and assembles the
+// result.
+func Net(cfg NetConfig) TransportSpec {
+	return TransportSpec{
+		kind:     specNet,
+		shards:   cfg.Shards,
+		timeout:  cfg.Timeout,
+		listen:   cfg.Listen,
+		onListen: cfg.OnListen,
+	}
+}
+
+// WorkerConfig configures one worker shard of a real multi-process run
+// (the Worker spec).
+type WorkerConfig struct {
+	// Join is the coordinator's address.
+	Join string
+	// Shard is this process's shard id in [1, Shards).
+	Shard int
+	// Shards is the total process count P.
+	Shards int
+	// Timeout is the per-frame I/O deadline (DefaultNetTimeout if 0).
+	Timeout time.Duration
+}
+
+// Worker returns the worker-shard spec of a real multi-process run:
+// Engine.Run joins the coordinator, adopts the job parameters it
+// broadcasts (the local job value supplies the algorithm and is
+// cross-checked against the broadcast name), runs this shard, and
+// contributes to the result gather. The returned Result carries the
+// zero Output — assembly happens at the coordinator — but the full
+// Stats ledger, which the tally handshake makes identical on every
+// process.
+func Worker(cfg WorkerConfig) TransportSpec {
+	return TransportSpec{
+		kind:    specWorker,
+		shards:  cfg.Shards,
+		timeout: cfg.Timeout,
+		join:    cfg.Join,
+		shard:   cfg.Shard,
+	}
+}
+
+// WithTimeout returns a copy of the spec with the per-frame I/O
+// deadline set (meaningful for Loopback, Net, and Worker specs).
+func (s TransportSpec) WithTimeout(d time.Duration) TransportSpec {
+	s.timeout = d
+	return s
+}
+
+// IsZero reports whether the spec is the zero value — unset, executed
+// as Mem(). An explicit Mem() is not zero, so layered defaults (the
+// deprecated repro.Options.Shards) cannot override it.
+func (s TransportSpec) IsZero() bool {
+	return s.kind == specDefault && s.shards == 0 && s.timeout == 0 &&
+		s.listen == "" && s.onListen == nil && s.join == "" && s.shard == 0
+}
+
+// String renders the spec for logs and experiment tables.
+func (s TransportSpec) String() string {
+	switch s.kind {
+	case specSharded:
+		return fmt.Sprintf("sharded(%d)", s.shards)
+	case specLoopback:
+		return fmt.Sprintf("loopback(%d)", s.shards)
+	case specNet:
+		return fmt.Sprintf("net(%s, %d shards)", s.listen, s.shards)
+	case specWorker:
+		return fmt.Sprintf("worker(%s, shard %d/%d)", s.join, s.shard, s.shards)
+	default:
+		return "mem"
+	}
+}
+
+// timeoutOrDefault returns the spec's deadline, defaulted.
+func (s TransportSpec) timeoutOrDefault() time.Duration {
+	if s.timeout <= 0 {
+		return DefaultNetTimeout
+	}
+	return s.timeout
+}

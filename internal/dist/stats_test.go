@@ -10,7 +10,7 @@ import (
 // report one merged row, and the merged rows still partition the
 // totals.
 func TestPhaseMergeSemantics(t *testing.T) {
-	e := NewEngine(4)
+	e := newRoundEngine(4)
 	e.BeginPhase("a")
 	e.Deliver(1, Message{From: 0, Kind: MsgKeep})
 	e.EndRound()
@@ -47,7 +47,7 @@ func TestPhaseMergeSemantics(t *testing.T) {
 // TestUnnamedRoundsFallIntoMain: an EndRound before any BeginPhase
 // opens the implicit "main" phase rather than losing the bill.
 func TestUnnamedRoundsFallIntoMain(t *testing.T) {
-	e := NewEngine(2)
+	e := newRoundEngine(2)
 	e.Deliver(0, Message{From: 1, Kind: MsgKeep})
 	e.EndRound()
 	st := e.Stats()
@@ -62,7 +62,7 @@ func TestUnnamedRoundsFallIntoMain(t *testing.T) {
 // both, and the phase rows carry the same split.
 func TestCrossShardAccounting(t *testing.T) {
 	// 4 vertices, 2 shards: shard 0 owns {0,1}, shard 1 owns {2,3}.
-	e := NewShardedEngine(4, 2)
+	e := newRoundEngineOn(4, NewShardedTransport(4, 2))
 	tr := e.Transport()
 	if tr.ShardOf(1) != 0 || tr.ShardOf(2) != 1 {
 		t.Fatalf("unexpected partition: ShardOf(1)=%d ShardOf(2)=%d", tr.ShardOf(1), tr.ShardOf(2))
@@ -123,9 +123,9 @@ func TestStatsStringCrossShard(t *testing.T) {
 // TestMailboxRecycling: mailbox slices are reused across rounds on both
 // transports — the contract that callers must not retain them.
 func TestMailboxRecycling(t *testing.T) {
-	for name, e := range map[string]*Engine{
-		"mem":     NewEngine(2),
-		"sharded": NewShardedEngine(2, 2),
+	for name, e := range map[string]*roundEngine{
+		"mem":     newRoundEngine(2),
+		"sharded": newRoundEngineOn(2, NewShardedTransport(2, 2)),
 	} {
 		e.Deliver(0, Message{From: 1, Kind: MsgKeep, A: 7})
 		e.EndRound()

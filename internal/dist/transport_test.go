@@ -19,9 +19,9 @@ import (
 // and every per-phase row agree between transports at any P.
 func TestShardedLedgerMatchesMem(t *testing.T) {
 	g := gen.Gnp(350, 0.08, 13)
-	ref := dist.Sparsify(g, 0.75, 4, 0, 5).Stats
+	ref := runSparsify(t, dist.Mem(), g, 0.75, 4, 0, 5).Stats
 	for _, p := range []int{1, 2, 4, 8} {
-		st := dist.SparsifySharded(g, 0.75, 4, 0, 5, p).Stats
+		st := runSparsify(t, dist.Sharded(p), g, 0.75, 4, 0, 5).Stats
 		if st.Shards != p {
 			t.Fatalf("P=%d: Stats.Shards=%d", p, st.Shards)
 		}
@@ -97,17 +97,17 @@ func TestShardedTransportPartition(t *testing.T) {
 // the sharded transport: edgeless graphs, k=1, and rho<=1 all terminate
 // with sane (message-free) ledgers at P>1.
 func TestShardedEdgeCases(t *testing.T) {
-	empty := dist.BaswanaSenSharded(graph.New(10), 0, 1, 4)
-	if graph.CountTrue(empty.InSpanner) != 0 || empty.Stats.Messages != 0 {
+	empty := runSpanner(t, dist.Sharded(4), graph.New(10), 0, 1)
+	if graph.CountTrue(empty.Output.InSpanner) != 0 || empty.Stats.Messages != 0 {
 		t.Fatalf("edgeless ledger: %+v", empty.Stats)
 	}
-	k1 := dist.BaswanaSenSharded(gen.Complete(10), 1, 1, 4)
-	if graph.CountTrue(k1.InSpanner) != gen.Complete(10).M() || k1.Stats.Messages != 0 {
+	k1 := runSpanner(t, dist.Sharded(4), gen.Complete(10), 1, 1)
+	if graph.CountTrue(k1.Output.InSpanner) != gen.Complete(10).M() || k1.Stats.Messages != 0 {
 		t.Fatalf("k=1 spanner must be the graph itself: %+v", k1.Stats)
 	}
 	g := gen.Gnp(50, 0.2, 19)
-	id := dist.SparsifySharded(g, 0.5, 1, 0, 11, 4)
-	if id.G.M() != g.M() || id.Stats.Rounds != 0 || id.Stats.Messages != 0 {
+	id := runSparsify(t, dist.Sharded(4), g, 0.5, 1, 0, 11)
+	if id.Output.M() != g.M() || id.Stats.Rounds != 0 || id.Stats.Messages != 0 {
 		t.Fatalf("rho<=1 should be a free identity: %+v", id.Stats)
 	}
 }

@@ -34,25 +34,30 @@ func E12ShardedSparsify(s Scale) *Table {
 		ps = []int{1, 2, 4, 8}
 	}
 	g := gen.Gnp(n, deg/float64(n), 163)
+	job := dist.SparsifyJob(0.5, rho, dist.SparsifyDefaults(depth, 29))
 	base := 0.0
 	baseM := -1
 	for _, p := range ps {
 		start := time.Now()
-		res := dist.SparsifySharded(g, 0.5, rho, depth, 29, p)
+		res, err := dist.Run(dist.NewEngine(dist.Sharded(p), g), job)
 		ms := float64(time.Since(start).Microseconds()) / 1000
+		if err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("RUN FAILURE at P=%d: %v", p, err))
+			continue
+		}
 		if p == ps[0] {
 			base = ms
-			baseM = res.G.M()
-		} else if res.G.M() != baseM {
+			baseM = res.Output.M()
+		} else if res.Output.M() != baseM {
 			t.Notes = append(t.Notes,
-				fmt.Sprintf("DETERMINISM VIOLATION: P=%d produced m=%d, P=1 produced m=%d", p, res.G.M(), baseM))
+				fmt.Sprintf("DETERMINISM VIOLATION: P=%d produced m=%d, P=1 produced m=%d", p, res.Output.M(), baseM))
 		}
 		st := res.Stats
 		crossFrac := 0.0
 		if st.Words > 0 {
 			crossFrac = float64(st.CrossShardWords) / float64(st.Words)
 		}
-		t.AddRow(inum(p), fnum(ms), fnum(base/ms), inum(res.G.M()), inum(st.Rounds),
+		t.AddRow(inum(p), fnum(ms), fnum(base/ms), inum(res.Output.M()), inum(st.Rounds),
 			fmt.Sprintf("%d", st.CrossShardMessages), fmt.Sprintf("%d", st.CrossShardWords),
 			fnum(crossFrac))
 	}

@@ -8,25 +8,26 @@ import (
 	"repro/internal/gen"
 )
 
-// E13NetTransport compares the three transports of the distributed
-// engine on one sparsification job: the in-memory staging area, the
-// sharded in-process exchange, and the network transport running
-// coordinator + P−1 workers over real loopback TCP sockets (each
-// worker materializing only its partition). The m_out column must be
-// constant — the transports move messages, not decisions — while the
-// wire columns split the cost of distribution: crossWords is the
+// E13NetTransport compares the transport specs of the distributed
+// engine on one sparsification job, all through the single Engine.Run
+// entry point: the in-memory staging area (Mem), the sharded
+// in-process exchange (Sharded), and the network path running
+// coordinator + P−1 workers over real loopback TCP sockets (Loopback,
+// each worker materializing only its partition). The m_out column must
+// be constant — the transports move messages, not decisions — while
+// the wire columns split the cost of distribution: crossWords is the
 // model-level bill (identical for sharded and net at equal P) and
 // wireBytes is what the network transport actually wrote to sockets,
 // framing included. wkrPeakWords is the per-worker memory story: the
 // largest edge-table footprint (words) any single process's working
-// view reached — Θ(m) on the single-process transports, O(m_incident)
+// view reached — Θ(m) on the single-process specs, O(m_incident)
 // ≈ m/P + boundary on the partitioned network run, shrinking as P
 // grows.
 func E13NetTransport(s Scale) *Table {
 	t := &Table{
 		ID:     "E13",
 		Title:  "transport comparison: in-memory vs sharded vs network (loopback)",
-		Claim:  "Thm 5 substrate: the same rounds run over goroutines or sockets with identical outputs; only the wire bill and per-worker footprint change",
+		Claim:  "Thm 5 substrate: one Engine.Run executes the same rounds over goroutines or sockets with identical outputs; only the wire bill and per-worker footprint change",
 		Header: []string{"transport", "P", "millis", "m_out", "rounds", "crossWords", "wireBytes", "wkrPeakWords"},
 	}
 	n, deg := 1<<12, 8.0
@@ -38,6 +39,7 @@ func E13NetTransport(s Scale) *Table {
 		ps = []int{1, 2, 4, 8}
 	}
 	g := gen.Gnp(n, deg/float64(n), 163)
+	job := dist.SparsifyJob(0.5, rho, dist.SparsifyDefaults(depth, 29))
 	baseM := -1
 	row := func(name string, p int, ms float64, mOut, rounds int, crossWords, wireBytes int64, peakWords int) {
 		if baseM < 0 {
@@ -53,27 +55,29 @@ func E13NetTransport(s Scale) *Table {
 		t.AddRow(name, inum(p), fnum(ms), inum(mOut), inum(rounds),
 			fmt.Sprintf("%d", crossWords), wb, inum(peakWords))
 	}
-
-	start := time.Now()
-	mem := dist.Sparsify(g, 0.5, rho, depth, 29)
-	row("mem", 1, millisSince(start), mem.G.M(), mem.Stats.Rounds, mem.Stats.CrossShardWords, -1, mem.PeakViewWords)
-
-	for _, p := range ps[1:] {
-		start = time.Now()
-		sh := dist.SparsifySharded(g, 0.5, rho, depth, 29, p)
-		row("sharded", p, millisSince(start), sh.G.M(), sh.Stats.Rounds, sh.Stats.CrossShardWords, -1, sh.PeakViewWords)
-	}
-	for _, p := range ps {
-		start = time.Now()
-		res, wireBytes, err := dist.LoopbackSparsify(g, 0.5, rho, depth, 29, p, dist.DefaultNetTimeout)
-		if err != nil {
-			t.Notes = append(t.Notes, fmt.Sprintf("NET FAILURE at P=%d: %v", p, err))
-			continue
+	sweep := func(name string, order []int, spec func(p int) dist.TransportSpec, wired bool) {
+		for _, p := range order {
+			start := time.Now()
+			res, err := dist.Run(dist.NewEngine(spec(p), g), job)
+			if err != nil {
+				t.Notes = append(t.Notes, fmt.Sprintf("%s FAILURE at P=%d: %v", name, p, err))
+				continue
+			}
+			wireBytes := int64(-1)
+			if wired {
+				wireBytes = res.WireBytes
+			}
+			row(name, p, millisSince(start), res.Output.M(), res.Stats.Rounds,
+				res.Stats.CrossShardWords, wireBytes, res.PeakViewWords)
 		}
-		row("net", p, millisSince(start), res.G.M(), res.Stats.Rounds, res.Stats.CrossShardWords, wireBytes, res.PeakViewWords)
 	}
+
+	sweep("mem", []int{1}, func(int) dist.TransportSpec { return dist.Mem() }, false)
+	sweep("sharded", ps[1:], dist.Sharded, false)
+	sweep("net", ps, dist.Loopback, true)
+
 	t.Notes = append(t.Notes,
-		fmt.Sprintf("n=%d m=%d: identical m_out and rounds on every transport at every P", n, g.M()),
+		fmt.Sprintf("n=%d m=%d: identical m_out and rounds on every transport spec at every P", n, g.M()),
 		"net P=1 is a single process with no sockets: the partition-view overhead alone",
 		"net relays through the coordinator (star), so wireBytes ~ 2x a full-mesh deployment's payload bytes",
 		"wkrPeakWords = max per-process edge-table footprint across rounds: Θ(m) single-process, O(m/P + boundary) on net")

@@ -132,7 +132,11 @@ func E3DistributedSpanner(s Scale) *Table {
 	for _, n := range ns {
 		p := 16.0 / float64(n)
 		g := gen.Gnp(n, p, uint64(2*n))
-		res := dist.BaswanaSen(g, 0, 5)
+		res, err := dist.Run(dist.NewEngine(dist.Mem(), g), dist.SpannerJob(0, 5))
+		if err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("RUN FAILURE at n=%d: %v", n, err))
+			continue
+		}
 		logn := math.Log2(float64(n))
 		t.AddRow(inum(n), inum(g.M()),
 			inum(res.Stats.Rounds), fnum(float64(res.Stats.Rounds)/(logn*logn)),
