@@ -25,6 +25,17 @@
 //	distworker -shards 4 -in graph.txt -split parts/ -split-only
 //	distworker -join HOST:PORT -shards 4 -shard 2 -parts parts/
 //
+// Fault tolerance: with -max-respawns N the coordinator survives up to
+// N worker deaths — on a detected failure (EOF, reset, or a missed
+// heartbeat window) it rolls the surviving workers back, re-execs this
+// binary as a replacement for the dead shard (loading the same
+// partition source, joining with -resume), and replays the run from
+// its last checkpoint (-checkpoint-every). Every round is a pure
+// function of (seed, partition, round number), so the recovered output
+// is bit-identical to a failure-free run — kill -9 a worker mid-run
+// and the written result does not change. -crash-after-frames is the
+// matching fault-injection hook the recovery tests use.
+//
 // For equal seeds the written output is edge-identical to the
 // in-process transport specs at any shard count, and the reported
 // ledger is identical on every process.
@@ -35,7 +46,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -64,6 +77,10 @@ func main() {
 	splitOnly := flag.Bool("split-only", false, "with -split: write partitions and exit")
 	addrFile := flag.String("addr-file", "", "coordinator: write the bound listen address to this file (atomically)")
 	timeout := flag.Duration("timeout", dist.DefaultNetTimeout, "per-frame network deadline")
+	maxRespawns := flag.Int("max-respawns", 0, "coordinator: survive up to this many worker deaths by respawning them (0 = a worker death fails the run)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "coordinator: checkpoint cadence in sampling epochs (0 = every epoch, negative = off)")
+	resume := flag.Bool("resume", false, "worker: keep retrying the join for one -timeout window (for respawned workers racing the coordinator's recovery)")
+	crashAfterFrames := flag.Int("crash-after-frames", 0, "worker: fault injection — SIGKILL this process before its Nth protocol frame (0 = off)")
 	flag.Parse()
 
 	if *shards < 1 {
@@ -79,9 +96,10 @@ func main() {
 		g := readGraph(*in)
 		splitPartitions(g, *shards, *split)
 	case *listen != "":
-		runCoordinator(runner, params, *in, *parts, *out, *listen, *addrFile, *split, *shards, *timeout)
+		runCoordinator(runner, params, *jobName, *in, *parts, *out, *listen, *addrFile, *split,
+			*shards, *timeout, *maxRespawns, *ckptEvery)
 	case *join != "":
-		runWorker(runner, params, *in, *parts, *join, *shard, *shards, *timeout)
+		runWorker(runner, params, *in, *parts, *join, *shard, *shards, *timeout, *resume, *crashAfterFrames)
 	default:
 		log.Fatal("one of -listen (coordinator), -join (worker), or -split/-split-only is required")
 	}
@@ -225,8 +243,36 @@ func splitPartitions(g *graph.Graph, shards int, dir string) {
 	}
 }
 
+// respawnWorker re-execs this binary as a replacement worker for a
+// dead shard: same partition source, same job, joining the coordinator
+// with -resume so it keeps retrying while recovery tears the old
+// connection down. The child is started asynchronously; the engine's
+// recovery window tracks the rejoin.
+func respawnWorker(jobName, in, parts string, shards int, timeout time.Duration) func(shard int, addr string) {
+	return func(shard int, addr string) {
+		fmt.Fprintf(os.Stderr, "coordinator: respawning shard %d\n", shard)
+		args := []string{
+			"-join", addr, "-shard", strconv.Itoa(shard), "-shards", strconv.Itoa(shards),
+			"-job", jobName, "-timeout", timeout.String(), "-resume",
+		}
+		if parts != "" {
+			args = append(args, "-parts", parts)
+		} else {
+			args = append(args, "-in", in)
+		}
+		cmd := exec.Command(os.Args[0], args...)
+		cmd.Stdout = os.Stderr // a worker writes no graph; keep its logs off our stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			log.Fatalf("respawning shard %d: %v", shard, err)
+		}
+		go func() { _ = cmd.Wait() }() // reap
+	}
+}
+
 func runCoordinator(runner jobRunner, params jobParams,
-	in, parts, out, listen, addrFile, split string, shards int, timeout time.Duration) {
+	jobName, in, parts, out, listen, addrFile, split string, shards int,
+	timeout time.Duration, maxRespawns, ckptEvery int) {
 	var part *graph.Partition
 	if split != "" {
 		// Splitting needs the whole graph anyway; carve shard 0 from it.
@@ -236,7 +282,7 @@ func runCoordinator(runner jobRunner, params jobParams,
 	} else {
 		part = loadPartition(in, parts, 0, shards)
 	}
-	spec := dist.Net(dist.NetConfig{
+	cfg := dist.NetConfig{
 		Listen: listen, Shards: shards, Timeout: timeout,
 		OnListen: func(addr string) {
 			fmt.Fprintf(os.Stderr, "coordinator: shard 0/%d listening on %s (n=%d m=%d, %d incident edges)\n",
@@ -247,7 +293,20 @@ func runCoordinator(runner jobRunner, params jobParams,
 				}
 			}
 		},
-	})
+		MaxRespawns:     maxRespawns,
+		CheckpointEvery: ckptEvery,
+	}
+	if maxRespawns > 0 {
+		// Respawned workers reload their shard from the same source:
+		// the partition directory (pre-split or just written by -split),
+		// else the whole input graph.
+		partsSrc := parts
+		if partsSrc == "" {
+			partsSrc = split
+		}
+		cfg.Respawn = respawnWorker(jobName, in, partsSrc, shards, timeout)
+	}
+	spec := dist.Net(cfg)
 	start := time.Now()
 	g, stats, wireBytes, err := runner(dist.NewPartitionEngine(spec, part), params)
 	if err != nil {
@@ -273,12 +332,17 @@ func runCoordinator(runner jobRunner, params jobParams,
 }
 
 func runWorker(runner jobRunner, params jobParams,
-	in, parts, join string, shard, shards int, timeout time.Duration) {
+	in, parts, join string, shard, shards int, timeout time.Duration, resume bool, crashAfterFrames int) {
 	if shard < 1 || shard >= shards {
 		log.Fatalf("-shard must be in [1,%d)", shards)
 	}
 	part := loadPartition(in, parts, shard, shards)
-	spec := dist.Worker(dist.WorkerConfig{Join: join, Shard: shard, Shards: shards, Timeout: timeout})
+	wcfg := dist.WorkerConfig{Join: join, Shard: shard, Shards: shards, Timeout: timeout,
+		FailAfterFrames: crashAfterFrames}
+	if resume {
+		wcfg.JoinRetry = timeout
+	}
+	spec := dist.Worker(wcfg)
 	fmt.Fprintf(os.Stderr, "worker: shard %d/%d joining %s (%d incident edges, vertices [%d,%d))\n",
 		shard, shards, join, len(part.IDs), part.Lo, part.Hi)
 	_, stats, _, err := runner(dist.NewPartitionEngine(spec, part), params)

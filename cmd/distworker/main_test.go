@@ -134,6 +134,93 @@ func TestMultiProcessSparsify(t *testing.T) {
 	}
 }
 
+// TestMultiProcessKillRecover is the fault-tolerance ground truth at
+// the OS level: a worker process SIGKILLs itself mid-run (the honest
+// stand-in for kill -9, preemption, or OOM), the coordinator respawns
+// it from its partition file via -max-respawns, and the written output
+// is bit-identical to the single-process in-memory run.
+func TestMultiProcessKillRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	const (
+		shards = 3
+		seed   = 11
+	)
+	dir := t.TempDir()
+	g := gen.Gnp(600, 0.03, 9)
+	graphPath := filepath.Join(dir, "graph.txt")
+	f, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	partsDir := filepath.Join(dir, "parts")
+	if err := child(t, "-in", graphPath, "-shards", "3", "-split", partsDir, "-split-only").Run(); err != nil {
+		t.Fatalf("split: %v", err)
+	}
+
+	outPath := filepath.Join(dir, "sparse.txt")
+	addrPath := filepath.Join(dir, "addr")
+	coord := childCapture(t, "-listen", "127.0.0.1:0", "-shards", "3", "-parts", partsDir,
+		"-eps", "0.75", "-rho", "4", "-seed", "11", "-out", outPath, "-addr-file", addrPath,
+		"-timeout", "30s", "-max-respawns", "2")
+	var coordLog strings.Builder
+	coord.Stderr = &coordLog
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+
+	addr := waitForFile(t, addrPath, 15*time.Second)
+	healthy := child(t, "-join", addr, "-shards", "3", "-shard", "1", "-parts", partsDir, "-timeout", "30s")
+	if err := healthy.Start(); err != nil {
+		t.Fatal(err)
+	}
+	doomed := child(t, "-join", addr, "-shards", "3", "-shard", "2", "-parts", partsDir,
+		"-timeout", "30s", "-crash-after-frames", "60")
+	if err := doomed.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := doomed.Wait(); err == nil {
+		t.Fatal("doomed worker exited cleanly; fault injection never fired")
+	}
+	if err := healthy.Wait(); err != nil {
+		t.Fatalf("surviving worker: %v\ncoordinator log:\n%s", err, coordLog.String())
+	}
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator: %v\nlog:\n%s", err, coordLog.String())
+	}
+	if !strings.Contains(coordLog.String(), "respawning shard 2") {
+		t.Fatalf("coordinator never reported the respawn:\n%s", coordLog.String())
+	}
+
+	of, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer of.Close()
+	got, err := graphio.Read(of)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := dist.Run(dist.NewEngine(dist.Mem(), g), dist.SparsifyJob(0.75, 4, core.DefaultConfig(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != ref.Output.N || got.M() != ref.Output.M() {
+		t.Fatalf("recovered run %v vs in-memory %v", got, ref.Output)
+	}
+	for i := range ref.Output.Edges {
+		if got.Edges[i] != ref.Output.Edges[i] {
+			t.Fatalf("recovered edge %d differs: %+v vs %+v", i, got.Edges[i], ref.Output.Edges[i])
+		}
+	}
+}
+
 func waitForFile(t *testing.T, path string, timeout time.Duration) string {
 	t.Helper()
 	deadline := time.Now().Add(timeout)

@@ -1,0 +1,280 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Checkpointing for the recovery path of Net runs.
+//
+// Every round of a job is a pure function of (seed, partition, round
+// number), so recovery is deterministic replay — the only state worth
+// checkpointing is the small inter-round data that was GATHERED across
+// shards and would otherwise cost re-running the rounds that produced
+// it. For the sparsifier that is exactly one list per sampling epoch
+// (one Algorithm 1 iteration): the sorted in-bundle global edge ids
+// from the renumbering gather, O(bundle) = O(output) words — never
+// Θ(m), per the PR 4 memory invariant. Together with the ledger
+// snapshot at the epoch boundary, a process can fast-forward its
+// partition view through the recorded epochs locally (renumberPart +
+// the pure seed-derived sampling coins) without a single network
+// round, then resume live execution bit-identically.
+//
+// The coordinator holds the durable ckptState across attempts and
+// re-broadcasts its encoding at the start of every attempt, right
+// after the job header — so a freshly respawned worker needs no
+// special resume mode: every process of every attempt decodes the same
+// checkpoint and replays the same prefix. The spanner job records no
+// mid-run state (its recovery is replay from the top, still
+// bit-identical); a checkpoint with epochs for a checkpoint-free job
+// is a protocol violation.
+const (
+	ckptMagic   = uint32(0x434b3031) // "CK01"
+	ckptVersion = uint32(1)
+
+	// maxCkptEpochs bounds the decoded epoch count; ⌈log₂ρ⌉ epochs is
+	// tiny, the bound only keeps a corrupt header off the allocator.
+	maxCkptEpochs = 1 << 20
+	// maxCkptPhases/maxCkptNameLen bound the ledger snapshot decoding.
+	maxCkptPhases  = 1 << 16
+	maxCkptNameLen = 256
+)
+
+// ckptState is the recovery state of one Net run: the durable epoch
+// count, the ledger snapshot at that boundary, and the gathered
+// in-bundle id list of every recorded epoch. every is the cadence
+// (NetConfig.CheckpointEvery): a checkpoint becomes durable each time
+// `every` epochs complete; negative disables recording entirely, in
+// which case recovery replays from epoch 0.
+type ckptState struct {
+	every  int
+	epochs int       // completed epochs covered by stats (durable boundary)
+	stats  Stats     // ledger snapshot at the durable boundary
+	lists  [][]int32 // gathered in-bundle global ids per recorded epoch
+}
+
+// record notes one completed sampling epoch. Epochs arrive in order
+// starting from the replayed prefix; the durable boundary advances
+// only on the cadence, so a crash between checkpoints replays at most
+// `every` epochs.
+func (ck *ckptState) record(epoch int, bundleIDs []int32, re *roundEngine) {
+	if ck == nil || ck.every < 0 {
+		return
+	}
+	ck.lists = append(ck.lists[:epoch], bundleIDs)
+	every := ck.every
+	if every <= 0 {
+		every = 1
+	}
+	if (epoch+1)%every == 0 {
+		ck.epochs = epoch + 1
+		ck.stats = re.Stats()
+	}
+}
+
+// encodeCkpt frames the durable prefix of the checkpoint — the epochs
+// up to the last cadence boundary and the ledger snapshot there. The
+// layout is little-endian and versioned (bump, don't mutate):
+//
+//	[0:4)   ckptMagic
+//	[4:8)   ckptVersion
+//	[8:12)  durable epoch count E
+//	[12:60) ledger snapshot: Rounds, Messages, Words (u64),
+//	        MaxMessageWords (u32), CrossShardMessages, CrossShardWords
+//	        (u64), Shards (u32)
+//	[60:64) phase count
+//	per phase: name length (u32), name bytes, then Rounds, Messages,
+//	        Words, CrossShardMessages, CrossShardWords (u64 each)
+//	per epoch (E times): id count (u32), then that many int32 ids
+func encodeCkpt(ck *ckptState) []byte {
+	size := 64
+	for _, ph := range ck.stats.Phases {
+		size += 4 + len(ph.Name) + 40
+	}
+	for e := 0; e < ck.epochs; e++ {
+		size += 4 + 4*len(ck.lists[e])
+	}
+	b := make([]byte, 0, size)
+	b = binary.LittleEndian.AppendUint32(b, ckptMagic)
+	b = binary.LittleEndian.AppendUint32(b, ckptVersion)
+	b = binary.LittleEndian.AppendUint32(b, uint32(ck.epochs))
+	s := ck.stats
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.Rounds))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.Messages))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.Words))
+	b = binary.LittleEndian.AppendUint32(b, uint32(s.MaxMessageWords))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.CrossShardMessages))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.CrossShardWords))
+	b = binary.LittleEndian.AppendUint32(b, uint32(s.Shards))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Phases)))
+	for _, ph := range s.Phases {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(ph.Name)))
+		b = append(b, ph.Name...)
+		b = binary.LittleEndian.AppendUint64(b, uint64(ph.Rounds))
+		b = binary.LittleEndian.AppendUint64(b, uint64(ph.Messages))
+		b = binary.LittleEndian.AppendUint64(b, uint64(ph.Words))
+		b = binary.LittleEndian.AppendUint64(b, uint64(ph.CrossShardMessages))
+		b = binary.LittleEndian.AppendUint64(b, uint64(ph.CrossShardWords))
+	}
+	for e := 0; e < ck.epochs; e++ {
+		ids := ck.lists[e]
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(ids)))
+		for _, id := range ids {
+			b = binary.LittleEndian.AppendUint32(b, uint32(id))
+		}
+	}
+	return b
+}
+
+// ckptCursor is the incremental reader of decodeCkpt: every read is
+// bounds-checked against the remaining bytes, so a corrupt or
+// truncated blob errors instead of panicking or over-allocating.
+type ckptCursor struct {
+	b   []byte
+	off int
+}
+
+func (c *ckptCursor) remaining() int { return len(c.b) - c.off }
+
+func (c *ckptCursor) u32() (uint32, error) {
+	if c.remaining() < 4 {
+		return 0, fmt.Errorf("dist: truncated checkpoint at byte %d", c.off)
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v, nil
+}
+
+func (c *ckptCursor) u64() (uint64, error) {
+	if c.remaining() < 8 {
+		return 0, fmt.Errorf("dist: truncated checkpoint at byte %d", c.off)
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v, nil
+}
+
+func (c *ckptCursor) bytes(n int) ([]byte, error) {
+	if n < 0 || c.remaining() < n {
+		return nil, fmt.Errorf("dist: truncated checkpoint at byte %d", c.off)
+	}
+	v := c.b[c.off : c.off+n]
+	c.off += n
+	return v, nil
+}
+
+// decodeCkpt validates and decodes a broadcast checkpoint blob. Every
+// count is bounded by the bytes actually present, and the per-epoch id
+// lists must be strictly increasing (the gather invariant replay
+// relies on) — so a worker never trusts a corrupt checkpoint.
+func decodeCkpt(blob []byte) (*ckptState, error) {
+	c := &ckptCursor{b: blob}
+	magic, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != ckptMagic {
+		return nil, fmt.Errorf("dist: bad checkpoint magic %#x", magic)
+	}
+	version, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if version != ckptVersion {
+		return nil, fmt.Errorf("dist: checkpoint version %d, want %d (mixed-version run?)", version, ckptVersion)
+	}
+	epochs, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if epochs > maxCkptEpochs {
+		return nil, fmt.Errorf("dist: implausible checkpoint epoch count %d", epochs)
+	}
+	ck := &ckptState{epochs: int(epochs)}
+	var fields [6]uint64
+	for i := 0; i < 3; i++ {
+		if fields[i], err = c.u64(); err != nil {
+			return nil, err
+		}
+	}
+	maxW, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := 3; i < 5; i++ {
+		if fields[i], err = c.u64(); err != nil {
+			return nil, err
+		}
+	}
+	shards, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	ck.stats = Stats{
+		Rounds:             int(int64(fields[0])),
+		Messages:           int64(fields[1]),
+		Words:              int64(fields[2]),
+		MaxMessageWords:    int(int32(maxW)),
+		CrossShardMessages: int64(fields[3]),
+		CrossShardWords:    int64(fields[4]),
+		Shards:             int(int32(shards)),
+	}
+	phases, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if phases > maxCkptPhases {
+		return nil, fmt.Errorf("dist: implausible checkpoint phase count %d", phases)
+	}
+	for i := 0; i < int(phases); i++ {
+		nameLen, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		if nameLen > maxCkptNameLen {
+			return nil, fmt.Errorf("dist: implausible checkpoint phase name length %d", nameLen)
+		}
+		name, err := c.bytes(int(nameLen))
+		if err != nil {
+			return nil, err
+		}
+		var ph PhaseStats
+		ph.Name = string(name)
+		vals := []*int64{&ph.Messages, &ph.Words, &ph.CrossShardMessages, &ph.CrossShardWords}
+		rounds, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		ph.Rounds = int(int64(rounds))
+		for _, v := range vals {
+			u, err := c.u64()
+			if err != nil {
+				return nil, err
+			}
+			*v = int64(u)
+		}
+		ck.stats.Phases = append(ck.stats.Phases, ph)
+	}
+	ck.lists = make([][]int32, ck.epochs)
+	for e := 0; e < ck.epochs; e++ {
+		count, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		raw, err := c.bytes(int(count) * 4)
+		if err != nil {
+			return nil, err
+		}
+		ids := parseInt32s(raw)
+		for i, id := range ids {
+			if id < 0 || (i > 0 && id <= ids[i-1]) {
+				return nil, fmt.Errorf("dist: checkpoint epoch %d id list not strictly increasing at index %d", e, i)
+			}
+		}
+		ck.lists[e] = ids
+	}
+	if c.remaining() != 0 {
+		return nil, fmt.Errorf("dist: %d trailing bytes after checkpoint", c.remaining())
+	}
+	return ck, nil
+}

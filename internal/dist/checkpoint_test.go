@@ -1,0 +1,177 @@
+package dist
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// testCkpt builds a representative checkpoint: two durable epochs with
+// gathered id lists and a ledger snapshot with phases.
+func testCkpt() *ckptState {
+	return &ckptState{
+		epochs: 2,
+		stats: Stats{
+			Rounds: 17, Messages: 1 << 33, Words: 3 << 34, MaxMessageWords: 5,
+			CrossShardMessages: 1234, CrossShardWords: 5678, Shards: 3,
+			Phases: []PhaseStats{
+				{Name: "spanner", Rounds: 9, Messages: 10, Words: 30, CrossShardMessages: 4, CrossShardWords: 12},
+				{Name: "sample", Rounds: 8, Messages: 1 << 40, Words: 3 << 40},
+			},
+		},
+		lists: [][]int32{
+			{0, 3, 4, 9, 1 << 29},
+			{},
+		},
+	}
+}
+
+// TestCheckpointCodecRoundTrip: the durable prefix of a checkpoint —
+// epoch count, ledger snapshot, phases, per-epoch id lists — survives
+// the wire encoding exactly.
+func TestCheckpointCodecRoundTrip(t *testing.T) {
+	cases := []*ckptState{
+		{}, // empty: fresh run, nothing durable yet
+		testCkpt(),
+		{epochs: 1, stats: Stats{Rounds: 1, Shards: 2}, lists: [][]int32{{7}}},
+	}
+	for i, ck := range cases {
+		got, err := decodeCkpt(encodeCkpt(ck))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.epochs != ck.epochs {
+			t.Fatalf("case %d: epochs %d -> %d", i, ck.epochs, got.epochs)
+		}
+		if !reflect.DeepEqual(got.stats, ck.stats) {
+			t.Fatalf("case %d: stats %+v -> %+v", i, ck.stats, got.stats)
+		}
+		for e := 0; e < ck.epochs; e++ {
+			want := ck.lists[e]
+			if len(got.lists[e]) != len(want) {
+				t.Fatalf("case %d epoch %d: %d ids -> %d", i, e, len(want), len(got.lists[e]))
+			}
+			for j := range want {
+				if got.lists[e][j] != want[j] {
+					t.Fatalf("case %d epoch %d id %d differs", i, e, j)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointCodecEncodesDurablePrefixOnly: lists recorded past the
+// last cadence boundary are not durable and must not travel — a
+// respawned worker replays exactly the epochs the stats snapshot
+// covers.
+func TestCheckpointCodecEncodesDurablePrefixOnly(t *testing.T) {
+	ck := testCkpt()
+	ck.lists = append(ck.lists, []int32{1, 2, 3}) // recorded, not yet durable
+	got, err := decodeCkpt(encodeCkpt(ck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.epochs != 2 || len(got.lists) != 2 {
+		t.Fatalf("non-durable epoch traveled: epochs=%d lists=%d", got.epochs, len(got.lists))
+	}
+}
+
+// TestCheckpointDecodeRejectsCorruption: a hostile or damaged blob
+// errors — never panics, never over-allocates, never yields ids that
+// violate the strictly-increasing gather invariant.
+func TestCheckpointDecodeRejectsCorruption(t *testing.T) {
+	good := encodeCkpt(testCkpt())
+	if _, err := decodeCkpt(good); err != nil {
+		t.Fatal(err)
+	}
+	mutants := map[string][]byte{
+		"empty":          {},
+		"short magic":    good[:3],
+		"bad magic":      append([]byte{0xff}, good[1:]...),
+		"bad version":    append(append([]byte{}, good[:4]...), append([]byte{0xff, 0xff, 0xff, 0xff}, good[8:]...)...),
+		"truncated":      good[:len(good)-3],
+		"trailing bytes": append(append([]byte{}, good...), 0),
+	}
+	// Implausible epoch count: patch the epoch field to 2^31.
+	huge := append([]byte{}, good...)
+	huge[8], huge[9], huge[10], huge[11] = 0, 0, 0, 0x80
+	mutants["huge epochs"] = huge
+	for name, b := range mutants {
+		if _, err := decodeCkpt(b); err == nil {
+			t.Fatalf("%s: corrupt checkpoint accepted", name)
+		}
+	}
+	// Non-increasing id list: epochs=1, stats zero, ids {5, 5}.
+	bad := encodeCkpt(&ckptState{epochs: 1, lists: [][]int32{{4, 5}}})
+	bad[len(bad)-8] = 5 // first id 4 -> 5, now equal to the second
+	if _, err := decodeCkpt(bad); err == nil {
+		t.Fatal("non-increasing id list accepted")
+	}
+}
+
+// TestCheckpointRecordCadence: record advances the durable boundary
+// only every `every` epochs, keeps the list slice dense, and a
+// negative cadence disables recording (nil receivers are no-ops).
+func TestCheckpointRecordCadence(t *testing.T) {
+	re := newRoundEngine(4)
+	ck := &ckptState{every: 2}
+	ck.record(0, []int32{1}, re)
+	if ck.epochs != 0 || len(ck.lists) != 1 {
+		t.Fatalf("epoch 0 durable too early: %+v", ck)
+	}
+	ck.record(1, []int32{2}, re)
+	if ck.epochs != 2 {
+		t.Fatalf("cadence boundary missed: %+v", ck)
+	}
+	ck.record(2, []int32{3}, re)
+	if ck.epochs != 2 || len(ck.lists) != 3 {
+		t.Fatalf("epoch 2 should be recorded but not durable: %+v", ck)
+	}
+
+	off := &ckptState{every: -1}
+	off.record(0, []int32{1}, re)
+	if len(off.lists) != 0 || off.epochs != 0 {
+		t.Fatalf("disabled checkpoint recorded state: %+v", off)
+	}
+	var nilCk *ckptState
+	nilCk.record(0, []int32{1}, re) // must not panic
+}
+
+// TestCheckpointSizeBound: the encoding is O(bundle + ledger) — for
+// epoch lists totaling B ids it stays within a small constant plus 4
+// bytes per id, never anything proportional to m or n.
+func TestCheckpointSizeBound(t *testing.T) {
+	ck := &ckptState{epochs: 3, lists: make([][]int32, 3)}
+	total := 0
+	for e := range ck.lists {
+		n := 100 * (e + 1)
+		ids := make([]int32, n)
+		for i := range ids {
+			ids[i] = int32(e*100000 + i)
+		}
+		ck.lists[e] = ids
+		total += n
+	}
+	b := encodeCkpt(ck)
+	if max := 4*total + 256; len(b) > max {
+		t.Fatalf("checkpoint is %d bytes for %d gathered ids (bound %d)", len(b), total, max)
+	}
+}
+
+// FuzzCheckpointCodec: decodeCkpt never panics on arbitrary bytes, and
+// any blob it accepts re-encodes to the identical canonical bytes.
+func FuzzCheckpointCodec(f *testing.F) {
+	f.Add(encodeCkpt(&ckptState{}))
+	f.Add(encodeCkpt(testCkpt()))
+	f.Add([]byte{})
+	f.Add([]byte{0x31, 0x30, 0x4b, 0x43, 1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		ck, err := decodeCkpt(b)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(encodeCkpt(ck), b) {
+			t.Fatalf("accepted blob does not re-encode canonically")
+		}
+	})
+}

@@ -115,6 +115,33 @@
 // as small unbilled collectives (AllMaxInt32/AllOrBits/AllGatherInt32s)
 // piggybacked on the barrier.
 //
+// # Failure model and recovery
+//
+// Liveness is heartbeat-based: each connection direction carries a
+// heartbeat every timeout/4 while the peer computes, so a slow round
+// never trips the per-frame deadline while a dead peer is detected
+// within one timeout (a killed process immediately, via EOF). Data
+// frames feed a running CRC-32C per direction, cross-checked at every
+// round barrier before any payload is decoded, and every collective
+// frame carries a per-attempt sequence number validated on both sides
+// — corrupted or desynchronized traffic is rejected, never
+// interpreted.
+//
+// Worker death is recovered by deterministic replay. Every round is a
+// pure function of (seed, partition, round number), so the coordinator
+// checkpoints only the small gathered inter-epoch state — the sorted
+// in-bundle edge-id list per sampling epoch plus a ledger snapshot,
+// O(bundle) words, never Θ(m) (checkpoint.go). When a worker fails and
+// NetConfig.Respawn is set, the coordinator rolls the survivors back
+// (rollback frames, acked), respawns the dead shard from its partition
+// file, re-broadcasts the checkpoint, and every process re-runs the
+// attempt: the replay fast-forwards through the checkpointed epochs
+// without a single network round and resumes live execution
+// bit-identically — kill -9 a worker mid-run and the final output and
+// ledger equal the failure-free run's (the recovery suite and
+// cmd/distworker's kill-recover test pin this). Coordinator failure,
+// protocol violations, and checksum mismatches remain fatal.
+//
 // Per-worker memory is O(n + m_incident) words on a partition run —
 // enforced, not aspirational. A partition view (view.go) stores edges,
 // masks, and per-round scratch densely over local ids [0, m_incident)

@@ -1,7 +1,9 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -139,7 +141,12 @@ func (e *Engine) partitionFor(shard, shards int) (*graph.Partition, error) {
 
 // runNetCoordinatorJob drives the coordinator (shard 0) of a real
 // multi-process run: listen, announce the bound address, await the
-// workers, broadcast the job header, run this shard, assemble.
+// workers, broadcast the job header and the recovery checkpoint, run
+// this shard, assemble. When the spec carries a respawn hook, a worker
+// failure is not fatal: the coordinator rolls the survivors back,
+// respawns the dead shard (within the MaxRespawns budget), and re-runs
+// the attempt — which replays deterministically from the checkpoint,
+// so the eventual output is bit-identical to a failure-free run.
 func runNetCoordinatorJob[R any](e *Engine, job Job[R]) (Result[R], error) {
 	part, err := e.partitionFor(0, e.spec.shards)
 	if err != nil {
@@ -153,21 +160,66 @@ func runNetCoordinatorJob[R any](e *Engine, job Job[R]) (Result[R], error) {
 	if e.spec.onListen != nil {
 		e.spec.onListen(tr.Addr())
 	}
-	return runNetJob(tr, part, job)
+	ck := &ckptState{every: e.spec.ckptEvery}
+	budget := e.spec.maxRespawns
+	for {
+		res, err := runNetJob(tr, part, job, ck)
+		if err == nil {
+			return res, nil
+		}
+		var wf *workerFailure
+		if e.spec.respawn == nil || budget <= 0 || !errors.As(err, &wf) {
+			return Result[R]{}, err
+		}
+		if rerr := tr.recoverWorkers(wf.shard, e.spec.respawn, &budget); rerr != nil {
+			return Result[R]{}, fmt.Errorf("dist: recovering from %v: %w", err, rerr)
+		}
+	}
 }
 
 // runNetWorkerJob drives one worker shard of a real multi-process run.
+// A coordinator-announced rollback (another worker died) unwinds the
+// attempt; the worker acks it and re-runs, adopting the re-broadcast
+// header and checkpoint like any fresh joiner.
 func runNetWorkerJob[R any](e *Engine, job Job[R]) (Result[R], error) {
 	part, err := e.partitionFor(e.spec.shard, e.spec.shards)
 	if err != nil {
 		return Result[R]{}, err
 	}
-	tr, err := JoinNet(e.spec.join, part.N, e.spec.shard, e.spec.shards, e.spec.timeoutOrDefault())
+	tr, err := joinNetRetry(e.spec.join, part.N, e.spec.shard, e.spec.shards,
+		e.spec.timeoutOrDefault(), e.spec.joinRetry)
 	if err != nil {
 		return Result[R]{}, err
 	}
+	tr.failAfterFrames = e.spec.failFrames
 	defer tr.Close()
-	return runNetJob(tr, part, job)
+	for {
+		res, err := runNetJob(tr, part, job, nil)
+		if err == nil {
+			return res, nil
+		}
+		var rb *rollbackError
+		if !errors.As(err, &rb) {
+			return Result[R]{}, err
+		}
+		if aerr := tr.ackRollback(rb.generation); aerr != nil {
+			return Result[R]{}, aerr
+		}
+	}
+}
+
+// joinNetRetry dials the coordinator, retrying refused or failed joins
+// for up to the retry window — how a respawned (or -resume) worker
+// rejoins a coordinator that is still tearing down its predecessor.
+func joinNetRetry(addr string, n, shard, shards int, timeout, retry time.Duration) (*NetTransport, error) {
+	deadline := time.Now().Add(retry)
+	for {
+		tr, err := JoinNet(addr, n, shard, shards, timeout)
+		if err == nil || !time.Now().Before(deadline) {
+			return tr, err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
 }
 
 // runLoopbackJob runs the whole multi-process protocol inside this
@@ -184,11 +236,11 @@ func runLoopbackJob[R any](e *Engine, job Job[R]) (Result[R], error) {
 	err := runLoopback(g.N, p, e.spec.timeoutOrDefault(),
 		func(coord *NetTransport) error {
 			var err error
-			res, err = runNetJob(coord, graph.PartitionOf(g, 0, p), job)
+			res, err = runNetJob(coord, graph.PartitionOf(g, 0, p), job, &ckptState{})
 			return err
 		},
 		func(tr *NetTransport, s int) error {
-			_, err := runNetJob(tr, graph.PartitionOf(g, s, p), job)
+			_, err := runNetJob(tr, graph.PartitionOf(g, s, p), job, nil)
 			return err
 		})
 	if err != nil {

@@ -55,8 +55,13 @@ type jobImpl[R any] interface {
 	// the peak view footprint in words.
 	runFull(re *roundEngine, g *graph.Graph) (R, int)
 	// runPart executes this process's shard of the algorithm over its
-	// partition view, billing rounds to re.
-	runPart(re *roundEngine, part *graph.Partition) partOut
+	// partition view, billing rounds to re. ck is the run's recovery
+	// checkpoint (never nil on the network path): the job fast-forwards
+	// through ck's recorded epochs without network rounds, records the
+	// epochs it completes live, and rejects a checkpoint that cannot
+	// belong to it (a protocol violation). Jobs without mid-run state
+	// ignore recording and replay from the top on recovery.
+	runPart(re *roundEngine, part *graph.Partition, ck *ckptState) partOut
 	// assemble merges the shards' partials: every process contributes
 	// its blob, the coordinator (shard 0) receives the assembled R,
 	// workers receive the zero value.

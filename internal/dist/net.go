@@ -4,8 +4,12 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
+	"os"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/graph"
@@ -28,17 +32,36 @@ import (
 //
 // The barrier protocol per EndRound, from a worker's perspective:
 // write one frameRound batch per remote shard (empty batches
-// included) and one frameTally, flush, then read the P−2 batches
-// routed from the other shards (origin order) plus the global
-// frameTally. The coordinator reads every worker fully (join), routes,
+// included), one frameTally, and one frameCheck, flush, then read the
+// P−2 batches routed from the other shards (origin order) plus the
+// global frameTally and the coordinator's frameCheck — the inbound
+// payloads are held raw and decoded only after the stream checksum
+// verifies. The coordinator reads every worker fully (join), routes,
 // then writes every worker fully (broadcast) — strict alternation, so
 // the protocol cannot deadlock. Collectives (AllMaxInt32, AllOrBits,
-// the blob gather/broadcast) follow the same alternation.
+// the blob gather/broadcast) follow the same alternation and carry a
+// per-transport collective sequence number in their Round field, so a
+// desynchronized peer can never satisfy the wrong collective silently.
 //
-// Failure model: any I/O error, timeout, or protocol violation is
-// fatal to the run — the transport panics with *NetError, which
-// drivers recover into an exit (there is no partial-round recovery in
-// a bulk-synchronous schedule). Timeouts default to 60s per frame.
+// Failure model: liveness is heartbeat-based and failure is recovered
+// by deterministic replay. Each connection direction carries a
+// frameHeartbeat every timeout/4 while the peer computes, and every
+// read refreshes its deadline per frame — so a slow round survives any
+// timeout, while a dead or partitioned peer is detected within one
+// timeout (a killed process is detected immediately via EOF/RST).
+// Data frames (frameRound, frameTally, the collectives, blobs) feed a
+// running CRC-32C per direction that is cross-checked by frameCheck at
+// every round barrier, before any payload is decoded. On a worker
+// failure the coordinator rolls the fleet back (frameRollback, acked
+// by the survivors), respawns the dead shard from its partition file
+// via the NetConfig.Respawn hook, and every process re-runs the
+// attempt from the top: each round is a pure function of (seed,
+// partition, round number) and the coordinator re-broadcasts its last
+// checkpoint each attempt, so replay reproduces bit-identical frames,
+// tallies, and output (see checkpoint.go and the recovery tests).
+// Protocol violations, checksum mismatches, and coordinator failure
+// remain fatal: the transport panics with *NetError, which drivers
+// recover into an exit. Timeouts default to 60s per frame.
 type NetTransport struct {
 	part    partition
 	self    int
@@ -51,6 +74,22 @@ type NetTransport struct {
 	ready bool
 
 	wireBytes int64
+
+	// seq numbers the collective operations (AllMaxInt32, AllOrBits,
+	// AllGatherInt32s, BroadcastBlob, GatherBlobs) within an attempt;
+	// it rides in the frames' Round field and both sides validate it.
+	seq uint32
+	// generation counts recovery rollbacks, so a stale ack can never
+	// satisfy a newer rollback.
+	generation uint32
+
+	// Fault injection for recovery drills (WorkerConfig.FailAfterFrames
+	// and the in-process recovery tests): after framesWritten reaches
+	// failAfterFrames, failAct runs — or, when nil, the process
+	// SIGKILLs itself, the honest worker-death drill.
+	failAfterFrames int
+	framesWritten   int
+	failAct         func()
 }
 
 // NetError is the fatal-failure panic value of a NetTransport.
@@ -59,23 +98,143 @@ type NetError struct{ Err error }
 func (e *NetError) Error() string { return "dist: network transport: " + e.Err.Error() }
 func (e *NetError) Unwrap() error { return e.Err }
 
+// workerFailure marks a coordinator-side I/O or protocol failure on
+// one worker's connection; the recovery loop in runNetCoordinatorJob
+// reads the shard to respawn off it.
+type workerFailure struct {
+	shard int
+	err   error
+}
+
+func (e *workerFailure) Error() string {
+	return fmt.Sprintf("worker shard %d failed: %v", e.shard, e.err)
+}
+func (e *workerFailure) Unwrap() error { return e.err }
+
+// rollbackError unwinds a worker's run attempt when the coordinator
+// announces a recovery rollback; runNetWorkerJob acks it and re-runs
+// the attempt.
+type rollbackError struct{ generation uint32 }
+
+func (e *rollbackError) Error() string {
+	return fmt.Sprintf("coordinator rolled the run back (recovery generation %d)", e.generation)
+}
+
 // DefaultNetTimeout is the per-frame I/O deadline when none is given.
 const DefaultNetTimeout = 60 * time.Second
+
+// crcTable is the CRC-32C (Castagnoli) table of the per-direction
+// stream checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameChecksummed reports whether a frame type feeds the running
+// stream checksum. Data frames do; control frames (handshake,
+// heartbeat, the check itself, rollback/ack) do not — a worker writes
+// its hello before any attempt starts, and heartbeats interleave
+// asynchronously, so hashing them would desynchronize the two sides.
+func frameChecksummed(typ uint8) bool {
+	switch typ {
+	case frameRound, frameTally, frameMax, frameOr, frameGather, frameBlob:
+		return true
+	}
+	return false
+}
 
 type peerConn struct {
 	c  net.Conn
 	br *bufio.Reader
 	bw *bufio.Writer
 	t  *NetTransport
+
+	// wmu serializes frame writes with the heartbeat sender; all bw
+	// access holds it.
+	wmu sync.Mutex
+	// wsum/rsum are the running CRC-32C of the data frames written/read
+	// since the last frameCheck in that direction. Only the owning
+	// round goroutine touches them (heartbeats are excluded).
+	wsum, rsum uint32
+	// rollbackOK marks the worker's hub connection: a frameRollback may
+	// arrive at any read point and surfaces as *rollbackError.
+	rollbackOK bool
+
+	hbStop chan struct{}
+	hbDone chan struct{}
 }
 
 func newPeerConn(t *NetTransport, c net.Conn) *peerConn {
 	return &peerConn{c: c, br: bufio.NewReaderSize(c, 1<<16), bw: bufio.NewWriterSize(c, 1<<16), t: t}
 }
 
+// startHeartbeats begins the liveness sender: one frameHeartbeat per
+// timeout/4 of silence, written (and flushed) under wmu so it can
+// never tear a data frame. Heartbeats bypass writeFrame — they are
+// not counted in WireBytes (which stays deterministic) and not hashed.
+func (p *peerConn) startHeartbeats() {
+	interval := p.t.timeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	p.hbStop = make(chan struct{})
+	p.hbDone = make(chan struct{})
+	go func() {
+		defer close(p.hbDone)
+		var hb [headerSize]byte
+		putHeader(hb[:], frameHeader{Type: frameHeartbeat})
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-p.hbStop:
+				return
+			case <-ticker.C:
+			}
+			p.wmu.Lock()
+			_ = p.c.SetWriteDeadline(time.Now().Add(p.t.timeout))
+			_, err := p.bw.Write(hb[:])
+			if err == nil {
+				err = p.bw.Flush()
+			}
+			p.wmu.Unlock()
+			if err != nil {
+				return // the round path will surface the failure
+			}
+		}
+	}()
+}
+
+func (p *peerConn) stopHeartbeats() {
+	if p.hbStop != nil {
+		close(p.hbStop)
+		<-p.hbDone
+		p.hbStop = nil
+	}
+}
+
+// close stops the heartbeat sender, flushes, and closes the socket.
+func (p *peerConn) close() error {
+	p.stopHeartbeats()
+	p.wmu.Lock()
+	_ = p.bw.Flush()
+	p.wmu.Unlock()
+	return p.c.Close()
+}
+
 func (p *peerConn) writeFrame(h frameHeader, payload []byte) error {
+	if p.t.failAfterFrames > 0 {
+		p.t.framesWritten++
+		if p.t.framesWritten >= p.t.failAfterFrames {
+			p.t.failAfterFrames = 0
+			if p.t.failAct != nil {
+				p.t.failAct()
+			} else {
+				crashSelf()
+			}
+		}
+	}
 	var hb [headerSize]byte
 	putHeader(hb[:], h)
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
 	_ = p.c.SetWriteDeadline(time.Now().Add(p.t.timeout))
 	if _, err := p.bw.Write(hb[:]); err != nil {
 		return err
@@ -83,13 +242,29 @@ func (p *peerConn) writeFrame(h frameHeader, payload []byte) error {
 	if _, err := p.bw.Write(payload); err != nil {
 		return err
 	}
+	if frameChecksummed(h.Type) {
+		p.wsum = crc32.Update(p.wsum, crcTable, hb[:])
+		p.wsum = crc32.Update(p.wsum, crcTable, payload)
+	}
 	p.t.wireBytes += int64(headerSize + len(payload))
 	return nil
 }
 
 func (p *peerConn) flush() error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
 	_ = p.c.SetWriteDeadline(time.Now().Add(p.t.timeout))
 	return p.bw.Flush()
+}
+
+// crashSelf is the honest worker-death fault injection: SIGKILL, no
+// deferred cleanup, no goodbye — exactly what a preempted or OOM-killed
+// worker looks like to the fleet.
+func crashSelf() {
+	if proc, err := os.FindProcess(os.Getpid()); err == nil {
+		_ = proc.Kill()
+	}
+	select {} // unreachable: SIGKILL cannot be caught
 }
 
 // maxFramePayload bounds a single frame's payload. Legitimate batches
@@ -116,6 +291,10 @@ func payloadLen(h frameHeader) (int, error) {
 		n = int(h.Count) * 4
 	case frameBlob:
 		n = int(h.Count)
+	case frameCheck:
+		n = checkSize
+	case frameHeartbeat, frameRollback, frameRollbackAck:
+		n = 0
 	default:
 		return 0, fmt.Errorf("unknown frame type %d", h.Type)
 	}
@@ -127,29 +306,105 @@ func payloadLen(h frameHeader) (int, error) {
 
 // readFrame reads the next frame, requiring the given type (the SPMD
 // schedule means both sides always agree on what comes next; a
-// mismatch is a protocol violation, not a reorder).
+// mismatch is a protocol violation, not a reorder). Heartbeats are
+// consumed transparently, each refreshing the read deadline — so
+// liveness, not per-frame latency, is what the timeout bounds. On a
+// worker's hub connection a frameRollback surfaces as *rollbackError
+// at any read point, unwinding the attempt.
 func (p *peerConn) readFrame(wantType uint8) (frameHeader, []byte, error) {
-	_ = p.c.SetReadDeadline(time.Now().Add(p.t.timeout))
-	var hb [headerSize]byte
-	if _, err := io.ReadFull(p.br, hb[:]); err != nil {
-		return frameHeader{}, nil, err
+	for {
+		_ = p.c.SetReadDeadline(time.Now().Add(p.t.timeout))
+		var hb [headerSize]byte
+		if _, err := io.ReadFull(p.br, hb[:]); err != nil {
+			return frameHeader{}, nil, err
+		}
+		h, err := parseHeader(hb[:])
+		if err != nil {
+			return frameHeader{}, nil, err
+		}
+		if h.Type == frameHeartbeat {
+			continue
+		}
+		if h.Type == frameRollback && p.rollbackOK {
+			return frameHeader{}, nil, &rollbackError{generation: h.Round}
+		}
+		if h.Type != wantType {
+			return frameHeader{}, nil, fmt.Errorf("expected frame type %d, got %d", wantType, h.Type)
+		}
+		n, err := payloadLen(h)
+		if err != nil {
+			return frameHeader{}, nil, err
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(p.br, payload); err != nil {
+			return frameHeader{}, nil, err
+		}
+		if frameChecksummed(h.Type) {
+			p.rsum = crc32.Update(p.rsum, crcTable, hb[:])
+			p.rsum = crc32.Update(p.rsum, crcTable, payload)
+		}
+		return h, payload, nil
 	}
-	h, err := parseHeader(hb[:])
+}
+
+// writeCheck emits the running write-direction checksum and resets it;
+// the peer's readCheck must observe the identical running sum.
+func (p *peerConn) writeCheck(round uint32) error {
+	var b [checkSize]byte
+	putU32(b[:], p.wsum)
+	if err := p.writeFrame(frameHeader{Type: frameCheck, Round: round, Count: checkSize}, b[:]); err != nil {
+		return err
+	}
+	p.wsum = 0
+	return nil
+}
+
+// readCheck validates the peer's checksum against the running
+// read-direction sum — called before any buffered round payload is
+// decoded, so corrupted traffic is rejected, never interpreted.
+func (p *peerConn) readCheck(round uint32) error {
+	h, payload, err := p.readFrame(frameCheck)
 	if err != nil {
-		return frameHeader{}, nil, err
+		return err
 	}
-	if h.Type != wantType {
-		return frameHeader{}, nil, fmt.Errorf("expected frame type %d, got %d", wantType, h.Type)
+	if h.Round != round {
+		return fmt.Errorf("checksum frame for round %d, want round %d", h.Round, round)
 	}
-	n, err := payloadLen(h)
-	if err != nil {
-		return frameHeader{}, nil, err
+	if got := getU32(payload); got != p.rsum {
+		return fmt.Errorf("stream checksum mismatch at round %d: peer wrote %#x, stream hashed to %#x (corrupted traffic)", round, got, p.rsum)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(p.br, payload); err != nil {
-		return frameHeader{}, nil, err
+	p.rsum = 0
+	return nil
+}
+
+// drainToAck discards inbound frames until the rollback ack of the
+// given generation, then resets both stream checksums for the next
+// attempt. An I/O error means the survivor died too.
+func (p *peerConn) drainToAck(gen uint32) error {
+	for {
+		_ = p.c.SetReadDeadline(time.Now().Add(p.t.timeout))
+		var hb [headerSize]byte
+		if _, err := io.ReadFull(p.br, hb[:]); err != nil {
+			return err
+		}
+		h, err := parseHeader(hb[:])
+		if err != nil {
+			return err
+		}
+		n, err := payloadLen(h)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			if _, err := io.CopyN(io.Discard, p.br, int64(n)); err != nil {
+				return err
+			}
+		}
+		if h.Type == frameRollbackAck && h.Round == gen {
+			p.wsum, p.rsum = 0, 0
+			return nil
+		}
 	}
-	return h, payload, nil
 }
 
 // ListenNet binds the coordinator (shard 0) transport for a shards-way
@@ -186,6 +441,7 @@ func JoinNet(addr string, n, shard, shards int, timeout time.Duration) (*NetTran
 		return nil, err
 	}
 	t.hub = newPeerConn(t, c)
+	t.hub.rollbackOK = true
 	var hb [helloSize]byte
 	putHello(hb[:], hello{Version: wireVersion, N: uint64(n), Shard: uint32(shard), Shards: uint32(shards)})
 	if err := t.hub.writeFrame(frameHeader{Type: frameHello, From: uint16(shard)}, hb[:]); err != nil {
@@ -205,6 +461,7 @@ func JoinNet(addr string, n, shard, shards int, timeout time.Duration) (*NetTran
 		c.Close()
 		return nil, fmt.Errorf("dist: coordinator config mismatch: %+v", got)
 	}
+	t.hub.startHeartbeats()
 	t.ready = true
 	return t, nil
 }
@@ -246,61 +503,185 @@ func (t *NetTransport) WaitReady() error {
 	if t.ln == nil {
 		return fmt.Errorf("dist: WaitReady on a worker transport")
 	}
-	type deadliner interface{ SetDeadline(time.Time) error }
-	if d, ok := t.ln.(deadliner); ok {
-		_ = d.SetDeadline(time.Now().Add(t.timeout))
+	if t.peers == nil {
+		t.peers = make([]*peerConn, t.part.p)
 	}
-	t.peers = make([]*peerConn, t.part.p)
-	joined := 0
-	for joined < t.part.p-1 {
-		c, err := t.ln.Accept()
-		if err != nil {
-			return fmt.Errorf("dist: accepting worker: %w", err)
+	missing := make(map[int]bool)
+	for s := 1; s < t.part.p; s++ {
+		if t.peers[s] == nil {
+			missing[s] = true
 		}
-		pc := newPeerConn(t, c)
-		_, payload, err := pc.readFrame(frameHello)
-		if err != nil {
-			c.Close()
-			return fmt.Errorf("dist: worker handshake: %w", err)
-		}
-		h := parseHello(payload)
-		if h.Version != wireVersion || h.N != uint64(t.part.n) || h.Shards != uint32(t.part.p) {
-			c.Close()
-			return fmt.Errorf("dist: worker config mismatch: %+v", h)
-		}
-		s := int(h.Shard)
-		if s < 1 || s >= t.part.p || t.peers[s] != nil {
-			c.Close()
-			return fmt.Errorf("dist: bad or duplicate worker shard %d", s)
-		}
-		var wb [helloSize]byte
-		putHello(wb[:], hello{Version: wireVersion, N: uint64(t.part.n), Shard: h.Shard, Shards: uint32(t.part.p)})
-		if err := pc.writeFrame(frameHeader{Type: frameWelcome}, wb[:]); err != nil {
-			c.Close()
-			return err
-		}
-		if err := pc.flush(); err != nil {
-			c.Close()
-			return err
-		}
-		t.peers[s] = pc
-		joined++
+	}
+	if err := t.acceptWorkers(missing); err != nil {
+		return err
 	}
 	t.ready = true
 	return nil
+}
+
+// acceptWorkers accepts connections until every missing shard has
+// joined — the shared join window of bring-up (WaitReady) and
+// recovery. Two deliberate behaviors:
+//
+//   - A connection that fails the handshake — a port scanner, a health
+//     check, a mis-configured or duplicate worker — is closed and the
+//     window keeps accepting. Strays must never abort a fleet.
+//   - The accept deadline slides on every successful join, so each
+//     joiner gets its own timeout budget instead of P−1 workers
+//     sharing one. (It does not slide on strays, so a hostile drip of
+//     garbage cannot hold the window open forever; a stray that
+//     connects and sends nothing costs at most one handshake-read
+//     timeout.)
+func (t *NetTransport) acceptWorkers(missing map[int]bool) error {
+	type deadliner interface{ SetDeadline(time.Time) error }
+	d, _ := t.ln.(deadliner)
+	deadline := time.Now().Add(t.timeout)
+	for len(missing) > 0 {
+		if d != nil {
+			_ = d.SetDeadline(deadline)
+		}
+		c, err := t.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("dist: accepting workers (%d shard(s) missing): %w", len(missing), err)
+		}
+		pc := newPeerConn(t, c)
+		s, err := t.acceptHandshake(pc, missing)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		t.peers[s] = pc
+		pc.startHeartbeats()
+		delete(missing, s)
+		deadline = time.Now().Add(t.timeout)
+	}
+	return nil
+}
+
+// acceptHandshake validates one join: protocol version, global sizes,
+// and a shard id that is in range, missing, and not already joined —
+// so a duplicate rejoin after a crash is accepted exactly once.
+func (t *NetTransport) acceptHandshake(pc *peerConn, missing map[int]bool) (int, error) {
+	_, payload, err := pc.readFrame(frameHello)
+	if err != nil {
+		return 0, fmt.Errorf("dist: worker handshake: %w", err)
+	}
+	h := parseHello(payload)
+	if h.Version != wireVersion || h.N != uint64(t.part.n) || h.Shards != uint32(t.part.p) {
+		return 0, fmt.Errorf("dist: worker config mismatch: %+v", h)
+	}
+	s := int(h.Shard)
+	if s < 1 || s >= t.part.p || t.peers[s] != nil || !missing[s] {
+		return 0, fmt.Errorf("dist: bad or duplicate worker shard %d", s)
+	}
+	var wb [helloSize]byte
+	putHello(wb[:], hello{Version: wireVersion, N: uint64(t.part.n), Shard: h.Shard, Shards: uint32(t.part.p)})
+	if err := pc.writeFrame(frameHeader{Type: frameWelcome}, wb[:]); err != nil {
+		return 0, err
+	}
+	if err := pc.flush(); err != nil {
+		return 0, err
+	}
+	return s, nil
+}
+
+// beginAttempt resets the per-attempt protocol state on every process:
+// the collective sequence restarts at zero and any staged or delivered
+// traffic of an aborted attempt is dropped. Called at the top of every
+// runNetJob attempt, so a replay starts from a bit-identical state.
+func (t *NetTransport) beginAttempt() {
+	t.seq = 0
+	for r := 0; r < t.part.p; r++ {
+		_ = t.x.takeRow(t.self, r)
+	}
+	t.x.clearMailboxes(t.self)
+}
+
+// recoverWorkers restores the fleet after a worker failure: bump the
+// recovery generation, announce the rollback to the survivors and
+// drain each to its ack (a survivor that fails the drain is dead too —
+// e.g. one that finished and exited before the rollback reached it),
+// close and respawn every dead shard through the hook, and re-run the
+// join window for the missing shards. On success the transport is
+// ready for a fresh attempt; the caller re-runs the job, which replays
+// deterministically from the coordinator's checkpoint.
+func (t *NetTransport) recoverWorkers(first int, respawn func(shard int, addr string), budget *int) error {
+	if t.self != 0 || t.ln == nil {
+		return fmt.Errorf("dist: recovery is coordinator-only")
+	}
+	if first < 1 || first >= t.part.p {
+		return fmt.Errorf("dist: cannot recover shard %d", first)
+	}
+	t.generation++
+	gen := t.generation
+	dead := map[int]bool{first: true}
+	for w := 1; w < t.part.p; w++ {
+		if dead[w] || t.peers[w] == nil {
+			continue
+		}
+		p := t.peers[w]
+		if err := p.writeFrame(frameHeader{Type: frameRollback, Round: gen}, nil); err != nil {
+			dead[w] = true
+			continue
+		}
+		if err := p.flush(); err != nil {
+			dead[w] = true
+		}
+	}
+	for w := 1; w < t.part.p; w++ {
+		if dead[w] || t.peers[w] == nil {
+			continue
+		}
+		if err := t.peers[w].drainToAck(gen); err != nil {
+			dead[w] = true
+		}
+	}
+	var toRespawn []int
+	for w := 1; w < t.part.p; w++ {
+		if dead[w] || t.peers[w] == nil {
+			toRespawn = append(toRespawn, w)
+		}
+	}
+	sort.Ints(toRespawn)
+	if len(toRespawn) > *budget {
+		return fmt.Errorf("dist: %d worker(s) dead but only %d respawn(s) left in the budget", len(toRespawn), *budget)
+	}
+	*budget -= len(toRespawn)
+	missing := make(map[int]bool)
+	for _, w := range toRespawn {
+		if t.peers[w] != nil {
+			_ = t.peers[w].close()
+			t.peers[w] = nil
+		}
+		missing[w] = true
+		respawn(w, t.Addr())
+	}
+	return t.acceptWorkers(missing)
+}
+
+// ackRollback is the worker side of recovery: reset both stream
+// checksums and acknowledge the rollback generation, after which the
+// worker re-runs the attempt from the top.
+func (t *NetTransport) ackRollback(gen uint32) error {
+	if t.hub == nil {
+		return fmt.Errorf("dist: ackRollback on a coordinator transport")
+	}
+	t.hub.wsum, t.hub.rsum = 0, 0
+	if err := t.hub.writeFrame(frameHeader{Type: frameRollbackAck, Round: gen}, nil); err != nil {
+		return err
+	}
+	return t.hub.flush()
 }
 
 // Close tears the connections down.
 func (t *NetTransport) Close() error {
 	var first error
 	if t.hub != nil {
-		_ = t.hub.flush()
-		first = t.hub.c.Close()
+		first = t.hub.close()
 	}
 	for _, p := range t.peers {
 		if p != nil {
-			_ = p.flush()
-			if err := p.c.Close(); err != nil && first == nil {
+			if err := p.close(); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -315,7 +696,8 @@ func (t *NetTransport) Close() error {
 
 // WireBytes returns the bytes this process has written to the network
 // (frame headers included) — the transport's own honesty counter, next
-// to the model-level Stats.CrossShardWords.
+// to the model-level Stats.CrossShardWords. Heartbeats are excluded:
+// they are timing-dependent, and this counter is deterministic.
 func (t *NetTransport) WireBytes() int64 { return t.wireBytes }
 
 // Shard returns this process's shard id.
@@ -324,6 +706,12 @@ func (t *NetTransport) Shard() int { return t.self }
 // fatal aborts the run on an unrecoverable transport failure.
 func (t *NetTransport) fatal(err error) {
 	panic(&NetError{Err: err})
+}
+
+// peerFail wraps a coordinator-side failure on one worker's connection
+// so the recovery loop can attribute it to a shard.
+func (t *NetTransport) peerFail(shard int, err error) error {
+	return &workerFailure{shard: shard, err: err}
 }
 
 func (t *NetTransport) mustReady() {
@@ -442,7 +830,39 @@ func (t *NetTransport) endRoundWorker(round int, local RoundTally) (RoundTally, 
 	if err := t.hub.writeFrame(frameHeader{Type: frameTally, From: uint16(self), Round: uint32(round)}, tb[:]); err != nil {
 		return RoundTally{}, err
 	}
+	if err := t.hub.writeCheck(uint32(round)); err != nil {
+		return RoundTally{}, err
+	}
 	if err := t.hub.flush(); err != nil {
+		return RoundTally{}, err
+	}
+
+	// Read the whole inbound barrier raw first — the batches, the global
+	// tally, and the coordinator's checksum — and decode only after the
+	// stream checksum verifies: corrupted traffic is rejected, never
+	// interpreted as messages.
+	payloads := make([][]byte, t.part.p)
+	for d := 0; d < t.part.p; d++ {
+		if d == self {
+			continue
+		}
+		h, payload, err := t.hub.readFrame(frameRound)
+		if err != nil {
+			return RoundTally{}, err
+		}
+		if int(h.From) != d || int(h.To) != self || int(h.Round) != round {
+			return RoundTally{}, fmt.Errorf("misrouted batch %+v (want from %d to %d round %d)", h, d, self, round)
+		}
+		payloads[d] = payload
+	}
+	th, tallyPayload, err := t.hub.readFrame(frameTally)
+	if err != nil {
+		return RoundTally{}, err
+	}
+	if int(th.Round) != round {
+		return RoundTally{}, fmt.Errorf("global tally for round %d, want round %d", th.Round, round)
+	}
+	if err := t.hub.readCheck(uint32(round)); err != nil {
 		return RoundTally{}, err
 	}
 
@@ -453,27 +873,18 @@ func (t *NetTransport) endRoundWorker(round int, local RoundTally) (RoundTally, 
 			t.x.deliverInto(&discard, t.x.takeRow(self, self))
 			continue
 		}
-		h, payload, err := t.hub.readFrame(frameRound)
-		if err != nil {
-			return RoundTally{}, err
-		}
-		if int(h.From) != d || int(h.To) != self || int(h.Round) != round {
-			return RoundTally{}, fmt.Errorf("misrouted batch %+v (want from %d to %d round %d)", h, d, self, round)
-		}
-		t.x.deliverInto(&discard, decodeEnvelopes(payload))
+		t.x.deliverInto(&discard, decodeEnvelopes(payloads[d]))
 	}
-	_, payload, err := t.hub.readFrame(frameTally)
-	if err != nil {
-		return RoundTally{}, err
-	}
-	return parseTally(payload), nil
+	return parseTally(tallyPayload), nil
 }
 
 func (t *NetTransport) endRoundCoordinator(round int, local RoundTally) (RoundTally, error) {
 	p := t.part.p
 	global := local
 	// batches[origin][dest] holds the raw (already encoded) payloads of
-	// the workers' outgoing frames; routing forwards them verbatim.
+	// the workers' outgoing frames; routing forwards them verbatim. Each
+	// worker's stream checksum is verified as soon as its barrier frames
+	// are in — before anything of this round is decoded.
 	batches := make([][][]byte, p)
 	for w := 1; w < p; w++ {
 		batches[w] = make([][]byte, p)
@@ -481,17 +892,23 @@ func (t *NetTransport) endRoundCoordinator(round int, local RoundTally) (RoundTa
 		for seen < p-1 {
 			h, payload, err := t.peers[w].readFrame(frameRound)
 			if err != nil {
-				return RoundTally{}, fmt.Errorf("reading shard %d: %w", w, err)
+				return RoundTally{}, t.peerFail(w, fmt.Errorf("reading shard %d: %w", w, err))
 			}
 			if int(h.From) != w || int(h.To) == w || int(h.To) >= p || int(h.Round) != round || batches[w][h.To] != nil {
-				return RoundTally{}, fmt.Errorf("bad batch header %+v from shard %d round %d", h, w, round)
+				return RoundTally{}, t.peerFail(w, fmt.Errorf("bad batch header %+v from shard %d round %d", h, w, round))
 			}
 			batches[w][h.To] = payload
 			seen++
 		}
-		_, tb, err := t.peers[w].readFrame(frameTally)
+		th, tb, err := t.peers[w].readFrame(frameTally)
 		if err != nil {
-			return RoundTally{}, fmt.Errorf("reading shard %d tally: %w", w, err)
+			return RoundTally{}, t.peerFail(w, fmt.Errorf("reading shard %d tally: %w", w, err))
+		}
+		if int(th.From) != w || int(th.Round) != round {
+			return RoundTally{}, t.peerFail(w, fmt.Errorf("bad tally header %+v from shard %d round %d", th, w, round))
+		}
+		if err := t.peers[w].readCheck(uint32(round)); err != nil {
+			return RoundTally{}, t.peerFail(w, fmt.Errorf("shard %d: %w", w, err))
 		}
 		global = mergeTallies([]RoundTally{global, parseTally(tb)})
 	}
@@ -510,14 +927,17 @@ func (t *NetTransport) endRoundCoordinator(round int, local RoundTally) (RoundTa
 			}
 			h := frameHeader{Type: frameRound, From: uint16(d), To: uint16(r), Round: uint32(round), Count: uint32(len(payload) / envelopeSize)}
 			if err := t.peers[r].writeFrame(h, payload); err != nil {
-				return RoundTally{}, err
+				return RoundTally{}, t.peerFail(r, err)
 			}
 		}
 		if err := t.peers[r].writeFrame(frameHeader{Type: frameTally, Round: uint32(round)}, gtb[:]); err != nil {
-			return RoundTally{}, err
+			return RoundTally{}, t.peerFail(r, err)
+		}
+		if err := t.peers[r].writeCheck(uint32(round)); err != nil {
+			return RoundTally{}, t.peerFail(r, err)
 		}
 		if err := t.peers[r].flush(); err != nil {
-			return RoundTally{}, err
+			return RoundTally{}, t.peerFail(r, err)
 		}
 	}
 	t.x.clearMailboxes(0)
@@ -533,31 +953,40 @@ func (t *NetTransport) endRoundCoordinator(round int, local RoundTally) (RoundTa
 }
 
 // AllMaxInt32 reduces x to its maximum across all shards (the
-// control-plane convergecast of collectiveTransport).
+// control-plane convergecast of collectiveTransport). Like every
+// collective, the frames carry the attempt's collective sequence
+// number, validated on both sides.
 func (t *NetTransport) AllMaxInt32(x int32) int32 {
 	t.mustReady()
+	t.seq++
 	if t.part.p == 1 {
 		return x
 	}
 	var vb [4]byte
 	if t.self != 0 {
 		putU32(vb[:], uint32(x))
-		if err := t.hub.writeFrame(frameHeader{Type: frameMax, From: uint16(t.self)}, vb[:]); err != nil {
+		if err := t.hub.writeFrame(frameHeader{Type: frameMax, From: uint16(t.self), Round: t.seq}, vb[:]); err != nil {
 			t.fatal(err)
 		}
 		if err := t.hub.flush(); err != nil {
 			t.fatal(err)
 		}
-		_, payload, err := t.hub.readFrame(frameMax)
+		h, payload, err := t.hub.readFrame(frameMax)
 		if err != nil {
 			t.fatal(err)
+		}
+		if h.Round != t.seq {
+			t.fatal(fmt.Errorf("AllMaxInt32 result for collective %d, want %d", h.Round, t.seq))
 		}
 		return int32(getU32(payload))
 	}
 	for w := 1; w < t.part.p; w++ {
-		_, payload, err := t.peers[w].readFrame(frameMax)
+		h, payload, err := t.peers[w].readFrame(frameMax)
 		if err != nil {
-			t.fatal(err)
+			t.fatal(t.peerFail(w, err))
+		}
+		if int(h.From) != w || h.Round != t.seq {
+			t.fatal(t.peerFail(w, fmt.Errorf("AllMaxInt32 contribution %+v from shard %d, want collective %d", h, w, t.seq)))
 		}
 		if v := int32(getU32(payload)); v > x {
 			x = v
@@ -565,11 +994,11 @@ func (t *NetTransport) AllMaxInt32(x int32) int32 {
 	}
 	putU32(vb[:], uint32(x))
 	for w := 1; w < t.part.p; w++ {
-		if err := t.peers[w].writeFrame(frameHeader{Type: frameMax}, vb[:]); err != nil {
-			t.fatal(err)
+		if err := t.peers[w].writeFrame(frameHeader{Type: frameMax, Round: t.seq}, vb[:]); err != nil {
+			t.fatal(t.peerFail(w, err))
 		}
 		if err := t.peers[w].flush(); err != nil {
-			t.fatal(err)
+			t.fatal(t.peerFail(w, err))
 		}
 	}
 	return x
@@ -578,12 +1007,13 @@ func (t *NetTransport) AllMaxInt32(x int32) int32 {
 // AllOrBits ORs the bit vector across all shards, in place.
 func (t *NetTransport) AllOrBits(bits []uint64) []uint64 {
 	t.mustReady()
+	t.seq++
 	if t.part.p == 1 {
 		return bits
 	}
 	buf := make([]byte, len(bits)*8)
 	packWords(buf, bits)
-	h := frameHeader{Type: frameOr, From: uint16(t.self), Count: uint32(len(bits))}
+	h := frameHeader{Type: frameOr, From: uint16(t.self), Round: t.seq, Count: uint32(len(bits))}
 	if t.self != 0 {
 		if err := t.hub.writeFrame(h, buf); err != nil {
 			t.fatal(err)
@@ -591,9 +1021,12 @@ func (t *NetTransport) AllOrBits(bits []uint64) []uint64 {
 		if err := t.hub.flush(); err != nil {
 			t.fatal(err)
 		}
-		_, payload, err := t.hub.readFrame(frameOr)
+		rh, payload, err := t.hub.readFrame(frameOr)
 		if err != nil {
 			t.fatal(err)
+		}
+		if rh.Round != t.seq {
+			t.fatal(fmt.Errorf("AllOrBits result for collective %d, want %d", rh.Round, t.seq))
 		}
 		if len(payload) != len(buf) {
 			t.fatal(fmt.Errorf("AllOrBits length mismatch: %d vs %d", len(payload), len(buf)))
@@ -602,22 +1035,25 @@ func (t *NetTransport) AllOrBits(bits []uint64) []uint64 {
 		return bits
 	}
 	for w := 1; w < t.part.p; w++ {
-		_, payload, err := t.peers[w].readFrame(frameOr)
+		rh, payload, err := t.peers[w].readFrame(frameOr)
 		if err != nil {
-			t.fatal(err)
+			t.fatal(t.peerFail(w, err))
+		}
+		if int(rh.From) != w || rh.Round != t.seq {
+			t.fatal(t.peerFail(w, fmt.Errorf("AllOrBits contribution %+v from shard %d, want collective %d", rh, w, t.seq)))
 		}
 		if len(payload) != len(buf) {
-			t.fatal(fmt.Errorf("AllOrBits length mismatch from shard %d: %d vs %d", w, len(payload), len(buf)))
+			t.fatal(t.peerFail(w, fmt.Errorf("AllOrBits length mismatch from shard %d: %d vs %d", w, len(payload), len(buf))))
 		}
 		orWordsInto(bits, payload, false)
 	}
 	packWords(buf, bits)
 	for w := 1; w < t.part.p; w++ {
-		if err := t.peers[w].writeFrame(frameHeader{Type: frameOr, Count: uint32(len(bits))}, buf); err != nil {
-			t.fatal(err)
+		if err := t.peers[w].writeFrame(frameHeader{Type: frameOr, Round: t.seq, Count: uint32(len(bits))}, buf); err != nil {
+			t.fatal(t.peerFail(w, err))
 		}
 		if err := t.peers[w].flush(); err != nil {
-			t.fatal(err)
+			t.fatal(t.peerFail(w, err))
 		}
 	}
 	return bits
@@ -632,39 +1068,46 @@ func (t *NetTransport) AllOrBits(bits []uint64) []uint64 {
 // Θ(m)-bit mask merge of the sparse-table era.
 func (t *NetTransport) AllGatherInt32s(xs []int32) []int32 {
 	t.mustReady()
+	t.seq++
 	if t.part.p == 1 {
 		return xs
 	}
 	if t.self != 0 {
-		if err := t.hub.writeFrame(frameHeader{Type: frameGather, From: uint16(t.self), Count: uint32(len(xs))}, packInt32s(xs)); err != nil {
+		if err := t.hub.writeFrame(frameHeader{Type: frameGather, From: uint16(t.self), Round: t.seq, Count: uint32(len(xs))}, packInt32s(xs)); err != nil {
 			t.fatal(err)
 		}
 		if err := t.hub.flush(); err != nil {
 			t.fatal(err)
 		}
-		_, payload, err := t.hub.readFrame(frameGather)
+		h, payload, err := t.hub.readFrame(frameGather)
 		if err != nil {
 			t.fatal(err)
+		}
+		if h.Round != t.seq {
+			t.fatal(fmt.Errorf("AllGatherInt32s result for collective %d, want %d", h.Round, t.seq))
 		}
 		return parseInt32s(payload)
 	}
 	lists := make([][]int32, t.part.p)
 	lists[0] = xs
 	for w := 1; w < t.part.p; w++ {
-		_, payload, err := t.peers[w].readFrame(frameGather)
+		h, payload, err := t.peers[w].readFrame(frameGather)
 		if err != nil {
-			t.fatal(err)
+			t.fatal(t.peerFail(w, err))
+		}
+		if int(h.From) != w || h.Round != t.seq {
+			t.fatal(t.peerFail(w, fmt.Errorf("AllGatherInt32s contribution %+v from shard %d, want collective %d", h, w, t.seq)))
 		}
 		lists[w] = parseInt32s(payload)
 	}
 	merged := mergeSortedInt32s(lists)
 	buf := packInt32s(merged)
 	for w := 1; w < t.part.p; w++ {
-		if err := t.peers[w].writeFrame(frameHeader{Type: frameGather, Count: uint32(len(merged))}, buf); err != nil {
-			t.fatal(err)
+		if err := t.peers[w].writeFrame(frameHeader{Type: frameGather, Round: t.seq, Count: uint32(len(merged))}, buf); err != nil {
+			t.fatal(t.peerFail(w, err))
 		}
 		if err := t.peers[w].flush(); err != nil {
-			t.fatal(err)
+			t.fatal(t.peerFail(w, err))
 		}
 	}
 	return merged
@@ -729,19 +1172,26 @@ func (t *NetTransport) BroadcastBlob(b []byte) ([]byte, error) {
 	if err := t.WaitReady(); err != nil {
 		return nil, err
 	}
+	t.seq++
 	if t.part.p == 1 {
 		return b, nil
 	}
 	if t.self != 0 {
-		_, payload, err := t.hub.readFrame(frameBlob)
-		return payload, err
-	}
-	for w := 1; w < t.part.p; w++ {
-		if err := t.peers[w].writeFrame(frameHeader{Type: frameBlob, Count: uint32(len(b))}, b); err != nil {
+		h, payload, err := t.hub.readFrame(frameBlob)
+		if err != nil {
 			return nil, err
 		}
+		if h.Round != t.seq {
+			return nil, fmt.Errorf("dist: broadcast blob for collective %d, want %d", h.Round, t.seq)
+		}
+		return payload, nil
+	}
+	for w := 1; w < t.part.p; w++ {
+		if err := t.peers[w].writeFrame(frameHeader{Type: frameBlob, Round: t.seq, Count: uint32(len(b))}, b); err != nil {
+			return nil, t.peerFail(w, err)
+		}
 		if err := t.peers[w].flush(); err != nil {
-			return nil, err
+			return nil, t.peerFail(w, err)
 		}
 	}
 	return b, nil
@@ -753,11 +1203,12 @@ func (t *NetTransport) GatherBlobs(b []byte) ([][]byte, error) {
 	if err := t.WaitReady(); err != nil {
 		return nil, err
 	}
+	t.seq++
 	if t.part.p == 1 {
 		return [][]byte{b}, nil
 	}
 	if t.self != 0 {
-		if err := t.hub.writeFrame(frameHeader{Type: frameBlob, From: uint16(t.self), Count: uint32(len(b))}, b); err != nil {
+		if err := t.hub.writeFrame(frameHeader{Type: frameBlob, From: uint16(t.self), Round: t.seq, Count: uint32(len(b))}, b); err != nil {
 			return nil, err
 		}
 		return nil, t.hub.flush()
@@ -765,9 +1216,12 @@ func (t *NetTransport) GatherBlobs(b []byte) ([][]byte, error) {
 	out := make([][]byte, t.part.p)
 	out[0] = b
 	for w := 1; w < t.part.p; w++ {
-		_, payload, err := t.peers[w].readFrame(frameBlob)
+		h, payload, err := t.peers[w].readFrame(frameBlob)
 		if err != nil {
-			return nil, fmt.Errorf("gathering from shard %d: %w", w, err)
+			return nil, t.peerFail(w, fmt.Errorf("gathering from shard %d: %w", w, err))
+		}
+		if int(h.From) != w || h.Round != t.seq {
+			return nil, t.peerFail(w, fmt.Errorf("dist: gathered blob %+v from shard %d, want collective %d", h, w, t.seq))
 		}
 		out[w] = payload
 	}

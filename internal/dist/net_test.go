@@ -154,7 +154,10 @@ func TestWorkerJobMismatch(t *testing.T) {
 }
 
 // TestNetHandshakeValidation: joins with a mismatched configuration
-// are rejected before any round runs.
+// are rejected before any round runs. The worker side fails
+// immediately (its connection is closed on it); the coordinator treats
+// the bad join as a stray — it keeps accepting and fails only when the
+// join window's deadline expires with the shard still missing.
 func TestNetHandshakeValidation(t *testing.T) {
 	if _, err := dist.ListenNet("127.0.0.1:0", 10, 100, netTestTimeout); err == nil {
 		t.Fatal("accepted more shards than vertices")

@@ -32,21 +32,36 @@ func recoverNetError(err *error) {
 	}
 }
 
-// runNetJob executes one process's role of a multi-process run —
-// coordinator and worker run the same function; tr.Shard() decides who
-// broadcasts, who adopts, and who receives the assembled output.
-func runNetJob[R any](tr *NetTransport, part *graph.Partition, job Job[R]) (res Result[R], err error) {
+// runNetJob executes one process's role of one ATTEMPT of a
+// multi-process run — coordinator and worker run the same function;
+// tr.Shard() decides who broadcasts, who adopts, and who receives the
+// assembled output. ck is the coordinator's durable recovery
+// checkpoint (nil on workers, which decode their own copy from the
+// broadcast): its encoding is re-broadcast at the top of every attempt
+// right after the job header, so a freshly respawned worker runs the
+// exact same function as a survivor — decode, fast-forward, resume.
+// On failure the retry loops in engine.go recover the fleet and call
+// this again; beginAttempt discards any per-attempt protocol state so
+// the replay starts bit-identically.
+func runNetJob[R any](tr *NetTransport, part *graph.Partition, job Job[R], ck *ckptState) (res Result[R], err error) {
 	defer recoverNetError(&err)
 	if part.Shard != tr.Shard() || part.Shards != tr.Shards() {
 		return Result[R]{}, fmt.Errorf("dist: partition %d/%d does not match transport %d/%d",
 			part.Shard, part.Shards, tr.Shard(), tr.Shards())
 	}
+	tr.beginAttempt()
 	impl := job.impl
 	if tr.Shard() == 0 {
 		if err := tr.WaitReady(); err != nil {
 			return Result[R]{}, err
 		}
+		if ck == nil {
+			ck = &ckptState{}
+		}
 		if _, err := tr.BroadcastBlob(encodeJobHeader(impl.name(), part.N, part.M, impl.params())); err != nil {
+			return Result[R]{}, err
+		}
+		if _, err := tr.BroadcastBlob(encodeCkpt(ck)); err != nil {
 			return Result[R]{}, err
 		}
 	} else {
@@ -58,9 +73,16 @@ func runNetJob[R any](tr *NetTransport, part *graph.Partition, job Job[R]) (res 
 		if err != nil {
 			return Result[R]{}, err
 		}
+		ckBlob, err := tr.BroadcastBlob(nil)
+		if err != nil {
+			return Result[R]{}, err
+		}
+		if ck, err = decodeCkpt(ckBlob); err != nil {
+			return Result[R]{}, err
+		}
 	}
 	re := newRoundEngineOn(part.N, tr)
-	po := impl.runPart(re, part)
+	po := impl.runPart(re, part, ck)
 	out, err := impl.assemble(tr, part, po)
 	if err != nil {
 		return Result[R]{}, err

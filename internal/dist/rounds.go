@@ -214,6 +214,19 @@ func (e *roundEngine) allGatherInt32s(xs []int32) []int32 {
 	return xs
 }
 
+// restore rewinds the engine onto a checkpointed ledger snapshot — the
+// recovery fast-forward. The engine's round counter and the ledger's
+// Rounds advance in lockstep (EndRound increments both), so the
+// snapshot alone pins the replay position; the next EndRound issues
+// exactly the round number the failure-free run would have.
+func (e *roundEngine) restore(s Stats) {
+	e.stats = s
+	e.stats.Phases = append([]PhaseStats(nil), s.Phases...)
+	e.stats.Shards = e.tr.Shards()
+	e.round = s.Rounds
+	e.cur = -1
+}
+
 // Stats returns a copy of the accumulated ledger.
 func (e *roundEngine) Stats() Stats {
 	s := e.stats

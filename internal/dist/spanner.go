@@ -86,7 +86,13 @@ type spannerPart struct {
 	k      int
 }
 
-func (j spannerImpl) runPart(re *roundEngine, part *graph.Partition) partOut {
+func (j spannerImpl) runPart(re *roundEngine, part *graph.Partition, ck *ckptState) partOut {
+	// The spanner records no mid-run checkpoint state: recovery replays
+	// the whole (short) run from the top, still bit-identically. A
+	// checkpoint claiming completed epochs for this job cannot be ours.
+	if ck != nil && ck.epochs > 0 {
+		panic(&NetError{Err: fmt.Errorf("checkpoint holds %d epochs for the checkpoint-free %s job", ck.epochs, jobNameSpanner)})
+	}
 	w := newPartView(part.N, part.M, part.Lo, part.Hi, part.IDs, part.Edges)
 	in, center, kk := runBaswanaSen(re, w, nil, j.k, j.seed)
 	owned := append([]int32(nil), center[part.Lo:part.Hi]...)

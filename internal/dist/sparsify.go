@@ -109,11 +109,42 @@ type sparsifyPart struct {
 	edges []graph.Edge
 }
 
-func (j sparsifyImpl) runPart(re *roundEngine, part *graph.Partition) partOut {
+func (j sparsifyImpl) runPart(re *roundEngine, part *graph.Partition, ck *ckptState) partOut {
 	w := newPartView(part.N, part.M, part.Lo, part.Hi, part.IDs, part.Edges)
 	peak := w.tableWords()
 	if j.rho > 1 {
-		w, peak = sparsifyOn(re, w, j.eps, j.rho, j.cfg)
+		iters := int(math.Ceil(math.Log2(j.rho)))
+		epsRound := j.eps / float64(iters)
+		start := 0
+		if ck != nil && ck.epochs > 0 {
+			// Recovery fast-forward: replay the checkpointed epochs
+			// locally. The renumbering of epoch i is a pure function of
+			// (view_i, gathered bundle ids_i, seed) — the gathered lists
+			// are in the checkpoint and the sampling coins are pure seed
+			// functions — so the replayed views, and with them every
+			// subsequent frame and tally, are bit-identical to the
+			// failure-free run. No network round is spent.
+			if ck.epochs > iters {
+				panic(&NetError{Err: fmt.Errorf("checkpoint holds %d epochs of a %d-iteration sparsify run", ck.epochs, iters)})
+			}
+			for i := 0; i < ck.epochs; i++ {
+				keep, scale := sampleKeep(roundConfigFor(j.cfg, i))
+				w = renumberPart(w, ck.lists[i], keep, scale)
+				if tw := w.tableWords(); tw > peak {
+					peak = tw
+				}
+			}
+			re.restore(ck.stats)
+			start = ck.epochs
+		}
+		for i := start; i < iters; i++ {
+			var bundleIDs []int32
+			w, bundleIDs = sampleRound(re, w, epsRound, roundConfigFor(j.cfg, i))
+			if tw := w.tableWords(); tw > peak {
+				peak = tw
+			}
+			ck.record(i, bundleIDs, re)
+		}
 	}
 	sp := &sparsifyPart{m: w.m}
 	sp.ids = make([]int32, w.localCount())
@@ -176,9 +207,7 @@ func sparsifyOn(e *roundEngine, w *view, eps, rho float64, cfg core.Config) (*vi
 	epsRound := eps / float64(iters)
 	peak := w.tableWords()
 	for i := 0; i < iters; i++ {
-		roundCfg := cfg
-		roundCfg.Seed = cfg.Seed ^ (uint64(i+1) * core.RoundSeedMix)
-		w = sampleRound(e, w, epsRound, roundCfg)
+		w, _ = sampleRound(e, w, epsRound, roundConfigFor(cfg, i))
 		if tw := w.tableWords(); tw > peak {
 			peak = tw
 		}
@@ -186,13 +215,35 @@ func sparsifyOn(e *roundEngine, w *view, eps, rho float64, cfg core.Config) (*vi
 	return w, peak
 }
 
+// roundConfigFor derives sampling epoch i's config: the per-iteration
+// seed split of core.ParallelSparsify, shared by the live schedule and
+// the checkpoint replay so both flip identical coins.
+func roundConfigFor(cfg core.Config, i int) core.Config {
+	cfg.Seed = cfg.Seed ^ (uint64(i+1) * core.RoundSeedMix)
+	return cfg
+}
+
+// sampleKeep returns epoch-scoped Algorithm 1 sampling: the keep coin
+// (a pure function of the seed and the GLOBAL edge id, so every shard
+// — and every replay — flips the same coins) and the weight scale 1/p
+// applied to kept off-bundle edges.
+func sampleKeep(cfg core.Config) (keep func(gid int) bool, scale float64) {
+	p := cfg.SampleKeepProb()
+	sampleSeed := cfg.Seed ^ core.SampleSeedMix
+	return func(gid int) bool { return rng.SplitAt(sampleSeed, uint64(gid)).Float64() < p }, 1 / p
+}
+
 // sampleRound is one distributed Algorithm 1 round on the network held
 // by e: a t-bundle of distributed spanners over a shrinking alive mask,
 // then the uniform sampling round for off-bundle edges. All working
 // masks are indexed by local edge id (O(m_incident) words on a
 // partition view); the pure seed-derived sampling coin is keyed by
-// GLOBAL edge id, so every shard flips the same coins.
-func sampleRound(e *roundEngine, w *view, eps float64, cfg core.Config) *view {
+// GLOBAL edge id, so every shard flips the same coins. On a partition
+// view the second return value is the gathered sorted in-bundle global
+// id list — the O(bundle)-word epoch state the recovery checkpoint
+// records, sufficient (with the pure coins) to replay the epoch's
+// renumbering without any network round (see renumberPart).
+func sampleRound(e *roundEngine, w *view, eps float64, cfg core.Config) (*view, []int32) {
 	if eps <= 0 || eps > 1 {
 		panic(fmt.Sprintf("dist: sample round requires eps in (0,1], got %v", eps))
 	}
@@ -243,10 +294,7 @@ func sampleRound(e *roundEngine, w *view, eps float64, cfg core.Config) *view {
 	// explicit) and announces the verdict to the other endpoint. One
 	// round, 1-word messages, one per off-bundle non-loop edge.
 	e.BeginPhase("sample")
-	p := cfg.SampleKeepProb()
-	scale := 1 / p
-	sampleSeed := cfg.Seed ^ core.SampleSeedMix
-	keep := func(gid int) bool { return rng.SplitAt(sampleSeed, uint64(gid)).Float64() < p }
+	keep, scale := sampleKeep(cfg)
 	adj := w.adj
 	e.ForVertices(func(v int32) {
 		lo, hi := adj.Range(v)
@@ -282,7 +330,7 @@ func sampleRound(e *roundEngine, w *view, eps float64, cfg core.Config) *view {
 			}
 			return out
 		})
-		return newFullView(graph.FromEdges(n, edges))
+		return newFullView(graph.FromEdges(n, edges)), nil
 	}
 
 	// Partition renumbering: survival (bundle membership or a kept
@@ -303,7 +351,17 @@ func sampleRound(e *roundEngine, w *view, eps float64, cfg core.Config) *view {
 		}
 	}
 	bundleIDs := e.allGatherInt32s(ownedBundle)
+	return renumberPart(w, bundleIDs, keep, scale), bundleIDs
+}
 
+// renumberPart applies one epoch's survival verdict to a partition
+// view: a global edge survives if it is in the gathered bundle id list
+// or its keep coin came up, surviving ids are renumbered densely, and
+// the locally incident survivors are rebuilt with kept off-bundle
+// edges scaled. It is a pure local function of (view, bundleIDs, seed)
+// — the live schedule and the checkpoint replay run the identical
+// walk, which is what makes recovery bit-identical.
+func renumberPart(w *view, bundleIDs []int32, keep func(gid int) bool, scale float64) *view {
 	var newIDs []int32
 	var newEdges []graph.Edge
 	newM := 0
@@ -332,7 +390,7 @@ func sampleRound(e *roundEngine, w *view, eps float64, cfg core.Config) *view {
 		}
 		newM++
 	}
-	return newPartView(n, newM, w.lo, w.hi, newIDs, newEdges)
+	return newPartView(w.n, newM, w.lo, w.hi, newIDs, newEdges)
 }
 
 // boolFlag returns 1 for true, 0 for false.

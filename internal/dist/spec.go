@@ -37,6 +37,13 @@ type TransportSpec struct {
 	onListen func(addr string)
 	join     string
 	shard    int
+	// Fault-tolerance knobs (Net and Worker specs; see NetConfig and
+	// WorkerConfig for semantics).
+	respawn     func(shard int, addr string)
+	maxRespawns int
+	ckptEvery   int
+	joinRetry   time.Duration
+	failFrames  int
 }
 
 type specKind uint8
@@ -85,6 +92,25 @@ type NetConfig struct {
 	// the listener is up and before any worker is awaited — the hook
 	// for writing an address file or spawning worker processes.
 	OnListen func(addr string)
+	// Respawn, when non-nil, arms fault tolerance: on a detected worker
+	// failure the coordinator rolls the survivors back to the last
+	// checkpoint, calls Respawn(shard, addr) to restart the dead shard
+	// (typically by re-execing a worker process against its partition
+	// file), waits for it to rejoin, and replays the attempt
+	// deterministically — the final output is bit-identical to a
+	// failure-free run. Nil keeps the pre-recovery behavior: any worker
+	// failure fails the run.
+	Respawn func(shard int, addr string)
+	// MaxRespawns bounds the total number of worker respawns across the
+	// whole run (0 means no budget — with a Respawn hook set, the first
+	// failure still fails the run).
+	MaxRespawns int
+	// CheckpointEvery is the checkpoint cadence in epochs (sparsify
+	// sampling iterations): the coordinator durably records the
+	// inter-epoch state every CheckpointEvery completed epochs. 0 means
+	// every epoch; < 0 disables checkpointing (recovery replays from
+	// the top).
+	CheckpointEvery int
 }
 
 // Net returns the coordinator spec of a real multi-process run:
@@ -93,11 +119,14 @@ type NetConfig struct {
 // result.
 func Net(cfg NetConfig) TransportSpec {
 	return TransportSpec{
-		kind:     specNet,
-		shards:   cfg.Shards,
-		timeout:  cfg.Timeout,
-		listen:   cfg.Listen,
-		onListen: cfg.OnListen,
+		kind:        specNet,
+		shards:      cfg.Shards,
+		timeout:     cfg.Timeout,
+		listen:      cfg.Listen,
+		onListen:    cfg.OnListen,
+		respawn:     cfg.Respawn,
+		maxRespawns: cfg.MaxRespawns,
+		ckptEvery:   cfg.CheckpointEvery,
 	}
 }
 
@@ -112,6 +141,16 @@ type WorkerConfig struct {
 	Shards int
 	// Timeout is the per-frame I/O deadline (DefaultNetTimeout if 0).
 	Timeout time.Duration
+	// JoinRetry, when positive, keeps re-dialing a refused or failed
+	// join for up to this window — how a respawned worker (or one
+	// started with -resume before the coordinator) rejoins a
+	// coordinator that is still recovering. 0 makes a single attempt.
+	JoinRetry time.Duration
+	// FailAfterFrames, when positive, crashes this worker process
+	// (SIGKILL to self) just before it writes its Nth protocol frame —
+	// the deterministic fault-injection hook the kill-and-recover tests
+	// use. 0 disables injection.
+	FailAfterFrames int
 }
 
 // Worker returns the worker-shard spec of a real multi-process run:
@@ -124,11 +163,13 @@ type WorkerConfig struct {
 // process.
 func Worker(cfg WorkerConfig) TransportSpec {
 	return TransportSpec{
-		kind:    specWorker,
-		shards:  cfg.Shards,
-		timeout: cfg.Timeout,
-		join:    cfg.Join,
-		shard:   cfg.Shard,
+		kind:       specWorker,
+		shards:     cfg.Shards,
+		timeout:    cfg.Timeout,
+		join:       cfg.Join,
+		shard:      cfg.Shard,
+		joinRetry:  cfg.JoinRetry,
+		failFrames: cfg.FailAfterFrames,
 	}
 }
 
@@ -144,7 +185,9 @@ func (s TransportSpec) WithTimeout(d time.Duration) TransportSpec {
 // deprecated repro.Options.Shards) cannot override it.
 func (s TransportSpec) IsZero() bool {
 	return s.kind == specDefault && s.shards == 0 && s.timeout == 0 &&
-		s.listen == "" && s.onListen == nil && s.join == "" && s.shard == 0
+		s.listen == "" && s.onListen == nil && s.join == "" && s.shard == 0 &&
+		s.respawn == nil && s.maxRespawns == 0 && s.ckptEvery == 0 &&
+		s.joinRetry == 0 && s.failFrames == 0
 }
 
 // String renders the spec for logs and experiment tables.

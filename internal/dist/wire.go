@@ -14,16 +14,23 @@ import (
 // fuzzer can exercise the codec record by record.
 
 const (
-	wireMagic   = uint32(0x44573031) // "DW01": distworker wire v1
-	wireVersion = uint32(1)
+	wireMagic = uint32(0x44573031) // "DW01": distworker wire
+	// wireVersion 2 appended the liveness/recovery frames (heartbeat,
+	// checksum, rollback, rollback-ack) to v1's frame set. Existing
+	// frame encodings are never mutated — new types are appended and
+	// the version is bumped, so a mixed-version fleet fails loudly at
+	// the hello handshake instead of desynchronizing mid-run.
+	wireVersion = uint32(2)
 
 	headerSize   = 20
 	envelopeSize = 28
 	tallySize    = 40
 	helloSize    = 20
+	checkSize    = 4
 )
 
-// Frame types.
+// Frame types. Append only: reusing or renumbering a type is a wire
+// version break.
 const (
 	frameHello   uint8 = iota + 1 // worker → coordinator: join request
 	frameWelcome                  // coordinator → worker: join accepted
@@ -33,6 +40,11 @@ const (
 	frameOr                       // AllOrBits contribution / result
 	frameBlob                     // opaque application payload (gather/broadcast)
 	frameGather                   // AllGatherInt32s contribution / merged result
+	// v2 liveness/recovery frames:
+	frameHeartbeat   // either direction: liveness while the peer computes; no payload
+	frameCheck       // running CRC-32C of the data frames since the last check (Round = engine round)
+	frameRollback    // coordinator → worker: abort the attempt; Round = recovery generation
+	frameRollbackAck // worker → coordinator: attempt unwound; Round echoes the generation
 )
 
 // frameHeader describes one frame on the wire.
