@@ -1,0 +1,163 @@
+package main
+
+// Golden-pair tests for the -compare regression gate. The testdata
+// reports are handwritten miniatures of the -json schema: base.json is
+// the baseline, improved.json / regressed.json move every quantity
+// ~±20-60%, missing.json drops an experiment (the schema-mismatch
+// case).
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func load(t *testing.T, name string) jsonReport {
+	t.Helper()
+	r, err := loadReport(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCompareNoChange(t *testing.T) {
+	base := load(t, "base.json")
+	out, err := compareReports(base, base, 0.10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.regressions) != 0 {
+		t.Fatalf("self-compare flagged regressions: %v", out.regressions)
+	}
+	if len(out.lines) != 2 {
+		t.Fatalf("want 2 diff lines, got %d: %v", len(out.lines), out.lines)
+	}
+}
+
+func TestCompareImprovement(t *testing.T) {
+	out, err := compareReports(load(t, "base.json"), load(t, "improved.json"), 0.10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.regressions) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", out.regressions)
+	}
+}
+
+func TestCompareRegressionAboveThreshold(t *testing.T) {
+	out, err := compareReports(load(t, "base.json"), load(t, "regressed.json"), 0.10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E3 +4% stays under the 10% gate; E13 regresses both wall-clock
+	// (+60%) and wireBytes (+24%).
+	if len(out.regressions) != 2 {
+		t.Fatalf("want 2 regressions, got %d: %v", len(out.regressions), out.regressions)
+	}
+	joined := strings.Join(out.regressions, "\n")
+	if !strings.Contains(joined, "E13 wall-clock") || !strings.Contains(joined, "E13 wireBytes") {
+		t.Fatalf("unexpected regression set: %v", out.regressions)
+	}
+}
+
+func TestCompareNoiseFloorSuppressesWallButNotWire(t *testing.T) {
+	out, err := compareReports(load(t, "base.json"), load(t, "regressed.json"), 0.10, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.regressions) != 1 || !strings.Contains(out.regressions[0], "wireBytes") {
+		t.Fatalf("want only the wireBytes regression past a 10s noise floor, got %v", out.regressions)
+	}
+}
+
+func TestCompareSchemaMismatchMissingExperiment(t *testing.T) {
+	_, err := compareReports(load(t, "base.json"), load(t, "missing.json"), 0.10, 0)
+	if err == nil || !strings.Contains(err.Error(), "E13") {
+		t.Fatalf("want schema-mismatch error naming E13, got %v", err)
+	}
+}
+
+func TestCompareNewExperimentNotGated(t *testing.T) {
+	// Old report missing an experiment the new one has: reported, not
+	// gated — adding an experiment must not force a baseline refresh.
+	out, err := compareReports(load(t, "missing.json"), load(t, "base.json"), 0.10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.regressions) != 0 {
+		t.Fatalf("new experiment gated: %v", out.regressions)
+	}
+	joined := strings.Join(out.lines, "\n")
+	if !strings.Contains(joined, "E13") || !strings.Contains(joined, "no baseline") {
+		t.Fatalf("new experiment not reported: %v", out.lines)
+	}
+}
+
+func TestCompareSchemaMismatchDroppedWireBytesColumn(t *testing.T) {
+	base := load(t, "base.json")
+	stripped := load(t, "base.json")
+	for i := range stripped.Experiments {
+		e := &stripped.Experiments[i]
+		if e.Table.ID != "E13" {
+			continue
+		}
+		e.Table.Header = e.Table.Header[:6] // cut wireBytes and after
+		for j, row := range e.Table.Rows {
+			e.Table.Rows[j] = row[:6]
+		}
+	}
+	_, err := compareReports(base, stripped, 0.10, 0)
+	if err == nil || !strings.Contains(err.Error(), "wireBytes") {
+		t.Fatalf("want wireBytes schema-mismatch error, got %v", err)
+	}
+}
+
+func TestParseCompareArgs(t *testing.T) {
+	cases := []struct {
+		rest      []string
+		wantPath  string
+		wantNoise float64
+		wantErr   bool
+	}{
+		{[]string{"new.json"}, "new.json", 0, false},
+		{[]string{"new.json", "-noise-ms", "2000"}, "new.json", 2000, false},
+		{[]string{"-noise-ms=150", "new.json"}, "new.json", 150, false},
+		{[]string{"new.json", "-threshold", "0.2"}, "new.json", 0, false},
+		{[]string{}, "", 0, true},
+		{[]string{"a.json", "b.json"}, "", 0, true},
+		{[]string{"new.json", "-bogus"}, "", 0, true},
+		{[]string{"new.json", "-noise-ms"}, "", 0, true},
+	}
+	for _, c := range cases {
+		threshold, noise := 0.10, 0.0
+		got, err := parseCompareArgs(c.rest, &threshold, &noise)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseCompareArgs(%v): want error, got path %q", c.rest, got)
+			}
+			continue
+		}
+		if err != nil || got != c.wantPath || noise != c.wantNoise {
+			t.Errorf("parseCompareArgs(%v) = (%q, noise %v, %v), want (%q, %v)", c.rest, got, noise, err, c.wantPath, c.wantNoise)
+		}
+	}
+}
+
+func TestRunCompareExitCodes(t *testing.T) {
+	cases := []struct {
+		oldF, newF string
+		want       int
+	}{
+		{"base.json", "improved.json", 0},
+		{"base.json", "regressed.json", 1},
+		{"base.json", "missing.json", 2},
+		{"base.json", "does-not-exist.json", 2},
+	}
+	for _, c := range cases {
+		got := runCompare(filepath.Join("testdata", c.oldF), filepath.Join("testdata", c.newF), 0.10, 0)
+		if got != c.want {
+			t.Errorf("runCompare(%s, %s) = %d, want %d", c.oldF, c.newF, got, c.want)
+		}
+	}
+}

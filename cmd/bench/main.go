@@ -1,5 +1,5 @@
 // Command bench regenerates the paper-reproduction experiment tables
-// E1–E13 (see the registry in internal/experiments for the index,
+// E1–E15 (see the registry in internal/experiments for the index,
 // ROADMAP.md for what each sweep pins, and CHANGES.md for when each
 // experiment landed).
 //
@@ -8,10 +8,23 @@
 //	bench               # run everything at full scale
 //	bench -quick        # trimmed sweeps (seconds instead of minutes)
 //	bench -run E4,E12   # a subset
-//	bench -quick -run E3,E12 -json BENCH_pr.json
+//	bench -quick -run E3,E12,E13,E15 -json BENCH_pr.json
 //	                    # machine-readable results (the CI bench
 //	                    # artifact); -bench-log FILE embeds a go test
 //	                    # -bench output alongside the tables
+//	bench -compare BENCH_baseline.json BENCH_pr.json
+//	                    # diff two -json reports: exit 1 if wall-clock
+//	                    # or wireBytes regressed past -threshold, exit 2
+//	                    # on schema mismatch. CI runs this against the
+//	                    # committed BENCH_baseline.json.
+//
+// BENCH_baseline.json at the repo root is the committed reference the
+// CI gate compares against. Refresh it when a PR intentionally shifts
+// performance or adds an experiment to the CI sweep:
+//
+//	go run ./cmd/bench -quick -run E3,E12,E13,E15 -json BENCH_baseline.json
+//
+// and commit the result alongside the change that moved the numbers.
 package main
 
 import (
@@ -44,9 +57,21 @@ type jsonExperiment struct {
 func main() {
 	quick := flag.Bool("quick", false, "run trimmed sweeps")
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
-	jsonPath := flag.String("json", "", "also write results as JSON to this path")
+	jsonPath := flag.String("json", "", "also write results as JSON to this path (refresh the committed baseline with: bench -quick -run E3,E12,E13,E15 -json BENCH_baseline.json)")
 	benchLog := flag.String("bench-log", "", "embed this go test -bench output file in the JSON report")
+	compare := flag.String("compare", "", "old -json report to diff against; the new report is the remaining argument (exit 1 on regression, 2 on schema mismatch)")
+	threshold := flag.Float64("threshold", 0.10, "relative regression threshold for -compare (0.10 = 10%)")
+	noiseMs := flag.Float64("noise-ms", 0, "absolute wall-clock noise floor in ms for -compare: timing deltas below this never fail the gate (CI uses a generous floor because runners differ from the baseline machine; wireBytes is exact and ignores this)")
 	flag.Parse()
+
+	if *compare != "" {
+		newPath, err := parseCompareArgs(flag.Args(), threshold, noiseMs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(2)
+		}
+		os.Exit(runCompare(*compare, newPath, *threshold, *noiseMs))
+	}
 
 	scale := experiments.Full
 	scaleName := "full"
@@ -106,4 +131,38 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d experiments)\n", *jsonPath, len(report.Experiments))
+}
+
+// runCompare loads the two reports, diffs them, and returns the
+// process exit code: 0 clean, 1 regression, 2 schema mismatch or
+// unreadable input.
+func runCompare(oldPath, newPath string, threshold, noiseMs float64) int {
+	oldR, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 2
+	}
+	newR, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 2
+	}
+	out, err := compareReports(oldR, newR, threshold, noiseMs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 2
+	}
+	fmt.Printf("compare %s -> %s (threshold %.0f%%, noise floor %.0fms)\n",
+		oldPath, newPath, 100*threshold, noiseMs)
+	for _, l := range out.lines {
+		fmt.Println(" ", l)
+	}
+	if len(out.regressions) > 0 {
+		for _, r := range out.regressions {
+			fmt.Fprintf(os.Stderr, "bench: REGRESSION: %s\n", r)
+		}
+		return 1
+	}
+	fmt.Println("no regressions")
+	return 0
 }

@@ -115,6 +115,35 @@
 // as small unbilled collectives (AllMaxInt32/AllOrBits/AllGatherInt32s)
 // piggybacked on the barrier.
 //
+// # Wire batching and buffer reuse
+//
+// The wire layer is built for raw speed without touching the format.
+// writeFrame does not write: it appends the frame's header (from a
+// chunked arena whose slices stay stable under growth) and payload to
+// the connection's pending net.Buffers, computing CRC-32C and
+// WireBytes at append time so accounting is byte-identical to the
+// per-frame protocol. flush hands the whole batch to the kernel as one
+// vectored write — a round barrier costs one syscall per peer instead
+// of one per frame. Every protocol path flushes before it reads, so
+// the strict write-then-read alternation that keeps the star barrier
+// deadlock-free is unchanged; heartbeats bypass the batch and may hit
+// the wire ahead of pending frames, which is safe because readFrame
+// consumes them transparently at any stream position
+// (batch_test.go pins byte-identity and chunked reassembly, and the
+// WireBytes goldens in wirebytes_golden_test.go pin the totals across
+// the batching change).
+//
+// Payload buffers cycle through a per-transport size-classed freelist
+// (getBuf/putBuf): reads draw from it, relays retire forwarded buffers
+// back to it at the flush that writes them, and blob payloads — which
+// escape to the application — are never pooled. Above the wire, the
+// round engine keeps scratch freelists for the spanner's per-layer
+// mask and label arrays (rounds.go), and the coordinator's pairwise
+// gather merge runs its per-level zips in parallel goroutines once the
+// lists are large enough. The allocation budget in memory_test.go pins
+// the pooling at the allocator; E15 gates the wall-clock at ≥10^7
+// edges.
+//
 // # Failure model and recovery
 //
 // Liveness is heartbeat-based: each connection direction carries a

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math/bits"
 	"net"
 	"os"
 	"sort"
@@ -90,6 +91,55 @@ type NetTransport struct {
 	failAfterFrames int
 	framesWritten   int
 	failAct         func()
+
+	// bufFree is the transport's payload-buffer freelist, size-classed
+	// by power of two. The round path of one transport is a single
+	// goroutine (heartbeat senders never allocate payloads), so no lock
+	// is needed. Blob payloads escape to the application and are never
+	// pooled; everything else cycles through getBuf/putBuf.
+	bufFree [31][][]byte
+	// envScratch is the reusable envelope-decode buffer of the round
+	// barrier; deliverInto copies messages out, so one scratch serves
+	// every batch of a barrier in sequence.
+	envScratch []envelope
+}
+
+// bufFreeDepth bounds how many buffers one size class retains.
+const bufFreeDepth = 8
+
+// emptyBuf is the shared zero-length (but non-nil) payload.
+var emptyBuf = make([]byte, 0)
+
+// getBuf returns a length-n byte buffer, reusing a pooled one when the
+// freelist has a large enough size class. Contents are arbitrary —
+// every user overwrites (io.ReadFull, putEnvelope, ...).
+func (t *NetTransport) getBuf(n int) []byte {
+	if n == 0 {
+		// Non-nil so an empty payload still reads as "batch present"
+		// (the coordinator detects duplicate batches by non-nil cells).
+		return emptyBuf
+	}
+	c := bits.Len(uint(n - 1)) // smallest c with 1<<c >= n
+	if s := t.bufFree[c]; len(s) > 0 {
+		b := s[len(s)-1]
+		t.bufFree[c] = s[:len(s)-1]
+		return b[:n]
+	}
+	return make([]byte, n, 1<<c)
+}
+
+// putBuf returns a buffer to the freelist. Callers must own b and drop
+// every reference to it; a buffer that is never returned is simply
+// garbage collected, so forgetting is safe and double-returning is the
+// only misuse.
+func (t *NetTransport) putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	c := bits.Len(uint(cap(b))) - 1 // largest c with 1<<c <= cap
+	if len(t.bufFree[c]) < bufFreeDepth {
+		t.bufFree[c] = append(t.bufFree[c], b[:0])
+	}
 }
 
 // NetError is the fatal-failure panic value of a NetTransport.
@@ -143,11 +193,27 @@ func frameChecksummed(typ uint8) bool {
 type peerConn struct {
 	c  net.Conn
 	br *bufio.Reader
-	bw *bufio.Writer
 	t  *NetTransport
 
-	// wmu serializes frame writes with the heartbeat sender; all bw
-	// access holds it.
+	// pending accumulates the header and payload slices of every frame
+	// written since the last flush; flush hands the whole batch to the
+	// kernel as ONE vectored write (net.Buffers → writev), so a round
+	// barrier costs one syscall per peer instead of one per frame. Only
+	// the round goroutine appends; wmu is taken only to write the
+	// socket, serializing flushes with the heartbeat sender.
+	pending      net.Buffers
+	pendingBytes int64
+	// hdrChunks is the arena the pending frame headers live in: fixed
+	// chunks, so a header slice handed to pending is never invalidated
+	// by a later append (a growing slice would reallocate under it).
+	hdrChunks [][]byte
+	hdrUsed   int // headers handed out since the last flush
+	// retire holds pooled payload buffers owned by the pending batch;
+	// they return to the transport's freelist only after the flush that
+	// writes them.
+	retire [][]byte
+
+	// wmu serializes socket writes (flush) with the heartbeat sender.
 	wmu sync.Mutex
 	// wsum/rsum are the running CRC-32C of the data frames written/read
 	// since the last frameCheck in that direction. Only the owning
@@ -162,13 +228,38 @@ type peerConn struct {
 }
 
 func newPeerConn(t *NetTransport, c net.Conn) *peerConn {
-	return &peerConn{c: c, br: bufio.NewReaderSize(c, 1<<16), bw: bufio.NewWriterSize(c, 1<<16), t: t}
+	return &peerConn{c: c, br: bufio.NewReaderSize(c, 1<<16), t: t}
+}
+
+// headersPerChunk sizes the header-arena chunks of a pending batch.
+const headersPerChunk = 64
+
+// headerSlot returns a stable headerSize slice for the next pending
+// frame header. Chunks are reused across batches after each flush.
+func (p *peerConn) headerSlot() []byte {
+	chunk, off := p.hdrUsed/headersPerChunk, (p.hdrUsed%headersPerChunk)*headerSize
+	if chunk == len(p.hdrChunks) {
+		p.hdrChunks = append(p.hdrChunks, make([]byte, headersPerChunk*headerSize))
+	}
+	p.hdrUsed++
+	return p.hdrChunks[chunk][off : off+headerSize]
+}
+
+// retireBuf marks a pooled payload buffer as owned by the pending
+// batch; flush releases it back to the transport's freelist.
+func (p *peerConn) retireBuf(b []byte) {
+	if cap(b) > 0 {
+		p.retire = append(p.retire, b)
+	}
 }
 
 // startHeartbeats begins the liveness sender: one frameHeartbeat per
-// timeout/4 of silence, written (and flushed) under wmu so it can
-// never tear a data frame. Heartbeats bypass writeFrame — they are
-// not counted in WireBytes (which stays deterministic) and not hashed.
+// timeout/4 of silence, written straight to the socket under wmu so it
+// can never tear a flushed batch. Heartbeats bypass writeFrame — they
+// are not counted in WireBytes (which stays deterministic), not
+// hashed, and not batched: a heartbeat may hit the wire before frames
+// still pending in the batch, which is safe because readFrame consumes
+// heartbeats transparently at any position in the stream.
 func (p *peerConn) startHeartbeats() {
 	interval := p.t.timeout / 4
 	if interval < 10*time.Millisecond {
@@ -190,10 +281,7 @@ func (p *peerConn) startHeartbeats() {
 			}
 			p.wmu.Lock()
 			_ = p.c.SetWriteDeadline(time.Now().Add(p.t.timeout))
-			_, err := p.bw.Write(hb[:])
-			if err == nil {
-				err = p.bw.Flush()
-			}
+			_, err := p.c.Write(hb[:])
 			p.wmu.Unlock()
 			if err != nil {
 				return // the round path will surface the failure
@@ -213,12 +301,16 @@ func (p *peerConn) stopHeartbeats() {
 // close stops the heartbeat sender, flushes, and closes the socket.
 func (p *peerConn) close() error {
 	p.stopHeartbeats()
-	p.wmu.Lock()
-	_ = p.bw.Flush()
-	p.wmu.Unlock()
+	_ = p.flush()
 	return p.c.Close()
 }
 
+// writeFrame appends one frame to the pending batch. The payload slice
+// must stay untouched until the next flush — the batch references it,
+// it is not copied. CRC-32C and WireBytes accounting happen here, at
+// append time, so they are byte-identical to the unbatched protocol;
+// I/O errors surface at flush (writeFrame itself cannot fail, but
+// keeps the error signature so call sites read as writes).
 func (p *peerConn) writeFrame(h frameHeader, payload []byte) error {
 	if p.t.failAfterFrames > 0 {
 		p.t.framesWritten++
@@ -231,30 +323,46 @@ func (p *peerConn) writeFrame(h frameHeader, payload []byte) error {
 			}
 		}
 	}
-	var hb [headerSize]byte
-	putHeader(hb[:], h)
-	p.wmu.Lock()
-	defer p.wmu.Unlock()
-	_ = p.c.SetWriteDeadline(time.Now().Add(p.t.timeout))
-	if _, err := p.bw.Write(hb[:]); err != nil {
-		return err
+	hb := p.headerSlot()
+	putHeader(hb, h)
+	p.pending = append(p.pending, hb)
+	if len(payload) > 0 {
+		p.pending = append(p.pending, payload)
 	}
-	if _, err := p.bw.Write(payload); err != nil {
-		return err
-	}
+	p.pendingBytes += int64(headerSize + len(payload))
 	if frameChecksummed(h.Type) {
-		p.wsum = crc32.Update(p.wsum, crcTable, hb[:])
+		p.wsum = crc32.Update(p.wsum, crcTable, hb)
 		p.wsum = crc32.Update(p.wsum, crcTable, payload)
 	}
 	p.t.wireBytes += int64(headerSize + len(payload))
 	return nil
 }
 
+// flush writes the whole pending batch as one vectored write, then
+// releases the batch's pooled payload buffers and header arena for
+// reuse. Every protocol path flushes before it reads, so frames never
+// sit pending across a read (the strict alternation that makes the
+// barrier deadlock-free is unchanged from the per-frame era).
 func (p *peerConn) flush() error {
+	if len(p.pending) == 0 {
+		return nil
+	}
 	p.wmu.Lock()
-	defer p.wmu.Unlock()
 	_ = p.c.SetWriteDeadline(time.Now().Add(p.t.timeout))
-	return p.bw.Flush()
+	bufs := p.pending
+	_, err := bufs.WriteTo(p.c)
+	p.wmu.Unlock()
+	for i := range p.pending {
+		p.pending[i] = nil
+	}
+	p.pending = p.pending[:0]
+	p.pendingBytes = 0
+	p.hdrUsed = 0
+	for _, b := range p.retire {
+		p.t.putBuf(b)
+	}
+	p.retire = p.retire[:0]
+	return err
 }
 
 // crashSelf is the honest worker-death fault injection: SIGKILL, no
@@ -335,7 +443,15 @@ func (p *peerConn) readFrame(wantType uint8) (frameHeader, []byte, error) {
 		if err != nil {
 			return frameHeader{}, nil, err
 		}
-		payload := make([]byte, n)
+		// Blob payloads are handed to the application (checkpoint and
+		// result bytes) and must not cycle through the freelist; every
+		// other payload is protocol-internal and pooled.
+		var payload []byte
+		if h.Type == frameBlob {
+			payload = make([]byte, n)
+		} else {
+			payload = p.t.getBuf(n)
+		}
 		if _, err := io.ReadFull(p.br, payload); err != nil {
 			return frameHeader{}, nil, err
 		}
@@ -348,13 +464,15 @@ func (p *peerConn) readFrame(wantType uint8) (frameHeader, []byte, error) {
 }
 
 // writeCheck emits the running write-direction checksum and resets it;
-// the peer's readCheck must observe the identical running sum.
+// the peer's readCheck must observe the identical running sum. The
+// payload buffer is pooled and retired at the flush that writes it.
 func (p *peerConn) writeCheck(round uint32) error {
-	var b [checkSize]byte
-	putU32(b[:], p.wsum)
-	if err := p.writeFrame(frameHeader{Type: frameCheck, Round: round, Count: checkSize}, b[:]); err != nil {
+	b := p.t.getBuf(checkSize)
+	putU32(b, p.wsum)
+	if err := p.writeFrame(frameHeader{Type: frameCheck, Round: round, Count: checkSize}, b); err != nil {
 		return err
 	}
+	p.retireBuf(b)
 	p.wsum = 0
 	return nil
 }
@@ -367,10 +485,12 @@ func (p *peerConn) readCheck(round uint32) error {
 	if err != nil {
 		return err
 	}
+	got := getU32(payload)
+	p.t.putBuf(payload)
 	if h.Round != round {
 		return fmt.Errorf("checksum frame for round %d, want round %d", h.Round, round)
 	}
-	if got := getU32(payload); got != p.rsum {
+	if got != p.rsum {
 		return fmt.Errorf("stream checksum mismatch at round %d: peer wrote %#x, stream hashed to %#x (corrupted traffic)", round, got, p.rsum)
 	}
 	p.rsum = 0
@@ -770,16 +890,26 @@ func (t *NetTransport) localTally() RoundTally {
 	return tally
 }
 
-func encodeEnvelopes(envs []envelope) []byte {
-	buf := make([]byte, len(envs)*envelopeSize)
+// encodeEnvelopes packs a staged batch into a pooled buffer; the
+// caller hands the buffer to writeFrame and retires it at flush.
+func (t *NetTransport) encodeEnvelopes(envs []envelope) []byte {
+	buf := t.getBuf(len(envs) * envelopeSize)
 	for i, env := range envs {
 		putEnvelope(buf[i*envelopeSize:], env)
 	}
 	return buf
 }
 
-func decodeEnvelopes(payload []byte) []envelope {
-	envs := make([]envelope, len(payload)/envelopeSize)
+// decodeEnvelopes parses a batch payload into the transport's reusable
+// envelope scratch — valid only until the next call. deliverInto
+// copies the messages into mailboxes, so the barrier decodes its
+// batches one at a time through this single buffer.
+func (t *NetTransport) decodeEnvelopes(payload []byte) []envelope {
+	n := len(payload) / envelopeSize
+	if cap(t.envScratch) < n {
+		t.envScratch = make([]envelope, n)
+	}
+	envs := t.envScratch[:n]
 	for i := range envs {
 		envs[i] = parseEnvelope(payload[i*envelopeSize:])
 	}
@@ -821,9 +951,11 @@ func (t *NetTransport) endRoundWorker(round int, local RoundTally) (RoundTally, 
 		}
 		batch := t.x.takeRow(self, r)
 		h := frameHeader{Type: frameRound, From: uint16(self), To: uint16(r), Round: uint32(round), Count: uint32(len(batch))}
-		if err := t.hub.writeFrame(h, encodeEnvelopes(batch)); err != nil {
+		payload := t.encodeEnvelopes(batch)
+		if err := t.hub.writeFrame(h, payload); err != nil {
 			return RoundTally{}, err
 		}
+		t.hub.retireBuf(payload)
 	}
 	var tb [tallySize]byte
 	putTally(tb[:], local)
@@ -862,6 +994,8 @@ func (t *NetTransport) endRoundWorker(round int, local RoundTally) (RoundTally, 
 	if int(th.Round) != round {
 		return RoundTally{}, fmt.Errorf("global tally for round %d, want round %d", th.Round, round)
 	}
+	global := parseTally(tallyPayload)
+	t.putBuf(tallyPayload)
 	if err := t.hub.readCheck(uint32(round)); err != nil {
 		return RoundTally{}, err
 	}
@@ -873,9 +1007,10 @@ func (t *NetTransport) endRoundWorker(round int, local RoundTally) (RoundTally, 
 			t.x.deliverInto(&discard, t.x.takeRow(self, self))
 			continue
 		}
-		t.x.deliverInto(&discard, decodeEnvelopes(payloads[d]))
+		t.x.deliverInto(&discard, t.decodeEnvelopes(payloads[d]))
+		t.putBuf(payloads[d])
 	}
-	return parseTally(tallyPayload), nil
+	return global, nil
 }
 
 func (t *NetTransport) endRoundCoordinator(round int, local RoundTally) (RoundTally, error) {
@@ -907,10 +1042,12 @@ func (t *NetTransport) endRoundCoordinator(round int, local RoundTally) (RoundTa
 		if int(th.From) != w || int(th.Round) != round {
 			return RoundTally{}, t.peerFail(w, fmt.Errorf("bad tally header %+v from shard %d round %d", th, w, round))
 		}
+		wt := parseTally(tb)
+		t.putBuf(tb)
 		if err := t.peers[w].readCheck(uint32(round)); err != nil {
 			return RoundTally{}, t.peerFail(w, fmt.Errorf("shard %d: %w", w, err))
 		}
-		global = mergeTallies([]RoundTally{global, parseTally(tb)})
+		global = mergeTallies([]RoundTally{global, wt})
 	}
 	var gtb [tallySize]byte
 	putTally(gtb[:], global)
@@ -921,14 +1058,17 @@ func (t *NetTransport) endRoundCoordinator(round int, local RoundTally) (RoundTa
 			}
 			var payload []byte
 			if d == 0 {
-				payload = encodeEnvelopes(t.x.takeRow(0, r))
+				payload = t.encodeEnvelopes(t.x.takeRow(0, r))
 			} else {
+				// Relay the worker's batch verbatim; its pooled buffer
+				// is owned by peer r's batch until the flush below.
 				payload = batches[d][r]
 			}
 			h := frameHeader{Type: frameRound, From: uint16(d), To: uint16(r), Round: uint32(round), Count: uint32(len(payload) / envelopeSize)}
 			if err := t.peers[r].writeFrame(h, payload); err != nil {
 				return RoundTally{}, t.peerFail(r, err)
 			}
+			t.peers[r].retireBuf(payload)
 		}
 		if err := t.peers[r].writeFrame(frameHeader{Type: frameTally, Round: uint32(round)}, gtb[:]); err != nil {
 			return RoundTally{}, t.peerFail(r, err)
@@ -947,7 +1087,8 @@ func (t *NetTransport) endRoundCoordinator(round int, local RoundTally) (RoundTa
 			t.x.deliverInto(&discard, t.x.takeRow(0, 0))
 			continue
 		}
-		t.x.deliverInto(&discard, decodeEnvelopes(batches[d][0]))
+		t.x.deliverInto(&discard, t.decodeEnvelopes(batches[d][0]))
+		t.putBuf(batches[d][0])
 	}
 	return global, nil
 }
@@ -978,7 +1119,9 @@ func (t *NetTransport) AllMaxInt32(x int32) int32 {
 		if h.Round != t.seq {
 			t.fatal(fmt.Errorf("AllMaxInt32 result for collective %d, want %d", h.Round, t.seq))
 		}
-		return int32(getU32(payload))
+		v := int32(getU32(payload))
+		t.putBuf(payload)
+		return v
 	}
 	for w := 1; w < t.part.p; w++ {
 		h, payload, err := t.peers[w].readFrame(frameMax)
@@ -988,7 +1131,9 @@ func (t *NetTransport) AllMaxInt32(x int32) int32 {
 		if int(h.From) != w || h.Round != t.seq {
 			t.fatal(t.peerFail(w, fmt.Errorf("AllMaxInt32 contribution %+v from shard %d, want collective %d", h, w, t.seq)))
 		}
-		if v := int32(getU32(payload)); v > x {
+		v := int32(getU32(payload))
+		t.putBuf(payload)
+		if v > x {
 			x = v
 		}
 	}
@@ -1011,7 +1156,7 @@ func (t *NetTransport) AllOrBits(bits []uint64) []uint64 {
 	if t.part.p == 1 {
 		return bits
 	}
-	buf := make([]byte, len(bits)*8)
+	buf := t.getBuf(len(bits) * 8)
 	packWords(buf, bits)
 	h := frameHeader{Type: frameOr, From: uint16(t.self), Round: t.seq, Count: uint32(len(bits))}
 	if t.self != 0 {
@@ -1032,6 +1177,8 @@ func (t *NetTransport) AllOrBits(bits []uint64) []uint64 {
 			t.fatal(fmt.Errorf("AllOrBits length mismatch: %d vs %d", len(payload), len(buf)))
 		}
 		orWordsInto(bits, payload, true)
+		t.putBuf(payload)
+		t.putBuf(buf)
 		return bits
 	}
 	for w := 1; w < t.part.p; w++ {
@@ -1046,6 +1193,7 @@ func (t *NetTransport) AllOrBits(bits []uint64) []uint64 {
 			t.fatal(t.peerFail(w, fmt.Errorf("AllOrBits length mismatch from shard %d: %d vs %d", w, len(payload), len(buf))))
 		}
 		orWordsInto(bits, payload, false)
+		t.putBuf(payload)
 	}
 	packWords(buf, bits)
 	for w := 1; w < t.part.p; w++ {
@@ -1056,6 +1204,8 @@ func (t *NetTransport) AllOrBits(bits []uint64) []uint64 {
 			t.fatal(t.peerFail(w, err))
 		}
 	}
+	// Every peer's batch is flushed, so nothing references buf anymore.
+	t.putBuf(buf)
 	return bits
 }
 
@@ -1073,7 +1223,8 @@ func (t *NetTransport) AllGatherInt32s(xs []int32) []int32 {
 		return xs
 	}
 	if t.self != 0 {
-		if err := t.hub.writeFrame(frameHeader{Type: frameGather, From: uint16(t.self), Round: t.seq, Count: uint32(len(xs))}, packInt32s(xs)); err != nil {
+		contrib := packInt32s(xs)
+		if err := t.hub.writeFrame(frameHeader{Type: frameGather, From: uint16(t.self), Round: t.seq, Count: uint32(len(xs))}, contrib); err != nil {
 			t.fatal(err)
 		}
 		if err := t.hub.flush(); err != nil {
@@ -1086,7 +1237,9 @@ func (t *NetTransport) AllGatherInt32s(xs []int32) []int32 {
 		if h.Round != t.seq {
 			t.fatal(fmt.Errorf("AllGatherInt32s result for collective %d, want %d", h.Round, t.seq))
 		}
-		return parseInt32s(payload)
+		merged := parseInt32s(payload)
+		t.putBuf(payload)
+		return merged
 	}
 	lists := make([][]int32, t.part.p)
 	lists[0] = xs
@@ -1099,6 +1252,7 @@ func (t *NetTransport) AllGatherInt32s(xs []int32) []int32 {
 			t.fatal(t.peerFail(w, fmt.Errorf("AllGatherInt32s contribution %+v from shard %d, want collective %d", h, w, t.seq)))
 		}
 		lists[w] = parseInt32s(payload)
+		t.putBuf(payload)
 	}
 	merged := mergeSortedInt32s(lists)
 	buf := packInt32s(merged)
@@ -1113,19 +1267,43 @@ func (t *NetTransport) AllGatherInt32s(xs []int32) []int32 {
 	return merged
 }
 
+// mergeParallelMin is the total element count above which a level of
+// pairwise merges runs its zips concurrently. Below it the goroutine
+// fork/join costs more than the merge.
+const mergeParallelMin = 1 << 15
+
 // mergeSortedInt32s merges sorted disjoint lists into one sorted list
-// by rounds of pairwise two-way zips — O(total · log P).
+// by rounds of pairwise two-way zips — O(total · log P) work. Above
+// mergeParallelMin total elements the zips of one level run in
+// parallel (they touch disjoint inputs and outputs, and each level
+// joins before the next starts, so the result is deterministic).
 func mergeSortedInt32s(lists [][]int32) []int32 {
 	if len(lists) == 0 {
 		return nil
 	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
 	for len(lists) > 1 {
-		merged := lists[:0]
-		for i := 0; i < len(lists); i += 2 {
-			if i+1 == len(lists) {
-				merged = append(merged, lists[i])
-			} else {
-				merged = append(merged, mergeTwoInt32s(lists[i], lists[i+1]))
+		pairs := len(lists) / 2
+		merged := make([][]int32, (len(lists)+1)/2)
+		if len(lists)%2 == 1 {
+			merged[len(merged)-1] = lists[len(lists)-1]
+		}
+		if pairs > 1 && total >= mergeParallelMin {
+			var wg sync.WaitGroup
+			wg.Add(pairs)
+			for i := 0; i < pairs; i++ {
+				go func(i int) {
+					defer wg.Done()
+					merged[i] = mergeTwoInt32s(lists[2*i], lists[2*i+1])
+				}(i)
+			}
+			wg.Wait()
+		} else {
+			for i := 0; i < pairs; i++ {
+				merged[i] = mergeTwoInt32s(lists[2*i], lists[2*i+1])
 			}
 		}
 		lists = merged

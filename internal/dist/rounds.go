@@ -77,6 +77,66 @@ type roundEngine struct {
 	round int // index of the current round, incremented by EndRound
 	stats Stats
 	cur   int // index of the current phase in stats.Phases
+
+	// boolFree/int32Free are the engine's scratch freelists: the round
+	// loop re-runs the same mask- and label-sized allocations once per
+	// spanner layer (t layers per sampling epoch), so recycling them
+	// removes the dominant allocator traffic of a run. get/put are
+	// called only from the round-orchestration goroutine (never inside
+	// a ForVertices body), so no locking is needed.
+	boolFree  [][]bool
+	int32Free [][]int32
+}
+
+// scratchFreeDepth bounds how many scratch slices each freelist holds.
+const scratchFreeDepth = 8
+
+// getBools returns a ZEROED scratch []bool of length n, reusing a
+// pooled slice when one is large enough.
+func (e *roundEngine) getBools(n int) []bool {
+	for i := len(e.boolFree) - 1; i >= 0; i-- {
+		if cap(e.boolFree[i]) >= n {
+			b := e.boolFree[i][:n]
+			e.boolFree[i] = e.boolFree[len(e.boolFree)-1]
+			e.boolFree = e.boolFree[:len(e.boolFree)-1]
+			for j := range b {
+				b[j] = false
+			}
+			return b
+		}
+	}
+	return make([]bool, n)
+}
+
+// putBools returns a scratch slice to the freelist. The caller must
+// own it and drop every reference; a slice never returned is simply
+// garbage collected.
+func (e *roundEngine) putBools(b []bool) {
+	if cap(b) > 0 && len(e.boolFree) < scratchFreeDepth {
+		e.boolFree = append(e.boolFree, b)
+	}
+}
+
+// getInt32s returns a scratch []int32 of length n with ARBITRARY
+// contents — callers must write every index they later read (the
+// spanner's label arrays are fully initialized each use).
+func (e *roundEngine) getInt32s(n int) []int32 {
+	for i := len(e.int32Free) - 1; i >= 0; i-- {
+		if cap(e.int32Free[i]) >= n {
+			s := e.int32Free[i][:n]
+			e.int32Free[i] = e.int32Free[len(e.int32Free)-1]
+			e.int32Free = e.int32Free[:len(e.int32Free)-1]
+			return s
+		}
+	}
+	return make([]int32, n)
+}
+
+// putInt32s returns a scratch slice to the freelist.
+func (e *roundEngine) putInt32s(s []int32) {
+	if cap(s) > 0 && len(e.int32Free) < scratchFreeDepth {
+		e.int32Free = append(e.int32Free, s)
+	}
 }
 
 // newRoundEngine returns an engine for n vertices on the default

@@ -213,13 +213,20 @@ func runBaswanaSen(e *roundEngine, w *view, alive []bool, k int, seed uint64) ([
 	if k <= 0 {
 		k = spanner.DefaultK(n)
 	}
-	inSpanner := make([]bool, m)
-	center := make([]int32, n)
-	parent := make([]int32, n) // tree edge toward the center (−1 at the center)
-	depth := make([]int32, n)  // hop distance to the center within the cluster
+	// The per-vertex label arrays and the edge masks come from the
+	// engine's scratch freelists: a sparsify run re-enters this function
+	// once per bundle layer, and recycling the arrays removes its
+	// dominant allocator traffic. inSpanner and center are returned —
+	// callers that discard them (sampleRound) put them back; callers
+	// that retain them (the spanner job) simply never do.
+	inSpanner := e.getBools(m)
+	center := e.getInt32s(n)
+	parent := e.getInt32s(n) // tree edge toward the center (−1 at the center)
+	depth := e.getInt32s(n)  // hop distance to the center within the cluster
 	for i := range center {
 		center[i] = int32(i)
 		parent[i] = -1
+		depth[i] = 0
 	}
 	if k == 1 {
 		for lid := range inSpanner {
@@ -227,9 +234,11 @@ func runBaswanaSen(e *roundEngine, w *view, alive []bool, k int, seed uint64) ([
 				inSpanner[lid] = true
 			}
 		}
+		e.putInt32s(parent)
+		e.putInt32s(depth)
 		return inSpanner, center, k
 	}
-	dead := make([]bool, m)
+	dead := e.getBools(m)
 	for lid := range dead {
 		if alive != nil && !alive[lid] {
 			dead[lid] = true
@@ -239,6 +248,13 @@ func runBaswanaSen(e *roundEngine, w *view, alive []bool, k int, seed uint64) ([
 			dead[lid] = true
 		}
 	}
+	// The decision step's next-iteration labels, double-buffered: every
+	// owned index is rewritten each iteration before the swap, and
+	// unowned indices are never read (the partition discipline above),
+	// so the buffers ping-pong without clearing.
+	newCenter := e.getInt32s(n)
+	newParent := e.getInt32s(n)
+	newDepth := e.getInt32s(n)
 	p := math.Pow(float64(n), -1.0/float64(k))
 
 	for iter := 1; iter <= k-1; iter++ {
@@ -324,9 +340,6 @@ func runBaswanaSen(e *roundEngine, w *view, alive []bool, k int, seed uint64) ([
 		// comparisons and tie-breaks use global edge ids, so two shards
 		// rank a boundary edge identically.
 		e.BeginPhase("spanner/decide")
-		newCenter := make([]int32, n)
-		newParent := make([]int32, n)
-		newDepth := make([]int32, n)
 		type vertexOut struct {
 			adds  []notice
 			kills []notice
@@ -334,6 +347,7 @@ func runBaswanaSen(e *roundEngine, w *view, alive []bool, k int, seed uint64) ([
 		outs := collectVertices(e, func(_ int, lo, hi int) []vertexOut {
 			var shardOuts []vertexOut
 			groups := make(map[int32]spanner.BestEdge)
+			removeCluster := make(map[int32]bool, 4)
 			for vi := lo; vi < hi; vi++ {
 				v := int32(vi)
 				c := center[v]
@@ -397,7 +411,9 @@ func runBaswanaSen(e *roundEngine, w *view, alive []bool, k int, seed uint64) ([
 					// clusters; discard edges into all clusters handled.
 					newCenter[v] = bestCluster
 					out.adds = append(out.adds, notice{v, best.Eid})
-					removeCluster := make(map[int32]bool, 4)
+					for key := range removeCluster {
+						delete(removeCluster, key)
+					}
 					removeCluster[bestCluster] = true
 					for cu, be := range groups {
 						if cu == bestCluster {
@@ -457,7 +473,9 @@ func runBaswanaSen(e *roundEngine, w *view, alive []bool, k int, seed uint64) ([
 			}
 		}
 		e.EndRound()
-		center, parent, depth = newCenter, newParent, newDepth
+		center, newCenter = newCenter, center
+		parent, newParent = newParent, parent
+		depth, newDepth = newDepth, depth
 		applyNotices(e, w, inSpanner, dead)
 
 		// --- Step 4: exchange the new centers over surviving edges and
@@ -553,6 +571,12 @@ func runBaswanaSen(e *roundEngine, w *view, alive []bool, k int, seed uint64) ([
 	}
 	e.EndRound()
 	applyNotices(e, w, inSpanner, dead)
+	e.putBools(dead)
+	e.putInt32s(parent)
+	e.putInt32s(depth)
+	e.putInt32s(newCenter)
+	e.putInt32s(newParent)
+	e.putInt32s(newDepth)
 	return inSpanner, center, k
 }
 

@@ -259,8 +259,8 @@ func sampleRound(e *roundEngine, w *view, eps float64, cfg core.Config) (*view, 
 	// of layers — on a single process the reduction is the identity and
 	// the flow matches the pre-partition implementation exactly.
 	bundleSeed := cfg.Seed ^ core.BundleSeedMix
-	inBundle := make([]bool, mLocal)
-	curAlive := make([]bool, mLocal)
+	inBundle := e.getBools(mLocal)
+	curAlive := e.getBools(mLocal)
 	remaining := mLocal
 	for i := range curAlive {
 		curAlive[i] = true
@@ -271,7 +271,7 @@ func sampleRound(e *roundEngine, w *view, eps float64, cfg core.Config) (*view, 
 			break // bundle swallowed the graph: identity round
 		}
 		layerSeed := bundleSeed ^ (uint64(layer+1) * bundle.LayerSeedMix)
-		in, _, _ := runBaswanaSen(e, w, curAlive, cfg.SpannerK, layerSeed)
+		in, ctr, _ := runBaswanaSen(e, w, curAlive, cfg.SpannerK, layerSeed)
 		size := 0
 		for lid := 0; lid < mLocal; lid++ {
 			if in[lid] && curAlive[lid] {
@@ -280,6 +280,10 @@ func sampleRound(e *roundEngine, w *view, eps float64, cfg core.Config) (*view, 
 				size++
 			}
 		}
+		// The layer's mask and center labels are consumed; recycle them
+		// for the next layer.
+		e.putBools(in)
+		e.putInt32s(ctr)
 		remaining -= size
 		flags := e.allOrWord(boolFlag(size > 0) | boolFlag(remaining > 0)<<1)
 		if flags&1 == 0 {
@@ -287,6 +291,7 @@ func sampleRound(e *roundEngine, w *view, eps float64, cfg core.Config) (*view, 
 		}
 		anyAlive = flags&2 != 0
 	}
+	e.putBools(curAlive)
 
 	// Sampling round: the lower endpoint of each off-bundle edge flips
 	// the coin (a pure function of seed and GLOBAL edge id, so both
@@ -330,6 +335,7 @@ func sampleRound(e *roundEngine, w *view, eps float64, cfg core.Config) (*view, 
 			}
 			return out
 		})
+		e.putBools(inBundle)
 		return newFullView(graph.FromEdges(n, edges)), nil
 	}
 
@@ -350,6 +356,7 @@ func sampleRound(e *roundEngine, w *view, eps float64, cfg core.Config) (*view, 
 			ownedBundle = append(ownedBundle, w.globalOf(int32(lid)))
 		}
 	}
+	e.putBools(inBundle)
 	bundleIDs := e.allGatherInt32s(ownedBundle)
 	return renumberPart(w, bundleIDs, keep, scale), bundleIDs
 }

@@ -59,6 +59,13 @@ func FuzzMessageCodec(f *testing.F) {
 	f.Add(int32(0), int32(-1), int32(0), uint8(0), int32(1), int32(0), int32(0))
 	f.Add(int32(99), int32(3), int32(12), uint8(1), int32(-5), int32(7), int32(1))
 	f.Add(int32(-8), int32(1<<30), int32(-1<<30), uint8(255), int32(0), int32(0), int32(-1))
+	// Batched writes concatenate frames, so envelope payload bytes sit
+	// directly against the next frame's header on the wire. These seeds
+	// put the frame magic ("DW01") and a heartbeat-header prefix INSIDE
+	// envelope fields: a decoder that resynchronized on magic instead of
+	// trusting frame lengths would split such a batch mid-record.
+	f.Add(int32(wireMagic), int32(wireMagic), int32(0), uint8(frameRound), int32(wireMagic), int32(0), int32(wireMagic))
+	f.Add(int32(wireMagic), int32(frameHeartbeat), int32(wireMagic), uint8(frameHeartbeat), int32(0), int32(wireMagic), int32(-1))
 	f.Fuzz(func(t *testing.T, to, from, port int32, kind uint8, a, b, c int32) {
 		env := envelope{to: to, m: Message{From: from, Port: port, Kind: MsgKind(kind), A: a, B: b, C: c}}
 		var buf [envelopeSize]byte

@@ -1,0 +1,40 @@
+package dist_test
+
+// Golden WireBytes pins for the loopback transport. WireBytes is
+// computed at writeFrame append time, before any batching, so the
+// vectored-write path must reproduce the per-frame protocol's byte
+// count exactly — these values were captured before the batching
+// change landed and must never drift without a deliberate wire-format
+// bump (TestJobWireSchemas pins the frame encodings themselves; this
+// pins the end-to-end byte totals, framing and relays included).
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/gen"
+)
+
+func TestLoopbackWireBytesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback socket runs skipped in -short")
+	}
+	g := gen.Gnp(240, 0.1, 7)
+	want := map[int][2]int64{
+		// P -> {sparsify, spanner} WireBytes on this graph, pre-batching.
+		2: {2360192, 637284},
+		3: {4817840, 1211360},
+	}
+	for _, p := range []int{2, 3} {
+		spec := dist.Loopback(p).WithTimeout(30 * time.Second)
+		sp := runSparsify(t, spec, g, 0.75, 4, 0, 11)
+		sn := runSpanner(t, spec, g, 0, 11)
+		if sp.WireBytes != want[p][0] {
+			t.Errorf("P=%d sparsify WireBytes = %d, want %d (wire protocol changed?)", p, sp.WireBytes, want[p][0])
+		}
+		if sn.WireBytes != want[p][1] {
+			t.Errorf("P=%d spanner WireBytes = %d, want %d (wire protocol changed?)", p, sn.WireBytes, want[p][1])
+		}
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"math"
+	"os"
 	"strconv"
 	"strings"
 	"testing"
@@ -265,6 +266,44 @@ func TestE13TransportComparisonStructure(t *testing.T) {
 	}
 	if !sawNet {
 		t.Fatal("no net transport rows")
+	}
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "VIOLATION") || strings.Contains(n, "FAILURE") {
+			t.Fatal(n)
+		}
+	}
+}
+
+// TestE15ScaleStructure validates the raw-speed experiment end to end.
+// Unlike every other experiment, E15 Quick is a ≥10^7-edge run by
+// design (that is the quantity it gates), so this test only runs when
+// REPRO_E15=1 — it would multiply the package's test time severalfold
+// for everyone else. cmd/bench and the CI bench job exercise E15 on
+// every PR regardless.
+func TestE15ScaleStructure(t *testing.T) {
+	if os.Getenv("REPRO_E15") != "1" {
+		t.Skip("10^7-edge scale run skipped; set REPRO_E15=1 to enable")
+	}
+	tab := E15ScaleSpanner(Quick)
+	renderOf(t, tab)
+	if len(tab.Rows) < 3 {
+		t.Fatalf("expected at least the {1,2,4} sweep, got %d rows", len(tab.Rows))
+	}
+	if s := cell(t, tab.Rows[0][5]); s != 1 {
+		t.Fatalf("P=1 speedup %v != 1", s)
+	}
+	baseM := cell(t, tab.Rows[0][2])
+	if baseM < 1e7 {
+		t.Fatalf("E15 must run >=10^7 edges even at Quick scale, got m_out base %v", baseM)
+	}
+	baseRounds := cell(t, tab.Rows[0][3])
+	for i, row := range tab.Rows {
+		if m := cell(t, row[2]); m != baseM {
+			t.Fatalf("row %d: m_out %v != %v", i, m, baseM)
+		}
+		if r := cell(t, row[3]); r != baseRounds {
+			t.Fatalf("row %d: rounds %v != %v", i, r, baseRounds)
+		}
 	}
 	for _, n := range tab.Notes {
 		if strings.Contains(n, "VIOLATION") || strings.Contains(n, "FAILURE") {

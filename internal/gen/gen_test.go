@@ -114,6 +114,26 @@ func TestGnpDeterministic(t *testing.T) {
 	}
 }
 
+// TestGnpIncrementalDecodeMatchesUnrank pins Gnp's amortized-O(n+m)
+// row-cursor decoding to the closed unrank form: every emitted edge,
+// re-ranked to its linear position, must decode back to itself. This is
+// what keeps Gnp output bit-identical across the decoder rewrite (the
+// graph golden pins elsewhere in the repo depend on it).
+func TestGnpIncrementalDecodeMatchesUnrank(t *testing.T) {
+	for _, n := range []int{2, 3, 17, 240, 1000} {
+		g := Gnp(n, 0.13, 99)
+		for _, e := range g.Edges {
+			i, j := int64(e.U), int64(e.V)
+			pos := i*int64(n) - i*(i+1)/2 + (j - i - 1)
+			ui, uj := unrank(pos, n)
+			if int32(ui) != e.U || int32(uj) != e.V {
+				t.Fatalf("n=%d edge (%d,%d) at pos %d: unrank gives (%d,%d)",
+					n, e.U, e.V, pos, ui, uj)
+			}
+		}
+	}
+}
+
 func TestGnmExactCount(t *testing.T) {
 	g := Gnm(50, 200, 3)
 	if g.M() != 200 {
