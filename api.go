@@ -37,12 +37,12 @@ func FromEdges(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
 // Mem() is the single-process in-memory simulation (the default; the
 // zero spec executes the same way, but only an explicit Mem() shields
 // against the deprecated Shards knob), Sharded(p) partitions the
-// rounds across p
-// worker goroutines, Loopback(p) runs the whole multi-process protocol
-// over real loopback TCP sockets inside this process, and dist.Net /
-// dist.Worker drive real multi-process deployments (see cmd/distworker
-// and dist.Run, which those specs require so that network failures can
-// surface as errors).
+// rounds across p worker goroutines, Loopback(p) / Mesh(p) run the
+// whole multi-process protocol over real loopback TCP sockets inside
+// this process (on the coordinator-relayed star and the full-mesh data
+// plane respectively), and dist.Net / dist.Worker drive real
+// multi-process deployments (see cmd/distworker and dist.Run, which
+// those specs require so that network failures can surface as errors).
 //
 // Equivalence guarantee: for equal Options every spec produces
 // bit-identical output and an identical DistStats ledger at any shard
@@ -62,11 +62,19 @@ func Sharded(p int) TransportSpec { return dist.Sharded(p) }
 // p shards (a coordinator plus p−1 worker goroutines on real sockets).
 func Loopback(p int) TransportSpec { return dist.Loopback(p) }
 
+// Mesh returns the loopback-TCP multi-process transport spec on the
+// full-mesh data plane: workers dial each other directly and the
+// coordinator carries only control/tally/collective frames, so
+// worker↔worker round batches cross the wire once instead of being
+// relayed twice through shard 0.
+func Mesh(p int) TransportSpec { return dist.Mesh(p) }
+
 // ParseTransport maps a spec name plus a shard count to a
 // TransportSpec — the one grammar behind every CLI -transport flag:
-// "mem" (shards ignored), "sharded", or "loopback" (both need
-// shards ≥ 1). An empty name defaults to "sharded", matching the
-// historical meaning of a bare -shards flag.
+// "mem" (shards ignored), "sharded", "loopback", or "mesh" (the
+// socket planes; all three need shards ≥ 1). An empty name defaults
+// to "sharded", matching the historical meaning of a bare -shards
+// flag.
 func ParseTransport(name string, shards int) (TransportSpec, error) {
 	switch name {
 	case "", "sharded":
@@ -81,8 +89,13 @@ func ParseTransport(name string, shards int) (TransportSpec, error) {
 			return TransportSpec{}, fmt.Errorf("repro: transport loopback needs shards >= 1")
 		}
 		return Loopback(shards), nil
+	case "mesh":
+		if shards < 1 {
+			return TransportSpec{}, fmt.Errorf("repro: transport mesh needs shards >= 1")
+		}
+		return Mesh(shards), nil
 	default:
-		return TransportSpec{}, fmt.Errorf("repro: unknown transport %q (mem, sharded, loopback)", name)
+		return TransportSpec{}, fmt.Errorf("repro: unknown transport %q (mem, sharded, loopback, mesh)", name)
 	}
 }
 
@@ -99,9 +112,10 @@ type Options struct {
 	// BundleT overrides the bundle thickness formula when positive.
 	BundleT int
 	// Transport selects how DistributedSparsify and DistributedSpanner
-	// execute: Mem() (the zero value, the default), Sharded(p), or
-	// Loopback(p) — see TransportSpec for the catalogue and the
-	// equivalence guarantee. Ignored by the shared-memory entry points.
+	// execute: Mem() (the zero value, the default), Sharded(p),
+	// Loopback(p), or Mesh(p) — see TransportSpec for the catalogue and
+	// the equivalence guarantee. Ignored by the shared-memory entry
+	// points.
 	Transport TransportSpec
 	// Shards is the pre-TransportSpec way to select the sharded
 	// transport; P ≥ 1 behaves exactly like Transport: Sharded(P).

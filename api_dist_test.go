@@ -87,6 +87,7 @@ func TestDistributedTransportOption(t *testing.T) {
 		"sharded-spec":     {Seed: 9, Transport: Sharded(3)},
 		"deprecated-alias": {Seed: 9, Shards: 3},
 		"loopback-spec":    {Seed: 9, Transport: Loopback(2)},
+		"mesh-spec":        {Seed: 9, Transport: Mesh(3)},
 	} {
 		h, st := DistributedSparsify(g, 0.75, 4, opt)
 		if h.M() != ref.M() {
@@ -135,5 +136,40 @@ func TestExplicitMemBeatsDeprecatedShards(t *testing.T) {
 	_, unsetStats := DistributedSparsify(g, 0.75, 4, Options{Seed: 5, Shards: 4})
 	if unsetStats.Shards != 4 {
 		t.Fatalf("unset Transport did not fall back to Shards: %+v", unsetStats)
+	}
+}
+
+// TestParseTransport: the one grammar behind every CLI -transport
+// flag resolves each spec name — including the mesh data plane — and
+// rejects unknown names and missing shard counts.
+func TestParseTransport(t *testing.T) {
+	cases := []struct {
+		name    string
+		shards  int
+		want    TransportSpec
+		wantErr bool
+	}{
+		{"", 3, Sharded(3), false},
+		{"sharded", 2, Sharded(2), false},
+		{"mem", 0, Mem(), false},
+		{"loopback", 4, Loopback(4), false},
+		{"mesh", 4, Mesh(4), false},
+		{"mesh", 0, TransportSpec{}, true},
+		{"loopback", 0, TransportSpec{}, true},
+		{"", 0, TransportSpec{}, true},
+		{"bogus", 3, TransportSpec{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseTransport(c.name, c.shards)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseTransport(%q, %d): want error, got %v", c.name, c.shards, got)
+			}
+			continue
+		}
+		// Specs carry an OnListen func field, so compare by String().
+		if err != nil || got.String() != c.want.String() {
+			t.Errorf("ParseTransport(%q, %d) = (%v, %v), want %v", c.name, c.shards, got, err, c.want)
+		}
 	}
 }

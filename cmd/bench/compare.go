@@ -120,6 +120,44 @@ func wireBytesColumn(t *jsonExperiment) (int64, bool, error) {
 	return sum, true, nil
 }
 
+// wireBytesRows extracts the per-row wireBytes values of a table,
+// keyed by the row's label cells — every column before "millis" (e.g.
+// "net/4", "mesh/4" in E13/E15) — skipping the "-" cells of un-wired
+// transports. Returns nil when the table has no wireBytes column.
+// Ordered labels come back too, so report lines keep the table's row
+// order.
+func wireBytesRows(t *jsonExperiment) (map[string]int64, []string) {
+	col, labelEnd := -1, 1
+	for i, h := range t.Table.Header {
+		if h == "wireBytes" {
+			col = i
+		}
+		if h == "millis" {
+			labelEnd = i
+		}
+	}
+	if col < 0 {
+		return nil, nil
+	}
+	rows := make(map[string]int64)
+	var order []string
+	for _, row := range t.Table.Rows {
+		if col >= len(row) || labelEnd > len(row) || row[col] == "-" {
+			continue
+		}
+		v, err := strconv.ParseInt(row[col], 10, 64)
+		if err != nil {
+			continue // the summed gate already reports bad cells
+		}
+		label := strings.Join(row[:labelEnd], "/")
+		if _, dup := rows[label]; !dup {
+			order = append(order, label)
+		}
+		rows[label] = v
+	}
+	return rows, order
+}
+
 // pct formats new-vs-old as a signed percentage.
 func pct(oldV, newV float64) string {
 	if oldV == 0 {
@@ -176,6 +214,24 @@ func compareReports(oldR, newR jsonReport, threshold, noiseMs float64) (compareO
 			}
 		}
 		out.lines = append(out.lines, line)
+		// Per-row deltas, reported but never gated (only the summed total
+		// above can fail the gate): this is where a topology change — the
+		// mesh rows' halved relay bytes against the star rows — stays
+		// visible in CI logs instead of vanishing into the sum.
+		oldRows, _ := wireBytesRows(oldE)
+		newRows, newOrder := wireBytesRows(newE)
+		for _, label := range newOrder {
+			newV := newRows[label]
+			if oldV, ok := oldRows[label]; ok {
+				if oldV != newV {
+					out.lines = append(out.lines, fmt.Sprintf(
+						"     %s wireBytes[%s] %d -> %d (%s)", id, label, oldV, newV, pct(float64(oldV), float64(newV))))
+				}
+			} else {
+				out.lines = append(out.lines, fmt.Sprintf(
+					"     %s wireBytes[%s] %d (new row, no baseline)", id, label, newV))
+			}
+		}
 	}
 	for i := range newR.Experiments {
 		if id := newR.Experiments[i].Table.ID; !seen[id] {

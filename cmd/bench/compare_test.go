@@ -30,8 +30,58 @@ func TestCompareNoChange(t *testing.T) {
 	if len(out.regressions) != 0 {
 		t.Fatalf("self-compare flagged regressions: %v", out.regressions)
 	}
+	// Identical per-row wireBytes values produce NO per-row delta lines
+	// — only the two summary lines.
 	if len(out.lines) != 2 {
 		t.Fatalf("want 2 diff lines, got %d: %v", len(out.lines), out.lines)
+	}
+}
+
+// TestComparePerRowWireBytesReported: a per-row wireBytes change is
+// visible in the report lines, labeled by the row's leading columns
+// (transport/P), but never gated on its own — only the summed total
+// can fail the gate. This is what keeps a topology change (the mesh
+// rows' halved relay bytes vs the star rows) readable in CI logs.
+func TestComparePerRowWireBytesReported(t *testing.T) {
+	base := load(t, "base.json")
+	changed := load(t, "base.json")
+	for i := range changed.Experiments {
+		e := &changed.Experiments[i]
+		if e.Table.ID != "E13" {
+			continue
+		}
+		e.Table.Rows[2][6] = "1500000" // net/4: 3000000 -> 1500000 (-50%)
+	}
+	out, err := compareReports(base, changed, 0.10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.regressions) != 0 {
+		t.Fatalf("per-row improvement gated: %v", out.regressions)
+	}
+	joined := strings.Join(out.lines, "\n")
+	if !strings.Contains(joined, "wireBytes[net/4] 3000000 -> 1500000 (-50.0%)") {
+		t.Fatalf("per-row delta not reported:\n%s", joined)
+	}
+	if strings.Contains(joined, "net/2") {
+		t.Fatalf("unchanged row reported:\n%s", joined)
+	}
+	// A brand-new row (no baseline label) is reported as such.
+	added := load(t, "base.json")
+	for i := range added.Experiments {
+		e := &added.Experiments[i]
+		if e.Table.ID != "E13" {
+			continue
+		}
+		e.Table.Rows = append(e.Table.Rows,
+			[]string{"mesh", "4", "120", "4096", "40", "100000", "1500000", "8000"})
+	}
+	out, err = compareReports(base, added, 0.10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(out.lines, "\n"), "wireBytes[mesh/4] 1500000 (new row, no baseline)") {
+		t.Fatalf("new row not reported: %v", out.lines)
 	}
 }
 

@@ -25,6 +25,19 @@
 //	distworker -shards 4 -in graph.txt -split parts/ -split-only
 //	distworker -join HOST:PORT -shards 4 -shard 2 -parts parts/
 //
+// Full-mesh data plane: with -mesh on EVERY process (the handshake
+// rejects a mixed fleet) the workers dial each other directly and
+// exchange round batches peer-to-peer, so cross-shard data crosses the
+// wire once instead of being relayed twice through the coordinator,
+// and round flushes overlap the next round's compute (double
+// buffering). Workers bind a peer listener (-peer-listen, default
+// 127.0.0.1:0 — set a routable host:0 for multi-machine runs) and
+// announce it to the coordinator at join time:
+//
+//	distworker -listen :9000 -shards 4 -mesh -in graph.txt
+//	distworker -join HOST:9000 -shards 4 -shard 2 -mesh \
+//	    -peer-listen 10.0.0.7:0 -in graph.txt
+//
 // Fault tolerance: with -max-respawns N the coordinator survives up to
 // N worker deaths — on a detected failure (EOF, reset, or a missed
 // heartbeat window) it rolls the surviving workers back, re-execs this
@@ -45,6 +58,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -81,10 +95,34 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 0, "coordinator: checkpoint cadence in sampling epochs (0 = every epoch, negative = off)")
 	resume := flag.Bool("resume", false, "worker: keep retrying the join for one -timeout window (for respawned workers racing the coordinator's recovery)")
 	crashAfterFrames := flag.Int("crash-after-frames", 0, "worker: fault injection — SIGKILL this process before its Nth protocol frame (0 = off)")
+	mesh := flag.Bool("mesh", false, "full-mesh data plane: workers exchange round batches directly (must be set on every process)")
+	peerListen := flag.String("peer-listen", "", "worker, with -mesh: peer listener bind address (default 127.0.0.1:0; use a routable host:0 for multi-machine runs)")
 	flag.Parse()
 
 	if *shards < 1 {
 		log.Fatal("-shards is required (≥ 1)")
+	}
+	// Validate every address-shaped flag up front, so a typo is a clear
+	// flag error instead of a raw dial/listen failure mid-bring-up (or,
+	// worse, an undialable peer address some OTHER worker trips over).
+	if *listen != "" {
+		validateHostPort("-listen", *listen, false)
+	}
+	if *join != "" {
+		validateHostPort("-join", *join, true)
+	}
+	if *peerListen != "" {
+		if !*mesh {
+			log.Fatal("-peer-listen only makes sense with -mesh")
+		}
+		validateHostPort("-peer-listen", *peerListen, true)
+	}
+	if *addrFile != "" {
+		if dir := filepath.Dir(*addrFile); dir != "." {
+			if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+				log.Fatalf("-addr-file %q: parent directory %q does not exist", *addrFile, dir)
+			}
+		}
 	}
 	runner, ok := jobRunners[*jobName]
 	if !ok {
@@ -97,9 +135,10 @@ func main() {
 		splitPartitions(g, *shards, *split)
 	case *listen != "":
 		runCoordinator(runner, params, *jobName, *in, *parts, *out, *listen, *addrFile, *split,
-			*shards, *timeout, *maxRespawns, *ckptEvery)
+			*shards, *timeout, *maxRespawns, *ckptEvery, *mesh)
 	case *join != "":
-		runWorker(runner, params, *in, *parts, *join, *shard, *shards, *timeout, *resume, *crashAfterFrames)
+		runWorker(runner, params, *in, *parts, *join, *shard, *shards, *timeout, *resume,
+			*crashAfterFrames, *mesh, *peerListen)
 	default:
 		log.Fatal("one of -listen (coordinator), -join (worker), or -split/-split-only is required")
 	}
@@ -136,6 +175,27 @@ var jobRunners = map[string]jobRunner{
 		}
 		return g, res.Stats, res.WireBytes, err
 	},
+}
+
+// validateHostPort rejects a malformed address flag before any socket
+// work, with the flag's name in the message. needHost additionally
+// requires a non-empty host part: a worker must dial -join somewhere,
+// and a -peer-listen host is what the OTHER workers dial — binding
+// every interface (":0") would announce an undialable address.
+func validateHostPort(flagName, addr string, needHost bool) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		log.Fatalf("%s %q is not a host:port address: %v", flagName, addr, err)
+	}
+	if port == "" {
+		log.Fatalf("%s %q has no port (want host:port)", flagName, addr)
+	}
+	if _, err := net.LookupPort("tcp", port); err != nil {
+		log.Fatalf("%s %q: %q is not a valid port", flagName, addr, port)
+	}
+	if needHost && host == "" {
+		log.Fatalf("%s %q needs an explicit host (want host:port)", flagName, addr)
+	}
 }
 
 func readGraph(in string) *graph.Graph {
@@ -248,12 +308,17 @@ func splitPartitions(g *graph.Graph, shards int, dir string) {
 // with -resume so it keeps retrying while recovery tears the old
 // connection down. The child is started asynchronously; the engine's
 // recovery window tracks the rejoin.
-func respawnWorker(jobName, in, parts string, shards int, timeout time.Duration) func(shard int, addr string) {
+func respawnWorker(jobName, in, parts string, shards int, timeout time.Duration, mesh bool) func(shard int, addr string) {
 	return func(shard int, addr string) {
 		fmt.Fprintf(os.Stderr, "coordinator: respawning shard %d\n", shard)
 		args := []string{
 			"-join", addr, "-shard", strconv.Itoa(shard), "-shards", strconv.Itoa(shards),
 			"-job", jobName, "-timeout", timeout.String(), "-resume",
+		}
+		if mesh {
+			// The replacement must rejoin on the same data plane; it binds
+			// a fresh peer listener and announces it as it rejoins.
+			args = append(args, "-mesh")
 		}
 		if parts != "" {
 			args = append(args, "-parts", parts)
@@ -272,7 +337,7 @@ func respawnWorker(jobName, in, parts string, shards int, timeout time.Duration)
 
 func runCoordinator(runner jobRunner, params jobParams,
 	jobName, in, parts, out, listen, addrFile, split string, shards int,
-	timeout time.Duration, maxRespawns, ckptEvery int) {
+	timeout time.Duration, maxRespawns, ckptEvery int, mesh bool) {
 	var part *graph.Partition
 	if split != "" {
 		// Splitting needs the whole graph anyway; carve shard 0 from it.
@@ -295,6 +360,7 @@ func runCoordinator(runner jobRunner, params jobParams,
 		},
 		MaxRespawns:     maxRespawns,
 		CheckpointEvery: ckptEvery,
+		Mesh:            mesh,
 	}
 	if maxRespawns > 0 {
 		// Respawned workers reload their shard from the same source:
@@ -304,7 +370,7 @@ func runCoordinator(runner jobRunner, params jobParams,
 		if partsSrc == "" {
 			partsSrc = split
 		}
-		cfg.Respawn = respawnWorker(jobName, in, partsSrc, shards, timeout)
+		cfg.Respawn = respawnWorker(jobName, in, partsSrc, shards, timeout, mesh)
 	}
 	spec := dist.Net(cfg)
 	start := time.Now()
@@ -332,13 +398,14 @@ func runCoordinator(runner jobRunner, params jobParams,
 }
 
 func runWorker(runner jobRunner, params jobParams,
-	in, parts, join string, shard, shards int, timeout time.Duration, resume bool, crashAfterFrames int) {
+	in, parts, join string, shard, shards int, timeout time.Duration, resume bool,
+	crashAfterFrames int, mesh bool, peerListen string) {
 	if shard < 1 || shard >= shards {
 		log.Fatalf("-shard must be in [1,%d)", shards)
 	}
 	part := loadPartition(in, parts, shard, shards)
 	wcfg := dist.WorkerConfig{Join: join, Shard: shard, Shards: shards, Timeout: timeout,
-		FailAfterFrames: crashAfterFrames}
+		FailAfterFrames: crashAfterFrames, Mesh: mesh, PeerListen: peerListen}
 	if resume {
 		wcfg.JoinRetry = timeout
 	}

@@ -221,6 +221,215 @@ func TestMultiProcessKillRecover(t *testing.T) {
 	}
 }
 
+// TestMultiProcessMeshSparsify: the -mesh flag end to end — real OS
+// processes bring up the full-mesh data plane (each worker binds a
+// peer listener, announces it, and dials its lower-numbered peers) and
+// the written output is still edge-identical to the in-memory run.
+// Four shards, so every worker holds two direct links.
+func TestMultiProcessMeshSparsify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	const (
+		shards = 4
+		seed   = 11
+	)
+	dir := t.TempDir()
+	g := gen.Gnp(600, 0.03, 9)
+	graphPath := filepath.Join(dir, "graph.txt")
+	f, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	partsDir := filepath.Join(dir, "parts")
+	if err := child(t, "-in", graphPath, "-shards", "4", "-split", partsDir, "-split-only").Run(); err != nil {
+		t.Fatalf("split: %v", err)
+	}
+
+	outPath := filepath.Join(dir, "sparse.txt")
+	addrPath := filepath.Join(dir, "addr")
+	coord := child(t, "-listen", "127.0.0.1:0", "-shards", "4", "-parts", partsDir, "-mesh",
+		"-eps", "0.75", "-rho", "4", "-seed", "11", "-out", outPath, "-addr-file", addrPath,
+		"-timeout", "30s")
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+
+	addr := waitForFile(t, addrPath, 15*time.Second)
+	workers := make([]*exec.Cmd, 0, shards-1)
+	for s := 1; s < shards; s++ {
+		w := child(t, "-join", addr, "-shards", "4", "-shard", strconv.Itoa(s), "-parts", partsDir,
+			"-mesh", "-timeout", "30s")
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+	}
+	for i, w := range workers {
+		if err := w.Wait(); err != nil {
+			t.Fatalf("worker %d: %v", i+1, err)
+		}
+	}
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+
+	of, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer of.Close()
+	got, err := graphio.Read(of)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := dist.Run(dist.NewEngine(dist.Mem(), g), dist.SparsifyJob(0.75, 4, core.DefaultConfig(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != ref.Output.N || got.M() != ref.Output.M() {
+		t.Fatalf("mesh multi-process %v vs in-memory %v", got, ref.Output)
+	}
+	for i := range ref.Output.Edges {
+		if got.Edges[i] != ref.Output.Edges[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, got.Edges[i], ref.Output.Edges[i])
+		}
+	}
+}
+
+// TestMultiProcessMeshKillRecover: kill -9 under the mesh topology —
+// the dead worker takes its direct links down with it, the survivors
+// unwind to the coordinator's rollback, the respawned process (re-exec
+// inherits -mesh) announces a FRESH peer listener as it rejoins, and
+// the rebuilt mesh replays to a bit-identical output.
+func TestMultiProcessMeshKillRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	const (
+		shards = 3
+		seed   = 11
+	)
+	dir := t.TempDir()
+	g := gen.Gnp(600, 0.03, 9)
+	graphPath := filepath.Join(dir, "graph.txt")
+	f, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	partsDir := filepath.Join(dir, "parts")
+	if err := child(t, "-in", graphPath, "-shards", "3", "-split", partsDir, "-split-only").Run(); err != nil {
+		t.Fatalf("split: %v", err)
+	}
+
+	outPath := filepath.Join(dir, "sparse.txt")
+	addrPath := filepath.Join(dir, "addr")
+	coord := childCapture(t, "-listen", "127.0.0.1:0", "-shards", "3", "-parts", partsDir, "-mesh",
+		"-eps", "0.75", "-rho", "4", "-seed", "11", "-out", outPath, "-addr-file", addrPath,
+		"-timeout", "30s", "-max-respawns", "2")
+	var coordLog strings.Builder
+	coord.Stderr = &coordLog
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+
+	addr := waitForFile(t, addrPath, 15*time.Second)
+	healthy := child(t, "-join", addr, "-shards", "3", "-shard", "1", "-parts", partsDir,
+		"-mesh", "-timeout", "30s")
+	if err := healthy.Start(); err != nil {
+		t.Fatal(err)
+	}
+	doomed := child(t, "-join", addr, "-shards", "3", "-shard", "2", "-parts", partsDir,
+		"-mesh", "-timeout", "30s", "-crash-after-frames", "60")
+	if err := doomed.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := doomed.Wait(); err == nil {
+		t.Fatal("doomed worker exited cleanly; fault injection never fired")
+	}
+	if err := healthy.Wait(); err != nil {
+		t.Fatalf("surviving worker: %v\ncoordinator log:\n%s", err, coordLog.String())
+	}
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator: %v\nlog:\n%s", err, coordLog.String())
+	}
+	if !strings.Contains(coordLog.String(), "respawning shard 2") {
+		t.Fatalf("coordinator never reported the respawn:\n%s", coordLog.String())
+	}
+
+	of, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer of.Close()
+	got, err := graphio.Read(of)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := dist.Run(dist.NewEngine(dist.Mem(), g), dist.SparsifyJob(0.75, 4, core.DefaultConfig(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != ref.Output.N || got.M() != ref.Output.M() {
+		t.Fatalf("recovered mesh run %v vs in-memory %v", got, ref.Output)
+	}
+	for i := range ref.Output.Edges {
+		if got.Edges[i] != ref.Output.Edges[i] {
+			t.Fatalf("recovered edge %d differs: %+v vs %+v", i, got.Edges[i], ref.Output.Edges[i])
+		}
+	}
+}
+
+// TestAddressFlagValidation: a typo'd address flag fails before any
+// socket work, with the flag's name and the expected shape in the
+// message — not a raw dial failure mid-bring-up.
+func TestAddressFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{"listen-no-port", []string{"-listen", "127.0.0.1", "-shards", "2", "-in", "g.txt"},
+			[]string{"-listen", "host:port"}},
+		{"join-bad-port", []string{"-join", "127.0.0.1:notaport", "-shards", "2", "-shard", "1", "-in", "g.txt"},
+			[]string{"-join", "not a valid port"}},
+		{"join-no-host", []string{"-join", ":9000", "-shards", "2", "-shard", "1", "-in", "g.txt"},
+			[]string{"-join", "host"}},
+		{"peer-listen-no-host", []string{"-join", "127.0.0.1:9000", "-shards", "3", "-shard", "1",
+			"-mesh", "-peer-listen", ":0", "-in", "g.txt"},
+			[]string{"-peer-listen", "host"}},
+		{"peer-listen-without-mesh", []string{"-join", "127.0.0.1:9000", "-shards", "3", "-shard", "1",
+			"-peer-listen", "127.0.0.1:0", "-in", "g.txt"},
+			[]string{"-peer-listen", "-mesh"}},
+		{"addr-file-missing-dir", []string{"-listen", "127.0.0.1:0", "-shards", "2", "-in", "g.txt",
+			"-addr-file", "/no/such/dir/addr"},
+			[]string{"-addr-file", "does not exist"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := childCapture(t, tc.args...).CombinedOutput()
+			if err == nil {
+				t.Fatalf("bad address accepted: %v", tc.args)
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(string(out), w) {
+					t.Fatalf("error does not mention %q:\n%s", w, out)
+				}
+			}
+		})
+	}
+}
+
 func waitForFile(t *testing.T, path string, timeout time.Duration) string {
 	t.Helper()
 	deadline := time.Now().Add(timeout)

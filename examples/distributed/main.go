@@ -14,6 +14,8 @@
 //	REPRO_DIST_N=2048      vertex count of the multi-process section
 //	REPRO_DIST_SHARDS=4    process count (coordinator + workers)
 //	REPRO_DIST_ONLY=1      skip the single-process sections
+//	REPRO_DIST_MESH=1      full-mesh data plane (workers dial each other
+//	                       directly; the coordinator relays nothing)
 package main
 
 import (
@@ -119,15 +121,20 @@ func singleProcessSections() {
 func multiProcessSection() {
 	n := envInt("REPRO_DIST_N", 512)
 	shards := envInt("REPRO_DIST_SHARDS", 4)
+	mesh := os.Getenv("REPRO_DIST_MESH") != ""
 	g := mpGraph(n)
-	fmt.Printf("network transport: coordinator + %d worker processes over loopback TCP\n", shards-1)
+	plane := "star (coordinator relays)"
+	if mesh {
+		plane = "full mesh (workers dial each other)"
+	}
+	fmt.Printf("network transport: coordinator + %d worker processes over loopback TCP, %s\n", shards-1, plane)
 	fmt.Printf("  graph: n=%d m=%d, eps=%g rho=%g depth=%d seed=%d\n", n, g.M(), mpEps, mpRho, mpDepth, mpSeed)
 
 	// The Net spec's OnListen hook is where the worker processes are
 	// spawned: the address exists, no worker has been awaited yet.
 	var procs []*exec.Cmd
 	spec := dist.Net(dist.NetConfig{
-		Listen: "127.0.0.1:0", Shards: shards, Timeout: dist.DefaultNetTimeout,
+		Listen: "127.0.0.1:0", Shards: shards, Timeout: dist.DefaultNetTimeout, Mesh: mesh,
 		OnListen: func(addr string) {
 			self, err := os.Executable()
 			if err != nil {
@@ -177,7 +184,8 @@ func multiProcessSection() {
 	}
 	fmt.Printf("  m=%d -> m=%d across %d processes\n", g.M(), res.Output.M(), shards)
 	fmt.Printf("  ledger: %s\n", res.Stats)
-	fmt.Printf("  wire: %d bytes on loopback (model cross-shard: %d words)\n", res.WireBytes, res.Stats.CrossShardWords)
+	fmt.Printf("  wire: %d bytes on loopback, %d worker<->worker data bytes (model cross-shard: %d words)\n",
+		res.WireBytes, res.DataWireBytes, res.Stats.CrossShardWords)
 	fmt.Println("  VERIFIED: edge-identical to the in-memory transport, identical ledger")
 }
 
@@ -192,7 +200,8 @@ func workerMain() {
 	// Regenerate the same graph deterministically and keep only this
 	// shard's partition — the worker never holds the rest.
 	part := graph.PartitionOf(mpGraph(n), shard, shards)
-	spec := dist.Worker(dist.WorkerConfig{Join: addr, Shard: shard, Shards: shards, Timeout: dist.DefaultNetTimeout})
+	spec := dist.Worker(dist.WorkerConfig{Join: addr, Shard: shard, Shards: shards,
+		Timeout: dist.DefaultNetTimeout, Mesh: os.Getenv("REPRO_DIST_MESH") != ""})
 	if _, err := dist.Run(dist.NewPartitionEngine(spec, part), mpJob()); err != nil {
 		log.Fatalf("worker %d: %v", shard, err)
 	}

@@ -112,6 +112,47 @@ func TestBatchedFlushBytesIdentical(t *testing.T) {
 	}
 }
 
+// TestAsyncFlushBytesIdentical: the mesh plane's double-buffered
+// writer is a scheduling change, not a format change — handing batches
+// to the writer goroutine round after round must put the exact same
+// bytes on the wire, in the same order, as the synchronous per-flush
+// protocol, and a sync flush after async traffic must first drain the
+// writer so per-connection byte order is preserved.
+func TestAsyncFlushBytesIdentical(t *testing.T) {
+	tr := &NetTransport{timeout: time.Second}
+	conn := &memConn{}
+	p := newPeerConn(tr, conn)
+	const rounds = 20 // > asyncWriterDepth, so enqueue back-pressure and batch recycling both run
+	for r := 0; r < rounds; r++ {
+		writeTestFrames(t, p)
+		if err := p.flushAsync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeTestFrames(t, p) // final batch goes through the sync path, which must drain first
+	if err := p.flush(); err != nil {
+		t.Fatal(err)
+	}
+	p.stopWriter()
+	got := append([]byte(nil), conn.wr.Bytes()...)
+
+	refTr := &NetTransport{timeout: time.Second}
+	refConn := &memConn{}
+	ref := newPeerConn(refTr, refConn)
+	for r := 0; r < rounds+1; r++ {
+		writeTestFrames(t, ref)
+		if err := ref.flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, refConn.wr.Bytes()) {
+		t.Fatalf("async stream differs from sync reference: %d vs %d bytes", len(got), refConn.wr.Len())
+	}
+	if tr.wireBytes != refTr.wireBytes {
+		t.Fatalf("WireBytes %d != sync reference %d", tr.wireBytes, refTr.wireBytes)
+	}
+}
+
 // TestReadFrameReassemblesChunkedBatch: the receive side must
 // reconstruct every frame of a batch regardless of how the kernel
 // fragments it — byte at a time, split inside headers, split inside

@@ -30,11 +30,12 @@
 //
 // A TransportSpec is a value describing how the job's rounds execute:
 // Mem() (single-process, the default), Sharded(p) (p worker
-// goroutines), Loopback(p) (coordinator + p−1 worker goroutines over
-// real loopback TCP sockets), and the real multi-process pair
-// Net(NetConfig)/Worker(WorkerConfig). Specs carry no connections;
-// Run materializes, drives, and tears down the transport they
-// describe.
+// goroutines), Loopback(p) / Mesh(p) (coordinator + p−1 worker
+// goroutines over real loopback TCP sockets, on the star and full-mesh
+// data planes respectively), and the real multi-process pair
+// Net(NetConfig)/Worker(WorkerConfig), whose Mesh fields select the
+// full-mesh plane. Specs carry no connections; Run materializes,
+// drives, and tears down the transport they describe.
 //
 // Engine binds a spec to an input — NewEngine for a full graph,
 // NewPartitionEngine for one shard loaded from a partition file
@@ -104,16 +105,47 @@
 // each barrier: a no-op re-application in one process, the
 // boundary-edge knowledge transfer across processes.
 //
+// # Topology: star and full mesh
+//
 // On the network path (net.go, wire.go) each shard is an OS process
 // and the buckets become batched fixed-size binary frames flushed over
-// TCP at every barrier, relayed through the shard-0 coordinator in a
-// star (full mesh is the ROADMAP's next transport). The barrier
-// doubles as the round-tally handshake — every process ships the tally
-// of what it staged, the coordinator reduces, every engine bills the
-// global tally — so the ledger is identical on every process.
-// Loop-control values a single process reads off shared memory travel
-// as small unbilled collectives (AllMaxInt32/AllOrBits/AllGatherInt32s)
-// piggybacked on the barrier.
+// TCP at every barrier. Two data planes exist:
+//
+//   - Star (Loopback, Net/Worker): every worker holds one connection,
+//     to the shard-0 coordinator, which relays worker↔worker round
+//     batches — each such batch crosses the wire twice (origin →
+//     coordinator, coordinator → destination) and the coordinator's
+//     socket is the fleet's hot spot. Minimal connection count (P−1),
+//     nothing to bring up beyond the joins; the right default for
+//     small fleets and for tests.
+//
+//   - Full mesh (Mesh, NetConfig.Mesh + WorkerConfig.Mesh): workers
+//     additionally dial each other directly (each binds a peer
+//     listener, announces it during the join handshake, and the
+//     coordinator broadcasts the address book at the top of every
+//     attempt; lower shard dials, higher shard accepts, so bring-up is
+//     acyclic and cannot deadlock). Worker↔worker batches travel
+//     exactly once — Result.DataWireBytes is exactly half the star's
+//     for the same run — and the hub carries only control, tally, and
+//     collective frames. O(P²) connections; the right choice when the
+//     relayed volume or the coordinator's socket is the bottleneck.
+//     At P ≤ 2 there is no worker↔worker traffic and the mesh runs the
+//     star protocol verbatim.
+//
+// The planes are byte-compatible where they overlap (the star's frame
+// stream is untouched by mesh support; the mesh flag rides an
+// otherwise-unused header field of the hello/welcome handshake, which
+// rejects a mixed fleet loudly). Output, Stats, and the round schedule
+// are identical on both — only WireBytes, DataWireBytes, and the wall
+// clock differ, which E13's star-vs-mesh sweep and the goldens in
+// wirebytes_golden_test.go pin.
+//
+// The barrier doubles as the round-tally handshake — every process
+// ships the tally of what it staged, the coordinator reduces, every
+// engine bills the global tally — so the ledger is identical on every
+// process. Loop-control values a single process reads off shared
+// memory travel as small unbilled collectives
+// (AllMaxInt32/AllOrBits/AllGatherInt32s) piggybacked on the barrier.
 //
 // # Wire batching and buffer reuse
 //
@@ -124,14 +156,27 @@
 // WireBytes at append time so accounting is byte-identical to the
 // per-frame protocol. flush hands the whole batch to the kernel as one
 // vectored write — a round barrier costs one syscall per peer instead
-// of one per frame. Every protocol path flushes before it reads, so
-// the strict write-then-read alternation that keeps the star barrier
-// deadlock-free is unchanged; heartbeats bypass the batch and may hit
-// the wire ahead of pending frames, which is safe because readFrame
-// consumes them transparently at any stream position
-// (batch_test.go pins byte-identity and chunked reassembly, and the
-// WireBytes goldens in wirebytes_golden_test.go pin the totals across
-// the batching change).
+// of one per frame.
+//
+// On the mesh plane the per-peer round batches are double-buffered:
+// flushAsync hands the sealed batch to the connection's writer
+// goroutine and returns immediately, so round r's bytes are on the
+// wire while round r+1 computes, and pooled payload buffers are
+// reclaimed only after the write completes (mesh.go). The protocol
+// invariant this preserves is strict write-then-read alternation PER
+// PEER — a process never reads from a peer before everything it owes
+// that peer is queued in order on that peer's connection; whether the
+// bytes leave synchronously (star, collectives, the hub tally) or on
+// the writer goroutine (mesh data batches) cannot deadlock the
+// barrier, because each side's reads are against traffic the other
+// side has already queued. A synchronous flush on a connection first
+// drains its writer, so per-connection byte order is exactly the
+// per-frame protocol's. Heartbeats bypass the batch and may hit the
+// wire ahead of pending frames, which is safe because readFrame
+// consumes them transparently at any stream position (batch_test.go
+// pins byte-identity for both flush paths and chunked reassembly, and
+// the WireBytes goldens in wirebytes_golden_test.go pin the totals
+// across the batching change).
 //
 // Payload buffers cycle through a per-transport size-classed freelist
 // (getBuf/putBuf): reads draw from it, relays retire forwarded buffers
@@ -168,8 +213,14 @@
 // without a single network round and resumes live execution
 // bit-identically — kill -9 a worker mid-run and the final output and
 // ledger equal the failure-free run's (the recovery suite and
-// cmd/distworker's kill-recover test pin this). Coordinator failure,
-// protocol violations, and checksum mismatches remain fatal.
+// cmd/distworker's kill-recover tests pin this, on both data planes).
+// Recovery survives the mesh topology: a dead worker takes its direct
+// links down with it, survivors unwind from the mesh EOF to the hub's
+// rollback frame, the rollback ack tears every link down, the
+// respawned shard announces a fresh peer listener as it rejoins, and
+// the next attempt rebuilds the mesh from the re-broadcast address
+// book. Coordinator failure, protocol violations, and checksum
+// mismatches remain fatal.
 //
 // Per-worker memory is O(n + m_incident) words on a partition run —
 // enforced, not aspirational. A partition view (view.go) stores edges,

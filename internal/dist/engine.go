@@ -60,9 +60,16 @@ type Result[R any] struct {
 	PeakViewWords int
 	// WireBytes is the total bytes put on real sockets, frame headers
 	// included: zero for the in-process specs, the sum across all
-	// processes at a Loopback or Net coordinator, and this process's
-	// own bytes on a Worker engine.
+	// processes at a Loopback, Mesh, or Net coordinator, and this
+	// process's own bytes on a Worker engine.
 	WireBytes int64
+	// DataWireBytes is the worker↔worker round-batch subset of
+	// WireBytes — the bytes the data-plane topology governs. The star
+	// (Loopback, Net) writes every such batch twice fleet-wide (origin
+	// to coordinator, coordinator to destination); the full mesh
+	// (Mesh, NetConfig.Mesh) writes it once, exactly halving this
+	// counter for the same run.
+	DataWireBytes int64
 }
 
 // Run executes a job on an engine and returns the typed result. (This
@@ -88,7 +95,7 @@ func Run[R any](e *Engine, job Job[R]) (Result[R], error) {
 	switch e.spec.kind {
 	case specDefault, specMem, specSharded:
 		return runInProcess(e, job)
-	case specLoopback:
+	case specLoopback, specMesh:
 		return runLoopbackJob(e, job)
 	case specNet:
 		return runNetCoordinatorJob(e, job)
@@ -152,7 +159,7 @@ func runNetCoordinatorJob[R any](e *Engine, job Job[R]) (Result[R], error) {
 	if err != nil {
 		return Result[R]{}, err
 	}
-	tr, err := ListenNet(e.spec.listen, part.N, e.spec.shards, e.spec.timeoutOrDefault())
+	tr, err := listenNet(e.spec.listen, part.N, e.spec.shards, e.spec.timeoutOrDefault(), e.spec.mesh)
 	if err != nil {
 		return Result[R]{}, err
 	}
@@ -186,8 +193,8 @@ func runNetWorkerJob[R any](e *Engine, job Job[R]) (Result[R], error) {
 	if err != nil {
 		return Result[R]{}, err
 	}
-	tr, err := joinNetRetry(e.spec.join, part.N, e.spec.shard, e.spec.shards,
-		e.spec.timeoutOrDefault(), e.spec.joinRetry)
+	tr, err := joinNetRetry(e.spec.join, e.spec.peerListen, part.N, e.spec.shard, e.spec.shards,
+		e.spec.timeoutOrDefault(), e.spec.joinRetry, e.spec.mesh)
 	if err != nil {
 		return Result[R]{}, err
 	}
@@ -211,10 +218,10 @@ func runNetWorkerJob[R any](e *Engine, job Job[R]) (Result[R], error) {
 // joinNetRetry dials the coordinator, retrying refused or failed joins
 // for up to the retry window — how a respawned (or -resume) worker
 // rejoins a coordinator that is still tearing down its predecessor.
-func joinNetRetry(addr string, n, shard, shards int, timeout, retry time.Duration) (*NetTransport, error) {
+func joinNetRetry(addr, peerListen string, n, shard, shards int, timeout, retry time.Duration, mesh bool) (*NetTransport, error) {
 	deadline := time.Now().Add(retry)
 	for {
-		tr, err := JoinNet(addr, n, shard, shards, timeout)
+		tr, err := joinNet(addr, peerListen, n, shard, shards, timeout, mesh)
 		if err == nil || !time.Now().Before(deadline) {
 			return tr, err
 		}
@@ -225,7 +232,8 @@ func joinNetRetry(addr string, n, shard, shards int, timeout, retry time.Duratio
 // runLoopbackJob runs the whole multi-process protocol inside this
 // process: a coordinator plus shards−1 worker goroutines, each on its
 // own NetTransport over real loopback TCP sockets and each
-// materializing only its partition.
+// materializing only its partition. It serves both the Loopback spec
+// (star relay) and the Mesh spec (direct worker↔worker links).
 func runLoopbackJob[R any](e *Engine, job Job[R]) (Result[R], error) {
 	if e.g == nil {
 		return Result[R]{}, fmt.Errorf("dist: the %s spec needs a full graph (use NewEngine)", e.spec)
@@ -233,7 +241,7 @@ func runLoopbackJob[R any](e *Engine, job Job[R]) (Result[R], error) {
 	g := e.g
 	p := graph.ClampShards(g.N, e.spec.shards)
 	var res Result[R]
-	err := runLoopback(g.N, p, e.spec.timeoutOrDefault(),
+	err := runLoopback(g.N, p, e.spec.timeoutOrDefault(), e.spec.mesh,
 		func(coord *NetTransport) error {
 			var err error
 			res, err = runNetJob(coord, graph.PartitionOf(g, 0, p), job, &ckptState{})

@@ -11,8 +11,9 @@ import (
 )
 
 // The cross-transport equivalence matrix: ONE table sweeping every
-// TransportSpec — {Mem, Sharded, Loopback (net)} × shards {1, 2, 3, 7}
-// — over both built-in jobs and representative graphs, asserting
+// TransportSpec — {Mem, Sharded, Loopback (star net), Mesh (full-mesh
+// net)} × shards {1, 2, 3, 7} — over both built-in jobs and
+// representative graphs, asserting
 // edge-identical outputs and an identical Stats ledger everywhere
 // through the single Engine.Run entry point. This is the single
 // readable pin of the package's central invariant — transports move
@@ -104,6 +105,7 @@ func TestCrossTransportEquivalenceMatrix(t *testing.T) {
 				}{
 					{"sharded", dist.Sharded(p)},
 					{"net", dist.Loopback(p).WithTimeout(matrixTimeout)},
+					{"mesh", dist.Mesh(p).WithTimeout(matrixTimeout)},
 				}
 				for _, sc := range specs {
 					sc := sc

@@ -11,7 +11,14 @@ import (
 // worker goroutine per shard, MemTransport with the grain-adaptive
 // in-process worker partition, and NetTransport with one OS process per
 // shard — the buckets a process stages for remote shards are exactly
-// the byte batches it flushes onto the wire at the round barrier.
+// the byte batches it flushes onto the wire at the round barrier. The
+// rows are keyed by destination shard, so the staging is already
+// direct-destination: the star plane serializes each bucket into a
+// frame addressed From→To and relays it through the coordinator, while
+// the mesh plane writes the identical frame straight onto the
+// destination peer's connection (and hands the flush to that
+// connection's writer goroutine) — the exchange core cannot tell the
+// planes apart.
 //
 // Staging discipline. A message is appended to the row of the worker
 // that stages it, so rows need no locks:

@@ -1,0 +1,617 @@
+package dist
+
+// The full-mesh data plane of the network transport (the Mesh spec /
+// NetConfig.Mesh): workers dial each other directly and exchange their
+// round batches peer-to-peer, so a cross-shard batch crosses the wire
+// once instead of being relayed twice through the coordinator, and
+// shard 0 stops being the fleet's bandwidth hot spot. The hub
+// connections keep carrying everything else — the join handshake,
+// tallies, collectives, blobs, and the recovery protocol — unchanged.
+//
+// Bring-up happens once per attempt (setupDataPlane): each worker
+// announced its peer listener address during the join handshake, the
+// coordinator broadcasts the assembled address book, and every worker
+// dials its lower-numbered peers while accepting its higher-numbered
+// ones. Each direct link runs the full connection discipline of the
+// hub: heartbeats in both directions, a per-direction CRC-32C stream
+// checksum cross-checked at every barrier, and frame batching through
+// the shared net.Buffers arena.
+//
+// On top of the direct links the barrier double-buffers: flushAsync
+// hands a completed vectored batch to a per-connection writer
+// goroutine and returns, so the round goroutine encodes the next
+// peer's batch (and, across barriers, computes round r+1) while round
+// r's bytes drain to the kernel. The write-then-read alternation that
+// keeps the protocol deadlock-free is preserved per peer: a worker
+// enqueues its batch to peer d before it reads from d, and sync
+// operations (collectives, handshakes) drain the async writer first,
+// so on any single connection the byte order is exactly the star
+// protocol's.
+//
+// Recovery composes with the mesh unchanged from PR 6's machinery: a
+// worker that loses a mesh link parks on its hub waiting for the
+// rollback the coordinator will announce (the same death is visible
+// there), every survivor tears its links down before acking, the
+// respawned shard announces a fresh listener when it rejoins, and the
+// next attempt rebuilds the mesh from the re-broadcast book and
+// replays deterministically.
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+const (
+	// meshFlagRound marks a hello/welcome frame header as
+	// mesh-enabled. The flag rides the Round field — unused at
+	// handshake time — so the hello payload encoding is byte-identical
+	// to the star's and a mixed star/mesh fleet fails loudly at the
+	// handshake.
+	meshFlagRound = 1
+	// maxMeshAddrLen bounds an announced peer listener address.
+	maxMeshAddrLen = 512
+	// asyncWriterDepth is the writer goroutine's queue depth: how many
+	// flushed batches may be in flight on one connection before
+	// flushAsync blocks. The ack channel holds strictly more so the
+	// writer can never stall acking while the round goroutine stalls
+	// enqueueing.
+	asyncWriterDepth = 4
+)
+
+// meshActive reports whether the full-mesh data plane is in effect.
+// With p ≤ 2 there is no worker↔worker traffic to carry, so a mesh
+// run executes the star protocol exactly (no links, no book).
+func (t *NetTransport) meshActive() bool { return t.mesh && t.part.p > 2 }
+
+// pendingBatch is one flushed-but-not-yet-written batch owned by a
+// connection's writer goroutine: the vectored buffers, the pooled
+// payloads to reclaim after the write, and the header-arena chunks
+// the batch's frame headers live in.
+type pendingBatch struct {
+	bufs   net.Buffers
+	retire [][]byte
+	chunks [][]byte
+	err    error
+}
+
+// writerLoop is the connection's dedicated writer: one vectored write
+// per batch, serialized with the heartbeat sender (and any sync
+// flush) by wmu. It touches no transport state — every buffer flows
+// back to the round goroutine through the ack channel.
+func (p *peerConn) writerLoop() {
+	defer close(p.writerDone)
+	for b := range p.writerCh {
+		p.wmu.Lock()
+		_ = p.c.SetWriteDeadline(time.Now().Add(p.t.timeout))
+		bufs := b.bufs // WriteTo consumes its receiver; keep b.bufs for reclaim
+		_, err := bufs.WriteTo(p.c)
+		p.wmu.Unlock()
+		b.err = err
+		p.writerAck <- b
+	}
+}
+
+// takeSpare returns a recycled pendingBatch (or a fresh one), its
+// slices emptied but their capacity retained.
+func (p *peerConn) takeSpare() *pendingBatch {
+	if n := len(p.spare); n > 0 {
+		b := p.spare[n-1]
+		p.spare[n-1] = nil
+		p.spare = p.spare[:n-1]
+		return b
+	}
+	return &pendingBatch{}
+}
+
+// reclaimBatch retires one acked batch on the round goroutine: pooled
+// payloads return to the freelist, header chunks to the spare arena,
+// the first write error sticks.
+func (p *peerConn) reclaimBatch(b *pendingBatch) {
+	if b.err != nil && p.werr == nil {
+		p.werr = b.err
+	}
+	for i, buf := range b.retire {
+		p.t.putBuf(buf)
+		b.retire[i] = nil
+	}
+	b.retire = b.retire[:0]
+	p.spareChunks = append(p.spareChunks, b.chunks...)
+	for i := range b.chunks {
+		b.chunks[i] = nil
+	}
+	b.chunks = b.chunks[:0]
+	for i := range b.bufs {
+		b.bufs[i] = nil
+	}
+	b.bufs = b.bufs[:0]
+	b.err = nil
+	p.inflight--
+	p.spare = append(p.spare, b)
+}
+
+// reclaimAcks drains the ack channel, blocking until every in-flight
+// batch is reclaimed when block is set.
+func (p *peerConn) reclaimAcks(block bool) {
+	for p.inflight > 0 {
+		if block {
+			p.reclaimBatch(<-p.writerAck)
+			continue
+		}
+		select {
+		case b := <-p.writerAck:
+			p.reclaimBatch(b)
+		default:
+			return
+		}
+	}
+}
+
+// flushAsync hands the pending batch to the writer goroutine and
+// returns without waiting for the socket — the double-buffering seam:
+// the caller proceeds to stage (or read) while the batch drains.
+// Resources are reclaimed on this goroutine when a later flushAsync,
+// flush, or drainAsync observes the write's ack. Write errors are
+// sticky and surface on the next flush of any kind; by then the read
+// side of the same failure has usually surfaced too, and error
+// attribution happens there.
+func (p *peerConn) flushAsync() error {
+	p.reclaimAcks(false)
+	if p.werr != nil {
+		return p.werr
+	}
+	if len(p.pending) == 0 {
+		return nil
+	}
+	if p.writerCh == nil {
+		p.writerCh = make(chan *pendingBatch, asyncWriterDepth)
+		p.writerAck = make(chan *pendingBatch, 2*asyncWriterDepth)
+		p.writerDone = make(chan struct{})
+		go p.writerLoop()
+	}
+	// Swap the staging slices wholesale: the batch takes the pending
+	// buffers, the retire list, and the header arena; the connection
+	// stages the next batch into the (emptied) slices of a previously
+	// reclaimed one, so steady state allocates nothing.
+	b := p.takeSpare()
+	b.bufs, p.pending = p.pending, net.Buffers(b.bufs[:0])
+	b.retire, p.retire = p.retire, b.retire[:0]
+	b.chunks, p.hdrChunks = p.hdrChunks, b.chunks[:0]
+	p.pendingBytes = 0
+	p.hdrUsed = 0
+	p.inflight++
+	p.writerCh <- b
+	return nil
+}
+
+// drainAsync blocks until every batch handed to the writer goroutine
+// has hit the socket (or failed) and is reclaimed. flush calls it
+// first, so on any one connection the sync protocol (collectives,
+// handshakes, the hub tally exchange) observes its bytes strictly
+// after the async round traffic — per-connection protocol order is
+// untouched by double buffering.
+func (p *peerConn) drainAsync() error {
+	p.reclaimAcks(true)
+	return p.werr
+}
+
+// stopWriter shuts the writer goroutine down after its queue drains.
+func (p *peerConn) stopWriter() {
+	if p.writerCh == nil {
+		return
+	}
+	close(p.writerCh)
+	<-p.writerDone
+	p.reclaimAcks(true)
+	p.writerCh = nil
+}
+
+// abort tears a connection down without waiting for in-flight writes:
+// the socket closes first, so a writer goroutine blocked on a dead or
+// stalled peer fails immediately instead of waiting out its deadline.
+// Used by teardownMesh during a recovery rollback.
+func (p *peerConn) abort() {
+	_ = p.c.Close()
+	p.stopHeartbeats()
+	if p.werr == nil {
+		p.werr = fmt.Errorf("connection aborted")
+	}
+	p.stopWriter()
+}
+
+// teardownMesh drops every direct worker↔worker link (on a rollback,
+// and at final Close). The peer listener stays open: its address —
+// announced once at the join handshake — remains valid in the
+// coordinator's book across attempts, and only a respawned shard
+// announces a new one.
+func (t *NetTransport) teardownMesh() {
+	for s, pc := range t.meshPeers {
+		if pc != nil {
+			pc.abort()
+			t.meshPeers[s] = nil
+		}
+	}
+}
+
+// encodeAddrBook packs the coordinator's address book (indexed by
+// shard; entries 0 and self are empty) for the bring-up broadcast.
+func encodeAddrBook(addrs []string) []byte {
+	n := 4
+	for _, a := range addrs {
+		n += 4 + len(a)
+	}
+	b := make([]byte, 0, n)
+	var u [4]byte
+	putU32(u[:], uint32(len(addrs)))
+	b = append(b, u[:]...)
+	for _, a := range addrs {
+		putU32(u[:], uint32(len(a)))
+		b = append(b, u[:]...)
+		b = append(b, a...)
+	}
+	return b
+}
+
+// decodeAddrBook unpacks a broadcast address book, validating the
+// shard count and every length against the blob.
+func decodeAddrBook(blob []byte, p int) ([]string, error) {
+	if len(blob) < 4 {
+		return nil, fmt.Errorf("dist: short mesh address book (%d bytes)", len(blob))
+	}
+	if count := int(getU32(blob)); count != p {
+		return nil, fmt.Errorf("dist: mesh address book has %d entries, want %d", count, p)
+	}
+	blob = blob[4:]
+	addrs := make([]string, p)
+	for i := range addrs {
+		if len(blob) < 4 {
+			return nil, fmt.Errorf("dist: truncated mesh address book at entry %d", i)
+		}
+		l := int(getU32(blob))
+		blob = blob[4:]
+		if l > maxMeshAddrLen || len(blob) < l {
+			return nil, fmt.Errorf("dist: truncated mesh address book at entry %d", i)
+		}
+		addrs[i] = string(blob[:l])
+		blob = blob[l:]
+	}
+	return addrs, nil
+}
+
+// setupDataPlane establishes the attempt's worker↔worker links when
+// the full-mesh data plane is active: the coordinator broadcasts the
+// address book it collected at the join handshakes, and every worker
+// dials its lower-numbered peers then accepts its higher-numbered
+// ones. Lower-dials-higher-accepts is acyclic, and a dial needs only
+// the peer's listener to exist — TCP's accept backlog parks the
+// connection until the acceptor finishes its own dials — so bring-up
+// cannot deadlock. Called at the top of every attempt: a rollback
+// tears every link down, the respawned shard announces a fresh
+// listener as it rejoins, and the next attempt rebuilds from the
+// fresh book.
+func (t *NetTransport) setupDataPlane() error {
+	if !t.meshActive() {
+		return nil
+	}
+	if t.self == 0 {
+		// Wait for every join handshake BEFORE encoding the book — the
+		// handshakes are what fill meshAddrs in.
+		if err := t.WaitReady(); err != nil {
+			return err
+		}
+		_, err := t.BroadcastBlob(encodeAddrBook(t.meshAddrs))
+		return err
+	}
+	blob, err := t.BroadcastBlob(nil)
+	if err != nil {
+		return err
+	}
+	book, err := decodeAddrBook(blob, t.part.p)
+	if err != nil {
+		return err
+	}
+	return t.meshConnect(book)
+}
+
+// meshConnect builds this worker's direct links from the address
+// book. Every link is validated by a hello/welcome pair carrying the
+// same (version, n, shards) contract as the hub handshake plus the
+// acceptor's shard id, so a crossed wire or stale peer fails loudly
+// before any round runs.
+func (t *NetTransport) meshConnect(book []string) error {
+	p := t.part.p
+	if t.meshPeers == nil {
+		t.meshPeers = make([]*peerConn, p)
+	}
+	for d := 1; d < t.self; d++ {
+		c, err := net.DialTimeout("tcp", book[d], t.timeout)
+		if err != nil {
+			return t.meshFail(fmt.Errorf("dialing shard %d at %q: %w", d, book[d], err))
+		}
+		pc := newPeerConn(t, c)
+		var hb [helloSize]byte
+		putHello(hb[:], hello{Version: wireVersion, N: uint64(t.part.n), Shard: uint32(t.self), Shards: uint32(p)})
+		if err := pc.writeFrame(frameHeader{Type: frameMeshHello, From: uint16(t.self)}, hb[:]); err == nil {
+			err = pc.flush()
+		} else {
+			err = fmt.Errorf("mesh hello: %w", err)
+		}
+		if err != nil {
+			c.Close()
+			return t.meshFail(fmt.Errorf("shard %d handshake: %w", d, err))
+		}
+		_, payload, err := pc.readFrame(frameMeshWelcome)
+		if err != nil {
+			c.Close()
+			return t.meshFail(fmt.Errorf("shard %d handshake: %w", d, err))
+		}
+		got := parseHello(payload)
+		t.putBuf(payload)
+		if got.Version != wireVersion || got.N != uint64(t.part.n) || got.Shards != uint32(p) || int(got.Shard) != d {
+			c.Close()
+			return t.meshFail(fmt.Errorf("shard %d peer config mismatch: %+v", d, got))
+		}
+		pc.startHeartbeats()
+		t.meshPeers[d] = pc
+	}
+	need := p - 1 - t.self
+	type deadliner interface{ SetDeadline(time.Time) error }
+	dl, _ := t.meshLn.(deadliner)
+	deadline := time.Now().Add(t.timeout)
+	for need > 0 {
+		if dl != nil {
+			_ = dl.SetDeadline(deadline)
+		}
+		c, err := t.meshLn.Accept()
+		if err != nil {
+			return t.meshFail(fmt.Errorf("accepting mesh peers (%d missing): %w", need, err))
+		}
+		pc := newPeerConn(t, c)
+		s, err := t.acceptMeshHandshake(pc)
+		if err != nil {
+			// Like the coordinator's join window: a stray (port scanner,
+			// stale dial of a rolled-back attempt) is closed and skipped,
+			// never allowed to abort the fleet. The deadline slides only
+			// on successful links.
+			c.Close()
+			continue
+		}
+		t.meshPeers[s] = pc
+		pc.startHeartbeats()
+		need--
+		deadline = time.Now().Add(t.timeout)
+	}
+	return nil
+}
+
+// acceptMeshHandshake validates one inbound direct link: version and
+// sizes, a shard id that is higher-numbered and not already linked.
+func (t *NetTransport) acceptMeshHandshake(pc *peerConn) (int, error) {
+	_, payload, err := pc.readFrame(frameMeshHello)
+	if err != nil {
+		return 0, err
+	}
+	h := parseHello(payload)
+	t.putBuf(payload)
+	if h.Version != wireVersion || h.N != uint64(t.part.n) || h.Shards != uint32(t.part.p) {
+		return 0, fmt.Errorf("dist: mesh peer config mismatch: %+v", h)
+	}
+	s := int(h.Shard)
+	if s <= t.self || s >= t.part.p || t.meshPeers[s] != nil {
+		return 0, fmt.Errorf("dist: bad or duplicate mesh peer shard %d", s)
+	}
+	var wb [helloSize]byte
+	putHello(wb[:], hello{Version: wireVersion, N: uint64(t.part.n), Shard: uint32(t.self), Shards: uint32(t.part.p)})
+	if err := pc.writeFrame(frameHeader{Type: frameMeshWelcome, From: uint16(t.self)}, wb[:]); err != nil {
+		return 0, err
+	}
+	if err := pc.flush(); err != nil {
+		return 0, err
+	}
+	return s, nil
+}
+
+// meshFail handles a failed direct link on a worker. A dead mesh peer
+// is not fatal for the fleet: the coordinator sees the same death on
+// its own hub link and announces a rollback, so park on the hub
+// waiting for it (skipping any hub frames of the broken attempt
+// undecoded) and surface it as *rollbackError for the normal recovery
+// path. If no rollback arrives within the drain window the failure is
+// fatal.
+func (t *NetTransport) meshFail(err error) error {
+	deadline := time.Now().Add(2 * t.timeout)
+	for {
+		_ = t.hub.c.SetReadDeadline(deadline)
+		var hb [headerSize]byte
+		if _, e := io.ReadFull(t.hub.br, hb[:]); e != nil {
+			break
+		}
+		h, e := parseHeader(hb[:])
+		if e != nil {
+			break
+		}
+		if h.Type == frameRollback {
+			return &rollbackError{generation: h.Round}
+		}
+		n, e := payloadLen(h)
+		if e != nil {
+			break
+		}
+		if n > 0 {
+			if _, e := io.CopyN(io.Discard, t.hub.br, int64(n)); e != nil {
+				break
+			}
+		}
+	}
+	return fmt.Errorf("mesh data plane: %w", err)
+}
+
+// endRoundMeshWorker is the worker barrier on the full-mesh data
+// plane. Writes: one frameRound + frameCheck per direct peer, each
+// handed to that connection's writer goroutine (flushAsync) so the
+// next peer's batch is encoded while the previous one drains; then
+// the shard-0 batch, the local tally, and the stream check on the
+// hub. Reads: each direct peer's batch + check, then the
+// coordinator's batch, the global tally, and its check. The batch to
+// peer d is always enqueued before d is read — the per-peer
+// write-then-read alternation — and delivery stays in global origin
+// order (0..p−1), so mailbox order and every downstream decision are
+// bit-identical to the star and in-process transports.
+func (t *NetTransport) endRoundMeshWorker(round int, local RoundTally) (RoundTally, error) {
+	self, p := t.self, t.part.p
+	for d := 1; d < p; d++ {
+		if d == self {
+			continue
+		}
+		pc := t.meshPeers[d]
+		batch := t.x.takeRow(self, d)
+		h := frameHeader{Type: frameRound, From: uint16(self), To: uint16(d), Round: uint32(round), Count: uint32(len(batch))}
+		payload := t.encodeEnvelopes(batch)
+		if err := pc.writeFrame(h, payload); err != nil {
+			return RoundTally{}, t.meshFail(fmt.Errorf("link to shard %d: %w", d, err))
+		}
+		pc.retireBuf(payload)
+		if err := pc.writeCheck(uint32(round)); err != nil {
+			return RoundTally{}, t.meshFail(fmt.Errorf("link to shard %d: %w", d, err))
+		}
+		if err := pc.flushAsync(); err != nil {
+			return RoundTally{}, t.meshFail(fmt.Errorf("link to shard %d: %w", d, err))
+		}
+	}
+	batch := t.x.takeRow(self, 0)
+	h := frameHeader{Type: frameRound, From: uint16(self), Round: uint32(round), Count: uint32(len(batch))}
+	payload := t.encodeEnvelopes(batch)
+	if err := t.hub.writeFrame(h, payload); err != nil {
+		return RoundTally{}, err
+	}
+	t.hub.retireBuf(payload)
+	var tb [tallySize]byte
+	putTally(tb[:], local)
+	if err := t.hub.writeFrame(frameHeader{Type: frameTally, From: uint16(self), Round: uint32(round)}, tb[:]); err != nil {
+		return RoundTally{}, err
+	}
+	if err := t.hub.writeCheck(uint32(round)); err != nil {
+		return RoundTally{}, err
+	}
+	if err := t.hub.flush(); err != nil {
+		return RoundTally{}, err
+	}
+
+	// Read the inbound barrier raw and decode only after each stream's
+	// checksum verifies, exactly like the star worker.
+	payloads := make([][]byte, p)
+	for d := 1; d < p; d++ {
+		if d == self {
+			continue
+		}
+		pc := t.meshPeers[d]
+		rh, payload, err := pc.readFrame(frameRound)
+		if err != nil {
+			return RoundTally{}, t.meshFail(fmt.Errorf("link to shard %d: %w", d, err))
+		}
+		if int(rh.From) != d || int(rh.To) != self || int(rh.Round) != round {
+			return RoundTally{}, t.meshFail(fmt.Errorf("link to shard %d: misrouted batch %+v (want from %d to %d round %d)", d, rh, d, self, round))
+		}
+		payloads[d] = payload
+		if err := pc.readCheck(uint32(round)); err != nil {
+			return RoundTally{}, t.meshFail(fmt.Errorf("link to shard %d: %w", d, err))
+		}
+	}
+	rh, payload, err := t.hub.readFrame(frameRound)
+	if err != nil {
+		return RoundTally{}, err
+	}
+	if rh.From != 0 || int(rh.To) != self || int(rh.Round) != round {
+		return RoundTally{}, fmt.Errorf("misrouted batch %+v (want from 0 to %d round %d)", rh, self, round)
+	}
+	payloads[0] = payload
+	th, tallyPayload, err := t.hub.readFrame(frameTally)
+	if err != nil {
+		return RoundTally{}, err
+	}
+	if int(th.Round) != round {
+		return RoundTally{}, fmt.Errorf("global tally for round %d, want round %d", th.Round, round)
+	}
+	global := parseTally(tallyPayload)
+	t.putBuf(tallyPayload)
+	if err := t.hub.readCheck(uint32(round)); err != nil {
+		return RoundTally{}, err
+	}
+
+	t.x.clearMailboxes(self)
+	var discard RoundTally
+	for d := 0; d < p; d++ {
+		if d == self {
+			t.x.deliverInto(&discard, t.x.takeRow(self, self))
+			continue
+		}
+		t.x.deliverInto(&discard, t.decodeEnvelopes(payloads[d]))
+		t.putBuf(payloads[d])
+	}
+	return global, nil
+}
+
+// endRoundMeshCoordinator is the coordinator barrier on the full-mesh
+// data plane: no relay. Each worker's hub stream carries only its
+// shard-0 batch, its local tally, and its stream check; the
+// coordinator merges the tallies and writes back its own batch, the
+// global tally, and its check per worker.
+func (t *NetTransport) endRoundMeshCoordinator(round int, local RoundTally) (RoundTally, error) {
+	p := t.part.p
+	global := local
+	payloads := make([][]byte, p)
+	for w := 1; w < p; w++ {
+		h, payload, err := t.peers[w].readFrame(frameRound)
+		if err != nil {
+			return RoundTally{}, t.peerFail(w, fmt.Errorf("reading shard %d: %w", w, err))
+		}
+		if int(h.From) != w || h.To != 0 || int(h.Round) != round {
+			return RoundTally{}, t.peerFail(w, fmt.Errorf("bad batch header %+v from shard %d round %d", h, w, round))
+		}
+		payloads[w] = payload
+		th, tb, err := t.peers[w].readFrame(frameTally)
+		if err != nil {
+			return RoundTally{}, t.peerFail(w, fmt.Errorf("reading shard %d tally: %w", w, err))
+		}
+		if int(th.From) != w || int(th.Round) != round {
+			return RoundTally{}, t.peerFail(w, fmt.Errorf("bad tally header %+v from shard %d round %d", th, w, round))
+		}
+		wt := parseTally(tb)
+		t.putBuf(tb)
+		if err := t.peers[w].readCheck(uint32(round)); err != nil {
+			return RoundTally{}, t.peerFail(w, fmt.Errorf("shard %d: %w", w, err))
+		}
+		global = mergeTallies([]RoundTally{global, wt})
+	}
+	var gtb [tallySize]byte
+	putTally(gtb[:], global)
+	for r := 1; r < p; r++ {
+		payload := t.encodeEnvelopes(t.x.takeRow(0, r))
+		h := frameHeader{Type: frameRound, To: uint16(r), Round: uint32(round), Count: uint32(len(payload) / envelopeSize)}
+		if err := t.peers[r].writeFrame(h, payload); err != nil {
+			return RoundTally{}, t.peerFail(r, err)
+		}
+		t.peers[r].retireBuf(payload)
+		if err := t.peers[r].writeFrame(frameHeader{Type: frameTally, Round: uint32(round)}, gtb[:]); err != nil {
+			return RoundTally{}, t.peerFail(r, err)
+		}
+		if err := t.peers[r].writeCheck(uint32(round)); err != nil {
+			return RoundTally{}, t.peerFail(r, err)
+		}
+		if err := t.peers[r].flush(); err != nil {
+			return RoundTally{}, t.peerFail(r, err)
+		}
+	}
+	t.x.clearMailboxes(0)
+	var discard RoundTally
+	for d := 0; d < p; d++ {
+		if d == 0 {
+			t.x.deliverInto(&discard, t.x.takeRow(0, 0))
+			continue
+		}
+		t.x.deliverInto(&discard, t.decodeEnvelopes(payloads[d]))
+		t.putBuf(payloads[d])
+	}
+	return global, nil
+}

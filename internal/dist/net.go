@@ -23,9 +23,15 @@ import (
 // round barrier.
 //
 // Topology: shard 0 is the coordinator; it listens, the workers join,
-// and all traffic is relayed through it in a star (a frame is routed
-// by its header without decoding the payload). The barrier doubles as
-// the round-tally handshake: every process ships the tally of the
+// and control traffic (tallies, collectives, blobs) always flows
+// through it. Round data takes one of two planes: the default star
+// relays every worker↔worker batch through the coordinator (a frame
+// is routed by its header without decoding the payload — each such
+// batch crosses the wire twice), while the full-mesh plane (the Mesh
+// spec / NetConfig.Mesh, see mesh.go) has the workers dial each other
+// directly so each batch crosses once and shard 0 stops being the
+// bandwidth hot spot. The barrier doubles as the round-tally
+// handshake on both planes: every process ships the tally of the
 // traffic it staged, the coordinator reduces and re-broadcasts the
 // global tally, and every engine bills that — so Stats.Rounds, Words,
 // and the CrossShard split are identical on every process and to the
@@ -74,7 +80,24 @@ type NetTransport struct {
 	hub   *peerConn    // worker only
 	ready bool
 
+	// Full-mesh data plane (the Mesh spec / NetConfig.Mesh; see
+	// mesh.go). meshLn is a worker's peer listener, announced to the
+	// coordinator at the join handshake; meshAddrs is the coordinator's
+	// address book, broadcast at the top of every attempt; meshPeers
+	// are a worker's direct links to the other workers, indexed by
+	// shard (nil at 0 and self).
+	mesh      bool
+	meshLn    net.Listener
+	meshAddrs []string
+	meshPeers []*peerConn
+
 	wireBytes int64
+	// dataBytes is the worker↔worker round-batch subset of wireBytes
+	// (headers included): the bytes the topology choice governs. Star
+	// writes every such batch twice fleet-wide (origin → coordinator,
+	// coordinator → destination); the mesh writes it once, so the
+	// fleet-total dataBytes is exactly halved.
+	dataBytes int64
 
 	// seq numbers the collective operations (AllMaxInt32, AllOrBits,
 	// AllGatherInt32s, BroadcastBlob, GatherBlobs) within an attempt;
@@ -225,6 +248,23 @@ type peerConn struct {
 
 	hbStop chan struct{}
 	hbDone chan struct{}
+
+	// Async double buffering (the mesh data plane; see mesh.go):
+	// flushAsync hands the pending batch to a dedicated writer
+	// goroutine, so round r's bytes go to the kernel while the round
+	// goroutine stages round r+1. All resource bookkeeping (the payload
+	// freelist, the header arena) happens on the round goroutine when
+	// it reclaims acked batches — the writer only writes and acks, so
+	// the freelists stay lock-free.
+	writerCh   chan *pendingBatch
+	writerAck  chan *pendingBatch
+	writerDone chan struct{}
+	inflight   int
+	werr       error // sticky first async write error
+	spare      []*pendingBatch
+	// spareChunks holds header-arena chunks returned by reclaimed async
+	// batches; headerSlot reuses them before allocating.
+	spareChunks [][]byte
 }
 
 func newPeerConn(t *NetTransport, c net.Conn) *peerConn {
@@ -235,11 +275,19 @@ func newPeerConn(t *NetTransport, c net.Conn) *peerConn {
 const headersPerChunk = 64
 
 // headerSlot returns a stable headerSize slice for the next pending
-// frame header. Chunks are reused across batches after each flush.
+// frame header. Chunks are reused across batches: a sync flush keeps
+// the arena in place, an async flush hands it to the in-flight batch
+// and it comes back through spareChunks once the write completes.
 func (p *peerConn) headerSlot() []byte {
 	chunk, off := p.hdrUsed/headersPerChunk, (p.hdrUsed%headersPerChunk)*headerSize
 	if chunk == len(p.hdrChunks) {
-		p.hdrChunks = append(p.hdrChunks, make([]byte, headersPerChunk*headerSize))
+		if n := len(p.spareChunks); n > 0 {
+			p.hdrChunks = append(p.hdrChunks, p.spareChunks[n-1])
+			p.spareChunks[n-1] = nil
+			p.spareChunks = p.spareChunks[:n-1]
+		} else {
+			p.hdrChunks = append(p.hdrChunks, make([]byte, headersPerChunk*headerSize))
+		}
 	}
 	p.hdrUsed++
 	return p.hdrChunks[chunk][off : off+headerSize]
@@ -298,10 +346,12 @@ func (p *peerConn) stopHeartbeats() {
 	}
 }
 
-// close stops the heartbeat sender, flushes, and closes the socket.
+// close stops the heartbeat sender, drains the async writer, flushes,
+// and closes the socket.
 func (p *peerConn) close() error {
 	p.stopHeartbeats()
 	_ = p.flush()
+	p.stopWriter()
 	return p.c.Close()
 }
 
@@ -335,15 +385,24 @@ func (p *peerConn) writeFrame(h frameHeader, payload []byte) error {
 		p.wsum = crc32.Update(p.wsum, crcTable, payload)
 	}
 	p.t.wireBytes += int64(headerSize + len(payload))
+	if h.Type == frameRound && h.From != 0 && h.To != 0 {
+		p.t.dataBytes += int64(headerSize + len(payload))
+	}
 	return nil
 }
 
 // flush writes the whole pending batch as one vectored write, then
 // releases the batch's pooled payload buffers and header arena for
-// reuse. Every protocol path flushes before it reads, so frames never
-// sit pending across a read (the strict alternation that makes the
-// barrier deadlock-free is unchanged from the per-frame era).
+// reuse. Every protocol path flushes (or hands the batch to the async
+// writer, see flushAsync) before it reads from the same peer, so
+// frames never sit pending across a read of that peer — the per-peer
+// write-then-read alternation that makes the barrier deadlock-free.
+// Draining the async writer first keeps this connection's bytes in
+// protocol order even when round batches went out asynchronously.
 func (p *peerConn) flush() error {
+	if err := p.drainAsync(); err != nil {
+		return err
+	}
 	if len(p.pending) == 0 {
 		return nil
 	}
@@ -403,6 +462,13 @@ func payloadLen(h frameHeader) (int, error) {
 		n = checkSize
 	case frameHeartbeat, frameRollback, frameRollbackAck:
 		n = 0
+	case frameMeshAddr:
+		if h.Count > maxMeshAddrLen {
+			return 0, fmt.Errorf("implausible mesh address length %d", h.Count)
+		}
+		n = int(h.Count)
+	case frameMeshHello, frameMeshWelcome:
+		n = helloSize
 	default:
 		return 0, fmt.Errorf("unknown frame type %d", h.Type)
 	}
@@ -532,10 +598,23 @@ func (p *peerConn) drainToAck(gen uint32) error {
 // bound address to hand to workers, and WaitReady blocks until all
 // shards-1 workers have joined.
 func ListenNet(addr string, n, shards int, timeout time.Duration) (*NetTransport, error) {
+	return listenNet(addr, n, shards, timeout, false)
+}
+
+// ListenMesh is ListenNet with the full-mesh data plane enabled: the
+// workers (which must join with JoinMesh) exchange round batches
+// directly and this coordinator carries only control, tally, and
+// collective frames.
+func ListenMesh(addr string, n, shards int, timeout time.Duration) (*NetTransport, error) {
+	return listenNet(addr, n, shards, timeout, true)
+}
+
+func listenNet(addr string, n, shards int, timeout time.Duration, mesh bool) (*NetTransport, error) {
 	t, err := newNetTransport(n, 0, shards, timeout)
 	if err != nil {
 		return nil, err
 	}
+	t.mesh = mesh
 	if t.part.p > 1 {
 		ln, err := net.Listen("tcp", addr)
 		if err != nil {
@@ -549,6 +628,21 @@ func ListenNet(addr string, n, shards int, timeout time.Duration) (*NetTransport
 // JoinNet dials the coordinator at addr and joins as the given shard.
 // It blocks until the coordinator accepts the handshake.
 func JoinNet(addr string, n, shard, shards int, timeout time.Duration) (*NetTransport, error) {
+	return joinNet(addr, "", n, shard, shards, timeout, false)
+}
+
+// JoinMesh is JoinNet with the full-mesh data plane enabled: the
+// worker binds a peer listener on peerListen ("127.0.0.1:0" if empty;
+// set a routable host for multi-machine runs), announces its address
+// to the coordinator during the handshake, and exchanges round
+// batches directly with the other workers. The coordinator must have
+// been started with ListenMesh — the handshake rejects a mixed
+// star/mesh fleet.
+func JoinMesh(addr, peerListen string, n, shard, shards int, timeout time.Duration) (*NetTransport, error) {
+	return joinNet(addr, peerListen, n, shard, shards, timeout, true)
+}
+
+func joinNet(addr, peerListen string, n, shard, shards int, timeout time.Duration, mesh bool) (*NetTransport, error) {
 	t, err := newNetTransport(n, shard, shards, timeout)
 	if err != nil {
 		return nil, err
@@ -556,30 +650,67 @@ func JoinNet(addr string, n, shard, shards int, timeout time.Duration) (*NetTran
 	if shard == 0 {
 		return nil, fmt.Errorf("dist: shard 0 is the coordinator; use ListenNet")
 	}
+	t.mesh = mesh
+	if t.meshActive() {
+		if peerListen == "" {
+			peerListen = "127.0.0.1:0"
+		}
+		ln, err := net.Listen("tcp", peerListen)
+		if err != nil {
+			return nil, fmt.Errorf("dist: binding mesh peer listener %q: %w", peerListen, err)
+		}
+		t.meshLn = ln
+	}
+	fail := func(err error) (*NetTransport, error) {
+		if t.meshLn != nil {
+			t.meshLn.Close()
+			t.meshLn = nil
+		}
+		return nil, err
+	}
 	c, err := net.DialTimeout("tcp", addr, t.timeout)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	t.hub = newPeerConn(t, c)
 	t.hub.rollbackOK = true
+	hh := frameHeader{Type: frameHello, From: uint16(shard)}
+	if mesh {
+		// The mesh flag rides the otherwise-unused Round field of the
+		// hello/welcome headers, leaving the hello payload encoding (and
+		// with it every star byte) untouched.
+		hh.Round = meshFlagRound
+	}
 	var hb [helloSize]byte
 	putHello(hb[:], hello{Version: wireVersion, N: uint64(n), Shard: uint32(shard), Shards: uint32(shards)})
-	if err := t.hub.writeFrame(frameHeader{Type: frameHello, From: uint16(shard)}, hb[:]); err != nil {
+	if err := t.hub.writeFrame(hh, hb[:]); err != nil {
 		c.Close()
-		return nil, err
+		return fail(err)
+	}
+	if t.meshLn != nil {
+		peerAddr := []byte(t.meshLn.Addr().String())
+		ah := frameHeader{Type: frameMeshAddr, From: uint16(shard), Count: uint32(len(peerAddr))}
+		if err := t.hub.writeFrame(ah, peerAddr); err != nil {
+			c.Close()
+			return fail(err)
+		}
 	}
 	if err := t.hub.flush(); err != nil {
 		c.Close()
-		return nil, err
+		return fail(err)
 	}
-	_, payload, err := t.hub.readFrame(frameWelcome)
+	wh, payload, err := t.hub.readFrame(frameWelcome)
 	if err != nil {
 		c.Close()
-		return nil, fmt.Errorf("dist: join handshake: %w", err)
+		return fail(fmt.Errorf("dist: join handshake: %w (a star/mesh data-plane mismatch closes the connection — check that every process agrees on -mesh)", err))
+	}
+	if coordMesh := wh.Round == meshFlagRound; coordMesh != mesh {
+		c.Close()
+		return fail(fmt.Errorf("dist: data-plane mismatch: coordinator mesh=%v, this worker mesh=%v", coordMesh, mesh))
 	}
 	if got := parseHello(payload); got.Version != wireVersion || got.N != uint64(n) || got.Shards != uint32(shards) {
 		c.Close()
-		return nil, fmt.Errorf("dist: coordinator config mismatch: %+v", got)
+		return fail(fmt.Errorf("dist: coordinator config mismatch: %+v", got))
 	}
 	t.hub.startHeartbeats()
 	t.ready = true
@@ -679,10 +810,15 @@ func (t *NetTransport) acceptWorkers(missing map[int]bool) error {
 }
 
 // acceptHandshake validates one join: protocol version, global sizes,
-// and a shard id that is in range, missing, and not already joined —
-// so a duplicate rejoin after a crash is accepted exactly once.
+// a data plane (star/mesh) that matches this coordinator's, and a
+// shard id that is in range, missing, and not already joined — so a
+// duplicate rejoin after a crash is accepted exactly once. In mesh
+// mode the worker's announced peer address follows its hello and is
+// recorded in the address book (validated here, before any dial, so a
+// bad address is an actionable handshake error rather than a
+// mysterious mid-bring-up dial failure on some other worker).
 func (t *NetTransport) acceptHandshake(pc *peerConn, missing map[int]bool) (int, error) {
-	_, payload, err := pc.readFrame(frameHello)
+	fh, payload, err := pc.readFrame(frameHello)
 	if err != nil {
 		return 0, fmt.Errorf("dist: worker handshake: %w", err)
 	}
@@ -694,9 +830,34 @@ func (t *NetTransport) acceptHandshake(pc *peerConn, missing map[int]bool) (int,
 	if s < 1 || s >= t.part.p || t.peers[s] != nil || !missing[s] {
 		return 0, fmt.Errorf("dist: bad or duplicate worker shard %d", s)
 	}
+	if workerMesh := fh.Round == meshFlagRound; workerMesh != t.mesh {
+		return 0, fmt.Errorf("dist: data-plane mismatch: coordinator mesh=%v, worker shard %d mesh=%v", t.mesh, s, workerMesh)
+	}
+	if t.meshActive() {
+		ah, apayload, err := pc.readFrame(frameMeshAddr)
+		if err != nil {
+			return 0, fmt.Errorf("dist: worker shard %d mesh address: %w", s, err)
+		}
+		addr := string(apayload)
+		t.putBuf(apayload)
+		if int(ah.From) != s {
+			return 0, fmt.Errorf("dist: mesh address from shard %d inside shard %d's handshake", ah.From, s)
+		}
+		if host, port, err := net.SplitHostPort(addr); err != nil || host == "" || port == "" {
+			return 0, fmt.Errorf("dist: worker shard %d announced unusable peer address %q (want host:port): %v", s, addr, err)
+		}
+		if t.meshAddrs == nil {
+			t.meshAddrs = make([]string, t.part.p)
+		}
+		t.meshAddrs[s] = addr
+	}
+	wf := frameHeader{Type: frameWelcome}
+	if t.mesh {
+		wf.Round = meshFlagRound
+	}
 	var wb [helloSize]byte
 	putHello(wb[:], hello{Version: wireVersion, N: uint64(t.part.n), Shard: h.Shard, Shards: uint32(t.part.p)})
-	if err := pc.writeFrame(frameHeader{Type: frameWelcome}, wb[:]); err != nil {
+	if err := pc.writeFrame(wf, wb[:]); err != nil {
 		return 0, err
 	}
 	if err := pc.flush(); err != nil {
@@ -779,13 +940,16 @@ func (t *NetTransport) recoverWorkers(first int, respawn func(shard int, addr st
 	return t.acceptWorkers(missing)
 }
 
-// ackRollback is the worker side of recovery: reset both stream
-// checksums and acknowledge the rollback generation, after which the
+// ackRollback is the worker side of recovery: tear down the mesh data
+// plane (the dead shard's links are gone and every survivor rebuilds
+// from the fresh address book next attempt), reset both stream
+// checksums, and acknowledge the rollback generation, after which the
 // worker re-runs the attempt from the top.
 func (t *NetTransport) ackRollback(gen uint32) error {
 	if t.hub == nil {
 		return fmt.Errorf("dist: ackRollback on a coordinator transport")
 	}
+	t.teardownMesh()
 	t.hub.wsum, t.hub.rsum = 0, 0
 	if err := t.hub.writeFrame(frameHeader{Type: frameRollbackAck, Round: gen}, nil); err != nil {
 		return err
@@ -806,6 +970,12 @@ func (t *NetTransport) Close() error {
 			}
 		}
 	}
+	t.teardownMesh()
+	if t.meshLn != nil {
+		if err := t.meshLn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
 	if t.ln != nil {
 		if err := t.ln.Close(); err != nil && first == nil {
 			first = err
@@ -819,6 +989,12 @@ func (t *NetTransport) Close() error {
 // to the model-level Stats.CrossShardWords. Heartbeats are excluded:
 // they are timing-dependent, and this counter is deterministic.
 func (t *NetTransport) WireBytes() int64 { return t.wireBytes }
+
+// DataWireBytes returns the worker↔worker round-batch subset of
+// WireBytes this process wrote — the bytes the star/mesh topology
+// choice governs (the star's fleet total is exactly twice the mesh's
+// for the same run, which the wire-bytes golden test pins).
+func (t *NetTransport) DataWireBytes() int64 { return t.dataBytes }
 
 // Shard returns this process's shard id.
 func (t *NetTransport) Shard() int { return t.self }
@@ -932,9 +1108,14 @@ func (t *NetTransport) EndRound(round int) RoundTally {
 	}
 	var global RoundTally
 	var err error
-	if t.self == 0 {
+	switch {
+	case t.self == 0 && t.meshActive():
+		global, err = t.endRoundMeshCoordinator(round, local)
+	case t.self == 0:
 		global, err = t.endRoundCoordinator(round, local)
-	} else {
+	case t.meshActive():
+		global, err = t.endRoundMeshWorker(round, local)
+	default:
 		global, err = t.endRoundWorker(round, local)
 	}
 	if err != nil {

@@ -50,6 +50,12 @@ func runNetJob[R any](tr *NetTransport, part *graph.Partition, job Job[R], ck *c
 			part.Shard, part.Shards, tr.Shard(), tr.Shards())
 	}
 	tr.beginAttempt()
+	// Establish the attempt's worker↔worker links before any job state
+	// flows: in mesh mode the coordinator broadcasts the address book
+	// and the workers wire themselves up (a no-op on the star plane).
+	if err := tr.setupDataPlane(); err != nil {
+		return Result[R]{}, err
+	}
 	impl := job.impl
 	if tr.Shard() == 0 {
 		if err := tr.WaitReady(); err != nil {
@@ -87,54 +93,61 @@ func runNetJob[R any](tr *NetTransport, part *graph.Partition, job Job[R], ck *c
 	if err != nil {
 		return Result[R]{}, err
 	}
-	wireBytes, maxPeak, err := gatherRunCounters(tr, po.peak)
+	wireBytes, dataBytes, maxPeak, err := gatherRunCounters(tr, po.peak)
 	if err != nil {
 		return Result[R]{}, err
 	}
 	if tr.Shard() != 0 {
-		return Result[R]{Stats: re.Stats(), PeakViewWords: po.peak, WireBytes: tr.WireBytes()}, nil
+		return Result[R]{Stats: re.Stats(), PeakViewWords: po.peak,
+			WireBytes: tr.WireBytes(), DataWireBytes: tr.DataWireBytes()}, nil
 	}
-	return Result[R]{Output: out, Stats: re.Stats(), PeakViewWords: maxPeak, WireBytes: wireBytes}, nil
+	return Result[R]{Output: out, Stats: re.Stats(), PeakViewWords: maxPeak,
+		WireBytes: wireBytes, DataWireBytes: dataBytes}, nil
 }
 
 // gatherRunCounters collects every process's honesty counters at the
-// coordinator: the sum of bytes put on the wire and the MAXIMUM
+// coordinator: the summed bytes put on the wire (total and the
+// worker↔worker data subset the topology governs) and the MAXIMUM
 // per-process peak view footprint — the measured per-worker
 // O(m_incident) bound E13 reports. Workers contribute and get zeros.
-func gatherRunCounters(tr *NetTransport, peakViewWords int) (wireBytes int64, maxPeakWords int, err error) {
-	var b [16]byte
+func gatherRunCounters(tr *NetTransport, peakViewWords int) (wireBytes, dataBytes int64, maxPeakWords int, err error) {
+	var b [24]byte
 	binary.LittleEndian.PutUint64(b[0:], uint64(tr.WireBytes()))
 	binary.LittleEndian.PutUint64(b[8:], uint64(peakViewWords))
+	binary.LittleEndian.PutUint64(b[16:], uint64(tr.DataWireBytes()))
 	blobs, err := tr.GatherBlobs(b[:])
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	if tr.Shard() != 0 {
-		return 0, 0, nil
+		return 0, 0, 0, nil
 	}
 	for s, blob := range blobs {
-		if len(blob) != 16 {
-			return 0, 0, fmt.Errorf("dist: shard %d run counters are %d bytes", s, len(blob))
+		if len(blob) != 24 {
+			return 0, 0, 0, fmt.Errorf("dist: shard %d run counters are %d bytes", s, len(blob))
 		}
 		wireBytes += int64(binary.LittleEndian.Uint64(blob[0:]))
 		if pw := int(binary.LittleEndian.Uint64(blob[8:])); pw > maxPeakWords {
 			maxPeakWords = pw
 		}
+		dataBytes += int64(binary.LittleEndian.Uint64(blob[16:]))
 	}
-	return wireBytes, maxPeakWords, nil
+	return wireBytes, dataBytes, maxPeakWords, nil
 }
 
-// runLoopback is the scaffold of the Loopback spec: it binds a
-// coordinator on loopback TCP, runs the worker body as shards 1..p−1
-// goroutines (each on its own joined NetTransport) and the coordinator
-// body as shard 0, converts *NetError panics to errors, unblocks
-// workers still waiting on the hub if the coordinator fails, and
-// collects the first error. Bodies return results through their
-// closures.
-func runLoopback(n, p int, timeout time.Duration,
+// runLoopback is the scaffold of the Loopback and Mesh specs: it
+// binds a coordinator on loopback TCP, runs the worker body as shards
+// 1..p−1 goroutines (each on its own joined NetTransport) and the
+// coordinator body as shard 0, converts *NetError panics to errors,
+// unblocks workers still waiting on the hub if the coordinator fails,
+// and collects the first error. Bodies return results through their
+// closures. mesh selects the full-mesh data plane: each worker
+// goroutine additionally binds a loopback peer listener and the round
+// batches travel worker→worker directly.
+func runLoopback(n, p int, timeout time.Duration, mesh bool,
 	coordinator func(coord *NetTransport) error,
 	worker func(tr *NetTransport, shard int) error) error {
-	coord, err := ListenNet("127.0.0.1:0", n, p, timeout)
+	coord, err := listenNet("127.0.0.1:0", n, p, timeout, mesh)
 	if err != nil {
 		return err
 	}
@@ -147,7 +160,7 @@ func runLoopback(n, p int, timeout time.Duration,
 			defer wg.Done()
 			err := func() (err error) {
 				defer recoverNetError(&err)
-				tr, err := JoinNet(coord.Addr(), n, s, p, timeout)
+				tr, err := joinNet(coord.Addr(), "", n, s, p, timeout, mesh)
 				if err != nil {
 					return err
 				}

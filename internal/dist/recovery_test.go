@@ -118,6 +118,98 @@ func TestNetRunSurvivesWorkerCrash(t *testing.T) {
 	}
 }
 
+// doomMeshWorker is doomWorker on the full-mesh data plane: the worker
+// joins with a peer listener, wires up its direct links, and dies after
+// failFrames written frames (hub and mesh frames both count).
+func doomMeshWorker(t *testing.T, addr string, g *graph.Graph, shard, p, failFrames int) error {
+	t.Helper()
+	tr, err := JoinMesh(addr, "", g.N, shard, p, recoveryTimeout)
+	if err != nil {
+		return err
+	}
+	tr.failAfterFrames = failFrames
+	tr.failAct = func() { tr.hub.c.Close() }
+	defer tr.Close()
+	_, err = runNetJob(tr, graph.PartitionOf(g, shard, p), recoverySparsifyJob(), nil)
+	return err
+}
+
+// TestMeshRunSurvivesWorkerCrash re-runs the recovery ground truth on
+// the full-mesh data plane: the doomed worker's death must also unwind
+// the survivors' direct links (they see EOF on a mesh read, park on
+// the hub, and pick up the coordinator's rollback), the respawned
+// shard announces a fresh peer listener as it rejoins, and the next
+// attempt rebuilds the mesh from the re-broadcast address book — with
+// output and ledger still bit-identical to a failure-free run.
+func TestMeshRunSurvivesWorkerCrash(t *testing.T) {
+	g := gen.Gnp(400, 0.05, 7)
+	const p = 3
+	ref, err := Run(NewEngine(Mesh(p).WithTimeout(recoveryTimeout), g), recoverySparsifyJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var respawns atomic.Int32
+	var wg sync.WaitGroup
+	addrCh := make(chan string, 1)
+	spec := Net(NetConfig{
+		Listen: "127.0.0.1:0", Shards: p, Timeout: recoveryTimeout, Mesh: true,
+		OnListen: func(addr string) { addrCh <- addr },
+		Respawn: func(shard int, addr string) {
+			respawns.Add(1)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				wspec := Worker(WorkerConfig{Join: addr, Shard: shard, Shards: p,
+					Timeout: recoveryTimeout, JoinRetry: recoveryTimeout, Mesh: true})
+				if _, err := Run(NewEngine(wspec, g), recoverySparsifyJob()); err != nil {
+					t.Errorf("respawned shard %d: %v", shard, err)
+				}
+			}()
+		},
+		MaxRespawns: 2, CheckpointEvery: 1,
+	})
+	go func() {
+		addr := <-addrCh
+		wg.Add(1)
+		go func() { // the healthy survivor, on the public path
+			defer wg.Done()
+			wspec := Worker(WorkerConfig{Join: addr, Shard: 2, Shards: p,
+				Timeout: recoveryTimeout, Mesh: true})
+			if _, err := Run(NewEngine(wspec, g), recoverySparsifyJob()); err != nil {
+				t.Errorf("surviving shard 2: %v", err)
+			}
+		}()
+		wg.Add(1)
+		go func() { // the doomed worker: dies mid-run, after the mesh is up
+			defer wg.Done()
+			if err := doomMeshWorker(t, addr, g, 1, p, 900); err == nil {
+				t.Error("doomed worker finished cleanly; fault injection never fired")
+			}
+		}()
+	}()
+
+	res, err := Run(NewEngine(spec, g), recoverySparsifyJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if n := respawns.Load(); n != 1 {
+		t.Fatalf("respawns=%d, want 1", n)
+	}
+	if !reflect.DeepEqual(res.Stats, ref.Stats) {
+		t.Fatalf("recovered ledger diverges:\n%+v\nvs failure-free\n%+v", res.Stats, ref.Stats)
+	}
+	if res.Output.M() != ref.Output.M() {
+		t.Fatalf("recovered m=%d vs failure-free %d", res.Output.M(), ref.Output.M())
+	}
+	for i := range ref.Output.Edges {
+		if res.Output.Edges[i] != ref.Output.Edges[i] {
+			t.Fatalf("recovered edge %d differs from the failure-free run", i)
+		}
+	}
+}
+
 // TestWorkerDisconnectFailsFast: without a respawn hook a worker death
 // still fails the run promptly — via EOF on the dead connection, not a
 // per-frame timeout cascade — and the error names the failed shard.

@@ -10,7 +10,11 @@ package dist
 // messages physically travel between rounds is the Transport's job
 // (see transport.go): in-memory staging by default, a vertex-sharded
 // exchange across worker goroutines, or — the seam's purpose — a real
-// network between OS processes (see transport.go and net.go).
+// network between OS processes (see transport.go and net.go; there
+// the EndRound barrier is where batches hit sockets, relayed through
+// the coordinator on the star plane or written directly to the
+// destination peer — asynchronously, overlapping the next round's
+// compute — on the mesh plane, see mesh.go).
 //
 // Staging follows the exchange core's kind-based discipline (see
 // exchange.go): payloads carrying real remote state are staged by the

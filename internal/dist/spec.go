@@ -9,7 +9,7 @@ import (
 // first of the two orthogonal axes of the package (the second is the
 // Job, the algorithm itself). A spec carries no connections and does no
 // I/O; Engine.Run materializes the transport it describes, runs the
-// job, and tears it down. Five specs exist:
+// job, and tears it down. Six specs exist:
 //
 //   - Mem(): the single-process in-memory simulation (the default —
 //     the zero TransportSpec executes the same way).
@@ -18,9 +18,15 @@ import (
 //   - Loopback(p): a coordinator plus p−1 worker goroutines, each on
 //     its own NetTransport over real loopback TCP sockets, each
 //     materializing only its partition — the full network path without
-//     process isolation.
+//     process isolation. Round traffic is relayed through the
+//     coordinator in a star.
+//   - Mesh(p): Loopback's full-mesh sibling — the worker goroutines
+//     additionally dial each other directly, so cross-shard round
+//     traffic travels exactly once and the coordinator carries only
+//     control/tally/collective frames.
 //   - Net(cfg): the coordinator (shard 0) of a real multi-process run;
-//     other processes join with Worker specs.
+//     other processes join with Worker specs. NetConfig.Mesh selects
+//     the full-mesh data plane.
 //   - Worker(cfg): one worker shard of a real multi-process run.
 //
 // Equivalence guarantee: for equal (job, seed) every spec produces
@@ -44,6 +50,10 @@ type TransportSpec struct {
 	ckptEvery   int
 	joinRetry   time.Duration
 	failFrames  int
+	// Full-mesh data plane (the Mesh spec, NetConfig.Mesh, and
+	// WorkerConfig.Mesh/PeerListen).
+	mesh       bool
+	peerListen string
 }
 
 type specKind uint8
@@ -56,6 +66,7 @@ const (
 	specMem
 	specSharded
 	specLoopback
+	specMesh
 	specNet
 	specWorker
 )
@@ -78,6 +89,16 @@ func Sharded(p int) TransportSpec { return TransportSpec{kind: specSharded, shar
 // whole multi-process protocol (framing, routing, tally handshake,
 // collectives, result gather) inside one process.
 func Loopback(p int) TransportSpec { return TransportSpec{kind: specLoopback, shards: p} }
+
+// Mesh returns the full-mesh loopback-TCP spec: like Loopback(p), but
+// the worker goroutines also dial each other directly, so a
+// cross-shard round batch crosses the wire once instead of being
+// relayed twice through the coordinator, and round flushes run on
+// per-peer writer goroutines (double buffering: round r's batch is on
+// the wire while round r+1 computes). Output, Stats, and the round
+// schedule are bit-identical to every other spec; only WireBytes,
+// DataWireBytes, and wall-clock change.
+func Mesh(p int) TransportSpec { return TransportSpec{kind: specMesh, shards: p, mesh: true} }
 
 // NetConfig configures the coordinator side of a real multi-process
 // run (the Net spec).
@@ -111,6 +132,12 @@ type NetConfig struct {
 	// every epoch; < 0 disables checkpointing (recovery replays from
 	// the top).
 	CheckpointEvery int
+	// Mesh selects the full-mesh data plane: workers dial each other
+	// directly and exchange round batches peer-to-peer, while this
+	// coordinator carries only control/tally/collective frames. Every
+	// Worker spec in the fleet must set Mesh too (the hello handshake
+	// rejects a mix).
+	Mesh bool
 }
 
 // Net returns the coordinator spec of a real multi-process run:
@@ -127,6 +154,7 @@ func Net(cfg NetConfig) TransportSpec {
 		respawn:     cfg.Respawn,
 		maxRespawns: cfg.MaxRespawns,
 		ckptEvery:   cfg.CheckpointEvery,
+		mesh:        cfg.Mesh,
 	}
 }
 
@@ -151,6 +179,15 @@ type WorkerConfig struct {
 	// the deterministic fault-injection hook the kill-and-recover tests
 	// use. 0 disables injection.
 	FailAfterFrames int
+	// Mesh joins the full-mesh data plane: this worker opens a peer
+	// listener, announces its address to the coordinator, and exchanges
+	// round batches directly with the other workers. Must match the
+	// coordinator's NetConfig.Mesh.
+	Mesh bool
+	// PeerListen is the address the peer listener binds when Mesh is
+	// set ("127.0.0.1:0" if empty — set a routable host for
+	// multi-machine runs).
+	PeerListen string
 }
 
 // Worker returns the worker-shard spec of a real multi-process run:
@@ -170,6 +207,8 @@ func Worker(cfg WorkerConfig) TransportSpec {
 		shard:      cfg.Shard,
 		joinRetry:  cfg.JoinRetry,
 		failFrames: cfg.FailAfterFrames,
+		mesh:       cfg.Mesh,
+		peerListen: cfg.PeerListen,
 	}
 }
 
@@ -187,7 +226,8 @@ func (s TransportSpec) IsZero() bool {
 	return s.kind == specDefault && s.shards == 0 && s.timeout == 0 &&
 		s.listen == "" && s.onListen == nil && s.join == "" && s.shard == 0 &&
 		s.respawn == nil && s.maxRespawns == 0 && s.ckptEvery == 0 &&
-		s.joinRetry == 0 && s.failFrames == 0
+		s.joinRetry == 0 && s.failFrames == 0 &&
+		!s.mesh && s.peerListen == ""
 }
 
 // String renders the spec for logs and experiment tables.
@@ -197,9 +237,17 @@ func (s TransportSpec) String() string {
 		return fmt.Sprintf("sharded(%d)", s.shards)
 	case specLoopback:
 		return fmt.Sprintf("loopback(%d)", s.shards)
+	case specMesh:
+		return fmt.Sprintf("mesh(%d)", s.shards)
 	case specNet:
+		if s.mesh {
+			return fmt.Sprintf("net(%s, %d shards, mesh)", s.listen, s.shards)
+		}
 		return fmt.Sprintf("net(%s, %d shards)", s.listen, s.shards)
 	case specWorker:
+		if s.mesh {
+			return fmt.Sprintf("worker(%s, shard %d/%d, mesh)", s.join, s.shard, s.shards)
+		}
 		return fmt.Sprintf("worker(%s, shard %d/%d)", s.join, s.shard, s.shards)
 	default:
 		return "mem"

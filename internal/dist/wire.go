@@ -16,11 +16,13 @@ import (
 const (
 	wireMagic = uint32(0x44573031) // "DW01": distworker wire
 	// wireVersion 2 appended the liveness/recovery frames (heartbeat,
-	// checksum, rollback, rollback-ack) to v1's frame set. Existing
-	// frame encodings are never mutated — new types are appended and
-	// the version is bumped, so a mixed-version fleet fails loudly at
-	// the hello handshake instead of desynchronizing mid-run.
-	wireVersion = uint32(2)
+	// checksum, rollback, rollback-ack) to v1's frame set; version 3
+	// appends the full-mesh data-plane frames (mesh address
+	// announcement, peer hello/welcome). Existing frame encodings are
+	// never mutated — new types are appended and the version is bumped,
+	// so a mixed-version fleet fails loudly at the hello handshake
+	// instead of desynchronizing mid-run.
+	wireVersion = uint32(3)
 
 	headerSize   = 20
 	envelopeSize = 28
@@ -45,6 +47,10 @@ const (
 	frameCheck       // running CRC-32C of the data frames since the last check (Round = engine round)
 	frameRollback    // coordinator → worker: abort the attempt; Round = recovery generation
 	frameRollbackAck // worker → coordinator: attempt unwound; Round echoes the generation
+	// v3 full-mesh data-plane frames:
+	frameMeshAddr    // worker → coordinator, after hello: this shard's peer listen address (Count raw bytes)
+	frameMeshHello   // dialing worker → accepting worker: open a direct data link (hello payload)
+	frameMeshWelcome // accepting worker → dialing worker: link accepted (hello payload)
 )
 
 // frameHeader describes one frame on the wire.

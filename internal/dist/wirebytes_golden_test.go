@@ -38,3 +38,58 @@ func TestLoopbackWireBytesGolden(t *testing.T) {
 		}
 	}
 }
+
+// TestMeshWireBytesGolden pins the full-mesh data plane's byte totals
+// against the star's on the same (graph, seed, P) runs, proving the
+// topology claim in numbers: every worker↔worker round batch the star
+// relays twice (origin → coordinator, coordinator → destination)
+// crosses a mesh wire exactly once, so the mesh's DataWireBytes is
+// exactly HALF the star's whenever the mesh is active (P > 2; at
+// P = 2 there is no worker↔worker traffic and the planes are
+// byte-identical). The absolute mesh totals are pinned too, like the
+// star's above, so the handshake/bring-up overhead cannot silently
+// grow.
+func TestMeshWireBytesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback socket runs skipped in -short")
+	}
+	g := gen.Gnp(240, 0.1, 7)
+	// P -> {sparsify, spanner} totals on the mesh plane.
+	wantWire := map[int][2]int64{
+		2: {2360192, 637284}, // mesh inactive at P=2: identical to the star pins
+		3: {3311326, 875018}, // vs the star's {4817840, 1211360}: ~31% / ~28% fewer total bytes
+	}
+	wantData := map[int][2]int64{
+		2: {0, 0},            // no worker↔worker traffic at P=2
+		3: {1522060, 338592}, // the star writes exactly 2× these: {3044120, 677184}
+	}
+	for _, p := range []int{2, 3} {
+		star := dist.Loopback(p).WithTimeout(30 * time.Second)
+		mesh := dist.Mesh(p).WithTimeout(30 * time.Second)
+		starSp := runSparsify(t, star, g, 0.75, 4, 0, 11)
+		starSn := runSpanner(t, star, g, 0, 11)
+		meshSp := runSparsify(t, mesh, g, 0.75, 4, 0, 11)
+		meshSn := runSpanner(t, mesh, g, 0, 11)
+		if meshSp.WireBytes != wantWire[p][0] || meshSn.WireBytes != wantWire[p][1] {
+			t.Errorf("P=%d mesh WireBytes = {%d, %d}, want {%d, %d} (wire protocol changed?)",
+				p, meshSp.WireBytes, meshSn.WireBytes, wantWire[p][0], wantWire[p][1])
+		}
+		if meshSp.DataWireBytes != wantData[p][0] || meshSn.DataWireBytes != wantData[p][1] {
+			t.Errorf("P=%d mesh DataWireBytes = {%d, %d}, want {%d, %d}",
+				p, meshSp.DataWireBytes, meshSn.DataWireBytes, wantData[p][0], wantData[p][1])
+		}
+		// The topology invariant itself: star relays every data byte twice.
+		wantFactor := int64(2)
+		if p <= 2 {
+			wantFactor = 1 // no worker↔worker traffic; both planes report 0
+		}
+		if starSp.DataWireBytes != wantFactor*meshSp.DataWireBytes {
+			t.Errorf("P=%d sparsify: star DataWireBytes %d != %d× mesh %d",
+				p, starSp.DataWireBytes, wantFactor, meshSp.DataWireBytes)
+		}
+		if starSn.DataWireBytes != wantFactor*meshSn.DataWireBytes {
+			t.Errorf("P=%d spanner: star DataWireBytes %d != %d× mesh %d",
+				p, starSn.DataWireBytes, wantFactor, meshSn.DataWireBytes)
+		}
+	}
+}

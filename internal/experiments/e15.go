@@ -21,17 +21,27 @@ import (
 // amortized-O(n+m) Gnp decoder — at this size the old O(n·m) row walk
 // took half an hour, which is why the genMillis note exists: it proves
 // the input pipeline is not the bottleneck being measured.
+//
+// The final two rows put the wired data planes on the clock at P=4 on
+// a smaller graph (real loopback sockets are orders of magnitude
+// slower per byte than the in-process exchange, so the socket rows get
+// their own size): star (Loopback) against full mesh (Mesh), same job,
+// same output — only wireBytes and the wall clock may differ. This is
+// where the mesh's halved relay traffic and double-buffered flushes
+// must show up as real milliseconds, not just counter deltas.
 func E15ScaleSpanner(s Scale) *Table {
 	t := &Table{
 		ID:     "E15",
-		Title:  "round-loop raw speed: spanner at >=10^7 edges",
+		Title:  "round-loop raw speed: spanner at >=10^7 edges, star vs mesh sockets",
 		Claim:  "Thm 5 at scale: the O(k) round schedule is wall-clock-bounded by the exchange, not the allocator — the perf gate CI diffs against BENCH_baseline.json",
-		Header: []string{"P", "millis", "m_out", "rounds", "words", "speedup"},
+		Header: []string{"transport", "P", "millis", "m_out", "rounds", "words", "wireBytes", "speedup"},
 	}
 	n, deg, k := 1<<20, 20.0, 2
+	netN := 1 << 17
 	maxP := 4
 	if s == Full {
 		n, maxP = 1<<21, 8
+		netN = 1 << 18
 	}
 	ps := []int{1, 2, 4}
 	for p := 8; p <= runtime.NumCPU() && p <= maxP; p *= 2 {
@@ -57,12 +67,42 @@ func E15ScaleSpanner(s Scale) *Table {
 			t.Notes = append(t.Notes,
 				fmt.Sprintf("DETERMINISM VIOLATION: P=%d produced m=%d, expected %d", p, mOut, baseM))
 		}
-		t.AddRow(inum(p), fnum(ms), inum(mOut), inum(res.Stats.Rounds),
-			inum(res.Stats.Words), fnum(baseMs/ms))
+		t.AddRow("sharded", inum(p), fnum(ms), inum(mOut), inum(res.Stats.Rounds),
+			inum(res.Stats.Words), "-", fnum(baseMs/ms))
 	}
+
+	// The socket rows: same job on the wired planes, smaller graph.
+	ng := gen.Gnp(netN, deg/float64(netN), 163)
+	netBaseM, starMs := -1, 0.0
+	for _, tc := range []struct {
+		name string
+		spec dist.TransportSpec
+	}{
+		{"net", dist.Loopback(4)},
+		{"mesh", dist.Mesh(4)},
+	} {
+		start := time.Now()
+		res, err := dist.Run(dist.NewEngine(tc.spec, ng), job)
+		if err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s FAILURE at P=4: %v", tc.name, err))
+			continue
+		}
+		ms := millisSince(start)
+		mOut := res.Output.G.M()
+		if netBaseM < 0 {
+			netBaseM, starMs = mOut, ms
+		} else if mOut != netBaseM {
+			t.Notes = append(t.Notes,
+				fmt.Sprintf("DETERMINISM VIOLATION: %s P=4 produced m=%d, expected %d", tc.name, mOut, netBaseM))
+		}
+		t.AddRow(tc.name, inum(4), fnum(ms), inum(mOut), inum(res.Stats.Rounds),
+			inum(res.Stats.Words), fmt.Sprintf("%d", res.WireBytes), fnum(starMs/ms))
+	}
+
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("n=%d m=%d k=%d (genMillis=%s): identical m_out at every P", n, g.M(), k, fnum(genMs)),
 		fmt.Sprintf("P swept to min(NumCPU, %d) with a {1,2,4} floor; NumCPU=%d here", maxP, runtime.NumCPU()),
+		fmt.Sprintf("socket rows (net=star relay, mesh=direct links) run n=%d m=%d at P=4; speedup there is relative to the star row", netN, ng.M()),
 		"at this density the (2k-1)-spanner bound n^{1+1/k} exceeds m, so the spanner may retain the whole graph — the experiment measures the round loop, not compression")
 	return t
 }
