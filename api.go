@@ -165,15 +165,16 @@ type SparsifyReport = core.SparsifyStats
 // accuracy eps ∈ (0, 1]: it keeps a bundle of spanners plus a 1/4
 // uniform sample of the rest (reweighted ×4), roughly halving the
 // non-structural edges while (1±ε)-preserving the Laplacian quadratic
-// form with high probability.
-func Sample(g *Graph, eps float64, opt Options) (*Graph, *SampleReport) {
+// form with high probability. eps outside (0,1] is an error.
+func Sample(g *Graph, eps float64, opt Options) (*Graph, *SampleReport, error) {
 	return core.ParallelSample(g, eps, opt.config())
 }
 
 // Sparsify runs the paper's Algorithm 2 (PARALLELSPARSIFY): ⌈log₂ρ⌉
 // rounds of Sample at accuracy eps/⌈log₂ρ⌉, reducing the edge count
 // towards n·polylog(n) + m/ρ while (1±ε)-preserving the quadratic form.
-func Sparsify(g *Graph, eps, rho float64, opt Options) (*Graph, *SparsifyReport) {
+// A per-round accuracy outside (0,1] is an error.
+func Sparsify(g *Graph, eps, rho float64, opt Options) (*Graph, *SparsifyReport, error) {
 	return core.ParallelSparsify(g, eps, rho, opt.config())
 }
 
@@ -182,7 +183,7 @@ func Sparsify(g *Graph, eps, rho float64, opt Options) (*Graph, *SparsifyReport)
 // spanners, shrinking the bundle by ~log n at the cost of a weaker
 // (average-stretch) certificate. See experiment E11 for the measured
 // trade.
-func SampleTreeBundle(g *Graph, eps float64, t int, opt Options) (*Graph, *SampleReport) {
+func SampleTreeBundle(g *Graph, eps float64, t int, opt Options) (*Graph, *SampleReport, error) {
 	return core.ParallelSampleTreeBundle(g, eps, t, opt.config())
 }
 
@@ -206,14 +207,15 @@ func BundleSpanner(g *Graph, t int, opt Options) *Graph {
 
 // EffectiveResistances returns R_e for every edge of g, computed with
 // the Spielman–Srivastava Johnson–Lindenstrauss sketch (a handful of
-// Laplacian solves in total).
-func EffectiveResistances(g *Graph, opt Options) []float64 {
+// Laplacian solves in total). A solve breakdown — possible only on
+// numerically indefinite input — is an error.
+func EffectiveResistances(g *Graph, opt Options) ([]float64, error) {
 	return resistance.AllEdgesApprox(g, resistance.ApproxOptions{Seed: opt.Seed})
 }
 
 // EffectiveResistance returns the exact effective resistance between
 // two vertices of g (one Laplacian solve).
-func EffectiveResistance(g *Graph, u, v int32) float64 {
+func EffectiveResistance(g *Graph, u, v int32) (float64, error) {
 	return resistance.NewSolver(g).Pair(u, v)
 }
 
@@ -303,8 +305,8 @@ func DistributedSpanner(g *Graph, opt Options) (*Graph, DistStats) {
 }
 
 // SpielmanSrivastava runs the effective-resistance sampling baseline at
-// accuracy eps.
-func SpielmanSrivastava(g *Graph, eps float64, opt Options) *Graph {
+// accuracy eps. A failed resistance computation is an error.
+func SpielmanSrivastava(g *Graph, eps float64, opt Options) (*Graph, error) {
 	return baseline.SpielmanSrivastava(g, baseline.SSOptions{Eps: eps, Seed: opt.Seed})
 }
 

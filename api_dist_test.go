@@ -13,7 +13,10 @@ func TestDistributedSparsifyHonorsOptions(t *testing.T) {
 		{Seed: 5, Theory: true},
 	} {
 		hd, _ := DistributedSparsify(g, 0.75, 4, opt)
-		hs, _ := Sparsify(g, 0.75, 4, opt)
+		hs, _, err := Sparsify(g, 0.75, 4, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if hd.M() != hs.M() {
 			t.Fatalf("opt %+v: distributed m=%d vs shared m=%d", opt, hd.M(), hs.M())
 		}
@@ -27,7 +30,10 @@ func TestDistributedSparsifyHonorsOptions(t *testing.T) {
 	// the per-round accuracy lands in (0,1], and rho ≤ 1 is the
 	// identity for any eps.
 	hd, _ := DistributedSparsify(g, 1.5, 4, Options{Seed: 5})
-	hs, _ := Sparsify(g, 1.5, 4, Options{Seed: 5})
+	hs, _, err := Sparsify(g, 1.5, 4, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if hd.M() != hs.M() {
 		t.Fatalf("eps=1.5: distributed m=%d vs shared m=%d", hd.M(), hs.M())
 	}

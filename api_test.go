@@ -28,7 +28,10 @@ func TestEndToEndSparsify(t *testing.T) {
 
 func sparsifyChecked(t *testing.T, g *Graph, eps, rho float64, opt Options) (*Graph, *SparsifyReport, error) {
 	t.Helper()
-	h, rep := Sparsify(g, eps, rho, opt)
+	h, rep, err := Sparsify(g, eps, rho, opt)
+	if err != nil {
+		return nil, nil, err
+	}
 	if err := h.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -37,7 +40,10 @@ func sparsifyChecked(t *testing.T, g *Graph, eps, rho float64, opt Options) (*Gr
 
 func TestSampleRound(t *testing.T) {
 	g := Complete(120)
-	h, rep := Sample(g, 0.5, Options{Seed: 3})
+	h, rep, err := Sample(g, 0.5, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.BundleEdges <= 0 {
 		t.Fatal("no bundle built")
 	}
@@ -72,11 +78,17 @@ func TestBundleSpannerLeverage(t *testing.T) {
 
 func TestEffectiveResistanceAPIs(t *testing.T) {
 	g := Grid2D(6, 6)
-	rs := EffectiveResistances(g, Options{Seed: 9})
+	rs, err := EffectiveResistances(g, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rs) != g.M() {
 		t.Fatalf("len=%d", len(rs))
 	}
-	exact := EffectiveResistance(g, 0, 1)
+	exact, err := EffectiveResistance(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Find edge (0,1) in the list.
 	for i, e := range g.Edges {
 		if (e.U == 0 && e.V == 1) || (e.U == 1 && e.V == 0) {
@@ -100,7 +112,10 @@ func TestSolveLaplacianAPI(t *testing.T) {
 	}
 	// Potential difference across the source/sink pair equals the
 	// effective resistance (unit current).
-	er := EffectiveResistance(g, 0, int32(g.N-1))
+	er, err := EffectiveResistance(g, 0, int32(g.N-1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs((x[0]-x[g.N-1])-er) > 1e-4 {
 		t.Fatalf("potential gap %v vs resistance %v", x[0]-x[g.N-1], er)
 	}
@@ -142,7 +157,10 @@ func TestDistributedSparsifyAPI(t *testing.T) {
 
 func TestBaselineAPIs(t *testing.T) {
 	g := Complete(80)
-	ss := SpielmanSrivastava(g, 0.5, Options{Seed: 17})
+	ss, err := SpielmanSrivastava(g, 0.5, Options{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ss.M() == 0 {
 		t.Fatal("SS empty")
 	}
@@ -170,7 +188,10 @@ func TestStretchBoundValues(t *testing.T) {
 
 func TestTheoryOptionIsIdentityAtSmallScale(t *testing.T) {
 	g := Complete(60)
-	h, rep := Sample(g, 0.5, Options{Seed: 21, Theory: true})
+	h, rep, err := Sample(g, 0.5, Options{Seed: 21, Theory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if h.M() != g.M() {
 		t.Fatalf("theory constants should swallow K60: %d -> %d", g.M(), h.M())
 	}

@@ -188,7 +188,10 @@ func BenchmarkChainSolve(b *testing.B) {
 
 func BenchmarkSpectralBounds(b *testing.B) {
 	g := gen.Gnp(400, 0.1, 13)
-	h, _ := core.ParallelSample(g, 0.75, core.DefaultConfig(5))
+	h, _, err := core.ParallelSample(g, 0.75, core.DefaultConfig(5))
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -49,6 +49,31 @@
 // and the written result does not change. -crash-after-frames is the
 // matching fault-injection hook the recovery tests use.
 //
+// Coordinator failover: with -failover on EVERY process (the handshake
+// rejects a mixed fleet) the COORDINATOR is no longer a single point
+// of failure. Each worker pre-binds a standby hub listener
+// (-failover-listen, default 127.0.0.1:0) and announces it at join
+// time; the coordinator broadcasts the standby address book alongside
+// each checkpoint. Kill -9 the coordinator mid-run and the
+// lowest-numbered live shard adopts shard 0: it loads partition 0,
+// turns its standby listener into the hub, re-execs this binary to
+// refill its vacated shard, replays from the broadcast checkpoint, and
+// writes the assembled output to ITS -out — still bit-identical to a
+// failure-free run. Failover workers therefore take -out,
+// -max-respawns, and -checkpoint-every too:
+//
+//	distworker -join HOST:9000 -shards 4 -shard 2 -parts parts/ \
+//	    -failover -max-respawns 2 -checkpoint-every 1 -out sparse.txt
+//
+// Elastic resize: -ckpt-out FILE makes the coordinator persist each
+// durable checkpoint atomically; -resume-ckpt FILE restarts a run from
+// such a checkpoint — at ANY shard count, because replay is
+// partition-independent. The resumed run's output is bit-identical to
+// an uninterrupted one:
+//
+//	distworker -listen :9000 -shards 4 -in g.txt -ckpt-out run.ckpt
+//	distworker -listen :9000 -shards 3 -in g.txt -resume-ckpt run.ckpt
+//
 // For equal seeds the written output is edge-identical to the
 // in-process transport specs at any shard count, and the reported
 // ledger is identical on every process.
@@ -94,9 +119,13 @@ func main() {
 	maxRespawns := flag.Int("max-respawns", 0, "coordinator: survive up to this many worker deaths by respawning them (0 = a worker death fails the run)")
 	ckptEvery := flag.Int("checkpoint-every", 0, "coordinator: checkpoint cadence in sampling epochs (0 = every epoch, negative = off)")
 	resume := flag.Bool("resume", false, "worker: keep retrying the join for one -timeout window (for respawned workers racing the coordinator's recovery)")
-	crashAfterFrames := flag.Int("crash-after-frames", 0, "worker: fault injection — SIGKILL this process before its Nth protocol frame (0 = off)")
+	crashAfterFrames := flag.Int("crash-after-frames", 0, "fault injection — SIGKILL this process before its Nth protocol frame (0 = off)")
 	mesh := flag.Bool("mesh", false, "full-mesh data plane: workers exchange round batches directly (must be set on every process)")
 	peerListen := flag.String("peer-listen", "", "worker, with -mesh: peer listener bind address (default 127.0.0.1:0; use a routable host:0 for multi-machine runs)")
+	failover := flag.Bool("failover", false, "coordinator failover: survive coordinator death by electing a worker to adopt shard 0 (must be set on every process)")
+	failoverListen := flag.String("failover-listen", "", "worker, with -failover: standby hub listener bind address (default 127.0.0.1:0; use a routable host:0 for multi-machine runs)")
+	ckptOut := flag.String("ckpt-out", "", "coordinator: persist each durable checkpoint to this file (atomically) for later -resume-ckpt")
+	resumeCkpt := flag.String("resume-ckpt", "", "coordinator: restart the run from this checkpoint file (any -shards works; output is bit-identical)")
 	flag.Parse()
 
 	if *shards < 1 {
@@ -117,6 +146,12 @@ func main() {
 		}
 		validateHostPort("-peer-listen", *peerListen, true)
 	}
+	if *failoverListen != "" {
+		if !*failover {
+			log.Fatal("-failover-listen only makes sense with -failover")
+		}
+		validateHostPort("-failover-listen", *failoverListen, true)
+	}
 	if *addrFile != "" {
 		if dir := filepath.Dir(*addrFile); dir != "." {
 			if st, err := os.Stat(dir); err != nil || !st.IsDir() {
@@ -135,10 +170,11 @@ func main() {
 		splitPartitions(g, *shards, *split)
 	case *listen != "":
 		runCoordinator(runner, params, *jobName, *in, *parts, *out, *listen, *addrFile, *split,
-			*shards, *timeout, *maxRespawns, *ckptEvery, *mesh)
+			*shards, *timeout, *maxRespawns, *ckptEvery, *mesh, *failover,
+			*crashAfterFrames, *ckptOut, *resumeCkpt)
 	case *join != "":
-		runWorker(runner, params, *in, *parts, *join, *shard, *shards, *timeout, *resume,
-			*crashAfterFrames, *mesh, *peerListen)
+		runWorker(runner, params, *jobName, *in, *parts, *out, *join, *shard, *shards, *timeout, *resume,
+			*crashAfterFrames, *mesh, *peerListen, *failover, *failoverListen, *maxRespawns, *ckptEvery)
 	default:
 		log.Fatal("one of -listen (coordinator), -join (worker), or -split/-split-only is required")
 	}
@@ -308,7 +344,7 @@ func splitPartitions(g *graph.Graph, shards int, dir string) {
 // with -resume so it keeps retrying while recovery tears the old
 // connection down. The child is started asynchronously; the engine's
 // recovery window tracks the rejoin.
-func respawnWorker(jobName, in, parts string, shards int, timeout time.Duration, mesh bool) func(shard int, addr string) {
+func respawnWorker(jobName, in, parts string, shards int, timeout time.Duration, mesh, failover bool) func(shard int, addr string) {
 	return func(shard int, addr string) {
 		fmt.Fprintf(os.Stderr, "coordinator: respawning shard %d\n", shard)
 		args := []string{
@@ -319,6 +355,11 @@ func respawnWorker(jobName, in, parts string, shards int, timeout time.Duration,
 			// The replacement must rejoin on the same data plane; it binds
 			// a fresh peer listener and announces it as it rejoins.
 			args = append(args, "-mesh")
+		}
+		if failover {
+			// The replacement must match the fleet's capability set; it
+			// binds a fresh standby listener and announces it as it rejoins.
+			args = append(args, "-failover")
 		}
 		if parts != "" {
 			args = append(args, "-parts", parts)
@@ -337,7 +378,8 @@ func respawnWorker(jobName, in, parts string, shards int, timeout time.Duration,
 
 func runCoordinator(runner jobRunner, params jobParams,
 	jobName, in, parts, out, listen, addrFile, split string, shards int,
-	timeout time.Duration, maxRespawns, ckptEvery int, mesh bool) {
+	timeout time.Duration, maxRespawns, ckptEvery int, mesh, failover bool,
+	crashAfterFrames int, ckptOut, resumeCkpt string) {
 	var part *graph.Partition
 	if split != "" {
 		// Splitting needs the whole graph anyway; carve shard 0 from it.
@@ -361,6 +403,22 @@ func runCoordinator(runner jobRunner, params jobParams,
 		MaxRespawns:     maxRespawns,
 		CheckpointEvery: ckptEvery,
 		Mesh:            mesh,
+		Failover:        failover,
+		FailAfterFrames: crashAfterFrames,
+	}
+	if ckptOut != "" {
+		cfg.OnCheckpoint = func(ckpt []byte) {
+			if err := writeFileAtomic(ckptOut, ckpt); err != nil {
+				log.Fatalf("writing -ckpt-out %s: %v", ckptOut, err)
+			}
+		}
+	}
+	if resumeCkpt != "" {
+		blob, err := os.ReadFile(resumeCkpt)
+		if err != nil {
+			log.Fatalf("reading -resume-ckpt: %v", err)
+		}
+		cfg.Resume = blob
 	}
 	if maxRespawns > 0 {
 		// Respawned workers reload their shard from the same source:
@@ -370,7 +428,7 @@ func runCoordinator(runner jobRunner, params jobParams,
 		if partsSrc == "" {
 			partsSrc = split
 		}
-		cfg.Respawn = respawnWorker(jobName, in, partsSrc, shards, timeout, mesh)
+		cfg.Respawn = respawnWorker(jobName, in, partsSrc, shards, timeout, mesh, failover)
 	}
 	spec := dist.Net(cfg)
 	start := time.Now()
@@ -398,8 +456,9 @@ func runCoordinator(runner jobRunner, params jobParams,
 }
 
 func runWorker(runner jobRunner, params jobParams,
-	in, parts, join string, shard, shards int, timeout time.Duration, resume bool,
-	crashAfterFrames int, mesh bool, peerListen string) {
+	jobName, in, parts, out, join string, shard, shards int, timeout time.Duration, resume bool,
+	crashAfterFrames int, mesh bool, peerListen string, failover bool, failoverListen string,
+	maxRespawns, ckptEvery int) {
 	if shard < 1 || shard >= shards {
 		log.Fatalf("-shard must be in [1,%d)", shards)
 	}
@@ -409,12 +468,41 @@ func runWorker(runner jobRunner, params jobParams,
 	if resume {
 		wcfg.JoinRetry = timeout
 	}
+	if failover {
+		wcfg.Failover = true
+		wcfg.FailoverListen = failoverListen
+		wcfg.MaxRespawns = maxRespawns
+		wcfg.CheckpointEvery = ckptEvery
+		wcfg.LoadPartition = func(s int) (*graph.Partition, error) {
+			return loadPartition(in, parts, s, shards), nil
+		}
+		wcfg.Respawn = respawnWorker(jobName, in, parts, shards, timeout, mesh, failover)
+	}
 	spec := dist.Worker(wcfg)
 	fmt.Fprintf(os.Stderr, "worker: shard %d/%d joining %s (%d incident edges, vertices [%d,%d))\n",
 		shard, shards, join, len(part.IDs), part.Lo, part.Hi)
-	_, stats, _, err := runner(dist.NewPartitionEngine(spec, part), params)
+	g, stats, wireBytes, err := runner(dist.NewPartitionEngine(spec, part), params)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if g != nil {
+		// This worker was elected coordinator after a failover and holds
+		// the assembled output; write it exactly as a born coordinator
+		// would.
+		fmt.Fprintf(os.Stderr, "worker %d finished as elected coordinator: n=%d m=%d -> m=%d (wire: %d bytes)\n",
+			shard, part.N, part.M, g.M(), wireBytes)
+		w := os.Stdout
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := graphio.Write(w, g); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "worker %d done; ledger: %s\n", shard, stats)
 }

@@ -552,6 +552,223 @@ func TestAddrFileAtomicity(t *testing.T) {
 	}
 }
 
+// coordinatorKillDrill is the coordinator-failover ground truth at the
+// OS level: the COORDINATOR process SIGKILLs itself mid-run
+// (-crash-after-frames with -listen), the lowest live shard is elected
+// and adopts shard 0 from the broadcast checkpoint, re-execs this
+// binary to refill its vacated shard, and writes the assembled output
+// to ITS -out — bit-identical to the single-process in-memory run,
+// with an identical ledger.
+func coordinatorKillDrill(t *testing.T, mesh bool) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	const (
+		shards = 3
+		seed   = 11
+	)
+	dir := t.TempDir()
+	g := gen.Gnp(600, 0.03, 9)
+	graphPath := filepath.Join(dir, "graph.txt")
+	f, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	partsDir := filepath.Join(dir, "parts")
+	if err := child(t, "-in", graphPath, "-shards", "3", "-split", partsDir, "-split-only").Run(); err != nil {
+		t.Fatalf("split: %v", err)
+	}
+
+	meshArgs := func(args []string) []string {
+		if mesh {
+			args = append(args, "-mesh")
+		}
+		return args
+	}
+	addrPath := filepath.Join(dir, "addr")
+	coord := childCapture(t, meshArgs([]string{
+		"-listen", "127.0.0.1:0", "-shards", "3", "-parts", partsDir,
+		"-eps", "0.75", "-rho", "4", "-seed", "11", "-out", filepath.Join(dir, "coord.txt"),
+		"-addr-file", addrPath, "-timeout", "30s", "-failover", "-checkpoint-every", "1",
+		"-crash-after-frames", "60"})...)
+	var coordLog strings.Builder
+	coord.Stderr = &coordLog
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+
+	addr := waitForFile(t, addrPath, 15*time.Second)
+	outPaths := make([]string, shards)
+	logs := make([]*strings.Builder, shards)
+	workers := make([]*exec.Cmd, shards)
+	for s := 1; s < shards; s++ {
+		outPaths[s] = filepath.Join(dir, "worker"+strconv.Itoa(s)+".txt")
+		w := childCapture(t, meshArgs([]string{
+			"-join", addr, "-shards", "3", "-shard", strconv.Itoa(s), "-parts", partsDir,
+			"-timeout", "30s", "-failover", "-checkpoint-every", "1", "-max-respawns", "2",
+			"-out", outPaths[s]})...)
+		logs[s] = &strings.Builder{}
+		w.Stderr = logs[s]
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		workers[s] = w
+	}
+	// The coordinator SIGKILLs itself before its 60th frame: its exit
+	// status must be the signal, not a clean run.
+	if err := coord.Wait(); err == nil {
+		t.Fatalf("doomed coordinator exited cleanly; fault injection never fired\nlog:\n%s", coordLog.String())
+	}
+	for s := 1; s < shards; s++ {
+		if err := workers[s].Wait(); err != nil {
+			t.Fatalf("worker %d: %v\nits log:\n%s\ncoordinator log:\n%s", s, err, logs[s], coordLog.String())
+		}
+	}
+	// Shard 1 — the lowest live shard — must have been elected, respawned
+	// its vacated slot, and written the output.
+	if !strings.Contains(logs[1].String(), "respawning shard 1") {
+		t.Fatalf("elected worker never respawned its vacated shard:\n%s", logs[1])
+	}
+	if !strings.Contains(logs[1].String(), "finished as elected coordinator") {
+		t.Fatalf("worker 1 never reported the adoption:\n%s", logs[1])
+	}
+	of, err := os.Open(outPaths[1])
+	if err != nil {
+		t.Fatalf("elected worker wrote no output: %v", err)
+	}
+	defer of.Close()
+	got, err := graphio.Read(of)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference on the same plane at the same shard count, so the FULL
+	// ledger (CrossShard split included) is comparable.
+	refSpec := dist.Loopback(shards)
+	if mesh {
+		refSpec = dist.Mesh(shards)
+	}
+	ref, err := dist.Run(dist.NewEngine(refSpec, g), dist.SparsifyJob(0.75, 4, core.DefaultConfig(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != ref.Output.N || got.M() != ref.Output.M() {
+		t.Fatalf("failed-over run %v vs failure-free %v", got, ref.Output)
+	}
+	for i := range ref.Output.Edges {
+		if got.Edges[i] != ref.Output.Edges[i] {
+			t.Fatalf("failed-over edge %d differs: %+v vs %+v", i, got.Edges[i], ref.Output.Edges[i])
+		}
+	}
+	// The ledger the elected coordinator reports must equal the
+	// failure-free one — the equivalence guarantee is failure-transparent.
+	if want := "ledger: " + ref.Stats.String(); !strings.Contains(logs[1].String(), want) {
+		t.Fatalf("elected worker's ledger diverges from the failure-free run (want %q):\n%s", want, logs[1])
+	}
+}
+
+// TestMultiProcessCoordinatorKillRecover: kill -9 the coordinator on
+// the star data plane and the fleet finishes with bit-identical output.
+func TestMultiProcessCoordinatorKillRecover(t *testing.T) {
+	coordinatorKillDrill(t, false)
+}
+
+// TestMultiProcessMeshCoordinatorKillRecover: the same drill on the
+// full-mesh data plane — the survivors' direct links die with the hub,
+// and the re-formed fleet rebuilds the mesh under the new coordinator.
+func TestMultiProcessMeshCoordinatorKillRecover(t *testing.T) {
+	coordinatorKillDrill(t, true)
+}
+
+// TestMultiProcessElasticResize: -ckpt-out on a 3-shard fleet, then
+// -resume-ckpt on a 2-shard fleet — the resized, resumed run writes
+// output bit-identical to the in-memory reference (replay is
+// partition-independent; only the Stats CrossShard split may differ).
+func TestMultiProcessElasticResize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	const seed = 11
+	dir := t.TempDir()
+	g := gen.Gnp(600, 0.03, 9)
+	graphPath := filepath.Join(dir, "graph.txt")
+	f, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ckptPath := filepath.Join(dir, "run.ckpt")
+	runFleet := func(shards int, outName string, extra ...string) *os.File {
+		t.Helper()
+		addrPath := filepath.Join(dir, "addr"+strconv.Itoa(shards))
+		outPath := filepath.Join(dir, outName)
+		args := append([]string{"-listen", "127.0.0.1:0", "-shards", strconv.Itoa(shards),
+			"-in", graphPath, "-eps", "0.75", "-rho", "4", "-seed", "11",
+			"-out", outPath, "-addr-file", addrPath, "-timeout", "30s", "-checkpoint-every", "1"}, extra...)
+		coord := child(t, args...)
+		if err := coord.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer coord.Process.Kill()
+		addr := waitForFile(t, addrPath, 15*time.Second)
+		for s := 1; s < shards; s++ {
+			w := child(t, "-join", addr, "-shards", strconv.Itoa(shards), "-shard", strconv.Itoa(s),
+				"-in", graphPath, "-timeout", "30s")
+			if err := w.Start(); err != nil {
+				t.Fatal(err)
+			}
+			defer func(s int, w *exec.Cmd) {
+				if err := w.Wait(); err != nil {
+					t.Fatalf("worker %d/%d: %v", s, shards, err)
+				}
+			}(s, w)
+		}
+		if err := coord.Wait(); err != nil {
+			t.Fatalf("%d-shard coordinator: %v", shards, err)
+		}
+		of, err := os.Open(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return of
+	}
+
+	ref, err := dist.Run(dist.NewEngine(dist.Mem(), g), dist.SparsifyJob(0.75, 4, core.DefaultConfig(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, of *os.File) {
+		t.Helper()
+		defer of.Close()
+		got, err := graphio.Read(of)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.N != ref.Output.N || got.M() != ref.Output.M() {
+			t.Fatalf("%s run %v vs in-memory %v", name, got, ref.Output)
+		}
+		for i := range ref.Output.Edges {
+			if got.Edges[i] != ref.Output.Edges[i] {
+				t.Fatalf("%s edge %d differs: %+v vs %+v", name, i, got.Edges[i], ref.Output.Edges[i])
+			}
+		}
+	}
+
+	check("3-shard checkpointing", runFleet(3, "sparse3.txt", "-ckpt-out", ckptPath))
+	if _, err := os.Stat(ckptPath); err != nil {
+		t.Fatalf("-ckpt-out wrote nothing: %v", err)
+	}
+	check("2-shard resumed", runFleet(2, "sparse2.txt", "-resume-ckpt", ckptPath))
+}
+
 // TestMultiProcessSpannerJob: the -job flag really switches the
 // algorithm — a coordinator and a worker process run the spanner job
 // end to end and the written subgraph matches the in-memory spanner.

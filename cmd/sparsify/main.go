@@ -72,7 +72,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ledger: %s\n", stats)
 	} else {
 		var rep *repro.SparsifyReport
-		h, rep = repro.Sparsify(g, *eps, *rho, repro.Options{Seed: *seed, Theory: *theory})
+		h, rep, err = repro.Sparsify(g, *eps, *rho, repro.Options{Seed: *seed, Theory: *theory})
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Fprintf(os.Stderr, "n=%d m=%d -> m=%d (%.1fx) in %d rounds\n",
 			g.N, rep.InputEdges, rep.OutputEdges,
 			float64(rep.InputEdges)/float64(max(rep.OutputEdges, 1)), len(rep.Rounds))

@@ -13,7 +13,7 @@
 // Quick start:
 //
 //	g := repro.Gnp(500, 0.5, 1)                   // a dense random graph
-//	h, report := repro.Sparsify(g, 0.75, 4, repro.Options{Seed: 7})
+//	h, report, err := repro.Sparsify(g, 0.75, 4, repro.Options{Seed: 7})
 //	// h ≈ g spectrally with roughly half the edges kept; report has
 //	// the per-round bundle/sample statistics.
 //	b, err := repro.Bounds(g, h, repro.Options{}) // measure (1±ε)
@@ -51,7 +51,14 @@
 // every spec for equal seeds — the medium changes how messages travel,
 // never what is decided — and the ledger additionally reports
 // DistStats.CrossShardMessages/CrossShardWords, the traffic a real
-// multi-machine partition puts on the wire. See internal/dist for the
+// multi-machine partition puts on the wire. Multi-process runs are
+// fault-tolerant end to end: worker death is recovered by checkpointed
+// deterministic replay, coordinator death by shard-0 failover when
+// NetConfig.Failover is armed (a surviving shard adopts the hub from a
+// pre-announced standby listener and re-broadcasts the last
+// checkpoint), and a checkpoint blob can resume a run on a fleet of a
+// different size (NetConfig.Resume) — in every case with output
+// bit-identical to a failure-free run. See internal/dist for the
 // Engine/Job/TransportSpec contract and experiments E12/E13 (`go run
 // ./cmd/bench -run E12,E13`) for the scaling, transport-comparison,
 // and per-worker-footprint sweeps.

@@ -46,7 +46,10 @@ func main() {
 	// BundleT pins a thin 3-layer certification bundle — the practical
 	// knob for mid-density inputs where the ε-driven thickness would
 	// swallow the whole graph (see ROADMAP.md on constants).
-	h, rep := repro.Sparsify(g, 0.5, 4, repro.Options{Seed: 9, BundleT: 3})
+	h, rep, err := repro.Sparsify(g, 0.5, 4, repro.Options{Seed: 9, BundleT: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("sparsifier: m=%d (%.1f%% of input, %d rounds)\n",
 		h.M(), 100*float64(h.M())/float64(g.M()), len(rep.Rounds))
 	y, res2, err := repro.SolveLaplacian(h, b, 1e-8, repro.Options{Seed: 11})

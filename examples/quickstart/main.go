@@ -21,7 +21,10 @@ func main() {
 	fmt.Printf("input:      n=%d m=%d\n", g.N, g.M())
 
 	// Sparsify by a factor of rho=4 at target accuracy eps=0.75.
-	h, report := repro.Sparsify(g, 0.75, 4, repro.Options{Seed: 7})
+	h, report, err := repro.Sparsify(g, 0.75, 4, repro.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("sparsifier: m=%d (%.1f%% of input, %d sample rounds)\n",
 		h.M(), 100*float64(h.M())/float64(g.M()), len(report.Rounds))
 	for i, r := range report.Rounds {
@@ -37,7 +40,13 @@ func main() {
 
 	// Effective resistances are approximately preserved too (they are
 	// a special case of the quadratic form guarantee).
-	rg := repro.EffectiveResistance(g, 0, 499)
-	rh := repro.EffectiveResistance(h, 0, 499)
+	rg, err := repro.EffectiveResistance(g, 0, 499)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rh, err := repro.EffectiveResistance(h, 0, 499)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("resistance: R_G(0,499)=%.5f  R_H(0,499)=%.5f  (ratio %.3f)\n", rg, rh, rh/rg)
 }

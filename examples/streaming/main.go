@@ -34,7 +34,10 @@ func main() {
 			peak = sz
 		}
 	}
-	h, reduces := s.Finish()
+	h, reduces, err := s.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("stream:  %d edges ingested, peak in-memory %d edges (%.1f%% of stream)\n",
 		s.Ingested(), peak, 100*float64(peak)/float64(g.M()))
 	fmt.Printf("summary: %d edges after %d reduces (%.1f%% of stream)\n",

@@ -33,7 +33,10 @@ func TestPipelineGenerateSerializeSparsifySolve(t *testing.T) {
 	if parsed.M() != g.M() || parsed.N != g.N {
 		t.Fatal("serialize/parse changed the graph")
 	}
-	h, rep := Sparsify(parsed, 0.75, 4, Options{Seed: 7})
+	h, rep, err := Sparsify(parsed, 0.75, 4, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.OutputEdges != h.M() {
 		t.Fatal("report inconsistent")
 	}
@@ -106,7 +109,10 @@ func TestSparsifierQualityRandomized(t *testing.T) {
 	check := func(seed uint64) bool {
 		n := 60 + int(seed%80)
 		g := gen.Gnp(n, 0.4, seed)
-		h, _ := Sample(g, 0.5, Options{Seed: seed ^ 0xbeef})
+		h, _, err := Sample(g, 0.5, Options{Seed: seed ^ 0xbeef})
+		if err != nil {
+			return false
+		}
 		b, err := spectral.DenseApproxFactor(g, h)
 		if err != nil {
 			return false

@@ -36,8 +36,10 @@ type SSOptions struct {
 }
 
 // SpielmanSrivastava returns a sparsifier of g by effective-resistance
-// importance sampling. Repeated draws of the same edge are merged.
-func SpielmanSrivastava(g *graph.Graph, opt SSOptions) *graph.Graph {
+// importance sampling. Repeated draws of the same edge are merged. A
+// failed resistance computation (CG breakdown on indefinite input)
+// fails the call — sampling from garbage leverages is not a sparsifier.
+func SpielmanSrivastava(g *graph.Graph, opt SSOptions) (*graph.Graph, error) {
 	if opt.Eps <= 0 {
 		opt.Eps = 0.5
 	}
@@ -47,13 +49,19 @@ func SpielmanSrivastava(g *graph.Graph, opt SSOptions) *graph.Graph {
 	n := g.N
 	m := len(g.Edges)
 	if m == 0 {
-		return g.Clone()
+		return g.Clone(), nil
 	}
-	var res []float64
+	var (
+		res []float64
+		err error
+	)
 	if opt.Exact {
-		res = resistance.AllEdgesExact(g)
+		res, err = resistance.AllEdgesExact(g)
 	} else {
-		res = resistance.AllEdgesApprox(g, resistance.ApproxOptions{Eps: 0.25, Seed: opt.Seed ^ 0x452821e638d01377})
+		res, err = resistance.AllEdgesApprox(g, resistance.ApproxOptions{Eps: 0.25, Seed: opt.Seed ^ 0x452821e638d01377})
+	}
+	if err != nil {
+		return nil, err
 	}
 	// Sampling probabilities ∝ leverage w_e·R_e; total leverage is n−1
 	// for connected graphs, so the normalizer also sanity-checks res.
@@ -72,7 +80,7 @@ func SpielmanSrivastava(g *graph.Graph, opt SSOptions) *graph.Graph {
 		total += l
 	}
 	if total <= 0 {
-		return g.Clone()
+		return g.Clone(), nil
 	}
 	q := int(math.Ceil(opt.CSamples * float64(n) * math.Log(float64(n)+2) / (opt.Eps * opt.Eps)))
 	// Cumulative distribution for binary-search sampling.
@@ -100,7 +108,7 @@ func SpielmanSrivastava(g *graph.Graph, opt SSOptions) *graph.Graph {
 		edges = append(edges, graph.Edge{U: e.U, V: e.V, W: w})
 	}
 	out := graph.FromEdges(n, edges)
-	return out.Canonical()
+	return out.Canonical(), nil
 }
 
 // Uniform keeps every edge independently with probability p at weight

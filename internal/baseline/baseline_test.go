@@ -11,7 +11,10 @@ import (
 
 func TestSpielmanSrivastavaQuality(t *testing.T) {
 	g := gen.Complete(100)
-	h := SpielmanSrivastava(g, SSOptions{Eps: 0.4, Exact: true, Seed: 3})
+	h, err := SpielmanSrivastava(g, SSOptions{Eps: 0.4, Exact: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !graph.IsConnected(h) {
 		t.Fatal("SS sparsifier disconnected")
 	}
@@ -26,7 +29,10 @@ func TestSpielmanSrivastavaQuality(t *testing.T) {
 
 func TestSpielmanSrivastavaReduces(t *testing.T) {
 	g := gen.Complete(200) // m ≈ 19900
-	h := SpielmanSrivastava(g, SSOptions{Eps: 0.5, Exact: true, Seed: 5})
+	h, err := SpielmanSrivastava(g, SSOptions{Eps: 0.5, Exact: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if h.M() >= g.M()/2 {
 		t.Fatalf("SS kept %d of %d", h.M(), g.M())
 	}
@@ -37,7 +43,10 @@ func TestSpielmanSrivastavaSketchMode(t *testing.T) {
 	if !graph.IsConnected(g) {
 		t.Skip("disconnected")
 	}
-	h := SpielmanSrivastava(g, SSOptions{Eps: 0.5, Exact: false, Seed: 7})
+	h, err := SpielmanSrivastava(g, SSOptions{Eps: 0.5, Exact: false, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !graph.IsConnected(h) {
 		t.Fatal("sketch-mode SS disconnected")
 	}
@@ -54,7 +63,10 @@ func TestSpielmanSrivastavaKeepsBridges(t *testing.T) {
 	// The dumbbell bridge has leverage 1: it must essentially always be
 	// sampled.
 	g := gen.Barbell(25, 1)
-	h := SpielmanSrivastava(g, SSOptions{Eps: 0.5, Exact: true, Seed: 11})
+	h, err := SpielmanSrivastava(g, SSOptions{Eps: 0.5, Exact: true, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !graph.IsConnected(h) {
 		t.Fatal("SS lost the dumbbell bridge")
 	}
@@ -62,9 +74,27 @@ func TestSpielmanSrivastavaKeepsBridges(t *testing.T) {
 
 func TestSpielmanSrivastavaEmptyGraph(t *testing.T) {
 	g := graph.New(5)
-	h := SpielmanSrivastava(g, SSOptions{Eps: 0.5, Seed: 1})
+	h, err := SpielmanSrivastava(g, SSOptions{Eps: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if h.M() != 0 || h.N != 5 {
 		t.Fatal("empty graph mishandled")
+	}
+}
+
+// TestSpielmanSrivastavaResistanceFailureSurfaces: an indefinite input
+// breaks the inner Laplacian solves; sampling from those garbage
+// leverages must fail loudly rather than return a bogus sparsifier.
+func TestSpielmanSrivastavaResistanceFailureSurfaces(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{
+		{U: 0, V: 1, W: -1},
+		{U: 1, V: 2, W: 1},
+	})
+	for _, exact := range []bool{true, false} {
+		if _, err := SpielmanSrivastava(g, SSOptions{Eps: 0.5, Exact: exact, Seed: 3}); err == nil {
+			t.Fatalf("exact=%v: no error on indefinite input", exact)
+		}
 	}
 }
 

@@ -28,7 +28,10 @@ func TestLemma1LeverageBound(t *testing.T) {
 			if !graph.IsConnected(tc.g) {
 				t.Skip("disconnected")
 			}
-			res := resistance.AllEdgesExact(tc.g)
+			res, err := resistance.AllEdgesExact(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
 			adj := graph.NewAdjacency(tc.g)
 			k := spanner.DefaultK(tc.g.N)
 			stretchBound := float64(2*k - 1)
@@ -55,7 +58,10 @@ func TestLemma1LeverageBound(t *testing.T) {
 // non-bundle leverage must (weakly) decrease as t grows.
 func TestLeverageBoundTightensWithT(t *testing.T) {
 	g := gen.Complete(80)
-	res := resistance.AllEdgesExact(g)
+	res, err := resistance.AllEdgesExact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	adj := graph.NewAdjacency(g)
 	prev := 1e18
 	for _, layers := range []int{1, 3, 6} {

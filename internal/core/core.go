@@ -131,10 +131,13 @@ func (s SampleStats) String() string {
 }
 
 // ParallelSample runs Algorithm 1 on g at accuracy eps and returns the
-// sparsified graph together with round statistics.
-func ParallelSample(g *graph.Graph, eps float64, cfg Config) (*graph.Graph, *SampleStats) {
-	if eps <= 0 || eps > 1 {
-		panic(fmt.Sprintf("core: ParallelSample requires eps in (0,1], got %v", eps))
+// sparsified graph together with round statistics. eps outside (0,1] is
+// an error — callers composing rounds (Algorithm 2, the streaming
+// reducer, the solver chain) must surface it rather than run a round
+// with no guarantee.
+func ParallelSample(g *graph.Graph, eps float64, cfg Config) (*graph.Graph, *SampleStats, error) {
+	if !(eps > 0 && eps <= 1) { // written to also reject NaN
+		return nil, nil, fmt.Errorf("core: ParallelSample requires eps in (0,1], got %v", eps)
 	}
 	n := g.N
 	m := len(g.Edges)
@@ -177,7 +180,7 @@ func ParallelSample(g *graph.Graph, eps float64, cfg Config) (*graph.Graph, *Sam
 	}
 	stats.OutputEdges = len(edges)
 	stats.SampledEdges = stats.OutputEdges - stats.BundleEdges
-	return graph.FromEdges(n, edges), stats
+	return graph.FromEdges(n, edges), stats, nil
 }
 
 // SparsifyStats aggregates the per-round statistics of Algorithm 2.
@@ -191,13 +194,14 @@ type SparsifyStats struct {
 
 // ParallelSparsify runs Algorithm 2: ⌈log₂ ρ⌉ rounds of ParallelSample
 // at accuracy eps/⌈log₂ ρ⌉. rho is the edge reduction factor of choice
-// (Theorem 5); rho ≤ 1 returns a copy of g untouched.
-func ParallelSparsify(g *graph.Graph, eps, rho float64, cfg Config) (*graph.Graph, *SparsifyStats) {
+// (Theorem 5); rho ≤ 1 returns a copy of g untouched. A round whose
+// derived per-round accuracy falls outside (0,1] fails the whole call.
+func ParallelSparsify(g *graph.Graph, eps, rho float64, cfg Config) (*graph.Graph, *SparsifyStats, error) {
 	stats := &SparsifyStats{InputEdges: len(g.Edges)}
 	if rho <= 1 {
 		stats.OutputEdges = len(g.Edges)
 		stats.EpsPerRound = eps
-		return g.Clone(), stats
+		return g.Clone(), stats, nil
 	}
 	rounds := int(math.Ceil(math.Log2(rho)))
 	epsRound := eps / float64(rounds)
@@ -206,12 +210,15 @@ func ParallelSparsify(g *graph.Graph, eps, rho float64, cfg Config) (*graph.Grap
 	for i := 0; i < rounds; i++ {
 		roundCfg := cfg
 		roundCfg.Seed = cfg.Seed ^ (uint64(i+1) * RoundSeedMix)
-		next, rs := ParallelSample(cur, epsRound, roundCfg)
+		next, rs, err := ParallelSample(cur, epsRound, roundCfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: ParallelSparsify round %d of %d: %w", i+1, rounds, err)
+		}
 		stats.Rounds = append(stats.Rounds, rs)
 		cur = next
 	}
 	stats.OutputEdges = len(cur.Edges)
-	return cur, stats
+	return cur, stats, nil
 }
 
 // SizeBound returns the Theorem 5 edge bound n·log³n·log³ρ/ε² + m/ρ

@@ -10,6 +10,35 @@ import (
 	"repro/internal/spectral"
 )
 
+// sampleOK / sparsifyOK / treeBundleOK run the samplers on inputs the
+// tests expect to succeed, failing the test on an error return.
+func sampleOK(t *testing.T, g *graph.Graph, eps float64, cfg Config) (*graph.Graph, *SampleStats) {
+	t.Helper()
+	out, stats, err := ParallelSample(g, eps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, stats
+}
+
+func sparsifyOK(t *testing.T, g *graph.Graph, eps, rho float64, cfg Config) (*graph.Graph, *SparsifyStats) {
+	t.Helper()
+	out, stats, err := ParallelSparsify(g, eps, rho, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, stats
+}
+
+func treeBundleOK(t *testing.T, g *graph.Graph, eps float64, layers int, cfg Config) (*graph.Graph, *SampleStats) {
+	t.Helper()
+	out, stats, err := ParallelSampleTreeBundle(g, eps, layers, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, stats
+}
+
 func TestTheoryBundleThickness(t *testing.T) {
 	cfg := TheoryConfig(1)
 	// n=1024 → log2=10; eps=0.5 → t = 24·100/0.25 = 9600.
@@ -42,7 +71,7 @@ func TestParallelSampleIdentityUnderTheoryConstants(t *testing.T) {
 	// everything and Algorithm 1 is the identity — the correct
 	// degenerate behaviour.
 	g := gen.Complete(60)
-	out, stats := ParallelSample(g, 0.5, TheoryConfig(3))
+	out, stats := sampleOK(t, g, 0.5, TheoryConfig(3))
 	if !stats.Exhausted {
 		t.Fatal("theory bundle should exhaust K60")
 	}
@@ -60,7 +89,7 @@ func TestParallelSampleIdentityUnderTheoryConstants(t *testing.T) {
 
 func TestParallelSampleReducesDenseGraph(t *testing.T) {
 	g := gen.Complete(200)
-	out, stats := ParallelSample(g, 0.5, DefaultConfig(5))
+	out, stats := sampleOK(t, g, 0.5, DefaultConfig(5))
 	if out.M() >= g.M() {
 		t.Fatalf("no reduction: %d -> %d", g.M(), out.M())
 	}
@@ -83,7 +112,7 @@ func TestParallelSampleOutputWeights(t *testing.T) {
 	for _, e := range g.Edges {
 		inputW[[2]int32{e.U, e.V}] = e.W
 	}
-	out, _ := ParallelSample(g, 0.5, DefaultConfig(7))
+	out, _ := sampleOK(t, g, 0.5, DefaultConfig(7))
 	for _, e := range out.Edges {
 		w0 := inputW[[2]int32{e.U, e.V}]
 		if math.Abs(e.W-w0) > 1e-12 && math.Abs(e.W-4*w0) > 1e-12 {
@@ -98,7 +127,7 @@ func TestParallelSampleUnbiased(t *testing.T) {
 	trials := 60
 	sum := 0.0
 	for s := 0; s < trials; s++ {
-		out, _ := ParallelSample(g, 0.5, DefaultConfig(uint64(1000+s)))
+		out, _ := sampleOK(t, g, 0.5, DefaultConfig(uint64(1000+s)))
 		sum += out.TotalWeight()
 	}
 	mean := sum / float64(trials)
@@ -111,7 +140,7 @@ func TestParallelSampleUnbiased(t *testing.T) {
 func TestParallelSampleQualityK150(t *testing.T) {
 	g := gen.Complete(150)
 	eps := 0.5
-	out, _ := ParallelSample(g, eps, DefaultConfig(11))
+	out, _ := sampleOK(t, g, eps, DefaultConfig(11))
 	b, err := spectral.DenseApproxFactor(g, out)
 	if err != nil {
 		t.Fatal(err)
@@ -122,17 +151,28 @@ func TestParallelSampleQualityK150(t *testing.T) {
 }
 
 func TestParallelSampleRejectsBadEps(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+	// eps outside (0,1] is a returned error, not a panic — callers that
+	// compute a per-round eps (Sparsify, the stream reducer, the solver
+	// chain) surface it instead of crashing the process.
+	for _, eps := range []float64{0, -0.5, 1.5, math.NaN()} {
+		if _, _, err := ParallelSample(gen.Path(4), eps, DefaultConfig(1)); err == nil {
+			t.Fatalf("eps=%v accepted", eps)
 		}
-	}()
-	ParallelSample(gen.Path(4), 0, DefaultConfig(1))
+	}
+}
+
+func TestParallelSparsifyPropagatesBadRoundEps(t *testing.T) {
+	// rho=2 → one round at full eps; eps=3 makes that round's accuracy
+	// illegal, and the error must name the round.
+	_, _, err := ParallelSparsify(gen.Complete(40), 3, 2, DefaultConfig(1))
+	if err == nil {
+		t.Fatal("per-round eps 3 accepted")
+	}
 }
 
 func TestParallelSparsifyRoundCount(t *testing.T) {
 	g := gen.Complete(100)
-	_, stats := ParallelSparsify(g, 0.5, 8, DefaultConfig(13))
+	_, stats := sparsifyOK(t, g, 0.5, 8, DefaultConfig(13))
 	if len(stats.Rounds) != 3 { // ceil(log2 8) = 3
 		t.Fatalf("rounds=%d want 3", len(stats.Rounds))
 	}
@@ -144,7 +184,7 @@ func TestParallelSparsifyRoundCount(t *testing.T) {
 
 func TestParallelSparsifyRhoOneIsIdentity(t *testing.T) {
 	g := gen.Gnp(80, 0.3, 15)
-	out, stats := ParallelSparsify(g, 0.5, 1, DefaultConfig(1))
+	out, stats := sparsifyOK(t, g, 0.5, 1, DefaultConfig(1))
 	if out.M() != g.M() || len(stats.Rounds) != 0 {
 		t.Fatal("rho<=1 must be the identity")
 	}
@@ -157,7 +197,7 @@ func TestParallelSparsifyRhoOneIsIdentity(t *testing.T) {
 
 func TestParallelSparsifyReduction(t *testing.T) {
 	g := gen.Complete(220)
-	out, _ := ParallelSparsify(g, 0.9, 8, DefaultConfig(17))
+	out, _ := sparsifyOK(t, g, 0.9, 8, DefaultConfig(17))
 	if float64(out.M()) > 0.6*float64(g.M()) {
 		t.Fatalf("rho=8 kept %d of %d edges", out.M(), g.M())
 	}
@@ -169,7 +209,7 @@ func TestParallelSparsifyReduction(t *testing.T) {
 func TestParallelSparsifyQualityGrid(t *testing.T) {
 	g := gen.Grid2D(12, 12)
 	eps := 0.5
-	out, _ := ParallelSparsify(g, eps, 4, DefaultConfig(19))
+	out, _ := sparsifyOK(t, g, eps, 4, DefaultConfig(19))
 	b, err := spectral.DenseApproxFactor(g, out)
 	if err != nil {
 		t.Fatal(err)
@@ -181,8 +221,8 @@ func TestParallelSparsifyQualityGrid(t *testing.T) {
 
 func TestParallelSparsifyDeterministic(t *testing.T) {
 	g := gen.Complete(120)
-	a, _ := ParallelSparsify(g, 0.5, 4, DefaultConfig(23))
-	b, _ := ParallelSparsify(g, 0.5, 4, DefaultConfig(23))
+	a, _ := sparsifyOK(t, g, 0.5, 4, DefaultConfig(23))
+	b, _ := sparsifyOK(t, g, 0.5, 4, DefaultConfig(23))
 	if a.M() != b.M() {
 		t.Fatalf("sizes differ: %d vs %d", a.M(), b.M())
 	}
@@ -198,7 +238,7 @@ func TestTrackerAccumulatesThroughSparsify(t *testing.T) {
 	tr := pram.New()
 	cfg := DefaultConfig(29)
 	cfg.Tracker = tr
-	ParallelSparsify(g, 0.5, 4, cfg)
+	sparsifyOK(t, g, 0.5, 4, cfg)
 	if tr.Work() <= int64(g.M()) {
 		t.Fatalf("work %d implausibly small for m=%d", tr.Work(), g.M())
 	}
@@ -219,7 +259,7 @@ func TestSizeBoundMonotonicInRho(t *testing.T) {
 }
 
 func TestSampleStatsString(t *testing.T) {
-	_, stats := ParallelSample(gen.Complete(50), 0.5, DefaultConfig(31))
+	_, stats := sampleOK(t, gen.Complete(50), 0.5, DefaultConfig(31))
 	if s := stats.String(); len(s) == 0 {
 		t.Fatal("empty stats string")
 	}

@@ -15,7 +15,7 @@ func TestSampleOnDisconnectedGraphPreservesComponents(t *testing.T) {
 		g.Edges = append(g.Edges, e)
 		g.Edges = append(g.Edges, graph.Edge{U: e.U + 40, V: e.V + 40, W: 1})
 	}
-	out, _ := ParallelSample(g, 0.5, DefaultConfig(3))
+	out, _ := sampleOK(t, g, 0.5, DefaultConfig(3))
 	_, compsIn := graph.Components(g, nil)
 	_, compsOut := graph.Components(out, nil)
 	if compsIn != compsOut {
@@ -25,7 +25,7 @@ func TestSampleOnDisconnectedGraphPreservesComponents(t *testing.T) {
 
 func TestSampleOnEmptyAndTinyGraphs(t *testing.T) {
 	for _, g := range []*graph.Graph{graph.New(0), graph.New(3), gen.Path(2)} {
-		out, stats := ParallelSample(g, 0.5, DefaultConfig(5))
+		out, stats := sampleOK(t, g, 0.5, DefaultConfig(5))
 		if out.N != g.N {
 			t.Fatalf("vertex count changed: %d -> %d", g.N, out.N)
 		}
@@ -42,7 +42,7 @@ func TestSampleWithParallelEdgesAndLoops(t *testing.T) {
 		{U: 2, V: 2, W: 5}, // loop
 		{U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1},
 	})
-	out, _ := ParallelSample(g, 0.5, DefaultConfig(7))
+	out, _ := sampleOK(t, g, 0.5, DefaultConfig(7))
 	if err := out.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestSampleWithParallelEdgesAndLoops(t *testing.T) {
 
 func TestSparsifyHugeRhoStillTerminates(t *testing.T) {
 	g := gen.Complete(60)
-	out, stats := ParallelSparsify(g, 0.9, 1e6, DefaultConfig(9))
+	out, stats := sparsifyOK(t, g, 0.9, 1e6, DefaultConfig(9))
 	if len(stats.Rounds) != 20 { // ceil(log2 1e6)
 		t.Fatalf("rounds %d want 20", len(stats.Rounds))
 	}
@@ -68,7 +68,10 @@ func TestSampleKeepProbProperty(t *testing.T) {
 		cfg := DefaultConfig(seed)
 		cfg.KeepProb = p
 		cfg.BundleT = 1
-		out, _ := ParallelSample(g, 0.5, cfg)
+		out, _, err := ParallelSample(g, 0.5, cfg)
+		if err != nil {
+			return false
+		}
 		for _, e := range out.Edges {
 			// weight is 1 (bundle) or 1/p (sampled).
 			if e.W != 1 && !approxEq(e.W, 1/p) {
@@ -95,7 +98,7 @@ func TestConfigSeedIndependenceOfRounds(t *testing.T) {
 	// dense graph, round outputs should not repeat the identical edge
 	// subset (probability astronomically small if seeds differ).
 	g := gen.Complete(100)
-	_, stats := ParallelSparsify(g, 0.9, 4, DefaultConfig(11))
+	_, stats := sparsifyOK(t, g, 0.9, 4, DefaultConfig(11))
 	if len(stats.Rounds) != 2 {
 		t.Fatalf("rounds %d", len(stats.Rounds))
 	}
@@ -114,9 +117,9 @@ func TestBundleThicknessMatchesSplitmixDerivation(t *testing.T) {
 	g := gen.Complete(30)
 	cfg := DefaultConfig(13)
 	cfg.BundleT = 1
-	out1, _ := ParallelSample(g, 0.5, cfg)
+	out1, _ := sampleOK(t, g, 0.5, cfg)
 	// Re-run with identical input: must be byte-identical.
-	out2, _ := ParallelSample(g, 0.5, cfg)
+	out2, _ := sampleOK(t, g, 0.5, cfg)
 	if out1.M() != out2.M() {
 		t.Fatal("rerun differs")
 	}

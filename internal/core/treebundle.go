@@ -17,9 +17,9 @@ import (
 // predicts; the price is a weaker per-edge stretch certificate (average
 // rather than worst-case polylog), so the practical ε for equal t is
 // somewhat larger. Experiment E11 quantifies the trade.
-func ParallelSampleTreeBundle(g *graph.Graph, eps float64, t int, cfg Config) (*graph.Graph, *SampleStats) {
-	if eps <= 0 || eps > 1 {
-		panic(fmt.Sprintf("core: ParallelSampleTreeBundle requires eps in (0,1], got %v", eps))
+func ParallelSampleTreeBundle(g *graph.Graph, eps float64, t int, cfg Config) (*graph.Graph, *SampleStats, error) {
+	if !(eps > 0 && eps <= 1) { // written to also reject NaN
+		return nil, nil, fmt.Errorf("core: ParallelSampleTreeBundle requires eps in (0,1], got %v", eps)
 	}
 	if t < 1 {
 		t = 1
@@ -87,5 +87,5 @@ func ParallelSampleTreeBundle(g *graph.Graph, eps float64, t int, cfg Config) (*
 	cfg.Tracker.ParFor(int64(m), 1)
 	stats.OutputEdges = len(edges)
 	stats.SampledEdges = stats.OutputEdges - stats.BundleEdges
-	return graph.FromEdges(n, edges), stats
+	return graph.FromEdges(n, edges), stats, nil
 }

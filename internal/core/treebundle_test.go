@@ -10,7 +10,7 @@ import (
 
 func TestTreeBundleConnectivity(t *testing.T) {
 	g := gen.Complete(120)
-	out, stats := ParallelSampleTreeBundle(g, 0.5, 2, DefaultConfig(3))
+	out, stats := treeBundleOK(t, g, 0.5, 2, DefaultConfig(3))
 	if !graph.IsConnected(out) {
 		t.Fatal("tree bundle output disconnected (layer 1 is a spanning tree, impossible)")
 	}
@@ -30,8 +30,8 @@ func TestTreeBundleSmallerThanSpannerBundle(t *testing.T) {
 	g := gen.Complete(150)
 	spCfg := DefaultConfig(5)
 	spCfg.BundleT = 4
-	_, spStats := ParallelSample(g, 0.5, spCfg)
-	_, trStats := ParallelSampleTreeBundle(g, 0.5, 4, DefaultConfig(5))
+	_, spStats := sampleOK(t, g, 0.5, spCfg)
+	_, trStats := treeBundleOK(t, g, 0.5, 4, DefaultConfig(5))
 	if trStats.BundleEdges >= spStats.BundleEdges {
 		t.Fatalf("tree bundle %d not smaller than spanner bundle %d", trStats.BundleEdges, spStats.BundleEdges)
 	}
@@ -39,7 +39,7 @@ func TestTreeBundleSmallerThanSpannerBundle(t *testing.T) {
 
 func TestTreeBundleQuality(t *testing.T) {
 	g := gen.Complete(150)
-	out, _ := ParallelSampleTreeBundle(g, 0.5, 4, DefaultConfig(7))
+	out, _ := treeBundleOK(t, g, 0.5, 4, DefaultConfig(7))
 	b, err := spectral.DenseApproxFactor(g, out)
 	if err != nil {
 		t.Fatal(err)
@@ -53,7 +53,7 @@ func TestTreeBundleQuality(t *testing.T) {
 
 func TestTreeBundleExhaustsSparseGraph(t *testing.T) {
 	g := gen.Path(40)
-	out, stats := ParallelSampleTreeBundle(g, 0.5, 5, DefaultConfig(9))
+	out, stats := treeBundleOK(t, g, 0.5, 5, DefaultConfig(9))
 	if !stats.Exhausted {
 		t.Fatal("a path is one tree layer; 5 layers must exhaust")
 	}
@@ -71,7 +71,7 @@ func TestTreeBundleWeightsAreOriginalOrQuadrupled(t *testing.T) {
 	for _, e := range g.Edges {
 		inputW[[2]int32{e.U, e.V}] = e.W
 	}
-	out, _ := ParallelSampleTreeBundle(g, 0.5, 2, DefaultConfig(11))
+	out, _ := treeBundleOK(t, g, 0.5, 2, DefaultConfig(11))
 	for _, e := range out.Edges {
 		w0 := inputW[[2]int32{e.U, e.V}]
 		if e.W != w0 && e.W != 4*w0 {
@@ -82,8 +82,8 @@ func TestTreeBundleWeightsAreOriginalOrQuadrupled(t *testing.T) {
 
 func TestTreeBundleDeterministic(t *testing.T) {
 	g := gen.Complete(100)
-	a, _ := ParallelSampleTreeBundle(g, 0.5, 3, DefaultConfig(13))
-	b, _ := ParallelSampleTreeBundle(g, 0.5, 3, DefaultConfig(13))
+	a, _ := treeBundleOK(t, g, 0.5, 3, DefaultConfig(13))
+	b, _ := treeBundleOK(t, g, 0.5, 3, DefaultConfig(13))
 	if a.M() != b.M() {
 		t.Fatal("nondeterministic size")
 	}
@@ -95,10 +95,9 @@ func TestTreeBundleDeterministic(t *testing.T) {
 }
 
 func TestTreeBundleRejectsBadEps(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	ParallelSampleTreeBundle(gen.Path(4), 2, 1, DefaultConfig(1))
+	// Same contract as ParallelSample: an illegal eps is a returned
+	// error, not a panic.
+	if _, _, err := ParallelSampleTreeBundle(gen.Path(4), 2, 1, DefaultConfig(1)); err == nil {
+		t.Fatal("eps=2 accepted")
+	}
 }

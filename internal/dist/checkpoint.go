@@ -51,6 +51,11 @@ type ckptState struct {
 	epochs int       // completed epochs covered by stats (durable boundary)
 	stats  Stats     // ledger snapshot at the durable boundary
 	lists  [][]int32 // gathered in-bundle global ids per recorded epoch
+	// onDurable, when non-nil, receives the freshly encoded checkpoint
+	// each time the durable boundary advances (NetConfig.OnCheckpoint —
+	// set only on the coordinator's durable state, never on a worker's
+	// decoded copy).
+	onDurable func(ckpt []byte)
 }
 
 // record notes one completed sampling epoch. Epochs arrive in order
@@ -69,6 +74,9 @@ func (ck *ckptState) record(epoch int, bundleIDs []int32, re *roundEngine) {
 	if (epoch+1)%every == 0 {
 		ck.epochs = epoch + 1
 		ck.stats = re.Stats()
+		if ck.onDurable != nil {
+			ck.onDurable(encodeCkpt(ck))
+		}
 	}
 }
 

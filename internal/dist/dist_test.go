@@ -138,7 +138,10 @@ func TestSparsifyMatchesCore(t *testing.T) {
 	for gi, g := range cases {
 		for _, seed := range []uint64{1, 99} {
 			d := runSparsify(t, dist.Mem(), g, 0.75, 4, 0, seed)
-			c, _ := core.ParallelSparsify(g, 0.75, 4, core.DefaultConfig(seed))
+			c, _, err := core.ParallelSparsify(g, 0.75, 4, core.DefaultConfig(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
 			if d.Output.N != c.N || d.Output.M() != c.M() {
 				t.Fatalf("case %d seed %d: dist %v vs core %v", gi, seed, d.Output, c)
 			}
@@ -260,7 +263,10 @@ func TestSparsifyQualityVsBaseline(t *testing.T) {
 	if bd.Epsilon() > eps {
 		t.Fatalf("distributed sparsifier eps %v > %v", bd.Epsilon(), eps)
 	}
-	ss := baseline.SpielmanSrivastava(g, baseline.SSOptions{Eps: eps, Seed: 43})
+	ss, err := baseline.SpielmanSrivastava(g, baseline.SSOptions{Eps: eps, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
 	bs, err := spectral.DenseApproxFactor(g, ss)
 	if err != nil {
 		t.Fatal(err)

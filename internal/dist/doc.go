@@ -215,12 +215,42 @@
 // ledger equal the failure-free run's (the recovery suite and
 // cmd/distworker's kill-recover tests pin this, on both data planes).
 // Recovery survives the mesh topology: a dead worker takes its direct
-// links down with it, survivors unwind from the mesh EOF to the hub's
-// rollback frame, the rollback ack tears every link down, the
+// links down with it, survivors report the dead peer on their hubs
+// (frameFault — the coordinator only probes the connection it is
+// currently reading, so without the report a death whose hub frames
+// all arrived would deadlock the fleet; see meshFail) and park for the
+// hub's rollback frame, the rollback ack tears every link down, the
 // respawned shard announces a fresh peer listener as it rejoins, and
 // the next attempt rebuilds the mesh from the re-broadcast address
-// book. Coordinator failure, protocol violations, and checksum
-// mismatches remain fatal.
+// book.
+//
+// Coordinator death is survivable too when failover is armed
+// (NetConfig.Failover + WorkerConfig.Failover on every process, see
+// failover.go). Every worker pre-binds a standby hub listener and
+// announces it at the join handshake; the coordinator broadcasts the
+// assembled standby address book right after the checkpoint at the top
+// of every attempt, so each worker always holds the same book, the
+// same raw job-header bytes, and the same checkpoint. When a worker
+// loses its hub connection, the election is a pure function of that
+// shared book — the lowest-numbered shard with a standby address wins,
+// no votes, no split brain — and the winner adopts shard 0: its
+// standby listener becomes the hub, it re-broadcasts the stashed
+// header VERBATIM plus the checkpoint, asks the host to respawn its
+// vacated shard (WorkerConfig.Respawn), and runs the normal recovery
+// loop while the other survivors rejoin at the book address. Replay is
+// deterministic, so kill -9 the COORDINATOR mid-run and the output and
+// ledger still equal the failure-free run's, on both data planes
+// (failover_test.go and cmd/distworker's coordinator-kill drills).
+//
+// The same broadcast checkpoint powers elastic resize between runs: a
+// checkpoint blob delivered to NetConfig.OnCheckpoint can seed
+// NetConfig.Resume on a NEW fleet with a different shard count, and
+// the resumed run fast-forwards the checkpointed epochs and finishes
+// with output bit-identical to the original (the Stats ledger's
+// CrossShard split legitimately reflects the partition actually run).
+//
+// Protocol violations and checksum mismatches remain fatal — electing
+// or replaying past a logic bug would only reproduce it.
 //
 // Per-worker memory is O(n + m_incident) words on a partition run —
 // enforced, not aspirational. A partition view (view.go) stores edges,

@@ -153,21 +153,40 @@ func (e *Engine) partitionFor(shard, shards int) (*graph.Partition, error) {
 // failure is not fatal: the coordinator rolls the survivors back,
 // respawns the dead shard (within the MaxRespawns budget), and re-runs
 // the attempt — which replays deterministically from the checkpoint,
-// so the eventual output is bit-identical to a failure-free run.
+// so the eventual output is bit-identical to a failure-free run. A
+// Resume blob seeds the checkpoint state instead of starting empty —
+// the elastic-restart path, valid at any shard count.
 func runNetCoordinatorJob[R any](e *Engine, job Job[R]) (Result[R], error) {
 	part, err := e.partitionFor(0, e.spec.shards)
 	if err != nil {
 		return Result[R]{}, err
 	}
-	tr, err := listenNet(e.spec.listen, part.N, e.spec.shards, e.spec.timeoutOrDefault(), e.spec.mesh)
+	tr, err := listenNet(e.spec.listen, part.N, e.spec.shards, e.spec.timeoutOrDefault(),
+		netOptions{mesh: e.spec.mesh, failover: e.spec.failover})
 	if err != nil {
 		return Result[R]{}, err
 	}
 	defer tr.Close()
+	tr.failAfterFrames = e.spec.failFrames
 	if e.spec.onListen != nil {
 		e.spec.onListen(tr.Addr())
 	}
-	ck := &ckptState{every: e.spec.ckptEvery}
+	ck := &ckptState{}
+	if e.spec.resume != nil {
+		if ck, err = decodeCkpt(e.spec.resume); err != nil {
+			return Result[R]{}, fmt.Errorf("dist: decoding resume checkpoint: %w", err)
+		}
+	}
+	ck.every = e.spec.ckptEvery
+	ck.onDurable = e.spec.onCkpt
+	return runCoordinatorLoop(e, tr, part, job, ck)
+}
+
+// runCoordinatorLoop is the coordinator's retry loop, shared by a
+// born coordinator (runNetCoordinatorJob) and an elected one
+// (adoptAndRun): run attempts, recovering the fleet after each worker
+// failure within the respawn budget.
+func runCoordinatorLoop[R any](e *Engine, tr *NetTransport, part *graph.Partition, job Job[R], ck *ckptState) (Result[R], error) {
 	budget := e.spec.maxRespawns
 	for {
 		res, err := runNetJob(tr, part, job, ck)
@@ -187,41 +206,126 @@ func runNetCoordinatorJob[R any](e *Engine, job Job[R]) (Result[R], error) {
 // runNetWorkerJob drives one worker shard of a real multi-process run.
 // A coordinator-announced rollback (another worker died) unwinds the
 // attempt; the worker acks it and re-runs, adopting the re-broadcast
-// header and checkpoint like any fresh joiner.
+// header and checkpoint like any fresh joiner. With failover armed, a
+// LOST coordinator triggers the election instead of failing the run:
+// the lowest-numbered shard in the last broadcast standby book adopts
+// shard 0 (and this process, if elected, finishes the run as the
+// coordinator, returning the assembled Output), while every other
+// survivor rejoins the winner's standby address as its old shard.
 func runNetWorkerJob[R any](e *Engine, job Job[R]) (Result[R], error) {
 	part, err := e.partitionFor(e.spec.shard, e.spec.shards)
 	if err != nil {
 		return Result[R]{}, err
 	}
-	tr, err := joinNetRetry(e.spec.join, e.spec.peerListen, part.N, e.spec.shard, e.spec.shards,
-		e.spec.timeoutOrDefault(), e.spec.joinRetry, e.spec.mesh)
+	opt := netOptions{mesh: e.spec.mesh, peerListen: e.spec.peerListen,
+		failover: e.spec.failover, failoverListen: e.spec.failoverListen}
+	tr, err := joinNetRetry(e.spec.join, part.N, e.spec.shard, e.spec.shards,
+		e.spec.timeoutOrDefault(), e.spec.joinRetry, opt)
 	if err != nil {
 		return Result[R]{}, err
 	}
 	tr.failAfterFrames = e.spec.failFrames
-	defer tr.Close()
+	defer func() {
+		if tr != nil {
+			tr.Close()
+		}
+	}()
 	for {
 		res, err := runNetJob(tr, part, job, nil)
 		if err == nil {
 			return res, nil
 		}
 		var rb *rollbackError
-		if !errors.As(err, &rb) {
+		if errors.As(err, &rb) {
+			if aerr := tr.ackRollback(rb.generation); aerr != nil {
+				return Result[R]{}, aerr
+			}
+			continue
+		}
+		if !e.spec.failover || !isConnLoss(err) {
 			return Result[R]{}, err
 		}
-		if aerr := tr.ackRollback(rb.generation); aerr != nil {
-			return Result[R]{}, aerr
+		elected := tr.electedShard()
+		if elected < 0 {
+			return Result[R]{}, fmt.Errorf("dist: coordinator lost before the first standby-book broadcast (fleet never fully formed), nothing to elect from: %w", err)
+		}
+		if elected == tr.self {
+			adopted := tr
+			tr = nil // ownership moves; adoptAndRun closes it
+			return adoptAndRun(e, adopted, job)
+		}
+		// Survivor: rejoin the winner's standby address as the same
+		// shard, with fresh peer/standby listeners, and re-run the
+		// attempt like any respawned worker. The rejoin window covers at
+		// least one full I/O timeout so the winner has time to adopt.
+		addr := tr.failAddrs[elected]
+		old := tr
+		tr = nil
+		old.Close()
+		window := e.spec.joinRetry
+		if t := e.spec.timeoutOrDefault(); t > window {
+			window = t
+		}
+		tr, err = joinNetRetry(addr, part.N, e.spec.shard, e.spec.shards,
+			e.spec.timeoutOrDefault(), window, opt)
+		if err != nil {
+			return Result[R]{}, fmt.Errorf("dist: rejoining elected coordinator (shard %d at %s): %w", elected, addr, err)
 		}
 	}
 }
 
+// adoptAndRun finishes a run as the elected coordinator: materialize
+// partition 0, turn the standby listener into the fleet's hub
+// (adoptCoordinator), ask the host to respawn the shard this process
+// vacates, and run the normal coordinator loop — which re-broadcasts
+// the stashed job header and checkpoint, so the re-formed fleet
+// replays deterministically and the output is bit-identical to a
+// failure-free run.
+func adoptAndRun[R any](e *Engine, old *NetTransport, job Job[R]) (Result[R], error) {
+	vacated := old.self
+	if e.spec.respawn == nil {
+		old.Close()
+		return Result[R]{}, fmt.Errorf("dist: shard %d elected coordinator but has no Respawn hook to refill its vacated shard", vacated)
+	}
+	var part *graph.Partition
+	var err error
+	switch {
+	case e.spec.loadPart != nil:
+		part, err = e.spec.loadPart(0)
+	case e.g != nil:
+		part = graph.PartitionOf(e.g, 0, e.spec.shards)
+	default:
+		err = fmt.Errorf("dist: shard %d elected coordinator but has neither LoadPartition nor a full graph to materialize partition 0", vacated)
+	}
+	if err != nil {
+		old.Close()
+		return Result[R]{}, err
+	}
+	tr, err := adoptCoordinator(old)
+	if err != nil {
+		old.Close()
+		return Result[R]{}, err
+	}
+	defer tr.Close()
+	e.spec.respawn(vacated, tr.Addr())
+	ck := tr.lastCkpt
+	if ck == nil {
+		ck = &ckptState{}
+	}
+	ck.every = e.spec.ckptEvery
+	ck.onDurable = e.spec.onCkpt
+	return runCoordinatorLoop(e, tr, part, job, ck)
+}
+
 // joinNetRetry dials the coordinator, retrying refused or failed joins
 // for up to the retry window — how a respawned (or -resume) worker
-// rejoins a coordinator that is still tearing down its predecessor.
-func joinNetRetry(addr, peerListen string, n, shard, shards int, timeout, retry time.Duration, mesh bool) (*NetTransport, error) {
+// rejoins a coordinator that is still tearing down its predecessor,
+// and how a failover survivor reaches an elected coordinator that is
+// still adopting.
+func joinNetRetry(addr string, n, shard, shards int, timeout, retry time.Duration, opt netOptions) (*NetTransport, error) {
 	deadline := time.Now().Add(retry)
 	for {
-		tr, err := joinNet(addr, peerListen, n, shard, shards, timeout, mesh)
+		tr, err := joinNet(addr, n, shard, shards, timeout, opt)
 		if err == nil || !time.Now().Before(deadline) {
 			return tr, err
 		}

@@ -28,10 +28,16 @@ package dist
 // so on any single connection the byte order is exactly the star
 // protocol's.
 //
-// Recovery composes with the mesh unchanged from PR 6's machinery: a
-// worker that loses a mesh link parks on its hub waiting for the
-// rollback the coordinator will announce (the same death is visible
-// there), every survivor tears its links down before acking, the
+// Recovery composes with the mesh through PR 6's machinery plus one
+// frame: a worker that loses a mesh link first reports the dead peer
+// to the coordinator (frameFault on its hub), then parks on the hub
+// waiting for the rollback the coordinator will announce. The report
+// is load-bearing, not an optimization — the coordinator's only
+// failure probe is the connection it is currently reading, and a
+// parked worker's heartbeats keep that connection alive, so a death
+// whose hub frames all arrived (its async mesh batch alone was lost)
+// would otherwise deadlock the fleet until the park expired (see
+// meshFail). Every survivor tears its links down before acking, the
 // respawned shard announces a fresh listener when it rejoins, and the
 // next attempt rebuilds the mesh from the re-broadcast book and
 // replays deterministically.
@@ -44,13 +50,9 @@ import (
 )
 
 const (
-	// meshFlagRound marks a hello/welcome frame header as
-	// mesh-enabled. The flag rides the Round field — unused at
-	// handshake time — so the hello payload encoding is byte-identical
-	// to the star's and a mixed star/mesh fleet fails loudly at the
-	// handshake.
-	meshFlagRound = 1
-	// maxMeshAddrLen bounds an announced peer listener address.
+	// maxMeshAddrLen bounds an announced peer or standby listener
+	// address (the capability handshake flags themselves live in
+	// wire.go: helloFlagMesh, helloFlagFailover).
 	maxMeshAddrLen = 512
 	// asyncWriterDepth is the writer goroutine's queue depth: how many
 	// flushed batches may be in flight on one connection before
@@ -327,7 +329,7 @@ func (t *NetTransport) meshConnect(book []string) error {
 	for d := 1; d < t.self; d++ {
 		c, err := net.DialTimeout("tcp", book[d], t.timeout)
 		if err != nil {
-			return t.meshFail(fmt.Errorf("dialing shard %d at %q: %w", d, book[d], err))
+			return t.meshFail(d, fmt.Errorf("dialing shard %d at %q: %w", d, book[d], err))
 		}
 		pc := newPeerConn(t, c)
 		var hb [helloSize]byte
@@ -339,18 +341,18 @@ func (t *NetTransport) meshConnect(book []string) error {
 		}
 		if err != nil {
 			c.Close()
-			return t.meshFail(fmt.Errorf("shard %d handshake: %w", d, err))
+			return t.meshFail(d, fmt.Errorf("shard %d handshake: %w", d, err))
 		}
 		_, payload, err := pc.readFrame(frameMeshWelcome)
 		if err != nil {
 			c.Close()
-			return t.meshFail(fmt.Errorf("shard %d handshake: %w", d, err))
+			return t.meshFail(d, fmt.Errorf("shard %d handshake: %w", d, err))
 		}
 		got := parseHello(payload)
 		t.putBuf(payload)
 		if got.Version != wireVersion || got.N != uint64(t.part.n) || got.Shards != uint32(p) || int(got.Shard) != d {
 			c.Close()
-			return t.meshFail(fmt.Errorf("shard %d peer config mismatch: %+v", d, got))
+			return t.meshFail(d, fmt.Errorf("shard %d peer config mismatch: %+v", d, got))
 		}
 		pc.startHeartbeats()
 		t.meshPeers[d] = pc
@@ -365,7 +367,7 @@ func (t *NetTransport) meshConnect(book []string) error {
 		}
 		c, err := t.meshLn.Accept()
 		if err != nil {
-			return t.meshFail(fmt.Errorf("accepting mesh peers (%d missing): %w", need, err))
+			return t.meshFail(0, fmt.Errorf("accepting mesh peers (%d missing): %w", need, err))
 		}
 		pc := newPeerConn(t, c)
 		s, err := t.acceptMeshHandshake(pc)
@@ -413,13 +415,35 @@ func (t *NetTransport) acceptMeshHandshake(pc *peerConn) (int, error) {
 }
 
 // meshFail handles a failed direct link on a worker. A dead mesh peer
-// is not fatal for the fleet: the coordinator sees the same death on
-// its own hub link and announces a rollback, so park on the hub
-// waiting for it (skipping any hub frames of the broken attempt
-// undecoded) and surface it as *rollbackError for the normal recovery
-// path. If no rollback arrives within the drain window the failure is
-// fatal.
-func (t *NetTransport) meshFail(err error) error {
+// is not fatal for the fleet: report the suspect shard to the
+// coordinator (frameFault on the hub), then park on the hub waiting
+// for the rollback the coordinator will announce, skipping any hub
+// frames of the broken attempt undecoded, and surface it as
+// *rollbackError for the normal recovery path. If no rollback arrives
+// within the drain window the failure is fatal.
+//
+// The fault report is what makes the park safe: the coordinator's only
+// failure probe is the connection it is currently reading, and this
+// worker's heartbeats keep that read alive — so when the coordinator
+// happens to be blocked on the PARKED worker (the dead peer's hub
+// frames arrived but its async mesh batch was lost with the process),
+// a silent park deadlocks the fleet until the drain window expires and
+// takes the survivor down with it. The report rides the stream the
+// coordinator is already reading and names the shard to recover.
+// Like a heartbeat it is written raw under wmu — unbatched, unhashed,
+// and excluded from WireBytes — and best-effort: if the hub is dead
+// too, the park fails out on its own. suspect 0 means the dead peer is
+// unknown (a missing inbound dial at bring-up) and nothing is sent.
+func (t *NetTransport) meshFail(suspect int, err error) error {
+	if suspect > 0 {
+		var fb [headerSize]byte
+		putHeader(fb[:], frameHeader{Type: frameFault, From: uint16(t.self), To: uint16(suspect)})
+		h := t.hub
+		h.wmu.Lock()
+		_ = h.c.SetWriteDeadline(time.Now().Add(t.timeout))
+		_, _ = h.c.Write(fb[:])
+		h.wmu.Unlock()
+	}
 	deadline := time.Now().Add(2 * t.timeout)
 	for {
 		_ = t.hub.c.SetReadDeadline(deadline)
@@ -469,14 +493,14 @@ func (t *NetTransport) endRoundMeshWorker(round int, local RoundTally) (RoundTal
 		h := frameHeader{Type: frameRound, From: uint16(self), To: uint16(d), Round: uint32(round), Count: uint32(len(batch))}
 		payload := t.encodeEnvelopes(batch)
 		if err := pc.writeFrame(h, payload); err != nil {
-			return RoundTally{}, t.meshFail(fmt.Errorf("link to shard %d: %w", d, err))
+			return RoundTally{}, t.meshFail(d, fmt.Errorf("link to shard %d: %w", d, err))
 		}
 		pc.retireBuf(payload)
 		if err := pc.writeCheck(uint32(round)); err != nil {
-			return RoundTally{}, t.meshFail(fmt.Errorf("link to shard %d: %w", d, err))
+			return RoundTally{}, t.meshFail(d, fmt.Errorf("link to shard %d: %w", d, err))
 		}
 		if err := pc.flushAsync(); err != nil {
-			return RoundTally{}, t.meshFail(fmt.Errorf("link to shard %d: %w", d, err))
+			return RoundTally{}, t.meshFail(d, fmt.Errorf("link to shard %d: %w", d, err))
 		}
 	}
 	batch := t.x.takeRow(self, 0)
@@ -508,14 +532,14 @@ func (t *NetTransport) endRoundMeshWorker(round int, local RoundTally) (RoundTal
 		pc := t.meshPeers[d]
 		rh, payload, err := pc.readFrame(frameRound)
 		if err != nil {
-			return RoundTally{}, t.meshFail(fmt.Errorf("link to shard %d: %w", d, err))
+			return RoundTally{}, t.meshFail(d, fmt.Errorf("link to shard %d: %w", d, err))
 		}
 		if int(rh.From) != d || int(rh.To) != self || int(rh.Round) != round {
-			return RoundTally{}, t.meshFail(fmt.Errorf("link to shard %d: misrouted batch %+v (want from %d to %d round %d)", d, rh, d, self, round))
+			return RoundTally{}, t.meshFail(d, fmt.Errorf("link to shard %d: misrouted batch %+v (want from %d to %d round %d)", d, rh, d, self, round))
 		}
 		payloads[d] = payload
 		if err := pc.readCheck(uint32(round)); err != nil {
-			return RoundTally{}, t.meshFail(fmt.Errorf("link to shard %d: %w", d, err))
+			return RoundTally{}, t.meshFail(d, fmt.Errorf("link to shard %d: %w", d, err))
 		}
 	}
 	rh, payload, err := t.hub.readFrame(frameRound)

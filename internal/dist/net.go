@@ -3,6 +3,7 @@ package dist
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -55,7 +56,11 @@ import (
 // frameHeartbeat every timeout/4 while the peer computes, and every
 // read refreshes its deadline per frame — so a slow round survives any
 // timeout, while a dead or partitioned peer is detected within one
-// timeout (a killed process is detected immediately via EOF/RST).
+// timeout (a killed process is detected immediately via EOF/RST). On
+// the mesh plane a worker that loses a direct link also reports the
+// dead peer on its hub (frameFault), so the coordinator learns of a
+// death it cannot see on the connection it is currently reading and
+// attributes the recovery to the right shard (see meshFail).
 // Data frames (frameRound, frameTally, the collectives, blobs) feed a
 // running CRC-32C per direction that is cross-checked by frameCheck at
 // every round barrier, before any payload is decoded. On a worker
@@ -66,9 +71,16 @@ import (
 // partition, round number) and the coordinator re-broadcasts its last
 // checkpoint each attempt, so replay reproduces bit-identical frames,
 // tallies, and output (see checkpoint.go and the recovery tests).
-// Protocol violations, checksum mismatches, and coordinator failure
-// remain fatal: the transport panics with *NetError, which drivers
-// recover into an exit. Timeouts default to 60s per frame.
+// With failover armed (NetConfig.Failover), COORDINATOR death is
+// survivable too: every worker pre-binds a standby hub listener and
+// announces it at the join handshake, the coordinator broadcasts the
+// assembled standby book each attempt, and on losing the hub the
+// lowest-numbered shard in the book adopts shard 0 from its copy of
+// the broadcast checkpoint while the other survivors rejoin its
+// standby address (see failover.go and engine.go). Protocol
+// violations and checksum mismatches remain fatal: the transport
+// panics with *NetError, which drivers recover into an exit. Timeouts
+// default to 60s per frame.
 type NetTransport struct {
 	part    partition
 	self    int
@@ -90,6 +102,21 @@ type NetTransport struct {
 	meshLn    net.Listener
 	meshAddrs []string
 	meshPeers []*peerConn
+
+	// Coordinator failover (NetConfig.Failover / WorkerConfig.Failover;
+	// see failover.go). standby is a worker's pre-bound spare hub
+	// listener, announced at the join handshake and silent until this
+	// worker is elected coordinator; failAddrs is the standby address
+	// book — collected from the handshakes on the coordinator, adopted
+	// from the per-attempt broadcast on workers. lastHeader and lastCkpt
+	// are a worker's copies of the coordinator's job-header and
+	// checkpoint broadcasts, kept current so an elected worker can
+	// re-broadcast the exact same run state.
+	failover   bool
+	standby    net.Listener
+	failAddrs  []string
+	lastHeader []byte
+	lastCkpt   *ckptState
 
 	wireBytes int64
 	// dataBytes is the worker↔worker round-batch subset of wireBytes
@@ -183,6 +210,19 @@ func (e *workerFailure) Error() string {
 	return fmt.Sprintf("worker shard %d failed: %v", e.shard, e.err)
 }
 func (e *workerFailure) Unwrap() error { return e.err }
+
+// faultReport surfaces a worker's frameFault on the coordinator: the
+// reporting shard's direct mesh link to the suspect shard died. The
+// report matters because the coordinator only probes the connection it
+// is currently reading — without it, a death visible only on a LATER
+// connection in the read order deadlocks the fleet until the
+// reporter's rollback park expires (see meshFail). peerFail re-routes
+// the recovery to the suspect instead of the reporter.
+type faultReport struct{ reporter, suspect int }
+
+func (e *faultReport) Error() string {
+	return fmt.Sprintf("shard %d reports its link to shard %d dead", e.reporter, e.suspect)
+}
 
 // rollbackError unwinds a worker's run attempt when the coordinator
 // announces a recovery rollback; runNetWorkerJob acks it and re-runs
@@ -460,7 +500,7 @@ func payloadLen(h frameHeader) (int, error) {
 		n = int(h.Count)
 	case frameCheck:
 		n = checkSize
-	case frameHeartbeat, frameRollback, frameRollbackAck:
+	case frameHeartbeat, frameRollback, frameRollbackAck, frameFault:
 		n = 0
 	case frameMeshAddr:
 		if h.Count > maxMeshAddrLen {
@@ -469,6 +509,11 @@ func payloadLen(h frameHeader) (int, error) {
 		n = int(h.Count)
 	case frameMeshHello, frameMeshWelcome:
 		n = helloSize
+	case frameFailoverAddr:
+		if h.Count > maxMeshAddrLen {
+			return 0, fmt.Errorf("implausible failover standby address length %d", h.Count)
+		}
+		n = int(h.Count)
 	default:
 		return 0, fmt.Errorf("unknown frame type %d", h.Type)
 	}
@@ -501,6 +546,9 @@ func (p *peerConn) readFrame(wantType uint8) (frameHeader, []byte, error) {
 		}
 		if h.Type == frameRollback && p.rollbackOK {
 			return frameHeader{}, nil, &rollbackError{generation: h.Round}
+		}
+		if h.Type == frameFault {
+			return frameHeader{}, nil, &faultReport{reporter: int(h.From), suspect: int(h.To)}
 		}
 		if h.Type != wantType {
 			return frameHeader{}, nil, fmt.Errorf("expected frame type %d, got %d", wantType, h.Type)
@@ -593,12 +641,41 @@ func (p *peerConn) drainToAck(gen uint32) error {
 	}
 }
 
+// netOptions bundles the optional capabilities of a transport: the
+// full-mesh data plane (and its peer listener address) and coordinator
+// failover (and its standby listener address). Every process of a
+// fleet must enable the same capability set — the hello/welcome flags
+// reject a mix.
+type netOptions struct {
+	mesh           bool
+	peerListen     string
+	failover       bool
+	failoverListen string
+}
+
+// flags returns the hello/welcome capability bits of these options.
+func (o netOptions) flags() uint32 {
+	var f uint32
+	if o.mesh {
+		f |= helloFlagMesh
+	}
+	if o.failover {
+		f |= helloFlagFailover
+	}
+	return f
+}
+
+// options reconstructs the capability set of a live transport.
+func (t *NetTransport) options() netOptions {
+	return netOptions{mesh: t.mesh, failover: t.failover}
+}
+
 // ListenNet binds the coordinator (shard 0) transport for a shards-way
 // run over n vertices. It returns after binding; Addr reports the
 // bound address to hand to workers, and WaitReady blocks until all
 // shards-1 workers have joined.
 func ListenNet(addr string, n, shards int, timeout time.Duration) (*NetTransport, error) {
-	return listenNet(addr, n, shards, timeout, false)
+	return listenNet(addr, n, shards, timeout, netOptions{})
 }
 
 // ListenMesh is ListenNet with the full-mesh data plane enabled: the
@@ -606,15 +683,16 @@ func ListenNet(addr string, n, shards int, timeout time.Duration) (*NetTransport
 // directly and this coordinator carries only control, tally, and
 // collective frames.
 func ListenMesh(addr string, n, shards int, timeout time.Duration) (*NetTransport, error) {
-	return listenNet(addr, n, shards, timeout, true)
+	return listenNet(addr, n, shards, timeout, netOptions{mesh: true})
 }
 
-func listenNet(addr string, n, shards int, timeout time.Duration, mesh bool) (*NetTransport, error) {
+func listenNet(addr string, n, shards int, timeout time.Duration, opt netOptions) (*NetTransport, error) {
 	t, err := newNetTransport(n, 0, shards, timeout)
 	if err != nil {
 		return nil, err
 	}
-	t.mesh = mesh
+	t.mesh = opt.mesh
+	t.failover = opt.failover
 	if t.part.p > 1 {
 		ln, err := net.Listen("tcp", addr)
 		if err != nil {
@@ -628,7 +706,7 @@ func listenNet(addr string, n, shards int, timeout time.Duration, mesh bool) (*N
 // JoinNet dials the coordinator at addr and joins as the given shard.
 // It blocks until the coordinator accepts the handshake.
 func JoinNet(addr string, n, shard, shards int, timeout time.Duration) (*NetTransport, error) {
-	return joinNet(addr, "", n, shard, shards, timeout, false)
+	return joinNet(addr, n, shard, shards, timeout, netOptions{})
 }
 
 // JoinMesh is JoinNet with the full-mesh data plane enabled: the
@@ -639,10 +717,10 @@ func JoinNet(addr string, n, shard, shards int, timeout time.Duration) (*NetTran
 // been started with ListenMesh — the handshake rejects a mixed
 // star/mesh fleet.
 func JoinMesh(addr, peerListen string, n, shard, shards int, timeout time.Duration) (*NetTransport, error) {
-	return joinNet(addr, peerListen, n, shard, shards, timeout, true)
+	return joinNet(addr, n, shard, shards, timeout, netOptions{mesh: true, peerListen: peerListen})
 }
 
-func joinNet(addr, peerListen string, n, shard, shards int, timeout time.Duration, mesh bool) (*NetTransport, error) {
+func joinNet(addr string, n, shard, shards int, timeout time.Duration, opt netOptions) (*NetTransport, error) {
 	t, err := newNetTransport(n, shard, shards, timeout)
 	if err != nil {
 		return nil, err
@@ -650,8 +728,10 @@ func joinNet(addr, peerListen string, n, shard, shards int, timeout time.Duratio
 	if shard == 0 {
 		return nil, fmt.Errorf("dist: shard 0 is the coordinator; use ListenNet")
 	}
-	t.mesh = mesh
+	t.mesh = opt.mesh
+	t.failover = opt.failover
 	if t.meshActive() {
+		peerListen := opt.peerListen
 		if peerListen == "" {
 			peerListen = "127.0.0.1:0"
 		}
@@ -661,10 +741,28 @@ func joinNet(addr, peerListen string, n, shard, shards int, timeout time.Duratio
 		}
 		t.meshLn = ln
 	}
+	if t.failover {
+		standbyListen := opt.failoverListen
+		if standbyListen == "" {
+			standbyListen = "127.0.0.1:0"
+		}
+		ln, err := net.Listen("tcp", standbyListen)
+		if err != nil {
+			if t.meshLn != nil {
+				t.meshLn.Close()
+			}
+			return nil, fmt.Errorf("dist: binding failover standby listener %q: %w", standbyListen, err)
+		}
+		t.standby = ln
+	}
 	fail := func(err error) (*NetTransport, error) {
 		if t.meshLn != nil {
 			t.meshLn.Close()
 			t.meshLn = nil
+		}
+		if t.standby != nil {
+			t.standby.Close()
+			t.standby = nil
 		}
 		return nil, err
 	}
@@ -674,13 +772,10 @@ func joinNet(addr, peerListen string, n, shard, shards int, timeout time.Duratio
 	}
 	t.hub = newPeerConn(t, c)
 	t.hub.rollbackOK = true
-	hh := frameHeader{Type: frameHello, From: uint16(shard)}
-	if mesh {
-		// The mesh flag rides the otherwise-unused Round field of the
-		// hello/welcome headers, leaving the hello payload encoding (and
-		// with it every star byte) untouched.
-		hh.Round = meshFlagRound
-	}
+	// The capability flags ride the otherwise-unused Round field of the
+	// hello/welcome headers, leaving the hello payload encoding (and
+	// with it every star byte) untouched.
+	hh := frameHeader{Type: frameHello, From: uint16(shard), Round: opt.flags()}
 	var hb [helloSize]byte
 	putHello(hb[:], hello{Version: wireVersion, N: uint64(n), Shard: uint32(shard), Shards: uint32(shards)})
 	if err := t.hub.writeFrame(hh, hb[:]); err != nil {
@@ -695,6 +790,14 @@ func joinNet(addr, peerListen string, n, shard, shards int, timeout time.Duratio
 			return fail(err)
 		}
 	}
+	if t.standby != nil {
+		standbyAddr := []byte(t.standby.Addr().String())
+		fh := frameHeader{Type: frameFailoverAddr, From: uint16(shard), Count: uint32(len(standbyAddr))}
+		if err := t.hub.writeFrame(fh, standbyAddr); err != nil {
+			c.Close()
+			return fail(err)
+		}
+	}
 	if err := t.hub.flush(); err != nil {
 		c.Close()
 		return fail(err)
@@ -702,11 +805,12 @@ func joinNet(addr, peerListen string, n, shard, shards int, timeout time.Duratio
 	wh, payload, err := t.hub.readFrame(frameWelcome)
 	if err != nil {
 		c.Close()
-		return fail(fmt.Errorf("dist: join handshake: %w (a star/mesh data-plane mismatch closes the connection — check that every process agrees on -mesh)", err))
+		return fail(fmt.Errorf("dist: join handshake: %w (a capability mismatch closes the connection — check that every process agrees on -mesh and -failover)", err))
 	}
-	if coordMesh := wh.Round == meshFlagRound; coordMesh != mesh {
+	if wh.Round != opt.flags() {
 		c.Close()
-		return fail(fmt.Errorf("dist: data-plane mismatch: coordinator mesh=%v, this worker mesh=%v", coordMesh, mesh))
+		return fail(fmt.Errorf("dist: capability mismatch: coordinator mesh=%v failover=%v, this worker mesh=%v failover=%v",
+			wh.Round&helloFlagMesh != 0, wh.Round&helloFlagFailover != 0, opt.mesh, opt.failover))
 	}
 	if got := parseHello(payload); got.Version != wireVersion || got.N != uint64(n) || got.Shards != uint32(shards) {
 		c.Close()
@@ -810,13 +914,15 @@ func (t *NetTransport) acceptWorkers(missing map[int]bool) error {
 }
 
 // acceptHandshake validates one join: protocol version, global sizes,
-// a data plane (star/mesh) that matches this coordinator's, and a
-// shard id that is in range, missing, and not already joined — so a
-// duplicate rejoin after a crash is accepted exactly once. In mesh
-// mode the worker's announced peer address follows its hello and is
-// recorded in the address book (validated here, before any dial, so a
-// bad address is an actionable handshake error rather than a
-// mysterious mid-bring-up dial failure on some other worker).
+// a capability set (star/mesh data plane, failover arming) that
+// matches this coordinator's, and a shard id that is in range,
+// missing, and not already joined — so a duplicate rejoin after a
+// crash is accepted exactly once. In mesh mode the worker's announced
+// peer address follows its hello and is recorded in the address book
+// (validated here, before any dial, so a bad address is an actionable
+// handshake error rather than a mysterious mid-bring-up dial failure
+// on some other worker); with failover armed the worker's standby hub
+// address follows in turn and is recorded in the failover book.
 func (t *NetTransport) acceptHandshake(pc *peerConn, missing map[int]bool) (int, error) {
 	fh, payload, err := pc.readFrame(frameHello)
 	if err != nil {
@@ -830,8 +936,9 @@ func (t *NetTransport) acceptHandshake(pc *peerConn, missing map[int]bool) (int,
 	if s < 1 || s >= t.part.p || t.peers[s] != nil || !missing[s] {
 		return 0, fmt.Errorf("dist: bad or duplicate worker shard %d", s)
 	}
-	if workerMesh := fh.Round == meshFlagRound; workerMesh != t.mesh {
-		return 0, fmt.Errorf("dist: data-plane mismatch: coordinator mesh=%v, worker shard %d mesh=%v", t.mesh, s, workerMesh)
+	if want := t.options().flags(); fh.Round != want {
+		return 0, fmt.Errorf("dist: capability mismatch: coordinator mesh=%v failover=%v, worker shard %d mesh=%v failover=%v",
+			t.mesh, t.failover, s, fh.Round&helloFlagMesh != 0, fh.Round&helloFlagFailover != 0)
 	}
 	if t.meshActive() {
 		ah, apayload, err := pc.readFrame(frameMeshAddr)
@@ -851,10 +958,25 @@ func (t *NetTransport) acceptHandshake(pc *peerConn, missing map[int]bool) (int,
 		}
 		t.meshAddrs[s] = addr
 	}
-	wf := frameHeader{Type: frameWelcome}
-	if t.mesh {
-		wf.Round = meshFlagRound
+	if t.failover {
+		ah, apayload, err := pc.readFrame(frameFailoverAddr)
+		if err != nil {
+			return 0, fmt.Errorf("dist: worker shard %d failover standby address: %w", s, err)
+		}
+		addr := string(apayload)
+		t.putBuf(apayload)
+		if int(ah.From) != s {
+			return 0, fmt.Errorf("dist: failover address from shard %d inside shard %d's handshake", ah.From, s)
+		}
+		if host, port, err := net.SplitHostPort(addr); err != nil || host == "" || port == "" {
+			return 0, fmt.Errorf("dist: worker shard %d announced unusable standby address %q (want host:port): %v", s, addr, err)
+		}
+		if t.failAddrs == nil {
+			t.failAddrs = make([]string, t.part.p)
+		}
+		t.failAddrs[s] = addr
 	}
+	wf := frameHeader{Type: frameWelcome, Round: t.options().flags()}
 	var wb [helloSize]byte
 	putHello(wb[:], hello{Version: wireVersion, N: uint64(t.part.n), Shard: h.Shard, Shards: uint32(t.part.p)})
 	if err := pc.writeFrame(wf, wb[:]); err != nil {
@@ -976,6 +1098,11 @@ func (t *NetTransport) Close() error {
 			first = err
 		}
 	}
+	if t.standby != nil {
+		if err := t.standby.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
 	if t.ln != nil {
 		if err := t.ln.Close(); err != nil && first == nil {
 			first = err
@@ -1005,8 +1132,15 @@ func (t *NetTransport) fatal(err error) {
 }
 
 // peerFail wraps a coordinator-side failure on one worker's connection
-// so the recovery loop can attribute it to a shard.
+// so the recovery loop can attribute it to a shard. A faultReport in
+// the chain overrides the attribution: the connection it arrived on
+// belongs to a live reporter parked for the rollback — the shard to
+// recover is the suspect whose link died.
 func (t *NetTransport) peerFail(shard int, err error) error {
+	var fr *faultReport
+	if errors.As(err, &fr) && fr.suspect >= 1 && fr.suspect < t.part.p {
+		return &workerFailure{shard: fr.suspect, err: err}
+	}
 	return &workerFailure{shard: shard, err: err}
 }
 

@@ -64,11 +64,32 @@ func runNetJob[R any](tr *NetTransport, part *graph.Partition, job Job[R], ck *c
 		if ck == nil {
 			ck = &ckptState{}
 		}
-		if _, err := tr.BroadcastBlob(encodeJobHeader(impl.name(), part.N, part.M, impl.params())); err != nil {
+		// An elected coordinator (failover) re-broadcasts the dead
+		// coordinator's stashed header bytes VERBATIM — re-encoding from
+		// the local impl could diverge if the local parameters differ —
+		// and adopts its own impl from them like any worker would.
+		header := tr.lastHeader
+		if header == nil {
+			header = encodeJobHeader(impl.name(), part.N, part.M, impl.params())
+		} else {
+			var aerr error
+			if impl, aerr = adoptJobHeader(impl, header, part); aerr != nil {
+				return Result[R]{}, aerr
+			}
+		}
+		if _, err := tr.BroadcastBlob(header); err != nil {
 			return Result[R]{}, err
 		}
 		if _, err := tr.BroadcastBlob(encodeCkpt(ck)); err != nil {
 			return Result[R]{}, err
+		}
+		if tr.failover {
+			if tr.failAddrs == nil {
+				tr.failAddrs = make([]string, tr.part.p)
+			}
+			if _, err := tr.BroadcastBlob(encodeAddrBook(tr.failAddrs)); err != nil {
+				return Result[R]{}, err
+			}
 		}
 	} else {
 		blob, err := tr.BroadcastBlob(nil)
@@ -79,12 +100,25 @@ func runNetJob[R any](tr *NetTransport, part *graph.Partition, job Job[R], ck *c
 		if err != nil {
 			return Result[R]{}, err
 		}
+		tr.lastHeader = blob
 		ckBlob, err := tr.BroadcastBlob(nil)
 		if err != nil {
 			return Result[R]{}, err
 		}
 		if ck, err = decodeCkpt(ckBlob); err != nil {
 			return Result[R]{}, err
+		}
+		tr.lastCkpt = ck
+		if tr.failover {
+			bookBlob, err := tr.BroadcastBlob(nil)
+			if err != nil {
+				return Result[R]{}, err
+			}
+			book, err := decodeAddrBook(bookBlob, tr.part.p)
+			if err != nil {
+				return Result[R]{}, err
+			}
+			tr.failAddrs = book
 		}
 	}
 	re := newRoundEngineOn(part.N, tr)
@@ -147,7 +181,7 @@ func gatherRunCounters(tr *NetTransport, peakViewWords int) (wireBytes, dataByte
 func runLoopback(n, p int, timeout time.Duration, mesh bool,
 	coordinator func(coord *NetTransport) error,
 	worker func(tr *NetTransport, shard int) error) error {
-	coord, err := listenNet("127.0.0.1:0", n, p, timeout, mesh)
+	coord, err := listenNet("127.0.0.1:0", n, p, timeout, netOptions{mesh: mesh})
 	if err != nil {
 		return err
 	}
@@ -160,7 +194,7 @@ func runLoopback(n, p int, timeout time.Duration, mesh bool,
 			defer wg.Done()
 			err := func() (err error) {
 				defer recoverNetError(&err)
-				tr, err := joinNet(coord.Addr(), "", n, s, p, timeout, mesh)
+				tr, err := joinNet(coord.Addr(), n, s, p, timeout, netOptions{mesh: mesh})
 				if err != nil {
 					return err
 				}

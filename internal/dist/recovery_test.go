@@ -518,3 +518,164 @@ func TestHeartbeatsKeepSlowComputeAlive(t *testing.T) {
 		t.Fatalf("worker max=%d, want 5", w)
 	}
 }
+
+// runMeshLinkLossWorker joins the fleet as `shard` on the mesh plane
+// with fault injection that severs the worker's DIRECT links after
+// failFrames written frames — the hub stays alive. To the fleet this
+// is what losing an async round batch looks like without losing the
+// process: both endpoints of the dead link park on their hubs and
+// report a fault, and the coordinator must recover off the report,
+// because no hub connection ever goes dead on its own. The worker
+// follows the engine's recovery protocol: ack rollbacks and re-run
+// until the attempt completes or fails for real.
+func runMeshLinkLossWorker(t *testing.T, addr string, g *graph.Graph, shard, p, failFrames int) error {
+	t.Helper()
+	tr, err := JoinMesh(addr, "", g.N, shard, p, recoveryTimeout)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	tr.failAfterFrames = failFrames
+	tr.failAct = func() {
+		for _, pc := range tr.meshPeers {
+			if pc != nil {
+				pc.c.Close()
+			}
+		}
+	}
+	for {
+		_, err := runNetJob(tr, graph.PartitionOf(g, shard, p), recoverySparsifyJob(), nil)
+		var rb *rollbackError
+		if errors.As(err, &rb) {
+			if aerr := tr.ackRollback(rb.generation); aerr != nil {
+				return aerr
+			}
+			continue
+		}
+		return err
+	}
+}
+
+// TestMeshRunSurvivesLinkLoss pins the fault-report path of mesh
+// recovery: a worker's direct links are severed mid-run while every
+// hub connection stays alive. The coordinator cannot see the break on
+// its own sockets — it learns of it only from the survivors'
+// frameFault reports, which also name the shard to recover (the
+// parked reporter's heartbeats would otherwise keep the coordinator
+// blocked on a live connection until the rollback park expired and
+// killed the whole fleet — the deadlock this frame exists to break).
+// Whichever endpoint the first-read report blames is rolled back and
+// respawned; the other survivor retries; output and ledger stay
+// bit-identical, and the recovery completes well inside the park
+// window.
+func TestMeshRunSurvivesLinkLoss(t *testing.T) {
+	g := gen.Gnp(400, 0.05, 7)
+	const p = 3
+	ref, err := Run(NewEngine(Mesh(p).WithTimeout(recoveryTimeout), g), recoverySparsifyJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var respawns atomic.Int32
+	var wg sync.WaitGroup
+	addrCh := make(chan string, 1)
+	spec := Net(NetConfig{
+		Listen: "127.0.0.1:0", Shards: p, Timeout: recoveryTimeout, Mesh: true,
+		OnListen: func(addr string) { addrCh <- addr },
+		Respawn: func(shard int, addr string) {
+			respawns.Add(1)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				wspec := Worker(WorkerConfig{Join: addr, Shard: shard, Shards: p,
+					Timeout: recoveryTimeout, JoinRetry: recoveryTimeout, Mesh: true})
+				if _, err := Run(NewEngine(wspec, g), recoverySparsifyJob()); err != nil {
+					t.Errorf("respawned shard %d: %v", shard, err)
+				}
+			}()
+		},
+		MaxRespawns: 2, CheckpointEvery: 1,
+	})
+	// Exactly one of the two original workers is blamed by the first
+	// report the coordinator reads (each endpoint of the severed link
+	// blames the other) — that one is torn down and respawned, the
+	// other retries cleanly. Which one wins the race is legitimately
+	// nondeterministic, so collect both errors and assert the count.
+	workerErrs := make([]error, p)
+	go func() {
+		addr := <-addrCh
+		wg.Add(1)
+		go func() { // the healthy survivor, on the public engine path
+			defer wg.Done()
+			wspec := Worker(WorkerConfig{Join: addr, Shard: 2, Shards: p,
+				Timeout: recoveryTimeout, Mesh: true})
+			_, err := Run(NewEngine(wspec, g), recoverySparsifyJob())
+			workerErrs[2] = err
+		}()
+		wg.Add(1)
+		go func() { // severs its own direct links mid-run, hub intact
+			defer wg.Done()
+			workerErrs[1] = runMeshLinkLossWorker(t, addr, g, 1, p, 900)
+		}()
+	}()
+
+	start := time.Now()
+	res, err := Run(NewEngine(spec, g), recoverySparsifyJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 2*recoveryTimeout {
+		t.Fatalf("recovery took %v — the park window expired instead of the fault report landing", elapsed)
+	}
+	if n := respawns.Load(); n != 1 {
+		t.Fatalf("respawns=%d, want 1 (the blamed endpoint of the severed link)", n)
+	}
+	var failed int
+	for s, werr := range workerErrs {
+		if werr != nil {
+			failed++
+			t.Logf("shard %d torn down as blamed: %v", s, werr)
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("%d original workers failed, want exactly 1 (the blamed endpoint)", failed)
+	}
+	if !reflect.DeepEqual(res.Stats, ref.Stats) {
+		t.Fatalf("recovered ledger diverges:\n%+v\nvs failure-free\n%+v", res.Stats, ref.Stats)
+	}
+	if res.Output.M() != ref.Output.M() {
+		t.Fatalf("recovered m=%d vs failure-free %d", res.Output.M(), ref.Output.M())
+	}
+	for i := range ref.Output.Edges {
+		if res.Output.Edges[i] != ref.Output.Edges[i] {
+			t.Fatalf("recovered edge %d differs from the failure-free run", i)
+		}
+	}
+}
+
+// TestPeerFailFaultAttribution pins the attribution override: a
+// faultReport anywhere in the error chain re-routes the recovery to
+// the reported suspect, not the shard whose connection carried the
+// report; a report naming an impossible shard falls back to the
+// carrying connection.
+func TestPeerFailFaultAttribution(t *testing.T) {
+	tr := &NetTransport{part: newPartition(100, 3)}
+	var wf *workerFailure
+	err := tr.peerFail(1, errors.New("plain read failure"))
+	if !errors.As(err, &wf) || wf.shard != 1 {
+		t.Fatalf("plain failure attributed to %v, want shard 1", err)
+	}
+	err = tr.peerFail(1, &faultReport{reporter: 1, suspect: 2})
+	if !errors.As(err, &wf) || wf.shard != 2 {
+		t.Fatalf("bare fault report attributed to %v, want shard 2", err)
+	}
+	err = tr.peerFail(1, &NetError{Err: &faultReport{reporter: 1, suspect: 2}})
+	if !errors.As(err, &wf) || wf.shard != 2 {
+		t.Fatalf("wrapped fault report attributed to %v, want shard 2", err)
+	}
+	err = tr.peerFail(1, &faultReport{reporter: 1, suspect: 7})
+	if !errors.As(err, &wf) || wf.shard != 1 {
+		t.Fatalf("out-of-range suspect attributed to %v, want fallback shard 1", err)
+	}
+}

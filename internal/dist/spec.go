@@ -3,6 +3,8 @@ package dist
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/graph"
 )
 
 // TransportSpec is a value describing how a job's rounds execute — the
@@ -54,6 +56,14 @@ type TransportSpec struct {
 	// WorkerConfig.Mesh/PeerListen).
 	mesh       bool
 	peerListen string
+	// Coordinator failover and elastic restart (NetConfig.Failover/
+	// Resume/OnCheckpoint, WorkerConfig.Failover/FailoverListen/
+	// LoadPartition).
+	failover       bool
+	failoverListen string
+	loadPart       func(shard int) (*graph.Partition, error)
+	resume         []byte
+	onCkpt         func(ckpt []byte)
 }
 
 type specKind uint8
@@ -138,6 +148,34 @@ type NetConfig struct {
 	// Worker spec in the fleet must set Mesh too (the hello handshake
 	// rejects a mix).
 	Mesh bool
+	// Failover arms coordinator failover: every worker announces a
+	// pre-bound standby hub listener at its join handshake, the
+	// coordinator broadcasts the assembled standby address book at the
+	// top of every attempt, and if this coordinator dies mid-run the
+	// lowest-numbered live shard adopts shard 0 from the broadcast
+	// checkpoint (see WorkerConfig.Failover). Every Worker spec in the
+	// fleet must set Failover too (the hello handshake rejects a mix).
+	Failover bool
+	// FailAfterFrames, when positive, crashes this coordinator process
+	// (SIGKILL to self) just before it writes its Nth protocol frame —
+	// the fault-injection hook of the coordinator-kill drills. 0
+	// disables injection.
+	FailAfterFrames int
+	// Resume, when non-nil, is an encoded checkpoint (as delivered to
+	// OnCheckpoint) to restart the run from: every process fast-forwards
+	// through the recorded epochs locally and resumes live execution.
+	// Because replay is a pure function of (seed, partition, round), the
+	// resumed run's OUTPUT is bit-identical to an uninterrupted one even
+	// at a different shard count — the elastic-resize path: checkpoint a
+	// P-shard fleet, restart at P′. (Stats' CrossShard split reflects
+	// the partition actually run, so it differs across P ≠ P′.)
+	Resume []byte
+	// OnCheckpoint, when non-nil, is called with the encoded checkpoint
+	// each time the durable boundary advances (every CheckpointEvery
+	// completed epochs) — the hook for persisting restart state outside
+	// the process (cmd/distworker -ckpt-out). The blob is immutable and
+	// safe to retain.
+	OnCheckpoint func(ckpt []byte)
 }
 
 // Net returns the coordinator spec of a real multi-process run:
@@ -155,6 +193,10 @@ func Net(cfg NetConfig) TransportSpec {
 		maxRespawns: cfg.MaxRespawns,
 		ckptEvery:   cfg.CheckpointEvery,
 		mesh:        cfg.Mesh,
+		failover:    cfg.Failover,
+		failFrames:  cfg.FailAfterFrames,
+		resume:      cfg.Resume,
+		onCkpt:      cfg.OnCheckpoint,
 	}
 }
 
@@ -188,6 +230,40 @@ type WorkerConfig struct {
 	// set ("127.0.0.1:0" if empty — set a routable host for
 	// multi-machine runs).
 	PeerListen string
+	// Failover arms coordinator failover on this worker: it binds a
+	// standby hub listener before joining and announces the address at
+	// the handshake. If the coordinator dies mid-run, the lowest-
+	// numbered shard in the last broadcast standby book adopts shard 0 —
+	// it loads partition 0 (LoadPartition), turns its standby listener
+	// into the fleet's hub, re-broadcasts the job header and the last
+	// checkpoint, respawns its own now-vacant shard (Respawn), and
+	// finishes the run as the coordinator, returning the assembled
+	// Output; every other survivor rejoins the standby address as its
+	// old shard. Replay from the checkpoint is deterministic, so the
+	// output and Stats are bit-identical to a failure-free run. Must
+	// match the coordinator's NetConfig.Failover.
+	Failover bool
+	// FailoverListen is the address the standby listener binds when
+	// Failover is set ("127.0.0.1:0" if empty — set a routable host for
+	// multi-machine runs).
+	FailoverListen string
+	// LoadPartition, when non-nil, loads the partition for a given shard
+	// — how an elected worker materializes partition 0 after adoption.
+	// Optional when the engine holds the full graph (the partition is
+	// carved); required for failover on a partition engine.
+	LoadPartition func(shard int) (*graph.Partition, error)
+	// Respawn restarts a dead worker shard, exactly as NetConfig.Respawn
+	// — used by an elected worker after adoption, first to refill its
+	// own vacated shard and then for any later worker failure. Failover
+	// election fails without it.
+	Respawn func(shard int, addr string)
+	// MaxRespawns bounds the total worker respawns this process performs
+	// after adopting the coordinator role (the adopted shard's own
+	// refill is budgeted separately).
+	MaxRespawns int
+	// CheckpointEvery is the checkpoint cadence this worker applies if
+	// it is elected coordinator (same semantics as the NetConfig field).
+	CheckpointEvery int
 }
 
 // Worker returns the worker-shard spec of a real multi-process run:
@@ -200,15 +276,21 @@ type WorkerConfig struct {
 // process.
 func Worker(cfg WorkerConfig) TransportSpec {
 	return TransportSpec{
-		kind:       specWorker,
-		shards:     cfg.Shards,
-		timeout:    cfg.Timeout,
-		join:       cfg.Join,
-		shard:      cfg.Shard,
-		joinRetry:  cfg.JoinRetry,
-		failFrames: cfg.FailAfterFrames,
-		mesh:       cfg.Mesh,
-		peerListen: cfg.PeerListen,
+		kind:           specWorker,
+		shards:         cfg.Shards,
+		timeout:        cfg.Timeout,
+		join:           cfg.Join,
+		shard:          cfg.Shard,
+		joinRetry:      cfg.JoinRetry,
+		failFrames:     cfg.FailAfterFrames,
+		mesh:           cfg.Mesh,
+		peerListen:     cfg.PeerListen,
+		failover:       cfg.Failover,
+		failoverListen: cfg.FailoverListen,
+		loadPart:       cfg.LoadPartition,
+		respawn:        cfg.Respawn,
+		maxRespawns:    cfg.MaxRespawns,
+		ckptEvery:      cfg.CheckpointEvery,
 	}
 }
 
@@ -227,7 +309,9 @@ func (s TransportSpec) IsZero() bool {
 		s.listen == "" && s.onListen == nil && s.join == "" && s.shard == 0 &&
 		s.respawn == nil && s.maxRespawns == 0 && s.ckptEvery == 0 &&
 		s.joinRetry == 0 && s.failFrames == 0 &&
-		!s.mesh && s.peerListen == ""
+		!s.mesh && s.peerListen == "" &&
+		!s.failover && s.failoverListen == "" && s.loadPart == nil &&
+		s.resume == nil && s.onCkpt == nil
 }
 
 // String renders the spec for logs and experiment tables.
@@ -240,18 +324,25 @@ func (s TransportSpec) String() string {
 	case specMesh:
 		return fmt.Sprintf("mesh(%d)", s.shards)
 	case specNet:
-		if s.mesh {
-			return fmt.Sprintf("net(%s, %d shards, mesh)", s.listen, s.shards)
-		}
-		return fmt.Sprintf("net(%s, %d shards)", s.listen, s.shards)
+		return fmt.Sprintf("net(%s, %d shards%s)", s.listen, s.shards, s.flagSuffix())
 	case specWorker:
-		if s.mesh {
-			return fmt.Sprintf("worker(%s, shard %d/%d, mesh)", s.join, s.shard, s.shards)
-		}
-		return fmt.Sprintf("worker(%s, shard %d/%d)", s.join, s.shard, s.shards)
+		return fmt.Sprintf("worker(%s, shard %d/%d%s)", s.join, s.shard, s.shards, s.flagSuffix())
 	default:
 		return "mem"
 	}
+}
+
+// flagSuffix renders the optional plane/failover markers of the Net
+// and Worker spec strings.
+func (s TransportSpec) flagSuffix() string {
+	suffix := ""
+	if s.mesh {
+		suffix += ", mesh"
+	}
+	if s.failover {
+		suffix += ", failover"
+	}
+	return suffix
 }
 
 // timeoutOrDefault returns the spec's deadline, defaulted.

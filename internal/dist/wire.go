@@ -18,11 +18,14 @@ const (
 	// wireVersion 2 appended the liveness/recovery frames (heartbeat,
 	// checksum, rollback, rollback-ack) to v1's frame set; version 3
 	// appends the full-mesh data-plane frames (mesh address
-	// announcement, peer hello/welcome). Existing frame encodings are
-	// never mutated — new types are appended and the version is bumped,
-	// so a mixed-version fleet fails loudly at the hello handshake
-	// instead of desynchronizing mid-run.
-	wireVersion = uint32(3)
+	// announcement, peer hello/welcome); version 4 appends the
+	// coordinator-failover standby-address frame, the mesh fault-report
+	// frame, and the failover bit of the hello/welcome flags. Existing
+	// frame encodings are never mutated — new types are appended and
+	// the version is bumped, so a
+	// mixed-version fleet fails loudly at the hello handshake instead of
+	// desynchronizing mid-run.
+	wireVersion = uint32(4)
 
 	headerSize   = 20
 	envelopeSize = 28
@@ -51,6 +54,20 @@ const (
 	frameMeshAddr    // worker → coordinator, after hello: this shard's peer listen address (Count raw bytes)
 	frameMeshHello   // dialing worker → accepting worker: open a direct data link (hello payload)
 	frameMeshWelcome // accepting worker → dialing worker: link accepted (hello payload)
+	// v4 coordinator-failover frames:
+	frameFailoverAddr // worker → coordinator, after hello: this shard's standby hub listen address (Count raw bytes)
+	frameFault        // worker → coordinator: my direct link to shard To died; attribute the failure there (no payload)
+)
+
+// Capability flags of the hello/welcome handshake. They ride the
+// otherwise-unused Round field of the hello/welcome frame headers, so
+// the hello payload encoding stays byte-identical across planes, and
+// both sides require an exact match — a fleet that mixes star with
+// mesh, or failover-armed with failover-less processes, fails loudly
+// at the handshake instead of desynchronizing on the appended frames.
+const (
+	helloFlagMesh     = 1 // v3: full-mesh data plane (frameMeshAddr follows the hello)
+	helloFlagFailover = 2 // v4: coordinator failover armed (frameFailoverAddr follows)
 )
 
 // frameHeader describes one frame on the wire.

@@ -23,12 +23,20 @@ func E11TreeBundle(s Scale) *Table {
 	for _, layers := range ts {
 		spCfg := core.DefaultConfig(113)
 		spCfg.BundleT = layers
-		spOut, spStats := core.ParallelSample(g, 0.5, spCfg)
+		spOut, spStats, err := core.ParallelSample(g, 0.5, spCfg)
+		if err != nil {
+			t.Notes = append(t.Notes, "SAMPLE FAILURE: "+err.Error())
+			continue
+		}
 		t.AddRow("spanner", inum(layers), inum(spStats.BundleEdges),
 			inum(spOut.M()), fnum(measureEps(g, spOut, 127)))
 
 		trCfg := core.DefaultConfig(113)
-		trOut, trStats := core.ParallelSampleTreeBundle(g, 0.5, layers, trCfg)
+		trOut, trStats, err := core.ParallelSampleTreeBundle(g, 0.5, layers, trCfg)
+		if err != nil {
+			t.Notes = append(t.Notes, "TREE BUNDLE FAILURE: "+err.Error())
+			continue
+		}
 		t.AddRow("low-stretch trees", inum(layers), inum(trStats.BundleEdges),
 			inum(trOut.M()), fnum(measureEps(g, trOut, 131)))
 	}

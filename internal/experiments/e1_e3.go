@@ -42,11 +42,18 @@ func E1BundleLeverage(s Scale) *Table {
 			t.Notes = append(t.Notes, c.name+": disconnected, skipped")
 			continue
 		}
-		var res []float64
+		var (
+			res []float64
+			err error
+		)
 		if c.g.M() <= 2000 {
-			res = resistance.AllEdgesExact(c.g)
+			res, err = resistance.AllEdgesExact(c.g)
 		} else {
-			res = resistance.AllEdgesApprox(c.g, resistance.ApproxOptions{Eps: 0.2, Seed: 7})
+			res, err = resistance.AllEdgesApprox(c.g, resistance.ApproxOptions{Eps: 0.2, Seed: 7})
+		}
+		if err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s: resistance failure: %v", c.name, err))
+			continue
 		}
 		adj := graph.NewAdjacency(c.g)
 		k := spanner.DefaultK(c.g.N)

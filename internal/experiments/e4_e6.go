@@ -60,7 +60,11 @@ func E4ParallelSample(s Scale) *Table {
 				} else {
 					cfg = core.DefaultConfig(23)
 				}
-				out, st := core.ParallelSample(c.g, eps, cfg)
+				out, st, err := core.ParallelSample(c.g, eps, cfg)
+				if err != nil {
+					t.Notes = append(t.Notes, "SAMPLE FAILURE: "+err.Error())
+					continue
+				}
 				sampledOK := "yes"
 				if st.SampledEdges > c.g.M()/2+3*int(math.Sqrt(float64(c.g.M()))) {
 					sampledOK = "NO"
@@ -99,7 +103,11 @@ func E5ParallelSparsify(s Scale) *Table {
 		tr := newTracker()
 		cfg := core.DefaultConfig(31)
 		cfg.Tracker = tr
-		out, st := core.ParallelSparsify(g, eps, rho, cfg)
+		out, st, err := core.ParallelSparsify(g, eps, rho, cfg)
+		if err != nil {
+			t.Notes = append(t.Notes, "SPARSIFY FAILURE: "+err.Error())
+			continue
+		}
 		em := measureEps(g, out, 37)
 		t.AddRow(fnum(rho), inum(len(st.Rounds)), inum(g.M()), inum(out.M()),
 			fnum(float64(g.M())/rho), fnum(eps), fnum(em),
@@ -140,8 +148,16 @@ func E6Baselines(s Scale) *Table {
 		// swallow it whole, which is correct but uninformative here).
 		cfg := core.DefaultConfig(47)
 		cfg.BundleT = 2
-		ours, _ := core.ParallelSample(c.g, eps, cfg)
-		ss := baseline.SpielmanSrivastava(c.g, baseline.SSOptions{Eps: eps, Exact: c.g.M() <= 4000, Seed: 53})
+		ours, _, err := core.ParallelSample(c.g, eps, cfg)
+		if err != nil {
+			t.Notes = append(t.Notes, "SAMPLE FAILURE: "+err.Error())
+			continue
+		}
+		ss, err := baseline.SpielmanSrivastava(c.g, baseline.SSOptions{Eps: eps, Exact: c.g.M() <= 4000, Seed: 53})
+		if err != nil {
+			t.Notes = append(t.Notes, "SS FAILURE: "+err.Error())
+			continue
+		}
 		p := float64(ours.M()) / float64(c.g.M())
 		// Uniform sampling at the matched rate: report the disconnect
 		// rate over many seeds (the failure is probabilistic) plus the

@@ -116,7 +116,10 @@ func E8Scaling(s Scale) *Table {
 	for p := 1; p <= maxP; p *= 2 {
 		runtime.GOMAXPROCS(p)
 		start := time.Now()
-		core.ParallelSparsify(g, 0.5, 4, core.DefaultConfig(97))
+		if _, _, err := core.ParallelSparsify(g, 0.5, 4, core.DefaultConfig(97)); err != nil {
+			t.Notes = append(t.Notes, "SPARSIFY FAILURE: "+err.Error())
+			break
+		}
 		ms := float64(time.Since(start).Microseconds()) / 1000
 		if p == 1 {
 			base = ms
@@ -147,7 +150,11 @@ func E9BundleAblation(s Scale) *Table {
 	for _, layers := range ts {
 		cfg := core.DefaultConfig(101)
 		cfg.BundleT = layers
-		out, st := core.ParallelSample(g, 0.5, cfg)
+		out, st, err := core.ParallelSample(g, 0.5, cfg)
+		if err != nil {
+			t.Notes = append(t.Notes, "SAMPLE FAILURE: "+err.Error())
+			continue
+		}
 		em := measureEps(g, out, 103)
 		t.AddRow(inum(layers), inum(st.BundleEdges), inum(out.M()), fnum(em))
 	}
@@ -179,7 +186,11 @@ func E10EpsDependence(s Scale) *Table {
 		// Drive t directly as ⌈2/ε²⌉ so the measured size reflects the
 		// ε-dependence rather than integer-ceiling noise at tiny t.
 		cfg.BundleT = int(math.Ceil(2 / (eps * eps)))
-		_, st := core.ParallelSample(g, eps, cfg)
+		_, st, err := core.ParallelSample(g, eps, cfg)
+		if err != nil {
+			t.Notes = append(t.Notes, "SAMPLE FAILURE: "+err.Error())
+			continue
+		}
 		bundleSz := float64(st.BundleEdges)
 		if i == 0 {
 			base = bundleSz

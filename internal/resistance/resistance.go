@@ -6,7 +6,9 @@
 package resistance
 
 import (
+	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/linalg"
@@ -34,41 +36,61 @@ func NewSolver(g *graph.Graph) *Solver {
 // SetTol overrides the inner solve tolerance (default 1e-10).
 func (s *Solver) SetTol(tol float64) { s.tol = tol }
 
-// Solve computes x ≈ L⁺ b (projected off the ones vector) into dst.
-func (s *Solver) Solve(dst, b []float64) {
+// Solve computes x ≈ L⁺ b (projected off the ones vector) into dst. A
+// CG breakdown — possible only on numerically indefinite input, e.g. a
+// negative or non-finite edge weight — is an error: the partial iterate
+// left in dst is NOT a converged potential, and treating it as one
+// silently corrupts every leverage computed from it.
+func (s *Solver) Solve(dst, b []float64) error {
 	vec.Zero(dst)
 	_, err := linalg.CG(linalg.CSROp{M: s.L}, b, dst, linalg.CGOptions{
 		Tol: s.tol, ProjectOnes: true, Prec: s.prec,
 	})
 	if err != nil {
-		// A breakdown can only happen on numerically indefinite input;
-		// the partial iterate in dst is still the best available answer.
-		_ = err
+		return fmt.Errorf("resistance: Laplacian solve: %w", err)
 	}
+	return nil
 }
 
 // Pair returns the effective resistance between u and v.
-func (s *Solver) Pair(u, v int32) float64 {
+func (s *Solver) Pair(u, v int32) (float64, error) {
 	n := s.G.N
 	b := make([]float64, n)
 	b[u] = 1
 	b[v] = -1
 	x := make([]float64, n)
-	s.Solve(x, b)
-	return x[u] - x[v]
+	if err := s.Solve(x, b); err != nil {
+		return 0, err
+	}
+	return x[u] - x[v], nil
 }
 
 // AllEdgesExact returns R_e for every edge of g via one solve per edge.
-// Intended for verification at small scale; O(m) solves.
-func AllEdgesExact(g *graph.Graph) []float64 {
+// Intended for verification at small scale; O(m) solves. Any per-edge
+// solve failure fails the whole call.
+func AllEdgesExact(g *graph.Graph) ([]float64, error) {
 	s := NewSolver(g)
 	out := make([]float64, len(g.Edges))
+	var mu sync.Mutex
+	var firstErr error
 	parutil.For(len(g.Edges), func(i int) {
 		e := g.Edges[i]
 		// Each goroutine allocates its own work vectors inside Pair.
-		out[i] = s.Pair(e.U, e.V)
+		r, err := s.Pair(e.U, e.V)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("edge %d (%d,%d): %w", i, e.U, e.V, err)
+			}
+			mu.Unlock()
+			return
+		}
+		out[i] = r
 	})
-	return out
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
 }
 
 // ApproxOptions controls the JL sketch.
@@ -86,8 +108,8 @@ type ApproxOptions struct {
 // AllEdgesApprox estimates R_e for every edge of g with the
 // Spielman–Srivastava sketch: R_e = ‖W^½ B L⁺(χ_u − χ_v)‖², estimated by
 // projecting onto k random ±1 directions in edge space, which needs only
-// k Laplacian solves in total.
-func AllEdgesApprox(g *graph.Graph, opt ApproxOptions) []float64 {
+// k Laplacian solves in total. A failed probe solve fails the call.
+func AllEdgesApprox(g *graph.Graph, opt ApproxOptions) ([]float64, error) {
 	if opt.Eps <= 0 {
 		opt.Eps = 0.3
 	}
@@ -121,7 +143,9 @@ func AllEdgesApprox(g *graph.Graph, opt ApproxOptions) []float64 {
 			z[e.V] -= w
 		}
 		y := make([]float64, n)
-		s.Solve(y, z)
+		if err := s.Solve(y, z); err != nil {
+			return nil, fmt.Errorf("resistance: sketch probe %d of %d: %w", i+1, k, err)
+		}
 		ys[i] = y
 	}
 	inv := 1 / float64(k)
@@ -135,7 +159,7 @@ func AllEdgesApprox(g *graph.Graph, opt ApproxOptions) []float64 {
 		}
 		out[eid] = sum * inv
 	})
-	return out
+	return out, nil
 }
 
 // MaxLeverage returns max over the selected edges of w_e·R_e[g], the

@@ -8,11 +8,21 @@ import (
 	"repro/internal/graph"
 )
 
+// mustPair is the test-side shorthand for Pair on healthy input.
+func mustPair(t *testing.T, s *Solver, u, v int32) float64 {
+	t.Helper()
+	r, err := s.Pair(u, v)
+	if err != nil {
+		t.Fatalf("Pair(%d,%d): %v", u, v, err)
+	}
+	return r
+}
+
 func TestPathResistance(t *testing.T) {
 	// Series resistors: R(0,4) on a unit path = 4.
 	g := gen.Path(5)
 	s := NewSolver(g)
-	if r := s.Pair(0, 4); math.Abs(r-4) > 1e-8 {
+	if r := mustPair(t, s, 0, 4); math.Abs(r-4) > 1e-8 {
 		t.Fatalf("R=%v want 4", r)
 	}
 }
@@ -21,7 +31,7 @@ func TestParallelEdgesResistance(t *testing.T) {
 	// Two parallel unit resistors → R = 1/2.
 	g := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 0, V: 1, W: 1}})
 	s := NewSolver(g)
-	if r := s.Pair(0, 1); math.Abs(r-0.5) > 1e-8 {
+	if r := mustPair(t, s, 0, 1); math.Abs(r-0.5) > 1e-8 {
 		t.Fatalf("R=%v want 0.5", r)
 	}
 }
@@ -32,7 +42,7 @@ func TestCycleResistance(t *testing.T) {
 	g := gen.Cycle(n)
 	s := NewSolver(g)
 	want := float64(n-1) / float64(n)
-	if r := s.Pair(0, 1); math.Abs(r-want) > 1e-8 {
+	if r := mustPair(t, s, 0, 1); math.Abs(r-want) > 1e-8 {
 		t.Fatalf("R=%v want %v", r, want)
 	}
 }
@@ -43,7 +53,7 @@ func TestCompleteGraphResistance(t *testing.T) {
 	g := gen.Complete(n)
 	s := NewSolver(g)
 	want := 2.0 / float64(n)
-	if r := s.Pair(3, 11); math.Abs(r-want) > 1e-8 {
+	if r := mustPair(t, s, 3, 11); math.Abs(r-want) > 1e-8 {
 		t.Fatalf("R=%v want %v", r, want)
 	}
 }
@@ -52,7 +62,7 @@ func TestWeightedResistance(t *testing.T) {
 	// Single edge of weight w → R = 1/w.
 	g := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1, W: 4}})
 	s := NewSolver(g)
-	if r := s.Pair(0, 1); math.Abs(r-0.25) > 1e-10 {
+	if r := mustPair(t, s, 0, 1); math.Abs(r-0.25) > 1e-10 {
 		t.Fatalf("R=%v want 0.25", r)
 	}
 }
@@ -63,7 +73,10 @@ func TestAllEdgesExactSumsToNMinus1(t *testing.T) {
 	if !graph.IsConnected(g) {
 		t.Skip("test graph disconnected for this seed")
 	}
-	res := AllEdgesExact(g)
+	res, err := AllEdgesExact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sum := 0.0
 	for i, e := range g.Edges {
 		sum += e.W * res[i]
@@ -78,8 +91,14 @@ func TestApproxMatchesExact(t *testing.T) {
 	if !graph.IsConnected(g) {
 		t.Skip("disconnected")
 	}
-	exact := AllEdgesExact(g)
-	approx := AllEdgesApprox(g, ApproxOptions{Eps: 0.2, Seed: 7})
+	exact, err := AllEdgesExact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := AllEdgesApprox(g, ApproxOptions{Eps: 0.2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range exact {
 		rel := math.Abs(approx[i]-exact[i]) / exact[i]
 		if rel > 0.6 {
@@ -90,7 +109,10 @@ func TestApproxMatchesExact(t *testing.T) {
 
 func TestApproxFosterSum(t *testing.T) {
 	g := gen.Grid2D(8, 8)
-	approx := AllEdgesApprox(g, ApproxOptions{Eps: 0.15, Seed: 9})
+	approx, err := AllEdgesApprox(g, ApproxOptions{Eps: 0.15, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
 	sum := 0.0
 	for i, e := range g.Edges {
 		sum += e.W * approx[i]
@@ -103,7 +125,10 @@ func TestApproxFosterSum(t *testing.T) {
 
 func TestMaxLeverage(t *testing.T) {
 	g := gen.Path(4) // every edge is a bridge: leverage exactly 1
-	res := AllEdgesExact(g)
+	res, err := AllEdgesExact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if lv := MaxLeverage(g, res, nil); math.Abs(lv-1) > 1e-8 {
 		t.Fatalf("bridge leverage %v want 1", lv)
 	}
@@ -116,13 +141,43 @@ func TestMaxLeverage(t *testing.T) {
 func TestSolverReusableAcrossQueries(t *testing.T) {
 	g := gen.Grid2D(6, 6)
 	s := NewSolver(g)
-	r1 := s.Pair(0, 35)
-	r2 := s.Pair(0, 35)
+	r1 := mustPair(t, s, 0, 35)
+	r2 := mustPair(t, s, 0, 35)
 	if math.Abs(r1-r2) > 1e-12 {
 		t.Fatal("solver state leaks between queries")
 	}
 	// Rayleigh: resistance between closer vertices is smaller.
-	if s.Pair(0, 1) >= r1 {
+	if mustPair(t, s, 0, 1) >= r1 {
 		t.Fatal("adjacent resistance should be below far-corner resistance")
+	}
+}
+
+// TestSolveBreakdownSurfaces: a negative edge weight makes the
+// "Laplacian" indefinite, so CG breaks down at the first iteration —
+// the error must reach the caller instead of leaving a garbage iterate
+// behind (it was silently discarded before this test existed).
+func TestSolveBreakdownSurfaces(t *testing.T) {
+	g := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1, W: -1}})
+	s := NewSolver(g)
+	if _, err := s.Pair(0, 1); err == nil {
+		t.Fatal("Pair on an indefinite matrix returned no error")
+	}
+	if err := s.Solve(make([]float64, 2), []float64{1, -1}); err == nil {
+		t.Fatal("Solve on an indefinite matrix returned no error")
+	}
+}
+
+// TestAllEdgesBreakdownSurfaces: the batch entry points propagate a
+// per-edge / per-probe solve failure instead of returning zeros.
+func TestAllEdgesBreakdownSurfaces(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{
+		{U: 0, V: 1, W: -1},
+		{U: 1, V: 2, W: 1},
+	})
+	if _, err := AllEdgesExact(g); err == nil {
+		t.Fatal("AllEdgesExact on an indefinite matrix returned no error")
+	}
+	if _, err := AllEdgesApprox(g, ApproxOptions{Seed: 3}); err == nil {
+		t.Fatal("AllEdgesApprox on an indefinite matrix returned no error")
 	}
 }

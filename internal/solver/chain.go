@@ -136,7 +136,13 @@ func BuildChain(g *graph.Graph, opt ChainOptions) (*Chain, error) {
 				cfg = *opt.SparsifyCfg
 				cfg.Seed ^= uint64(depth+1) * 0xd1342543de82ef95
 			}
-			sp, _ := core.ParallelSparsify(next, opt.Eps, rho, cfg)
+			sp, _, err := core.ParallelSparsify(next, opt.Eps, rho, cfg)
+			if err != nil {
+				// A failed level sparsification must not poison the
+				// hierarchy: surface it instead of building on the
+				// unsparsified (or partial) level.
+				return nil, fmt.Errorf("solver: chain level %d: %w", depth, err)
+			}
 			// The sample rounds always keep a full spanner of the graph
 			// they see, so every component of next stays connected in sp
 			// — no connectivity guard needed (two-step graphs of

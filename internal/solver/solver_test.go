@@ -2,6 +2,7 @@ package solver
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/gen"
@@ -125,6 +126,23 @@ func TestBuildChainTerminates(t *testing.T) {
 	last := chain.Levels[chain.Depth()-1]
 	if last.Sigma > 0.5+1e-9 && chain.Depth() < 40 {
 		t.Fatalf("chain stopped early with sigma %v", last.Sigma)
+	}
+}
+
+// TestBuildChainSurfacesSparsifyError: a per-round accuracy outside
+// (0,1] inside a level sparsification must fail BuildChain with a
+// level-tagged error, not silently keep the unsparsified level (the
+// error was discarded with `sp, _ :=` before this test existed).
+func TestBuildChainSurfacesSparsifyError(t *testing.T) {
+	// Eps is huge so the per-round eps of the level sparsifier is > 1;
+	// withDefaults only fixes Eps <= 0, so 1e6 survives. Grid2D(12,12)
+	// densifies under TwoStep, forcing the sparsify branch.
+	_, err := BuildChain(gen.Grid2D(12, 12), ChainOptions{Seed: 3, Eps: 1e6})
+	if err == nil {
+		t.Fatal("BuildChain accepted an illegal level eps")
+	}
+	if !strings.Contains(err.Error(), "chain level") {
+		t.Fatalf("error %q does not name the failing level", err)
 	}
 }
 

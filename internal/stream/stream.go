@@ -55,7 +55,9 @@ func New(n int, opt Options) *Sparsifier {
 	return &Sparsifier{n: n, opt: opt}
 }
 
-// Ingest adds one edge of the stream.
+// Ingest adds one edge of the stream. A failed reduce surfaces here;
+// the triggering edge and the rest of the buffer stay ingested, so the
+// stream is not silently truncated and the caller may retry or abort.
 func (s *Sparsifier) Ingest(e graph.Edge) error {
 	if e.U < 0 || int(e.U) >= s.n || e.V < 0 || int(e.V) >= s.n {
 		return fmt.Errorf("stream: edge (%d,%d) outside vertex set [0,%d)", e.U, e.V, s.n)
@@ -66,18 +68,18 @@ func (s *Sparsifier) Ingest(e graph.Edge) error {
 	s.buffer = append(s.buffer, e)
 	s.ingested++
 	if len(s.buffer) >= s.opt.BufferEdges {
-		s.reduce()
+		return s.reduce()
 	}
 	return nil
 }
 
 // reduce merges the buffer into the summary and compresses with one
-// PARALLELSAMPLE round.
-func (s *Sparsifier) reduce() {
+// PARALLELSAMPLE round. On failure the buffer (and summary) are left
+// exactly as they were — no edge is dropped.
+func (s *Sparsifier) reduce() error {
 	merged := make([]graph.Edge, 0, len(s.summary)+len(s.buffer))
 	merged = append(merged, s.summary...)
 	merged = append(merged, s.buffer...)
-	s.buffer = s.buffer[:0]
 	g := graph.FromEdges(s.n, merged)
 	var cfg core.Config
 	if s.opt.Config != nil {
@@ -87,21 +89,29 @@ func (s *Sparsifier) reduce() {
 		cfg.BundleT = 2
 	}
 	cfg.Seed ^= uint64(s.reduces+1) * 0x9e3779b97f4a7c15
-	out, _ := core.ParallelSample(g, s.opt.ReduceEps, cfg)
+	out, _, err := core.ParallelSample(g, s.opt.ReduceEps, cfg)
+	if err != nil {
+		return fmt.Errorf("stream: reduce %d: %w", s.reduces+1, err)
+	}
+	s.buffer = s.buffer[:0]
 	s.summary = out.Edges
 	s.reduces++
+	return nil
 }
 
 // Finish flushes the buffer and returns the final summary graph along
 // with the number of reduce steps performed (each contributing a
-// (1±ReduceEps) factor to the end-to-end guarantee).
-func (s *Sparsifier) Finish() (*graph.Graph, int) {
+// (1±ReduceEps) factor to the end-to-end guarantee). A failed final
+// reduce returns the error with all buffered edges still held.
+func (s *Sparsifier) Finish() (*graph.Graph, int, error) {
 	if len(s.buffer) > 0 {
-		s.reduce()
+		if err := s.reduce(); err != nil {
+			return nil, s.reduces, err
+		}
 	}
 	edges := make([]graph.Edge, len(s.summary))
 	copy(edges, s.summary)
-	return graph.FromEdges(s.n, edges), s.reduces
+	return graph.FromEdges(s.n, edges), s.reduces, nil
 }
 
 // SummarySize returns the current in-memory edge count (buffer plus

@@ -30,7 +30,10 @@ func TestStreamEndToEndQuality(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	out, reduces := s.Finish()
+	out, reduces, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if reduces < 2 {
 		t.Fatalf("expected multiple reduces over %d edges with buffer 3000, got %d", g.M(), reduces)
 	}
@@ -80,7 +83,10 @@ func TestStreamPreservesConnectivity(t *testing.T) {
 	g := gen.Barbell(40, 1)
 	s := New(g.N, Options{BufferEdges: 400, ReduceEps: 0.25, Seed: 9})
 	streamAll(t, s, g.Edges)
-	out, _ := s.Finish()
+	out, _, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !graph.IsConnected(out) {
 		t.Fatal("stream summary lost the bridge (bundle must retain it at every reduce)")
 	}
@@ -100,7 +106,10 @@ func TestStreamNoReduceForSmallStreams(t *testing.T) {
 	g := gen.Path(50)
 	s := New(g.N, Options{BufferEdges: 10000, Seed: 11})
 	streamAll(t, s, g.Edges)
-	out, reduces := s.Finish()
+	out, reduces, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if reduces != 1 {
 		t.Fatalf("small stream should reduce exactly once at Finish, got %d", reduces)
 	}
@@ -112,9 +121,44 @@ func TestStreamNoReduceForSmallStreams(t *testing.T) {
 
 func TestStreamEmptyFinish(t *testing.T) {
 	s := New(10, Options{})
-	out, reduces := s.Finish()
+	out, reduces, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out.M() != 0 || reduces != 0 {
 		t.Fatal("empty stream mishandled")
+	}
+}
+
+// TestStreamReduceFailureKeepsBuffer: a reduce whose per-reduce eps is
+// illegal must surface the error from Ingest AND leave every buffered
+// edge in place — the stream is not silently truncated — and Finish
+// must report the same failure rather than return a partial summary.
+func TestStreamReduceFailureKeepsBuffer(t *testing.T) {
+	// withDefaults only fixes ReduceEps <= 0, so 3 survives to the
+	// sampler, which rejects it.
+	s := New(8, Options{BufferEdges: 4, ReduceEps: 3, Seed: 7})
+	edges := []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1},
+	}
+	streamAll(t, s, edges)
+	before := s.SummarySize()
+	// The 4th edge fills the buffer and triggers the doomed reduce.
+	err := s.Ingest(graph.Edge{U: 3, V: 4, W: 1})
+	if err == nil {
+		t.Fatal("reduce with eps=3 reported no error")
+	}
+	if got := s.SummarySize(); got != before+1 {
+		t.Fatalf("failed reduce dropped edges: %d in memory, want %d", got, before+1)
+	}
+	if s.Ingested() != 4 {
+		t.Fatalf("ingested %d want 4", s.Ingested())
+	}
+	if _, _, err := s.Finish(); err == nil {
+		t.Fatal("Finish after a doomed reduce reported no error")
+	}
+	if got := s.SummarySize(); got != before+1 {
+		t.Fatalf("failed Finish dropped edges: %d in memory, want %d", got, before+1)
 	}
 }
 
@@ -123,7 +167,10 @@ func TestStreamDeterministicForFixedOrder(t *testing.T) {
 	run := func() *graph.Graph {
 		s := New(g.N, Options{BufferEdges: 1500, Seed: 13})
 		streamAll(t, s, g.Edges)
-		out, _ := s.Finish()
+		out, _, err := s.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
 		return out
 	}
 	a, b := run(), run()
