@@ -12,6 +12,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/pram"
 	"repro/internal/resistance"
+	"repro/internal/serve"
 	"repro/internal/solver"
 	"repro/internal/spanner"
 	"repro/internal/spectral"
@@ -263,9 +264,54 @@ type StreamSparsifier = stream.Sparsifier
 type StreamOptions = stream.Options
 
 // NewStream returns a semi-streaming sparsifier over n vertices;
-// Ingest edges, then Finish for the summary graph.
+// Ingest edges, then Finish for the summary graph (or Snapshot for a
+// non-destructive read of the live stream).
 func NewStream(n int, opt StreamOptions) *StreamSparsifier {
 	return stream.New(n, opt)
+}
+
+// SparsifierServer is the sparsifier-as-a-service core: a long-lived
+// TCP server holding named dynamic graphs, answering sparsify /
+// spanner / resistance / solve queries over immutable epoch snapshots
+// while clients stream edges in. See internal/serve for the
+// epoch/session model and cmd/sparsifyd for the daemon CLI.
+type SparsifierServer = serve.Server
+
+// SparsifierClient is a connection to a SparsifierServer (or a
+// sparsifyd daemon).
+type SparsifierClient = serve.Client
+
+// ServeConfig configures a SparsifierServer.
+type ServeConfig = serve.Config
+
+// ServeGraphOptions are a served graph's create-time knobs: the epoch
+// update budget, the stream buffer, the per-reduce accuracy, and the
+// seed driving all of the graph's randomness.
+type ServeGraphOptions = serve.GraphOptions
+
+// ServeInfo is the counter record every service response carries:
+// which immutable epoch answered and where ingest currently stands.
+type ServeInfo = serve.Info
+
+// ListenSparsifier binds a sparsifier service on cfg.Listen and
+// returns the server ready for Serve; Shutdown drains it (in-flight
+// requests are answered, new connections refused).
+func ListenSparsifier(cfg ServeConfig) (*SparsifierServer, error) {
+	return serve.Listen(cfg)
+}
+
+// DialSparsifier connects to a sparsifier service.
+func DialSparsifier(addr string) (*SparsifierClient, error) {
+	return serve.Dial(addr)
+}
+
+// ServeQuerySeed derives the seed a service query against epoch e of a
+// graph created with seed s runs under — half of the service's
+// determinism contract: replaying a graph's ingested prefix through
+// NewStream(+Snapshot) and re-running the query's algorithm under
+// ServeQuerySeed(s, e) reproduces the served answer bit for bit.
+func ServeQuerySeed(seed, epoch uint64) uint64 {
+	return serve.QuerySeed(seed, epoch)
 }
 
 // DistStats aliases the distributed communication ledger.

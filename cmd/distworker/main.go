@@ -83,7 +83,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -94,6 +93,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/graphio"
+	"repro/internal/netutil"
 )
 
 func main() {
@@ -153,10 +153,8 @@ func main() {
 		validateHostPort("-failover-listen", *failoverListen, true)
 	}
 	if *addrFile != "" {
-		if dir := filepath.Dir(*addrFile); dir != "." {
-			if st, err := os.Stat(dir); err != nil || !st.IsDir() {
-				log.Fatalf("-addr-file %q: parent directory %q does not exist", *addrFile, dir)
-			}
+		if err := netutil.ValidateParentDir("-addr-file", *addrFile); err != nil {
+			log.Fatal(err)
 		}
 	}
 	runner, ok := jobRunners[*jobName]
@@ -214,23 +212,14 @@ var jobRunners = map[string]jobRunner{
 }
 
 // validateHostPort rejects a malformed address flag before any socket
-// work, with the flag's name in the message. needHost additionally
-// requires a non-empty host part: a worker must dial -join somewhere,
-// and a -peer-listen host is what the OTHER workers dial — binding
-// every interface (":0") would announce an undialable address.
+// work (netutil.ValidateHostPort, shared with cmd/sparsifyd), with the
+// flag's name in the message. needHost additionally requires a
+// non-empty host part: a worker must dial -join somewhere, and a
+// -peer-listen host is what the OTHER workers dial — binding every
+// interface (":0") would announce an undialable address.
 func validateHostPort(flagName, addr string, needHost bool) {
-	host, port, err := net.SplitHostPort(addr)
-	if err != nil {
-		log.Fatalf("%s %q is not a host:port address: %v", flagName, addr, err)
-	}
-	if port == "" {
-		log.Fatalf("%s %q has no port (want host:port)", flagName, addr)
-	}
-	if _, err := net.LookupPort("tcp", port); err != nil {
-		log.Fatalf("%s %q: %q is not a valid port", flagName, addr, port)
-	}
-	if needHost && host == "" {
-		log.Fatalf("%s %q needs an explicit host (want host:port)", flagName, addr)
+	if err := netutil.ValidateHostPort(flagName, addr, needHost); err != nil {
+		log.Fatal(err)
 	}
 }
 
@@ -283,36 +272,11 @@ func loadPartition(in, parts string, shard, shards int) *graph.Partition {
 	return graph.PartitionOf(g, shard, shards)
 }
 
-// writeFileAtomic writes data to path via a temp file in the same
-// directory plus rename, so a racing reader (a coordinator-waiting
-// script polling -addr-file) never observes a half-written file.
+// writeFileAtomic writes data to path via a temp file plus rename
+// (netutil.AtomicWriteFile), so a racing reader — a coordinator-waiting
+// script polling -addr-file — never observes a half-written file.
 func writeFileAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	// CreateTemp makes 0600 files; keep the address world-readable as a
-	// plain WriteFile would.
-	if err := tmp.Chmod(0o644); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
+	return netutil.AtomicWriteFile(path, data)
 }
 
 func splitPartitions(g *graph.Graph, shards int, dir string) {

@@ -1,0 +1,300 @@
+// Command sparsifyd is the sparsifier service daemon plus its CLI
+// client: a long-lived server holding named dynamic graphs, answering
+// spectral queries over immutable epoch snapshots while clients stream
+// edges in (see internal/serve for the epoch/session model and the
+// determinism contract).
+//
+// Daemon (runs until SIGTERM/SIGINT, then drains: in-flight requests
+// are answered, new connections refused):
+//
+//	sparsifyd -listen 127.0.0.1:7777 [-budget 65536] [-addr-file F]
+//
+// Client (one connection; the operation flags run in pipeline order
+// create → ingest → flush → queries → stat → drop, so one invocation
+// can do a whole round trip):
+//
+//	sparsifyd -connect 127.0.0.1:7777 -graph g -create -n 1024 -seed 7
+//	sparsifyd -connect 127.0.0.1:7777 -graph g -ingest edges.txt
+//	sparsifyd -connect 127.0.0.1:7777 -graph g -flush -sparsify 0.5 -out sp.txt
+//	sparsifyd -connect 127.0.0.1:7777 -graph g -spanner 3 -resistance 0,9 -stat
+//	sparsifyd -connect 127.0.0.1:7777 -graph g -drop
+//
+// -ingest reads the repo's text edge-list format (graphio); the file's
+// vertex count must not exceed the graph's. Query results are written
+// in the same format to -out (default stdout). Every response line
+// reports the answering epoch and its edge prefix, so any answer can
+// be reproduced offline from the same prefix.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/netutil"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sparsifyd: ")
+	listen := flag.String("listen", "", "daemon mode: listen address (host:port)")
+	budget := flag.Int("budget", 0, "daemon: default epoch update budget in edges (0 = 65536)")
+	addrFile := flag.String("addr-file", "", "daemon: write the bound listen address to this file (atomically)")
+	grace := flag.Duration("grace", 30*time.Second, "daemon: drain window for in-flight requests on SIGTERM")
+
+	connect := flag.String("connect", "", "client mode: daemon address to connect to")
+	graphName := flag.String("graph", "", "client: graph name the operations apply to")
+	create := flag.Bool("create", false, "client: create the graph (or attach if it exists with the same -n)")
+	n := flag.Int("n", 0, "client, with -create: vertex count")
+	gBudget := flag.Int("graph-budget", 0, "client, with -create: per-graph epoch update budget (0 = daemon default)")
+	buffer := flag.Int("buffer", 0, "client, with -create: stream ingest buffer in edges (0 = 4·n)")
+	reduceEps := flag.Float64("reduce-eps", 0, "client, with -create: per-reduce sample accuracy (0 = 0.2)")
+	seed := flag.Uint64("seed", 0, "client, with -create: graph seed driving stream and query randomness (0 = 1)")
+	ingest := flag.String("ingest", "", "client: stream this edge-list file into the graph's next epoch")
+	batch := flag.Int("batch", 4096, "client, with -ingest: edges per wire batch")
+	flush := flag.Bool("flush", false, "client: publish an epoch over everything ingested so far")
+	sparsify := flag.Float64("sparsify", 0, "client: query an eps-spectral sparsifier of the current epoch")
+	rho := flag.Float64("rho", 0, "client, with -sparsify: edge reduction factor (0 = paper default)")
+	spannerK := flag.Int("spanner", 0, "client: query a (2k-1)-spanner of the current epoch at this k")
+	resistancePair := flag.String("resistance", "", "client: query effective resistance for a vertex pair \"u,v\"")
+	stat := flag.Bool("stat", false, "client: report the graph's live counters")
+	drop := flag.Bool("drop", false, "client: delete the graph from the registry")
+	out := flag.String("out", "", "client: write query result graphs to this file (default stdout)")
+	timeout := flag.Duration("timeout", 10*time.Second, "client: dial timeout")
+	flag.Parse()
+
+	switch {
+	case *listen != "" && *connect != "":
+		log.Fatal("-listen (daemon) and -connect (client) are mutually exclusive")
+	case *listen != "":
+		if err := netutil.ValidateHostPort("-listen", *listen, false); err != nil {
+			log.Fatal(err)
+		}
+		if *addrFile != "" {
+			if err := netutil.ValidateParentDir("-addr-file", *addrFile); err != nil {
+				log.Fatal(err)
+			}
+		}
+		runDaemon(*listen, *budget, *addrFile, *grace)
+	case *connect != "":
+		if err := netutil.ValidateHostPort("-connect", *connect, true); err != nil {
+			log.Fatal(err)
+		}
+		if *graphName == "" {
+			log.Fatal("-graph is required in client mode")
+		}
+		runClient(clientOps{
+			connect: *connect, graphName: *graphName, timeout: *timeout,
+			create: *create, n: *n,
+			opt: serve.GraphOptions{
+				UpdateBudget: *gBudget, BufferEdges: *buffer,
+				ReduceEps: *reduceEps, Seed: *seed,
+			},
+			ingest: *ingest, batch: *batch, flush: *flush,
+			sparsify: *sparsify, rho: *rho, spannerK: *spannerK,
+			resistancePair: *resistancePair, stat: *stat, drop: *drop, out: *out,
+		})
+	default:
+		log.Fatal("one of -listen (daemon) or -connect (client) is required")
+	}
+}
+
+func runDaemon(listen string, budget int, addrFile string, grace time.Duration) {
+	srv, err := serve.Listen(serve.Config{
+		Listen:        listen,
+		DefaultBudget: budget,
+		OnListen: func(addr string) {
+			fmt.Fprintf(os.Stderr, "sparsifyd: listening on %s\n", addr)
+			if addrFile != "" {
+				if err := netutil.AtomicWriteFile(addrFile, []byte(addr)); err != nil {
+					log.Fatal(err)
+				}
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	drained := make(chan error, 1)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "sparsifyd: %v: draining (grace %v)\n", s, grace)
+		drained <- srv.Shutdown(grace)
+	}()
+
+	if err := srv.Serve(); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-drained; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "sparsifyd: drained, bye")
+}
+
+type clientOps struct {
+	connect, graphName string
+	timeout            time.Duration
+	create             bool
+	n                  int
+	opt                serve.GraphOptions
+	ingest             string
+	batch              int
+	flush              bool
+	sparsify, rho      float64
+	spannerK           int
+	resistancePair     string
+	stat, drop         bool
+	out                string
+}
+
+func runClient(ops clientOps) {
+	c, err := serve.DialTimeout(ops.connect, ops.timeout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	name := ops.graphName
+
+	if ops.create {
+		if ops.n < 1 {
+			log.Fatal("-create requires -n ≥ 1")
+		}
+		info, err := c.Open(name, ops.n, ops.opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "graph %s: n=%d epoch=%d ingested=%d\n", name, info.N, info.Epoch, info.Ingested)
+	}
+
+	if ops.ingest != "" {
+		if ops.batch < 1 {
+			log.Fatal("-batch must be ≥ 1")
+		}
+		f, err := os.Open(ops.ingest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := graphio.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", ops.ingest, err)
+		}
+		start := time.Now()
+		var info serve.Info
+		for i := 0; i < len(g.Edges); i += ops.batch {
+			end := i + ops.batch
+			if end > len(g.Edges) {
+				end = len(g.Edges)
+			}
+			if info, err = c.Ingest(name, g.Edges[i:end]); err != nil {
+				log.Fatalf("ingest %s at edge %d: %v", ops.ingest, i, err)
+			}
+		}
+		el := time.Since(start)
+		rate := float64(len(g.Edges)) / el.Seconds()
+		fmt.Fprintf(os.Stderr, "ingested %d edges in %v (%.0f edges/s): epoch=%d prefix=%d pending=%d\n",
+			len(g.Edges), el.Round(time.Millisecond), rate, info.Epoch, info.Prefix, info.Pending)
+	}
+
+	if ops.flush {
+		info, err := c.Flush(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "flushed: epoch=%d prefix=%d summary=%d edges (%d reduces)\n",
+			info.Epoch, info.Prefix, info.SummaryM, info.Reduces)
+	}
+
+	if ops.sparsify != 0 {
+		info, g, err := c.Sparsify(name, ops.sparsify, ops.rho)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sparsify eps=%v: epoch=%d prefix=%d -> %d edges\n",
+			ops.sparsify, info.Epoch, info.Prefix, g.M())
+		writeGraph(ops.out, g)
+	}
+
+	if ops.spannerK != 0 {
+		info, g, err := c.Spanner(name, ops.spannerK)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "spanner k=%d: epoch=%d prefix=%d -> %d edges\n",
+			ops.spannerK, info.Epoch, info.Prefix, g.M())
+		writeGraph(ops.out, g)
+	}
+
+	if ops.resistancePair != "" {
+		u, v, err := parsePair(ops.resistancePair)
+		if err != nil {
+			log.Fatalf("-resistance: %v", err)
+		}
+		info, r, err := c.Resistance(name, u, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "resistance(%d,%d): epoch=%d prefix=%d\n", u, v, info.Epoch, info.Prefix)
+		fmt.Println(strconv.FormatFloat(r, 'g', -1, 64))
+	}
+
+	if ops.stat {
+		info, err := c.Stat(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("graph=%s n=%d epoch=%d prefix=%d ingested=%d pending=%d summary=%d reduces=%d\n",
+			name, info.N, info.Epoch, info.Prefix, info.Ingested, info.Pending, info.SummaryM, info.Reduces)
+	}
+
+	if ops.drop {
+		info, err := c.Drop(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dropped %s (had %d edges ingested across %d epochs)\n", name, info.Ingested, info.Epoch)
+	}
+}
+
+func parsePair(s string) (int32, int32, error) {
+	us, vs, ok := strings.Cut(s, ",")
+	if !ok {
+		return 0, 0, fmt.Errorf("%q is not a \"u,v\" pair", s)
+	}
+	u, err := strconv.ParseInt(strings.TrimSpace(us), 10, 32)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad vertex %q", us)
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(vs), 10, 32)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad vertex %q", vs)
+	}
+	return int32(u), int32(v), nil
+}
+
+func writeGraph(out string, g *graph.Graph) {
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := graphio.Write(w, g); err != nil {
+		log.Fatal(err)
+	}
+}

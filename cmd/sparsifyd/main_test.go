@@ -1,0 +1,252 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	repro "repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/serve"
+	"repro/internal/stream"
+)
+
+// The daemon smoke tests re-execute this test binary as the sparsifyd
+// CLI (TestMain dispatches to main when the child marker is set), so a
+// real OS daemon process serves real loopback connections and is torn
+// down by a real SIGTERM — the serve-smoke CI job runs exactly these
+// TestDaemon* tests.
+
+const childEnv = "SPARSIFYD_CHILD"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(childEnv) == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func child(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), childEnv+"=1")
+	cmd.Stderr = os.Stderr
+	return cmd
+}
+
+func childCapture(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), childEnv+"=1")
+	return cmd
+}
+
+func waitForFile(t *testing.T, path string, timeout time.Duration) string {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		b, err := os.ReadFile(path)
+		if err == nil && len(b) > 0 {
+			return strings.TrimSpace(string(b))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("%s did not appear within %v", path, timeout)
+	return ""
+}
+
+// TestDaemonLifecycle is the full serve-smoke pass: boot a real daemon
+// process, drive it end to end with CLI client invocations (create,
+// ingest a file, flush, sparsify to a file, stat, resistance), verify
+// the served sparsifier is bit-identical to the offline recomputation
+// over the same edge prefix, then SIGTERM the daemon and require a
+// clean drain (exit 0).
+func TestDaemonLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	const (
+		n    = 200
+		seed = "23"
+		eps  = "0.5"
+	)
+	g := gen.Gnp(n, 0.05, 4)
+	inPath := filepath.Join(dir, "edges.txt")
+	f, err := os.Create(inPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	addrPath := filepath.Join(dir, "addr")
+	daemon := child(t, "-listen", "127.0.0.1:0", "-addr-file", addrPath, "-grace", "20s")
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Process.Kill()
+	addr := waitForFile(t, addrPath, 15*time.Second)
+
+	run := func(args ...string) {
+		t.Helper()
+		cmd := child(t, append([]string{"-connect", addr, "-graph", "smoke"}, args...)...)
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("client %v: %v", args, err)
+		}
+	}
+	run("-create", "-n", "200", "-seed", seed)
+	run("-ingest", inPath)
+	outPath := filepath.Join(dir, "sparse.txt")
+	run("-flush", "-sparsify", eps, "-out", outPath)
+	run("-resistance", "0,1", "-stat")
+
+	// The served sparsifier must be bit-identical to the offline replay
+	// of the same prefix: the whole file in file order, one flush →
+	// epoch 1 (the file is smaller than the default update budget).
+	of, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := graphio.Read(of)
+	of.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := stream.New(n, stream.Options{Seed: 23})
+	for _, e := range g.Edges {
+		if err := str.Ingest(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum, _, err := str.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := repro.Sparsify(sum, 0.5, 0, repro.Options{Seed: serve.QuerySeed(23, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != want.N || got.M() != want.M() {
+		t.Fatalf("served sparsifier n=%d m=%d, offline n=%d m=%d", got.N, got.M(), want.N, want.M())
+	}
+	for i := range got.Edges {
+		if got.Edges[i] != want.Edges[i] {
+			t.Fatalf("edge %d: served %+v, offline %+v", i, got.Edges[i], want.Edges[i])
+		}
+	}
+
+	// SIGTERM → graceful drain → exit 0.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Wait(); err != nil {
+		t.Fatalf("daemon did not drain cleanly: %v", err)
+	}
+
+	// The daemon is gone: a fresh client must fail to connect.
+	cmd := childCapture(t, "-connect", addr, "-graph", "smoke", "-stat", "-timeout", "2s")
+	if err := cmd.Run(); err == nil {
+		t.Fatal("client connected to a drained daemon")
+	}
+}
+
+// TestDaemonDrainAnswersInFlight pins the SIGTERM discipline at the
+// process level: a client request in flight when the signal lands is
+// still answered before the daemon exits.
+func TestDaemonDrainAnswersInFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	addrPath := filepath.Join(dir, "addr")
+	daemon := child(t, "-listen", "127.0.0.1:0", "-addr-file", addrPath, "-grace", "20s")
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Process.Kill()
+	addr := waitForFile(t, addrPath, 15*time.Second)
+
+	// Drive the protocol in-process for precise timing: open a graph,
+	// ingest, then race a query against the SIGTERM.
+	c, err := serve.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 150
+	if _, err := c.Open("g", n, serve.GraphOptions{Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	g := gen.Gnp(n, 0.08, 8)
+	if _, err := c.Ingest("g", g.Edges); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Flush("g"); err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		g   *graph.Graph
+		err error
+	}
+	res := make(chan result, 1)
+	go func() {
+		_, sg, err := c.Sparsify("g", 0.4, 0)
+		res <- result{sg, err}
+	}()
+	time.Sleep(20 * time.Millisecond) // request bytes reach the daemon
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	r := <-res
+	if r.err != nil {
+		t.Fatalf("in-flight query lost across SIGTERM: %v", r.err)
+	}
+	if r.g.M() == 0 {
+		t.Fatal("in-flight query answered with an empty graph")
+	}
+	if err := daemon.Wait(); err != nil {
+		t.Fatalf("daemon did not drain cleanly: %v", err)
+	}
+}
+
+// TestDaemonFlagValidation: malformed address flags die with the flag
+// name in the message (shared netutil validation), before any socket
+// or connection work.
+func TestDaemonFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad-listen", []string{"-listen", "127.0.0.1"}, "-listen"},
+		{"bad-listen-port", []string{"-listen", "127.0.0.1:notaport"}, "not a valid port"},
+		{"connect-needs-host", []string{"-connect", ":7777", "-graph", "g"}, "needs an explicit host"},
+		{"bad-addr-file", []string{"-listen", "127.0.0.1:0", "-addr-file", "/no/such/dir/addr"}, "does not exist"},
+		{"no-mode", nil, "one of -listen"},
+		{"both-modes", []string{"-listen", "127.0.0.1:0", "-connect", "127.0.0.1:1"}, "mutually exclusive"},
+		{"client-no-graph", []string{"-connect", "127.0.0.1:1"}, "-graph is required"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := childCapture(t, tc.args...)
+			out, err := cmd.CombinedOutput()
+			if err == nil {
+				t.Fatalf("args %v accepted; output: %s", tc.args, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Fatalf("args %v: output %q does not mention %q", tc.args, out, tc.want)
+			}
+		})
+	}
+}

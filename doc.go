@@ -63,6 +63,24 @@
 // ./cmd/bench -run E12,E13`) for the scaling, transport-comparison,
 // and per-worker-footprint sweeps.
 //
+// # Sparsifier as a service
+//
+// internal/serve turns the streaming sparsifier into a long-lived
+// server for dynamic graphs, surfaced here as ListenSparsifier /
+// DialSparsifier and as the cmd/sparsifyd daemon. Graphs are mutable
+// named resources: clients stream edge batches into the next epoch
+// while every query — sparsify, spanner, resistance, solve — answers
+// from the current immutable epoch snapshot, so readers never block on
+// ingest. Each published epoch names the exact edge prefix it covers,
+// and the served answer is a pure function of that prefix, the graph's
+// seed, and the epoch number (ServeQuerySeed): replaying the prefix
+// through NewStream and resampling offline reproduces it bit for bit —
+// the load harness is experiment E14 and the live demo is
+// examples/service. The wire protocol follows the repo's versioned
+// binary-frame idiom (CRC-trailed frames, append-only type space,
+// fuzzed codec), and SIGTERM drains the daemon gracefully: in-flight
+// requests are answered, new connections refused.
+//
 // All randomness is seeded and the library is deterministic for a fixed
 // seed at any GOMAXPROCS. ROADMAP.md records the system's direction and
 // open items; CHANGES.md records what each PR landed.

@@ -274,6 +274,55 @@ func TestE13TransportComparisonStructure(t *testing.T) {
 	}
 }
 
+// TestE14ServeLoadStructure boots the real serve stack (loopback TCP,
+// concurrent writer + readers) at Quick scale and checks the harness
+// reports what the acceptance needs: a positive ingest rate per graph,
+// query latency rows with real counts, and a clean bitid audit — any
+// determinism violation or client failure lands in the notes and fails
+// here.
+func TestE14ServeLoadStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve load harness skipped in -short")
+	}
+	tab := E14ServeLoad(Quick)
+	renderOf(t, tab)
+	ingestRows, queryRows := 0, 0
+	for _, row := range tab.Rows {
+		switch row[7] {
+		case "ingest":
+			ingestRows++
+			if rate := cell(t, row[6]); rate <= 0 {
+				t.Fatalf("non-positive ingest rate: %v", row)
+			}
+			if epochs := cell(t, row[4]); epochs < 1 {
+				t.Fatalf("no epochs published: %v", row)
+			}
+			if row[11] != "ok" {
+				t.Fatalf("bitid audit failed: %v", row)
+			}
+		case "sparsify", "spanner", "stat":
+			queryRows++
+			if c := cell(t, row[8]); c < 1 {
+				t.Fatalf("query row with no queries: %v", row)
+			}
+			if p50, p99 := cell(t, row[9]), cell(t, row[10]); p50 < 0 || p99 < p50 {
+				t.Fatalf("latency quantiles inconsistent: %v", row)
+			}
+		}
+	}
+	if ingestRows < 2 {
+		t.Fatalf("expected an ingest row per graph, got %d", ingestRows)
+	}
+	if queryRows == 0 {
+		t.Fatal("no query latency rows — readers never ran")
+	}
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "VIOLATION") || strings.Contains(n, "FAILURE") {
+			t.Fatal(n)
+		}
+	}
+}
+
 // TestE15ScaleStructure validates the raw-speed experiment end to end.
 // Unlike every other experiment, E15 Quick is a ≥10^7-edge run by
 // design (that is the quantity it gates), so this test only runs when

@@ -122,13 +122,14 @@ var Registry = map[string]func(Scale) *Table{
 	"E11": E11TreeBundle,
 	"E12": E12ShardedSparsify,
 	"E13": E13NetTransport,
+	"E14": E14ServeLoad,
 	"E15": E15ScaleSpanner,
 }
 
-// Order is the canonical experiment ordering. (E14 is reserved for the
-// full-mesh data plane on the roadmap; E15 landed first with the
-// raw-speed pass it gates.)
-var Order = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E15"}
+// Order is the canonical experiment ordering. (E15 landed before E14:
+// the raw-speed pass gated first, then E14 took the reserved slot with
+// the sparsifyd load harness.)
+var Order = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
 
 // RunAll executes every experiment at the given scale.
 func RunAll(s Scale) []*Table {

@@ -1,0 +1,81 @@
+// Package netutil holds the small address-and-handoff helpers shared
+// by the network-facing CLIs (cmd/distworker, cmd/sparsifyd): up-front
+// validation of host:port flags, so a typo is a clear flag error with
+// the flag's name in the message instead of a raw dial/listen failure
+// mid-bring-up, and atomic file writes for -addr-file style rendezvous
+// (a polling reader must never observe a half-written address).
+package netutil
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+)
+
+// ValidateHostPort rejects a malformed host:port address with the
+// offending flag's name in the message. needHost additionally requires
+// a non-empty host part: an address a process must DIAL (a -join or
+// -connect target) or one it ANNOUNCES for others to dial (a
+// -peer-listen host) is useless without one — binding every interface
+// (":0") would advertise an undialable address.
+func ValidateHostPort(flagName, addr string, needHost bool) error {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("%s %q is not a host:port address: %v", flagName, addr, err)
+	}
+	if port == "" {
+		return fmt.Errorf("%s %q has no port (want host:port)", flagName, addr)
+	}
+	if _, err := net.LookupPort("tcp", port); err != nil {
+		return fmt.Errorf("%s %q: %q is not a valid port", flagName, addr, port)
+	}
+	if needHost && host == "" {
+		return fmt.Errorf("%s %q needs an explicit host (want host:port)", flagName, addr)
+	}
+	return nil
+}
+
+// ValidateParentDir rejects a path whose parent directory does not
+// exist, with the flag's name in the message — the check an -addr-file
+// or -out flag wants before a long run ends in a failed create.
+func ValidateParentDir(flagName, path string) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			return fmt.Errorf("%s %q: parent directory %q does not exist", flagName, path, dir)
+		}
+	}
+	return nil
+}
+
+// AtomicWriteFile writes data to path via a temp file in the same
+// directory plus rename, so a racing reader (a script polling an
+// -addr-file for a bound address) never observes a half-written file.
+func AtomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	// CreateTemp makes 0600 files; keep the handoff world-readable as a
+	// plain WriteFile would.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

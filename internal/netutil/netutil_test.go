@@ -1,0 +1,103 @@
+package netutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestValidateHostPort(t *testing.T) {
+	cases := []struct {
+		name     string
+		addr     string
+		needHost bool
+		wantErr  []string // all must appear in the message; empty = valid
+	}{
+		{"listen-any-port", "127.0.0.1:0", false, nil},
+		{"listen-no-host", ":9000", false, nil},
+		{"named-port", "127.0.0.1:http", false, nil},
+		{"dial-full", "10.0.0.7:9000", true, nil},
+		{"no-port", "127.0.0.1", false, []string{"-x", "127.0.0.1", "host:port"}},
+		{"empty", "", false, []string{"-x", "host:port"}},
+		{"bad-port", "127.0.0.1:notaport", false, []string{"-x", "not a valid port"}},
+		{"port-out-of-range", "127.0.0.1:99999", false, []string{"-x", "not a valid port"}},
+		{"dial-needs-host", ":9000", true, []string{"-x", "needs an explicit host"}},
+		{"garbage", "http://host:1", false, []string{"-x"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateHostPort("-x", tc.addr, tc.needHost)
+			if len(tc.wantErr) == 0 {
+				if err != nil {
+					t.Fatalf("valid address %q rejected: %v", tc.addr, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("bad address %q accepted", tc.addr)
+			}
+			for _, w := range tc.wantErr {
+				if !strings.Contains(err.Error(), w) {
+					t.Fatalf("error %q does not mention %q", err, w)
+				}
+			}
+		})
+	}
+}
+
+func TestValidateParentDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := ValidateParentDir("-addr-file", filepath.Join(dir, "addr")); err != nil {
+		t.Fatalf("existing parent rejected: %v", err)
+	}
+	if err := ValidateParentDir("-addr-file", "bare-name"); err != nil {
+		t.Fatalf("relative bare name rejected: %v", err)
+	}
+	err := ValidateParentDir("-addr-file", filepath.Join(dir, "no", "such", "addr"))
+	if err == nil {
+		t.Fatal("missing parent accepted")
+	}
+	for _, w := range []string{"-addr-file", "does not exist"} {
+		if !strings.Contains(err.Error(), w) {
+			t.Fatalf("error %q does not mention %q", err, w)
+		}
+	}
+}
+
+func TestAtomicWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "addr")
+	if err := AtomicWriteFile(path, []byte("127.0.0.1:1234")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "127.0.0.1:1234" {
+		t.Fatalf("read back %q", got)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode().Perm() != 0o644 {
+		t.Fatalf("mode %v, want 0644", st.Mode().Perm())
+	}
+	// Overwrite must be atomic too (rename over the old file).
+	if err := AtomicWriteFile(path, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "new" {
+		t.Fatalf("overwrite read back %q", got)
+	}
+	// No temp litter left behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory has %d entries, want just the target", len(ents))
+	}
+}

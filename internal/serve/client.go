@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Client is a connection to a sparsifyd server. Its methods are safe
+// for sequential use from one goroutine; for concurrent load, open one
+// Client per goroutine (connections are cheap and the server is
+// concurrent across them).
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	seq  uint32
+	dead error // first transport error; the connection is unusable after
+}
+
+// Dial connects to a sparsifyd server and performs the version
+// handshake.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 10*time.Second)
+}
+
+// DialTimeout is Dial with a connect+handshake deadline.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	c := &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	conn.SetDeadline(time.Now().Add(timeout))
+	typ, payload, err := c.roundTrip(frameHello, appendHello(nil))
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if typ != frameWelcome {
+		conn.Close()
+		return nil, fmt.Errorf("serve: handshake: unexpected frame type %d", typ)
+	}
+	if ver, err := decodeHello(payload); err != nil || ver != serveVersion {
+		conn.Close()
+		return nil, fmt.Errorf("serve: handshake: server version %d, want %d", ver, serveVersion)
+	}
+	conn.SetDeadline(time.Time{})
+	return c, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// fatal records the first transport error and poisons the client: the
+// request/response framing may be desynchronized, so every later call
+// fails fast with the original cause.
+func (c *Client) fatal(err error) error {
+	if c.dead == nil {
+		c.dead = err
+		c.conn.Close()
+	}
+	return c.dead
+}
+
+// roundTrip writes one request frame and reads the matching response.
+// The sequence number echo is the framing check: a response carrying a
+// different seq means the stream is desynchronized, which is fatal for
+// the connection (request errors, by contrast, arrive as frameError
+// with the right seq and are returned by the typed methods).
+func (c *Client) roundTrip(typ uint8, payload []byte) (uint8, []byte, error) {
+	if c.dead != nil {
+		return 0, nil, c.dead
+	}
+	c.seq++
+	seq := c.seq
+	if err := writeFrame(c.bw, typ, seq, payload); err != nil {
+		return 0, nil, c.fatal(fmt.Errorf("serve: write: %w", err))
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, nil, c.fatal(fmt.Errorf("serve: write: %w", err))
+	}
+	f, err := readFrame(c.br)
+	if err != nil {
+		return 0, nil, c.fatal(fmt.Errorf("serve: read: %w", err))
+	}
+	if f.seq != seq {
+		return 0, nil, c.fatal(fmt.Errorf("serve: response seq %d for request %d", f.seq, seq))
+	}
+	return f.typ, f.payload, nil
+}
+
+// checkName rejects a bad graph name client-side with the same rules
+// decodeName enforces, so the caller gets a precise error instead of a
+// server-side "bad request".
+func checkName(name string) error {
+	if len(name) == 0 || len(name) > maxNameLen {
+		return fmt.Errorf("serve: graph name length %d outside [1,%d]", len(name), maxNameLen)
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] <= ' ' || name[i] > '~' {
+			return fmt.Errorf("serve: graph name %q has non-printable or space byte at %d", name, i)
+		}
+	}
+	return nil
+}
+
+// ack finishes a request whose success response is frameAck+Info.
+func (c *Client) ack(typ uint8, payload []byte) (Info, error) {
+	rtyp, rp, err := c.roundTrip(typ, payload)
+	if err != nil {
+		return Info{}, err
+	}
+	switch rtyp {
+	case frameAck:
+		info, rest, err := decodeInfo(rp)
+		if err != nil {
+			return Info{}, c.fatal(err)
+		}
+		if len(rest) != 0 {
+			return Info{}, c.fatal(fmt.Errorf("serve: %d trailing bytes after info", len(rest)))
+		}
+		return info, nil
+	case frameError:
+		msg, err := decodeErrorResp(rp)
+		if err != nil {
+			return Info{}, c.fatal(err)
+		}
+		return Info{}, errors.New(msg)
+	default:
+		return Info{}, c.fatal(fmt.Errorf("serve: unexpected frame type %d", rtyp))
+	}
+}
+
+// Open creates (or attaches to) the named graph with n vertices. For
+// an existing graph, n must match and opt is ignored.
+func (c *Client) Open(name string, n int, opt GraphOptions) (Info, error) {
+	if err := checkName(name); err != nil {
+		return Info{}, err
+	}
+	return c.ack(frameOpen, appendOpen(nil, openReq{Name: name, N: int64(n), Opt: opt}))
+}
+
+// Ingest streams an edge batch into the graph's next epoch. The
+// returned Info carries the live counters; Info.Epoch advances when
+// the batch tripped the update budget.
+func (c *Client) Ingest(name string, edges []graph.Edge) (Info, error) {
+	if err := checkName(name); err != nil {
+		return Info{}, err
+	}
+	return c.ack(frameIngest, appendIngest(nil, name, edges))
+}
+
+// Flush publishes an epoch over everything ingested so far (a no-op
+// when nothing is pending).
+func (c *Client) Flush(name string) (Info, error) {
+	if err := checkName(name); err != nil {
+		return Info{}, err
+	}
+	return c.ack(frameFlush, appendName(nil, name))
+}
+
+// Stat reports the graph's live counters without touching the epoch.
+func (c *Client) Stat(name string) (Info, error) {
+	if err := checkName(name); err != nil {
+		return Info{}, err
+	}
+	return c.ack(frameStat, appendName(nil, name))
+}
+
+// Drop removes the graph from the registry, returning its final Info.
+func (c *Client) Drop(name string) (Info, error) {
+	if err := checkName(name); err != nil {
+		return Info{}, err
+	}
+	return c.ack(frameDrop, appendName(nil, name))
+}
+
+// graphQuery finishes a query whose success response is
+// frameGraphR+Info+edges.
+func (c *Client) graphQuery(q queryReq) (Info, *graph.Graph, error) {
+	if err := checkName(q.Name); err != nil {
+		return Info{}, nil, err
+	}
+	rtyp, rp, err := c.roundTrip(frameQuery, appendQuery(nil, q))
+	if err != nil {
+		return Info{}, nil, err
+	}
+	switch rtyp {
+	case frameGraphR:
+		info, edges, err := decodeGraphResp(rp)
+		if err != nil {
+			return Info{}, nil, c.fatal(err)
+		}
+		for i, e := range edges {
+			if e.U < 0 || int64(e.U) >= info.N || e.V < 0 || int64(e.V) >= info.N {
+				return Info{}, nil, c.fatal(fmt.Errorf("serve: response edge %d (%d,%d) outside n=%d", i, e.U, e.V, info.N))
+			}
+		}
+		return info, graph.FromEdges(int(info.N), edges), nil
+	case frameError:
+		msg, err := decodeErrorResp(rp)
+		if err != nil {
+			return Info{}, nil, c.fatal(err)
+		}
+		return Info{}, nil, errors.New(msg)
+	default:
+		return Info{}, nil, c.fatal(fmt.Errorf("serve: unexpected frame type %d", rtyp))
+	}
+}
+
+// floatsQuery finishes a query whose success response is
+// frameFloats+Info+vector.
+func (c *Client) floatsQuery(q queryReq) (Info, []float64, error) {
+	if err := checkName(q.Name); err != nil {
+		return Info{}, nil, err
+	}
+	rtyp, rp, err := c.roundTrip(frameQuery, appendQuery(nil, q))
+	if err != nil {
+		return Info{}, nil, err
+	}
+	switch rtyp {
+	case frameFloats:
+		info, xs, err := decodeFloatsResp(rp)
+		if err != nil {
+			return Info{}, nil, c.fatal(err)
+		}
+		return info, xs, nil
+	case frameError:
+		msg, err := decodeErrorResp(rp)
+		if err != nil {
+			return Info{}, nil, c.fatal(err)
+		}
+		return Info{}, nil, errors.New(msg)
+	default:
+		return Info{}, nil, c.fatal(fmt.Errorf("serve: unexpected frame type %d", rtyp))
+	}
+}
+
+// Sparsify returns an ε-spectral sparsifier of the graph's current
+// epoch (rho ≤ 0 selects the paper's default oversampling). Info.Epoch
+// identifies the snapshot the answer is computed over.
+func (c *Client) Sparsify(name string, eps, rho float64) (Info, *graph.Graph, error) {
+	return c.graphQuery(queryReq{Name: name, Kind: querySparsify, Eps: eps, Rho: rho})
+}
+
+// Spanner returns a (2k−1)-spanner of the current epoch summary (k ≤ 0
+// selects ⌈log₂ n⌉ levels).
+func (c *Client) Spanner(name string, k int) (Info, *graph.Graph, error) {
+	return c.graphQuery(queryReq{Name: name, Kind: querySpanner, K: int32(k)})
+}
+
+// Resistance returns the effective resistance between u and v over the
+// current epoch summary.
+func (c *Client) Resistance(name string, u, v int32) (Info, float64, error) {
+	info, xs, err := c.floatsQuery(queryReq{Name: name, Kind: queryResistance, U: u, V: v})
+	if err != nil {
+		return info, 0, err
+	}
+	if len(xs) != 1 {
+		return info, 0, c.fatal(fmt.Errorf("serve: resistance response has %d values", len(xs)))
+	}
+	return info, xs[0], nil
+}
+
+// Solve solves L·x = b over the current epoch summary to relative
+// residual tol (tol ≤ 0 selects 1e-8).
+func (c *Client) Solve(name string, b []float64, tol float64) (Info, []float64, error) {
+	return c.floatsQuery(queryReq{Name: name, Kind: querySolve, Vec: b, Tol: tol})
+}

@@ -1,0 +1,43 @@
+// Package serve is the sparsifier-as-a-service core: a long-lived
+// server that holds named dynamic graphs and answers spectral queries
+// over immutable epoch snapshots while edges keep streaming in.
+//
+// # Sessions and epochs
+//
+// Each named graph is a session with two sides. The mutable ingest
+// side is an internal/stream merge-and-reduce sparsifier guarded by a
+// mutex: clients stream edge batches into the *next* epoch, and after
+// UpdateBudget edges accumulate (or on an explicit Flush) the server
+// takes a non-destructive stream snapshot and publishes it as a new
+// epoch. The immutable query side is an atomic pointer to the current
+// epoch: sparsify, spanner, resistance, and solve queries load the
+// pointer once and compute entirely against that snapshot, so writers
+// never block readers, readers never block writers, and no query can
+// observe a half-published epoch. Epoch 0 is the empty graph, so
+// queries are well-defined before the first ingest.
+//
+// # Determinism contract
+//
+// A served answer is a pure function of (epoch summary, query
+// parameters, QuerySeed(graph seed, epoch)). The epoch summary itself
+// is a deterministic function of the ingested edge prefix and the
+// graph's create-time options. Replaying the same prefix offline —
+// stream.New with the same options, Ingest the same edges in the same
+// order, Snapshot, then run the same algorithm under the same
+// QuerySeed — reproduces any served answer bit for bit. The server is
+// therefore auditable: every response carries the epoch's Prefix so a
+// client can name exactly which edges an answer covers.
+//
+// # Wire protocol
+//
+// The codec (wire.go) follows the repo's versioned binary frame idiom:
+// little-endian fixed header with magic "SP01", append-only frame
+// types, and a per-frame CRC-32C verified before any payload decode.
+// Connections begin with a hello/welcome version handshake and then
+// run strict request/response; the client's sequence number is echoed
+// so a desynchronized stream is detected immediately. All decoders are
+// total over arbitrary bytes (FuzzServeCodec pins this).
+//
+// cmd/sparsifyd wraps the server in a daemon with SIGTERM drain; Dial
+// is the client used by the CLI, the tests, and the E14 load harness.
+package serve

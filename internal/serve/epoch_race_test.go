@@ -1,0 +1,145 @@
+package serve_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+// TestConcurrentIngestQuery hammers one graph with a writer streaming
+// edge batches while several readers query continuously (run under
+// -race in CI). It pins the two epoch guarantees:
+//
+//  1. No half-published epoch: every observation of epoch e — across
+//     all readers, all query kinds, the whole run — reports the same
+//     (prefix, summary size, reduces). A torn publish would surface as
+//     one epoch with two faces.
+//  2. Bit-identity: each reader's recorded sparsify answers equal the
+//     offline recomputation over the exact edge prefix the epoch names.
+func TestConcurrentIngestQuery(t *testing.T) {
+	srv := startServer(t, serve.Config{})
+
+	const (
+		n       = 80
+		m       = 4000
+		budget  = 400
+		batch   = 64
+		readers = 3
+		eps     = 0.5
+	)
+	opt := serve.GraphOptions{UpdateBudget: budget, Seed: 99}
+	wc := dial(t, srv)
+	if _, err := wc.Open("g", n, opt); err != nil {
+		t.Fatal(err)
+	}
+	edges := testEdges(n, m, 17)
+
+	type obs struct {
+		info  serve.Info
+		graph *graph.Graph // nil for non-sparsify observations
+	}
+	results := make([][]obs, readers)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rc := dial(t, srv)
+		wg.Add(1)
+		go func(r int, c *serve.Client) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch i % 3 {
+				case 0:
+					info, g, err := c.Sparsify("g", eps, 0)
+					if err != nil {
+						t.Errorf("reader %d sparsify: %v", r, err)
+						return
+					}
+					results[r] = append(results[r], obs{info, g})
+				case 1:
+					info, g, err := c.Spanner("g", 2)
+					if err != nil {
+						t.Errorf("reader %d spanner: %v", r, err)
+						return
+					}
+					if int64(g.N) != info.N {
+						t.Errorf("reader %d spanner graph n=%d info n=%d", r, g.N, info.N)
+						return
+					}
+					results[r] = append(results[r], obs{info, nil})
+				case 2:
+					info, err := c.Stat("g")
+					if err != nil {
+						t.Errorf("reader %d stat: %v", r, err)
+						return
+					}
+					results[r] = append(results[r], obs{info, nil})
+				}
+			}
+		}(r, rc)
+	}
+
+	for i := 0; i < len(edges); i += batch {
+		end := i + batch
+		if end > len(edges) {
+			end = len(edges)
+		}
+		if _, err := wc.Ingest("g", edges[i:end]); err != nil {
+			t.Fatalf("ingest at %d: %v", i, err)
+		}
+	}
+	if _, err := wc.Flush("g"); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Guarantee 1: one face per epoch, everywhere.
+	type face struct {
+		prefix   int64
+		summaryM int64
+		reduces  int32
+	}
+	faces := map[uint64]face{}
+	total := 0
+	for r := range results {
+		for _, o := range results[r] {
+			total++
+			f := face{o.info.Prefix, o.info.SummaryM, o.info.Reduces}
+			if prev, ok := faces[o.info.Epoch]; ok {
+				if prev != f {
+					t.Fatalf("epoch %d observed with two faces: %+v and %+v", o.info.Epoch, prev, f)
+				}
+			} else {
+				faces[o.info.Epoch] = f
+			}
+		}
+	}
+	if len(faces) < 2 {
+		t.Fatalf("readers observed only %d epoch(s) across %d observations; want concurrency", len(faces), total)
+	}
+
+	// Guarantee 2: served sparsifiers are bit-identical to the offline
+	// replay of the prefix each epoch names. One check per distinct
+	// epoch keeps the test fast.
+	checked := map[uint64]bool{}
+	for r := range results {
+		for _, o := range results[r] {
+			if o.graph == nil || checked[o.info.Epoch] {
+				continue
+			}
+			checked[o.info.Epoch] = true
+			offline := offlineSparsify(t, n, edges[:o.info.Prefix], opt, o.info.Epoch, eps)
+			assertSameGraph(t, o.info, o.graph, offline)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzServeCodec: every decoder in the serve wire codec is total over
+// arbitrary bytes — no panics, no allocation driven by a lying length
+// field — and any frame the reader accepts re-encodes to the identical
+// canonical bytes (the CI fuzz smoke runs this for 20s on every push).
+func FuzzServeCodec(f *testing.F) {
+	// Canonical frames for every request and response shape.
+	seed := func(typ uint8, payload []byte) {
+		f.Add(appendFrame(nil, typ, 42, payload))
+	}
+	seed(frameHello, appendHello(nil))
+	seed(frameOpen, appendOpen(nil, openReq{Name: "g", N: 64, Opt: GraphOptions{UpdateBudget: 128, ReduceEps: 0.3, Seed: 7}}))
+	seed(frameIngest, appendIngest(nil, "g", []graph.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 0.5}}))
+	seed(frameFlush, appendName(nil, "g"))
+	seed(frameStat, appendName(nil, "g"))
+	seed(frameDrop, appendName(nil, "g"))
+	seed(frameQuery, appendQuery(nil, queryReq{Name: "g", Kind: querySparsify, Eps: 0.5, Rho: 2}))
+	seed(frameQuery, appendQuery(nil, queryReq{Name: "g", Kind: querySolve, Tol: 1e-6, Vec: []float64{1, -1}}))
+	seed(frameAck, appendInfo(nil, Info{N: 64, Epoch: 2, Prefix: 256, Ingested: 300, Pending: 44, SummaryM: 90, Reduces: 1}))
+	seed(frameGraphR, appendGraphResp(nil, Info{N: 8}, []graph.Edge{{U: 0, V: 1, W: 1}}))
+	seed(frameFloats, appendFloatsResp(nil, Info{N: 8}, []float64{0.25}))
+	seed(frameError, appendErrorResp(nil, "serve: unknown graph \"g\""))
+	// Adversarial: truncations, lying lengths, bad magic.
+	valid := appendFrame(nil, frameIngest, 1, appendIngest(nil, "g", []graph.Edge{{U: 0, V: 1, W: 1}}))
+	f.Add(valid[:len(valid)-5])
+	f.Add(valid[:3])
+	lie := bytes.Clone(valid)
+	lie[12], lie[13], lie[14], lie[15] = 0xff, 0xff, 0xff, 0x7f
+	f.Add(lie)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, err := readFrame(bufio.NewReader(bytes.NewReader(b)))
+		if err != nil {
+			return
+		}
+		// An accepted frame must re-encode to exactly the bytes consumed.
+		n := wireHeaderSize + len(fr.payload) + wireCRCSize
+		if !bytes.Equal(appendFrame(nil, fr.typ, fr.seq, fr.payload), b[:n]) {
+			t.Fatal("accepted frame does not re-encode canonically")
+		}
+		// Run the payload through every decoder: none may panic, and an
+		// accepted payload must survive its own re-encode round trip.
+		if v, err := decodeHello(fr.payload); err == nil {
+			if !bytes.Equal(appendHello(nil), fr.payload) && v == serveVersion {
+				t.Fatal("canonical hello bytes diverged")
+			}
+		}
+		if q, err := decodeOpen(fr.payload); err == nil {
+			if !bytes.Equal(appendOpen(nil, q), fr.payload) {
+				t.Fatal("accepted open does not re-encode canonically")
+			}
+		}
+		if q, err := decodeIngest(fr.payload); err == nil {
+			if !bytes.Equal(appendIngest(nil, q.Name, q.Edges), fr.payload) {
+				t.Fatal("accepted ingest does not re-encode canonically")
+			}
+		}
+		if q, err := decodeQuery(fr.payload); err == nil {
+			if !bytes.Equal(appendQuery(nil, q), fr.payload) {
+				t.Fatal("accepted query does not re-encode canonically")
+			}
+		}
+		if name, rest, err := decodeName(fr.payload); err == nil && len(rest) == 0 {
+			if !bytes.Equal(appendName(nil, name), fr.payload) {
+				t.Fatal("accepted name does not re-encode canonically")
+			}
+		}
+		if info, rest, err := decodeInfo(fr.payload); err == nil && len(rest) == 0 {
+			if !bytes.Equal(appendInfo(nil, info), fr.payload) {
+				t.Fatal("accepted info does not re-encode canonically")
+			}
+		}
+		if info, edges, err := decodeGraphResp(fr.payload); err == nil {
+			if !bytes.Equal(appendGraphResp(nil, info, edges), fr.payload) {
+				t.Fatal("accepted graph response does not re-encode canonically")
+			}
+		}
+		if info, v, err := decodeFloatsResp(fr.payload); err == nil {
+			if !bytes.Equal(appendFloatsResp(nil, info, v), fr.payload) {
+				t.Fatal("accepted floats response does not re-encode canonically")
+			}
+		}
+		if msg, err := decodeErrorResp(fr.payload); err == nil {
+			if !bytes.Equal(appendErrorResp(nil, msg), fr.payload) {
+				t.Fatal("accepted error response does not re-encode canonically")
+			}
+		}
+	})
+}

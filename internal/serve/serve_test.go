@@ -1,0 +1,358 @@
+package serve_test
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	repro "repro"
+	"repro/internal/graph"
+	"repro/internal/serve"
+	"repro/internal/stream"
+)
+
+// startServer boots a Server on a free localhost port and returns it
+// with a cleanup that drains it.
+func startServer(t *testing.T, cfg serve.Config) *serve.Server {
+	t.Helper()
+	cfg.Listen = "127.0.0.1:0"
+	srv, err := serve.Listen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	t.Cleanup(func() {
+		srv.Shutdown(5 * time.Second)
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv
+}
+
+func dial(t *testing.T, srv *serve.Server) *serve.Client {
+	t.Helper()
+	c, err := serve.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// testEdges returns a deterministic connected edge sequence: a
+// spanning path first, then random extras.
+func testEdges(n, m int, seed int64) []graph.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, 0, m)
+	for v := 1; v < n && len(edges) < m; v++ {
+		edges = append(edges, graph.Edge{U: int32(v - 1), V: int32(v), W: 1})
+	}
+	for len(edges) < m {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		edges = append(edges, graph.Edge{U: int32(u), V: int32(v), W: 0.5 + rng.Float64()})
+	}
+	return edges
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	srv := startServer(t, serve.Config{})
+	c := dial(t, srv)
+
+	const n = 64
+	opt := serve.GraphOptions{UpdateBudget: 256, Seed: 42}
+	info, err := c.Open("g", n, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.N != n || info.Epoch != 0 || info.Ingested != 0 {
+		t.Fatalf("fresh graph info %+v", info)
+	}
+
+	// Queries against epoch 0 answer over the empty graph.
+	info, g0, err := c.Sparsify("g", 0.5, 0)
+	if err != nil {
+		t.Fatalf("epoch-0 sparsify: %v", err)
+	}
+	if info.Epoch != 0 || g0.M() != 0 {
+		t.Fatalf("epoch-0 sparsify returned epoch %d with %d edges", info.Epoch, g0.M())
+	}
+
+	edges := testEdges(n, 1000, 7)
+	for i := 0; i < len(edges); i += 100 {
+		end := i + 100
+		if end > len(edges) {
+			end = len(edges)
+		}
+		if info, err = c.Ingest("g", edges[i:end]); err != nil {
+			t.Fatalf("ingest batch at %d: %v", i, err)
+		}
+	}
+	if info.Ingested != int64(len(edges)) {
+		t.Fatalf("ingested %d of %d", info.Ingested, len(edges))
+	}
+	// 1000 edges at budget 256 → epochs published along the way.
+	if info.Epoch == 0 {
+		t.Fatal("no epoch published after exceeding the update budget")
+	}
+
+	// Flush publishes the tail; a second flush is a no-op.
+	fi, err := c.Flush("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Prefix != int64(len(edges)) || fi.Pending != 0 {
+		t.Fatalf("flush info %+v", fi)
+	}
+	fi2, err := c.Flush("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi2.Epoch != fi.Epoch {
+		t.Fatalf("idempotent flush advanced epoch %d → %d", fi.Epoch, fi2.Epoch)
+	}
+
+	// All four query kinds answer over the flushed epoch.
+	si, sg, err := c.Sparsify("g", 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.Epoch != fi.Epoch || sg.N != n || sg.M() == 0 {
+		t.Fatalf("sparsify answered epoch %d with n=%d m=%d", si.Epoch, sg.N, sg.M())
+	}
+	_, sp, err := c.Spanner("g", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.N != n || sp.M() == 0 {
+		t.Fatalf("spanner n=%d m=%d", sp.N, sp.M())
+	}
+	_, r, err := c.Resistance("g", 0, int32(n-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r > 0) {
+		t.Fatalf("resistance %v", r)
+	}
+	b := make([]float64, n)
+	b[0], b[n-1] = 1, -1
+	_, x, err := c.Solve("g", b, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != n {
+		t.Fatalf("solve returned %d entries", len(x))
+	}
+	// The solve answers over the epoch sparsifier, so x[0]−x[n−1] is
+	// the epoch's effective resistance — consistent with the pair query.
+	if d := (x[0] - x[n-1]) - r; d > 1e-6*r || d < -1e-6*r {
+		t.Fatalf("solve potential difference %v vs resistance %v", x[0]-x[n-1], r)
+	}
+
+	// Stat matches flush state.
+	st, err := c.Stat("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != fi.Epoch || st.Ingested != int64(len(edges)) || st.Pending != 0 {
+		t.Fatalf("stat %+v", st)
+	}
+
+	// Request errors keep the connection alive.
+	if _, err := c.Stat("nope"); err == nil || !strings.Contains(err.Error(), "unknown graph") {
+		t.Fatalf("unknown graph error: %v", err)
+	}
+	if _, err := c.Open("g", n+1, opt); err == nil || !strings.Contains(err.Error(), "exists with n=") {
+		t.Fatalf("mismatched reopen error: %v", err)
+	}
+	if _, _, err := c.Resistance("g", -1, 5); err == nil {
+		t.Fatal("out-of-range resistance accepted")
+	}
+	if _, _, err := c.Solve("g", []float64{1}, 0); err == nil {
+		t.Fatal("short solve vector accepted")
+	}
+	if _, err := c.Stat("g"); err != nil {
+		t.Fatalf("connection dead after request errors: %v", err)
+	}
+
+	// Drop, then the name is gone; a second client sees the same registry.
+	if _, err := c.Drop("g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("g"); err == nil {
+		t.Fatal("dropped graph still answers")
+	}
+	c2 := dial(t, srv)
+	if _, err := c2.Stat("g"); err == nil {
+		t.Fatal("dropped graph visible to a second connection")
+	}
+}
+
+// TestServedSparsifierMatchesOffline pins the determinism contract: a
+// served sparsify answer is bit-identical to the offline recomputation
+// over the same ingested edge prefix — replay the prefix through
+// internal/stream with the graph's options, snapshot, and run
+// repro.Sparsify under serve.QuerySeed.
+func TestServedSparsifierMatchesOffline(t *testing.T) {
+	srv := startServer(t, serve.Config{})
+	c := dial(t, srv)
+
+	const (
+		n      = 96
+		m      = 1500
+		budget = 300
+		seed   = uint64(11)
+		eps    = 0.5
+	)
+	opt := serve.GraphOptions{UpdateBudget: budget, Seed: seed}
+	if _, err := c.Open("g", n, opt); err != nil {
+		t.Fatal(err)
+	}
+	edges := testEdges(n, m, 3)
+
+	type answer struct {
+		info  serve.Info
+		graph *graph.Graph
+	}
+	var answers []answer
+	for i := 0; i < len(edges); i += 125 {
+		end := i + 125
+		if end > len(edges) {
+			end = len(edges)
+		}
+		if _, err := c.Ingest("g", edges[i:end]); err != nil {
+			t.Fatal(err)
+		}
+		info, g, err := c.Sparsify("g", eps, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		answers = append(answers, answer{info, g})
+	}
+	if _, err := c.Flush("g"); err != nil {
+		t.Fatal(err)
+	}
+	info, g, err := c.Sparsify("g", eps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers = append(answers, answer{info, g})
+
+	checked := map[uint64]bool{}
+	for _, a := range answers {
+		if checked[a.info.Epoch] {
+			continue
+		}
+		checked[a.info.Epoch] = true
+		offline := offlineSparsify(t, n, edges[:a.info.Prefix], opt, a.info.Epoch, eps)
+		assertSameGraph(t, a.info, a.graph, offline)
+	}
+	if len(checked) < 3 {
+		t.Fatalf("only %d distinct epochs exercised; want ≥ 3", len(checked))
+	}
+}
+
+// offlineSparsify is the reference computation of the determinism
+// contract: an independent replay of the exact ingested prefix.
+func offlineSparsify(t *testing.T, n int, prefix []graph.Edge, opt serve.GraphOptions, epoch uint64, eps float64) *graph.Graph {
+	t.Helper()
+	str := stream.New(n, stream.Options{
+		BufferEdges: opt.BufferEdges,
+		ReduceEps:   opt.ReduceEps,
+		Seed:        opt.Seed,
+	})
+	for _, e := range prefix {
+		if err := str.Ingest(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum, _, err := str.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := repro.Sparsify(sum, eps, 0, repro.Options{Seed: serve.QuerySeed(opt.Seed, epoch)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func assertSameGraph(t *testing.T, info serve.Info, got, want *graph.Graph) {
+	t.Helper()
+	if got.N != want.N || got.M() != want.M() {
+		t.Fatalf("epoch %d (prefix %d): served n=%d m=%d, offline n=%d m=%d",
+			info.Epoch, info.Prefix, got.N, got.M(), want.N, want.M())
+	}
+	for i := range got.Edges {
+		if got.Edges[i] != want.Edges[i] {
+			t.Fatalf("epoch %d (prefix %d): edge %d served %+v, offline %+v",
+				info.Epoch, info.Prefix, i, got.Edges[i], want.Edges[i])
+		}
+	}
+}
+
+// TestShutdownAnswersInFlight pins the drain discipline: a request the
+// server has received is answered even when Shutdown lands while it is
+// being served, and the listener refuses new work afterwards.
+func TestShutdownAnswersInFlight(t *testing.T) {
+	cfg := serve.Config{Listen: "127.0.0.1:0"}
+	srv, err := serve.Listen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+
+	c, err := serve.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 128
+	if _, err := c.Open("g", n, serve.GraphOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest("g", testEdges(n, 2000, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Flush("g"); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	started := make(chan struct{})
+	var qerr error
+	go func() {
+		defer wg.Done()
+		close(started)
+		_, _, qerr = c.Sparsify("g", 0.25, 0)
+	}()
+	// Whether Shutdown lands while the query is being computed or after
+	// it finished, the query must succeed: a received request is
+	// answered (the drain only half-closes the read side), and Shutdown
+	// waits for the response to go out. The sleep puts the request bytes
+	// in the server's kernel buffer before the drain starts.
+	<-started
+	time.Sleep(20 * time.Millisecond)
+	if err := srv.Shutdown(10 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+	if qerr != nil {
+		t.Fatalf("in-flight query failed across drain: %v", qerr)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v after drain", err)
+	}
+	if _, err := serve.Dial(srv.Addr()); err == nil {
+		t.Fatal("dial succeeded after shutdown")
+	}
+}

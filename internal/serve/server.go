@@ -1,0 +1,375 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Listen is the bind address (host:port; port 0 picks a free port).
+	Listen string
+	// DefaultBudget is the epoch update budget applied when a graph is
+	// created with UpdateBudget 0. Default 1<<16 edges.
+	DefaultBudget int
+	// MaxGraphs caps the registry (an Open past the cap is an error,
+	// not an OOM). Default 1024.
+	MaxGraphs int
+	// Timeout is the per-response write deadline (and the drain grace
+	// Shutdown falls back to). Reads are not deadlined: a connection may
+	// sit idle between requests for as long as it likes — Shutdown
+	// half-closes the read side to wake idle handlers. Default 2m.
+	Timeout time.Duration
+	// OnListen, when non-nil, runs once with the bound address before
+	// the first Accept — the -addr-file rendezvous hook.
+	OnListen func(addr string)
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 1 << 16
+	}
+	if c.MaxGraphs <= 0 {
+		c.MaxGraphs = 1024
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Minute
+	}
+	return c
+}
+
+// Server is the long-lived sparsifier service: a registry of named
+// graph sessions behind one TCP listener, one goroutine per
+// connection running a read→dispatch→write loop. See doc.go for the
+// epoch/session model.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	mu       sync.Mutex
+	graphs   map[string]*session
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	wg sync.WaitGroup // live connection handlers
+}
+
+// Listen binds the configured address and returns a Server ready for
+// Serve. The listener is live (and OnListen has run) when Listen
+// returns, so a caller may Dial immediately.
+func Listen(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", cfg.Listen, err)
+	}
+	s := &Server{
+		cfg:    cfg,
+		ln:     ln,
+		graphs: make(map[string]*session),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	if cfg.OnListen != nil {
+		cfg.OnListen(ln.Addr().String())
+	}
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Serve accepts connections until Shutdown. It returns nil after a
+// clean drain and the accept error otherwise.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("serve: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// Shutdown drains the server: stop accepting, half-close every
+// connection's read side, and wait up to grace (Config.Timeout when
+// grace ≤ 0) for handlers to finish. The read half-close makes the
+// drain race-free: an idle handler's readFrame returns EOF at once,
+// while a handler that already received a request computes it, writes
+// the response over the still-open write side, and exits on the next
+// read — a request the server received is always answered, exactly the
+// SIGTERM discipline cmd/sparsifyd wants. Published graph state is
+// in-memory only and dies with the process.
+func (s *Server) Shutdown(grace time.Duration) error {
+	if grace <= 0 {
+		grace = s.cfg.Timeout
+	}
+	s.mu.Lock()
+	s.draining = true
+	for conn := range s.conns {
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.CloseRead()
+		} else {
+			conn.Close()
+		}
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(grace):
+		// Give up on the stragglers: cut their connections so their
+		// handlers unwind, and report the unclean drain.
+		s.mu.Lock()
+		n := len(s.conns)
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		return fmt.Errorf("serve: drain timed out with %d connection(s) still busy", n)
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+// serveConn runs one connection's read→dispatch→write loop. The first
+// frame must be a hello with the exact protocol version; anything else
+// is answered with an error frame and the connection is dropped — a
+// mixed-version pair must fail loudly at the handshake, never
+// desynchronize on appended frame types.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(conn)
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	write := func(typ uint8, seq uint32, payload []byte) bool {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.Timeout))
+		if err := writeFrame(bw, typ, seq, payload); err != nil {
+			return false
+		}
+		return bw.Flush() == nil
+	}
+
+	f, err := readFrame(br)
+	if err != nil {
+		return
+	}
+	if f.typ != frameHello {
+		write(frameError, f.seq, appendErrorResp(nil, "serve: first frame must be hello"))
+		return
+	}
+	ver, err := decodeHello(f.payload)
+	if err != nil || ver != serveVersion {
+		write(frameError, f.seq, appendErrorResp(nil,
+			fmt.Sprintf("serve: protocol version mismatch: client %d, server %d", ver, serveVersion)))
+		return
+	}
+	if !write(frameWelcome, f.seq, appendHello(nil)) {
+		return
+	}
+
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			return // EOF, read-side drain, or an untrustworthy stream
+		}
+		typ, payload := s.handle(f)
+		if !write(typ, f.seq, payload) {
+			return
+		}
+	}
+}
+
+// handle dispatches one request frame and returns the response frame.
+// Request errors (unknown graph, bad parameters, a failed solve) come
+// back as frameError and keep the connection alive; only transport
+// errors kill it.
+func (s *Server) handle(f frame) (uint8, []byte) {
+	fail := func(err error) (uint8, []byte) {
+		return frameError, appendErrorResp(nil, err.Error())
+	}
+	switch f.typ {
+	case frameHello:
+		return fail(fmt.Errorf("serve: duplicate hello"))
+
+	case frameOpen:
+		q, err := decodeOpen(f.payload)
+		if err != nil {
+			return fail(err)
+		}
+		info, err := s.open(q)
+		if err != nil {
+			return fail(err)
+		}
+		return frameAck, appendInfo(nil, info)
+
+	case frameIngest:
+		q, err := decodeIngest(f.payload)
+		if err != nil {
+			return fail(err)
+		}
+		sess, err := s.lookup(q.Name)
+		if err != nil {
+			return fail(err)
+		}
+		info, err := sess.ingest(q.Edges)
+		if err != nil {
+			return fail(fmt.Errorf("ingest %s: %w", q.Name, err))
+		}
+		return frameAck, appendInfo(nil, info)
+
+	case frameFlush:
+		name, rest, err := decodeName(f.payload)
+		if err != nil || len(rest) != 0 {
+			return fail(fmt.Errorf("serve: bad flush request"))
+		}
+		sess, err := s.lookup(name)
+		if err != nil {
+			return fail(err)
+		}
+		info, err := sess.flush()
+		if err != nil {
+			return fail(fmt.Errorf("flush %s: %w", name, err))
+		}
+		return frameAck, appendInfo(nil, info)
+
+	case frameStat:
+		name, rest, err := decodeName(f.payload)
+		if err != nil || len(rest) != 0 {
+			return fail(fmt.Errorf("serve: bad stat request"))
+		}
+		sess, err := s.lookup(name)
+		if err != nil {
+			return fail(err)
+		}
+		return frameAck, appendInfo(nil, sess.stat())
+
+	case frameDrop:
+		name, rest, err := decodeName(f.payload)
+		if err != nil || len(rest) != 0 {
+			return fail(fmt.Errorf("serve: bad drop request"))
+		}
+		s.mu.Lock()
+		sess, ok := s.graphs[name]
+		delete(s.graphs, name)
+		s.mu.Unlock()
+		if !ok {
+			return fail(fmt.Errorf("serve: unknown graph %q", name))
+		}
+		return frameAck, appendInfo(nil, sess.stat())
+
+	case frameQuery:
+		q, err := decodeQuery(f.payload)
+		if err != nil {
+			return fail(err)
+		}
+		sess, err := s.lookup(q.Name)
+		if err != nil {
+			return fail(err)
+		}
+		return s.query(sess, q)
+
+	default:
+		return fail(fmt.Errorf("serve: unknown frame type %d", f.typ))
+	}
+}
+
+func (s *Server) query(sess *session, q queryReq) (uint8, []byte) {
+	fail := func(err error) (uint8, []byte) {
+		return frameError, appendErrorResp(nil, fmt.Sprintf("query %s: %v", sess.name, err))
+	}
+	switch q.Kind {
+	case querySparsify:
+		info, edges, err := sess.sparsify(q.Eps, q.Rho)
+		if err != nil {
+			return fail(err)
+		}
+		return frameGraphR, appendGraphResp(nil, info, edges)
+	case querySpanner:
+		info, edges, err := sess.spanner(int(q.K))
+		if err != nil {
+			return fail(err)
+		}
+		return frameGraphR, appendGraphResp(nil, info, edges)
+	case queryResistance:
+		info, r, err := sess.resistance(q.U, q.V)
+		if err != nil {
+			return fail(err)
+		}
+		return frameFloats, appendFloatsResp(nil, info, []float64{r})
+	case querySolve:
+		info, x, err := sess.solve(q.Vec, q.Tol)
+		if err != nil {
+			return fail(err)
+		}
+		return frameFloats, appendFloatsResp(nil, info, x)
+	default:
+		return fail(fmt.Errorf("unknown query kind %d", q.Kind))
+	}
+}
+
+// open creates the named graph or returns the existing one. An
+// existing graph's vertex count must match (its options are kept — the
+// first create wins); a registry past MaxGraphs rejects new names.
+func (s *Server) open(q openReq) (Info, error) {
+	if q.N > int64(graph.MaxEdges) {
+		return Info{}, fmt.Errorf("serve: vertex count %d too large", q.N)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess, ok := s.graphs[q.Name]; ok {
+		if int64(sess.n) != q.N {
+			return Info{}, fmt.Errorf("serve: graph %q exists with n=%d, not n=%d", q.Name, sess.n, q.N)
+		}
+		return sess.stat(), nil
+	}
+	if len(s.graphs) >= s.cfg.MaxGraphs {
+		return Info{}, fmt.Errorf("serve: graph registry full (%d graphs)", s.cfg.MaxGraphs)
+	}
+	sess := newSession(q.Name, int(q.N), q.Opt, s.cfg.DefaultBudget)
+	s.graphs[q.Name] = sess
+	return sess.stat(), nil
+}
+
+func (s *Server) lookup(name string) (*session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.graphs[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown graph %q (open it first)", name)
+	}
+	return sess, nil
+}

@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/resistance"
+	"repro/internal/solver"
+	"repro/internal/spanner"
+	"repro/internal/stream"
+)
+
+// GraphOptions are the per-graph knobs fixed at create time (a later
+// Open of the same name ignores them; the resource keeps its original
+// configuration).
+type GraphOptions struct {
+	// UpdateBudget is the epoch cadence: a new epoch is published after
+	// this many edges accumulate past the last publish (plus on every
+	// explicit Flush). 0 selects the server default.
+	UpdateBudget int
+	// BufferEdges is the stream ingest buffer (stream.Options); a
+	// merge-and-reduce fires when it fills. 0 selects stream's 4·n.
+	BufferEdges int
+	// ReduceEps is the per-reduce sample accuracy (compounds over
+	// reduces, exactly as in internal/stream). 0 selects 0.2.
+	ReduceEps float64
+	// Seed drives all of the graph's randomness: the stream's reduce
+	// schedule and, via QuerySeed, every epoch query. 0 selects 1.
+	Seed uint64
+}
+
+// querySeedMix separates epoch-query randomness from the ingest
+// stream's reduce seeds.
+const querySeedMix = 0x2545f4914f6cdd1d
+
+// QuerySeed derives the seed a query against epoch e of a graph
+// created with seed s runs under. It is exported (and must stay
+// stable) because it is half of the service's determinism contract:
+// an offline recomputation over the same ingested prefix — replay the
+// prefix through stream.New(+Snapshot), then run the same algorithm
+// with QuerySeed(s, e) — reproduces a served answer bit for bit.
+func QuerySeed(seed, epoch uint64) uint64 {
+	return seed ^ (epoch+1)*querySeedMix
+}
+
+// epoch is one immutable published snapshot. Readers obtain it through
+// an atomic pointer load and never see it change: every field is
+// written before publication and the summary graph is never mutated
+// afterwards (queries treat it as read-only input).
+type epoch struct {
+	seq     uint64       // publication sequence number; 0 is the empty epoch
+	prefix  int64        // stream edges this snapshot summarizes
+	reduces int          // merge-and-reduce steps behind the summary
+	summary *graph.Graph // immutable spectral summary of the prefix
+}
+
+// session is one named graph resource: a mutable ingest side (the
+// stream sparsifier, guarded by mu) and an immutable query side (the
+// current epoch, swapped atomically at publish). Writers never block
+// readers: a query runs entirely against the epoch pointer it loaded.
+type session struct {
+	name string
+	n    int
+	opt  GraphOptions
+
+	mu      sync.Mutex // serializes ingest/flush (the mutable side)
+	str     *stream.Sparsifier
+	pending int64
+
+	cur atomic.Pointer[epoch]
+}
+
+func newSession(name string, n int, opt GraphOptions, defaultBudget int) *session {
+	if opt.UpdateBudget <= 0 {
+		opt.UpdateBudget = defaultBudget
+	}
+	if opt.ReduceEps <= 0 {
+		opt.ReduceEps = 0.2
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	s := &session{
+		name: name,
+		n:    n,
+		opt:  opt,
+		str: stream.New(n, stream.Options{
+			BufferEdges: opt.BufferEdges,
+			ReduceEps:   opt.ReduceEps,
+			Seed:        opt.Seed,
+		}),
+	}
+	// Epoch 0: the empty prefix, so queries are well-defined before any
+	// ingest (they answer over an edgeless graph).
+	s.cur.Store(&epoch{seq: 0, prefix: 0, summary: graph.New(n)})
+	return s
+}
+
+// infoLocked snapshots the counters; callers hold mu.
+func (s *session) infoLocked() Info {
+	return s.info(s.cur.Load())
+}
+
+// info builds the response record for the given epoch. Ingested and
+// Pending are read under mu when available; a query path (no mu) calls
+// epochInfo instead.
+func (s *session) info(e *epoch) Info {
+	return Info{
+		N:        int64(s.n),
+		Epoch:    e.seq,
+		Prefix:   e.prefix,
+		Ingested: s.str.Ingested(),
+		Pending:  s.pending,
+		SummaryM: int64(e.summary.M()),
+		Reduces:  int32(e.reduces),
+	}
+}
+
+// epochInfo is the lock-free Info of a query response: the epoch
+// fields are exact (they are immutable), while Ingested/Pending are
+// intentionally omitted — they move under mu concurrently, and a query
+// answer must not require the ingest lock. Stat is the way to read the
+// live counters.
+func (s *session) epochInfo(e *epoch) Info {
+	return Info{
+		N:        int64(s.n),
+		Epoch:    e.seq,
+		Prefix:   e.prefix,
+		Ingested: e.prefix, // the freshest value this epoch can vouch for
+		Pending:  0,
+		SummaryM: int64(e.summary.M()),
+		Reduces:  int32(e.reduces),
+	}
+}
+
+// ingest streams one edge batch into the next epoch and publishes a new
+// epoch when the update budget fills. A bad edge fails the batch at
+// that edge: everything before it is ingested (and reported via Info),
+// nothing after it is.
+func (s *session) ingest(edges []graph.Edge) (Info, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, e := range edges {
+		if err := s.str.Ingest(e); err != nil {
+			s.pending += int64(i)
+			return s.infoLocked(), fmt.Errorf("edge %d of batch: %w", i, err)
+		}
+	}
+	s.pending += int64(len(edges))
+	if s.pending >= int64(s.opt.UpdateBudget) {
+		if err := s.publishLocked(); err != nil {
+			return s.infoLocked(), err
+		}
+	}
+	return s.infoLocked(), nil
+}
+
+// flush publishes an epoch over everything ingested so far. With
+// nothing pending it is a no-op (idempotent — no empty epochs pile up).
+func (s *session) flush() (Info, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending == 0 {
+		return s.infoLocked(), nil
+	}
+	if err := s.publishLocked(); err != nil {
+		return s.infoLocked(), err
+	}
+	return s.infoLocked(), nil
+}
+
+// publishLocked builds the next epoch from a non-destructive stream
+// snapshot and swaps it in atomically: a concurrent reader observes
+// either the old epoch or the new one, never a mix — the epoch struct
+// is fully built before the Store and immutable after it.
+func (s *session) publishLocked() error {
+	sum, reduces, err := s.str.Snapshot()
+	if err != nil {
+		return fmt.Errorf("publishing epoch: %w", err)
+	}
+	prev := s.cur.Load()
+	s.cur.Store(&epoch{
+		seq:     prev.seq + 1,
+		prefix:  s.str.Ingested(),
+		reduces: reduces,
+		summary: sum,
+	})
+	s.pending = 0
+	return nil
+}
+
+func (s *session) stat() Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.infoLocked()
+}
+
+// --- epoch queries -----------------------------------------------------
+//
+// Queries never take mu: they load the current epoch pointer and
+// compute against its immutable summary, so a slow solve never stalls
+// ingest and ingest never tears a query's input. Each query is a pure
+// function of (epoch summary, parameters, QuerySeed(seed, epoch)) —
+// served answers are reproducible offline and cacheable per epoch.
+
+// sparsify resparsifies the epoch summary at the client's accuracy:
+// core.ParallelSparsify (the exact call chain of repro.Sparsify) under
+// QuerySeed.
+func (s *session) sparsify(eps, rho float64) (Info, []graph.Edge, error) {
+	e := s.cur.Load()
+	cfg := core.DefaultConfig(QuerySeed(s.opt.Seed, e.seq))
+	out, _, err := core.ParallelSparsify(e.summary, eps, rho, cfg)
+	if err != nil {
+		return s.epochInfo(e), nil, err
+	}
+	return s.epochInfo(e), out.Edges, nil
+}
+
+// spanner computes a Baswana–Sen spanner of the epoch summary (k ≤ 0
+// selects the paper's ⌈log₂ n⌉ levels), mirroring repro.Spanner.
+func (s *session) spanner(k int) (Info, []graph.Edge, error) {
+	e := s.cur.Load()
+	g := e.summary
+	adj := graph.NewAdjacency(g)
+	res := spanner.Compute(g, adj, nil, spanner.Options{K: k, Seed: QuerySeed(s.opt.Seed, e.seq)})
+	return s.epochInfo(e), g.Subgraph(res.InSpanner).Edges, nil
+}
+
+// resistance returns the exact effective resistance between u and v
+// over the epoch summary (one Laplacian solve; u and v must be
+// connected in the summary — the bundle keeps every bridge, so
+// connectivity matches the ingested prefix).
+func (s *session) resistance(u, v int32) (Info, float64, error) {
+	e := s.cur.Load()
+	if u < 0 || int(u) >= s.n || v < 0 || int(v) >= s.n {
+		return s.epochInfo(e), 0, fmt.Errorf("vertex pair (%d,%d) outside [0,%d)", u, v, s.n)
+	}
+	r, err := resistance.NewSolver(e.summary).Pair(u, v)
+	if err != nil {
+		return s.epochInfo(e), 0, err
+	}
+	return s.epochInfo(e), r, nil
+}
+
+// solve runs the chain-preconditioned Laplacian solve L·x = b over the
+// epoch summary to relative residual tol.
+func (s *session) solve(b []float64, tol float64) (Info, []float64, error) {
+	e := s.cur.Load()
+	if len(b) != s.n {
+		return s.epochInfo(e), nil, fmt.Errorf("solve vector has %d entries, graph has %d vertices", len(b), s.n)
+	}
+	for i, x := range b {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return s.epochInfo(e), nil, fmt.Errorf("solve vector entry %d is %v", i, x)
+		}
+	}
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	x, _, err := solver.SolveLaplacian(e.summary, b, tol, solver.ChainOptions{Seed: QuerySeed(s.opt.Seed, e.seq)})
+	if err != nil {
+		return s.epochInfo(e), nil, err
+	}
+	return s.epochInfo(e), x, nil
+}

@@ -1,0 +1,522 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// The wire codec of the sparsifier service: the repo's versioned binary
+// frame idiom (cf. internal/dist/wire.go), adapted to request/response.
+// Every frame is a fixed 16-byte little-endian header, a `length`-byte
+// payload, and a trailing CRC-32C over header+payload that is verified
+// BEFORE any payload decode — a flipped bit is caught at the frame
+// boundary, never inside a half-decoded record. Frame types are
+// append-only: reusing or renumbering one is a wire version break, so
+// new types are appended and serveVersion is bumped; a mixed-version
+// pair fails loudly at the hello handshake instead of desynchronizing
+// mid-session.
+
+const (
+	serveMagic = uint32(0x53503031) // "SP01": sparsifyd wire
+	// serveVersion 1 is the initial frame set (hello/welcome, the five
+	// graph requests, the four responses).
+	serveVersion = uint32(1)
+
+	wireHeaderSize = 16
+	wireCRCSize    = 4
+	edgeRecSize    = 16 // u int32, v int32, w float64
+	infoSize       = 56
+	maxNameLen     = 255
+	maxErrLen      = 4096
+	// maxFramePayload bounds one frame: a decoder must never trust a
+	// length field into allocating unbounded memory. 1<<27 bytes admits
+	// an 8M-edge ingest batch or a 16M-entry solve vector per frame;
+	// larger requests split into multiple frames.
+	maxFramePayload = 1 << 27
+)
+
+// Frame types. Append only.
+const (
+	frameHello   uint8 = iota + 1 // client → server: version handshake
+	frameWelcome                  // server → client: handshake accepted
+	frameOpen                     // client → server: open-or-create a graph
+	frameIngest                   // client → server: one edge batch into the next epoch
+	frameFlush                    // client → server: publish a new epoch now
+	frameQuery                    // client → server: query the current epoch
+	frameStat                     // client → server: graph counters
+	frameDrop                     // client → server: delete a graph
+	frameAck                      // server → client: Info record (open/ingest/flush/stat/drop)
+	frameGraphR                   // server → client: Info + an edge-list answer
+	frameFloats                   // server → client: Info + a float64-vector answer
+	frameError                    // server → client: request failed; payload is the message
+)
+
+// Query kinds inside a frameQuery payload. Append only.
+const (
+	querySparsify   uint8 = iota + 1 // eps, rho → sparsifier of the epoch summary
+	querySpanner                     // k → spanner subgraph of the epoch summary
+	queryResistance                  // u, v → effective resistance over the epoch summary
+	querySolve                       // tol, b[n] → Laplacian solve over the epoch summary
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frame is one decoded wire frame: type, client-chosen sequence number
+// (echoed verbatim in the response so a desynchronized pair is caught
+// immediately), and the raw payload.
+type frame struct {
+	typ     uint8
+	seq     uint32
+	payload []byte
+}
+
+// appendFrame encodes one frame onto dst: header, payload, CRC-32C.
+func appendFrame(dst []byte, typ uint8, seq uint32, payload []byte) []byte {
+	var hb [wireHeaderSize]byte
+	binary.LittleEndian.PutUint32(hb[0:], serveMagic)
+	hb[4] = typ
+	hb[5] = 0
+	binary.LittleEndian.PutUint16(hb[6:], 0)
+	binary.LittleEndian.PutUint32(hb[8:], seq)
+	binary.LittleEndian.PutUint32(hb[12:], uint32(len(payload)))
+	dst = append(dst, hb[:]...)
+	dst = append(dst, payload...)
+	sum := crc32.Update(0, crcTable, hb[:])
+	sum = crc32.Update(sum, crcTable, payload)
+	var cb [wireCRCSize]byte
+	binary.LittleEndian.PutUint32(cb[:], sum)
+	return append(dst, cb[:]...)
+}
+
+// writeFrame writes one frame to w.
+func writeFrame(w io.Writer, typ uint8, seq uint32, payload []byte) error {
+	buf := appendFrame(make([]byte, 0, wireHeaderSize+len(payload)+wireCRCSize), typ, seq, payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads and validates one frame from r. A bad magic, an
+// oversized length, or a CRC mismatch is an error the caller must treat
+// as fatal for the connection — the byte stream can no longer be
+// trusted to be frame-aligned.
+func readFrame(r *bufio.Reader) (frame, error) {
+	var hb [wireHeaderSize]byte
+	if _, err := io.ReadFull(r, hb[:]); err != nil {
+		return frame{}, err
+	}
+	if got := binary.LittleEndian.Uint32(hb[0:]); got != serveMagic {
+		return frame{}, fmt.Errorf("serve: bad frame magic %#x", got)
+	}
+	typ := hb[4]
+	if hb[5] != 0 || binary.LittleEndian.Uint16(hb[6:]) != 0 {
+		return frame{}, fmt.Errorf("serve: nonzero reserved header bytes")
+	}
+	seq := binary.LittleEndian.Uint32(hb[8:])
+	length := binary.LittleEndian.Uint32(hb[12:])
+	if length > maxFramePayload {
+		return frame{}, fmt.Errorf("serve: frame payload %d exceeds limit %d", length, maxFramePayload)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return frame{}, err
+	}
+	var cb [wireCRCSize]byte
+	if _, err := io.ReadFull(r, cb[:]); err != nil {
+		return frame{}, err
+	}
+	sum := crc32.Update(0, crcTable, hb[:])
+	sum = crc32.Update(sum, crcTable, payload)
+	if got := binary.LittleEndian.Uint32(cb[:]); got != sum {
+		return frame{}, fmt.Errorf("serve: frame CRC mismatch (type %d, %d bytes): %#x != %#x", typ, length, got, sum)
+	}
+	return frame{typ: typ, seq: seq, payload: payload}, nil
+}
+
+// --- payload codecs ----------------------------------------------------
+//
+// Every decoder is total over arbitrary bytes: it returns an error,
+// never panics and never allocates proportionally to a lying length
+// field (FuzzServeCodec pins this).
+
+// helloPayload carries the protocol version both directions.
+func appendHello(dst []byte) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], serveVersion)
+	return append(dst, b[:]...)
+}
+
+func decodeHello(p []byte) (uint32, error) {
+	if len(p) != 4 {
+		return 0, fmt.Errorf("serve: hello payload %d bytes, want 4", len(p))
+	}
+	return binary.LittleEndian.Uint32(p), nil
+}
+
+// appendName encodes a graph name (uint16 length + bytes). Graph-scoped
+// requests all start with one.
+func appendName(dst []byte, name string) []byte {
+	var lb [2]byte
+	binary.LittleEndian.PutUint16(lb[:], uint16(len(name)))
+	dst = append(dst, lb[:]...)
+	return append(dst, name...)
+}
+
+// decodeName decodes a leading name and returns the remaining bytes.
+func decodeName(p []byte) (string, []byte, error) {
+	if len(p) < 2 {
+		return "", nil, fmt.Errorf("serve: truncated name length")
+	}
+	n := int(binary.LittleEndian.Uint16(p))
+	p = p[2:]
+	if n == 0 || n > maxNameLen {
+		return "", nil, fmt.Errorf("serve: graph name length %d outside [1,%d]", n, maxNameLen)
+	}
+	if len(p) < n {
+		return "", nil, fmt.Errorf("serve: truncated name (%d of %d bytes)", len(p), n)
+	}
+	name := string(p[:n])
+	for i := 0; i < len(name); i++ {
+		if name[i] <= ' ' || name[i] > '~' {
+			return "", nil, fmt.Errorf("serve: graph name %q has non-printable or space byte at %d", name, i)
+		}
+	}
+	return name, p[n:], nil
+}
+
+// openReq is the open-or-create request: the vertex count plus the
+// epoch/stream knobs that apply on first create.
+type openReq struct {
+	Name string
+	N    int64
+	Opt  GraphOptions
+}
+
+func appendOpen(dst []byte, q openReq) []byte {
+	dst = appendName(dst, q.Name)
+	var b [36]byte
+	binary.LittleEndian.PutUint64(b[0:], uint64(q.N))
+	binary.LittleEndian.PutUint32(b[8:], uint32(q.Opt.UpdateBudget))
+	binary.LittleEndian.PutUint32(b[12:], uint32(q.Opt.BufferEdges))
+	binary.LittleEndian.PutUint64(b[16:], math.Float64bits(q.Opt.ReduceEps))
+	binary.LittleEndian.PutUint64(b[24:], q.Opt.Seed)
+	binary.LittleEndian.PutUint32(b[32:], 0)
+	return append(dst, b[:]...)
+}
+
+func decodeOpen(p []byte) (openReq, error) {
+	name, rest, err := decodeName(p)
+	if err != nil {
+		return openReq{}, err
+	}
+	if len(rest) != 36 {
+		return openReq{}, fmt.Errorf("serve: open body %d bytes, want 36", len(rest))
+	}
+	q := openReq{Name: name}
+	q.N = int64(binary.LittleEndian.Uint64(rest[0:]))
+	q.Opt.UpdateBudget = int(int32(binary.LittleEndian.Uint32(rest[8:])))
+	q.Opt.BufferEdges = int(int32(binary.LittleEndian.Uint32(rest[12:])))
+	q.Opt.ReduceEps = math.Float64frombits(binary.LittleEndian.Uint64(rest[16:]))
+	q.Opt.Seed = binary.LittleEndian.Uint64(rest[24:])
+	if binary.LittleEndian.Uint32(rest[32:]) != 0 {
+		return openReq{}, fmt.Errorf("serve: nonzero reserved open bytes")
+	}
+	if q.N < 1 || q.N > int64(graph.MaxEdges) {
+		return openReq{}, fmt.Errorf("serve: vertex count %d outside [1,%d]", q.N, graph.MaxEdges)
+	}
+	if q.Opt.UpdateBudget < 0 || q.Opt.BufferEdges < 0 {
+		return openReq{}, fmt.Errorf("serve: negative open knob (budget %d, buffer %d)", q.Opt.UpdateBudget, q.Opt.BufferEdges)
+	}
+	if math.IsNaN(q.Opt.ReduceEps) || math.IsInf(q.Opt.ReduceEps, 0) || q.Opt.ReduceEps < 0 {
+		return openReq{}, fmt.Errorf("serve: bad reduce eps %v", q.Opt.ReduceEps)
+	}
+	return q, nil
+}
+
+// ingestReq is one edge batch.
+type ingestReq struct {
+	Name  string
+	Edges []graph.Edge
+}
+
+func appendIngest(dst []byte, name string, edges []graph.Edge) []byte {
+	dst = appendName(dst, name)
+	var cb [4]byte
+	binary.LittleEndian.PutUint32(cb[:], uint32(len(edges)))
+	dst = append(dst, cb[:]...)
+	for _, e := range edges {
+		var b [edgeRecSize]byte
+		binary.LittleEndian.PutUint32(b[0:], uint32(e.U))
+		binary.LittleEndian.PutUint32(b[4:], uint32(e.V))
+		binary.LittleEndian.PutUint64(b[8:], math.Float64bits(e.W))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+func decodeIngest(p []byte) (ingestReq, error) {
+	name, rest, err := decodeName(p)
+	if err != nil {
+		return ingestReq{}, err
+	}
+	edges, err := decodeEdgeList(rest)
+	if err != nil {
+		return ingestReq{}, err
+	}
+	return ingestReq{Name: name, Edges: edges}, nil
+}
+
+// decodeEdgeList decodes a count-prefixed edge record list occupying
+// the whole of p. The count is validated against the actual byte length
+// before any allocation.
+func decodeEdgeList(p []byte) ([]graph.Edge, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("serve: truncated edge count")
+	}
+	count := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if len(p) != count*edgeRecSize {
+		return nil, fmt.Errorf("serve: edge list claims %d records but carries %d bytes", count, len(p))
+	}
+	edges := make([]graph.Edge, count)
+	for i := range edges {
+		b := p[i*edgeRecSize:]
+		edges[i] = graph.Edge{
+			U: int32(binary.LittleEndian.Uint32(b[0:])),
+			V: int32(binary.LittleEndian.Uint32(b[4:])),
+			W: math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+		}
+	}
+	return edges, nil
+}
+
+// queryReq is one epoch query. Exactly the fields of its kind are
+// encoded; Vec is the solve right-hand side.
+type queryReq struct {
+	Name     string
+	Kind     uint8
+	Eps, Rho float64 // sparsify
+	K        int32   // spanner
+	U, V     int32   // resistance
+	Tol      float64 // solve
+	Vec      []float64
+}
+
+func appendQuery(dst []byte, q queryReq) []byte {
+	dst = appendName(dst, q.Name)
+	dst = append(dst, q.Kind)
+	switch q.Kind {
+	case querySparsify:
+		var b [16]byte
+		binary.LittleEndian.PutUint64(b[0:], math.Float64bits(q.Eps))
+		binary.LittleEndian.PutUint64(b[8:], math.Float64bits(q.Rho))
+		dst = append(dst, b[:]...)
+	case querySpanner:
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(q.K))
+		dst = append(dst, b[:]...)
+	case queryResistance:
+		var b [8]byte
+		binary.LittleEndian.PutUint32(b[0:], uint32(q.U))
+		binary.LittleEndian.PutUint32(b[4:], uint32(q.V))
+		dst = append(dst, b[:]...)
+	case querySolve:
+		var b [12]byte
+		binary.LittleEndian.PutUint64(b[0:], math.Float64bits(q.Tol))
+		binary.LittleEndian.PutUint32(b[8:], uint32(len(q.Vec)))
+		dst = append(dst, b[:]...)
+		dst = appendFloats(dst, q.Vec)
+	}
+	return dst
+}
+
+func decodeQuery(p []byte) (queryReq, error) {
+	name, rest, err := decodeName(p)
+	if err != nil {
+		return queryReq{}, err
+	}
+	if len(rest) < 1 {
+		return queryReq{}, fmt.Errorf("serve: truncated query kind")
+	}
+	q := queryReq{Name: name, Kind: rest[0]}
+	rest = rest[1:]
+	switch q.Kind {
+	case querySparsify:
+		if len(rest) != 16 {
+			return queryReq{}, fmt.Errorf("serve: sparsify query body %d bytes, want 16", len(rest))
+		}
+		q.Eps = math.Float64frombits(binary.LittleEndian.Uint64(rest[0:]))
+		q.Rho = math.Float64frombits(binary.LittleEndian.Uint64(rest[8:]))
+	case querySpanner:
+		if len(rest) != 4 {
+			return queryReq{}, fmt.Errorf("serve: spanner query body %d bytes, want 4", len(rest))
+		}
+		q.K = int32(binary.LittleEndian.Uint32(rest))
+	case queryResistance:
+		if len(rest) != 8 {
+			return queryReq{}, fmt.Errorf("serve: resistance query body %d bytes, want 8", len(rest))
+		}
+		q.U = int32(binary.LittleEndian.Uint32(rest[0:]))
+		q.V = int32(binary.LittleEndian.Uint32(rest[4:]))
+	case querySolve:
+		if len(rest) < 12 {
+			return queryReq{}, fmt.Errorf("serve: truncated solve query body")
+		}
+		q.Tol = math.Float64frombits(binary.LittleEndian.Uint64(rest[0:]))
+		count := int(binary.LittleEndian.Uint32(rest[8:]))
+		rest = rest[12:]
+		if len(rest) != count*8 {
+			return queryReq{}, fmt.Errorf("serve: solve vector claims %d entries but carries %d bytes", count, len(rest))
+		}
+		q.Vec = decodeFloats(rest, count)
+	default:
+		return queryReq{}, fmt.Errorf("serve: unknown query kind %d", q.Kind)
+	}
+	return q, nil
+}
+
+func appendFloats(dst []byte, v []float64) []byte {
+	for _, x := range v {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+func decodeFloats(p []byte, count int) []float64 {
+	v := make([]float64, count)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[i*8:]))
+	}
+	return v
+}
+
+// Info is the counter record every response carries: which immutable
+// epoch answered (Epoch/Prefix/SummaryM/Reduces describe the snapshot)
+// and where ingest currently stands (Ingested/Pending move on
+// concurrently). Prefix is the number of stream edges the epoch
+// summarizes — the "same ingested prefix" of the bit-identity contract.
+type Info struct {
+	N        int64  // vertex count of the graph resource
+	Epoch    uint64 // published epoch sequence number (0 = the empty epoch)
+	Prefix   int64  // stream edges summarized by this epoch
+	Ingested int64  // total edges accepted so far (>= Prefix)
+	Pending  int64  // edges ingested since the last publish
+	SummaryM int64  // edge count of the epoch summary
+	Reduces  int32  // merge-and-reduce steps behind the summary
+}
+
+func appendInfo(dst []byte, i Info) []byte {
+	var b [infoSize]byte
+	binary.LittleEndian.PutUint64(b[0:], uint64(i.N))
+	binary.LittleEndian.PutUint64(b[8:], i.Epoch)
+	binary.LittleEndian.PutUint64(b[16:], uint64(i.Prefix))
+	binary.LittleEndian.PutUint64(b[24:], uint64(i.Ingested))
+	binary.LittleEndian.PutUint64(b[32:], uint64(i.Pending))
+	binary.LittleEndian.PutUint64(b[40:], uint64(i.SummaryM))
+	binary.LittleEndian.PutUint32(b[48:], uint32(i.Reduces))
+	binary.LittleEndian.PutUint32(b[52:], 0)
+	return append(dst, b[:]...)
+}
+
+func decodeInfo(p []byte) (Info, []byte, error) {
+	if len(p) < infoSize {
+		return Info{}, nil, fmt.Errorf("serve: truncated info record (%d bytes)", len(p))
+	}
+	i := Info{
+		N:        int64(binary.LittleEndian.Uint64(p[0:])),
+		Epoch:    binary.LittleEndian.Uint64(p[8:]),
+		Prefix:   int64(binary.LittleEndian.Uint64(p[16:])),
+		Ingested: int64(binary.LittleEndian.Uint64(p[24:])),
+		Pending:  int64(binary.LittleEndian.Uint64(p[32:])),
+		SummaryM: int64(binary.LittleEndian.Uint64(p[40:])),
+		Reduces:  int32(binary.LittleEndian.Uint32(p[48:])),
+	}
+	if binary.LittleEndian.Uint32(p[52:]) != 0 {
+		return Info{}, nil, fmt.Errorf("serve: nonzero reserved info bytes")
+	}
+	return i, p[infoSize:], nil
+}
+
+// graphResp is an edge-list answer: the Info of the answering epoch
+// plus the result subgraph's edges.
+func appendGraphResp(dst []byte, info Info, edges []graph.Edge) []byte {
+	dst = appendInfo(dst, info)
+	var cb [4]byte
+	binary.LittleEndian.PutUint32(cb[:], uint32(len(edges)))
+	dst = append(dst, cb[:]...)
+	for _, e := range edges {
+		var b [edgeRecSize]byte
+		binary.LittleEndian.PutUint32(b[0:], uint32(e.U))
+		binary.LittleEndian.PutUint32(b[4:], uint32(e.V))
+		binary.LittleEndian.PutUint64(b[8:], math.Float64bits(e.W))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+func decodeGraphResp(p []byte) (Info, []graph.Edge, error) {
+	info, rest, err := decodeInfo(p)
+	if err != nil {
+		return Info{}, nil, err
+	}
+	edges, err := decodeEdgeList(rest)
+	if err != nil {
+		return Info{}, nil, err
+	}
+	return info, edges, nil
+}
+
+// floatsResp is a float-vector answer (resistance: one entry; solve:
+// n entries).
+func appendFloatsResp(dst []byte, info Info, v []float64) []byte {
+	dst = appendInfo(dst, info)
+	var cb [4]byte
+	binary.LittleEndian.PutUint32(cb[:], uint32(len(v)))
+	dst = append(dst, cb[:]...)
+	return appendFloats(dst, v)
+}
+
+func decodeFloatsResp(p []byte) (Info, []float64, error) {
+	info, rest, err := decodeInfo(p)
+	if err != nil {
+		return Info{}, nil, err
+	}
+	if len(rest) < 4 {
+		return Info{}, nil, fmt.Errorf("serve: truncated float count")
+	}
+	count := int(binary.LittleEndian.Uint32(rest))
+	rest = rest[4:]
+	if len(rest) != count*8 {
+		return Info{}, nil, fmt.Errorf("serve: float vector claims %d entries but carries %d bytes", count, len(rest))
+	}
+	return info, decodeFloats(rest, count), nil
+}
+
+func appendErrorResp(dst []byte, msg string) []byte {
+	if len(msg) > maxErrLen {
+		msg = msg[:maxErrLen]
+	}
+	var lb [2]byte
+	binary.LittleEndian.PutUint16(lb[:], uint16(len(msg)))
+	dst = append(dst, lb[:]...)
+	return append(dst, msg...)
+}
+
+func decodeErrorResp(p []byte) (string, error) {
+	if len(p) < 2 {
+		return "", fmt.Errorf("serve: truncated error length")
+	}
+	n := int(binary.LittleEndian.Uint16(p))
+	p = p[2:]
+	if n > maxErrLen || len(p) != n {
+		return "", fmt.Errorf("serve: error message claims %d bytes but carries %d", n, len(p))
+	}
+	return string(p), nil
+}

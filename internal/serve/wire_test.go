@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, {0xff}, bytes.Repeat([]byte{0xa5}, 1<<10)}
+	var buf bytes.Buffer
+	for i, p := range payloads {
+		if err := writeFrame(&buf, uint8(i+1), uint32(100+i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	for i, p := range payloads {
+		f, err := readFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.typ != uint8(i+1) || f.seq != uint32(100+i) || !bytes.Equal(f.payload, p) {
+			t.Fatalf("frame %d decoded as type=%d seq=%d payload=%d bytes", i, f.typ, f.seq, len(f.payload))
+		}
+	}
+}
+
+func TestFrameCorruptionDetected(t *testing.T) {
+	base := appendFrame(nil, frameAck, 7, []byte("payload-bytes"))
+	// Every single-bit flip anywhere in the frame must be caught: the
+	// magic, the reserved bytes, the length, the payload, or the CRC.
+	for byteIdx := 0; byteIdx < len(base); byteIdx++ {
+		mut := append([]byte(nil), base...)
+		mut[byteIdx] ^= 0x04
+		_, err := readFrame(bufio.NewReader(bytes.NewReader(mut)))
+		if err == nil {
+			t.Fatalf("flipped bit in byte %d went undetected", byteIdx)
+		}
+	}
+}
+
+func TestFrameTruncationDetected(t *testing.T) {
+	base := appendFrame(nil, frameAck, 7, []byte("payload"))
+	for cut := 0; cut < len(base); cut++ {
+		_, err := readFrame(bufio.NewReader(bytes.NewReader(base[:cut])))
+		if err == nil {
+			t.Fatalf("truncation to %d of %d bytes went undetected", cut, len(base))
+		}
+	}
+}
+
+func TestFrameRejectsOversizedLength(t *testing.T) {
+	f := appendFrame(nil, frameIngest, 1, nil)
+	// Claim a payload over the limit; the reader must refuse before
+	// allocating, CRC or not.
+	f[12] = 0xff
+	f[13] = 0xff
+	f[14] = 0xff
+	f[15] = 0x7f
+	_, err := readFrame(bufio.NewReader(bytes.NewReader(f)))
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized length not rejected: %v", err)
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	want := openReq{
+		Name: "load-test",
+		N:    1 << 20,
+		Opt:  GraphOptions{UpdateBudget: 4096, BufferEdges: 1 << 15, ReduceEps: 0.25, Seed: 0xdeadbeef},
+	}
+	got, err := decodeOpen(appendOpen(nil, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("open round trip: got %+v want %+v", got, want)
+	}
+}
+
+func TestOpenRejectsBadFields(t *testing.T) {
+	bad := []openReq{
+		{Name: "g", N: 0},
+		{Name: "g", N: -5},
+		{Name: "g", N: int64(graph.MaxEdges) + 1},
+		{Name: "g", N: 8, Opt: GraphOptions{UpdateBudget: -1}},
+		{Name: "g", N: 8, Opt: GraphOptions{ReduceEps: math.Inf(1)}},
+		{Name: "g", N: 8, Opt: GraphOptions{ReduceEps: math.NaN()}},
+	}
+	for i, q := range bad {
+		if _, err := decodeOpen(appendOpen(nil, q)); err == nil {
+			t.Fatalf("bad open %d (%+v) accepted", i, q)
+		}
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	for _, name := range []string{"", "has space", "tab\there", "null\x00", strings.Repeat("x", maxNameLen+1)} {
+		if _, _, err := decodeName(appendName(nil, name)); err == nil {
+			t.Fatalf("bad name %q accepted", name)
+		}
+		if err := checkName(name); err == nil {
+			t.Fatalf("checkName accepted %q", name)
+		}
+	}
+	ok := strings.Repeat("k", maxNameLen)
+	got, rest, err := decodeName(appendName(nil, ok))
+	if err != nil || got != ok || len(rest) != 0 {
+		t.Fatalf("max-length name rejected: %v", err)
+	}
+}
+
+func TestIngestRoundTrip(t *testing.T) {
+	edges := []graph.Edge{{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 0.5}, {U: 1, V: 2, W: math.Pi}}
+	q, err := decodeIngest(appendIngest(nil, "g1", edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "g1" || len(q.Edges) != len(edges) {
+		t.Fatalf("decoded %+v", q)
+	}
+	for i := range edges {
+		if q.Edges[i] != edges[i] {
+			t.Fatalf("edge %d: got %+v want %+v", i, q.Edges[i], edges[i])
+		}
+	}
+	// Empty batch is legal on the wire (the session decides semantics).
+	q, err = decodeIngest(appendIngest(nil, "g1", nil))
+	if err != nil || len(q.Edges) != 0 {
+		t.Fatalf("empty batch: %v, %d edges", err, len(q.Edges))
+	}
+}
+
+func TestEdgeListCountMismatch(t *testing.T) {
+	p := appendIngest(nil, "g", []graph.Edge{{U: 0, V: 1, W: 1}})
+	// Inflate the count field without supplying the bytes: decoder must
+	// reject without allocating count*16 bytes.
+	countOff := 2 + 1 // name len + "g"
+	p[countOff] = 0xff
+	p[countOff+1] = 0xff
+	p[countOff+2] = 0xff
+	p[countOff+3] = 0x7f
+	if _, err := decodeIngest(p); err == nil {
+		t.Fatal("lying edge count accepted")
+	}
+}
+
+func TestQueryRoundTrips(t *testing.T) {
+	queries := []queryReq{
+		{Name: "g", Kind: querySparsify, Eps: 0.3, Rho: 2.5},
+		{Name: "g", Kind: querySpanner, K: 4},
+		{Name: "g", Kind: queryResistance, U: 17, V: 123},
+		{Name: "g", Kind: querySolve, Tol: 1e-8, Vec: []float64{1, -1, 0, 0.25}},
+	}
+	for i, want := range queries {
+		got, err := decodeQuery(appendQuery(nil, want))
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if got.Name != want.Name || got.Kind != want.Kind || got.Eps != want.Eps ||
+			got.Rho != want.Rho || got.K != want.K || got.U != want.U || got.V != want.V ||
+			got.Tol != want.Tol || len(got.Vec) != len(want.Vec) {
+			t.Fatalf("query %d: got %+v want %+v", i, got, want)
+		}
+		for j := range want.Vec {
+			if got.Vec[j] != want.Vec[j] {
+				t.Fatalf("query %d vec[%d]: %v != %v", i, j, got.Vec[j], want.Vec[j])
+			}
+		}
+	}
+	if _, err := decodeQuery(appendName(nil, "g")); err == nil {
+		t.Fatal("query with no kind accepted")
+	}
+}
+
+func TestInfoRoundTrip(t *testing.T) {
+	want := Info{N: 1 << 20, Epoch: 42, Prefix: 1 << 19, Ingested: 1<<19 + 77, Pending: 77, SummaryM: 123456, Reduces: 9}
+	got, rest, err := decodeInfo(appendInfo(nil, want))
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("info: %v, %d rest", err, len(rest))
+	}
+	if got != want {
+		t.Fatalf("info round trip: got %+v want %+v", got, want)
+	}
+}
+
+func TestGraphRespRoundTrip(t *testing.T) {
+	info := Info{N: 8, Epoch: 3, Prefix: 100, SummaryM: 2}
+	edges := []graph.Edge{{U: 0, V: 1, W: 2}, {U: 3, V: 7, W: 0.125}}
+	gi, ge, err := decodeGraphResp(appendGraphResp(nil, info, edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi != info || len(ge) != 2 || ge[0] != edges[0] || ge[1] != edges[1] {
+		t.Fatalf("graph resp: %+v %+v", gi, ge)
+	}
+}
+
+func TestFloatsRespRoundTrip(t *testing.T) {
+	info := Info{N: 4, Epoch: 1, Prefix: 10, SummaryM: 3}
+	v := []float64{0.5, -1.25, math.MaxFloat64}
+	fi, fv, err := decodeFloatsResp(appendFloatsResp(nil, info, v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi != info || len(fv) != 3 || fv[0] != v[0] || fv[1] != v[1] || fv[2] != v[2] {
+		t.Fatalf("floats resp: %+v %+v", fi, fv)
+	}
+}
+
+func TestErrorRespRoundTrip(t *testing.T) {
+	for _, msg := range []string{"", "unknown graph \"g\"", strings.Repeat("e", maxErrLen+100)} {
+		got, err := decodeErrorResp(appendErrorResp(nil, msg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := msg
+		if len(want) > maxErrLen {
+			want = want[:maxErrLen]
+		}
+		if got != want {
+			t.Fatalf("error resp %d bytes round-tripped to %d bytes", len(want), len(got))
+		}
+	}
+}

@@ -11,11 +11,18 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 )
+
+// ErrFinished is returned by Ingest, Snapshot, and Finish once Finish
+// has succeeded: Finish is terminal, and a silently-accepted edge after
+// it would never reach any summary.
+var ErrFinished = errors.New("stream: sparsifier already finished")
 
 // Options configures a streaming sparsifier.
 type Options struct {
@@ -39,6 +46,7 @@ type Sparsifier struct {
 	buffer   []graph.Edge
 	reduces  int
 	ingested int64
+	finished bool
 }
 
 // New returns a streaming sparsifier over n vertices.
@@ -59,11 +67,14 @@ func New(n int, opt Options) *Sparsifier {
 // the triggering edge and the rest of the buffer stay ingested, so the
 // stream is not silently truncated and the caller may retry or abort.
 func (s *Sparsifier) Ingest(e graph.Edge) error {
+	if s.finished {
+		return fmt.Errorf("stream: Ingest(%d,%d): %w", e.U, e.V, ErrFinished)
+	}
 	if e.U < 0 || int(e.U) >= s.n || e.V < 0 || int(e.V) >= s.n {
 		return fmt.Errorf("stream: edge (%d,%d) outside vertex set [0,%d)", e.U, e.V, s.n)
 	}
-	if !(e.W > 0) {
-		return fmt.Errorf("stream: non-positive weight %v", e.W)
+	if !(e.W > 0) || math.IsInf(e.W, 0) {
+		return fmt.Errorf("stream: non-positive or non-finite weight %v", e.W)
 	}
 	s.buffer = append(s.buffer, e)
 	s.ingested++
@@ -73,10 +84,12 @@ func (s *Sparsifier) Ingest(e graph.Edge) error {
 	return nil
 }
 
-// reduce merges the buffer into the summary and compresses with one
-// PARALLELSAMPLE round. On failure the buffer (and summary) are left
-// exactly as they were — no edge is dropped.
-func (s *Sparsifier) reduce() error {
+// sampleMerged runs one PARALLELSAMPLE round over summary+buffer with
+// the seed the NEXT reduce would use, without committing anything. It
+// is the shared computation of reduce (which commits the result) and
+// Snapshot (which must not), so the two are bit-identical by
+// construction.
+func (s *Sparsifier) sampleMerged() ([]graph.Edge, error) {
 	merged := make([]graph.Edge, 0, len(s.summary)+len(s.buffer))
 	merged = append(merged, s.summary...)
 	merged = append(merged, s.buffer...)
@@ -91,24 +104,67 @@ func (s *Sparsifier) reduce() error {
 	cfg.Seed ^= uint64(s.reduces+1) * 0x9e3779b97f4a7c15
 	out, _, err := core.ParallelSample(g, s.opt.ReduceEps, cfg)
 	if err != nil {
-		return fmt.Errorf("stream: reduce %d: %w", s.reduces+1, err)
+		return nil, fmt.Errorf("stream: reduce %d: %w", s.reduces+1, err)
+	}
+	return out.Edges, nil
+}
+
+// reduce merges the buffer into the summary and compresses with one
+// PARALLELSAMPLE round. On failure the buffer (and summary) are left
+// exactly as they were — no edge is dropped.
+func (s *Sparsifier) reduce() error {
+	out, err := s.sampleMerged()
+	if err != nil {
+		return err
 	}
 	s.buffer = s.buffer[:0]
-	s.summary = out.Edges
+	s.summary = out
 	s.reduces++
 	return nil
+}
+
+// Snapshot returns the summary graph over everything ingested so far
+// WITHOUT disturbing the stream: no buffer is flushed, no reduce is
+// committed, and the stream keeps accepting edges afterwards. The
+// returned graph and reduce count are bit-identical to what Finish
+// would return at this exact prefix (a pending buffer is compressed
+// through the same seed schedule the committing reduce would use), so a
+// long-lived reader — the serve package's epoch publisher — can expose
+// consistent snapshots while ingest continues. A failed sample (bad
+// per-reduce eps) or an already-finished stream is an error.
+func (s *Sparsifier) Snapshot() (*graph.Graph, int, error) {
+	if s.finished {
+		return nil, s.reduces, fmt.Errorf("stream: Snapshot: %w", ErrFinished)
+	}
+	if len(s.buffer) == 0 {
+		edges := make([]graph.Edge, len(s.summary))
+		copy(edges, s.summary)
+		return graph.FromEdges(s.n, edges), s.reduces, nil
+	}
+	out, err := s.sampleMerged()
+	if err != nil {
+		return nil, s.reduces, err
+	}
+	return graph.FromEdges(s.n, out), s.reduces + 1, nil
 }
 
 // Finish flushes the buffer and returns the final summary graph along
 // with the number of reduce steps performed (each contributing a
 // (1±ReduceEps) factor to the end-to-end guarantee). A failed final
-// reduce returns the error with all buffered edges still held.
+// reduce returns the error with all buffered edges still held. Finish
+// is terminal: after it succeeds, further Ingest/Snapshot/Finish calls
+// return ErrFinished — use Snapshot for a non-destructive read of a
+// live stream.
 func (s *Sparsifier) Finish() (*graph.Graph, int, error) {
+	if s.finished {
+		return nil, s.reduces, fmt.Errorf("stream: Finish: %w", ErrFinished)
+	}
 	if len(s.buffer) > 0 {
 		if err := s.reduce(); err != nil {
 			return nil, s.reduces, err
 		}
 	}
+	s.finished = true
 	edges := make([]graph.Edge, len(s.summary))
 	copy(edges, s.summary)
 	return graph.FromEdges(s.n, edges), s.reduces, nil

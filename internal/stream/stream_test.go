@@ -1,6 +1,8 @@
 package stream
 
 import (
+	"errors"
+	"math"
 	"testing"
 
 	"repro/internal/gen"
@@ -159,6 +161,132 @@ func TestStreamReduceFailureKeepsBuffer(t *testing.T) {
 	}
 	if got := s.SummarySize(); got != before+1 {
 		t.Fatalf("failed Finish dropped edges: %d in memory, want %d", got, before+1)
+	}
+}
+
+// TestStreamSnapshotNonDestructive: Snapshot mid-stream must (a) equal
+// what Finish would return for the same prefix, (b) leave the stream
+// state untouched — the final summary is bit-identical to a run that
+// never snapshotted — and (c) not alias live state: mutating the
+// returned graph must not leak into later summaries.
+func TestStreamSnapshotNonDestructive(t *testing.T) {
+	g := gen.Complete(120)
+	opt := Options{BufferEdges: 1500, ReduceEps: 0.25, Seed: 21}
+	cut := 4000 // mid-stream prefix, with a partially-filled buffer
+
+	// Reference A: Finish over exactly the prefix.
+	ref := New(g.N, opt)
+	streamAll(t, ref, g.Edges[:cut])
+	refOut, refReduces, err := ref.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference B: full run with no Snapshot calls.
+	plain := New(g.N, opt)
+	streamAll(t, plain, g.Edges)
+	plainOut, plainReduces, err := plain.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(g.N, opt)
+	streamAll(t, s, g.Edges[:cut])
+	snap, snapReduces, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapReduces != refReduces {
+		t.Fatalf("snapshot reduces %d, Finish over same prefix reports %d", snapReduces, refReduces)
+	}
+	sameEdges(t, "snapshot vs prefix Finish", snap, refOut)
+	// A second Snapshot at the same prefix must be bit-identical too
+	// (the seed schedule depends only on committed reduces).
+	snap2, _, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameEdges(t, "repeated snapshot", snap2, snap)
+	// Mutate the returned graph; the stream must not notice.
+	for i := range snap.Edges {
+		snap.Edges[i].W = -1
+	}
+	streamAll(t, s, g.Edges[cut:])
+	out, reduces, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduces != plainReduces {
+		t.Fatalf("snapshotting changed the reduce count: %d vs %d", reduces, plainReduces)
+	}
+	sameEdges(t, "post-snapshot Finish vs plain run", out, plainOut)
+}
+
+func TestStreamSnapshotEmpty(t *testing.T) {
+	s := New(10, Options{})
+	snap, reduces, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.M() != 0 || reduces != 0 {
+		t.Fatalf("empty snapshot: m=%d reduces=%d", snap.M(), reduces)
+	}
+}
+
+// TestStreamFinishIsTerminal: Ingest after a successful Finish and a
+// second Finish must both surface ErrFinished — a silently-dropped
+// post-Finish edge would corrupt any caller that trusts Ingested().
+func TestStreamFinishIsTerminal(t *testing.T) {
+	g := gen.Path(30)
+	s := New(g.N, Options{Seed: 3})
+	streamAll(t, s, g.Edges)
+	if _, _, err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Ingest(graph.Edge{U: 0, V: 1, W: 1})
+	if !errors.Is(err, ErrFinished) {
+		t.Fatalf("Ingest after Finish: got %v, want ErrFinished", err)
+	}
+	if s.Ingested() != int64(g.M()) {
+		t.Fatalf("rejected post-Finish edge still counted: %d", s.Ingested())
+	}
+	if _, _, err := s.Finish(); !errors.Is(err, ErrFinished) {
+		t.Fatalf("double Finish: got %v, want ErrFinished", err)
+	}
+	if _, _, err := s.Snapshot(); !errors.Is(err, ErrFinished) {
+		t.Fatalf("Snapshot after Finish: got %v, want ErrFinished", err)
+	}
+}
+
+// A FAILED Finish is not terminal: the buffered edges are still held
+// (pinned by TestStreamReduceFailureKeepsBuffer), so the stream must
+// keep reporting the real failure rather than ErrFinished.
+func TestStreamFailedFinishNotTerminal(t *testing.T) {
+	s := New(8, Options{BufferEdges: 100, ReduceEps: 3, Seed: 7})
+	streamAll(t, s, []graph.Edge{{U: 0, V: 1, W: 1}})
+	if _, _, err := s.Finish(); err == nil || errors.Is(err, ErrFinished) {
+		t.Fatalf("doomed Finish: got %v, want the reduce error", err)
+	}
+	if _, _, err := s.Finish(); err == nil || errors.Is(err, ErrFinished) {
+		t.Fatalf("second doomed Finish: got %v, want the reduce error again", err)
+	}
+}
+
+func TestStreamRejectsInfiniteWeight(t *testing.T) {
+	s := New(4, Options{})
+	if err := s.Ingest(graph.Edge{U: 0, V: 1, W: math.Inf(1)}); err == nil {
+		t.Fatal("infinite weight accepted")
+	}
+}
+
+func sameEdges(t *testing.T, what string, a, b *graph.Graph) {
+	t.Helper()
+	if a.N != b.N || a.M() != b.M() {
+		t.Fatalf("%s: shape differs: n=%d/%d m=%d/%d", what, a.N, b.N, a.M(), b.M())
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("%s: edge %d differs: %v vs %v", what, i, a.Edges[i], b.Edges[i])
+		}
 	}
 }
 
